@@ -1,0 +1,68 @@
+"""A6 — communication-range sweep: the paper's central parameter.
+
+The whole evaluation contrasts r_b = 10 m and r_w = 80 m; this
+ablation fills in the curve between (and below) them on one land,
+verifying the monotone effects (contact time and degree grow with r,
+isolation falls) and exposing the non-monotone one: the LCC diameter
+first *grows* with r (fragments merge into long chains) before the
+graph densifies toward a clique — the mechanism behind the paper's
+Apfel 'contradiction'.
+"""
+
+from repro.core import TraceAnalyzer
+from repro.core.report import render_summary_table
+
+RANGES = (5.0, 10.0, 20.0, 40.0, 80.0, 160.0)
+
+
+def _sweep(analyzer: TraceAnalyzer, every: int) -> list[dict[str, object]]:
+    rows = []
+    for r in RANGES:
+        rows.append(
+            {
+                "r_m": r,
+                "ct_median_s": analyzer.contact_times(r).median,
+                "median_degree": analyzer.degrees(r, every).median,
+                "isolated": round(analyzer.isolation_fraction(r, every), 3),
+                "max_diameter": analyzer.diameters(r, every).max,
+            }
+        )
+    return rows
+
+
+def test_ablation_range_sweep_sparse_land(benchmark, analyzers, config, capsys):
+    """Apfel Land: the fragment-merging regime the paper observed."""
+    analyzer = analyzers["Apfel Land"]
+    rows = benchmark.pedantic(
+        lambda: _sweep(analyzer, config.every), rounds=1, iterations=1
+    )
+    with capsys.disabled():
+        print("\n[A6] Communication-range sweep (Apfel Land)")
+        print(render_summary_table(rows))
+
+    ct = [row["ct_median_s"] for row in rows]
+    degree = [row["median_degree"] for row in rows]
+    isolated = [row["isolated"] for row in rows]
+    # Monotone effects of a larger range.
+    assert all(b >= a for a, b in zip(ct, ct[1:]))
+    assert all(b >= a for a, b in zip(degree, degree[1:]))
+    assert all(b <= a + 1e-9 for a, b in zip(isolated, isolated[1:]))
+    # The diameter is NOT monotone in r: small ranges fragment the
+    # sparse land into tiny components (short LCC paths), mid ranges
+    # merge fragments into long chains, very large ranges clique-ify —
+    # the paper's Apfel 'contradiction', generalized to a full sweep.
+    diameters = [row["max_diameter"] for row in rows]
+    assert max(diameters) > diameters[0], "fragment merging should stretch the LCC"
+    assert max(diameters) > diameters[-1], "clique-ification should shrink it again"
+
+
+def test_range_sweep_dense_land_monotone_shrink(analyzers, config, capsys):
+    """Isle of View: dense enough that the LCC spans the crowd even at
+    5 m, so the diameter only shrinks as the range grows."""
+    analyzer = analyzers["Isle of View"]
+    rows = _sweep(analyzer, config.every)
+    with capsys.disabled():
+        print("\n[A6] Communication-range sweep (Isle of View)")
+        print(render_summary_table(rows))
+    diameters = [row["max_diameter"] for row in rows]
+    assert all(b <= a for a, b in zip(diameters, diameters[1:]))

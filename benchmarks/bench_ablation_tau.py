@@ -1,0 +1,36 @@
+"""A1 — sampling-period ablation: how τ biases the temporal metrics.
+
+The same underlying motion is observed at τ ∈ {10, 30, 60, 120} s by
+resampling one Dance Island trace.  Coarser sampling misses short
+contacts (contact count drops) and can only report durations at its
+own resolution.
+"""
+
+from repro.core import BLUETOOTH_RANGE, TraceAnalyzer
+from repro.core.report import render_summary_table
+from repro.experiments import ablation_tau
+
+
+def test_ablation_tau_bias(benchmark, config, capsys):
+    rows = benchmark.pedantic(
+        lambda: ablation_tau(config, factors=(1, 3, 6, 12)), rounds=1, iterations=1
+    )
+    with capsys.disabled():
+        print("\n[A1] Sampling-period ablation (Dance Island, r=10m)")
+        print(render_summary_table(rows))
+    taus = [row["tau_s"] for row in rows]
+    counts = [row["contacts"] for row in rows]
+    assert taus == sorted(taus)
+    # Strictly fewer observed contacts at every coarser period.
+    assert all(b < a for a, b in zip(counts, counts[1:]))
+    # Reported CT medians cannot fall below the sampling resolution.
+    for row in rows:
+        assert row["ct_median_s"] >= row["tau_s"]
+
+
+def test_resampling_preserves_population(traces):
+    base = traces["Dance Island"]
+    coarse = base.resampled(6)
+    assert coarse.unique_users() <= base.unique_users()
+    # Nearly every user still appears at 60 s sampling.
+    assert len(coarse.unique_users()) > 0.9 * len(base.unique_users())

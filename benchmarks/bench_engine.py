@@ -1,0 +1,56 @@
+"""Engine throughput benchmarks.
+
+Not a paper figure — these keep the substrate honest: world stepping,
+crawler sampling and line-of-sight extraction are the hot paths of
+every experiment, and a regression here multiplies into hours on the
+24 h runs.
+"""
+
+import numpy as np
+
+from repro.core.contacts import extract_contacts
+from repro.core.losgraph import snapshot_graph
+from repro.lands import dance_island
+from repro.monitors import Crawler
+
+
+def test_world_stepping_throughput(benchmark):
+    """Simulated seconds per wall second, steady-state Dance Island."""
+    world = dance_island().build(seed=3, start_time=12 * 3600.0)
+    world.run_until(12 * 3600.0 + 1200.0)  # warm to steady state
+
+    def step_minute():
+        world.run_until(world.now + 60.0)
+
+    benchmark(step_minute)
+
+
+def test_crawler_sampling_cost(benchmark):
+    world = dance_island().build(seed=4, start_time=12 * 3600.0)
+    world.run_until(12 * 3600.0 + 1200.0)
+
+    def snapshot():
+        return world.snapshot_positions()
+
+    positions = benchmark(snapshot)
+    assert len(positions) > 0
+
+
+def test_contact_extraction_scales(benchmark, traces):
+    trace = traces["Isle of View"]  # the densest land
+
+    def extract():
+        return extract_contacts(trace, 10.0)
+
+    contacts = benchmark.pedantic(extract, rounds=2, iterations=1)
+    assert len(contacts) > 0
+
+
+def test_snapshot_graph_cost(benchmark, traces):
+    snapshot = traces["Isle of View"].snapshots[-1]
+
+    def build():
+        return snapshot_graph(snapshot, 80.0)
+
+    graph = benchmark(build)
+    assert graph.node_count == len(snapshot)

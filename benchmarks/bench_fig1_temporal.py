@@ -1,0 +1,139 @@
+"""Fig. 1 — CCDFs of contact time, inter-contact time and first
+contact time at Bluetooth (10 m) and WiFi (80 m) range.
+
+Each test regenerates one panel: it times the underlying extraction,
+prints the CCDF series on the paper's log grid, and asserts the
+panel's headline shape claims (orderings and power-law-with-cutoff
+structure), not absolute values.
+"""
+
+import pytest
+
+from repro.core import BLUETOOTH_RANGE, WIFI_RANGE
+from repro.core.contacts import contact_durations, extract_contacts, inter_contact_times
+from repro.core.report import log_grid, render_ccdf_table
+from repro.stats import ECDF, compare_fits
+
+
+def _print_panel(capsys, title, series, grid=None):
+    grid = grid or log_grid(10.0, 1e4, 7)
+    with capsys.disabled():
+        print(f"\n[{title}] CCDF")
+        print(render_ccdf_table(series, grid, complementary=True))
+
+
+def _assert_power_law_with_cutoff(samples, label):
+    """The paper's §4 reading of Fig. 1: 'a first power-law phase and
+    an exponential cut-off phase'."""
+    fits = compare_fits(
+        samples,
+        models=("power_law", "exponential", "truncated_power_law"),
+    )
+    best = fits[0].model
+    assert best == "truncated_power_law", (
+        f"{label}: expected truncated power law to win, got {best}"
+    )
+
+
+class TestFig1aContactTimeRb:
+    def test_fig1a_contact_time_rb(self, benchmark, traces, analyzers, capsys):
+        dance = traces["Dance Island"]
+        benchmark.pedantic(
+            lambda: extract_contacts(dance, BLUETOOTH_RANGE), rounds=2, iterations=1
+        )
+        series = {n: a.contact_times(BLUETOOTH_RANGE) for n, a in analyzers.items()}
+        _print_panel(capsys, "Fig 1(a) CT r=10m", series)
+        # Ordering: Apfel shortest contacts, Dance longest.
+        assert series["Apfel Land"].median <= series["Isle of View"].median
+        assert series["Apfel Land"].median < series["Dance Island"].median
+        samples = contact_durations(analyzers["Dance Island"].contacts(BLUETOOTH_RANGE))
+        _assert_power_law_with_cutoff(samples, "Dance CT r=10")
+
+
+class TestFig1bInterContactRb:
+    def test_fig1b_intercontact_rb(self, benchmark, traces, analyzers, capsys):
+        dance = analyzers["Dance Island"]
+        benchmark.pedantic(
+            lambda: inter_contact_times(dance.contacts(BLUETOOTH_RANGE)),
+            rounds=3,
+            iterations=1,
+        )
+        series = {n: a.inter_contact_times(BLUETOOTH_RANGE) for n, a in analyzers.items()}
+        _print_panel(capsys, "Fig 1(b) ICT r=10m", series)
+        for name, ecdf in series.items():
+            # ICT spans from around the sampling period to >15 min.
+            assert ecdf.min <= 60.0, name
+            assert ecdf.quantile(0.95) > 900.0, name
+        gaps = inter_contact_times(dance.contacts(BLUETOOTH_RANGE))
+        _assert_power_law_with_cutoff(gaps, "Dance ICT r=10")
+
+
+class TestFig1cFirstContactRb:
+    def test_fig1c_first_contact_rb(self, benchmark, traces, analyzers, capsys):
+        from repro.core.contacts import first_contact_times
+
+        apfel = traces["Apfel Land"]
+        benchmark.pedantic(
+            lambda: first_contact_times(apfel, BLUETOOTH_RANGE), rounds=2, iterations=1
+        )
+        series = {n: a.first_contact_times(BLUETOOTH_RANGE) for n, a in analyzers.items()}
+        _print_panel(capsys, "Fig 1(c) FT r=10m", series, log_grid(10.0, 3600.0, 6))
+        # Apfel users wait much longer for their first neighbour.
+        assert series["Apfel Land"].median > 4 * series["Dance Island"].median
+        assert series["Apfel Land"].median > 4 * series["Isle of View"].median
+        assert series["Dance Island"].median <= 20.0
+        assert series["Isle of View"].median <= 20.0
+
+
+class TestFig1dContactTimeRw:
+    def test_fig1d_contact_time_rw(self, benchmark, traces, analyzers, capsys):
+        dance = traces["Dance Island"]
+        benchmark.pedantic(
+            lambda: extract_contacts(dance, WIFI_RANGE), rounds=2, iterations=1
+        )
+        series = {n: a.contact_times(WIFI_RANGE) for n, a in analyzers.items()}
+        _print_panel(capsys, "Fig 1(d) CT r=80m", series)
+        # Larger range -> longer contacts, land by land.
+        for name, analyzer in analyzers.items():
+            assert (
+                analyzer.contact_times(WIFI_RANGE).median
+                >= analyzer.contact_times(BLUETOOTH_RANGE).median
+            ), name
+
+
+class TestFig1eInterContactRw:
+    def test_fig1e_intercontact_rw(self, benchmark, analyzers, capsys):
+        dance = analyzers["Dance Island"]
+        benchmark.pedantic(
+            lambda: inter_contact_times(dance.contacts(WIFI_RANGE)),
+            rounds=3,
+            iterations=1,
+        )
+        series = {n: a.inter_contact_times(WIFI_RANGE) for n, a in analyzers.items()}
+        _print_panel(capsys, "Fig 1(e) ICT r=80m", series)
+        # The paper's surprise: ICT stays in the same regime across
+        # ranges (POI concentration).  Same order of magnitude here.
+        for name, analyzer in analyzers.items():
+            ict_b = analyzer.inter_contact_times(BLUETOOTH_RANGE).median
+            ict_w = analyzer.inter_contact_times(WIFI_RANGE).median
+            assert ict_w == pytest.approx(ict_b, rel=4.0), name
+
+
+class TestFig1fFirstContactRw:
+    def test_fig1f_first_contact_rw(self, benchmark, traces, analyzers, capsys):
+        from repro.core.contacts import first_contact_times
+
+        apfel = traces["Apfel Land"]
+        benchmark.pedantic(
+            lambda: first_contact_times(apfel, WIFI_RANGE), rounds=2, iterations=1
+        )
+        series = {n: a.first_contact_times(WIFI_RANGE) for n, a in analyzers.items()}
+        _print_panel(capsys, "Fig 1(f) FT r=80m", series, log_grid(10.0, 3600.0, 6))
+        # 'The FT improves a lot when increasing r.'
+        for name, analyzer in analyzers.items():
+            assert (
+                analyzer.first_contact_times(WIFI_RANGE).median
+                <= analyzer.first_contact_times(BLUETOOTH_RANGE).median
+            ), name
+        assert series["Dance Island"].median <= 5.0
+        assert series["Isle of View"].median <= 5.0

@@ -1,0 +1,146 @@
+"""Fig. 2 — line-of-sight network properties: node degree CCDF,
+largest-component diameter CDF, clustering-coefficient CDF, at both
+communication ranges.
+
+Headline claims reproduced: the isolated-user mass ordering (Apfel ~60%,
+Dance ~10%, IoV ~0% at r=10 m; ~0 everywhere at r=80 m), diameter
+shrinking with range on dense lands (and the Apfel small-components
+paradox), and high clustering.
+"""
+
+from repro.core import BLUETOOTH_RANGE, WIFI_RANGE
+from repro.core.losgraph import clustering_series, degree_samples, diameter_series
+from repro.core.report import render_ccdf_table
+
+
+def _print_panel(capsys, title, series, grid, complementary):
+    with capsys.disabled():
+        kind = "CCDF" if complementary else "CDF"
+        print(f"\n[{title}] {kind}")
+        print(render_ccdf_table(series, grid, complementary=complementary))
+
+
+class TestFig2aDegreeRb:
+    def test_fig2a_degree_rb(self, benchmark, traces, analyzers, config, capsys):
+        dance = traces["Dance Island"]
+        benchmark.pedantic(
+            lambda: degree_samples(dance, BLUETOOTH_RANGE, config.every),
+            rounds=2,
+            iterations=1,
+        )
+        series = {n: a.degrees(BLUETOOTH_RANGE, config.every) for n, a in analyzers.items()}
+        _print_panel(capsys, "Fig 2(a) degree r=10m", series,
+                     [0.0, 1.0, 2.0, 5.0, 10.0, 20.0, 40.0], complementary=True)
+        iso = {
+            n: a.isolation_fraction(BLUETOOTH_RANGE, config.every)
+            for n, a in analyzers.items()
+        }
+        assert iso["Apfel Land"] > 0.4
+        assert iso["Dance Island"] < 0.25
+        assert iso["Isle of View"] < 0.25
+        assert iso["Apfel Land"] > iso["Dance Island"] > 0.0
+
+
+class TestFig2bDiameterRb:
+    def test_fig2b_diameter_rb(self, benchmark, traces, analyzers, config, capsys):
+        dance = traces["Dance Island"]
+        benchmark.pedantic(
+            lambda: diameter_series(dance, BLUETOOTH_RANGE, config.every),
+            rounds=2,
+            iterations=1,
+        )
+        series = {n: a.diameters(BLUETOOTH_RANGE, config.every) for n, a in analyzers.items()}
+        _print_panel(capsys, "Fig 2(b) diameter r=10m", series,
+                     [0.0, 1.0, 2.0, 3.0, 5.0, 8.0, 12.0], complementary=False)
+        for name, ecdf in series.items():
+            assert ecdf.max <= 20, name
+
+
+class TestFig2cClusteringRb:
+    def test_fig2c_clustering_rb(self, benchmark, traces, analyzers, config, capsys):
+        dance = traces["Dance Island"]
+        benchmark.pedantic(
+            lambda: clustering_series(dance, BLUETOOTH_RANGE, config.every),
+            rounds=2,
+            iterations=1,
+        )
+        series = {
+            n: a.clustering(BLUETOOTH_RANGE, config.every) for n, a in analyzers.items()
+        }
+        _print_panel(capsys, "Fig 2(c) clustering r=10m", series,
+                     [0.0, 0.2, 0.4, 0.6, 0.8, 0.95], complementary=False)
+        # 'Our results clearly point to high median values.'
+        assert series["Dance Island"].median > 0.5
+        assert series["Isle of View"].median > 0.5
+
+
+class TestFig2dDegreeRw:
+    def test_fig2d_degree_rw(self, benchmark, traces, analyzers, config, capsys):
+        dance = traces["Dance Island"]
+        benchmark.pedantic(
+            lambda: degree_samples(dance, WIFI_RANGE, config.every),
+            rounds=2,
+            iterations=1,
+        )
+        series = {n: a.degrees(WIFI_RANGE, config.every) for n, a in analyzers.items()}
+        _print_panel(capsys, "Fig 2(d) degree r=80m", series,
+                     [0.0, 1.0, 5.0, 10.0, 20.0, 40.0, 80.0], complementary=True)
+        # 'When r = rw all users have at least one neighbor in all lands.'
+        for name, analyzer in analyzers.items():
+            assert analyzer.isolation_fraction(WIFI_RANGE, config.every) < 0.12, name
+        # Degrees grow with the range.
+        for name, analyzer in analyzers.items():
+            assert (
+                analyzer.degrees(WIFI_RANGE, config.every).median
+                >= analyzer.degrees(BLUETOOTH_RANGE, config.every).median
+            ), name
+
+
+class TestFig2eDiameterRw:
+    def test_fig2e_diameter_rw(self, benchmark, traces, analyzers, config, capsys):
+        dance = traces["Dance Island"]
+        benchmark.pedantic(
+            lambda: diameter_series(dance, WIFI_RANGE, config.every),
+            rounds=2,
+            iterations=1,
+        )
+        series = {n: a.diameters(WIFI_RANGE, config.every) for n, a in analyzers.items()}
+        _print_panel(capsys, "Fig 2(e) diameter r=80m", series,
+                     [0.0, 1.0, 2.0, 3.0, 5.0], complementary=False)
+        # Dense lands: the diameter support shrinks when the range
+        # grows (the paper's 'it is clear that the diameter shrinks
+        # for r = rw').  Medians can cross on Dance Island, whose
+        # r=10 m largest component is the dance-floor clique — the
+        # same small-components effect the paper reports for Apfel.
+        for name in ("Dance Island", "Isle of View"):
+            d_b = analyzers[name].diameters(BLUETOOTH_RANGE, config.every)
+            d_w = analyzers[name].diameters(WIFI_RANGE, config.every)
+            assert d_w.max <= d_b.max, name
+
+    def test_apfel_diameter_paradox(self, analyzers, config, capsys):
+        """Fig. 2(b)/(e): Apfel's r=10 max diameter is *smaller* than
+        at r=80 — small range fragments the sparse land into tiny
+        components, and the LCC of fragments has a short diameter."""
+        d_b = analyzers["Apfel Land"].diameters(BLUETOOTH_RANGE, config.every)
+        d_w = analyzers["Apfel Land"].diameters(WIFI_RANGE, config.every)
+        with capsys.disabled():
+            print(
+                f"\n[Fig 2 Apfel paradox] max diameter r=10m: {d_b.max:.0f}, "
+                f"r=80m: {d_w.max:.0f}"
+            )
+        assert d_b.max <= d_w.max
+
+
+class TestFig2fClusteringRw:
+    def test_fig2f_clustering_rw(self, benchmark, traces, analyzers, config, capsys):
+        dance = traces["Dance Island"]
+        benchmark.pedantic(
+            lambda: clustering_series(dance, WIFI_RANGE, config.every),
+            rounds=2,
+            iterations=1,
+        )
+        series = {n: a.clustering(WIFI_RANGE, config.every) for n, a in analyzers.items()}
+        _print_panel(capsys, "Fig 2(f) clustering r=80m", series,
+                     [0.0, 0.2, 0.4, 0.6, 0.8, 0.95], complementary=False)
+        for name, ecdf in series.items():
+            assert ecdf.median > 0.5, name

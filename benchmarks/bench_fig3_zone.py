@@ -1,0 +1,48 @@
+"""Fig. 3 — zone occupation: users per 20 m cell, empty cells included.
+
+Headline claims: 'a large fraction of the land has no users' (the CDF
+starts around or above 0.8 at zero) and 'some lands (e.g. Dance
+Island) are characterized by hot-spots with several tens of users'.
+"""
+
+from repro.core.report import render_ccdf_table
+from repro.core.spatial import hotspot_cells, zone_occupation
+
+
+def test_fig3_zone_occupation(benchmark, traces, analyzers, config, capsys):
+    dance = traces["Dance Island"]
+    benchmark.pedantic(
+        lambda: zone_occupation(dance, 20.0, config.every), rounds=2, iterations=1
+    )
+    series = {
+        n: a.zone_occupation(20.0, config.every) for n, a in analyzers.items()
+    }
+    with capsys.disabled():
+        print("\n[Fig 3] Zone occupation (users per 20m cell) CDF")
+        print(
+            render_ccdf_table(
+                series,
+                [0.0, 1.0, 2.0, 5.0, 10.0, 15.0, 25.0],
+                complementary=False,
+            )
+        )
+    for name, ecdf in series.items():
+        assert float(ecdf.cdf(0.0)) >= 0.8, name
+
+
+def test_fig3_dance_hotspots(traces, analyzers, config, capsys):
+    occupancy = analyzers["Dance Island"].zone_occupation(20.0, config.every)
+    hot = hotspot_cells(traces["Dance Island"], 20.0, threshold=10, every=config.every)
+    with capsys.disabled():
+        print(
+            f"\n[Fig 3] Dance Island: max cell occupancy {occupancy.max:.0f} users, "
+            f"cells with >=10 users: {hot:.2%}"
+        )
+    assert occupancy.max >= 10.0
+    assert hot > 0.0
+
+
+def test_fig3_apfel_sparser_than_dance(analyzers, config):
+    apfel = analyzers["Apfel Land"].zone_occupation(20.0, config.every)
+    dance = analyzers["Dance Island"].zone_occupation(20.0, config.every)
+    assert apfel.max < dance.max

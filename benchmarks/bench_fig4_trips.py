@@ -1,0 +1,90 @@
+"""Fig. 4 — trip analysis: travel length, effective travel time and
+travel (login) time CDFs.
+
+Headline claims: the vast majority of users travel short distances
+(90th percentiles ~230/400/500 m for Dance/Apfel/IoV); a small
+fraction of Isle of View users travel very far (~2 % above 2000 m);
+sessions cap at ~4 h with 90 % under an hour.
+"""
+
+from repro.core.report import render_ccdf_table
+from repro.core.spatial import travel_lengths, travel_times
+from repro.lands import PAPER_TARGETS
+
+
+class TestFig4aTravelLength:
+    def test_fig4a_travel_length(self, benchmark, traces, analyzers, capsys):
+        dance = traces["Dance Island"]
+        benchmark.pedantic(lambda: travel_lengths(dance), rounds=3, iterations=1)
+        series = {n: a.travel_lengths() for n, a in analyzers.items()}
+        with capsys.disabled():
+            print("\n[Fig 4(a)] Travel length CDF")
+            print(
+                render_ccdf_table(
+                    series,
+                    [10.0, 50.0, 100.0, 230.0, 400.0, 500.0, 1000.0, 2000.0],
+                    complementary=False,
+                )
+            )
+        p90 = {n: float(e.quantile(0.9)) for n, e in series.items()}
+        # Confined club < open spaces, as in the paper.
+        assert p90["Dance Island"] < p90["Apfel Land"]
+        assert p90["Dance Island"] < p90["Isle of View"]
+        # Within a factor ~2.5 of the paper's 24 h percentiles.
+        for name, targets in PAPER_TARGETS.items():
+            assert targets.travel_p90 / 2.5 <= p90[name] <= targets.travel_p90 * 2.5, name
+
+    def test_fig4a_iov_long_trip_tail(self, analyzers, capsys):
+        lengths = analyzers["Isle of View"].travel_lengths()
+        tail = lengths.survival_at(2000.0)
+        with capsys.disabled():
+            print(f"\n[Fig 4(a)] IoV trips > 2000 m: {tail:.2%} (paper: ~2%)")
+        assert 0.0 < tail < 0.10
+        # The other lands have (nearly) no such travellers.
+        assert analyzers["Dance Island"].travel_lengths().survival_at(2000.0) < tail
+
+
+class TestFig4bEffectiveTravelTime:
+    def test_fig4b_effective_travel_time(self, benchmark, analyzers, capsys):
+        benchmark.pedantic(
+            lambda: analyzers["Dance Island"].effective_travel_times(),
+            rounds=3,
+            iterations=1,
+        )
+        series = {n: a.effective_travel_times() for n, a in analyzers.items()}
+        with capsys.disabled():
+            print("\n[Fig 4(b)] Effective travel time CDF")
+            print(
+                render_ccdf_table(
+                    series,
+                    [10.0, 60.0, 300.0, 900.0, 1800.0, 3600.0],
+                    complementary=False,
+                )
+            )
+        # Moving time is a small share of connected time: users spend
+        # most of a session dwelling at points of interest.
+        for name, analyzer in analyzers.items():
+            moving = analyzer.effective_travel_times().median
+            connected = analyzer.travel_times().median
+            assert moving < 0.5 * connected, name
+
+
+class TestFig4cTravelTime:
+    def test_fig4c_travel_time(self, benchmark, traces, analyzers, capsys):
+        dance = traces["Dance Island"]
+        benchmark.pedantic(lambda: travel_times(dance), rounds=3, iterations=1)
+        series = {n: a.travel_times() for n, a in analyzers.items()}
+        with capsys.disabled():
+            print("\n[Fig 4(c)] Travel (login) time CDF")
+            print(
+                render_ccdf_table(
+                    series,
+                    [60.0, 300.0, 900.0, 1800.0, 3600.0, 7200.0, 14400.0],
+                    complementary=False,
+                )
+            )
+        for name, ecdf in series.items():
+            # Hard cap ~4 h (plus sampling slack).
+            assert ecdf.max <= 4.0 * 3600.0 + 60.0, name
+        # Event visitors linger: IoV sessions are the longest.
+        assert series["Isle of View"].median > series["Dance Island"].median

@@ -1,0 +1,40 @@
+"""T1 — the §3 trace-summary table (unique users, mean concurrency).
+
+Paper numbers (24 h traces): Isle of View 2656 unique / 65 concurrent,
+Dance Island 3347 / 34, Apfel Land 1568 / 13.  At bench scale (3 h
+afternoon window) the unique counts scale down but the concurrency
+ordering and magnitudes must hold.
+"""
+
+import pytest
+
+from repro.core.report import render_summary_table
+from repro.experiments import table1_summary
+from repro.lands import PAPER_TARGETS
+
+
+def test_table1_trace_summary(benchmark, analyzers, config, capsys):
+    rows = benchmark.pedantic(lambda: table1_summary(config), rounds=3, iterations=1)
+    with capsys.disabled():
+        print("\n[T1] Trace summary (bench scale vs paper 24h counts)")
+        print(render_summary_table(rows))
+
+    by_land = {row["land"]: row for row in rows}
+    # Concurrency is duration-independent; the 3 h window sits in the
+    # afternoon/event part of the diurnal profile, so allow headroom.
+    for land, targets in PAPER_TARGETS.items():
+        measured = by_land[land]["mean_concurrent"]
+        assert measured == pytest.approx(targets.mean_concurrency, rel=0.45), land
+    # Apfel is the quietest land at any time of day; the Dance/IoV
+    # ordering depends on the window (the IoV event boosts its
+    # arrivals in the afternoon), so only the 24 h run fixes it.
+    uniques = {land: by_land[land]["unique_users"] for land in by_land}
+    assert uniques["Apfel Land"] < uniques["Isle of View"]
+    assert uniques["Apfel Land"] < uniques["Dance Island"]
+
+
+def test_population_counters_consistent(analyzers):
+    for name, analyzer in analyzers.items():
+        summary = analyzer.summary()
+        assert summary.max_concurrency >= round(summary.mean_concurrency)
+        assert summary.unique_users >= summary.max_concurrency

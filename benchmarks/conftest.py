@@ -1,0 +1,41 @@
+"""Shared fixtures for the benchmark harness.
+
+Every benchmark works from the same three cached land traces
+(BENCH_CONFIG: a 3 h afternoon window, which covers part of the Isle
+of View event).  The simulations run once per pytest session; the
+benchmarks then time the *analysis* stages and print the regenerated
+figure panels so `pytest benchmarks/ --benchmark-only -s` doubles as a
+paper-reproduction report at bench scale.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.experiments import BENCH_CONFIG, analyzer_for, clear_cache
+from repro.lands import PAPER_TARGETS
+
+LANDS = tuple(PAPER_TARGETS)
+
+
+@pytest.fixture(scope="session")
+def config():
+    """The benchmark-scale experiment configuration."""
+    return BENCH_CONFIG
+
+
+@pytest.fixture(scope="session")
+def analyzers(config):
+    """One cached TraceAnalyzer per target land."""
+    result = {name: analyzer_for(name, config) for name in LANDS}
+    yield result
+
+
+@pytest.fixture(scope="session")
+def traces(analyzers):
+    """The underlying crawler traces."""
+    return {name: analyzer.trace for name, analyzer in analyzers.items()}
+
+
+def pytest_sessionfinish(session, exitstatus):
+    clear_cache()

@@ -1,0 +1,78 @@
+#!/usr/bin/env python3
+"""Trace-driven DTN study: forwarding schemes over a crawled trace.
+
+The paper's closing motivation: "our measurements ... constitute a
+useful material for trace-driven simulations of ... the performance
+analysis of forwarding schemes in DTNs".  This example is that study:
+
+1. crawl a simulated event land (Isle of View during the Valentine's
+   event);
+2. generate a random unicast workload between observed users;
+3. replay it under epidemic, two-hop relay, first-contact and
+   direct-delivery forwarding at both radio ranges;
+4. report delivery ratio, median delay and copy cost.
+
+Run:  python examples/dtn_epidemic.py [--hours 2] [--messages 80]
+"""
+
+from __future__ import annotations
+
+import argparse
+
+import numpy as np
+
+from repro.core import BLUETOOTH_RANGE, WIFI_RANGE
+from repro.core.report import render_summary_table
+from repro.dtn import (
+    DirectDelivery,
+    Epidemic,
+    FirstContact,
+    TwoHopRelay,
+    compare_protocols,
+    uniform_workload,
+)
+from repro.lands import isle_of_view
+from repro.monitors import Crawler
+
+
+def main() -> None:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--hours", type=float, default=2.0)
+    parser.add_argument("--messages", type=int, default=80)
+    parser.add_argument("--seed", type=int, default=14)
+    parser.add_argument("--ttl-minutes", type=float, default=None,
+                        help="optional message TTL (default: unlimited)")
+    args = parser.parse_args()
+
+    # Crawl the event land during the Valentine's event (10:00-14:00).
+    preset = isle_of_view()
+    world = preset.build(seed=args.seed, start_time=10 * 3600.0)
+    world.run_until(world.now + 1800.0)
+    print(f"crawling {preset.name!r} during the event "
+          f"({world.online_count} users online)")
+    trace = Crawler(tau=10.0).monitor(world, args.hours * 3600.0)
+    print(f"trace: {len(trace)} snapshots, {len(trace.unique_users())} users")
+
+    rng = np.random.default_rng(args.seed)
+    ttl = args.ttl_minutes * 60.0 if args.ttl_minutes else float("inf")
+    messages = uniform_workload(trace, args.messages, rng, ttl=ttl)
+    print(f"workload: {len(messages)} unicast messages "
+          f"(TTL {'unlimited' if ttl == float('inf') else f'{ttl:.0f}s'})")
+
+    protocols = [Epidemic(), TwoHopRelay(), FirstContact(), DirectDelivery()]
+    for r, label in ((BLUETOOTH_RANGE, "bluetooth 10 m"), (WIFI_RANGE, "wifi 80 m")):
+        results = compare_protocols(trace, r, messages, protocols, seed=args.seed)
+        print(f"\n== forwarding at {label} ==")
+        print(render_summary_table([result.row() for result in results]))
+
+    print(
+        "\nReading: epidemic explores every contact opportunity, so it "
+        "upper-bounds delivery and lower-bounds delay at maximal copy "
+        "cost; direct delivery is the single-copy floor; two-hop and "
+        "first-contact trade between them — on a POI-concentrated land "
+        "even cheap schemes deliver well once the range covers a venue."
+    )
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,87 @@
+#!/usr/bin/env python3
+"""Mobility-model shoot-out: which family reproduces the paper?
+
+The paper attributes its findings to point-of-interest attraction
+("users in Second Life revolve around several points of interest
+traveling in general short distances").  This example makes that
+attribution testable: the same land skeleton and arrival process runs
+under three mobility families —
+
+* POI attraction (this library's generative model),
+* random waypoint (the classical synthetic baseline),
+* truncated Lévy walk (Rhee et al.'s model of real human walks) —
+
+and compares the §4 signatures: contact-time tails, isolation,
+clustering, hot-spot concentration, travel lengths.
+
+Run:  python examples/mobility_model_comparison.py [--hours 1.5]
+"""
+
+from __future__ import annotations
+
+import argparse
+
+from repro.core import BLUETOOTH_RANGE, TraceAnalyzer
+from repro.core.contacts import contact_durations
+from repro.core.report import render_summary_table
+from repro.lands import generic_land
+from repro.monitors import Crawler
+from repro.stats import compare_fits
+
+
+def run_model(kind: str, hours: float, seed: int) -> dict[str, object]:
+    """Simulate one mobility family and extract the signature row."""
+    preset = generic_land(
+        n_pois=5, hourly_rate=120.0, mean_session=1200.0, seed=31, mobility=kind
+    )
+    world = preset.build(seed=seed)
+    trace = Crawler(tau=10.0).monitor(world, hours * 3600.0)
+    analyzer = TraceAnalyzer(trace)
+
+    contacts = analyzer.contacts(BLUETOOTH_RANGE)
+    durations = contact_durations(contacts)
+    best_model = "-"
+    if len(durations) >= 50:
+        fits = compare_fits(
+            durations, models=("power_law", "exponential", "truncated_power_law")
+        )
+        best_model = fits[0].model
+
+    occupancy = analyzer.zone_occupation(20.0, every=6)
+    return {
+        "mobility": kind,
+        "ct_median_s": analyzer.contact_times(BLUETOOTH_RANGE).median,
+        "ct_p99_s": round(float(analyzer.contact_times(BLUETOOTH_RANGE).quantile(0.99))),
+        "isolated": round(analyzer.isolation_fraction(BLUETOOTH_RANGE, every=6), 2),
+        "clustering": round(analyzer.clustering(BLUETOOTH_RANGE, every=6).median, 2),
+        "max_cell": int(occupancy.max),
+        "travel_p90_m": round(float(analyzer.travel_lengths().quantile(0.9))),
+        "best_ct_fit": best_model,
+    }
+
+
+def main() -> None:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--hours", type=float, default=1.5)
+    parser.add_argument("--seed", type=int, default=4)
+    args = parser.parse_args()
+
+    rows = []
+    for kind in ("poi", "rwp", "levy"):
+        print(f"simulating {kind} mobility for {args.hours:.1f} h...")
+        rows.append(run_model(kind, args.hours, args.seed))
+
+    print("\n== mobility-family signatures (same land, same arrivals) ==")
+    print(render_summary_table(rows))
+    print(
+        "\nReading: only POI attraction shows the paper's combination — "
+        "hot-spot cells with tens of users, low isolation, high "
+        "clustering, short travels, and contact times best described "
+        "by a power law with exponential cut-off.  Random waypoint "
+        "spreads users uniformly (high isolation, no hot-spots); the "
+        "Lévy walk produces heavy travel tails but no social foci."
+    )
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,97 @@
+#!/usr/bin/env python3
+"""The paper's future work, executed: the SL 'relation graph'.
+
+§5 of the paper: "Another interesting area of future research would be
+to build the network of 'relationships' among SL users.  Based on the
+'relation graph', new questions can be addressed such as the frequency
+and the strength of contact between acquaintances."
+
+This example builds that graph from a crawled trace and answers those
+questions: how many pairs ever meet, how many meet repeatedly, how
+strong the ties are, how regular re-encounters are, and whether the
+acquaintance network is itself clustered.
+
+Run:  python examples/relation_graph.py [--hours 2] [--land dance]
+"""
+
+from __future__ import annotations
+
+import argparse
+
+from repro.core import BLUETOOTH_RANGE, TraceAnalyzer
+from repro.core.report import render_summary_table
+from repro.lands import apfel_land, dance_island, isle_of_view
+from repro.monitors import Crawler
+from repro.netgraph import average_clustering, connected_components
+from repro.social import (
+    acquaintance_summary,
+    build_relation_graph,
+    encounter_regularity,
+    strength_frequency_correlation,
+)
+
+PRESETS = {"apfel": apfel_land, "dance": dance_island, "iov": isle_of_view}
+
+
+def main() -> None:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--hours", type=float, default=2.0)
+    parser.add_argument("--land", choices=sorted(PRESETS), default="dance")
+    parser.add_argument("--seed", type=int, default=42)
+    args = parser.parse_args()
+
+    preset = PRESETS[args.land]()
+    world = preset.build(seed=args.seed, start_time=12 * 3600.0)
+    world.run_until(world.now + 1800.0)
+    print(f"crawling {preset.name!r} for {args.hours:.1f} h...")
+    trace = Crawler(tau=10.0).monitor(world, args.hours * 3600.0)
+    contacts = TraceAnalyzer(trace).contacts(BLUETOOTH_RANGE)
+    print(f"{len(trace.unique_users())} users, {len(contacts)} contact intervals")
+
+    # Build the graph at two acquaintance thresholds.
+    met_once = build_relation_graph(contacts, min_encounters=1)
+    acquainted = build_relation_graph(contacts, min_encounters=2)
+    print(f"\npairs that ever met      : {len(met_once)}")
+    print(f"pairs that re-met        : {len(acquainted)} "
+          f"({len(acquainted) / max(len(met_once), 1):.0%})")
+
+    print("\n== frequency & strength of contact between acquaintances ==")
+    summary = acquaintance_summary(met_once)
+    rows = [
+        {"metric": name, **{k: round(v, 1) for k, v in s.row().items() if k in ("median", "p90", "max")}}
+        for name, s in summary.items()
+    ]
+    print(render_summary_table(rows))
+    print(f"frequency-strength correlation: "
+          f"{strength_frequency_correlation(met_once):.3f}")
+
+    try:
+        regularity = encounter_regularity(contacts, min_encounters=3)
+        print(f"re-encounter gaps (pairs with >=3 meetings): "
+              f"median {regularity['median_gap_s']:.0f}s, CV {regularity['cv']:.2f}")
+    except ValueError:
+        print("no pair reached 3 encounters in this window")
+
+    print("\n== structure of the relation graph ==")
+    graph = met_once.graph
+    components = connected_components(graph)
+    print(f"users with acquaintances : {graph.node_count}")
+    print(f"relationships            : {graph.edge_count}")
+    print(f"largest social component : {len(components[0]) if components else 0} users")
+    print(f"social clustering        : {average_clustering(graph):.3f}")
+
+    print("\n== strongest ties ==")
+    rows = [
+        {
+            "pair": " & ".join(tie.pair),
+            "meetings": tie.frequency,
+            "together_s": round(tie.strength),
+            "lifetime_s": round(tie.lifetime),
+        }
+        for tie in met_once.strongest(5)
+    ]
+    print(render_summary_table(rows))
+
+
+if __name__ == "__main__":
+    main()

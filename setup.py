@@ -1,0 +1,11 @@
+"""Setuptools shim.
+
+The offline environment lacks the ``wheel`` package, so PEP-517
+editable installs (``pip install -e .``) cannot build a wheel.  This
+shim lets ``python setup.py develop`` (and pip's legacy fallback)
+install the package from ``pyproject.toml`` metadata instead.
+"""
+
+from setuptools import setup
+
+setup()

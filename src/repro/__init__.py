@@ -1,0 +1,35 @@
+"""repro — a reproduction of *Characterizing User Mobility in Second Life*.
+
+The package rebuilds the paper's entire measurement stack as an
+offline, deterministic system:
+
+* :mod:`repro.metaverse` — a generative Second Life substrate (lands,
+  avatars, session churn, points of interest, events);
+* :mod:`repro.mobility` — the mobility models avatars follow;
+* :mod:`repro.monitors` — the two measurement architectures from the
+  paper: the external crawler and the in-world sensor network;
+* :mod:`repro.trace` — the trace data model and I/O;
+* :mod:`repro.core` — the paper's analysis: contact statistics,
+  line-of-sight graphs, spatial metrics;
+* :mod:`repro.dtn` — trace-driven DTN forwarding replay, the paper's
+  motivating application;
+* :mod:`repro.lands` — calibrated presets of the three target lands;
+* :mod:`repro.social` — the §5 future work: the relation graph of
+  acquaintances;
+* :mod:`repro.experiments` — one runner per paper figure/table.
+
+Quickstart::
+
+    from repro.lands import dance_island
+    from repro.monitors import Crawler
+    from repro.core import TraceAnalyzer
+
+    world = dance_island().build(seed=7)
+    trace = Crawler(tau=10.0).monitor(world, duration=3600.0)
+    analyzer = TraceAnalyzer(trace)
+    print(analyzer.contact_times(10.0).median)
+"""
+
+__version__ = "1.0.0"
+
+__all__ = ["__version__"]

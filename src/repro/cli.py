@@ -1,0 +1,233 @@
+"""Command-line interface: ``slmob`` / ``python -m repro``.
+
+Four subcommands cover the workflow end to end::
+
+    slmob simulate --land dance --hours 2 --out dance.csv.gz
+    slmob analyze dance.csv.gz
+    slmob validate dance.csv.gz
+    slmob experiments --hours 3          # paper-vs-measured report
+    slmob experiments --full --out EXPERIMENTS.md
+
+``simulate`` runs a calibrated land under a monitor and writes the
+trace; ``analyze`` recomputes every §3 metric from a trace file (ours
+or an external one in the same CSV schema); ``experiments`` regenerates
+the paper's tables and figures.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from pathlib import Path
+
+from repro.core import BLUETOOTH_RANGE, WIFI_RANGE, TraceAnalyzer
+from repro.core.report import log_grid, render_ccdf_table, render_summary_table
+from repro.lands import paper_presets
+from repro.monitors import Crawler, SensorNetwork
+from repro.trace import (
+    read_trace_csv,
+    read_trace_jsonl,
+    validate_trace,
+    write_trace_csv,
+    write_trace_jsonl,
+)
+
+_LAND_KEYS = {
+    "apfel": "Apfel Land",
+    "dance": "Dance Island",
+    "iov": "Isle of View",
+}
+
+
+def _read_any(path: Path):
+    if ".jsonl" in path.name:
+        return read_trace_jsonl(path)
+    return read_trace_csv(path)
+
+
+def _cmd_simulate(args: argparse.Namespace) -> int:
+    land_name = _LAND_KEYS[args.land]
+    preset = paper_presets()[land_name]
+    world = preset.build(seed=args.seed, start_time=args.start_hour * 3600.0)
+    if args.spinup > 0:
+        world.run_until(world.now + args.spinup)
+    if args.monitor == "crawler":
+        monitor = Crawler(tau=args.tau, mimic=not args.naive)
+    else:
+        monitor = SensorNetwork(tau=args.tau)
+    print(
+        f"simulating {land_name!r} for {args.hours:.2f} h "
+        f"(tau={args.tau:g}s, seed={args.seed}, monitor={args.monitor})...",
+        file=sys.stderr,
+    )
+    trace = monitor.monitor(world, args.hours * 3600.0)
+    out = Path(args.out)
+    if ".jsonl" in out.name:
+        write_trace_jsonl(trace, out)
+    else:
+        write_trace_csv(trace, out)
+    print(
+        f"wrote {out}: {len(trace)} snapshots, "
+        f"{len(trace.unique_users())} unique users",
+        file=sys.stderr,
+    )
+    return 0
+
+
+def _cmd_analyze(args: argparse.Namespace) -> int:
+    trace = _read_any(Path(args.trace))
+    analyzer = TraceAnalyzer(trace)
+    summary = analyzer.summary()
+    print(f"== {summary.land_name} ==")
+    print(render_summary_table([summary.row()]))
+
+    ranges = args.range or [BLUETOOTH_RANGE, WIFI_RANGE]
+    grid = log_grid(trace.metadata.tau, 1e4, 7)
+    for r in ranges:
+        print(f"\n-- temporal metrics at r={r:g} m (CCDF) --")
+        series = {
+            "CT": analyzer.contact_times(r),
+            "ICT": analyzer.inter_contact_times(r),
+            "FT": analyzer.first_contact_times(r),
+        }
+        print(render_ccdf_table(series, grid, complementary=True))
+        print(f"\n-- graph metrics at r={r:g} m --")
+        print(
+            render_summary_table(
+                [
+                    {
+                        "median_degree": analyzer.degrees(r, args.every).median,
+                        "isolated": round(analyzer.isolation_fraction(r, args.every), 3),
+                        "median_diameter": analyzer.diameters(r, args.every).median,
+                        "median_clustering": round(
+                            analyzer.clustering(r, args.every).median, 3
+                        ),
+                    }
+                ]
+            )
+        )
+
+    print("\n-- trip metrics --")
+    print(
+        render_summary_table(
+            [
+                {
+                    "metric": "travel length (m)",
+                    "median": round(analyzer.travel_lengths().median, 1),
+                    "p90": round(float(analyzer.travel_lengths().quantile(0.9)), 1),
+                },
+                {
+                    "metric": "effective travel time (s)",
+                    "median": round(analyzer.effective_travel_times().median, 1),
+                    "p90": round(float(analyzer.effective_travel_times().quantile(0.9)), 1),
+                },
+                {
+                    "metric": "travel time (s)",
+                    "median": round(analyzer.travel_times().median, 1),
+                    "p90": round(float(analyzer.travel_times().quantile(0.9)), 1),
+                },
+            ]
+        )
+    )
+    occupancy = analyzer.zone_occupation(20.0, args.every)
+    print(f"\nzone occupation (L=20m): {float(occupancy.cdf(0.0)):.1%} empty cells, "
+          f"busiest cell {occupancy.max:.0f} users")
+    return 0
+
+
+def _cmd_validate(args: argparse.Namespace) -> int:
+    trace = _read_any(Path(args.trace))
+    issues = validate_trace(trace)
+    if not issues:
+        print("trace is clean")
+        return 0
+    for issue in issues[: args.limit]:
+        print(str(issue))
+    if len(issues) > args.limit:
+        print(f"... and {len(issues) - args.limit} more")
+    return 1 if any(i.severity == "error" for i in issues) else 0
+
+
+def _cmd_experiments(args: argparse.Namespace) -> int:
+    from repro.experiments import FULL_CONFIG, render_experiment_report
+    from repro.experiments.runner import quick_config
+
+    config = FULL_CONFIG if args.full else quick_config(args.hours)
+    if args.every is not None:
+        from dataclasses import replace
+
+        config = replace(config, every=args.every)
+    print(
+        f"regenerating the paper's evaluation "
+        f"({config.duration / 3600.0:.0f} h window; this simulates all "
+        "three lands)...",
+        file=sys.stderr,
+    )
+    report = render_experiment_report(config)
+    header = "# EXPERIMENTS — paper vs measured\n\n"
+    body = header + report if args.out else report
+    if args.out:
+        Path(args.out).write_text(body, encoding="utf-8")
+        print(f"wrote {args.out}", file=sys.stderr)
+    else:
+        print(report)
+    return 0
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="slmob",
+        description="Reproduction toolkit for 'Characterizing User Mobility in Second Life'",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    simulate = sub.add_parser("simulate", help="simulate a land and write a trace")
+    simulate.add_argument("--land", choices=sorted(_LAND_KEYS), default="dance")
+    simulate.add_argument("--hours", type=float, default=1.0)
+    simulate.add_argument("--tau", type=float, default=10.0)
+    simulate.add_argument("--seed", type=int, default=2008)
+    simulate.add_argument("--start-hour", type=float, default=12.0)
+    simulate.add_argument("--spinup", type=float, default=1800.0)
+    simulate.add_argument("--monitor", choices=["crawler", "sensors"], default="crawler")
+    simulate.add_argument("--naive", action="store_true",
+                          help="use the perturbing (non-mimicking) crawler")
+    simulate.add_argument("--out", required=True, help="output .csv[.gz] or .jsonl[.gz]")
+    simulate.set_defaults(func=_cmd_simulate)
+
+    analyze = sub.add_parser("analyze", help="compute the paper's metrics from a trace")
+    analyze.add_argument("trace")
+    analyze.add_argument("--range", type=float, action="append",
+                         help="communication range(s) in meters (repeatable)")
+    analyze.add_argument("--every", type=int, default=6,
+                         help="snapshot stride for graph metrics")
+    analyze.set_defaults(func=_cmd_analyze)
+
+    validate = sub.add_parser("validate", help="run trace sanity checks")
+    validate.add_argument("trace")
+    validate.add_argument("--limit", type=int, default=20)
+    validate.set_defaults(func=_cmd_validate)
+
+    experiments = sub.add_parser(
+        "experiments", help="regenerate the paper's tables and figures"
+    )
+    experiments.add_argument("--full", action="store_true",
+                             help="paper-scale 24 h windows")
+    experiments.add_argument("--hours", type=float, default=3.0,
+                             help="window for the quick run (ignored with --full)")
+    experiments.add_argument("--every", type=int, default=None,
+                             help="override the graph-metric snapshot stride")
+    experiments.add_argument("--out", help="write the report to this file")
+    experiments.set_defaults(func=_cmd_experiments)
+
+    return parser
+
+
+def main(argv: list[str] | None = None) -> int:
+    """Entry point for ``slmob`` and ``python -m repro``."""
+    parser = build_parser()
+    args = parser.parse_args(argv)
+    return args.func(args)
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

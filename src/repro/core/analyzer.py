@@ -1,0 +1,154 @@
+"""The analysis facade: one object, every metric of the paper.
+
+``TraceAnalyzer`` caches the expensive extractions (contacts per
+range, sessions) so that computing all six panels of Fig. 1 plus
+Fig. 2 touches each snapshot once per range.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.core import contacts as contacts_mod
+from repro.core import losgraph, spatial
+from repro.core.contacts import ContactInterval
+from repro.stats import ECDF
+from repro.trace import Trace, UserSession, extract_sessions
+
+
+@dataclass(frozen=True)
+class TraceSummary:
+    """The paper's §3 trace-summary row."""
+
+    land_name: str
+    duration: float
+    snapshot_count: int
+    unique_users: int
+    mean_concurrency: float
+    max_concurrency: int
+
+    def row(self) -> dict[str, object]:
+        """Flat dict for table rendering."""
+        return {
+            "land": self.land_name,
+            "duration_h": round(self.duration / 3600.0, 2),
+            "snapshots": self.snapshot_count,
+            "unique_users": self.unique_users,
+            "mean_concurrent": round(self.mean_concurrency, 1),
+            "max_concurrent": self.max_concurrency,
+        }
+
+
+class TraceAnalyzer:
+    """Compute and cache every §3 metric of one trace."""
+
+    def __init__(self, trace: Trace) -> None:
+        if trace.is_empty:
+            raise ValueError("cannot analyze an empty trace")
+        self.trace = trace
+        self._contacts: dict[float, list[ContactInterval]] = {}
+        self._sessions: list[UserSession] | None = None
+
+    # -- cached extractions ------------------------------------------------
+
+    def contacts(self, r: float) -> list[ContactInterval]:
+        """Contact intervals under range ``r`` (cached per range)."""
+        if r not in self._contacts:
+            self._contacts[r] = contacts_mod.extract_contacts(self.trace, r)
+        return self._contacts[r]
+
+    def sessions(self) -> list[UserSession]:
+        """Reconstructed user visits (cached)."""
+        if self._sessions is None:
+            self._sessions = extract_sessions(self.trace)
+        return self._sessions
+
+    # -- summary -----------------------------------------------------------
+
+    def summary(self) -> TraceSummary:
+        """Unique users, concurrency and span — the paper's trace table."""
+        concurrency = self.trace.concurrency()
+        return TraceSummary(
+            land_name=self.trace.metadata.land_name,
+            duration=self.trace.duration,
+            snapshot_count=len(self.trace),
+            unique_users=len(self.trace.unique_users()),
+            mean_concurrency=self.trace.mean_concurrency(),
+            max_concurrency=max(concurrency) if concurrency else 0,
+        )
+
+    # -- temporal metrics (Fig. 1) -------------------------------------------
+
+    def contact_times(self, r: float) -> ECDF:
+        """CT distribution under range ``r`` — Fig. 1(a)/(d)."""
+        durations = contacts_mod.contact_durations(self.contacts(r))
+        return _ecdf(durations, f"no completed contacts at r={r}")
+
+    def inter_contact_times(self, r: float) -> ECDF:
+        """ICT distribution under range ``r`` — Fig. 1(b)/(e)."""
+        gaps = contacts_mod.inter_contact_times(self.contacts(r))
+        return _ecdf(gaps, f"no repeated contacts at r={r}")
+
+    def first_contact_times(self, r: float) -> ECDF:
+        """FT distribution under range ``r`` — Fig. 1(c)/(f)."""
+        waits = list(
+            contacts_mod.first_contact_times(self.trace, r, self.contacts(r)).values()
+        )
+        return _ecdf(waits, f"no user ever met a neighbour at r={r}")
+
+    # -- line-of-sight graph metrics (Fig. 2) ----------------------------------
+
+    def degrees(self, r: float, every: int = 1) -> ECDF:
+        """Aggregated node-degree distribution — Fig. 2(a)/(d)."""
+        return _ecdf(
+            [float(d) for d in losgraph.degree_samples(self.trace, r, every)],
+            f"no degree samples at r={r}",
+        )
+
+    def isolation_fraction(self, r: float, every: int = 1) -> float:
+        """Share of (user, snapshot) samples with zero neighbours."""
+        return losgraph.isolation_fraction(self.trace, r, every)
+
+    def diameters(self, r: float, every: int = 1) -> ECDF:
+        """Largest-component diameter distribution — Fig. 2(b)/(e)."""
+        return _ecdf(
+            [float(d) for d in losgraph.diameter_series(self.trace, r, every)],
+            f"no diameter samples at r={r}",
+        )
+
+    def clustering(self, r: float, every: int = 1) -> ECDF:
+        """Per-snapshot mean clustering distribution — Fig. 2(c)/(f)."""
+        return _ecdf(
+            losgraph.clustering_series(self.trace, r, every),
+            f"no clustering samples at r={r}",
+        )
+
+    # -- spatial metrics (Figs. 3 & 4) ---------------------------------------------
+
+    def travel_lengths(self) -> ECDF:
+        """Per-session travel length — Fig. 4(a)."""
+        return _ecdf(spatial.travel_lengths(self.trace, self.sessions()),
+                     "no sessions with at least two observations")
+
+    def effective_travel_times(self) -> ECDF:
+        """Per-session effective travel time — Fig. 4(b)."""
+        return _ecdf(spatial.effective_travel_times(self.trace, self.sessions()),
+                     "no sessions with at least two observations")
+
+    def travel_times(self) -> ECDF:
+        """Per-session connection time — Fig. 4(c)."""
+        return _ecdf(spatial.travel_times(self.trace, self.sessions()),
+                     "no sessions with at least two observations")
+
+    def zone_occupation(self, cell_size: float = spatial.ZONE_SIZE, every: int = 1) -> ECDF:
+        """Users-per-cell distribution — Fig. 3."""
+        counts = spatial.zone_occupation(self.trace, cell_size, every)
+        return _ecdf([float(c) for c in counts], "no occupancy samples")
+
+
+def _ecdf(samples: list[float] | np.ndarray, empty_message: str) -> ECDF:
+    if len(samples) == 0:
+        raise ValueError(empty_message)
+    return ECDF(samples)

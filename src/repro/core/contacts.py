@@ -1,0 +1,199 @@
+"""Contact statistics: CT, ICT and FT (§3.1 of the paper).
+
+Definitions, following Chaintreau et al. and the paper:
+
+* **Contact time (CT)** — the interval during which a pair of users
+  stays within communication range ``r``.
+* **Inter-contact time (ICT)** — for a pair with successive contact
+  intervals ``[t^k_s, t^k_e]``, the gap ``t^{k+1}_s - t^k_e``.
+* **First contact time (FT)** — per user: the waiting time from her
+  first appearance until she is first within range of *any* other
+  user.
+
+Sampling convention.  The monitor observes the world only every τ
+seconds, so contacts are defined on the sampled sequence: a pair in
+range at consecutive snapshots belongs to one contact interval.  A
+contact observed from snapshot ``t_i`` through ``t_j`` is assigned
+duration ``t_j - t_i + τ`` — the pair was already in range when first
+seen and remained so until somewhere inside the next period; this also
+gives single-snapshot contacts the natural resolution-limited duration
+τ (the paper's CT axes indeed start at τ = 10 s).  Contacts still open
+when the trace ends are *censored*: they are closed at the final
+snapshot and flagged, and excluded from duration statistics by
+default.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterable, Iterator
+
+import numpy as np
+
+from repro.trace import Trace
+
+#: Bluetooth-class communication range used throughout the paper, meters.
+BLUETOOTH_RANGE = 10.0
+
+#: WiFi-class (802.11a) communication range used throughout the paper, meters.
+WIFI_RANGE = 80.0
+
+
+@dataclass(frozen=True)
+class ContactInterval:
+    """One contact between a pair of users.
+
+    ``start``/``end`` are in trace time; ``end`` includes the +τ
+    closure for completed contacts.  ``censored`` marks contacts cut
+    short by the end of the measurement.
+    """
+
+    user_a: str
+    user_b: str
+    start: float
+    end: float
+    censored: bool = False
+
+    def __post_init__(self) -> None:
+        if self.end < self.start:
+            raise ValueError(f"contact ends ({self.end}) before it starts ({self.start})")
+        if self.user_a == self.user_b:
+            raise ValueError(f"self-contact for user {self.user_a!r}")
+
+    @property
+    def pair(self) -> tuple[str, str]:
+        """The user pair, in canonical (sorted) order."""
+        return (self.user_a, self.user_b) if self.user_a <= self.user_b else (self.user_b, self.user_a)
+
+    @property
+    def duration(self) -> float:
+        """Length of the contact in seconds."""
+        return self.end - self.start
+
+
+def _snapshot_pairs(users: list[str], coords: np.ndarray, r: float) -> set[tuple[str, str]]:
+    """Canonically ordered pairs of users within range ``r``."""
+    n = len(users)
+    if n < 2:
+        return set()
+    plane = coords[:, :2]
+    diff = plane[:, None, :] - plane[None, :, :]
+    dist = np.hypot(diff[..., 0], diff[..., 1])
+    close = np.argwhere((dist < r) & np.triu(np.ones((n, n), dtype=bool), k=1))
+    pairs: set[tuple[str, str]] = set()
+    for i, j in close:
+        a, b = users[int(i)], users[int(j)]
+        pairs.add((a, b) if a <= b else (b, a))
+    return pairs
+
+
+def extract_contacts(trace: Trace, r: float) -> list[ContactInterval]:
+    """All contact intervals of a trace under communication range ``r``.
+
+    Runs in one pass over the snapshots, tracking open contacts in a
+    dictionary; strict closure (a pair out of range at any snapshot
+    ends the contact — missing one sample means missing the pair).
+    """
+    if r <= 0:
+        raise ValueError(f"communication range must be positive, got {r}")
+    tau = trace.metadata.tau
+    open_contacts: dict[tuple[str, str], float] = {}
+    last_seen: dict[tuple[str, str], float] = {}
+    contacts: list[ContactInterval] = []
+
+    for snapshot in trace:
+        users, coords = snapshot.as_arrays()
+        current = _snapshot_pairs(users, coords, r)
+        now = snapshot.time
+        # Close contacts that did not survive into this snapshot.
+        for pair in list(open_contacts):
+            if pair not in current:
+                start = open_contacts.pop(pair)
+                contacts.append(
+                    ContactInterval(pair[0], pair[1], start, last_seen[pair] + tau)
+                )
+                del last_seen[pair]
+        # Open new contacts / refresh ongoing ones.
+        for pair in current:
+            if pair not in open_contacts:
+                open_contacts[pair] = now
+            last_seen[pair] = now
+
+    # Whatever is still open is censored by the end of the measurement.
+    for pair, start in open_contacts.items():
+        contacts.append(
+            ContactInterval(pair[0], pair[1], start, last_seen[pair], censored=True)
+        )
+    contacts.sort(key=lambda c: (c.start, c.pair))
+    return contacts
+
+
+def contact_durations(
+    contacts: Iterable[ContactInterval],
+    include_censored: bool = False,
+) -> list[float]:
+    """CT samples (seconds) from extracted contacts."""
+    return [
+        c.duration
+        for c in contacts
+        if include_censored or not c.censored
+    ]
+
+
+def inter_contact_times(contacts: Iterable[ContactInterval]) -> list[float]:
+    """ICT samples: gaps between successive contacts of each pair.
+
+    The gap runs from the *end* of contact ``k`` to the *start* of
+    contact ``k+1`` of the same pair, per the paper's definition
+    ``ICT^k = t^{k+1}_s - t^k_e``.  Censored end times still delimit a
+    real gap start, so censored contacts participate.
+    """
+    by_pair: dict[tuple[str, str], list[ContactInterval]] = {}
+    for contact in contacts:
+        by_pair.setdefault(contact.pair, []).append(contact)
+    gaps: list[float] = []
+    for intervals in by_pair.values():
+        intervals.sort(key=lambda c: c.start)
+        for previous, current in zip(intervals, intervals[1:]):
+            gap = current.start - previous.end
+            if gap > 0:
+                gaps.append(gap)
+    return gaps
+
+
+def first_contact_times(
+    trace: Trace,
+    r: float,
+    contacts: Iterable[ContactInterval] | None = None,
+) -> dict[str, float]:
+    """FT per user: wait from first appearance to first neighbour.
+
+    Users who never contact anyone within the trace are absent from
+    the result (their FT is right-censored); callers needing the count
+    can compare against ``trace.unique_users()``.
+    """
+    if contacts is None:
+        contacts = extract_contacts(trace, r)
+    first_contact: dict[str, float] = {}
+    for contact in contacts:
+        for user in contact.pair:
+            if user not in first_contact or contact.start < first_contact[user]:
+                first_contact[user] = contact.start
+    first_appearance: dict[str, float] = {}
+    for snapshot in trace:
+        for user in snapshot.users:
+            if user not in first_appearance:
+                first_appearance[user] = snapshot.time
+    return {
+        user: first_contact[user] - first_appearance[user]
+        for user in first_contact
+    }
+
+
+def iter_contact_pairs(contacts: Iterable[ContactInterval]) -> Iterator[tuple[str, str]]:
+    """Distinct user pairs that ever met, in first-contact order."""
+    seen: set[tuple[str, str]] = set()
+    for contact in contacts:
+        if contact.pair not in seen:
+            seen.add(contact.pair)
+            yield contact.pair

@@ -1,0 +1,83 @@
+"""Plain-text rendering of analysis results.
+
+The experiment harness regenerates the paper's figures as *tables of
+series* (no plotting dependency is available offline); these helpers
+format them consistently for the CLI, the benchmarks, and
+EXPERIMENTS.md.
+"""
+
+from __future__ import annotations
+
+from typing import Mapping, Sequence
+
+import numpy as np
+
+from repro.stats import ECDF
+
+
+def render_summary_table(rows: Sequence[Mapping[str, object]]) -> str:
+    """Fixed-width table from uniform dict rows."""
+    if not rows:
+        raise ValueError("no rows to render")
+    columns = list(rows[0].keys())
+    for row in rows:
+        if list(row.keys()) != columns:
+            raise ValueError("rows have inconsistent columns")
+    widths = {
+        column: max(len(str(column)), *(len(_fmt(row[column])) for row in rows))
+        for column in columns
+    }
+    header = "  ".join(str(c).ljust(widths[c]) for c in columns)
+    rule = "  ".join("-" * widths[c] for c in columns)
+    body = [
+        "  ".join(_fmt(row[c]).ljust(widths[c]) for c in columns)
+        for row in rows
+    ]
+    return "\n".join([header, rule, *body])
+
+
+def render_ccdf_table(
+    series: Mapping[str, ECDF],
+    points: Sequence[float],
+    label: str = "x",
+    complementary: bool = True,
+) -> str:
+    """Evaluate several distributions on a common grid and tabulate.
+
+    One column per named series, one row per grid point; values are
+    CCDF (default) or CDF heights.  This is the text twin of one
+    figure panel: same curves, same axes, numbers instead of ink.
+    """
+    if not series:
+        raise ValueError("no series to render")
+    if not points:
+        raise ValueError("no evaluation points")
+    names = list(series)
+    rows = []
+    for x in points:
+        row: dict[str, object] = {label: _fmt_number(x)}
+        for name in names:
+            ecdf = series[name]
+            value = ecdf.ccdf(x) if complementary else ecdf.cdf(x)
+            row[name] = f"{float(value):.3f}"
+        rows.append(row)
+    return render_summary_table(rows)
+
+
+def log_grid(low: float, high: float, count: int = 9) -> list[float]:
+    """A log-spaced evaluation grid, matching the paper's log axes."""
+    if low <= 0 or high <= low:
+        raise ValueError(f"need 0 < low < high, got [{low}, {high}]")
+    return [float(v) for v in np.logspace(np.log10(low), np.log10(high), count)]
+
+
+def _fmt(value: object) -> str:
+    if isinstance(value, float):
+        return _fmt_number(value)
+    return str(value)
+
+
+def _fmt_number(value: float) -> str:
+    if value == int(value) and abs(value) < 1e9:
+        return str(int(value))
+    return f"{value:.2f}"

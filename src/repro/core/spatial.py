@@ -1,0 +1,105 @@
+"""Spatial metrics: trips and zone occupation (§3.2, Figs. 3 & 4).
+
+All trip metrics are per *session* (one user visit, login→logout, as
+reconstructed by :func:`repro.trace.extract_sessions`):
+
+* **travel length** — summed displacement between consecutive
+  observed positions;
+* **effective travel time** — time spent moving (pauses excluded);
+* **travel time** — total connection time to the land.
+
+Zone occupation divides the land into L x L cells (L = 20 m in the
+paper) and counts the users in every cell of every snapshot — empty
+cells included, which is why the paper's Fig. 3 CDF starts around 0.8:
+most of a land is empty most of the time.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.geometry.grid import occupancy_counts
+from repro.trace import Trace, UserSession, extract_sessions
+
+#: The paper's zone size, meters.
+ZONE_SIZE = 20.0
+
+#: Sessions shorter than this many observations are skipped by trip
+#: metrics: a user seen once has no displacement and would contribute
+#: a structural zero.
+MIN_OBSERVATIONS = 2
+
+
+def _sessions(trace: Trace, sessions: list[UserSession] | None) -> list[UserSession]:
+    if sessions is None:
+        sessions = extract_sessions(trace)
+    return [s for s in sessions if s.observation_count >= MIN_OBSERVATIONS]
+
+
+def travel_lengths(
+    trace: Trace,
+    sessions: list[UserSession] | None = None,
+) -> list[float]:
+    """Travel-length samples (meters), one per session — Fig. 4(a)."""
+    return [session.travel_length() for session in _sessions(trace, sessions)]
+
+
+def effective_travel_times(
+    trace: Trace,
+    sessions: list[UserSession] | None = None,
+    pause_epsilon: float = 0.5,
+) -> list[float]:
+    """Effective-travel-time samples (seconds) — Fig. 4(b)."""
+    return [
+        session.effective_travel_time(pause_epsilon)
+        for session in _sessions(trace, sessions)
+    ]
+
+
+def travel_times(
+    trace: Trace,
+    sessions: list[UserSession] | None = None,
+) -> list[float]:
+    """Travel (login) time samples (seconds) — Fig. 4(c)."""
+    return [session.travel_time for session in _sessions(trace, sessions)]
+
+
+def zone_occupation(
+    trace: Trace,
+    cell_size: float = ZONE_SIZE,
+    every: int = 1,
+) -> np.ndarray:
+    """Users-per-cell samples over all snapshots — Fig. 3.
+
+    Returns a flat integer array with one entry per (cell, snapshot)
+    pair, empty cells included.  ``every`` subsamples snapshots.
+    """
+    if every < 1:
+        raise ValueError(f"stride must be >= 1, got {every}")
+    meta = trace.metadata
+    all_counts: list[np.ndarray] = []
+    for snapshot in trace.snapshots[::every]:
+        xy = [(pos.x, pos.y) for pos in snapshot.positions.values()]
+        all_counts.append(
+            occupancy_counts(xy, meta.width, meta.height, cell_size)
+        )
+    if not all_counts:
+        return np.empty(0, dtype=np.int64)
+    return np.concatenate(all_counts)
+
+
+def hotspot_cells(
+    trace: Trace,
+    cell_size: float = ZONE_SIZE,
+    threshold: int = 10,
+    every: int = 1,
+) -> float:
+    """Fraction of (cell, snapshot) samples at or above ``threshold`` users.
+
+    Quantifies the "hot-spots with several tens of users" observation
+    about Dance Island.
+    """
+    counts = zone_occupation(trace, cell_size, every)
+    if counts.size == 0:
+        raise ValueError("trace produced no occupancy samples")
+    return float((counts >= threshold).sum() / counts.size)

@@ -1,0 +1,80 @@
+"""DTN messages and workload generation."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.trace import Trace
+
+
+@dataclass(frozen=True)
+class Message:
+    """One unicast message to be carried opportunistically."""
+
+    msg_id: str
+    src: str
+    dst: str
+    created_at: float
+    ttl: float = float("inf")
+
+    def __post_init__(self) -> None:
+        if self.src == self.dst:
+            raise ValueError(f"message {self.msg_id!r} has src == dst")
+        if self.ttl <= 0:
+            raise ValueError(f"message {self.msg_id!r} needs a positive TTL")
+
+    @property
+    def expires_at(self) -> float:
+        """Absolute expiry time."""
+        return self.created_at + self.ttl
+
+    def alive_at(self, t: float) -> bool:
+        """True while the message may still be forwarded."""
+        return self.created_at <= t < self.expires_at
+
+
+def uniform_workload(
+    trace: Trace,
+    count: int,
+    rng: np.random.Generator,
+    ttl: float = float("inf"),
+    min_presence: int = 10,
+) -> list[Message]:
+    """Random unicast messages between users of a trace.
+
+    Sources and destinations are drawn uniformly from users observed
+    in at least ``min_presence`` snapshots (ephemeral visitors make
+    meaningless endpoints); each message is created at a time when its
+    source is online, so the replay never starts from an absent
+    carrier.
+    """
+    if count < 1:
+        raise ValueError(f"need at least one message, got {count}")
+    presence: dict[str, list[float]] = {}
+    for snapshot in trace:
+        for user in snapshot.users:
+            presence.setdefault(user, []).append(snapshot.time)
+    eligible = sorted(u for u, times in presence.items() if len(times) >= min_presence)
+    if len(eligible) < 2:
+        raise ValueError(
+            f"trace has {len(eligible)} users with >= {min_presence} observations; "
+            "need at least 2 for a workload"
+        )
+    messages: list[Message] = []
+    for serial in range(count):
+        src, dst = (str(u) for u in rng.choice(eligible, size=2, replace=False))
+        times = presence[src]
+        created_at = float(times[int(rng.integers(len(times)))])
+        messages.append(
+            Message(
+                msg_id=f"m{serial:04d}",
+                src=src,
+                dst=dst,
+                created_at=created_at,
+                ttl=ttl,
+            )
+        )
+    messages.sort(key=lambda m: m.created_at)
+    return messages

@@ -1,0 +1,117 @@
+"""Forwarding schemes over snapshot adjacency.
+
+A protocol's :meth:`~RoutingProtocol.step` advances one message by one
+snapshot: given the current line-of-sight graph and the set of nodes
+holding a copy, it returns the new holder set and whether the
+destination was reached.  One transfer hop per snapshot models the
+finite transfer opportunity a τ-second contact represents (flooding an
+entire connected component in zero time would overstate what a 10 s
+Bluetooth contact can carry).
+"""
+
+from __future__ import annotations
+
+import abc
+
+import numpy as np
+
+from repro.netgraph import Graph
+
+
+class RoutingProtocol(abc.ABC):
+    """A DTN forwarding discipline."""
+
+    #: Human-readable protocol name (used in result tables).
+    name: str = "abstract"
+
+    @abc.abstractmethod
+    def step(
+        self,
+        graph: Graph,
+        holders: set[str],
+        src: str,
+        dst: str,
+        rng: np.random.Generator,
+    ) -> tuple[set[str], bool]:
+        """One snapshot of forwarding for one message.
+
+        Returns ``(new_holders, delivered)``.  ``holders`` always
+        contains at least the current carriers; implementations must
+        not mutate it in place.
+        """
+
+    @staticmethod
+    def _neighbours_of(graph: Graph, nodes: set[str]) -> set[str]:
+        found: set[str] = set()
+        for node in nodes:
+            if node in graph:
+                found |= graph.neighbours(node)
+        return found
+
+
+class Epidemic(RoutingProtocol):
+    """Flood: every holder copies to every current neighbour.
+
+    Delivery delay is minimal among all schemes (it explores every
+    opportunity) at maximal copy cost — the canonical upper bound the
+    paper's motivating literature evaluates against.
+    """
+
+    name = "epidemic"
+
+    def step(self, graph, holders, src, dst, rng):
+        new_holders = holders | self._neighbours_of(graph, holders)
+        return new_holders, dst in new_holders
+
+
+class DirectDelivery(RoutingProtocol):
+    """Source keeps the single copy until it meets the destination."""
+
+    name = "direct"
+
+    def step(self, graph, holders, src, dst, rng):
+        if src in graph and dst in graph.neighbours(src):
+            return set(holders), True
+        return set(holders), False
+
+
+class TwoHopRelay(RoutingProtocol):
+    """Source hands copies to relays; relays deliver only to ``dst``.
+
+    The classic Grossglauser-Tse two-hop scheme: spatial diversity
+    without epidemic copy explosion.
+    """
+
+    name = "two-hop"
+
+    def step(self, graph, holders, src, dst, rng):
+        new_holders = set(holders)
+        if src in graph:
+            new_holders |= graph.neighbours(src)
+        delivered = any(
+            holder in graph and dst in graph.neighbours(holder)
+            for holder in new_holders
+        )
+        return new_holders, delivered
+
+
+class FirstContact(RoutingProtocol):
+    """Single copy, handed to a uniformly chosen current neighbour.
+
+    The copy performs a random walk over contact opportunities; cheap
+    but slow — the lower bound on copies among mobile schemes.
+    """
+
+    name = "first-contact"
+
+    def step(self, graph, holders, src, dst, rng):
+        (carrier,) = holders if len(holders) == 1 else (sorted(holders)[0],)
+        if carrier not in graph:
+            return {carrier}, False
+        neighbours = sorted(graph.neighbours(carrier))
+        if not neighbours:
+            return {carrier}, False
+        if dst in neighbours:
+            return {carrier}, True
+        next_carrier = neighbours[int(rng.integers(len(neighbours)))]
+        return {next_carrier}, False

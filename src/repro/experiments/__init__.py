@@ -1,0 +1,63 @@
+"""Experiment harness: one runner per paper figure/table.
+
+The harness is the bridge between the library and the paper's
+evaluation section:
+
+* :mod:`repro.experiments.runner` — simulate each target land once
+  per configuration (cached) and hand out analyzers;
+* :mod:`repro.experiments.figures` — rebuild the data series behind
+  Fig. 1 (temporal CCDFs), Fig. 2 (graph CDFs/CCDFs), Fig. 3 (zone
+  occupation) and Fig. 4 (trip CDFs);
+* :mod:`repro.experiments.tables` — the §3 trace-summary table;
+* :mod:`repro.experiments.ablations` — the methodology experiments
+  (sampling period, crawler perturbation, sensor-vs-crawler fidelity,
+  mobility-model comparison, DTN replay);
+* :mod:`repro.experiments.render` — paper-vs-measured text reports.
+
+``python -m repro experiments`` drives everything from the command
+line.
+"""
+
+from repro.experiments.runner import (
+    BENCH_CONFIG,
+    FULL_CONFIG,
+    ExperimentConfig,
+    analyzer_for,
+    clear_cache,
+    trace_for,
+)
+from repro.experiments.figures import (
+    fig1_temporal,
+    fig2_graphs,
+    fig3_zone_occupation,
+    fig4_trips,
+)
+from repro.experiments.tables import table1_summary
+from repro.experiments.ablations import (
+    ablation_crawler_perturbation,
+    ablation_mobility_models,
+    ablation_monitor_fidelity,
+    ablation_tau,
+    dtn_replay_experiment,
+)
+from repro.experiments.render import render_experiment_report
+
+__all__ = [
+    "BENCH_CONFIG",
+    "FULL_CONFIG",
+    "ExperimentConfig",
+    "analyzer_for",
+    "clear_cache",
+    "trace_for",
+    "fig1_temporal",
+    "fig2_graphs",
+    "fig3_zone_occupation",
+    "fig4_trips",
+    "table1_summary",
+    "ablation_crawler_perturbation",
+    "ablation_mobility_models",
+    "ablation_monitor_fidelity",
+    "ablation_tau",
+    "dtn_replay_experiment",
+    "render_experiment_report",
+]

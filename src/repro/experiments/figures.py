@@ -1,0 +1,110 @@
+"""Rebuilders for every figure of the paper's evaluation.
+
+Each function returns the plotted *data series* (one
+:class:`~repro.stats.ECDF` per land per panel).  The paper's panels:
+
+* Fig. 1 — CCDFs of CT, ICT, FT at r_b = 10 m (a-c) and r_w = 80 m
+  (d-f);
+* Fig. 2 — degree CCDF, diameter CDF, clustering CDF at both ranges;
+* Fig. 3 — zone-occupation CDF at L = 20 m;
+* Fig. 4 — travel length, effective travel time and travel (login)
+  time CDFs.
+"""
+
+from __future__ import annotations
+
+from repro.core import BLUETOOTH_RANGE, WIFI_RANGE
+from repro.experiments.runner import ExperimentConfig, all_analyzers
+from repro.stats import ECDF
+
+#: Panel keys of Fig. 1, in the paper's (a)..(f) order.
+FIG1_PANELS = ("ct_rb", "ict_rb", "ft_rb", "ct_rw", "ict_rw", "ft_rw")
+
+#: Panel keys of Fig. 2, in the paper's (a)..(f) order.
+FIG2_PANELS = (
+    "degree_rb",
+    "diameter_rb",
+    "clustering_rb",
+    "degree_rw",
+    "diameter_rw",
+    "clustering_rw",
+)
+
+
+def _collect(result: dict[str, dict[str, ECDF]], panel: str, land: str, build, strict: bool) -> None:
+    try:
+        result[panel][land] = build()
+    except ValueError:
+        # Short/sparse windows can leave a panel without samples
+        # (e.g. no repeated contacts on Apfel in 30 minutes).  Strict
+        # mode propagates; lenient mode omits the series.
+        if strict:
+            raise
+
+
+def fig1_temporal(
+    config: ExperimentConfig,
+    strict: bool = True,
+) -> dict[str, dict[str, ECDF]]:
+    """Fig. 1: contact-opportunity CCDF series for the three lands.
+
+    Returns ``{panel: {land: ECDF}}`` with panels in
+    :data:`FIG1_PANELS` order.  With ``strict=False``, lands whose
+    window yields no samples for a panel are omitted from that panel
+    instead of raising.
+    """
+    analyzers = all_analyzers(config)
+    result: dict[str, dict[str, ECDF]] = {panel: {} for panel in FIG1_PANELS}
+    for land, a in analyzers.items():
+        _collect(result, "ct_rb", land, lambda: a.contact_times(BLUETOOTH_RANGE), strict)
+        _collect(result, "ict_rb", land, lambda: a.inter_contact_times(BLUETOOTH_RANGE), strict)
+        _collect(result, "ft_rb", land, lambda: a.first_contact_times(BLUETOOTH_RANGE), strict)
+        _collect(result, "ct_rw", land, lambda: a.contact_times(WIFI_RANGE), strict)
+        _collect(result, "ict_rw", land, lambda: a.inter_contact_times(WIFI_RANGE), strict)
+        _collect(result, "ft_rw", land, lambda: a.first_contact_times(WIFI_RANGE), strict)
+    return result
+
+
+def fig2_graphs(
+    config: ExperimentConfig,
+    strict: bool = True,
+) -> dict[str, dict[str, ECDF]]:
+    """Fig. 2: line-of-sight graph metric series for the three lands."""
+    analyzers = all_analyzers(config)
+    result: dict[str, dict[str, ECDF]] = {panel: {} for panel in FIG2_PANELS}
+    every = config.every
+    for land, a in analyzers.items():
+        _collect(result, "degree_rb", land, lambda: a.degrees(BLUETOOTH_RANGE, every), strict)
+        _collect(result, "diameter_rb", land, lambda: a.diameters(BLUETOOTH_RANGE, every), strict)
+        _collect(result, "clustering_rb", land, lambda: a.clustering(BLUETOOTH_RANGE, every), strict)
+        _collect(result, "degree_rw", land, lambda: a.degrees(WIFI_RANGE, every), strict)
+        _collect(result, "diameter_rw", land, lambda: a.diameters(WIFI_RANGE, every), strict)
+        _collect(result, "clustering_rw", land, lambda: a.clustering(WIFI_RANGE, every), strict)
+    return result
+
+
+def fig3_zone_occupation(
+    config: ExperimentConfig,
+    cell_size: float = 20.0,
+) -> dict[str, ECDF]:
+    """Fig. 3: users-per-cell CDF (L = 20 m) for the three lands."""
+    analyzers = all_analyzers(config)
+    return {
+        land: analyzer.zone_occupation(cell_size, config.every)
+        for land, analyzer in analyzers.items()
+    }
+
+
+def fig4_trips(config: ExperimentConfig) -> dict[str, dict[str, ECDF]]:
+    """Fig. 4: trip CDF series (length, effective time, login time)."""
+    analyzers = all_analyzers(config)
+    result: dict[str, dict[str, ECDF]] = {
+        "travel_length": {},
+        "effective_travel_time": {},
+        "travel_time": {},
+    }
+    for land, analyzer in analyzers.items():
+        result["travel_length"][land] = analyzer.travel_lengths()
+        result["effective_travel_time"][land] = analyzer.effective_travel_times()
+        result["travel_time"][land] = analyzer.travel_times()
+    return result

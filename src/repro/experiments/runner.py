@@ -1,0 +1,122 @@
+"""Shared simulation runner with trace caching.
+
+Every figure of the paper is computed from the *same* three 24 h
+traces, so the harness simulates each land once per configuration and
+caches both the trace and its analyzer.  Benchmarks use a scaled-down
+configuration (shorter window, sparser graph sampling) to stay fast;
+``FULL_CONFIG`` regenerates the paper-scale numbers recorded in
+EXPERIMENTS.md.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, replace
+
+from repro.core import TraceAnalyzer
+from repro.lands import LandPreset, paper_presets
+from repro.monitors import Crawler
+from repro.trace import Trace
+
+
+@dataclass(frozen=True)
+class ExperimentConfig:
+    """Knobs shared by every experiment run."""
+
+    #: Simulated measurement window, seconds.
+    duration: float = 24.0 * 3600.0
+    #: Crawler snapshot period, seconds (the paper's τ).
+    tau: float = 10.0
+    #: World seed; figures in EXPERIMENTS.md pin this.
+    seed: int = 2008
+    #: Snapshot stride for the per-snapshot graph metrics (1 = all).
+    every: int = 1
+    #: Hour of day the measurement starts (diurnal profile phase).
+    start_hour: int = 0
+    #: Seconds the world runs before the crawler attaches, so the
+    #: population is in steady state when measurement begins (real
+    #: 24 h traces also start on an already-populated land).
+    spinup: float = 3600.0
+
+    def scaled_to_paper(self) -> bool:
+        """True when the window matches the paper's 24 h traces."""
+        return self.duration >= 24.0 * 3600.0 - 1.0
+
+
+#: Paper-scale configuration (24 h from midnight, full-resolution graphs).
+FULL_CONFIG = ExperimentConfig()
+
+#: Benchmark configuration: a 3 h afternoon window, strided graphs.
+BENCH_CONFIG = ExperimentConfig(duration=3.0 * 3600.0, every=18, start_hour=11)
+
+_trace_cache: dict[tuple, Trace] = {}
+_analyzer_cache: dict[tuple, TraceAnalyzer] = {}
+
+
+def clear_cache() -> None:
+    """Drop all cached traces and analyzers (tests use this)."""
+    _trace_cache.clear()
+    _analyzer_cache.clear()
+
+
+def _cache_key(land_name: str, config: ExperimentConfig) -> tuple:
+    return (
+        land_name,
+        config.duration,
+        config.tau,
+        config.seed,
+        config.start_hour,
+        config.spinup,
+    )
+
+
+def simulate_preset(
+    preset: LandPreset,
+    config: ExperimentConfig,
+) -> Trace:
+    """Run one land under the crawler and return its trace.
+
+    The world clock starts at ``start_hour`` (so the diurnal profile
+    is in a realistic phase even for short windows), runs ``spinup``
+    seconds to reach steady-state population, and only then attaches
+    the crawler.  Events stay pinned to absolute world time, like real
+    wall-clock events.
+    """
+    start = config.start_hour * 3600.0
+    world = preset.build(seed=config.seed, start_time=start)
+    if config.spinup > 0:
+        world.run_until(start + config.spinup)
+    crawler = Crawler(tau=config.tau)
+    return crawler.monitor(world, config.duration)
+
+
+def trace_for(land_name: str, config: ExperimentConfig) -> Trace:
+    """The (cached) crawler trace of one target land."""
+    key = _cache_key(land_name, config)
+    if key not in _trace_cache:
+        presets = paper_presets()
+        if land_name not in presets:
+            raise KeyError(
+                f"unknown land {land_name!r}; expected one of {sorted(presets)}"
+            )
+        _trace_cache[key] = simulate_preset(presets[land_name], config)
+    return _trace_cache[key]
+
+
+def analyzer_for(land_name: str, config: ExperimentConfig) -> TraceAnalyzer:
+    """The (cached) analyzer over one land's trace."""
+    key = _cache_key(land_name, config)
+    if key not in _analyzer_cache:
+        _analyzer_cache[key] = TraceAnalyzer(trace_for(land_name, config))
+    return _analyzer_cache[key]
+
+
+def all_analyzers(config: ExperimentConfig) -> dict[str, TraceAnalyzer]:
+    """Analyzers for all three target lands, keyed by land name."""
+    return {name: analyzer_for(name, config) for name in paper_presets()}
+
+
+def quick_config(duration_hours: float, config: ExperimentConfig = FULL_CONFIG) -> ExperimentConfig:
+    """A copy of ``config`` with a shorter measurement window."""
+    if duration_hours <= 0:
+        raise ValueError(f"duration must be positive, got {duration_hours}")
+    return replace(config, duration=duration_hours * 3600.0)

@@ -1,0 +1,32 @@
+"""The §3 trace-summary table (T1): unique users and concurrency."""
+
+from __future__ import annotations
+
+from repro.experiments.runner import ExperimentConfig, all_analyzers
+from repro.lands import PAPER_TARGETS
+
+
+def table1_summary(config: ExperimentConfig) -> list[dict[str, object]]:
+    """Measured-vs-paper rows for the three target lands.
+
+    The paper's counts are for 24 h traces; when the configuration
+    runs a shorter window the expected unique-user count is scaled
+    linearly (concurrency is duration-independent).
+    """
+    rows: list[dict[str, object]] = []
+    scale = min(config.duration / (24.0 * 3600.0), 1.0)
+    for land, analyzer in all_analyzers(config).items():
+        summary = analyzer.summary()
+        target = PAPER_TARGETS[land]
+        rows.append(
+            {
+                "land": land,
+                "unique_users": summary.unique_users,
+                "paper_unique_users": round(target.unique_users * scale),
+                "mean_concurrent": round(summary.mean_concurrency, 1),
+                "paper_mean_concurrent": target.mean_concurrency,
+                "max_concurrent": summary.max_concurrency,
+                "duration_h": round(summary.duration / 3600.0, 2),
+            }
+        )
+    return rows

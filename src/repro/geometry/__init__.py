@@ -1,0 +1,45 @@
+"""Geometric primitives shared by the simulator and the analysis code.
+
+The package deliberately stays small: positions are plain ``(x, y, z)``
+triples (see :class:`~repro.geometry.vectors.Position`), bulk operations
+are vectorized over numpy arrays, and the only stateful structure is the
+uniform :class:`~repro.geometry.grid.SpatialGrid` used for neighbour
+queries and zone-occupation statistics.
+"""
+
+from repro.geometry.vectors import (
+    ORIGIN,
+    Position,
+    chord_length,
+    distance,
+    distance_2d,
+    pairwise_distances,
+    path_length,
+    unit_direction,
+)
+from repro.geometry.grid import (
+    CellIndex,
+    SpatialGrid,
+    cell_of,
+    iter_cells,
+    occupancy_counts,
+)
+from repro.geometry.paths import Path, Segment
+
+__all__ = [
+    "ORIGIN",
+    "Position",
+    "chord_length",
+    "distance",
+    "distance_2d",
+    "pairwise_distances",
+    "path_length",
+    "unit_direction",
+    "CellIndex",
+    "SpatialGrid",
+    "cell_of",
+    "iter_cells",
+    "occupancy_counts",
+    "Path",
+    "Segment",
+]

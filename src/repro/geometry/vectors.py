@@ -1,0 +1,120 @@
+"""Positions and distance kernels.
+
+Second Life expresses avatar location as coordinates ``{x, y, z}``
+relative to the current land, whose default footprint is 256 x 256
+meters.  Mobility in the paper is effectively planar: avatars walk on
+the terrain, so every metric (contacts, travel length, zone occupation)
+is computed from the ``(x, y)`` projection while ``z`` is carried along
+for completeness and for the sit-detection quirk (a sitting avatar
+reports ``{0, 0, 0}``).
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Iterable, NamedTuple, Sequence
+
+import numpy as np
+
+
+class Position(NamedTuple):
+    """A point in land-relative coordinates, in meters."""
+
+    x: float
+    y: float
+    z: float = 0.0
+
+    def to_2d(self) -> tuple[float, float]:
+        """Return the planar projection used by all mobility metrics."""
+        return (self.x, self.y)
+
+    def is_origin(self) -> bool:
+        """True when the position is exactly the land origin.
+
+        Second Life reports ``{0, 0, 0}`` for avatars seated on an
+        object, so an exact origin reading is treated as a *sitting*
+        artefact rather than a real location by the trace validator.
+        """
+        return self.x == 0.0 and self.y == 0.0 and self.z == 0.0
+
+    def translated(self, dx: float, dy: float, dz: float = 0.0) -> "Position":
+        """Return a new position displaced by the given offsets."""
+        return Position(self.x + dx, self.y + dy, self.z + dz)
+
+
+ORIGIN = Position(0.0, 0.0, 0.0)
+
+
+def distance(a: Position | Sequence[float], b: Position | Sequence[float]) -> float:
+    """Euclidean distance between the planar projections of two points.
+
+    Contacts in the paper are defined on a communication range over the
+    land surface, hence the planar metric.
+    """
+    return math.hypot(a[0] - b[0], a[1] - b[1])
+
+
+def distance_2d(ax: float, ay: float, bx: float, by: float) -> float:
+    """Planar distance from raw coordinates (no tuple allocation)."""
+    return math.hypot(ax - bx, ay - by)
+
+
+def unit_direction(a: Position, b: Position) -> tuple[float, float]:
+    """Unit vector of the planar direction from ``a`` to ``b``.
+
+    Returns ``(0.0, 0.0)`` when the points coincide, which lets callers
+    use the result directly in ``pos + speed * direction`` updates.
+    """
+    dx = b[0] - a[0]
+    dy = b[1] - a[1]
+    norm = math.hypot(dx, dy)
+    if norm == 0.0:
+        return (0.0, 0.0)
+    return (dx / norm, dy / norm)
+
+
+def pairwise_distances(xy: np.ndarray) -> np.ndarray:
+    """Full matrix of planar distances between ``n`` points.
+
+    Parameters
+    ----------
+    xy:
+        Array of shape ``(n, 2)`` (extra columns are ignored, so an
+        ``(n, 3)`` position array works as-is).
+
+    Returns
+    -------
+    numpy.ndarray
+        Symmetric ``(n, n)`` matrix with zeros on the diagonal.
+    """
+    pts = np.asarray(xy, dtype=float)
+    if pts.ndim != 2 or pts.shape[1] < 2:
+        raise ValueError(f"expected an (n, >=2) array, got shape {pts.shape}")
+    plane = pts[:, :2]
+    diff = plane[:, None, :] - plane[None, :, :]
+    return np.hypot(diff[..., 0], diff[..., 1])
+
+
+def chord_length(a: Position, b: Position) -> float:
+    """Straight-line (as the crow flies) planar distance.
+
+    The paper's *travel length* sums consecutive displacement chords;
+    this helper names the single-chord case for readability.
+    """
+    return distance(a, b)
+
+
+def path_length(points: Iterable[Position | Sequence[float]]) -> float:
+    """Total planar length of a polyline through ``points``.
+
+    This is the quantity behind the paper's *travel length* metric: the
+    distance covered by a user between login and logout, accumulated
+    over successive observed positions.
+    """
+    total = 0.0
+    previous: Sequence[float] | None = None
+    for point in points:
+        if previous is not None:
+            total += distance(previous, point)
+        previous = point
+    return total

@@ -1,0 +1,40 @@
+"""Calibrated presets of the paper's three target lands.
+
+Each preset encodes a behavioural archetype from §3 of the paper:
+
+* :func:`apfel_land` — "a german-speaking arena for newbies": an
+  out-door, sparse land (1568 unique visitors, 13 concurrent on
+  average) where users scatter between small attractions;
+* :func:`dance_island` — "a virtual discotheque": an in-door land
+  (3347 unique, 34 concurrent) dominated by a dance floor and a bar;
+* :func:`isle_of_view` — "a land in which an event (St. Valentines)
+  was organized" (2656 unique, 65 concurrent), with a scheduled event
+  boosting arrivals toward the venue.
+
+`generic_land` builds un-calibrated worlds for tests and ablations;
+:mod:`repro.lands.calibration` records the paper's published numbers
+for every land so experiments assert against a single source.
+"""
+
+from repro.lands.presets import (
+    LandPreset,
+    apfel_land,
+    dance_island,
+    generic_land,
+    isle_of_view,
+    money_land,
+    paper_presets,
+)
+from repro.lands.calibration import PAPER_TARGETS, PaperTargets
+
+__all__ = [
+    "LandPreset",
+    "apfel_land",
+    "dance_island",
+    "generic_land",
+    "isle_of_view",
+    "money_land",
+    "paper_presets",
+    "PAPER_TARGETS",
+    "PaperTargets",
+]

@@ -1,0 +1,89 @@
+"""The paper's published numbers, in one place.
+
+Every quantitative statement §3/§4 makes about the three target lands
+is recorded here so tests, benchmarks and EXPERIMENTS.md all assert
+against the same source.  Values the paper gives as prose ("less than
+20 seconds", "between 700 and 800") are stored as closed ranges.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+
+@dataclass(frozen=True)
+class PaperTargets:
+    """Published measurements for one target land (24 h trace)."""
+
+    land: str
+    #: §3: total number of unique users over the 24 h trace.
+    unique_users: int
+    #: §3: average number of concurrently logged-in users.
+    mean_concurrency: float
+    #: §4: median contact time at r_b = 10 m, seconds.
+    ct_median_rb: float
+    #: §4: median contact time at r_w = 80 m, seconds.
+    ct_median_rw: float
+    #: §4: median inter-contact time, seconds (range as given in prose).
+    ict_median: tuple[float, float]
+    #: §4: median first-contact time at r_b, seconds ((lo, hi) band).
+    ft_median_rb: tuple[float, float]
+    #: §4: median first-contact time at r_w, seconds ((lo, hi) band).
+    ft_median_rw: tuple[float, float]
+    #: §4 Fig. 2(a): fraction of users with no neighbour at r_b.
+    isolation_rb: float
+    #: §4 Fig. 4(a): 90th percentile of travel length, meters.
+    travel_p90: float
+
+    @property
+    def ict_median_mid(self) -> float:
+        """Midpoint of the published ICT median band."""
+        lo, hi = self.ict_median
+        return (lo + hi) / 2.0
+
+
+#: Keyed by the land names used throughout the paper.
+PAPER_TARGETS: dict[str, PaperTargets] = {
+    "Apfel Land": PaperTargets(
+        land="Apfel Land",
+        unique_users=1568,
+        mean_concurrency=13.0,
+        ct_median_rb=30.0,
+        ct_median_rw=70.0,
+        ict_median=(350.0, 450.0),
+        ft_median_rb=(200.0, 400.0),
+        ft_median_rw=(20.0, 45.0),
+        isolation_rb=0.60,
+        travel_p90=400.0,
+    ),
+    "Dance Island": PaperTargets(
+        land="Dance Island",
+        unique_users=3347,
+        mean_concurrency=34.0,
+        ct_median_rb=100.0,
+        ct_median_rw=300.0,
+        ict_median=(700.0, 800.0),
+        ft_median_rb=(0.0, 20.0),
+        ft_median_rw=(0.0, 5.0),
+        isolation_rb=0.10,
+        travel_p90=230.0,
+    ),
+    "Isle of View": PaperTargets(
+        land="Isle of View",
+        unique_users=2656,
+        mean_concurrency=65.0,
+        ct_median_rb=60.0,
+        ct_median_rw=200.0,
+        ict_median=(350.0, 450.0),
+        ft_median_rb=(0.0, 20.0),
+        ft_median_rw=(0.0, 5.0),
+        isolation_rb=0.02,
+        travel_p90=500.0,
+    ),
+}
+
+#: Global observations that are not land-specific.
+SESSION_CAP_SECONDS = 4.0 * 3600.0  # longest observed login ~4 h
+SESSION_P90_SECONDS = 3600.0  # 90 % of users logged in < 1 h
+LONG_TRIP_FRACTION_IOV = 0.02  # ~2 % of Isle of View users travel > 2000 m
+LONG_TRIP_METERS = 2000.0

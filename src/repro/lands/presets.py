@@ -1,0 +1,378 @@
+"""World builders for the three target lands (plus a generic one).
+
+Calibration logic (documented per preset below) follows Little's law:
+``mean concurrency = arrival rate x mean session length``, with the
+arrival rate chosen so the 24 h unique-visitor count matches §3 of the
+paper and the session law shaped to the paper's login-time
+observations (cap ~4 h, 90 % under an hour).
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.metaverse import (
+    Land,
+    Population,
+    ScheduledEvent,
+    SessionProcess,
+    World,
+)
+from repro.metaverse.sessions import EVENING_PROFILE, MAX_SESSION_SECONDS
+from repro.mobility import (
+    LevyWalk,
+    PoiMobility,
+    PointOfInterest,
+    RandomWaypoint,
+    StaticModel,
+)
+from repro.stats import LogNormal, TruncatedParetoExp
+
+
+@dataclass
+class LandPreset:
+    """A ready-to-build world configuration."""
+
+    land: Land
+    populations: list[Population]
+    events: tuple[ScheduledEvent, ...] = ()
+    attraction_probability: float = 0.004
+
+    def build(self, seed: int = 0, dt: float = 1.0, start_time: float = 0.0) -> World:
+        """Instantiate a fresh world for this preset."""
+        return World(
+            self.land,
+            # Worlds mutate nothing inside populations, but give each
+            # build its own list so presets can be reused.
+            list(self.populations),
+            events=self.events,
+            seed=seed,
+            dt=dt,
+            attraction_probability=self.attraction_probability,
+            start_time=start_time,
+        )
+
+    @property
+    def name(self) -> str:
+        """The land's display name."""
+        return self.land.name
+
+
+def _session_law(mean_seconds: float, sigma: float = 1.0) -> LogNormal:
+    """Lognormal session law with the requested (uncapped) mean.
+
+    The 4 h cap removes so little mass for these parameters that the
+    capped mean stays within a few percent of the target.
+    """
+    mu = math.log(mean_seconds) - 0.5 * sigma * sigma
+    return LogNormal(mu=mu, sigma=sigma, cap=MAX_SESSION_SECONDS)
+
+
+def apfel_land() -> LandPreset:
+    """Apfel Land: out-door, sparse, newbie arena.
+
+    Calibration: 1568 unique / 24 h → 65.3 arrivals/h; 13 mean
+    concurrent → mean session ≈ 13 / 65.3 h ≈ 716 s.  Spatially, small
+    scattered attractions (welcome area, info boards, sandbox corners)
+    plus a large exploration probability keep ~60 % of users with no
+    Bluetooth-range neighbour, and spread-out uniform spawning makes
+    the first contact slow (median FT ≈ 300 s in the paper).
+    """
+    # The attractions all sit in the northern stretch of the land;
+    # users spawn uniformly (newbies materialize anywhere), so a login
+    # in the empty south starts out of range of everyone — that is
+    # what makes Apfel's first contact slow at both radio ranges.
+    pois = [
+        PointOfInterest("welcome-area", 128.0, 200.0, radius=18.0, weight=2.5),
+        PointOfInterest("info-boards", 52.0, 180.0, radius=12.0, weight=1.2),
+        PointOfInterest("sandbox-north", 204.0, 182.0, radius=14.0, weight=1.2),
+        PointOfInterest("freebie-shop", 84.0, 232.0, radius=10.0, weight=1.2),
+        PointOfInterest("gathering-lawn", 172.0, 232.0, radius=12.0, weight=1.0),
+        PointOfInterest("duck-pond", 30.0, 120.0, radius=12.0, weight=0.8),
+        PointOfInterest("bus-kiosk", 230.0, 120.0, radius=10.0, weight=0.8),
+    ]
+    land = Land("Apfel Land", pois=pois)
+    # Long heavy-tailed dwells: newbies stop and chat for minutes.
+    dwell = TruncatedParetoExp(alpha=1.5, rate=1.0 / 900.0, low=30.0, high=5400.0)
+    model = PoiMobility(
+        land.width,
+        land.height,
+        pois,
+        stay_probability=0.60,
+        explore_probability=0.15,
+        dwell=dwell,
+        micro_move_scale=0.8,
+        # Lost newcomers shuffle around where they landed instead of
+        # beelining to an attraction — the behaviour behind Apfel's
+        # slow first contacts and short travel lengths.  Short steps:
+        # an idling newbie does not drift across the lawn.
+        local_wander_probability=0.55,
+        local_wander_reach=6.0,
+    )
+    visitors = Population(
+        "visitors",
+        SessionProcess(
+            hourly_rate=46.3,
+            session_law=_session_law(650.0),
+            diurnal_profile=EVENING_PROFILE,
+            user_prefix="apfel",
+            revisit_probability=0.25,
+        ),
+        model,
+    )
+    # Newbie builders head for the sandbox corner and work alone —
+    # Apfel is an arena for newcomers, and lone builders are what
+    # pushes its isolated-user fraction to the paper's ~60 %.
+    builders = Population(
+        "builders",
+        SessionProcess(
+            hourly_rate=19.0,
+            session_law=_session_law(650.0),
+            diurnal_profile=EVENING_PROFILE,
+            user_prefix="apfel-builder",
+        ),
+        StaticModel(land.width, land.height, region=(170.0, 70.0, 80.0)),
+    )
+    return LandPreset(land=land, populations=[visitors, builders])
+
+
+def dance_island() -> LandPreset:
+    """Dance Island: in-door discotheque with hard hot-spots.
+
+    Calibration: 3347 unique / 24 h → 139.5 arrivals/h; 34 mean
+    concurrent → mean session ≈ 877 s (club-hopping visits).  Nearly
+    everyone spawns at the entry portal and packs the dance floor or
+    the bar (stay probability 0.93), which produces the 10 %-isolation
+    degree curve, the longest contact times of the three lands, and
+    the shortest travel lengths (90th percentile ≈ 230 m).
+    """
+    # A tight dance floor (radius = the Bluetooth range) keeps everyone
+    # on it in mutual contact; the temporal signature comes from the
+    # floor <-> bar <-> lounge rotation: a contact ends when one of the
+    # pair walks off the floor (CT ~ residence time), and the pair
+    # re-meets after a bar stop or, much later, after a re-login
+    # (long ICT).  The lounge sits > 80 m from the floor so the
+    # rotation shapes inter-contacts at WiFi range too.
+    pois = [
+        PointOfInterest("entry-portal", 128.0, 72.0, radius=6.0, weight=0.4, spawn_weight=8.0),
+        PointOfInterest("dance-floor", 128.0, 140.0, radius=12.0, weight=8.0, spawn_weight=1.0),
+        PointOfInterest("bar", 182.0, 150.0, radius=7.0, weight=3.0, dwell_scale=2.2),
+        PointOfInterest("chill-lounge", 52.0, 188.0, radius=8.0, weight=2.0, dwell_scale=2.8),
+    ]
+    land = Land("Dance Island", pois=pois)
+    # Dancers hold a spot for a whole set before moving on.
+    dwell = TruncatedParetoExp(alpha=1.4, rate=1.0 / 900.0, low=70.0, high=3600.0)
+    model = PoiMobility(
+        land.width,
+        land.height,
+        pois,
+        stay_probability=0.62,
+        explore_probability=0.01,
+        dwell=dwell,
+        micro_move_scale=1.0,
+    )
+    visitors = Population(
+        "visitors",
+        SessionProcess(
+            hourly_rate=139.5,
+            session_law=_session_law(500.0),
+            diurnal_profile=EVENING_PROFILE,
+            user_prefix="dance",
+            # Club-hoppers: many short visits with frequent returns —
+            # the re-logins are what stretches Dance Island's
+            # inter-contact times past the other lands'.
+            revisit_probability=0.45,
+            revisit_gap=LogNormal(mu=math.log(3000.0), sigma=0.8, cap=6.0 * 3600.0),
+        ),
+        model,
+    )
+    return LandPreset(land=land, populations=[visitors])
+
+
+def isle_of_view() -> LandPreset:
+    """Isle of View: event land (St. Valentine's).
+
+    Calibration: 2656 unique / 24 h with a 4 h event window boosting
+    arrivals 2x → base rate ≈ 2656 / (20 + 2·4) h ≈ 94.9/h; 65 mean
+    concurrent → mean session ≈ 2114 s (event visitors linger).  A
+    small Lévy-walking "wanderer" population (≈2.5 % of arrivals)
+    produces the paper's long-trip tail (~2 % of users above 2000 m).
+    Everyone spawns at the landing point next to the venue, so the
+    first contact is nearly immediate.
+    """
+    venue = PointOfInterest("valentine-stage", 128.0, 150.0, radius=16.0, weight=2.0)
+    pois = [
+        PointOfInterest("landing-point", 128.0, 118.0, radius=8.0, weight=1.0, spawn_weight=9.0),
+        venue,
+        PointOfInterest("gazebo", 80.0, 190.0, radius=9.0, weight=1.5),
+        PointOfInterest("rose-garden", 180.0, 190.0, radius=10.0, weight=1.5),
+        PointOfInterest("heart-fountain", 128.0, 210.0, radius=8.0, weight=1.2),
+        PointOfInterest("photo-deck", 60.0, 110.0, radius=8.0, weight=0.8),
+    ]
+    land = Land("Isle of View", pois=pois)
+    dwell = TruncatedParetoExp(alpha=1.4, rate=1.0 / 650.0, low=20.0, high=5400.0)
+    model = PoiMobility(
+        land.width,
+        land.height,
+        pois,
+        stay_probability=0.80,
+        explore_probability=0.02,
+        dwell=dwell,
+        micro_move_scale=0.6,
+    )
+    # Event-time logins use the same model but with the venue boosted.
+    event = ScheduledEvent(
+        name="St. Valentine's",
+        start=10.0 * 3600.0,
+        end=14.0 * 3600.0,
+        venue=venue,
+        arrival_boost=1.9,
+        weight_boost=6.0,
+    )
+    event_model = PoiMobility(
+        land.width,
+        land.height,
+        [event.boosted_venue() if p is venue else p for p in pois],
+        stay_probability=0.84,
+        explore_probability=0.01,
+        dwell=dwell,
+        micro_move_scale=0.6,
+    )
+    visitors = Population(
+        "visitors",
+        SessionProcess(
+            hourly_rate=95.0,
+            session_law=_session_law(1700.0),
+            diurnal_profile=EVENING_PROFILE,
+            user_prefix="iov",
+            revisit_probability=0.30,
+        ),
+        model,
+        event_model=event_model,
+    )
+    wanderers = Population(
+        "wanderers",
+        SessionProcess(
+            hourly_rate=2.4,
+            session_law=_session_law(2400.0, sigma=0.6),
+            diurnal_profile=EVENING_PROFILE,
+            user_prefix="iov-wanderer",
+        ),
+        LevyWalk(
+            land.width,
+            land.height,
+            min_flight=20.0,
+            max_flight=280.0,
+            min_pause=5.0,
+            max_pause=120.0,
+            speed=3.2,
+        ),
+    )
+    return LandPreset(land=land, populations=[visitors, wanderers], events=(event,))
+
+
+def generic_land(
+    n_pois: int = 4,
+    hourly_rate: float = 100.0,
+    mean_session: float = 1200.0,
+    seed: int = 0,
+    name: str = "Generic Land",
+    mobility: str = "poi",
+) -> LandPreset:
+    """An un-calibrated land for tests and ablations.
+
+    ``mobility`` selects the avatar model: ``"poi"`` (default),
+    ``"rwp"`` (random waypoint) or ``"levy"``.  POIs are placed on a
+    deterministic jittered grid from ``seed``.
+    """
+    if n_pois < 1:
+        raise ValueError(f"need at least one POI, got {n_pois}")
+    rng = np.random.default_rng(seed)
+    side = math.ceil(math.sqrt(n_pois))
+    pitch = 256.0 / (side + 1)
+    pois = []
+    for k in range(n_pois):
+        row, col = divmod(k, side)
+        pois.append(
+            PointOfInterest(
+                name=f"poi-{k}",
+                x=float(np.clip((col + 1) * pitch + rng.normal(0, 8), 10, 246)),
+                y=float(np.clip((row + 1) * pitch + rng.normal(0, 8), 10, 246)),
+                radius=float(rng.uniform(8, 14)),
+                weight=float(rng.uniform(0.5, 3.0)),
+                spawn_weight=float(rng.uniform(0.0, 2.0)),
+            )
+        )
+    land = Land(name, pois=pois)
+    if mobility == "poi":
+        model = PoiMobility(land.width, land.height, pois)
+    elif mobility == "rwp":
+        model = RandomWaypoint(land.width, land.height)
+    elif mobility == "levy":
+        model = LevyWalk(land.width, land.height)
+    else:
+        raise ValueError(f"unknown mobility kind {mobility!r}")
+    visitors = Population(
+        "visitors",
+        SessionProcess(hourly_rate=hourly_rate, session_law=_session_law(mean_session)),
+        model,
+    )
+    return LandPreset(land=land, populations=[visitors])
+
+
+def money_land(
+    hourly_rate: float = 80.0,
+    camper_fraction: float = 0.6,
+    name: str = "Money Land",
+) -> LandPreset:
+    """A camping/money land — the land type the paper *avoided*.
+
+    "Lands with a large population are usually built to distribute
+    virtual money: all a user has to do is to sit and wait for a long
+    enough time to earn money."  Campers sit on arrival, so monitors
+    read the ``{0,0,0}`` sitting artefact for most of the population
+    and trip metrics become meaningless — which is exactly why such
+    lands make poor measurement targets.  The preset exists to
+    demonstrate (and test) that failure mode.
+    """
+    if not 0.0 < camper_fraction < 1.0:
+        raise ValueError(f"camper fraction must be in (0, 1), got {camper_fraction}")
+    money_spot = PointOfInterest("money-tree", 128.0, 128.0, radius=10.0, weight=3.0,
+                                 spawn_weight=2.0)
+    pois = [
+        money_spot,
+        PointOfInterest("shop", 60.0, 190.0, radius=8.0, weight=1.0),
+    ]
+    land = Land(name, pois=pois)
+    campers = Population(
+        "campers",
+        SessionProcess(
+            hourly_rate=hourly_rate * camper_fraction,
+            session_law=_session_law(2400.0, sigma=0.7),
+            user_prefix="camper",
+        ),
+        StaticModel(land.width, land.height, region=(128.0, 128.0, 12.0)),
+        sits_on_arrival=True,
+    )
+    visitors = Population(
+        "visitors",
+        SessionProcess(
+            hourly_rate=hourly_rate * (1.0 - camper_fraction),
+            session_law=_session_law(900.0),
+            user_prefix="visitor",
+        ),
+        PoiMobility(land.width, land.height, pois),
+    )
+    return LandPreset(land=land, populations=[campers, visitors])
+
+
+def paper_presets() -> dict[str, LandPreset]:
+    """The three target lands, keyed by their paper names."""
+    return {
+        "Apfel Land": apfel_land(),
+        "Dance Island": dance_island(),
+        "Isle of View": isle_of_view(),
+    }

@@ -1,0 +1,52 @@
+"""A generative Second Life substrate.
+
+The real study crawled the live SL metaverse; this package replaces it
+with a discrete-time virtual world that exposes the same observable
+surface to the monitors:
+
+* :class:`~repro.metaverse.land.Land` — a 256 x 256 m region with an
+  access policy, points of interest, deployable objects and sit-spots;
+* :class:`~repro.metaverse.avatar.Avatar` — a user with a mobility
+  model, advanced by the world clock;
+* :class:`~repro.metaverse.sessions.SessionProcess` — diurnal Poisson
+  arrivals and heavy-tailed session durations (capped at the ~4 h
+  maximum the paper observed);
+* :class:`~repro.metaverse.events.ScheduledEvent` — time-boxed
+  attractions (the St. Valentine's event on Isle of View);
+* :class:`~repro.metaverse.world.World` — the engine tying it all
+  together at 1-second resolution.
+"""
+
+from repro.metaverse.land import AccessPolicy, Land
+from repro.metaverse.objects import (
+    DeploymentError,
+    MoneySpot,
+    ScriptedObject,
+    SitObject,
+    WorldObject,
+)
+from repro.metaverse.avatar import Avatar, AvatarState
+from repro.metaverse.sessions import PlannedVisit, SessionProcess
+from repro.metaverse.events import ScheduledEvent
+from repro.metaverse.chat import ChatChannel, ChatMessage
+from repro.metaverse.world import Population, World, WorldStats
+
+__all__ = [
+    "AccessPolicy",
+    "Land",
+    "DeploymentError",
+    "MoneySpot",
+    "ScriptedObject",
+    "SitObject",
+    "WorldObject",
+    "Avatar",
+    "AvatarState",
+    "PlannedVisit",
+    "SessionProcess",
+    "ScheduledEvent",
+    "ChatChannel",
+    "ChatMessage",
+    "Population",
+    "World",
+    "WorldStats",
+]

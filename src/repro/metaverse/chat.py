@@ -1,0 +1,90 @@
+"""Local chat: range-limited text broadcast.
+
+Chat matters to the reproduction because of the crawler's cover
+story: a silent, motionless avatar attracts curious users (perturbing
+the measured mobility), so the authors made their crawler "randomly
+move over the target land and broadcast chat messages chosen from a
+small set of pre-defined phrases".  The chat channel carries those
+messages; the world engine uses recent chat as the signal that an
+avatar behaves like a human.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Iterator
+
+from repro.geometry import Position, distance
+
+#: Second Life local-chat audibility radius, meters.
+CHAT_RANGE = 20.0
+
+#: The canned phrases a mimicking crawler cycles through.
+DEFAULT_PHRASES = (
+    "hello everyone :)",
+    "nice place!",
+    "anyone been here long?",
+    "love the music",
+    "brb",
+    "hi! just looking around",
+)
+
+
+@dataclass(frozen=True)
+class ChatMessage:
+    """One utterance on the local channel."""
+
+    time: float
+    speaker: str
+    text: str
+    position: Position
+
+    def audible_from(self, listener: Position, chat_range: float = CHAT_RANGE) -> bool:
+        """True when a listener at ``listener`` hears the message."""
+        return distance(self.position, listener) <= chat_range
+
+
+@dataclass
+class ChatChannel:
+    """The land-wide log of local chat.
+
+    The log is bounded: old messages beyond ``horizon`` seconds are
+    dropped on insertion, because consumers only ever ask about recent
+    activity.
+    """
+
+    horizon: float = 600.0
+    _messages: list[ChatMessage] = field(default_factory=list)
+
+    def post(self, message: ChatMessage) -> None:
+        """Append a message and prune entries older than the horizon."""
+        self._messages.append(message)
+        cutoff = message.time - self.horizon
+        if self._messages and self._messages[0].time < cutoff:
+            self._messages = [m for m in self._messages if m.time >= cutoff]
+
+    def recent(self, now: float, window: float) -> list[ChatMessage]:
+        """Messages posted within the last ``window`` seconds."""
+        cutoff = now - window
+        return [m for m in self._messages if m.time >= cutoff]
+
+    def spoken_recently(self, speaker: str, now: float, window: float = 120.0) -> bool:
+        """Has ``speaker`` said anything within ``window`` seconds?"""
+        return any(
+            m.speaker == speaker for m in self.recent(now, window)
+        )
+
+    def heard_by(
+        self,
+        listener: Position,
+        now: float,
+        window: float = 120.0,
+        chat_range: float = CHAT_RANGE,
+    ) -> Iterator[ChatMessage]:
+        """Messages a listener at ``listener`` would have heard recently."""
+        for message in self.recent(now, window):
+            if message.audible_from(listener, chat_range):
+                yield message
+
+    def __len__(self) -> int:
+        return len(self._messages)

@@ -1,0 +1,119 @@
+"""Lands (islands): the unit of space the paper monitors.
+
+A land is a 256 x 256 m region by default.  Its access policy governs
+what a monitoring architecture may do there — the crux of §2 of the
+paper: objects cannot be deployed on private lands at all, expire
+after a land-dependent lifetime on public lands, and only the crawler
+(which connects as a regular user) is unrestricted.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass, field
+
+from repro.geometry import Position
+from repro.mobility.poi import PointOfInterest
+
+#: Second Life's default region footprint, meters.
+DEFAULT_SIZE = 256.0
+
+#: Maximum concurrent avatars an SL region sustains ("as of today,
+#: roughly 100 concurrent users per land" — §2).
+DEFAULT_MAX_CONCURRENT = 100
+
+
+class AccessPolicy(enum.Enum):
+    """What outsiders may do on a land."""
+
+    PUBLIC = "public"
+    PRIVATE = "private"
+    SANDBOX = "sandbox"
+
+    @property
+    def allows_object_deployment(self) -> bool:
+        """Private lands forbid object creation without authorization."""
+        return self is not AccessPolicy.PRIVATE
+
+    @property
+    def objects_expire(self) -> bool:
+        """On public lands, deployed objects auto-delete after a lifetime."""
+        return self is AccessPolicy.PUBLIC
+
+
+@dataclass
+class Land:
+    """A monitorable SL region.
+
+    Parameters
+    ----------
+    name:
+        Display name ("Dance Island").
+    width, height:
+        Footprint in meters; SL defaults to 256 x 256.
+    policy:
+        Access policy; drives monitor capabilities.
+    object_lifetime:
+        Seconds before a deployed object expires on a
+        :attr:`AccessPolicy.PUBLIC` land ("land dependent" in the
+        paper).  Ignored elsewhere.
+    pois:
+        The land's points of interest (dance floor, bar, spawn arena).
+    max_concurrent:
+        Region population cap; arrivals beyond it are rejected.
+    """
+
+    name: str
+    width: float = DEFAULT_SIZE
+    height: float = DEFAULT_SIZE
+    policy: AccessPolicy = AccessPolicy.PUBLIC
+    object_lifetime: float = 3600.0
+    pois: list[PointOfInterest] = field(default_factory=list)
+    max_concurrent: int = DEFAULT_MAX_CONCURRENT
+
+    def __post_init__(self) -> None:
+        if self.width <= 0 or self.height <= 0:
+            raise ValueError(f"land must have positive size, got {self.width}x{self.height}")
+        if self.object_lifetime <= 0:
+            raise ValueError(f"object lifetime must be positive, got {self.object_lifetime}")
+        if self.max_concurrent < 1:
+            raise ValueError(f"max_concurrent must be >= 1, got {self.max_concurrent}")
+        for poi in self.pois:
+            if not self.contains(poi.center):
+                raise ValueError(f"POI {poi.name!r} lies outside land {self.name!r}")
+
+    def contains(self, position: Position) -> bool:
+        """True when a point lies inside the land footprint."""
+        return 0.0 <= position.x <= self.width and 0.0 <= position.y <= self.height
+
+    def clamp(self, position: Position) -> Position:
+        """Fold a point back onto the land (teleport overshoot guard)."""
+        return Position(
+            min(max(position.x, 0.0), self.width),
+            min(max(position.y, 0.0), self.height),
+            position.z,
+        )
+
+    @property
+    def area(self) -> float:
+        """Footprint area in square meters."""
+        return self.width * self.height
+
+    def poi_named(self, name: str) -> PointOfInterest:
+        """Look up a POI by name; raises ``KeyError`` when missing."""
+        for poi in self.pois:
+            if poi.name == name:
+                return poi
+        raise KeyError(name)
+
+    def with_poi(self, poi: PointOfInterest) -> "Land":
+        """Return a copy of the land with one more POI (events use this)."""
+        return Land(
+            name=self.name,
+            width=self.width,
+            height=self.height,
+            policy=self.policy,
+            object_lifetime=self.object_lifetime,
+            pois=[*self.pois, poi],
+            max_concurrent=self.max_concurrent,
+        )

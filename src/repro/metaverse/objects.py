@@ -1,0 +1,120 @@
+"""In-world objects.
+
+Objects matter to the reproduction for three reasons:
+
+* scripted objects are the substance of the *sensor network*
+  monitoring architecture (§2) and inherit its platform limits;
+* sit-objects trigger the ``{0,0,0}`` position artefact the trace
+  validator must flag;
+* deployment rules (private lands refuse objects; public lands expire
+  them) are exactly why the authors abandoned the sensor approach.
+"""
+
+from __future__ import annotations
+
+import itertools
+from dataclasses import dataclass, field
+
+from repro.geometry import Position
+from repro.metaverse.land import AccessPolicy, Land
+
+
+class DeploymentError(RuntimeError):
+    """Raised when an object cannot be placed on a land."""
+
+
+_object_ids = itertools.count(1)
+
+
+@dataclass
+class WorldObject:
+    """Base class for anything rezzed on a land."""
+
+    position: Position
+    owner: str = "unknown"
+    created_at: float = 0.0
+    object_id: int = field(default_factory=lambda: next(_object_ids))
+
+    def expires_at(self, land: Land) -> float | None:
+        """Absolute expiry time on this land, or ``None`` if permanent."""
+        if land.policy.objects_expire:
+            return self.created_at + land.object_lifetime
+        return None
+
+    def expired(self, land: Land, now: float) -> bool:
+        """True once the land's object-lifetime policy reaped the object."""
+        expiry = self.expires_at(land)
+        return expiry is not None and now >= expiry
+
+
+@dataclass
+class ScriptedObject(WorldObject):
+    """An object running an LSL-like script (the sensor building block).
+
+    The script platform enforces a local memory budget; 16 KB is the
+    figure the paper quotes for sensor storage.
+    """
+
+    memory_limit_bytes: int = 16 * 1024
+
+    def __post_init__(self) -> None:
+        if self.memory_limit_bytes <= 0:
+            raise ValueError(
+                f"memory limit must be positive, got {self.memory_limit_bytes}"
+            )
+
+
+@dataclass
+class SitObject(WorldObject):
+    """A bench/chair/poseball an avatar can sit on.
+
+    A seated avatar's reported position becomes exactly ``{0,0,0}`` —
+    the SL quirk the paper documents in §3.  ``capacity`` limits
+    simultaneous sitters.
+    """
+
+    capacity: int = 1
+
+    def __post_init__(self) -> None:
+        if self.capacity < 1:
+            raise ValueError(f"capacity must be >= 1, got {self.capacity}")
+
+
+@dataclass
+class MoneySpot(WorldObject):
+    """A camping/money object that pays users for staying put.
+
+    The paper warns that high-population lands are often money lands
+    where users "sit and wait... to earn money (for free)"; presets use
+    a money spot plus :class:`~repro.mobility.static.StaticModel`
+    campers to model that population.
+    """
+
+    payout_interval: float = 600.0
+
+    def __post_init__(self) -> None:
+        if self.payout_interval <= 0:
+            raise ValueError(
+                f"payout interval must be positive, got {self.payout_interval}"
+            )
+
+
+def deploy(land: Land, obj: WorldObject, authorized: bool = False) -> WorldObject:
+    """Place an object on a land, enforcing the access policy.
+
+    Raises
+    ------
+    DeploymentError
+        On a private land without ``authorized``, or when the position
+        is off the land.
+    """
+    if land.policy is AccessPolicy.PRIVATE and not authorized:
+        raise DeploymentError(
+            f"land {land.name!r} is private: object deployment requires "
+            "prior authorization from the land owner"
+        )
+    if not land.contains(obj.position):
+        raise DeploymentError(
+            f"object position {obj.position} lies outside land {land.name!r}"
+        )
+    return obj

@@ -1,0 +1,40 @@
+"""Mobility models that drive avatars across a land.
+
+All models share one contract (:class:`~repro.mobility.base.
+MobilityModel`): given the avatar's current position, produce the next
+*leg* — a path to walk, a speed, and a pause to take on arrival.  The
+world engine owns the clock; models own the geometry.
+
+Three families are provided:
+
+* :class:`~repro.mobility.poi.PoiMobility` — attraction to weighted
+  points of interest with heavy-tailed dwell times.  This is the
+  mechanism the paper hypothesizes behind its observations ("users in
+  Second Life revolve around several points of interest traveling in
+  general short distances") and is what the calibrated land presets
+  use.
+* :class:`~repro.mobility.random_waypoint.RandomWaypoint` — the
+  classical synthetic baseline.
+* :class:`~repro.mobility.levy.LevyWalk` — the Lévy-walk model of
+  human mobility (Rhee et al., INFOCOM 2008), cited by the paper as
+  the real-world comparison point.
+
+Plus :class:`~repro.mobility.static.StaticModel` for camper/AFK
+avatars that stand still.
+"""
+
+from repro.mobility.base import Leg, MobilityModel
+from repro.mobility.poi import PointOfInterest, PoiMobility
+from repro.mobility.random_waypoint import RandomWaypoint
+from repro.mobility.levy import LevyWalk
+from repro.mobility.static import StaticModel
+
+__all__ = [
+    "Leg",
+    "MobilityModel",
+    "PointOfInterest",
+    "PoiMobility",
+    "RandomWaypoint",
+    "LevyWalk",
+    "StaticModel",
+]

@@ -1,0 +1,104 @@
+"""The mobility-model contract.
+
+A model is *stateless per avatar*: every decision is a function of the
+avatar's current position and the shared random generator.  This keeps
+one model instance usable by hundreds of avatars and makes decisions
+unit-testable in isolation (feed a position, inspect the leg).
+"""
+
+from __future__ import annotations
+
+import abc
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.geometry import Path, Position
+
+#: Default avatar walking speed range in m/s.  The SL client walks
+#: avatars at roughly 3.2 m/s; users alternate walking and short runs,
+#: which a modest range around that value captures.
+DEFAULT_MIN_SPEED = 1.2
+DEFAULT_MAX_SPEED = 4.0
+
+
+@dataclass(frozen=True)
+class Leg:
+    """One decided movement: walk ``path`` at ``speed``, then pause.
+
+    ``pause`` may be 0 (keep moving immediately).  A leg with a
+    single-waypoint path is a pure pause at the current position.
+    """
+
+    path: Path
+    speed: float
+    pause: float
+
+    def __post_init__(self) -> None:
+        if self.speed < 0:
+            raise ValueError(f"speed must be non-negative, got {self.speed}")
+        if self.speed == 0 and self.path.length > 0:
+            raise ValueError("cannot cover a non-trivial path at zero speed")
+        if self.pause < 0:
+            raise ValueError(f"pause must be non-negative, got {self.pause}")
+
+    @property
+    def travel_seconds(self) -> float:
+        """Time the walking part of the leg takes."""
+        if self.path.length == 0.0:
+            return 0.0
+        return self.path.length / self.speed
+
+    @property
+    def total_seconds(self) -> float:
+        """Walking plus pausing time."""
+        return self.travel_seconds + self.pause
+
+
+class MobilityModel(abc.ABC):
+    """Decides where an avatar goes next.
+
+    Implementations must be deterministic given the ``rng`` stream:
+    all randomness flows through the generator argument, never through
+    module-level state.
+    """
+
+    def __init__(self, width: float, height: float) -> None:
+        if width <= 0 or height <= 0:
+            raise ValueError(f"land must have positive size, got {width}x{height}")
+        self.width = float(width)
+        self.height = float(height)
+
+    @abc.abstractmethod
+    def initial_position(self, rng: np.random.Generator) -> Position:
+        """Where a freshly logged-in avatar materializes."""
+
+    @abc.abstractmethod
+    def next_leg(self, position: Position, rng: np.random.Generator) -> Leg:
+        """The avatar's next movement decision from ``position``."""
+
+    # -- shared helpers -------------------------------------------------
+
+    def clamp(self, x: float, y: float) -> Position:
+        """Fold a point back inside the land bounds."""
+        return Position(
+            min(max(x, 0.0), self.width),
+            min(max(y, 0.0), self.height),
+        )
+
+    def uniform_point(self, rng: np.random.Generator) -> Position:
+        """A uniformly random point on the land."""
+        return Position(
+            float(rng.uniform(0.0, self.width)),
+            float(rng.uniform(0.0, self.height)),
+        )
+
+    def straight_leg(
+        self,
+        origin: Position,
+        target: Position,
+        speed: float,
+        pause: float,
+    ) -> Leg:
+        """Build the common straight-line leg."""
+        return Leg(Path.from_points([origin, target]), speed, pause)

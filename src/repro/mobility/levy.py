@@ -1,0 +1,87 @@
+"""Lévy-walk mobility (Rhee et al., "On the Levy-walk nature of human
+mobility", INFOCOM 2008 — reference [8] of the paper).
+
+Flight lengths and pause times are heavy-tailed (truncated Pareto).
+Flights pick a uniform direction; destinations that would leave the
+land are reflected back inside, which preserves the step-length
+distribution better than clamping to the border.
+"""
+
+from __future__ import annotations
+
+import math
+
+import numpy as np
+
+from repro.geometry import Position
+from repro.mobility.base import Leg, MobilityModel
+from repro.stats import BoundedPareto
+
+
+class LevyWalk(MobilityModel):
+    """Truncated Lévy walk on a rectangular land.
+
+    Parameters
+    ----------
+    flight_alpha:
+        Density exponent of flight lengths (Rhee et al. report values
+        around 1.5-2.0 for human walks).
+    pause_alpha:
+        Density exponent of pause times.
+    min_flight, max_flight:
+        Truncation bounds for flight lengths, meters.
+    min_pause, max_pause:
+        Truncation bounds for pauses, seconds.
+    speed:
+        Constant walking speed, m/s.
+    """
+
+    def __init__(
+        self,
+        width: float,
+        height: float,
+        flight_alpha: float = 1.8,
+        pause_alpha: float = 1.6,
+        min_flight: float = 2.0,
+        max_flight: float = 300.0,
+        min_pause: float = 5.0,
+        max_pause: float = 1800.0,
+        speed: float = 3.0,
+    ) -> None:
+        super().__init__(width, height)
+        if speed <= 0:
+            raise ValueError(f"speed must be positive, got {speed}")
+        self._flights = BoundedPareto(flight_alpha, min_flight, max_flight)
+        self._pauses = BoundedPareto(pause_alpha, min_pause, max_pause)
+        self.speed = float(speed)
+
+    def initial_position(self, rng: np.random.Generator) -> Position:
+        """Uniform over the land."""
+        return self.uniform_point(rng)
+
+    def next_leg(self, position: Position, rng: np.random.Generator) -> Leg:
+        """Heavy-tailed flight in a uniform direction, heavy-tailed pause."""
+        length = float(self._flights.sample(rng))
+        angle = float(rng.uniform(0.0, 2.0 * math.pi))
+        target = self._reflect(
+            position.x + length * math.cos(angle),
+            position.y + length * math.sin(angle),
+        )
+        pause = float(self._pauses.sample(rng))
+        return self.straight_leg(position, target, self.speed, pause)
+
+    def _reflect(self, x: float, y: float) -> Position:
+        """Mirror a point back inside the land (billiard reflection)."""
+        x = self._reflect_axis(x, self.width)
+        y = self._reflect_axis(y, self.height)
+        return Position(x, y)
+
+    @staticmethod
+    def _reflect_axis(value: float, bound: float) -> float:
+        period = 2.0 * bound
+        value = math.fmod(value, period)
+        if value < 0.0:
+            value += period
+        if value > bound:
+            value = period - value
+        return value

@@ -1,0 +1,54 @@
+"""The random-waypoint baseline.
+
+Pick a uniform destination, walk to it at a uniform speed, pause, and
+repeat.  Used as the structureless null model in the mobility-model
+ablation: random waypoint spreads users evenly, so it cannot reproduce
+the hot-spot concentration, the high clustering, or the heavy contact
+tails of the measured traces.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.geometry import Position
+from repro.mobility.base import DEFAULT_MAX_SPEED, DEFAULT_MIN_SPEED, Leg, MobilityModel
+from repro.stats import Uniform
+
+
+class RandomWaypoint(MobilityModel):
+    """Classical random-waypoint mobility on a rectangular land."""
+
+    def __init__(
+        self,
+        width: float,
+        height: float,
+        min_speed: float = DEFAULT_MIN_SPEED,
+        max_speed: float = DEFAULT_MAX_SPEED,
+        min_pause: float = 0.0,
+        max_pause: float = 120.0,
+    ) -> None:
+        super().__init__(width, height)
+        if min_speed <= 0:
+            raise ValueError(
+                f"min_speed must be positive (zero speed stalls the model), got {min_speed}"
+            )
+        self._speed = Uniform(min_speed, max_speed)
+        if max_pause < min_pause:
+            raise ValueError(f"empty pause range [{min_pause}, {max_pause}]")
+        self.min_pause = float(min_pause)
+        self.max_pause = float(max_pause)
+
+    def initial_position(self, rng: np.random.Generator) -> Position:
+        """Uniform over the land."""
+        return self.uniform_point(rng)
+
+    def next_leg(self, position: Position, rng: np.random.Generator) -> Leg:
+        """Uniform destination, uniform speed, uniform pause."""
+        target = self.uniform_point(rng)
+        speed = float(self._speed.sample(rng))
+        if self.max_pause == self.min_pause:
+            pause = self.min_pause
+        else:
+            pause = float(rng.uniform(self.min_pause, self.max_pause))
+        return self.straight_leg(position, target, speed, pause)

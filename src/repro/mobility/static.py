@@ -1,0 +1,68 @@
+"""Static (camper) mobility.
+
+The paper notes that "lands with a large population are usually built
+to distribute virtual money: all a user has to do is to sit and wait".
+Camper avatars are the embodiment: they log in at a fixed spot and
+never move.  Presets mix a small camper fraction into busy lands to
+model AFK users, and the zone-occupation analysis must cope with them.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.geometry import Path, Position
+from repro.mobility.base import Leg, MobilityModel
+
+
+class StaticModel(MobilityModel):
+    """Avatars that appear somewhere and stand still forever.
+
+    ``anchor`` pins all avatars to one point (a money tree, a camping
+    chair); ``region`` — a ``(cx, cy, radius)`` disc — scatters each
+    avatar's own spot inside an area (a sandbox where builders work
+    alone); with neither, every avatar picks a uniform spot at login.
+    """
+
+    def __init__(
+        self,
+        width: float,
+        height: float,
+        anchor: Position | None = None,
+        region: tuple[float, float, float] | None = None,
+        idle_seconds: float = 600.0,
+    ) -> None:
+        super().__init__(width, height)
+        if idle_seconds <= 0:
+            raise ValueError(f"idle_seconds must be positive, got {idle_seconds}")
+        if anchor is not None and region is not None:
+            raise ValueError("give either an anchor or a region, not both")
+        if anchor is not None and not (
+            0.0 <= anchor.x <= width and 0.0 <= anchor.y <= height
+        ):
+            raise ValueError("anchor lies outside the land")
+        if region is not None:
+            cx, cy, radius = region
+            if radius <= 0:
+                raise ValueError(f"region radius must be positive, got {radius}")
+            if not (0.0 <= cx <= width and 0.0 <= cy <= height):
+                raise ValueError("region centre lies outside the land")
+        self.anchor = anchor
+        self.region = region
+        self.idle_seconds = float(idle_seconds)
+
+    def initial_position(self, rng: np.random.Generator) -> Position:
+        """The anchor, a point in the region, or a uniform point."""
+        if self.anchor is not None:
+            return self.anchor
+        if self.region is not None:
+            cx, cy, radius = self.region
+            angle = float(rng.uniform(0.0, 2.0 * np.pi))
+            # sqrt for an area-uniform draw inside the disc.
+            rho = radius * float(np.sqrt(rng.random()))
+            return self.clamp(cx + rho * np.cos(angle), cy + rho * np.sin(angle))
+        return self.uniform_point(rng)
+
+    def next_leg(self, position: Position, rng: np.random.Generator) -> Leg:
+        """A pure pause: zero-length path, long idle."""
+        return Leg(Path.from_points([position]), speed=0.0, pause=self.idle_seconds)

@@ -1,0 +1,35 @@
+"""The two monitoring architectures of §2 of the paper.
+
+* :class:`~repro.monitors.crawler.Crawler` — the architecture the
+  paper adopts: a headless client that logs in as a regular user and
+  extracts the position of *every* avatar on the land at a fixed
+  period τ.  Supports the paper's mimicry counter-measure (random
+  movement + canned chat) against the avatar-attraction perturbation.
+* :class:`~repro.monitors.sensors.SensorNetwork` — the architecture
+  the paper rejects: scripted in-world objects with a 96 m sensing
+  range, a 16-avatar detection cap, 16 KB of local cache and
+  rate-limited HTTP flushes, expiring on public lands.
+
+Both produce a :class:`~repro.trace.Trace` through a
+:class:`~repro.monitors.database.TraceDatabase`, and both can run
+simultaneously on one world via :func:`~repro.monitors.base.run_monitors`
+so their fidelity can be compared against ground truth
+(:class:`~repro.monitors.base.GroundTruthMonitor`).
+"""
+
+from repro.monitors.base import GroundTruthMonitor, Monitor, run_monitors
+from repro.monitors.database import TraceDatabase
+from repro.monitors.webserver import WebServer
+from repro.monitors.crawler import Crawler
+from repro.monitors.sensors import SensorNetwork, VirtualSensor
+
+__all__ = [
+    "GroundTruthMonitor",
+    "Monitor",
+    "run_monitors",
+    "TraceDatabase",
+    "WebServer",
+    "Crawler",
+    "SensorNetwork",
+    "VirtualSensor",
+]

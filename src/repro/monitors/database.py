@@ -1,0 +1,95 @@
+"""The measurement database.
+
+The paper stores crawler output "in a database that can be queried
+through an interactive web application".  This class is that database:
+monitors write observations in, analysts pull a
+:class:`~repro.trace.Trace` (or targeted queries) out.
+
+Observations are deduplicated on ``(time, user)`` because overlapping
+sensors legitimately report the same avatar twice; the first write
+wins, matching an INSERT-IGNORE key constraint.
+"""
+
+from __future__ import annotations
+
+from repro.geometry import Position
+from repro.trace import PositionRecord, Snapshot, Trace, TraceMetadata
+
+
+class TraceDatabase:
+    """Accumulates observations and materializes traces."""
+
+    def __init__(self, metadata: TraceMetadata | None = None) -> None:
+        self.metadata = metadata or TraceMetadata()
+        self._by_time: dict[float, dict[str, Position]] = {}
+        self._duplicate_writes = 0
+
+    # -- writes -----------------------------------------------------------
+
+    def add_record(self, record: PositionRecord) -> bool:
+        """Insert one observation; returns False for a duplicate key."""
+        bucket = self._by_time.setdefault(record.time, {})
+        if record.user in bucket:
+            self._duplicate_writes += 1
+            return False
+        bucket[record.user] = record.position
+        return True
+
+    def add_snapshot(self, snapshot: Snapshot) -> int:
+        """Insert a whole snapshot; returns the number of new rows.
+
+        An empty snapshot still creates its timestamp: "the monitor
+        looked and the land was empty" is data — dropping it would
+        overstate mean concurrency on sparse lands.
+        """
+        self._by_time.setdefault(snapshot.time, {})
+        inserted = 0
+        for record in snapshot.records():
+            if self.add_record(record):
+                inserted += 1
+        return inserted
+
+    # -- reads --------------------------------------------------------------
+
+    @property
+    def record_count(self) -> int:
+        """Total stored observations."""
+        return sum(len(bucket) for bucket in self._by_time.values())
+
+    @property
+    def duplicate_writes(self) -> int:
+        """How many writes hit the ``(time, user)`` key constraint."""
+        return self._duplicate_writes
+
+    @property
+    def snapshot_count(self) -> int:
+        """Number of distinct observation timestamps."""
+        return len(self._by_time)
+
+    def users(self) -> set[str]:
+        """Every user id with at least one observation."""
+        seen: set[str] = set()
+        for bucket in self._by_time.values():
+            seen.update(bucket)
+        return seen
+
+    def observations_of(self, user: str) -> list[PositionRecord]:
+        """Time-ordered observations of one user."""
+        rows = [
+            PositionRecord(t, user, pos.x, pos.y, pos.z)
+            for t, bucket in self._by_time.items()
+            if user in bucket
+            for pos in [bucket[user]]
+        ]
+        rows.sort(key=lambda r: r.time)
+        return rows
+
+    def between(self, start: float, end: float) -> list[Snapshot]:
+        """Snapshots with ``start <= time <= end``, time-ordered."""
+        times = sorted(t for t in self._by_time if start <= t <= end)
+        return [Snapshot(t, self._by_time[t]) for t in times]
+
+    def to_trace(self) -> Trace:
+        """Materialize everything as an immutable trace."""
+        snapshots = [Snapshot(t, bucket) for t, bucket in self._by_time.items()]
+        return Trace(snapshots, self.metadata)

@@ -1,0 +1,289 @@
+"""The in-world sensor network — the architecture the paper rejects.
+
+Virtual sensors are scripted objects with the platform limits §2
+documents, all of which are modeled:
+
+==========================  ==========================================
+Limit                        Model
+==========================  ==========================================
+96 m sensing range           ``SENSING_RANGE``
+16 avatars per scan          ``MAX_DETECTIONS`` (nearest first, like
+                             ``llSensor``)
+16 KB local cache            ``CACHE_BYTES`` / ``record_bytes`` rows;
+                             overflowing scans are dropped
+HTTP message restrictions    flushes go through a rate-limited
+                             :class:`~repro.monitors.webserver.WebServer`
+                             with a bounded request body
+object expiry on public      sensors die after ``land.object_lifetime``
+lands                        and are re-rezzed every
+                             ``replication_interval``
+no deployment on private     :func:`repro.metaverse.objects.deploy`
+lands                        raises ``DeploymentError``
+==========================  ==========================================
+
+The resulting trace is *partial* — exactly why the authors abandoned
+this architecture — and the A3 ablation quantifies the loss against
+ground truth.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, field
+
+from repro.geometry import Position, distance
+from repro.metaverse import World
+from repro.metaverse.objects import ScriptedObject, deploy
+from repro.monitors.base import Monitor
+from repro.monitors.database import TraceDatabase
+from repro.monitors.webserver import WebServer
+from repro.trace import PositionRecord, Trace, TraceMetadata
+
+#: LSL sensor range limit, meters.
+SENSING_RANGE = 96.0
+
+#: LSL sensor detection cap per scan.
+MAX_DETECTIONS = 16
+
+#: Script memory available for caching records, bytes.
+CACHE_BYTES = 16 * 1024
+
+#: Approximate serialized size of one observation, bytes
+#: (timestamp + avatar key + three coordinates).
+RECORD_BYTES = 40
+
+
+@dataclass
+class VirtualSensor:
+    """One deployed scripted sensor."""
+
+    sensor_id: str
+    position: Position
+    created_at: float
+    cache: list[PositionRecord] = field(default_factory=list)
+    dropped_records: int = 0
+
+    @property
+    def cache_capacity(self) -> int:
+        """How many records fit in script memory."""
+        return CACHE_BYTES // RECORD_BYTES
+
+    @property
+    def cache_full(self) -> bool:
+        """True when another record would exceed the 16 KB budget."""
+        return len(self.cache) >= self.cache_capacity
+
+    def scan(self, world: World) -> list[PositionRecord]:
+        """One ``llSensor`` sweep: nearest avatars within range, capped.
+
+        Only regular avatars are sensed; monitor-controlled observers
+        (the crawler) are filtered the way the authors filtered their
+        own avatar.
+        """
+        in_range = [
+            (distance(self.position, pos), user, pos)
+            for user, pos in world.snapshot_positions().items()
+            if distance(self.position, pos) <= SENSING_RANGE
+        ]
+        in_range.sort(key=lambda item: (item[0], item[1]))
+        now = world.now
+        return [
+            PositionRecord(now, user, pos.x, pos.y, pos.z)
+            for _d, user, pos in in_range[:MAX_DETECTIONS]
+        ]
+
+    def store(self, records: list[PositionRecord]) -> None:
+        """Append scan results, dropping whatever exceeds the cache."""
+        room = self.cache_capacity - len(self.cache)
+        self.cache.extend(records[:room])
+        if len(records) > room:
+            self.dropped_records += len(records) - room
+
+
+class SensorNetwork(Monitor):
+    """A grid of virtual sensors plus their web-server data path.
+
+    Parameters
+    ----------
+    tau:
+        Scan period of every sensor, seconds.
+    spacing:
+        Grid pitch in meters.  The default (96 m) leaves coverage gaps
+        in the corners — precisely the paper's "covering an entire
+        land is challenging"; lower it to overlap discs.
+    webserver:
+        The flush sink; rate limits apply there.
+    replication_interval:
+        How often expired sensors are re-rezzed, seconds.
+    """
+
+    def __init__(
+        self,
+        tau: float = 10.0,
+        spacing: float = SENSING_RANGE,
+        webserver: WebServer | None = None,
+        replication_interval: float = 600.0,
+        name: str = "sensor-network",
+    ) -> None:
+        if tau <= 0:
+            raise ValueError(f"tau must be positive, got {tau}")
+        if spacing <= 0:
+            raise ValueError(f"spacing must be positive, got {spacing}")
+        if replication_interval <= 0:
+            raise ValueError(
+                f"replication interval must be positive, got {replication_interval}"
+            )
+        self.tau = float(tau)
+        self.spacing = float(spacing)
+        self.webserver = webserver or WebServer()
+        self.replication_interval = float(replication_interval)
+        self.name = name
+        self.sensors: list[VirtualSensor] = []
+        self._db: TraceDatabase | None = None
+        self._next_sample = float("inf")
+        self._next_replication = float("inf")
+        self._land_lifetime = float("inf")
+        self._expired_since: dict[str, float] = {}
+
+    # -- deployment -------------------------------------------------------
+
+    def attach(self, world: World) -> None:
+        """Rez the sensor grid (policy permitting) and start scanning."""
+        land = world.land
+        self._db = TraceDatabase(
+            TraceMetadata(
+                land_name=land.name,
+                width=land.width,
+                height=land.height,
+                tau=self.tau,
+                source="sensor-network",
+            )
+        )
+        self.sensors = []
+        cols = max(1, math.ceil(land.width / self.spacing))
+        rows = max(1, math.ceil(land.height / self.spacing))
+        for row in range(rows):
+            for col in range(cols):
+                position = Position(
+                    min((col + 0.5) * self.spacing, land.width),
+                    min((row + 0.5) * self.spacing, land.height),
+                )
+                # deploy() raises DeploymentError on private lands —
+                # the limitation that motivated the crawler.
+                deploy(
+                    land,
+                    ScriptedObject(position=position, owner=self.name, created_at=world.now),
+                )
+                self.sensors.append(
+                    VirtualSensor(
+                        sensor_id=f"{self.name}-{row:02d}-{col:02d}",
+                        position=position,
+                        created_at=world.now,
+                    )
+                )
+        self._land_lifetime = (
+            land.object_lifetime if land.policy.objects_expire else float("inf")
+        )
+        self._next_sample = world.now + self.tau
+        self._next_replication = world.now + self.replication_interval
+
+    def detach(self, world: World) -> None:
+        """Final flush of every cache, then de-rez."""
+        if self._db is not None:
+            for sensor in self.sensors:
+                self._flush(sensor, world.now, force=True)
+        self._next_sample = float("inf")
+
+    # -- scanning -----------------------------------------------------------
+
+    def next_sample_time(self) -> float:
+        return self._next_sample
+
+    def collect(self, world: World) -> None:
+        """One scan cycle across the grid, plus expiry/replication."""
+        assert self._db is not None, "collect before attach"
+        now = world.now
+        if now >= self._next_replication:
+            self._replicate(now)
+            self._next_replication = now + self.replication_interval
+        for sensor in self.sensors:
+            if self._is_expired(sensor, now):
+                self._expired_since.setdefault(sensor.sensor_id, now)
+                continue
+            sensor.store(sensor.scan(world))
+            if sensor.cache_full:
+                self._flush(sensor, now)
+        self._next_sample += self.tau
+
+    def _is_expired(self, sensor: VirtualSensor, now: float) -> bool:
+        return now - sensor.created_at >= self._land_lifetime
+
+    def _replicate(self, now: float) -> None:
+        """Re-rez expired sensors in place (the paper's workaround)."""
+        for sensor in self.sensors:
+            if self._is_expired(sensor, now):
+                # The object is re-created: fresh lifetime, empty script
+                # memory.  Anything still cached died with the object.
+                sensor.dropped_records += len(sensor.cache)
+                sensor.cache.clear()
+                sensor.created_at = now
+                self._expired_since.pop(sensor.sensor_id, None)
+
+    def _flush(self, sensor: VirtualSensor, now: float, force: bool = False) -> None:
+        """Move cached records to the web server, request by request."""
+        assert self._db is not None
+        per_request = self.webserver.max_records_per_request(RECORD_BYTES)
+        while sensor.cache:
+            batch = sensor.cache[:per_request]
+            if not self.webserver.try_request(now, len(batch)):
+                if force:
+                    # Detaching: the object is deleted, the data is gone.
+                    sensor.dropped_records += len(sensor.cache)
+                    sensor.cache.clear()
+                return
+            for record in batch:
+                self._db.add_record(record)
+            del sensor.cache[:len(batch)]
+
+    # -- results ----------------------------------------------------------------
+
+    def trace(self) -> Trace:
+        """Everything that made it through the data path."""
+        if self._db is None:
+            raise RuntimeError("sensor network never attached; no trace available")
+        return self._db.to_trace()
+
+    @property
+    def total_dropped_records(self) -> int:
+        """Observations lost to cache overflow, expiry, or final-flush throttling."""
+        return sum(sensor.dropped_records for sensor in self.sensors)
+
+    def coverage_fraction(self, land_width: float, land_height: float, grid: int = 64) -> float:
+        """Fraction of the land within range of a live sensor.
+
+        Monte-Carlo-free estimate on a regular lattice; used by the
+        architecture ablation to report geometric coverage.
+        """
+        if not self.sensors:
+            return 0.0
+        covered = 0
+        total = 0
+        for i in range(grid):
+            for j in range(grid):
+                x = (i + 0.5) * land_width / grid
+                y = (j + 0.5) * land_height / grid
+                total += 1
+                point = Position(x, y)
+                if any(
+                    distance(point, sensor.position) <= SENSING_RANGE
+                    for sensor in self.sensors
+                ):
+                    covered += 1
+        return covered / total
+
+    def monitor(self, world: World, duration: float) -> Trace:
+        """Attach, run ``duration`` seconds of world time, detach, return trace."""
+        from repro.monitors.base import run_monitors
+
+        run_monitors(world, [self], duration)
+        return self.trace()

@@ -1,0 +1,85 @@
+"""The external web server sensors flush to.
+
+Per §2 of the paper, two platform limits throttle the sensor
+architecture's data path:
+
+* an LSL HTTP request carries a bounded body, so one flush moves only
+  a slice of a full cache;
+* "the number of HTTP messages that can be exchanged between sensors
+  and the web server is restricted by the SL infrastructure", modeled
+  as a sliding-window request budget.
+
+The web server tracks accepted/rejected requests so experiments can
+quantify exactly how much data the rejected architecture loses.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from dataclasses import dataclass, field
+
+#: LSL ``llHTTPRequest`` body limit, bytes.
+HTTP_BODY_LIMIT = 2048
+
+
+@dataclass
+class WebServerStats:
+    """Counters for the sensor data path."""
+
+    accepted_requests: int = 0
+    rejected_requests: int = 0
+    records_received: int = 0
+
+
+@dataclass
+class WebServer:
+    """Rate-limited HTTP sink for sensor flushes.
+
+    Parameters
+    ----------
+    max_requests_per_minute:
+        Global request budget over a sliding 60 s window (the SL
+        infrastructure limit).
+    body_limit_bytes:
+        Maximum payload per request.
+    """
+
+    max_requests_per_minute: int = 60
+    body_limit_bytes: int = HTTP_BODY_LIMIT
+    stats: WebServerStats = field(default_factory=WebServerStats)
+    _window: deque[float] = field(default_factory=deque, repr=False)
+
+    def __post_init__(self) -> None:
+        if self.max_requests_per_minute < 1:
+            raise ValueError(
+                f"request budget must be >= 1, got {self.max_requests_per_minute}"
+            )
+        if self.body_limit_bytes < 1:
+            raise ValueError(f"body limit must be >= 1, got {self.body_limit_bytes}")
+
+    def max_records_per_request(self, record_bytes: int) -> int:
+        """How many records fit into one request body."""
+        if record_bytes < 1:
+            raise ValueError(f"record size must be >= 1 byte, got {record_bytes}")
+        return max(1, self.body_limit_bytes // record_bytes)
+
+    def try_request(self, now: float, record_count: int) -> bool:
+        """Attempt one HTTP POST carrying ``record_count`` records.
+
+        Returns True (and accounts for the request) when the sliding
+        window has budget left; False when the request is throttled.
+        """
+        while self._window and self._window[0] <= now - 60.0:
+            self._window.popleft()
+        if len(self._window) >= self.max_requests_per_minute:
+            self.stats.rejected_requests += 1
+            return False
+        self._window.append(now)
+        self.stats.accepted_requests += 1
+        self.stats.records_received += record_count
+        return True
+
+    @property
+    def requests_in_window(self) -> int:
+        """Requests currently inside the sliding window."""
+        return len(self._window)

@@ -1,0 +1,57 @@
+"""A small, dependency-free undirected graph library.
+
+The paper's line-of-sight networks need exactly four graph-theoretic
+operations: node degree, connected components, diameter of the largest
+component, and the Watts-Strogatz clustering coefficient.  They are
+implemented here from first principles and cross-validated against
+``networkx`` in the test suite, so the analysis pipeline carries no
+heavyweight dependency.
+"""
+
+from repro.netgraph.graph import Graph
+from repro.netgraph.algorithms import (
+    bfs_distances,
+    connected_components,
+    diameter,
+    eccentricity,
+    largest_component,
+    shortest_path_length,
+)
+from repro.netgraph.metrics import (
+    average_clustering,
+    clustering_coefficients,
+    degree_sequence,
+    density,
+    local_clustering,
+    triangle_count,
+)
+from repro.netgraph.generators import (
+    complete_graph,
+    cycle_graph,
+    erdos_renyi,
+    geometric_graph,
+    path_graph,
+    star_graph,
+)
+
+__all__ = [
+    "Graph",
+    "bfs_distances",
+    "connected_components",
+    "diameter",
+    "eccentricity",
+    "largest_component",
+    "shortest_path_length",
+    "average_clustering",
+    "clustering_coefficients",
+    "degree_sequence",
+    "density",
+    "local_clustering",
+    "triangle_count",
+    "complete_graph",
+    "cycle_graph",
+    "erdos_renyi",
+    "geometric_graph",
+    "path_graph",
+    "star_graph",
+]

@@ -1,0 +1,101 @@
+"""Traversal algorithms: BFS distances, components, diameter.
+
+The paper computes the *network diameter* as the longest shortest path
+of the **largest connected component** of a line-of-sight snapshot —
+the network may be disconnected for small radio ranges, so the plain
+diameter would be infinite.  :func:`largest_component` plus
+:func:`diameter` implement exactly that definition.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from typing import Hashable
+
+from repro.netgraph.graph import Graph
+
+Node = Hashable
+
+
+def bfs_distances(graph: Graph, source: Node) -> dict[Node, int]:
+    """Hop distance from ``source`` to every reachable node.
+
+    The source maps to 0.  Unreachable nodes are absent from the
+    result, which doubles as a reachability test.
+    """
+    if source not in graph:
+        raise KeyError(source)
+    distances: dict[Node, int] = {source: 0}
+    frontier: deque[Node] = deque([source])
+    while frontier:
+        node = frontier.popleft()
+        next_hop = distances[node] + 1
+        for neighbour in graph.neighbours(node):
+            if neighbour not in distances:
+                distances[neighbour] = next_hop
+                frontier.append(neighbour)
+    return distances
+
+
+def shortest_path_length(graph: Graph, source: Node, target: Node) -> int:
+    """Hop count of the shortest path; raises ``ValueError`` if disconnected."""
+    distances = bfs_distances(graph, source)
+    if target not in distances:
+        raise ValueError(f"no path between {source!r} and {target!r}")
+    return distances[target]
+
+
+def connected_components(graph: Graph) -> list[set[Node]]:
+    """All connected components, largest first.
+
+    Ties between equal-sized components keep discovery order so the
+    result is deterministic for a given insertion order.
+    """
+    seen: set[Node] = set()
+    components: list[set[Node]] = []
+    for start in graph.nodes():
+        if start in seen:
+            continue
+        component = set(bfs_distances(graph, start))
+        seen |= component
+        components.append(component)
+    components.sort(key=len, reverse=True)
+    return components
+
+
+def largest_component(graph: Graph) -> Graph:
+    """Induced subgraph on the largest connected component.
+
+    An empty graph maps to an empty graph.
+    """
+    components = connected_components(graph)
+    if not components:
+        return Graph()
+    return graph.subgraph(components[0])
+
+
+def eccentricity(graph: Graph, node: Node) -> int:
+    """Greatest hop distance from ``node`` within its component."""
+    return max(bfs_distances(graph, node).values())
+
+
+def diameter(graph: Graph, of_largest_component: bool = True) -> int:
+    """Longest shortest path.
+
+    With ``of_largest_component`` (the default, and the paper's
+    definition) the graph is first restricted to its largest connected
+    component; otherwise a disconnected input raises ``ValueError``.
+    A graph with fewer than two nodes has diameter 0.
+    """
+    target = largest_component(graph) if of_largest_component else graph
+    if target.node_count == 0:
+        return 0
+    if not of_largest_component and len(connected_components(target)) > 1:
+        raise ValueError("graph is disconnected; diameter is undefined")
+    best = 0
+    for node in target.nodes():
+        distances = bfs_distances(target, node)
+        farthest = max(distances.values())
+        if farthest > best:
+            best = farthest
+    return best

@@ -1,0 +1,88 @@
+"""Deterministic and random graph generators.
+
+Used by tests (known-answer graphs), by the analysis documentation
+examples, and by the clustering-coefficient sanity check the paper
+makes: line-of-sight networks are *not* random graphs, whose clustering
+is near zero — :func:`erdos_renyi` provides the null model and
+:func:`geometric_graph` the geometric alternative.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.netgraph.graph import Graph
+
+
+def path_graph(n: int) -> Graph:
+    """Nodes ``0..n-1`` in a line; diameter ``n - 1``."""
+    graph = Graph(nodes=range(n))
+    for i in range(n - 1):
+        graph.add_edge(i, i + 1)
+    return graph
+
+
+def cycle_graph(n: int) -> Graph:
+    """Nodes ``0..n-1`` in a ring; needs ``n >= 3``."""
+    if n < 3:
+        raise ValueError(f"a cycle needs at least 3 nodes, got {n}")
+    graph = path_graph(n)
+    graph.add_edge(n - 1, 0)
+    return graph
+
+
+def complete_graph(n: int) -> Graph:
+    """Every pair of the ``n`` nodes linked; clustering 1."""
+    graph = Graph(nodes=range(n))
+    for i in range(n):
+        for j in range(i + 1, n):
+            graph.add_edge(i, j)
+    return graph
+
+
+def star_graph(n_leaves: int) -> Graph:
+    """Hub node 0 linked to ``n_leaves`` leaves; clustering 0."""
+    graph = Graph(nodes=range(n_leaves + 1))
+    for leaf in range(1, n_leaves + 1):
+        graph.add_edge(0, leaf)
+    return graph
+
+
+def erdos_renyi(n: int, p: float, rng: np.random.Generator) -> Graph:
+    """G(n, p) random graph — the paper's low-clustering null model."""
+    if not 0.0 <= p <= 1.0:
+        raise ValueError(f"edge probability must be in [0, 1], got {p}")
+    graph = Graph(nodes=range(n))
+    for i in range(n):
+        draws = rng.random(n - i - 1)
+        for offset, draw in enumerate(draws):
+            if draw < p:
+                graph.add_edge(i, i + 1 + offset)
+    return graph
+
+
+def geometric_graph(
+    positions: np.ndarray,
+    radius: float,
+) -> Graph:
+    """Random geometric graph: link points closer than ``radius``.
+
+    This is the line-of-sight construction itself, exposed as a
+    generator so graph-level tests can target it without the trace
+    machinery.  ``positions`` is an ``(n, 2)`` array; node keys are the
+    row indices.
+    """
+    pts = np.asarray(positions, dtype=float)
+    if pts.ndim != 2 or pts.shape[1] < 2:
+        raise ValueError(f"expected an (n, >=2) array, got shape {pts.shape}")
+    n = pts.shape[0]
+    graph = Graph(nodes=range(n))
+    if n < 2:
+        return graph
+    plane = pts[:, :2]
+    diff = plane[:, None, :] - plane[None, :, :]
+    dist = np.hypot(diff[..., 0], diff[..., 1])
+    links = np.argwhere((dist < radius) & np.triu(np.ones((n, n), dtype=bool), k=1))
+    for i, j in links:
+        graph.add_edge(int(i), int(j))
+    return graph

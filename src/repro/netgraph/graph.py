@@ -1,0 +1,126 @@
+"""Undirected simple graph on hashable node keys."""
+
+from __future__ import annotations
+
+from typing import Hashable, Iterable, Iterator
+
+Node = Hashable
+
+
+class Graph:
+    """Adjacency-set representation of an undirected simple graph.
+
+    Self-loops and parallel edges are rejected/merged respectively:
+    a line-of-sight network never links a user to herself, and a pair
+    of users is either in range or not.
+    """
+
+    def __init__(
+        self,
+        nodes: Iterable[Node] = (),
+        edges: Iterable[tuple[Node, Node]] = (),
+    ) -> None:
+        self._adj: dict[Node, set[Node]] = {}
+        for node in nodes:
+            self.add_node(node)
+        for u, v in edges:
+            self.add_edge(u, v)
+
+    # -- construction -------------------------------------------------
+
+    def add_node(self, node: Node) -> None:
+        """Insert an isolated node (no-op when present)."""
+        self._adj.setdefault(node, set())
+
+    def add_edge(self, u: Node, v: Node) -> None:
+        """Insert an undirected edge, creating endpoints as needed."""
+        if u == v:
+            raise ValueError(f"self-loops are not allowed (node {u!r})")
+        self._adj.setdefault(u, set()).add(v)
+        self._adj.setdefault(v, set()).add(u)
+
+    def remove_node(self, node: Node) -> None:
+        """Delete a node and all incident edges."""
+        neighbours = self._adj.pop(node, None)
+        if neighbours is None:
+            raise KeyError(node)
+        for other in neighbours:
+            self._adj[other].discard(node)
+
+    def remove_edge(self, u: Node, v: Node) -> None:
+        """Delete an edge; raises ``KeyError`` when absent."""
+        if not self.has_edge(u, v):
+            raise KeyError((u, v))
+        self._adj[u].discard(v)
+        self._adj[v].discard(u)
+
+    # -- queries ------------------------------------------------------
+
+    def __contains__(self, node: Node) -> bool:
+        return node in self._adj
+
+    def __len__(self) -> int:
+        return len(self._adj)
+
+    def __iter__(self) -> Iterator[Node]:
+        return iter(self._adj)
+
+    @property
+    def node_count(self) -> int:
+        """Number of nodes."""
+        return len(self._adj)
+
+    @property
+    def edge_count(self) -> int:
+        """Number of undirected edges."""
+        return sum(len(nbrs) for nbrs in self._adj.values()) // 2
+
+    def nodes(self) -> list[Node]:
+        """All nodes, in insertion order."""
+        return list(self._adj)
+
+    def edges(self) -> list[tuple[Node, Node]]:
+        """Each undirected edge exactly once."""
+        seen: set[Node] = set()
+        result: list[tuple[Node, Node]] = []
+        for u, nbrs in self._adj.items():
+            for v in nbrs:
+                if v not in seen:
+                    result.append((u, v))
+            seen.add(u)
+        return result
+
+    def has_edge(self, u: Node, v: Node) -> bool:
+        """True when ``u`` and ``v`` are adjacent."""
+        return u in self._adj and v in self._adj[u]
+
+    def neighbours(self, node: Node) -> set[Node]:
+        """The adjacency set of ``node`` (a copy; mutating it is safe)."""
+        return set(self._adj[node])
+
+    def degree(self, node: Node) -> int:
+        """Number of neighbours of ``node``."""
+        return len(self._adj[node])
+
+    def adjacency(self) -> dict[Node, frozenset[Node]]:
+        """Immutable snapshot of the full adjacency structure."""
+        return {node: frozenset(nbrs) for node, nbrs in self._adj.items()}
+
+    def subgraph(self, keep: Iterable[Node]) -> "Graph":
+        """Induced subgraph on ``keep`` (unknown nodes are ignored)."""
+        kept = {node for node in keep if node in self._adj}
+        sub = Graph(nodes=kept)
+        for node in kept:
+            for other in self._adj[node]:
+                if other in kept:
+                    sub._adj[node].add(other)
+        return sub
+
+    def copy(self) -> "Graph":
+        """Deep copy of the adjacency structure (node keys are shared)."""
+        clone = Graph()
+        clone._adj = {node: set(nbrs) for node, nbrs in self._adj.items()}
+        return clone
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"Graph(n={self.node_count}, m={self.edge_count})"

@@ -1,0 +1,32 @@
+"""The relation graph — the paper's §5 future work, implemented.
+
+"Another interesting area of future research would be to build the
+network of 'relationships' among SL users.  Based on the 'relation
+graph', new questions can be addressed such as the frequency and the
+strength of contact between acquaintances."
+
+This package builds that graph from contact history: nodes are users,
+an edge appears once a pair has met at least ``min_encounters`` times,
+and edges carry both the *frequency* (number of distinct contacts) and
+the *strength* (total time in range) of the acquaintance.
+"""
+
+from repro.social.relations import (
+    Acquaintance,
+    RelationGraph,
+    build_relation_graph,
+)
+from repro.social.metrics import (
+    acquaintance_summary,
+    encounter_regularity,
+    strength_frequency_correlation,
+)
+
+__all__ = [
+    "Acquaintance",
+    "RelationGraph",
+    "build_relation_graph",
+    "acquaintance_summary",
+    "encounter_regularity",
+    "strength_frequency_correlation",
+]

@@ -1,0 +1,164 @@
+"""Building the relation graph from contact history."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterable, Iterator
+
+from repro.core.contacts import ContactInterval
+from repro.netgraph import Graph
+
+
+@dataclass(frozen=True)
+class Acquaintance:
+    """The relationship record of one user pair.
+
+    ``frequency`` counts distinct contact intervals; ``strength`` sums
+    the time the pair spent in range (seconds); ``first_met`` /
+    ``last_met`` bound the relationship's observed lifetime.
+    """
+
+    user_a: str
+    user_b: str
+    frequency: int
+    strength: float
+    first_met: float
+    last_met: float
+
+    def __post_init__(self) -> None:
+        if self.frequency < 1:
+            raise ValueError("an acquaintance needs at least one encounter")
+        if self.strength < 0:
+            raise ValueError("strength cannot be negative")
+        if self.last_met < self.first_met:
+            raise ValueError("last encounter precedes the first")
+
+    @property
+    def pair(self) -> tuple[str, str]:
+        """The user pair in canonical order."""
+        return (
+            (self.user_a, self.user_b)
+            if self.user_a <= self.user_b
+            else (self.user_b, self.user_a)
+        )
+
+    @property
+    def mean_contact_duration(self) -> float:
+        """Average length of one encounter, seconds."""
+        return self.strength / self.frequency
+
+    @property
+    def lifetime(self) -> float:
+        """Span from the first to the last encounter, seconds."""
+        return self.last_met - self.first_met
+
+
+class RelationGraph:
+    """The weighted acquaintance network of a trace.
+
+    Wraps a plain :class:`~repro.netgraph.Graph` (so every graph
+    algorithm applies) plus the per-edge acquaintance records.
+    """
+
+    def __init__(self, acquaintances: Iterable[Acquaintance]) -> None:
+        self._edges: dict[tuple[str, str], Acquaintance] = {}
+        self.graph = Graph()
+        for acquaintance in acquaintances:
+            key = acquaintance.pair
+            if key in self._edges:
+                raise ValueError(f"duplicate acquaintance for pair {key}")
+            self._edges[key] = acquaintance
+            self.graph.add_edge(*key)
+
+    def __len__(self) -> int:
+        return len(self._edges)
+
+    def __iter__(self) -> Iterator[Acquaintance]:
+        return iter(self._edges.values())
+
+    @property
+    def user_count(self) -> int:
+        """Users with at least one acquaintance."""
+        return self.graph.node_count
+
+    def acquaintance(self, user_a: str, user_b: str) -> Acquaintance:
+        """The record of one pair; raises ``KeyError`` when strangers."""
+        key = (user_a, user_b) if user_a <= user_b else (user_b, user_a)
+        return self._edges[key]
+
+    def are_acquainted(self, user_a: str, user_b: str) -> bool:
+        """True when the pair ever met (above the builder threshold)."""
+        key = (user_a, user_b) if user_a <= user_b else (user_b, user_a)
+        return key in self._edges
+
+    def acquaintances_of(self, user: str) -> list[Acquaintance]:
+        """All relationships of one user, strongest first."""
+        if user not in self.graph:
+            return []
+        records = [
+            self.acquaintance(user, other) for other in self.graph.neighbours(user)
+        ]
+        records.sort(key=lambda a: a.strength, reverse=True)
+        return records
+
+    def strengths(self) -> list[float]:
+        """Edge strengths (total contact seconds), unordered."""
+        return [a.strength for a in self._edges.values()]
+
+    def frequencies(self) -> list[int]:
+        """Edge frequencies (contact counts), unordered."""
+        return [a.frequency for a in self._edges.values()]
+
+    def strongest(self, count: int = 10) -> list[Acquaintance]:
+        """The ``count`` strongest relationships."""
+        if count < 1:
+            raise ValueError(f"count must be >= 1, got {count}")
+        ranked = sorted(self._edges.values(), key=lambda a: a.strength, reverse=True)
+        return ranked[:count]
+
+
+def build_relation_graph(
+    contacts: Iterable[ContactInterval],
+    min_encounters: int = 1,
+    include_censored: bool = True,
+) -> RelationGraph:
+    """Aggregate contact intervals into the relation graph.
+
+    Parameters
+    ----------
+    contacts:
+        Output of :func:`repro.core.extract_contacts` (any range).
+    min_encounters:
+        Pairs with fewer distinct contacts are treated as strangers —
+        ``min_encounters=2`` keeps only pairs that *re*-met, the
+        paper's notion of acquaintance rather than passers-by.
+    include_censored:
+        Whether measurement-truncated contacts count toward frequency
+        and strength.
+    """
+    if min_encounters < 1:
+        raise ValueError(f"min_encounters must be >= 1, got {min_encounters}")
+    stats: dict[tuple[str, str], list[float]] = {}
+    bounds: dict[tuple[str, str], tuple[float, float]] = {}
+    counts: dict[tuple[str, str], int] = {}
+    for contact in contacts:
+        if contact.censored and not include_censored:
+            continue
+        key = contact.pair
+        counts[key] = counts.get(key, 0) + 1
+        stats.setdefault(key, []).append(contact.duration)
+        first, last = bounds.get(key, (contact.start, contact.start))
+        bounds[key] = (min(first, contact.start), max(last, contact.start))
+    acquaintances = [
+        Acquaintance(
+            user_a=key[0],
+            user_b=key[1],
+            frequency=counts[key],
+            strength=float(sum(stats[key])),
+            first_met=bounds[key][0],
+            last_met=bounds[key][1],
+        )
+        for key in counts
+        if counts[key] >= min_encounters
+    ]
+    return RelationGraph(acquaintances)

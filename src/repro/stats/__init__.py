@@ -1,0 +1,54 @@
+"""Statistical machinery behind every figure of the paper.
+
+Each figure is a CDF or CCDF of an empirical quantity, sometimes with a
+power-law / exponential-cut-off reading; this package holds the
+empirical distribution functions (:mod:`repro.stats.ecdf`), the
+log-binning used for plotting heavy tails (:mod:`repro.stats.binning`),
+maximum-likelihood fits with model comparison
+(:mod:`repro.stats.fitting`), the random samplers used by the
+generative substrate (:mod:`repro.stats.distributions`), and
+descriptive summaries (:mod:`repro.stats.summary`).
+"""
+
+from repro.stats.ecdf import ECDF, ccdf_points, ecdf_points
+from repro.stats.binning import linear_bins, log_bins, log_binned_histogram
+from repro.stats.fitting import (
+    FitResult,
+    fit_exponential,
+    fit_lognormal,
+    fit_power_law,
+    fit_truncated_power_law,
+    compare_fits,
+    ks_distance,
+)
+from repro.stats.distributions import (
+    BoundedPareto,
+    Exponential,
+    LogNormal,
+    TruncatedParetoExp,
+    Uniform,
+)
+from repro.stats.summary import Summary, summarize
+
+__all__ = [
+    "ECDF",
+    "ccdf_points",
+    "ecdf_points",
+    "linear_bins",
+    "log_bins",
+    "log_binned_histogram",
+    "FitResult",
+    "fit_exponential",
+    "fit_lognormal",
+    "fit_power_law",
+    "fit_truncated_power_law",
+    "compare_fits",
+    "ks_distance",
+    "BoundedPareto",
+    "Exponential",
+    "LogNormal",
+    "TruncatedParetoExp",
+    "Uniform",
+    "Summary",
+    "summarize",
+]

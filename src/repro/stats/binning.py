@@ -1,0 +1,69 @@
+"""Histogram binning helpers.
+
+Heavy-tailed samples (contact and inter-contact times) are plotted on
+log-log axes; log-spaced bins keep a roughly constant number of bins
+per decade, which is how the paper's Fig. 1 panels span 10^1..10^5
+seconds legibly.
+"""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+import numpy as np
+
+
+def linear_bins(low: float, high: float, count: int) -> np.ndarray:
+    """``count`` equal-width bins over ``[low, high]`` (count+1 edges)."""
+    if count < 1:
+        raise ValueError(f"need at least one bin, got {count}")
+    if not high > low:
+        raise ValueError(f"empty range [{low}, {high}]")
+    return np.linspace(low, high, count + 1)
+
+
+def log_bins(low: float, high: float, per_decade: int = 10) -> np.ndarray:
+    """Logarithmically spaced bin edges from ``low`` to ``high``.
+
+    ``per_decade`` controls resolution.  Both bounds must be positive;
+    the last edge always reaches ``high`` even when the final bin is
+    narrower than the nominal ratio.
+    """
+    if low <= 0 or high <= 0:
+        raise ValueError("log bins need positive bounds")
+    if not high > low:
+        raise ValueError(f"empty range [{low}, {high}]")
+    if per_decade < 1:
+        raise ValueError(f"per_decade must be >= 1, got {per_decade}")
+    decades = np.log10(high / low)
+    count = max(1, int(np.ceil(decades * per_decade)))
+    edges = np.logspace(np.log10(low), np.log10(high), count + 1)
+    edges[-1] = high
+    return edges
+
+
+def log_binned_histogram(
+    sample: Sequence[float],
+    per_decade: int = 10,
+) -> tuple[np.ndarray, np.ndarray]:
+    """Density histogram of a positive sample on log-spaced bins.
+
+    Returns ``(centers, density)`` where density is normalized by bin
+    width and total count, so a power law appears as a straight line on
+    log-log axes.  Zero or negative observations are rejected.
+    """
+    values = np.asarray(list(sample), dtype=float)
+    if values.size == 0:
+        raise ValueError("cannot bin an empty sample")
+    if (values <= 0).any():
+        raise ValueError("log-binned histogram needs strictly positive values")
+    low, high = values.min(), values.max()
+    if low == high:
+        # Degenerate single-value sample: one bin centred on the value.
+        return np.array([low]), np.array([1.0])
+    edges = log_bins(low, high, per_decade)
+    counts, _ = np.histogram(values, bins=edges)
+    widths = np.diff(edges)
+    centers = np.sqrt(edges[:-1] * edges[1:])
+    density = counts / (values.size * widths)
+    return centers, density

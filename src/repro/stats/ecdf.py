@@ -1,0 +1,127 @@
+"""Empirical distribution functions.
+
+Every figure in the paper is either a CDF (``F(x)``) or a complementary
+CDF (``1 - F(x)``) of an empirical sample.  :class:`ECDF` wraps a
+sample once and answers both, plus quantiles, with numpy-vectorized
+evaluation.  The convention is the right-continuous step function
+``F(x) = P[X <= x]`` — the standard empirical CDF — so the CCDF is
+``P[X > x]``.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Sequence
+
+import numpy as np
+
+
+class ECDF:
+    """Empirical CDF of a one-dimensional sample.
+
+    Parameters
+    ----------
+    sample:
+        Any iterable of real values; it is copied and sorted once.
+        NaNs are rejected, infinities are allowed (they participate in
+        ordering as usual).
+    """
+
+    def __init__(self, sample: Iterable[float]) -> None:
+        values = np.asarray(list(sample), dtype=float)
+        if values.size == 0:
+            raise ValueError("cannot build an ECDF from an empty sample")
+        if np.isnan(values).any():
+            raise ValueError("sample contains NaN")
+        self._sorted = np.sort(values)
+
+    # -- basic accessors ----------------------------------------------
+
+    @property
+    def n(self) -> int:
+        """Sample size."""
+        return int(self._sorted.size)
+
+    @property
+    def values(self) -> np.ndarray:
+        """The sorted sample (a copy)."""
+        return self._sorted.copy()
+
+    @property
+    def min(self) -> float:
+        """Smallest observation."""
+        return float(self._sorted[0])
+
+    @property
+    def max(self) -> float:
+        """Largest observation."""
+        return float(self._sorted[-1])
+
+    # -- evaluation ---------------------------------------------------
+
+    def cdf(self, x: float | np.ndarray) -> float | np.ndarray:
+        """``P[X <= x]`` evaluated at scalar or array ``x``."""
+        ranks = np.searchsorted(self._sorted, np.asarray(x, dtype=float), side="right")
+        result = ranks / self.n
+        return float(result) if np.isscalar(x) else result
+
+    def ccdf(self, x: float | np.ndarray) -> float | np.ndarray:
+        """``P[X > x]`` — the complementary CDF plotted in Fig. 1 and 2."""
+        value = self.cdf(x)
+        return 1.0 - value
+
+    def __call__(self, x: float | np.ndarray) -> float | np.ndarray:
+        return self.cdf(x)
+
+    def quantile(self, q: float | np.ndarray) -> float | np.ndarray:
+        """Inverse CDF with the lower-value convention.
+
+        ``quantile(0.5)`` is the median; ``quantile(0.9)`` is the 90th
+        percentile the paper quotes for travel lengths.  Uses the
+        inverse of the right-continuous ECDF (type-1 quantile):
+        the smallest sample value ``v`` with ``F(v) >= q``.
+        """
+        q_arr = np.asarray(q, dtype=float)
+        if np.any((q_arr < 0.0) | (q_arr > 1.0)):
+            raise ValueError("quantile level must lie in [0, 1]")
+        idx = np.ceil(q_arr * self.n).astype(int) - 1
+        idx = np.clip(idx, 0, self.n - 1)
+        result = self._sorted[idx]
+        return float(result) if np.isscalar(q) else result
+
+    @property
+    def median(self) -> float:
+        """The 0.5 quantile (lower-median convention)."""
+        return float(self.quantile(0.5))
+
+    def survival_at(self, x: float) -> float:
+        """Convenience scalar CCDF (reads better in assertions)."""
+        return float(self.ccdf(x))
+
+    # -- plot-ready steps ----------------------------------------------
+
+    def steps(self) -> tuple[np.ndarray, np.ndarray]:
+        """Unique sorted values and CDF heights at them."""
+        xs, counts = np.unique(self._sorted, return_counts=True)
+        heights = np.cumsum(counts) / self.n
+        return xs, heights
+
+    def ccdf_steps(self) -> tuple[np.ndarray, np.ndarray]:
+        """Unique sorted values and CCDF heights *before* each value.
+
+        The returned height at ``x`` is ``P[X >= x]``, the convention
+        used when plotting CCDFs on log-log axes (so the first point
+        sits at height 1).
+        """
+        xs, counts = np.unique(self._sorted, return_counts=True)
+        heights = 1.0 - (np.cumsum(counts) - counts) / self.n
+        return xs, heights
+
+
+def ecdf_points(sample: Sequence[float]) -> tuple[np.ndarray, np.ndarray]:
+    """One-shot ``(x, F(x))`` step coordinates for a sample."""
+    return ECDF(sample).steps()
+
+
+def ccdf_points(sample: Sequence[float]) -> tuple[np.ndarray, np.ndarray]:
+    """One-shot ``(x, P[X >= x])`` step coordinates for a sample."""
+    return ECDF(sample).ccdf_steps()

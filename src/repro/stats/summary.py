@@ -1,0 +1,62 @@
+"""Descriptive summaries used in reports and experiment tables."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterable
+
+import numpy as np
+
+
+@dataclass(frozen=True)
+class Summary:
+    """Five-number-plus summary of a sample."""
+
+    n: int
+    mean: float
+    std: float
+    minimum: float
+    p10: float
+    p25: float
+    median: float
+    p75: float
+    p90: float
+    p99: float
+    maximum: float
+
+    def row(self) -> dict[str, float]:
+        """Flat dict for table rendering."""
+        return {
+            "n": self.n,
+            "mean": self.mean,
+            "std": self.std,
+            "min": self.minimum,
+            "p10": self.p10,
+            "p25": self.p25,
+            "median": self.median,
+            "p75": self.p75,
+            "p90": self.p90,
+            "p99": self.p99,
+            "max": self.maximum,
+        }
+
+
+def summarize(sample: Iterable[float]) -> Summary:
+    """Compute a :class:`Summary`; raises on an empty sample."""
+    values = np.asarray(list(sample), dtype=float)
+    if values.size == 0:
+        raise ValueError("cannot summarize an empty sample")
+    q = np.percentile(values, [10, 25, 50, 75, 90, 99])
+    return Summary(
+        n=int(values.size),
+        mean=float(values.mean()),
+        std=float(values.std()),
+        minimum=float(values.min()),
+        p10=float(q[0]),
+        p25=float(q[1]),
+        median=float(q[2]),
+        p75=float(q[3]),
+        p90=float(q[4]),
+        p99=float(q[5]),
+        maximum=float(values.max()),
+    )

@@ -1,0 +1,45 @@
+"""Mobility-trace data model and I/O.
+
+A *trace* is what the paper's crawler produces: a time-ordered sequence
+of snapshots, each mapping every connected user to a land-relative
+position.  The analysis layer (:mod:`repro.core`) consumes traces
+without caring whether they came from the simulator, from the virtual
+sensor network, from a file, or from a real 2008 crawl — the record
+format is plain ``(t, user, x, y, z)``.
+"""
+
+from repro.trace.records import PositionRecord, Snapshot
+from repro.trace.trace import Trace, TraceMetadata
+from repro.trace.io import (
+    read_trace_csv,
+    read_trace_jsonl,
+    write_trace_csv,
+    write_trace_jsonl,
+)
+from repro.trace.sessions import UserSession, extract_sessions
+from repro.trace.validation import TraceIssue, validate_trace
+from repro.trace.synth import (
+    constant_positions_trace,
+    crossing_users_trace,
+    orbiting_users_trace,
+    random_walk_trace,
+)
+
+__all__ = [
+    "PositionRecord",
+    "Snapshot",
+    "Trace",
+    "TraceMetadata",
+    "read_trace_csv",
+    "read_trace_jsonl",
+    "write_trace_csv",
+    "write_trace_jsonl",
+    "UserSession",
+    "extract_sessions",
+    "TraceIssue",
+    "validate_trace",
+    "constant_positions_trace",
+    "crossing_users_trace",
+    "orbiting_users_trace",
+    "random_walk_trace",
+]

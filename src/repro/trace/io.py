@@ -1,0 +1,143 @@
+"""Trace serialization: CSV (flat records) and JSONL (one snapshot per line).
+
+CSV is the interchange format — the same five columns
+(``time,user,x,y,z``) a real crawler database dump would have, with
+metadata carried in ``#``-prefixed header comments.  JSONL keeps the
+snapshot structure explicit, which is convenient for streaming
+consumers.  Both formats transparently support gzip via a ``.gz``
+suffix.
+"""
+
+from __future__ import annotations
+
+import csv
+import gzip
+import io
+import json
+from pathlib import Path
+from typing import TextIO
+
+from repro.geometry import Position
+from repro.trace.records import PositionRecord, Snapshot
+from repro.trace.trace import Trace, TraceMetadata
+
+_METADATA_FIELDS = ("land_name", "width", "height", "tau", "source", "notes")
+
+
+def _open_text(path: Path, mode: str) -> TextIO:
+    if path.suffix == ".gz":
+        return io.TextIOWrapper(gzip.open(path, mode + "b"), encoding="utf-8")
+    return open(path, mode, encoding="utf-8", newline="")
+
+
+def _metadata_header(metadata: TraceMetadata) -> list[str]:
+    payload = {name: getattr(metadata, name) for name in _METADATA_FIELDS}
+    return [f"# repro-trace-metadata: {json.dumps(payload)}"]
+
+
+def _parse_metadata(line: str) -> TraceMetadata | None:
+    prefix = "# repro-trace-metadata:"
+    if not line.startswith(prefix):
+        return None
+    payload = json.loads(line[len(prefix):])
+    return TraceMetadata(**payload)
+
+
+def write_trace_csv(trace: Trace, path: str | Path) -> Path:
+    """Write a trace as flat CSV records; returns the path written."""
+    target = Path(path)
+    with _open_text(target, "w") as handle:
+        for header_line in _metadata_header(trace.metadata):
+            handle.write(header_line + "\n")
+        writer = csv.writer(handle)
+        writer.writerow(["time", "user", "x", "y", "z"])
+        for record in trace.records():
+            writer.writerow(
+                [f"{record.time:.3f}", record.user,
+                 f"{record.x:.3f}", f"{record.y:.3f}", f"{record.z:.3f}"]
+            )
+    return target
+
+
+def read_trace_csv(path: str | Path) -> Trace:
+    """Read a trace written by :func:`write_trace_csv`.
+
+    Files without the metadata comment still load (with default
+    metadata), so externally produced record dumps can be ingested.
+    """
+    source = Path(path)
+    metadata: TraceMetadata | None = None
+    records: list[PositionRecord] = []
+    with _open_text(source, "r") as handle:
+        header_seen = False
+        for line in handle:
+            line = line.rstrip("\n")
+            if not line:
+                continue
+            if line.startswith("#"):
+                parsed = _parse_metadata(line)
+                if parsed is not None:
+                    metadata = parsed
+                continue
+            if not header_seen:
+                header_seen = True
+                expected = ["time", "user", "x", "y", "z"]
+                columns = [c.strip() for c in line.split(",")]
+                if columns != expected:
+                    raise ValueError(
+                        f"unexpected CSV header {columns!r}; expected {expected!r}"
+                    )
+                continue
+            row = next(csv.reader([line]))
+            if len(row) != 5:
+                raise ValueError(f"malformed CSV row: {line!r}")
+            records.append(
+                PositionRecord(
+                    time=float(row[0]),
+                    user=row[1],
+                    x=float(row[2]),
+                    y=float(row[3]),
+                    z=float(row[4]),
+                )
+            )
+    return Trace.from_records(records, metadata)
+
+
+def write_trace_jsonl(trace: Trace, path: str | Path) -> Path:
+    """Write a trace as JSONL: a metadata line then one snapshot per line."""
+    target = Path(path)
+    with _open_text(target, "w") as handle:
+        meta = {name: getattr(trace.metadata, name) for name in _METADATA_FIELDS}
+        handle.write(json.dumps({"metadata": meta}) + "\n")
+        for snapshot in trace:
+            payload = {
+                "t": snapshot.time,
+                "users": {
+                    user: [pos.x, pos.y, pos.z]
+                    for user, pos in snapshot.positions.items()
+                },
+            }
+            handle.write(json.dumps(payload) + "\n")
+    return target
+
+
+def read_trace_jsonl(path: str | Path) -> Trace:
+    """Read a trace written by :func:`write_trace_jsonl`."""
+    source = Path(path)
+    metadata: TraceMetadata | None = None
+    snapshots: list[Snapshot] = []
+    with _open_text(source, "r") as handle:
+        for line in handle:
+            line = line.strip()
+            if not line:
+                continue
+            payload = json.loads(line)
+            if "metadata" in payload:
+                metadata = TraceMetadata(**payload["metadata"])
+                continue
+            positions = {
+                user: Position(coords[0], coords[1], coords[2] if len(coords) > 2 else 0.0)
+                for user, coords in payload["users"].items()
+            }
+            snapshots.append(Snapshot(payload["t"], positions))
+    return Trace(snapshots, metadata)

@@ -1,0 +1,88 @@
+"""Atomic trace records: one observation and one snapshot."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Iterator, Mapping, NamedTuple
+
+import numpy as np
+
+from repro.geometry import Position
+
+
+class PositionRecord(NamedTuple):
+    """One crawler observation: *user was at (x, y, z) at time t*.
+
+    ``time`` is in seconds from the start of the measurement; ``user``
+    is an opaque identifier (the crawler never needs real identities,
+    mirroring the anonymized traces the authors released).
+    """
+
+    time: float
+    user: str
+    x: float
+    y: float
+    z: float = 0.0
+
+    @property
+    def position(self) -> Position:
+        """The record's location as a :class:`~repro.geometry.Position`."""
+        return Position(self.x, self.y, self.z)
+
+    @property
+    def is_sitting_artifact(self) -> bool:
+        """True for the SL quirk of reporting seated avatars at the origin."""
+        return self.x == 0.0 and self.y == 0.0 and self.z == 0.0
+
+
+@dataclass(frozen=True)
+class Snapshot:
+    """All users observed at one sampling instant.
+
+    Immutable once built: analysis code may share snapshots freely.
+    """
+
+    time: float
+    positions: Mapping[str, Position] = field(default_factory=dict)
+
+    def __post_init__(self) -> None:
+        # Freeze the mapping so sharing a snapshot is safe.
+        object.__setattr__(self, "positions", dict(self.positions))
+
+    def __len__(self) -> int:
+        return len(self.positions)
+
+    def __contains__(self, user: str) -> bool:
+        return user in self.positions
+
+    def __iter__(self) -> Iterator[str]:
+        return iter(self.positions)
+
+    @property
+    def users(self) -> frozenset[str]:
+        """Identifiers of every user present in the snapshot."""
+        return frozenset(self.positions)
+
+    def position_of(self, user: str) -> Position:
+        """Location of ``user``; raises ``KeyError`` when absent."""
+        return self.positions[user]
+
+    def records(self) -> list[PositionRecord]:
+        """Explode the snapshot into per-user records."""
+        return [
+            PositionRecord(self.time, user, pos.x, pos.y, pos.z)
+            for user, pos in self.positions.items()
+        ]
+
+    def as_arrays(self) -> tuple[list[str], np.ndarray]:
+        """Users and an ``(n, 3)`` coordinate array, in a stable order.
+
+        The order is the snapshot's insertion order, which the
+        simulator keeps deterministic; analysis code relies only on the
+        pairing between the two return values.
+        """
+        users = list(self.positions)
+        coords = np.array(
+            [[p.x, p.y, p.z] for p in self.positions.values()], dtype=float
+        ).reshape(len(users), 3)
+        return users, coords

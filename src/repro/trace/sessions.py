@@ -1,0 +1,137 @@
+"""Session extraction: from snapshots to per-user visits.
+
+The paper's trip metrics are defined per *visit*: travel length is the
+distance covered "from login to logout", travel time is "the total
+connection time to the SL land", and effective travel time excludes
+pauses.  A monitor only sees presence at sampling instants, so a
+session is reconstructed as a maximal run of observations whose gaps
+stay below a threshold (default: twice the sampling interval — one
+missed snapshot is tolerated, two mean the user left and came back).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.geometry import Position, distance
+from repro.trace.trace import Trace
+
+#: Displacement below which two consecutive observations count as a pause.
+#: SL avatars idle in place jitter by centimeters; real walking covers
+#: meters per sampling interval.
+PAUSE_EPSILON = 0.5
+
+
+@dataclass(frozen=True)
+class UserSession:
+    """One reconstructed visit of one user to a land."""
+
+    user: str
+    times: tuple[float, ...]
+    positions: tuple[Position, ...] = field(repr=False)
+
+    def __post_init__(self) -> None:
+        if not self.times:
+            raise ValueError("a session needs at least one observation")
+        if len(self.times) != len(self.positions):
+            raise ValueError("times and positions must align")
+        if any(b <= a for a, b in zip(self.times, self.times[1:])):
+            raise ValueError("session observations must be strictly time-ordered")
+
+    @property
+    def login_time(self) -> float:
+        """First time the monitor saw the user in this visit."""
+        return self.times[0]
+
+    @property
+    def logout_time(self) -> float:
+        """Last time the monitor saw the user in this visit."""
+        return self.times[-1]
+
+    @property
+    def travel_time(self) -> float:
+        """The paper's *travel time*: total connection time to the land."""
+        return self.logout_time - self.login_time
+
+    @property
+    def observation_count(self) -> int:
+        """Number of snapshots in which the user appeared."""
+        return len(self.times)
+
+    def travel_length(self) -> float:
+        """The paper's *travel length*: summed displacement login→logout."""
+        total = 0.0
+        for a, b in zip(self.positions, self.positions[1:]):
+            total += distance(a, b)
+        return total
+
+    def effective_travel_time(self, pause_epsilon: float = PAUSE_EPSILON) -> float:
+        """The paper's *effective travel time*: time spent moving.
+
+        An inter-observation interval counts as movement when the
+        displacement across it exceeds ``pause_epsilon`` meters.
+        """
+        moving = 0.0
+        for (t0, p0), (t1, p1) in zip(
+            zip(self.times, self.positions),
+            zip(self.times[1:], self.positions[1:]),
+        ):
+            if distance(p0, p1) > pause_epsilon:
+                moving += t1 - t0
+        return moving
+
+    def pause_time(self, pause_epsilon: float = PAUSE_EPSILON) -> float:
+        """Connected-but-stationary time (complement of effective travel)."""
+        return self.travel_time - self.effective_travel_time(pause_epsilon)
+
+    def net_displacement(self) -> float:
+        """Straight-line distance between login and logout points."""
+        return distance(self.positions[0], self.positions[-1])
+
+
+def extract_sessions(
+    trace: Trace,
+    gap_threshold: float | None = None,
+) -> list[UserSession]:
+    """Split every user's observations into visits.
+
+    Parameters
+    ----------
+    trace:
+        The monitored trace.
+    gap_threshold:
+        Maximum tolerated gap (seconds) between consecutive
+        observations of the same visit.  Defaults to twice the trace's
+        sampling interval.
+
+    Returns
+    -------
+    list of UserSession
+        Ordered by login time, then by user id for determinism.
+    """
+    if gap_threshold is None:
+        gap_threshold = 2.0 * trace.metadata.tau
+    if gap_threshold <= 0:
+        raise ValueError(f"gap threshold must be positive, got {gap_threshold}")
+
+    observations: dict[str, list[tuple[float, Position]]] = {}
+    for snapshot in trace:
+        for user, position in snapshot.positions.items():
+            observations.setdefault(user, []).append((snapshot.time, position))
+
+    sessions: list[UserSession] = []
+    for user, obs in observations.items():
+        run_times: list[float] = []
+        run_positions: list[Position] = []
+        for time, position in obs:
+            if run_times and time - run_times[-1] > gap_threshold:
+                sessions.append(
+                    UserSession(user, tuple(run_times), tuple(run_positions))
+                )
+                run_times, run_positions = [], []
+            run_times.append(time)
+            run_positions.append(position)
+        sessions.append(UserSession(user, tuple(run_times), tuple(run_positions)))
+
+    sessions.sort(key=lambda s: (s.login_time, s.user))
+    return sessions

@@ -1,0 +1,141 @@
+"""Hand-constructible synthetic traces.
+
+These builders produce tiny traces whose contact structure is known in
+closed form, so the analysis layer has known-answer tests: two users
+crossing at a given time *must* yield exactly one contact of a given
+length, orbiting users *must* never meet, and so on.  Examples and
+docs also use them as minimal inputs.
+"""
+
+from __future__ import annotations
+
+import math
+
+import numpy as np
+
+from repro.geometry import Position
+from repro.trace.records import Snapshot
+from repro.trace.trace import Trace, TraceMetadata
+
+
+def _metadata(tau: float, name: str) -> TraceMetadata:
+    return TraceMetadata(land_name=name, tau=tau, source="synthetic")
+
+
+def constant_positions_trace(
+    positions: dict[str, tuple[float, float]],
+    steps: int,
+    tau: float = 10.0,
+) -> Trace:
+    """Users standing still for ``steps`` snapshots.
+
+    Any pair within range is in contact for the whole trace; any pair
+    out of range never meets.
+    """
+    if steps < 1:
+        raise ValueError(f"need at least one step, got {steps}")
+    frozen = {user: Position(x, y) for user, (x, y) in positions.items()}
+    snapshots = [Snapshot(i * tau, frozen) for i in range(steps)]
+    return Trace(snapshots, _metadata(tau, "synthetic-constant"))
+
+
+def crossing_users_trace(
+    steps: int = 61,
+    tau: float = 10.0,
+    speed: float = 1.0,
+    lane_gap: float = 2.0,
+) -> Trace:
+    """Two users walking toward each other along parallel lanes.
+
+    User ``a`` walks left→right along ``y = 100``; user ``b`` walks
+    right→left along ``y = 100 + lane_gap``.  They approach, pass at
+    the midpoint, and separate — producing exactly one contact interval
+    for any communication range larger than ``lane_gap``, centred on
+    the crossing snapshot.
+    """
+    if steps < 3:
+        raise ValueError(f"need at least three steps, got {steps}")
+    snapshots = []
+    span = speed * tau * (steps - 1)
+    start_a = 128.0 - span / 2.0
+    start_b = 128.0 + span / 2.0
+    for i in range(steps):
+        t = i * tau
+        snapshots.append(
+            Snapshot(
+                t,
+                {
+                    "a": Position(start_a + speed * t, 100.0),
+                    "b": Position(start_b - speed * t, 100.0 + lane_gap),
+                },
+            )
+        )
+    return Trace(snapshots, _metadata(tau, "synthetic-crossing"))
+
+
+def orbiting_users_trace(
+    steps: int = 60,
+    tau: float = 10.0,
+    radius: float = 60.0,
+    center: tuple[float, float] = (128.0, 128.0),
+) -> Trace:
+    """Two users on the same circle, always diametrically opposite.
+
+    Their distance is constantly ``2 * radius``: they are always in
+    contact for ranges above that and never below it — a clean fixture
+    for range-threshold behaviour.
+    """
+    if steps < 1:
+        raise ValueError(f"need at least one step, got {steps}")
+    cx, cy = center
+    snapshots = []
+    for i in range(steps):
+        t = i * tau
+        angle = 2.0 * math.pi * i / steps
+        snapshots.append(
+            Snapshot(
+                t,
+                {
+                    "a": Position(cx + radius * math.cos(angle), cy + radius * math.sin(angle)),
+                    "b": Position(cx - radius * math.cos(angle), cy - radius * math.sin(angle)),
+                },
+            )
+        )
+    return Trace(snapshots, _metadata(tau, "synthetic-orbit"))
+
+
+def random_walk_trace(
+    n_users: int,
+    steps: int,
+    rng: np.random.Generator,
+    tau: float = 10.0,
+    step_std: float = 5.0,
+    size: float = 256.0,
+) -> Trace:
+    """Independent reflected Gaussian random walks on a square land.
+
+    No structure is built in: this is the *null* mobility against which
+    POI-driven traces are compared (random walks produce low clustering
+    and short contact tails).
+    """
+    if n_users < 1 or steps < 1:
+        raise ValueError("need at least one user and one step")
+    users = [f"u{i:03d}" for i in range(n_users)]
+    coords = rng.uniform(0.0, size, (n_users, 2))
+    snapshots = []
+    for i in range(steps):
+        positions = {
+            user: Position(float(coords[j, 0]), float(coords[j, 1]))
+            for j, user in enumerate(users)
+        }
+        snapshots.append(Snapshot(i * tau, positions))
+        coords = coords + rng.normal(0.0, step_std, (n_users, 2))
+        # Reflect at the borders to keep walkers on the land.
+        coords = np.abs(coords)
+        over = coords > size
+        coords[over] = 2.0 * size - coords[over]
+        coords = np.clip(coords, 0.0, size)
+    meta = TraceMetadata(
+        land_name="synthetic-random-walk", width=size, height=size, tau=tau, source="synthetic"
+    )
+    return Trace(snapshots, meta)

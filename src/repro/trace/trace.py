@@ -1,0 +1,179 @@
+"""The trace container: metadata plus a time-ordered snapshot list."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field, replace
+from typing import Iterable, Iterator, Sequence
+
+from repro.geometry import Position
+from repro.trace.records import PositionRecord, Snapshot
+
+#: Default land footprint in meters (Second Life region size).
+DEFAULT_LAND_SIZE = 256.0
+
+
+@dataclass(frozen=True)
+class TraceMetadata:
+    """Provenance and geometry of a trace.
+
+    ``tau`` is the sampling interval the monitor aimed for; snapshots
+    carry their own timestamps, so gaps (crawler restarts, sensor
+    outages) are representable and detected by validation rather than
+    hidden.
+    """
+
+    land_name: str = "unknown"
+    width: float = DEFAULT_LAND_SIZE
+    height: float = DEFAULT_LAND_SIZE
+    tau: float = 10.0
+    source: str = "unknown"
+    notes: str = ""
+
+    def __post_init__(self) -> None:
+        if self.width <= 0 or self.height <= 0:
+            raise ValueError(f"land must have positive size, got {self.width}x{self.height}")
+        if self.tau <= 0:
+            raise ValueError(f"sampling interval must be positive, got {self.tau}")
+
+
+class Trace:
+    """A time-ordered sequence of snapshots with metadata.
+
+    Construction validates ordering once; afterwards the trace behaves
+    as an immutable value as far as the analysis layer is concerned.
+    """
+
+    def __init__(
+        self,
+        snapshots: Iterable[Snapshot],
+        metadata: TraceMetadata | None = None,
+    ) -> None:
+        self.metadata = metadata or TraceMetadata()
+        self._snapshots: list[Snapshot] = sorted(snapshots, key=lambda s: s.time)
+        times = [s.time for s in self._snapshots]
+        if len(set(times)) != len(times):
+            raise ValueError("trace contains duplicate snapshot timestamps")
+
+    # -- constructors ---------------------------------------------------
+
+    @classmethod
+    def from_records(
+        cls,
+        records: Iterable[PositionRecord],
+        metadata: TraceMetadata | None = None,
+    ) -> "Trace":
+        """Group flat records into snapshots by timestamp."""
+        by_time: dict[float, dict[str, Position]] = {}
+        for record in records:
+            bucket = by_time.setdefault(record.time, {})
+            if record.user in bucket:
+                raise ValueError(
+                    f"user {record.user!r} appears twice at t={record.time}"
+                )
+            bucket[record.user] = record.position
+        snapshots = [Snapshot(t, positions) for t, positions in by_time.items()]
+        return cls(snapshots, metadata)
+
+    # -- container protocol ----------------------------------------------
+
+    def __len__(self) -> int:
+        return len(self._snapshots)
+
+    def __iter__(self) -> Iterator[Snapshot]:
+        return iter(self._snapshots)
+
+    def __getitem__(self, index: int) -> Snapshot:
+        return self._snapshots[index]
+
+    # -- accessors --------------------------------------------------------
+
+    @property
+    def snapshots(self) -> Sequence[Snapshot]:
+        """The snapshots, oldest first."""
+        return tuple(self._snapshots)
+
+    @property
+    def is_empty(self) -> bool:
+        """True when the trace holds no snapshots."""
+        return not self._snapshots
+
+    @property
+    def start_time(self) -> float:
+        """Timestamp of the first snapshot."""
+        self._require_nonempty()
+        return self._snapshots[0].time
+
+    @property
+    def end_time(self) -> float:
+        """Timestamp of the last snapshot."""
+        self._require_nonempty()
+        return self._snapshots[-1].time
+
+    @property
+    def duration(self) -> float:
+        """Covered time span (0 for a single-snapshot trace)."""
+        self._require_nonempty()
+        return self.end_time - self.start_time
+
+    def unique_users(self) -> set[str]:
+        """Every user that appears at least once — the paper's 'unique visitors'."""
+        users: set[str] = set()
+        for snapshot in self._snapshots:
+            users |= snapshot.users
+        return users
+
+    def concurrency(self) -> list[int]:
+        """User count per snapshot — basis for 'average concurrent users'."""
+        return [len(snapshot) for snapshot in self._snapshots]
+
+    def mean_concurrency(self) -> float:
+        """Average number of simultaneously observed users."""
+        counts = self.concurrency()
+        if not counts:
+            return 0.0
+        return sum(counts) / len(counts)
+
+    def records(self) -> list[PositionRecord]:
+        """The whole trace as flat records, time-ordered."""
+        flat: list[PositionRecord] = []
+        for snapshot in self._snapshots:
+            flat.extend(snapshot.records())
+        return flat
+
+    def observations_of(self, user: str) -> list[tuple[float, Position]]:
+        """Time-ordered ``(time, position)`` pairs for one user."""
+        return [
+            (snapshot.time, snapshot.position_of(user))
+            for snapshot in self._snapshots
+            if user in snapshot
+        ]
+
+    def window(self, start: float, end: float) -> "Trace":
+        """Sub-trace with snapshots in ``[start, end]`` (metadata shared)."""
+        if end < start:
+            raise ValueError(f"empty window [{start}, {end}]")
+        kept = [s for s in self._snapshots if start <= s.time <= end]
+        return Trace(kept, self.metadata)
+
+    def resampled(self, every: int) -> "Trace":
+        """Keep every ``every``-th snapshot (tau scales accordingly).
+
+        Used by the granularity ablation: a tau=10 s trace resampled
+        with ``every=3`` behaves like a tau=30 s measurement.
+        """
+        if every < 1:
+            raise ValueError(f"resampling factor must be >= 1, got {every}")
+        kept = self._snapshots[::every]
+        meta = replace(self.metadata, tau=self.metadata.tau * every)
+        return Trace(kept, meta)
+
+    def _require_nonempty(self) -> None:
+        if not self._snapshots:
+            raise ValueError("operation requires a non-empty trace")
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        span = f"{self.start_time:.0f}..{self.end_time:.0f}s" if self._snapshots else "empty"
+        return (
+            f"Trace(land={self.metadata.land_name!r}, snapshots={len(self)}, "
+            f"span={span}, users={len(self.unique_users())})"
+        )

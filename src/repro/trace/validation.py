@@ -1,0 +1,114 @@
+"""Trace sanity checks.
+
+Real measurement campaigns fail in mundane ways — crawler restarts,
+clock jumps, avatars reported at the origin while seated, coordinates
+overshooting the land during teleports.  ``validate_trace`` surfaces
+all of them as structured issues instead of letting them silently skew
+CCDFs downstream.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterator
+
+from repro.trace.trace import Trace
+
+
+@dataclass(frozen=True)
+class TraceIssue:
+    """One finding of the validator."""
+
+    severity: str  # "error" or "warning"
+    code: str
+    time: float | None
+    user: str | None
+    message: str
+
+    def __str__(self) -> str:
+        location = []
+        if self.time is not None:
+            location.append(f"t={self.time:g}")
+        if self.user is not None:
+            location.append(f"user={self.user}")
+        where = f" [{', '.join(location)}]" if location else ""
+        return f"{self.severity.upper()} {self.code}{where}: {self.message}"
+
+
+def validate_trace(
+    trace: Trace,
+    check_bounds: bool = True,
+    check_gaps: bool = True,
+    gap_factor: float = 3.0,
+) -> list[TraceIssue]:
+    """Run all checks and return the issues found (empty = clean).
+
+    Checks, in order:
+
+    * ``empty-trace`` — no snapshots at all (error);
+    * ``sampling-gap`` — consecutive snapshots further apart than
+      ``gap_factor * tau`` (warning: the monitor lost coverage);
+    * ``out-of-bounds`` — coordinates outside the land footprint
+      (warning: teleport overshoot or mis-declared land size);
+    * ``sitting-artifact`` — exact-origin positions, the SL sit quirk
+      (warning: trip metrics for that user are unreliable);
+    * ``empty-snapshot`` — a snapshot with zero users (informational
+      warning; legitimate on a deserted land, suspicious on a busy one).
+    """
+    issues = list(
+        _iter_issues(trace, check_bounds=check_bounds, check_gaps=check_gaps, gap_factor=gap_factor)
+    )
+    return issues
+
+
+def _iter_issues(
+    trace: Trace,
+    check_bounds: bool,
+    check_gaps: bool,
+    gap_factor: float,
+) -> Iterator[TraceIssue]:
+    if trace.is_empty:
+        yield TraceIssue("error", "empty-trace", None, None, "trace has no snapshots")
+        return
+
+    meta = trace.metadata
+    previous_time: float | None = None
+    for snapshot in trace:
+        if check_gaps and previous_time is not None:
+            gap = snapshot.time - previous_time
+            if gap > gap_factor * meta.tau:
+                yield TraceIssue(
+                    "warning",
+                    "sampling-gap",
+                    snapshot.time,
+                    None,
+                    f"{gap:.0f}s since previous snapshot "
+                    f"(expected ~{meta.tau:.0f}s; monitor outage?)",
+                )
+        previous_time = snapshot.time
+
+        if len(snapshot) == 0:
+            yield TraceIssue(
+                "warning", "empty-snapshot", snapshot.time, None, "no users observed"
+            )
+        for user, pos in snapshot.positions.items():
+            if pos.is_origin():
+                yield TraceIssue(
+                    "warning",
+                    "sitting-artifact",
+                    snapshot.time,
+                    user,
+                    "position is exactly {0,0,0} — SL reports seated avatars "
+                    "at the origin; trip metrics for this user are unreliable",
+                )
+            elif check_bounds and not (
+                0.0 <= pos.x <= meta.width and 0.0 <= pos.y <= meta.height
+            ):
+                yield TraceIssue(
+                    "warning",
+                    "out-of-bounds",
+                    snapshot.time,
+                    user,
+                    f"position ({pos.x:.1f}, {pos.y:.1f}) outside "
+                    f"{meta.width:.0f}x{meta.height:.0f}m land",
+                )

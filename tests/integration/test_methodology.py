@@ -1,0 +1,139 @@
+"""Integration tests for the §2 methodology findings.
+
+The paper's architecture story — sensors are limited, a naive crawler
+perturbs the world, mimicry fixes it — must be reproducible as
+*measurable* differences, not just code paths.
+"""
+
+import numpy as np
+import pytest
+
+from repro.dtn import DirectDelivery, Epidemic, compare_protocols, uniform_workload
+from repro.core import BLUETOOTH_RANGE, TraceAnalyzer
+from repro.geometry import distance, Position
+from repro.lands import dance_island, generic_land
+from repro.metaverse import AccessPolicy, Land
+from repro.monitors import (
+    Crawler,
+    GroundTruthMonitor,
+    SensorNetwork,
+    WebServer,
+    run_monitors,
+)
+
+
+class TestCrawlerPerturbation:
+    """§2: 'a steady convergence of user movements towards our crawler'."""
+
+    @staticmethod
+    def _mean_distance_to_center(mimic: bool) -> tuple[float, int]:
+        preset = generic_land(n_pois=5, hourly_rate=100.0, seed=21)
+        world = preset.build(seed=42)
+        world.attraction_probability = 0.02
+        crawler = Crawler(tau=10.0, mimic=mimic)
+        trace = crawler.monitor(world, 3600.0)
+        center = Position(world.land.width / 2.0, world.land.height / 2.0)
+        dists = [
+            distance(pos, center)
+            for snap in trace.snapshots[-90:]
+            for pos in snap.positions.values()
+        ]
+        return float(np.mean(dists)), world.stats.attraction_redirects
+
+    def test_naive_crawler_attracts_users(self):
+        naive_dist, naive_redirects = self._mean_distance_to_center(mimic=False)
+        mimic_dist, mimic_redirects = self._mean_distance_to_center(mimic=True)
+        assert naive_redirects > 0
+        assert mimic_redirects == 0
+        assert naive_dist < mimic_dist
+
+
+class TestSensorNetworkLimits:
+    """§2: the sensor architecture loses data in every documented way."""
+
+    def test_sensors_underreport_dense_crowds(self):
+        preset = dance_island()
+        world = preset.build(seed=7, start_time=12 * 3600.0)
+        world.run_until(12 * 3600.0 + 1800.0)
+        truth = GroundTruthMonitor(tau=10.0)
+        # A single central sensor (spacing = land size): no overlapping
+        # neighbour can rescue the 16-avatar detection cap.
+        sensors = SensorNetwork(tau=10.0, spacing=256.0)
+        run_monitors(world, [truth, sensors], 1800.0)
+        true_obs = sum(len(s) for s in truth.trace())
+        sensed_obs = sum(len(s) for s in sensors.trace())
+        # The dance floor packs > 16 avatars in one sensor's range.
+        assert sensed_obs < true_obs
+
+    def test_private_land_blocks_sensors_but_not_crawler(self):
+        from repro.metaverse import Population, SessionProcess, World
+        from repro.mobility import RandomWaypoint
+        from repro.metaverse.objects import DeploymentError
+
+        land = Land("Walled Garden", policy=AccessPolicy.PRIVATE)
+        pop = Population(
+            "v", SessionProcess(hourly_rate=120.0), RandomWaypoint(256.0, 256.0)
+        )
+        world = World(land, [pop], seed=3)
+        with pytest.raises(DeploymentError):
+            SensorNetwork(tau=10.0).attach(world)
+        trace = Crawler(tau=10.0).monitor(world, 600.0)
+        assert len(trace) == 60
+
+    def test_http_throttling_degrades_coverage(self):
+        def record_count(budget):
+            preset = dance_island()
+            world = preset.build(seed=9, start_time=12 * 3600.0)
+            world.run_until(12 * 3600.0 + 900.0)
+            sensors = SensorNetwork(
+                tau=10.0, webserver=WebServer(max_requests_per_minute=budget)
+            )
+            run_monitors(world, [sensors], 1800.0)
+            return sensors.trace().records(), sensors.total_dropped_records
+
+        starved_records, starved_dropped = record_count(budget=2)
+        fed_records, _fed_dropped = record_count(budget=600)
+        assert len(starved_records) < len(fed_records)
+        assert starved_dropped > 0
+
+    def test_crawler_matches_ground_truth_at_same_tau(self):
+        preset = generic_land(n_pois=4, hourly_rate=80.0, seed=13)
+        world = preset.build(seed=5)
+        truth = GroundTruthMonitor(tau=10.0)
+        crawler = Crawler(tau=10.0)
+        run_monitors(world, [truth, crawler], 1800.0)
+        t_truth, t_crawler = truth.trace(), crawler.trace()
+        assert len(t_truth) == len(t_crawler)
+        for snap_t, snap_c in zip(t_truth, t_crawler):
+            assert snap_t.users == snap_c.users
+
+
+class TestDtnApplication:
+    """§5: the traces drive DTN forwarding studies."""
+
+    def test_epidemic_beats_direct_on_simulated_land(self):
+        preset = generic_land(n_pois=4, hourly_rate=150.0, mean_session=1500.0, seed=2)
+        world = preset.build(seed=11)
+        trace = Crawler(tau=10.0).monitor(world, 3600.0)
+        rng = np.random.default_rng(5)
+        messages = uniform_workload(trace, 30, rng, min_presence=20)
+        epidemic, direct = compare_protocols(
+            trace, BLUETOOTH_RANGE, messages, [Epidemic(), DirectDelivery()]
+        )
+        assert epidemic.delivery_ratio >= direct.delivery_ratio
+        assert epidemic.mean_copies > direct.mean_copies
+
+
+class TestSamplingBias:
+    """A1: coarser τ misses short contacts."""
+
+    def test_resampling_reduces_contact_count(self):
+        preset = dance_island()
+        world = preset.build(seed=17, start_time=12 * 3600.0)
+        world.run_until(12 * 3600.0 + 900.0)
+        trace = Crawler(tau=10.0).monitor(world, 3600.0)
+        fine = TraceAnalyzer(trace)
+        coarse = TraceAnalyzer(trace.resampled(6))
+        n_fine = len(fine.contacts(BLUETOOTH_RANGE))
+        n_coarse = len(coarse.contacts(BLUETOOTH_RANGE))
+        assert n_coarse < n_fine

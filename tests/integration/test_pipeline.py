@@ -1,0 +1,172 @@
+"""End-to-end integration: simulate → monitor → analyze → report.
+
+These tests run scaled-down versions of the paper's pipeline (shorter
+windows, one seed) and assert the *qualitative* findings of §4 — the
+orderings and shapes, not the absolute numbers.
+"""
+
+import numpy as np
+import pytest
+
+from repro.core import BLUETOOTH_RANGE, WIFI_RANGE, TraceAnalyzer
+from repro.experiments import ExperimentConfig, analyzer_for, clear_cache
+from repro.lands import paper_presets
+from repro.monitors import Crawler
+from repro.trace import read_trace_csv, validate_trace, write_trace_csv
+
+#: Shared one-hour afternoon windows; each land simulated once.
+CONFIG = ExperimentConfig(duration=3600.0, every=12, start_hour=13, spinup=1800.0)
+
+
+@pytest.fixture(scope="module", autouse=True)
+def _fresh_cache():
+    clear_cache()
+    yield
+    clear_cache()
+
+
+@pytest.fixture(scope="module")
+def analyzers():
+    return {name: analyzer_for(name, CONFIG) for name in paper_presets()}
+
+
+class TestTraceQuality:
+    def test_traces_are_clean(self, analyzers):
+        for name, analyzer in analyzers.items():
+            issues = [
+                i for i in validate_trace(analyzer.trace)
+                if i.code not in ("empty-snapshot",)
+            ]
+            assert issues == [], f"{name}: {[str(i) for i in issues[:3]]}"
+
+    def test_concurrency_ordering(self, analyzers):
+        conc = {n: a.summary().mean_concurrency for n, a in analyzers.items()}
+        assert conc["Apfel Land"] < conc["Dance Island"] < conc["Isle of View"]
+
+    def test_population_present(self, analyzers):
+        for name, analyzer in analyzers.items():
+            assert analyzer.summary().unique_users > 20, name
+
+
+class TestTemporalFindings:
+    def test_ct_grows_with_range(self, analyzers):
+        for name, analyzer in analyzers.items():
+            ct_b = analyzer.contact_times(BLUETOOTH_RANGE).median
+            ct_w = analyzer.contact_times(WIFI_RANGE).median
+            assert ct_w >= ct_b, name
+
+    def test_apfel_has_shortest_contacts(self, analyzers):
+        ct = {
+            n: a.contact_times(BLUETOOTH_RANGE).median for n, a in analyzers.items()
+        }
+        assert ct["Apfel Land"] <= ct["Dance Island"]
+        assert ct["Apfel Land"] <= ct["Isle of View"]
+
+    def test_apfel_first_contact_slowest(self, analyzers):
+        ft = {
+            n: a.first_contact_times(BLUETOOTH_RANGE).median
+            for n, a in analyzers.items()
+        }
+        assert ft["Apfel Land"] > ft["Dance Island"]
+        assert ft["Apfel Land"] > ft["Isle of View"]
+
+    def test_first_contact_improves_with_range(self, analyzers):
+        for name, analyzer in analyzers.items():
+            ft_b = analyzer.first_contact_times(BLUETOOTH_RANGE).median
+            ft_w = analyzer.first_contact_times(WIFI_RANGE).median
+            assert ft_w <= ft_b, name
+
+    def test_contact_times_heavy_bodied_with_cutoff(self, analyzers):
+        """CT spans decades but is cut off well below the session cap."""
+        for name, analyzer in analyzers.items():
+            ct = analyzer.contact_times(BLUETOOTH_RANGE)
+            assert ct.max >= 10 * ct.median, name
+            assert ct.quantile(0.999) < 4 * 3600.0, name
+
+
+class TestGraphFindings:
+    def test_isolation_ordering(self, analyzers):
+        iso = {
+            n: a.isolation_fraction(BLUETOOTH_RANGE, CONFIG.every)
+            for n, a in analyzers.items()
+        }
+        assert iso["Apfel Land"] > iso["Dance Island"]
+        assert iso["Apfel Land"] > iso["Isle of View"]
+
+    def test_wifi_range_connects_everyone_on_busy_lands(self, analyzers):
+        for name in ("Dance Island", "Isle of View"):
+            iso = analyzers[name].isolation_fraction(WIFI_RANGE, CONFIG.every)
+            assert iso < 0.1, name
+
+    def test_dense_los_networks_highly_clustered(self, analyzers):
+        """Fig. 2(c): clustering far above the random-graph level."""
+        for name in ("Dance Island", "Isle of View"):
+            clustering = analyzers[name].clustering(BLUETOOTH_RANGE, CONFIG.every).median
+            assert clustering > 0.4, name
+
+    def test_clustering_beats_random_graph_null(self, analyzers):
+        """The paper's §4 argument: these are not random graphs.
+
+        An Erdos-Renyi graph with the same edge density has clustering
+        ~= density.  At Bluetooth range the dense lands' line-of-sight
+        snapshots must beat that null by a wide margin.
+        """
+        from repro.core.losgraph import snapshot_graph
+        from repro.netgraph import density
+
+        for name in ("Dance Island", "Isle of View"):
+            analyzer = analyzers[name]
+            snapshots = analyzer.trace.snapshots[:: CONFIG.every]
+            graphs = [snapshot_graph(s, BLUETOOTH_RANGE) for s in snapshots]
+            graphs = [g for g in graphs if g.node_count >= 3]
+            mean_density = float(np.mean([density(g) for g in graphs]))
+            clustering = analyzer.clustering(BLUETOOTH_RANGE, CONFIG.every).median
+            assert clustering > 1.5 * mean_density, name
+
+    def test_sparse_land_clustered_at_wifi_range(self, analyzers):
+        """Apfel has too few r=10 samples in a 1 h window; at WiFi
+        range its POI islands show the clustered structure clearly."""
+        clustering = analyzers["Apfel Land"].clustering(WIFI_RANGE, CONFIG.every).median
+        assert clustering > 0.6
+
+    def test_diameter_shrinks_with_range_on_dense_lands(self, analyzers):
+        for name in ("Dance Island", "Isle of View"):
+            d_b = analyzers[name].diameters(BLUETOOTH_RANGE, CONFIG.every).median
+            d_w = analyzers[name].diameters(WIFI_RANGE, CONFIG.every).median
+            assert d_w <= d_b, name
+
+
+class TestSpatialFindings:
+    def test_most_of_every_land_is_empty(self, analyzers):
+        for name, analyzer in analyzers.items():
+            empty = float(analyzer.zone_occupation(20.0, CONFIG.every).cdf(0.0))
+            assert empty >= 0.8, name
+
+    def test_dance_island_has_hotspots(self, analyzers):
+        occ = analyzers["Dance Island"].zone_occupation(20.0, CONFIG.every)
+        assert occ.max >= 10.0
+
+    def test_travel_length_ordering(self, analyzers):
+        p90 = {
+            n: float(a.travel_lengths().quantile(0.9)) for n, a in analyzers.items()
+        }
+        assert p90["Dance Island"] < p90["Apfel Land"]
+        assert p90["Dance Island"] < p90["Isle of View"]
+
+    def test_sessions_respect_cap(self, analyzers):
+        for name, analyzer in analyzers.items():
+            assert analyzer.travel_times().max <= 4.0 * 3600.0 + 60.0, name
+
+
+class TestRoundTrip:
+    def test_csv_roundtrip_preserves_analysis(self, analyzers, tmp_path):
+        trace = analyzers["Dance Island"].trace
+        path = write_trace_csv(trace, tmp_path / "dance.csv.gz")
+        reloaded = read_trace_csv(path)
+        a1 = analyzers["Dance Island"]
+        a2 = TraceAnalyzer(reloaded)
+        assert a2.summary().unique_users == a1.summary().unique_users
+        ct1 = a1.contact_times(BLUETOOTH_RANGE)
+        ct2 = a2.contact_times(BLUETOOTH_RANGE)
+        assert ct1.n == ct2.n
+        assert ct1.median == ct2.median

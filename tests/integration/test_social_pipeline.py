@@ -1,0 +1,62 @@
+"""Integration: the §5 relation graph over the three target lands."""
+
+import pytest
+
+from repro.core import BLUETOOTH_RANGE
+from repro.experiments import ExperimentConfig, analyzer_for, clear_cache
+from repro.lands import paper_presets
+from repro.social import (
+    acquaintance_summary,
+    build_relation_graph,
+    strength_frequency_correlation,
+)
+
+CONFIG = ExperimentConfig(duration=2700.0, every=30, start_hour=13, spinup=1500.0)
+
+
+@pytest.fixture(scope="module", autouse=True)
+def _fresh_cache():
+    clear_cache()
+    yield
+    clear_cache()
+
+
+@pytest.fixture(scope="module")
+def relation_graphs():
+    graphs = {}
+    for land in paper_presets():
+        contacts = analyzer_for(land, CONFIG).contacts(BLUETOOTH_RANGE)
+        graphs[land] = build_relation_graph(contacts)
+    return graphs
+
+
+class TestRelationGraphsAcrossLands:
+    def test_every_land_forms_relationships(self, relation_graphs):
+        for land, relations in relation_graphs.items():
+            assert len(relations) > 0, land
+            assert relations.user_count > 2, land
+
+    def test_strength_scales_with_contact_culture(self, relation_graphs):
+        """Lands with longer contacts breed stronger ties."""
+        summaries = {
+            land: acquaintance_summary(relations)["strength_s"].median
+            for land, relations in relation_graphs.items()
+        }
+        assert summaries["Apfel Land"] <= summaries["Dance Island"]
+
+    def test_frequency_strength_positive(self, relation_graphs):
+        for land, relations in relation_graphs.items():
+            if len(relations) >= 10:
+                assert strength_frequency_correlation(relations) > 0.0, land
+
+    def test_busy_lands_have_more_relationships(self, relation_graphs):
+        assert len(relation_graphs["Apfel Land"]) < len(relation_graphs["Dance Island"])
+        assert len(relation_graphs["Apfel Land"]) < len(relation_graphs["Isle of View"])
+
+    def test_acquaintance_threshold_monotone(self):
+        contacts = analyzer_for("Dance Island", CONFIG).contacts(BLUETOOTH_RANGE)
+        sizes = [
+            len(build_relation_graph(contacts, min_encounters=k))
+            for k in (1, 2, 3)
+        ]
+        assert sizes[0] >= sizes[1] >= sizes[2]

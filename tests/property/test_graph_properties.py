@@ -1,0 +1,114 @@
+"""Property-based tests for the netgraph substrate."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.netgraph import (
+    Graph,
+    average_clustering,
+    connected_components,
+    diameter,
+    erdos_renyi,
+    geometric_graph,
+    largest_component,
+    local_clustering,
+)
+
+networkx = pytest.importorskip("networkx")
+
+
+@st.composite
+def random_graphs(draw):
+    n = draw(st.integers(min_value=1, max_value=25))
+    p = draw(st.floats(min_value=0.0, max_value=1.0))
+    seed = draw(st.integers(min_value=0, max_value=2**31 - 1))
+    return erdos_renyi(n, p, np.random.default_rng(seed))
+
+
+@st.composite
+def point_sets(draw):
+    n = draw(st.integers(min_value=1, max_value=30))
+    seed = draw(st.integers(min_value=0, max_value=2**31 - 1))
+    radius = draw(st.floats(min_value=1.0, max_value=120.0))
+    rng = np.random.default_rng(seed)
+    return rng.uniform(0.0, 100.0, (n, 2)), radius
+
+
+def _to_networkx(graph: Graph):
+    g = networkx.Graph()
+    g.add_nodes_from(graph.nodes())
+    g.add_edges_from(graph.edges())
+    return g
+
+
+class TestGraphInvariants:
+    @given(random_graphs())
+    @settings(max_examples=40)
+    def test_components_partition_nodes(self, g):
+        comps = connected_components(g)
+        seen = [node for comp in comps for node in comp]
+        assert sorted(seen, key=repr) == sorted(g.nodes(), key=repr)
+        assert len(seen) == len(set(seen))
+
+    @given(random_graphs())
+    @settings(max_examples=40)
+    def test_components_sorted_desc(self, g):
+        sizes = [len(c) for c in connected_components(g)]
+        assert sizes == sorted(sizes, reverse=True)
+
+    @given(random_graphs())
+    @settings(max_examples=40)
+    def test_clustering_in_unit_interval(self, g):
+        for node in g.nodes():
+            assert 0.0 <= local_clustering(g, node) <= 1.0
+        assert 0.0 <= average_clustering(g) <= 1.0
+
+    @given(random_graphs())
+    @settings(max_examples=40)
+    def test_diameter_bounds(self, g):
+        lcc = largest_component(g)
+        d = diameter(g)
+        assert 0 <= d < max(lcc.node_count, 1)
+
+    @given(random_graphs())
+    @settings(max_examples=25)
+    def test_matches_networkx(self, g):
+        nx_g = _to_networkx(g)
+        assert average_clustering(g) == pytest.approx(networkx.average_clustering(nx_g)) if g.node_count else True
+        comps_ours = sorted(len(c) for c in connected_components(g))
+        comps_nx = sorted(len(c) for c in networkx.connected_components(nx_g))
+        assert comps_ours == comps_nx
+
+    @given(random_graphs())
+    @settings(max_examples=25)
+    def test_diameter_matches_networkx(self, g):
+        if g.node_count == 0:
+            return
+        lcc = largest_component(g)
+        nx_lcc = _to_networkx(lcc)
+        expected = networkx.diameter(nx_lcc) if lcc.node_count > 1 else 0
+        assert diameter(g) == expected
+
+
+class TestGeometricGraphInvariants:
+    @given(point_sets())
+    @settings(max_examples=40)
+    def test_edges_iff_within_radius(self, points_radius):
+        points, radius = points_radius
+        g = geometric_graph(points, radius)
+        n = points.shape[0]
+        for i in range(n):
+            for j in range(i + 1, n):
+                d = float(np.hypot(*(points[i] - points[j])))
+                assert g.has_edge(i, j) == (d < radius)
+
+    @given(point_sets())
+    @settings(max_examples=40)
+    def test_monotone_in_radius(self, points_radius):
+        points, radius = points_radius
+        small = geometric_graph(points, radius)
+        large = geometric_graph(points, radius * 1.5 + 1.0)
+        for u, v in small.edges():
+            assert large.has_edge(u, v)

@@ -1,0 +1,97 @@
+"""Property-based tests for the statistics layer."""
+
+import numpy as np
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.stats import ECDF, BoundedPareto, LogNormal, TruncatedParetoExp
+
+finite_floats = st.floats(
+    min_value=-1e9, max_value=1e9, allow_nan=False, allow_infinity=False
+)
+samples = st.lists(finite_floats, min_size=1, max_size=200)
+
+
+class TestEcdfProperties:
+    @given(samples)
+    def test_cdf_monotone_nondecreasing(self, xs):
+        e = ECDF(xs)
+        grid = np.linspace(min(xs) - 1.0, max(xs) + 1.0, 50)
+        values = np.asarray(e.cdf(grid))
+        assert np.all(np.diff(values) >= -1e-12)
+
+    @given(samples)
+    def test_cdf_bounds(self, xs):
+        e = ECDF(xs)
+        assert e.cdf(min(xs) - 1.0) == 0.0
+        assert e.cdf(max(xs)) == 1.0
+
+    @given(samples)
+    def test_ccdf_complements_cdf(self, xs):
+        e = ECDF(xs)
+        grid = np.linspace(min(xs) - 1.0, max(xs) + 1.0, 23)
+        total = np.asarray(e.cdf(grid)) + np.asarray(e.ccdf(grid))
+        assert np.allclose(total, 1.0)
+
+    @given(samples, st.floats(min_value=0.0, max_value=1.0))
+    def test_quantile_is_generalized_inverse(self, xs, q):
+        e = ECDF(xs)
+        v = e.quantile(q)
+        assert float(e.cdf(v)) >= q - 1e-12
+        assert v in xs
+
+    @given(samples)
+    def test_median_between_extremes(self, xs):
+        e = ECDF(xs)
+        assert e.min <= e.median <= e.max
+
+    @given(samples)
+    def test_steps_reach_one(self, xs):
+        _x, heights = ECDF(xs).steps()
+        assert heights[-1] == 1.0
+
+
+class TestSamplerProperties:
+    @given(
+        st.floats(min_value=0.3, max_value=3.5),
+        st.floats(min_value=0.5, max_value=50.0),
+        st.floats(min_value=1.1, max_value=100.0),
+        st.integers(min_value=0, max_value=2**31 - 1),
+    )
+    @settings(max_examples=50)
+    def test_bounded_pareto_stays_in_bounds(self, alpha, low, factor, seed):
+        high = low * factor
+        law = BoundedPareto(alpha=alpha, low=low, high=high)
+        draws = law.sample(np.random.default_rng(seed), 100)
+        assert draws.min() >= low - 1e-9
+        assert draws.max() <= high + 1e-9
+
+    @given(
+        st.floats(min_value=0.5, max_value=3.0),
+        st.floats(min_value=1e-4, max_value=0.5),
+        st.integers(min_value=0, max_value=2**31 - 1),
+    )
+    @settings(max_examples=30)
+    def test_truncated_pareto_exp_in_bounds(self, alpha, rate, seed):
+        law = TruncatedParetoExp(alpha=alpha, rate=rate, low=5.0, high=500.0)
+        draws = law.sample(np.random.default_rng(seed), 50)
+        assert draws.min() >= 5.0 and draws.max() <= 500.0
+
+    @given(
+        st.floats(min_value=0.0, max_value=8.0),
+        st.floats(min_value=0.1, max_value=2.0),
+        st.integers(min_value=0, max_value=2**31 - 1),
+    )
+    @settings(max_examples=30)
+    def test_lognormal_cap_is_hard(self, mu, sigma, seed):
+        cap = float(np.exp(mu + sigma))  # cuts a visible tail chunk
+        law = LogNormal(mu=mu, sigma=sigma, cap=cap)
+        draws = law.sample(np.random.default_rng(seed), 100)
+        assert draws.max() <= cap
+
+    @given(st.integers(min_value=0, max_value=2**31 - 1))
+    def test_determinism(self, seed):
+        law = BoundedPareto(alpha=1.5, low=1.0, high=100.0)
+        a = law.sample(np.random.default_rng(seed), 20)
+        b = law.sample(np.random.default_rng(seed), 20)
+        assert np.array_equal(a, b)

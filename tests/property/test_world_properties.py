@@ -1,0 +1,76 @@
+"""Property-based tests for the world engine and monitors."""
+
+import numpy as np
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.metaverse import Land, Population, SessionProcess, World
+from repro.mobility import PoiMobility, PointOfInterest, RandomWaypoint
+from repro.monitors import Crawler
+
+
+@st.composite
+def small_worlds(draw):
+    seed = draw(st.integers(min_value=0, max_value=2**31 - 1))
+    rate = draw(st.floats(min_value=30.0, max_value=400.0))
+    kind = draw(st.sampled_from(["rwp", "poi"]))
+    if kind == "rwp":
+        model = RandomWaypoint(256.0, 256.0)
+        land = Land("prop")
+    else:
+        pois = [
+            PointOfInterest("hub", 128.0, 128.0, radius=12.0, weight=3.0, spawn_weight=1.0),
+            PointOfInterest("side", 60.0, 60.0, radius=9.0, weight=1.0),
+        ]
+        model = PoiMobility(256.0, 256.0, pois)
+        land = Land("prop", pois=pois)
+    population = Population("v", SessionProcess(hourly_rate=rate), model)
+    return World(land, [population], seed=seed)
+
+
+class TestWorldInvariants:
+    @given(small_worlds(), st.integers(min_value=30, max_value=400))
+    @settings(max_examples=20, deadline=None)
+    def test_accounting_identity(self, world, horizon):
+        world.run_until(float(horizon))
+        assert world.online_count == world.stats.logins - world.stats.logouts
+        assert world.online_count <= world.land.max_concurrent
+
+    @given(small_worlds(), st.integers(min_value=30, max_value=300))
+    @settings(max_examples=20, deadline=None)
+    def test_positions_always_on_land(self, world, horizon):
+        world.run_until(float(horizon))
+        for avatar in world.online_avatars():
+            assert world.land.contains(avatar.position)
+
+    @given(small_worlds())
+    @settings(max_examples=10, deadline=None)
+    def test_clock_monotone(self, world):
+        previous = world.now
+        for _step in range(25):
+            world.step()
+            assert world.now > previous
+            previous = world.now
+
+
+class TestMonitorInvariants:
+    @given(
+        st.integers(min_value=0, max_value=2**31 - 1),
+        st.floats(min_value=5.0, max_value=30.0),
+    )
+    @settings(max_examples=10, deadline=None)
+    def test_crawler_trace_well_formed(self, seed, tau):
+        model = RandomWaypoint(256.0, 256.0)
+        population = Population("v", SessionProcess(hourly_rate=200.0), model)
+        world = World(Land("m"), [population], seed=seed)
+        trace = Crawler(tau=tau).monitor(world, 120.0)
+        times = [s.time for s in trace]
+        assert times == sorted(times)
+        assert len(set(times)) == len(times)
+        # Snapshots happen on world-clock ticks, so intervals quantize
+        # to within one tick of the nominal period.
+        diffs = np.diff(times)
+        if len(diffs):
+            assert np.all(np.abs(diffs - tau) <= world.dt + 1e-9)
+        # The crawler's observations match world-state times.
+        assert all(t <= world.now for t in times)

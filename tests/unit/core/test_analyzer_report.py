@@ -1,0 +1,118 @@
+"""Unit tests for repro.core.analyzer and repro.core.report."""
+
+import numpy as np
+import pytest
+
+from repro.core import TraceAnalyzer, render_ccdf_table, render_summary_table
+from repro.core.report import log_grid
+from repro.geometry import Position
+from repro.stats import ECDF
+from repro.trace import Snapshot, Trace, TraceMetadata, constant_positions_trace, random_walk_trace
+
+
+@pytest.fixture(scope="module")
+def walk_trace():
+    rng = np.random.default_rng(17)
+    return random_walk_trace(15, 120, rng, tau=10.0, step_std=8.0)
+
+
+class TestTraceAnalyzer:
+    def test_rejects_empty_trace(self):
+        with pytest.raises(ValueError, match="empty"):
+            TraceAnalyzer(Trace([]))
+
+    def test_summary(self, walk_trace):
+        summary = TraceAnalyzer(walk_trace).summary()
+        assert summary.unique_users == 15
+        assert summary.mean_concurrency == pytest.approx(15.0)
+        assert summary.snapshot_count == 120
+        assert summary.duration == pytest.approx(119 * 10.0)
+
+    def test_summary_row_keys(self, walk_trace):
+        row = TraceAnalyzer(walk_trace).summary().row()
+        assert "unique_users" in row and "mean_concurrent" in row
+
+    def test_contacts_cached_per_range(self, walk_trace):
+        analyzer = TraceAnalyzer(walk_trace)
+        first = analyzer.contacts(10.0)
+        assert analyzer.contacts(10.0) is first
+        assert analyzer.contacts(80.0) is not first
+
+    def test_all_metrics_return_ecdfs(self, walk_trace):
+        analyzer = TraceAnalyzer(walk_trace)
+        for ecdf in (
+            analyzer.contact_times(30.0),
+            analyzer.inter_contact_times(30.0),
+            analyzer.first_contact_times(30.0),
+            analyzer.degrees(30.0, every=10),
+            analyzer.diameters(30.0, every=10),
+            analyzer.clustering(30.0, every=10),
+            analyzer.travel_lengths(),
+            analyzer.effective_travel_times(),
+            analyzer.travel_times(),
+            analyzer.zone_occupation(every=10),
+        ):
+            assert isinstance(ecdf, ECDF)
+            assert ecdf.n > 0
+
+    def test_isolation_fraction_bounds(self, walk_trace):
+        analyzer = TraceAnalyzer(walk_trace)
+        iso = analyzer.isolation_fraction(10.0, every=10)
+        assert 0.0 <= iso <= 1.0
+
+    def test_no_contacts_raises_helpfully(self):
+        trace = constant_positions_trace({"a": (0, 0), "b": (200, 200)}, steps=3)
+        analyzer = TraceAnalyzer(trace)
+        with pytest.raises(ValueError, match="no completed contacts"):
+            analyzer.contact_times(5.0)
+
+
+class TestReportRendering:
+    def test_summary_table_layout(self):
+        rows = [
+            {"land": "A", "users": 10},
+            {"land": "Longer Name", "users": 2000},
+        ]
+        text = render_summary_table(rows)
+        lines = text.splitlines()
+        assert lines[0].startswith("land")
+        assert len(lines) == 4  # header, rule, two rows
+        assert "2000" in lines[3]
+
+    def test_summary_table_rejects_mixed_columns(self):
+        with pytest.raises(ValueError, match="inconsistent"):
+            render_summary_table([{"a": 1}, {"b": 2}])
+
+    def test_summary_table_rejects_empty(self):
+        with pytest.raises(ValueError, match="no rows"):
+            render_summary_table([])
+
+    def test_ccdf_table(self):
+        series = {
+            "Land A": ECDF([10, 20, 30, 40]),
+            "Land B": ECDF([100, 200, 300]),
+        }
+        text = render_ccdf_table(series, points=[15.0, 150.0])
+        assert "Land A" in text and "Land B" in text
+        lines = text.splitlines()
+        assert len(lines) == 4
+        # At x=15, A has CCDF 0.75, B has 1.0.
+        assert "0.750" in lines[2]
+        assert "1.000" in lines[2]
+
+    def test_cdf_mode(self):
+        series = {"X": ECDF([1, 2, 3, 4])}
+        text = render_ccdf_table(series, points=[2.0], complementary=False)
+        assert "0.500" in text
+
+    def test_log_grid(self):
+        grid = log_grid(10.0, 1000.0, count=3)
+        assert grid[0] == pytest.approx(10.0)
+        assert grid[-1] == pytest.approx(1000.0)
+        assert len(grid) == 3
+
+    def test_log_grid_validation(self):
+        with pytest.raises(ValueError):
+            log_grid(0.0, 10.0)
+        with pytest.raises(ValueError):
+            log_grid(10.0, 5.0)

@@ -1,0 +1,17 @@
+"""Coverage for the remaining contact helpers."""
+
+from repro.core.contacts import ContactInterval, iter_contact_pairs
+
+
+class TestIterContactPairs:
+    def test_distinct_pairs_in_first_contact_order(self):
+        contacts = [
+            ContactInterval("b", "a", 0.0, 10.0),
+            ContactInterval("c", "d", 5.0, 15.0),
+            ContactInterval("a", "b", 100.0, 110.0),  # repeat pair
+        ]
+        pairs = list(iter_contact_pairs(contacts))
+        assert pairs == [("a", "b"), ("c", "d")]
+
+    def test_empty(self):
+        assert list(iter_contact_pairs([])) == []

@@ -1,0 +1,189 @@
+"""Unit tests for repro.core.contacts with known-answer fixtures."""
+
+import pytest
+
+from repro.core import (
+    ContactInterval,
+    contact_durations,
+    extract_contacts,
+    first_contact_times,
+    inter_contact_times,
+)
+from repro.geometry import Position
+from repro.trace import Snapshot, Trace, TraceMetadata, constant_positions_trace, crossing_users_trace
+
+
+def _trace_from_distances(distances, tau=10.0):
+    """Two users 'a'/'b' separated by distances[i] at snapshot i."""
+    snaps = [
+        Snapshot(i * tau, {"a": Position(0.0, 100.0), "b": Position(d, 100.0)})
+        for i, d in enumerate(distances)
+    ]
+    return Trace(snaps, TraceMetadata(tau=tau))
+
+
+class TestContactInterval:
+    def test_pair_is_canonical(self):
+        c = ContactInterval("zeta", "alpha", 0.0, 10.0)
+        assert c.pair == ("alpha", "zeta")
+
+    def test_duration(self):
+        assert ContactInterval("a", "b", 5.0, 25.0).duration == 20.0
+
+    def test_validation(self):
+        with pytest.raises(ValueError, match="before"):
+            ContactInterval("a", "b", 10.0, 5.0)
+        with pytest.raises(ValueError, match="self-contact"):
+            ContactInterval("a", "a", 0.0, 1.0)
+
+
+class TestExtractContacts:
+    def test_always_in_range_is_one_censored_contact(self):
+        trace = _trace_from_distances([5, 5, 5, 5])
+        contacts = extract_contacts(trace, r=10.0)
+        assert len(contacts) == 1
+        assert contacts[0].censored
+        assert contacts[0].start == 0.0
+        assert contacts[0].end == 30.0
+
+    def test_never_in_range_yields_nothing(self):
+        trace = _trace_from_distances([50, 50, 50])
+        assert extract_contacts(trace, r=10.0) == []
+
+    def test_single_meeting_duration_includes_tau(self):
+        # In range only at snapshots 1 and 2 -> duration (t2 - t1) + tau.
+        trace = _trace_from_distances([50, 5, 5, 50, 50])
+        contacts = extract_contacts(trace, r=10.0)
+        assert len(contacts) == 1
+        c = contacts[0]
+        assert not c.censored
+        assert c.start == 10.0
+        assert c.end == 30.0
+        assert c.duration == 20.0
+
+    def test_single_snapshot_contact_has_duration_tau(self):
+        trace = _trace_from_distances([50, 5, 50])
+        contacts = extract_contacts(trace, r=10.0)
+        assert len(contacts) == 1
+        assert contacts[0].duration == 10.0
+
+    def test_two_meetings_are_two_contacts(self):
+        trace = _trace_from_distances([5, 50, 50, 5, 5])
+        contacts = extract_contacts(trace, r=10.0)
+        assert len(contacts) == 2
+        assert contacts[0].duration == 10.0  # censored=False, single snap
+        assert contacts[1].censored
+
+    def test_threshold_is_strict(self):
+        trace = _trace_from_distances([10.0, 10.0])
+        assert extract_contacts(trace, r=10.0) == []
+        assert len(extract_contacts(trace, r=10.01)) == 1
+
+    def test_user_departure_closes_contact(self):
+        snaps = [
+            Snapshot(0.0, {"a": Position(0, 0), "b": Position(5, 0)}),
+            Snapshot(10.0, {"a": Position(0, 0), "b": Position(5, 0)}),
+            Snapshot(20.0, {"a": Position(0, 0)}),  # b logs out
+        ]
+        trace = Trace(snaps, TraceMetadata(tau=10.0))
+        contacts = extract_contacts(trace, r=10.0)
+        assert len(contacts) == 1
+        assert not contacts[0].censored
+        assert contacts[0].end == 20.0
+
+    def test_range_validation(self):
+        with pytest.raises(ValueError, match="positive"):
+            extract_contacts(_trace_from_distances([5]), r=0.0)
+
+    def test_three_users_pairwise(self):
+        positions = {
+            "a": (0.0, 0.0),
+            "b": (5.0, 0.0),
+            "c": (8.0, 0.0),
+        }
+        trace = constant_positions_trace(positions, steps=3)
+        contacts = extract_contacts(trace, r=6.0)
+        pairs = {c.pair for c in contacts}
+        # a-b at 5 m and b-c at 3 m qualify; a-c at 8 m does not.
+        assert pairs == {("a", "b"), ("b", "c")}
+
+    def test_crossing_fixture(self):
+        trace = crossing_users_trace(steps=61, tau=10.0, speed=1.0, lane_gap=2.0)
+        contacts = extract_contacts(trace, r=20.0)
+        assert len(contacts) == 1
+        # Approach speed is 2 m/s; in range (planar distance < 20,
+        # lane gap 2) for ~2*sqrt(400-4)/2 ~ 20 s around the crossing.
+        assert 10.0 <= contacts[0].duration <= 40.0
+
+
+class TestContactDurations:
+    def test_censored_excluded_by_default(self):
+        trace = _trace_from_distances([50, 5, 50, 5, 5])
+        contacts = extract_contacts(trace, r=10.0)
+        assert len(contact_durations(contacts)) == 1
+        assert len(contact_durations(contacts, include_censored=True)) == 2
+
+
+class TestInterContactTimes:
+    def test_gap_between_meetings(self):
+        # Meet at snap 0 (ends t=10), separate snaps 1-3, meet at snap 4.
+        trace = _trace_from_distances([5, 50, 50, 50, 5])
+        contacts = extract_contacts(trace, r=10.0)
+        gaps = inter_contact_times(contacts)
+        assert gaps == [30.0]  # 40 - 10
+
+    def test_no_repeat_no_gap(self):
+        trace = _trace_from_distances([5, 5, 50])
+        assert inter_contact_times(extract_contacts(trace, r=10.0)) == []
+
+    def test_multiple_pairs_independent(self):
+        snaps = []
+        for i in range(5):
+            near = i in (0, 4)
+            snaps.append(
+                Snapshot(
+                    i * 10.0,
+                    {
+                        "a": Position(0, 0),
+                        "b": Position(5 if near else 50, 0),
+                        # Near a (9 m) but out of range of b even when
+                        # b approaches (sqrt(25 + 81) > 10).
+                        "c": Position(0, 9),
+                    },
+                )
+            )
+        trace = Trace(snaps, TraceMetadata(tau=10.0))
+        contacts = extract_contacts(trace, r=10.0)
+        gaps = inter_contact_times(contacts)
+        assert len(gaps) == 1  # only the a-b pair separates and re-meets
+
+
+class TestFirstContactTimes:
+    def test_immediate_contact_is_zero(self):
+        trace = _trace_from_distances([5, 5])
+        ft = first_contact_times(trace, r=10.0)
+        assert ft == {"a": 0.0, "b": 0.0}
+
+    def test_waiting_time_measured_from_first_appearance(self):
+        snaps = [
+            Snapshot(0.0, {"a": Position(0, 0)}),
+            Snapshot(10.0, {"a": Position(0, 0), "b": Position(50, 0)}),
+            Snapshot(20.0, {"a": Position(0, 0), "b": Position(5, 0)}),
+        ]
+        trace = Trace(snaps, TraceMetadata(tau=10.0))
+        ft = first_contact_times(trace, r=10.0)
+        assert ft["a"] == 20.0  # appeared at 0, met at 20
+        assert ft["b"] == 10.0  # appeared at 10, met at 20
+
+    def test_loners_excluded(self):
+        snaps = [
+            Snapshot(0.0, {"a": Position(0, 0), "b": Position(5, 0), "hermit": Position(200, 200)}),
+        ]
+        trace = Trace(snaps, TraceMetadata(tau=10.0))
+        ft = first_contact_times(trace, r=10.0)
+        assert "hermit" not in ft
+
+    def test_accepts_precomputed_contacts(self):
+        trace = _trace_from_distances([5, 5])
+        contacts = extract_contacts(trace, r=10.0)
+        assert first_contact_times(trace, 10.0, contacts) == first_contact_times(trace, 10.0)

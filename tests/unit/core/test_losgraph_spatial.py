@@ -1,0 +1,142 @@
+"""Unit tests for repro.core.losgraph and repro.core.spatial."""
+
+import numpy as np
+import pytest
+
+from repro.core import (
+    clustering_series,
+    degree_samples,
+    diameter_series,
+    isolation_fraction,
+    snapshot_graph,
+)
+from repro.core.spatial import (
+    effective_travel_times,
+    hotspot_cells,
+    travel_lengths,
+    travel_times,
+    zone_occupation,
+)
+from repro.geometry import Position
+from repro.trace import Snapshot, Trace, TraceMetadata, constant_positions_trace
+
+
+class TestSnapshotGraph:
+    def test_nodes_include_isolated(self):
+        snap = Snapshot(0.0, {"a": Position(0, 0), "b": Position(200, 200)})
+        g = snapshot_graph(snap, r=10.0)
+        assert g.node_count == 2
+        assert g.edge_count == 0
+
+    def test_links_within_range(self):
+        snap = Snapshot(0.0, {"a": Position(0, 0), "b": Position(5, 0), "c": Position(100, 0)})
+        g = snapshot_graph(snap, r=10.0)
+        assert g.has_edge("a", "b")
+        assert not g.has_edge("a", "c")
+
+    def test_strict_threshold(self):
+        snap = Snapshot(0.0, {"a": Position(0, 0), "b": Position(10.0, 0)})
+        assert snapshot_graph(snap, r=10.0).edge_count == 0
+
+    def test_empty_snapshot(self):
+        g = snapshot_graph(Snapshot(0.0, {}), r=10.0)
+        assert g.node_count == 0
+
+    def test_invalid_range(self):
+        with pytest.raises(ValueError, match="positive"):
+            snapshot_graph(Snapshot(0.0, {}), r=-1.0)
+
+
+class TestAggregates:
+    def _line_trace(self, steps=4):
+        # Three users in a 5 m-spaced line, one hermit far away.
+        positions = {"a": (0, 0), "b": (5, 0), "c": (10, 0), "hermit": (200, 200)}
+        return constant_positions_trace(positions, steps=steps)
+
+    def test_degree_samples_per_user_per_snapshot(self):
+        trace = self._line_trace(steps=3)
+        samples = degree_samples(trace, r=6.0)
+        assert len(samples) == 4 * 3
+        # Degrees per snapshot: a=1, b=2, c=1, hermit=0.
+        assert sorted(samples[:4]) == [0, 1, 1, 2]
+
+    def test_isolation_fraction(self):
+        trace = self._line_trace()
+        assert isolation_fraction(trace, r=6.0) == pytest.approx(0.25)
+
+    def test_diameter_series(self):
+        trace = self._line_trace(steps=2)
+        assert diameter_series(trace, r=6.0) == [2, 2]
+
+    def test_clustering_series_triangle(self):
+        positions = {"a": (0, 0), "b": (5, 0), "c": (2.5, 4.0)}
+        trace = constant_positions_trace(positions, steps=2)
+        series = clustering_series(trace, r=7.0)
+        assert series == [1.0, 1.0]
+
+    def test_stride(self):
+        trace = self._line_trace(steps=10)
+        assert len(diameter_series(trace, r=6.0, every=5)) == 2
+        with pytest.raises(ValueError, match="stride"):
+            diameter_series(trace, r=6.0, every=0)
+
+
+class TestTripMetrics:
+    def _two_session_trace(self):
+        snaps = []
+        # User u walks 10 m per 10 s for 3 snaps, disappears, returns.
+        for i in range(3):
+            snaps.append(Snapshot(i * 10.0, {"u": Position(10.0 * i, 0)}))
+        for j in range(2):
+            snaps.append(Snapshot(200.0 + j * 10.0, {"u": Position(0, 100.0 + 5 * j)}))
+        return Trace(snaps, TraceMetadata(tau=10.0))
+
+    def test_travel_lengths_per_session(self):
+        lengths = sorted(travel_lengths(self._two_session_trace()))
+        assert lengths == [5.0, 20.0]
+
+    def test_travel_times_per_session(self):
+        times = sorted(travel_times(self._two_session_trace()))
+        assert times == [10.0, 20.0]
+
+    def test_effective_travel_time_excludes_pause(self):
+        snaps = [
+            Snapshot(0.0, {"u": Position(0, 0)}),
+            Snapshot(10.0, {"u": Position(10, 0)}),
+            Snapshot(20.0, {"u": Position(10.1, 0)}),  # pause
+            Snapshot(30.0, {"u": Position(20, 0)}),
+        ]
+        trace = Trace(snaps, TraceMetadata(tau=10.0))
+        assert effective_travel_times(trace) == [20.0]
+
+    def test_single_observation_sessions_skipped(self):
+        snaps = [Snapshot(0.0, {"blip": Position(1, 1)})]
+        trace = Trace(snaps, TraceMetadata(tau=10.0))
+        assert travel_lengths(trace) == []
+
+
+class TestZoneOccupation:
+    def test_counts_cover_all_cells(self):
+        positions = {"a": (10, 10), "b": (12, 10), "c": (200, 200)}
+        trace = constant_positions_trace(positions, steps=2)
+        counts = zone_occupation(trace, cell_size=20.0)
+        cells_per_snapshot = 13 * 13
+        assert counts.size == 2 * cells_per_snapshot
+        assert counts.sum() == 2 * 3
+
+    def test_empty_cell_fraction_high(self):
+        positions = {"a": (10, 10), "b": (12, 10)}
+        trace = constant_positions_trace(positions, steps=1)
+        counts = zone_occupation(trace, cell_size=20.0)
+        assert (counts == 0).mean() > 0.95
+
+    def test_hotspot_cells(self):
+        positions = {f"u{i}": (10.0 + 0.1 * i, 10.0) for i in range(15)}
+        trace = constant_positions_trace(positions, steps=1)
+        assert hotspot_cells(trace, cell_size=20.0, threshold=10) == pytest.approx(
+            1.0 / (13 * 13)
+        )
+
+    def test_empty_trace(self):
+        counts = zone_occupation(Trace([], TraceMetadata()), cell_size=20.0)
+        assert counts.size == 0

@@ -1,0 +1,143 @@
+"""Unit tests for repro.dtn.messages and repro.dtn.routing."""
+
+import numpy as np
+import pytest
+
+from repro.dtn import (
+    DirectDelivery,
+    Epidemic,
+    FirstContact,
+    Message,
+    TwoHopRelay,
+    uniform_workload,
+)
+from repro.netgraph import Graph
+from repro.trace import constant_positions_trace, random_walk_trace
+
+
+@pytest.fixture
+def rng():
+    return np.random.default_rng(23)
+
+
+class TestMessage:
+    def test_expiry(self):
+        m = Message("m1", "a", "b", created_at=100.0, ttl=50.0)
+        assert m.expires_at == 150.0
+        assert m.alive_at(100.0)
+        assert m.alive_at(149.9)
+        assert not m.alive_at(150.0)
+        assert not m.alive_at(50.0)
+
+    def test_infinite_ttl(self):
+        m = Message("m1", "a", "b", created_at=0.0)
+        assert m.alive_at(1e12)
+
+    def test_validation(self):
+        with pytest.raises(ValueError, match="src == dst"):
+            Message("m", "a", "a", 0.0)
+        with pytest.raises(ValueError, match="TTL"):
+            Message("m", "a", "b", 0.0, ttl=0.0)
+
+
+class TestUniformWorkload:
+    def test_workload_size_and_order(self, rng):
+        trace = random_walk_trace(10, 60, rng)
+        messages = uniform_workload(trace, 20, rng)
+        assert len(messages) == 20
+        times = [m.created_at for m in messages]
+        assert times == sorted(times)
+
+    def test_endpoints_distinct_and_present(self, rng):
+        trace = random_walk_trace(8, 60, rng)
+        users = trace.unique_users()
+        for m in uniform_workload(trace, 30, rng):
+            assert m.src != m.dst
+            assert m.src in users and m.dst in users
+
+    def test_created_while_source_online(self, rng):
+        trace = random_walk_trace(6, 40, rng)
+        for m in uniform_workload(trace, 15, rng):
+            present = [s.time for s in trace if m.src in s]
+            assert m.created_at in present
+
+    def test_min_presence_filter(self, rng):
+        trace = random_walk_trace(3, 5, rng)
+        with pytest.raises(ValueError, match="observations"):
+            uniform_workload(trace, 5, rng, min_presence=100)
+
+    def test_count_validation(self, rng):
+        trace = random_walk_trace(5, 30, rng)
+        with pytest.raises(ValueError, match="at least one"):
+            uniform_workload(trace, 0, rng)
+
+
+def _line_graph():
+    """a - b - c - d chain."""
+    return Graph(edges=[("a", "b"), ("b", "c"), ("c", "d")])
+
+
+class TestEpidemicStep:
+    def test_floods_neighbours(self, rng):
+        holders, delivered = Epidemic().step(_line_graph(), {"a"}, "a", "d", rng)
+        assert holders == {"a", "b"}
+        assert not delivered
+
+    def test_delivery_when_dst_reached(self, rng):
+        holders, delivered = Epidemic().step(_line_graph(), {"c"}, "a", "d", rng)
+        assert delivered
+        assert "d" in holders
+
+    def test_absent_carrier_is_noop(self, rng):
+        g = Graph(nodes=["x"])
+        holders, delivered = Epidemic().step(g, {"a"}, "a", "d", rng)
+        assert holders == {"a"}
+        assert not delivered
+
+
+class TestDirectDeliveryStep:
+    def test_only_src_to_dst(self, rng):
+        g = _line_graph()
+        holders, delivered = DirectDelivery().step(g, {"a"}, "a", "b", rng)
+        assert delivered
+        holders, delivered = DirectDelivery().step(g, {"a"}, "a", "d", rng)
+        assert not delivered
+        assert holders == {"a"}
+
+
+class TestTwoHopStep:
+    def test_relays_from_src_only(self, rng):
+        g = _line_graph()
+        holders, delivered = TwoHopRelay().step(g, {"a"}, "a", "d", rng)
+        assert holders == {"a", "b"}
+        # Relay b may now deliver to its neighbour c only if c == dst.
+        holders2, delivered2 = TwoHopRelay().step(g, holders, "a", "c", rng)
+        assert delivered2
+
+    def test_relays_do_not_recruit(self, rng):
+        g = _line_graph()
+        holders = {"a", "b"}
+        new_holders, _ = TwoHopRelay().step(g, holders, "a", "z", rng)
+        # b's neighbour c must NOT become a holder (two-hop limit);
+        # only src recruits.
+        assert new_holders == {"a", "b"}
+
+
+class TestFirstContactStep:
+    def test_single_copy_moves(self, rng):
+        g = _line_graph()
+        holders, delivered = FirstContact().step(g, {"a"}, "a", "z", rng)
+        assert len(holders) == 1
+        assert holders == {"b"}  # only neighbour
+
+    def test_delivers_when_adjacent(self, rng):
+        g = _line_graph()
+        holders, delivered = FirstContact().step(g, {"c"}, "a", "d", rng)
+        assert delivered
+        assert holders == {"c"}
+
+    def test_stranded_carrier_waits(self, rng):
+        g = Graph(nodes=["a", "b"])
+        holders, delivered = FirstContact().step(g, {"a"}, "a", "b", rng)
+        assert holders == {"a"}
+        assert not delivered

@@ -1,0 +1,127 @@
+"""Unit tests for repro.dtn.replay and repro.dtn.metrics."""
+
+import numpy as np
+import pytest
+
+from repro.dtn import (
+    DirectDelivery,
+    Epidemic,
+    FirstContact,
+    Message,
+    TwoHopRelay,
+    compare_protocols,
+    replay,
+    uniform_workload,
+)
+from repro.geometry import Position
+from repro.trace import Snapshot, Trace, TraceMetadata, random_walk_trace
+
+
+def _chain_trace(steps=6):
+    """Static chain a-b-c-d with 5 m spacing: everything reachable at r=6."""
+    positions = {
+        "a": Position(0, 0),
+        "b": Position(5, 0),
+        "c": Position(10, 0),
+        "d": Position(15, 0),
+    }
+    snaps = [Snapshot(i * 10.0, positions) for i in range(steps)]
+    return Trace(snaps, TraceMetadata(tau=10.0))
+
+
+class TestReplayOnChain:
+    def test_epidemic_delivers_along_chain(self):
+        trace = _chain_trace()
+        msg = Message("m", "a", "d", created_at=0.0)
+        result = replay(trace, 6.0, [msg], Epidemic())
+        assert result.delivery_ratio == 1.0
+        # One hop per snapshot: a->b at t0, ->c at t10, ->d at t20.
+        assert result.outcomes[0].delivery_time == 20.0
+        assert result.outcomes[0].copies == 4
+
+    def test_direct_delivery_fails_across_chain(self):
+        trace = _chain_trace()
+        msg = Message("m", "a", "d", created_at=0.0)
+        result = replay(trace, 6.0, [msg], DirectDelivery())
+        assert result.delivery_ratio == 0.0
+        assert result.median_delay is None
+
+    def test_direct_delivery_succeeds_adjacent(self):
+        trace = _chain_trace()
+        msg = Message("m", "a", "b", created_at=0.0)
+        result = replay(trace, 6.0, [msg], DirectDelivery())
+        assert result.delivery_ratio == 1.0
+        assert result.outcomes[0].delay == 0.0
+
+    def test_two_hop_reaches_two_hops_only(self):
+        trace = _chain_trace()
+        reachable = Message("m1", "a", "c", created_at=0.0)
+        unreachable = Message("m2", "a", "d", created_at=0.0)
+        result = replay(trace, 6.0, [reachable, unreachable], TwoHopRelay())
+        outcomes = {o.message.msg_id: o for o in result.outcomes}
+        assert outcomes["m1"].delivered
+        assert not outcomes["m2"].delivered
+
+    def test_ttl_stops_forwarding(self):
+        trace = _chain_trace()
+        msg = Message("m", "a", "d", created_at=0.0, ttl=15.0)
+        result = replay(trace, 6.0, [msg], Epidemic())
+        # Needs 20 s; TTL expires at 15 s.
+        assert result.delivery_ratio == 0.0
+
+    def test_message_created_mid_trace(self):
+        trace = _chain_trace()
+        msg = Message("m", "a", "b", created_at=30.0)
+        result = replay(trace, 6.0, [msg], Epidemic())
+        assert result.outcomes[0].delivery_time == 30.0
+        assert result.outcomes[0].delay == 0.0
+
+    def test_range_validation(self):
+        with pytest.raises(ValueError, match="positive"):
+            replay(_chain_trace(), 0.0, [], Epidemic())
+
+
+class TestReplayResult:
+    def test_rows(self):
+        trace = _chain_trace()
+        msg = Message("m", "a", "b", created_at=0.0)
+        row = replay(trace, 6.0, [msg], Epidemic()).row()
+        assert row["protocol"] == "epidemic"
+        assert row["delivery_ratio"] == 1.0
+
+    def test_empty_workload(self):
+        result = replay(_chain_trace(), 6.0, [], Epidemic())
+        assert result.delivery_ratio == 0.0
+        assert result.mean_copies == 0.0
+
+
+class TestProtocolOrdering:
+    """The classic DTN ordering on a mobile trace."""
+
+    @pytest.fixture(scope="class")
+    def results(self):
+        rng = np.random.default_rng(3)
+        trace = random_walk_trace(25, 240, rng, tau=10.0, step_std=10.0)
+        messages = uniform_workload(trace, 40, rng)
+        protocols = [Epidemic(), TwoHopRelay(), FirstContact(), DirectDelivery()]
+        results = compare_protocols(trace, 20.0, messages, protocols)
+        return {r.protocol: r for r in results}
+
+    def test_epidemic_delivers_most(self, results):
+        epidemic = results["epidemic"].delivery_ratio
+        assert epidemic >= results["two-hop"].delivery_ratio
+        assert epidemic >= results["direct"].delivery_ratio
+
+    def test_epidemic_costs_most_copies(self, results):
+        assert results["epidemic"].mean_copies >= results["two-hop"].mean_copies
+        assert results["epidemic"].mean_copies > results["direct"].mean_copies
+
+    def test_direct_is_single_copy(self, results):
+        assert results["direct"].mean_copies == 1.0
+
+    def test_two_hop_beats_direct(self, results):
+        assert results["two-hop"].delivery_ratio >= results["direct"].delivery_ratio
+
+    def test_compare_requires_protocols(self):
+        with pytest.raises(ValueError, match="at least one"):
+            compare_protocols(_chain_trace(), 6.0, [], [])

@@ -1,0 +1,90 @@
+"""Unit tests for the experiment harness (scaled-down configuration)."""
+
+import pytest
+
+from repro.experiments import (
+    ExperimentConfig,
+    analyzer_for,
+    clear_cache,
+    fig1_temporal,
+    fig3_zone_occupation,
+    table1_summary,
+    trace_for,
+)
+from repro.experiments.figures import FIG1_PANELS, FIG2_PANELS
+from repro.experiments.runner import all_analyzers, quick_config
+
+#: One tiny shared configuration so the whole module simulates each
+#: land exactly once (~45 min windows).
+TINY = ExperimentConfig(duration=2700.0, every=30, start_hour=13, spinup=1200.0)
+
+
+@pytest.fixture(scope="module", autouse=True)
+def _fresh_cache():
+    clear_cache()
+    yield
+    clear_cache()
+
+
+class TestRunner:
+    def test_trace_cached(self):
+        first = trace_for("Dance Island", TINY)
+        second = trace_for("Dance Island", TINY)
+        assert first is second
+
+    def test_analyzer_cached(self):
+        assert analyzer_for("Dance Island", TINY) is analyzer_for("Dance Island", TINY)
+
+    def test_unknown_land_rejected(self):
+        with pytest.raises(KeyError, match="unknown land"):
+            trace_for("Atlantis", TINY)
+
+    def test_trace_window_matches_config(self):
+        trace = trace_for("Dance Island", TINY)
+        assert trace.duration == pytest.approx(TINY.duration - TINY.tau, abs=2 * TINY.tau)
+        assert trace.metadata.tau == TINY.tau
+
+    def test_all_analyzers_covers_three_lands(self):
+        analyzers = all_analyzers(TINY)
+        assert set(analyzers) == {"Apfel Land", "Dance Island", "Isle of View"}
+
+    def test_quick_config(self):
+        cfg = quick_config(2.0)
+        assert cfg.duration == 7200.0
+        with pytest.raises(ValueError):
+            quick_config(0.0)
+
+    def test_config_flags(self):
+        assert not TINY.scaled_to_paper()
+        assert ExperimentConfig().scaled_to_paper()
+
+
+class TestFigureBuilders:
+    def test_fig1_panel_structure(self):
+        fig1 = fig1_temporal(TINY)
+        assert tuple(fig1) == FIG1_PANELS
+        for panel in FIG1_PANELS:
+            assert set(fig1[panel]) == {"Apfel Land", "Dance Island", "Isle of View"}
+
+    def test_fig1_ccdf_values_sane(self):
+        fig1 = fig1_temporal(TINY)
+        for series in fig1.values():
+            for ecdf in series.values():
+                assert 0.0 <= ecdf.ccdf(ecdf.median) <= 0.5 + 1.0 / ecdf.n
+
+    def test_fig3_empty_cells_dominate(self):
+        fig3 = fig3_zone_occupation(TINY)
+        for land, ecdf in fig3.items():
+            assert float(ecdf.cdf(0.0)) > 0.7, land
+
+    def test_table1_rows(self):
+        rows = table1_summary(TINY)
+        assert len(rows) == 3
+        for row in rows:
+            assert row["unique_users"] > 0
+            assert row["mean_concurrent"] > 0
+            assert "paper_unique_users" in row
+
+    def test_fig2_panel_names(self):
+        assert FIG2_PANELS[0] == "degree_rb"
+        assert len(FIG2_PANELS) == 6

@@ -1,0 +1,137 @@
+"""Unit tests for repro.geometry.grid."""
+
+import numpy as np
+import pytest
+
+from repro.geometry import CellIndex, SpatialGrid, cell_of, iter_cells
+from repro.geometry.grid import occupancy_counts
+
+
+class TestCellOf:
+    def test_origin_in_first_cell(self):
+        assert cell_of(0.0, 0.0, 20.0) == CellIndex(0, 0)
+
+    def test_interior_point(self):
+        assert cell_of(25.0, 45.0, 20.0) == CellIndex(1, 2)
+
+    def test_boundary_goes_to_next_cell(self):
+        assert cell_of(20.0, 0.0, 20.0) == CellIndex(1, 0)
+
+    def test_rejects_non_positive_cell_size(self):
+        with pytest.raises(ValueError, match="positive"):
+            cell_of(1.0, 1.0, 0.0)
+
+
+class TestIterCells:
+    def test_exact_division(self):
+        cells = list(iter_cells(40.0, 20.0, 20.0))
+        assert len(cells) == 2 * 1
+
+    def test_partial_cells_included(self):
+        # 256 / 20 -> 13 columns and rows, as in the paper's zoning.
+        cells = list(iter_cells(256.0, 256.0, 20.0))
+        assert len(cells) == 13 * 13
+
+    def test_row_major_order(self):
+        cells = list(iter_cells(40.0, 40.0, 20.0))
+        assert cells == [CellIndex(0, 0), CellIndex(1, 0), CellIndex(0, 1), CellIndex(1, 1)]
+
+
+class TestSpatialGrid:
+    def test_len_counts_points(self):
+        grid = SpatialGrid(10.0)
+        grid.insert_many([("a", 1, 1), ("b", 2, 2), ("c", 99, 99)])
+        assert len(grid) == 3
+
+    def test_within_finds_nearby(self):
+        grid = SpatialGrid(10.0)
+        grid.insert("a", 5.0, 5.0)
+        grid.insert("b", 8.0, 5.0)
+        grid.insert("far", 200.0, 200.0)
+        assert sorted(grid.within(5.0, 5.0, 5.0)) == ["a", "b"]
+
+    def test_within_is_strict(self):
+        grid = SpatialGrid(10.0)
+        grid.insert("edge", 10.0, 0.0)
+        # Exactly at distance r: excluded, matching "distance < r".
+        assert grid.within(0.0, 0.0, 10.0) == []
+
+    def test_within_crosses_cell_borders(self):
+        grid = SpatialGrid(5.0)
+        grid.insert("a", 4.9, 4.9)
+        grid.insert("b", 5.1, 5.1)
+        assert sorted(grid.within(5.0, 5.0, 1.0)) == ["a", "b"]
+
+    def test_within_rejects_negative_radius(self):
+        grid = SpatialGrid(5.0)
+        with pytest.raises(ValueError, match="non-negative"):
+            grid.within(0, 0, -1.0)
+
+    def test_neighbour_pairs_simple(self):
+        grid = SpatialGrid(10.0)
+        grid.insert("a", 0.0, 0.0)
+        grid.insert("b", 3.0, 0.0)
+        grid.insert("c", 100.0, 100.0)
+        pairs = grid.neighbour_pairs(5.0)
+        assert len(pairs) == 1
+        assert set(pairs[0]) == {"a", "b"}
+
+    def test_neighbour_pairs_unique(self):
+        grid = SpatialGrid(4.0)
+        grid.insert_many([("a", 1, 1), ("b", 2, 1), ("c", 3, 1)])
+        pairs = grid.neighbour_pairs(10.0)
+        as_sets = [frozenset(p) for p in pairs]
+        assert len(as_sets) == len(set(as_sets)) == 3
+
+    def test_neighbour_pairs_matches_bruteforce(self):
+        rng = np.random.default_rng(7)
+        points = [(f"p{i}", float(x), float(y)) for i, (x, y) in enumerate(rng.uniform(0, 100, (60, 2)))]
+        grid = SpatialGrid(15.0)
+        grid.insert_many(points)
+        r = 12.0
+        got = {frozenset(p) for p in grid.neighbour_pairs(r)}
+        expected = set()
+        for i, (ka, xa, ya) in enumerate(points):
+            for kb, xb, yb in points[i + 1:]:
+                if (xa - xb) ** 2 + (ya - yb) ** 2 < r * r:
+                    expected.add(frozenset((ka, kb)))
+        assert got == expected
+
+    def test_clear(self):
+        grid = SpatialGrid(10.0)
+        grid.insert("a", 1, 1)
+        grid.clear()
+        assert len(grid) == 0
+        assert grid.within(1, 1, 5) == []
+
+    def test_occupancy(self):
+        grid = SpatialGrid(10.0)
+        grid.insert_many([("a", 1, 1), ("b", 2, 2), ("c", 55, 55)])
+        occ = grid.occupancy()
+        assert sorted(occ.values()) == [1, 2]
+
+
+class TestOccupancyCounts:
+    def test_total_preserved(self):
+        rng = np.random.default_rng(3)
+        xy = rng.uniform(0, 256, (40, 2))
+        counts = occupancy_counts(xy, 256.0, 256.0, 20.0)
+        assert counts.sum() == 40
+
+    def test_cell_count_includes_empties(self):
+        counts = occupancy_counts([(1.0, 1.0)], 256.0, 256.0, 20.0)
+        assert counts.size == 13 * 13
+        assert (counts == 0).sum() == 13 * 13 - 1
+
+    def test_empty_input(self):
+        counts = occupancy_counts([], 100.0, 100.0, 20.0)
+        assert counts.sum() == 0
+        assert counts.size == 5 * 5
+
+    def test_clamps_overshoot(self):
+        counts = occupancy_counts([(300.0, -5.0)], 256.0, 256.0, 20.0)
+        assert counts.sum() == 1
+
+    def test_strict_mode_raises(self):
+        with pytest.raises(ValueError, match="outside"):
+            occupancy_counts([(300.0, 5.0)], 256.0, 256.0, 20.0, clamp=False)

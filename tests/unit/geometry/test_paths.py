@@ -1,0 +1,90 @@
+"""Unit tests for repro.geometry.paths."""
+
+import pytest
+
+from repro.geometry import Path, Position, Segment
+
+
+class TestSegment:
+    def test_length(self):
+        seg = Segment(Position(0, 0), Position(3, 4))
+        assert seg.length == 5.0
+
+    def test_point_at_endpoints(self):
+        seg = Segment(Position(0, 0), Position(10, 0))
+        assert seg.point_at(0.0) == Position(0, 0)
+        assert seg.point_at(1.0) == Position(10, 0)
+
+    def test_point_at_midpoint(self):
+        seg = Segment(Position(0, 0), Position(10, 20))
+        assert seg.point_at(0.5) == Position(5, 10)
+
+    def test_interpolates_z(self):
+        seg = Segment(Position(0, 0, 0), Position(0, 0, 10))
+        assert seg.point_at(0.3).z == pytest.approx(3.0)
+
+
+class TestPath:
+    def test_requires_waypoint(self):
+        with pytest.raises(ValueError, match="at least one"):
+            Path(waypoints=[])
+
+    def test_from_points_coerces_tuples(self):
+        path = Path.from_points([(0, 0), (3, 4)])
+        assert path.waypoints[1] == Position(3, 4, 0)
+
+    def test_length(self):
+        path = Path.from_points([(0, 0), (3, 4), (3, 10)])
+        assert path.length == pytest.approx(11.0)
+
+    def test_single_point_path_has_zero_length(self):
+        path = Path.from_points([(5, 5)])
+        assert path.length == 0.0
+        assert path.finished
+
+    def test_advance_moves_cursor(self):
+        path = Path.from_points([(0, 0), (10, 0)])
+        pos = path.advance(4.0)
+        assert pos == Position(4, 0)
+        assert path.walked == 4.0
+        assert path.remaining == 6.0
+
+    def test_advance_clamps_at_end(self):
+        path = Path.from_points([(0, 0), (10, 0)])
+        pos = path.advance(25.0)
+        assert pos == Position(10, 0)
+        assert path.finished
+
+    def test_advance_rejects_negative(self):
+        path = Path.from_points([(0, 0), (10, 0)])
+        with pytest.raises(ValueError, match="non-negative"):
+            path.advance(-1.0)
+
+    def test_advance_across_segments(self):
+        path = Path.from_points([(0, 0), (10, 0), (10, 10)])
+        pos = path.advance(15.0)
+        assert pos == Position(10, 5)
+
+    def test_position_at_is_stateless(self):
+        path = Path.from_points([(0, 0), (10, 0)])
+        assert path.position_at(3.0) == Position(3, 0)
+        assert path.walked == 0.0
+
+    def test_position_at_negative_returns_start(self):
+        path = Path.from_points([(2, 2), (10, 2)])
+        assert path.position_at(-5.0) == Position(2, 2)
+
+    def test_current_position_tracks_cursor(self):
+        path = Path.from_points([(0, 0), (10, 0)])
+        path.advance(7.0)
+        assert path.current_position() == Position(7, 0)
+
+    def test_zero_length_segments_are_skipped(self):
+        path = Path.from_points([(0, 0), (0, 0), (10, 0)])
+        assert path.advance(5.0) == Position(5, 0)
+
+    def test_segments_iteration(self):
+        path = Path.from_points([(0, 0), (1, 0), (1, 1)])
+        segs = list(path.segments())
+        assert len(segs) == 2
+        assert segs[0].end == segs[1].start

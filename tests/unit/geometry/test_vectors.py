@@ -1,0 +1,120 @@
+"""Unit tests for repro.geometry.vectors."""
+
+import math
+
+import numpy as np
+import pytest
+
+from repro.geometry import (
+    ORIGIN,
+    Position,
+    distance,
+    distance_2d,
+    pairwise_distances,
+    path_length,
+    unit_direction,
+)
+
+
+class TestPosition:
+    def test_fields(self):
+        p = Position(1.0, 2.0, 3.0)
+        assert (p.x, p.y, p.z) == (1.0, 2.0, 3.0)
+
+    def test_z_defaults_to_zero(self):
+        assert Position(1.0, 2.0).z == 0.0
+
+    def test_to_2d(self):
+        assert Position(3.0, 4.0, 5.0).to_2d() == (3.0, 4.0)
+
+    def test_origin_detection(self):
+        assert ORIGIN.is_origin()
+        assert Position(0.0, 0.0, 0.0).is_origin()
+
+    def test_nonzero_z_is_not_origin(self):
+        assert not Position(0.0, 0.0, 1.0).is_origin()
+
+    def test_translated(self):
+        p = Position(1.0, 1.0).translated(2.0, -1.0, 0.5)
+        assert p == Position(3.0, 0.0, 0.5)
+
+    def test_is_a_tuple(self):
+        # Positions index like tuples; geometry helpers rely on it.
+        p = Position(7.0, 8.0, 9.0)
+        assert p[0] == 7.0 and p[1] == 8.0 and p[2] == 9.0
+
+
+class TestDistance:
+    def test_planar_euclidean(self):
+        assert distance(Position(0, 0), Position(3, 4)) == 5.0
+
+    def test_z_is_ignored(self):
+        assert distance(Position(0, 0, 0), Position(3, 4, 100)) == 5.0
+
+    def test_symmetric(self):
+        a, b = Position(1, 2), Position(5, 9)
+        assert distance(a, b) == distance(b, a)
+
+    def test_zero_for_same_point(self):
+        assert distance(Position(2, 2), Position(2, 2)) == 0.0
+
+    def test_accepts_raw_tuples(self):
+        assert distance((0, 0), (0, 7)) == 7.0
+
+    def test_distance_2d_matches(self):
+        assert distance_2d(0, 0, 3, 4) == distance(Position(0, 0), Position(3, 4))
+
+
+class TestUnitDirection:
+    def test_axis_aligned(self):
+        assert unit_direction(Position(0, 0), Position(5, 0)) == (1.0, 0.0)
+
+    def test_normalized(self):
+        dx, dy = unit_direction(Position(0, 0), Position(3, 4))
+        assert math.isclose(math.hypot(dx, dy), 1.0)
+
+    def test_coincident_points_give_zero(self):
+        assert unit_direction(Position(1, 1), Position(1, 1)) == (0.0, 0.0)
+
+
+class TestPairwiseDistances:
+    def test_shape_and_diagonal(self):
+        pts = np.array([[0.0, 0.0], [3.0, 4.0], [6.0, 8.0]])
+        d = pairwise_distances(pts)
+        assert d.shape == (3, 3)
+        assert np.allclose(np.diag(d), 0.0)
+
+    def test_values(self):
+        pts = np.array([[0.0, 0.0], [3.0, 4.0]])
+        d = pairwise_distances(pts)
+        assert d[0, 1] == pytest.approx(5.0)
+
+    def test_symmetry(self):
+        rng = np.random.default_rng(4)
+        pts = rng.uniform(0, 100, (10, 2))
+        d = pairwise_distances(pts)
+        assert np.allclose(d, d.T)
+
+    def test_third_column_ignored(self):
+        pts3 = np.array([[0.0, 0.0, 99.0], [3.0, 4.0, -99.0]])
+        assert pairwise_distances(pts3)[0, 1] == pytest.approx(5.0)
+
+    def test_rejects_bad_shape(self):
+        with pytest.raises(ValueError, match="expected"):
+            pairwise_distances(np.array([1.0, 2.0, 3.0]))
+
+
+class TestPathLength:
+    def test_empty_iterable(self):
+        assert path_length([]) == 0.0
+
+    def test_single_point(self):
+        assert path_length([Position(5, 5)]) == 0.0
+
+    def test_straight_line(self):
+        pts = [Position(0, 0), Position(3, 4), Position(6, 8)]
+        assert path_length(pts) == pytest.approx(10.0)
+
+    def test_closed_loop(self):
+        square = [Position(0, 0), Position(1, 0), Position(1, 1), Position(0, 1), Position(0, 0)]
+        assert path_length(square) == pytest.approx(4.0)

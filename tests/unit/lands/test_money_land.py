@@ -1,0 +1,53 @@
+"""Tests for the money-land preset and the sitting artefact flow."""
+
+import pytest
+
+from repro.lands import money_land
+from repro.monitors import Crawler
+from repro.trace import validate_trace
+
+
+class TestMoneyLand:
+    @pytest.fixture(scope="class")
+    def trace(self):
+        world = money_land(hourly_rate=120.0).build(seed=6)
+        return Crawler(tau=10.0).monitor(world, 1800.0)
+
+    def test_campers_sit_and_report_origin(self, trace):
+        # A majority population of sitting campers shows up as the SL
+        # {0,0,0} artefact in the recorded trace.
+        origin_records = [
+            r for r in trace.records() if r.is_sitting_artifact
+        ]
+        assert len(origin_records) > 0
+        camper_records = [r for r in origin_records if r.user.startswith("camper")]
+        assert camper_records, "sitting records must come from campers"
+
+    def test_validator_flags_money_land(self, trace):
+        issues = validate_trace(trace)
+        sitting = [i for i in issues if i.code == "sitting-artifact"]
+        assert len(sitting) > 10
+
+    def test_visitors_still_move_normally(self, trace):
+        visitor_records = [
+            r for r in trace.records()
+            if r.user.startswith("visitor") and not r.is_sitting_artifact
+        ]
+        assert visitor_records
+
+    def test_trip_metrics_are_distorted(self, trace):
+        """The reason the paper avoided money lands: per-user travel
+        becomes meaningless when most of the population reports the
+        origin."""
+        from repro.core import TraceAnalyzer
+
+        analyzer = TraceAnalyzer(trace)
+        lengths = analyzer.travel_lengths()
+        # A large point mass at (near) zero travel from the campers.
+        assert float(lengths.cdf(1.0)) > 0.3
+
+    def test_camper_fraction_validation(self):
+        with pytest.raises(ValueError, match="camper fraction"):
+            money_land(camper_fraction=0.0)
+        with pytest.raises(ValueError, match="camper fraction"):
+            money_land(camper_fraction=1.0)

@@ -1,0 +1,106 @@
+"""Unit tests for repro.lands presets and calibration data."""
+
+import pytest
+
+from repro.lands import (
+    PAPER_TARGETS,
+    apfel_land,
+    dance_island,
+    generic_land,
+    isle_of_view,
+    paper_presets,
+)
+from repro.metaverse import AccessPolicy, World
+
+
+class TestCalibrationData:
+    def test_three_lands_recorded(self):
+        assert set(PAPER_TARGETS) == {"Apfel Land", "Dance Island", "Isle of View"}
+
+    def test_paper_unique_user_counts(self):
+        assert PAPER_TARGETS["Apfel Land"].unique_users == 1568
+        assert PAPER_TARGETS["Dance Island"].unique_users == 3347
+        assert PAPER_TARGETS["Isle of View"].unique_users == 2656
+
+    def test_paper_concurrency(self):
+        assert PAPER_TARGETS["Apfel Land"].mean_concurrency == 13.0
+        assert PAPER_TARGETS["Dance Island"].mean_concurrency == 34.0
+        assert PAPER_TARGETS["Isle of View"].mean_concurrency == 65.0
+
+    def test_ct_ordering_matches_paper(self):
+        """§4: CT medians ~30/60/100 s for Apfel/IoV/Dance at r_b."""
+        ct = {name: t.ct_median_rb for name, t in PAPER_TARGETS.items()}
+        assert ct["Apfel Land"] < ct["Isle of View"] < ct["Dance Island"]
+
+    def test_ict_band_midpoint(self):
+        assert PAPER_TARGETS["Dance Island"].ict_median_mid == 750.0
+
+
+class TestPresets:
+    @pytest.mark.parametrize("factory", [apfel_land, dance_island, isle_of_view])
+    def test_preset_builds_world(self, factory):
+        preset = factory()
+        world = preset.build(seed=1)
+        assert isinstance(world, World)
+        world.run_until(60.0)
+
+    def test_names_match_paper(self):
+        presets = paper_presets()
+        assert set(presets) == set(PAPER_TARGETS)
+        for name, preset in presets.items():
+            assert preset.name == name
+
+    def test_isle_of_view_has_event(self):
+        preset = isle_of_view()
+        assert len(preset.events) == 1
+        event = preset.events[0]
+        assert event.name == "St. Valentine's"
+        assert event.duration == 4 * 3600.0
+
+    def test_apfel_has_builders(self):
+        preset = apfel_land()
+        names = {p.name for p in preset.populations}
+        assert "builders" in names
+
+    def test_dance_floor_dominates_weights(self):
+        preset = dance_island()
+        floor = preset.land.poi_named("dance-floor")
+        assert floor.weight == max(p.weight for p in preset.land.pois)
+
+    def test_lands_are_default_sl_size(self):
+        for preset in paper_presets().values():
+            assert preset.land.width == 256.0
+            assert preset.land.height == 256.0
+
+    def test_builds_are_independent(self):
+        preset = dance_island()
+        w1 = preset.build(seed=1)
+        w2 = preset.build(seed=1)
+        w1.run_until(300.0)
+        assert w2.now == 0.0
+
+
+class TestGenericLand:
+    def test_poi_count(self):
+        preset = generic_land(n_pois=6)
+        assert len(preset.land.pois) == 6
+
+    @pytest.mark.parametrize("kind", ["poi", "rwp", "levy"])
+    def test_mobility_kinds(self, kind):
+        preset = generic_land(mobility=kind)
+        world = preset.build(seed=0)
+        world.run_until(120.0)
+        assert world.stats.logins > 0
+
+    def test_unknown_mobility_rejected(self):
+        with pytest.raises(ValueError, match="unknown mobility"):
+            generic_land(mobility="teleport")
+
+    def test_deterministic_layout(self):
+        a = generic_land(seed=5).land.pois
+        b = generic_land(seed=5).land.pois
+        assert [(p.x, p.y) for p in a] == [(p.x, p.y) for p in b]
+
+    def test_poi_validation(self):
+        with pytest.raises(ValueError, match="at least one"):
+            generic_land(n_pois=0)

@@ -1,0 +1,125 @@
+"""Unit tests for repro.metaverse.avatar."""
+
+import numpy as np
+import pytest
+
+from repro.geometry import Position, distance
+from repro.metaverse import Avatar, AvatarState
+from repro.mobility import RandomWaypoint, StaticModel
+
+
+@pytest.fixture
+def rng():
+    return np.random.default_rng(5)
+
+
+def _avatar(model=None, position=Position(50.0, 50.0)):
+    model = model or RandomWaypoint(100.0, 100.0, min_pause=0.0, max_pause=0.0)
+    return Avatar(user_id="u1", model=model, position=position)
+
+
+class TestLifecycle:
+    def test_starts_online(self):
+        av = _avatar()
+        assert av.online
+        assert av.state is AvatarState.PAUSED
+
+    def test_logout(self):
+        av = _avatar()
+        av.logout()
+        assert not av.online
+        assert av.state is AvatarState.OFFLINE
+
+    def test_offline_ticks_are_noops(self, rng):
+        av = _avatar()
+        av.logout()
+        before = av.position
+        av.tick(10.0, rng)
+        assert av.position == before
+
+
+class TestSitting:
+    def test_sitting_reports_origin(self):
+        av = _avatar(position=Position(42.0, 24.0))
+        av.sit()
+        assert av.reported_position == Position(0.0, 0.0, 0.0)
+        assert av.position == Position(42.0, 24.0)  # true position kept
+
+    def test_stand_restores_reporting(self):
+        av = _avatar(position=Position(42.0, 24.0))
+        av.sit()
+        av.stand()
+        assert av.reported_position == Position(42.0, 24.0)
+
+    def test_sitting_avatar_does_not_move(self, rng):
+        av = _avatar()
+        av.sit()
+        av.tick(100.0, rng)
+        assert av.distance_walked == 0.0
+
+    def test_cannot_sit_offline(self):
+        av = _avatar()
+        av.logout()
+        with pytest.raises(RuntimeError, match="offline"):
+            av.sit()
+
+
+class TestMovement:
+    def test_tick_advances_position(self, rng):
+        av = _avatar()
+        start = av.position
+        av.tick(5.0, rng)
+        assert av.position != start
+        assert av.distance_walked > 0.0
+
+    def test_kinematics_independent_of_tick_size(self):
+        """Walking 30 s in one tick or 30 ticks must land identically."""
+        model = RandomWaypoint(100.0, 100.0, min_pause=1.0, max_pause=2.0)
+        a = Avatar("a", model, Position(50, 50))
+        b = Avatar("b", model, Position(50, 50))
+        rng_a = np.random.default_rng(9)
+        rng_b = np.random.default_rng(9)
+        a.tick(30.0, rng_a)
+        for _i in range(30):
+            b.tick(1.0, rng_b)
+        assert distance(a.position, b.position) < 1e-6
+        assert a.distance_walked == pytest.approx(b.distance_walked, abs=1e-6)
+
+    def test_static_avatar_accumulates_nothing(self, rng):
+        av = _avatar(model=StaticModel(100.0, 100.0))
+        av.tick(1000.0, rng)
+        assert av.distance_walked == 0.0
+        assert av.seconds_moving == 0.0
+
+    def test_seconds_moving_bounded_by_elapsed(self, rng):
+        av = _avatar()
+        av.tick(60.0, rng)
+        assert 0.0 <= av.seconds_moving <= 60.0
+
+    def test_rejects_non_positive_dt(self, rng):
+        with pytest.raises(ValueError, match="positive"):
+            _avatar().tick(0.0, rng)
+
+
+class TestRedirect:
+    def test_redirect_overrides_leg(self, rng):
+        av = _avatar(position=Position(10.0, 10.0))
+        target = Position(90.0, 90.0)
+        av.redirect_to(target, speed=4.0)
+        assert av.state is AvatarState.WALKING
+        before = distance(av.position, target)
+        av.tick(5.0, rng)
+        after = distance(av.position, target)
+        assert after < before  # walking toward the magnet
+
+    def test_sitting_avatars_ignore_redirect(self):
+        av = _avatar()
+        av.sit()
+        av.redirect_to(Position(0.0, 0.0))
+        assert av.state is AvatarState.SITTING
+
+    def test_offline_avatars_ignore_redirect(self):
+        av = _avatar()
+        av.logout()
+        av.redirect_to(Position(0.0, 0.0))
+        assert av.state is AvatarState.OFFLINE

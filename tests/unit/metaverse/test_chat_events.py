@@ -1,0 +1,81 @@
+"""Unit tests for repro.metaverse.chat and repro.metaverse.events."""
+
+import pytest
+
+from repro.geometry import Position
+from repro.metaverse import ChatChannel, ChatMessage, ScheduledEvent
+from repro.mobility import PointOfInterest
+
+
+class TestChatMessage:
+    def test_audibility_range(self):
+        msg = ChatMessage(0.0, "a", "hi", Position(100.0, 100.0))
+        assert msg.audible_from(Position(110.0, 100.0))
+        assert not msg.audible_from(Position(130.0, 100.0))
+
+    def test_custom_range(self):
+        msg = ChatMessage(0.0, "a", "hi", Position(0.0, 0.0))
+        assert msg.audible_from(Position(50.0, 0.0), chat_range=60.0)
+
+
+class TestChatChannel:
+    def test_post_and_recent(self):
+        chan = ChatChannel()
+        chan.post(ChatMessage(10.0, "a", "one", Position(0, 0)))
+        chan.post(ChatMessage(200.0, "b", "two", Position(0, 0)))
+        recent = chan.recent(now=210.0, window=60.0)
+        assert [m.text for m in recent] == ["two"]
+
+    def test_horizon_prunes(self):
+        chan = ChatChannel(horizon=100.0)
+        chan.post(ChatMessage(0.0, "a", "old", Position(0, 0)))
+        chan.post(ChatMessage(500.0, "a", "new", Position(0, 0)))
+        assert len(chan) == 1
+
+    def test_spoken_recently(self):
+        chan = ChatChannel()
+        chan.post(ChatMessage(100.0, "crawler", "nice place!", Position(0, 0)))
+        assert chan.spoken_recently("crawler", now=150.0)
+        assert not chan.spoken_recently("crawler", now=400.0)
+        assert not chan.spoken_recently("other", now=150.0)
+
+    def test_heard_by_respects_range(self):
+        chan = ChatChannel()
+        chan.post(ChatMessage(0.0, "a", "near", Position(0.0, 0.0)))
+        chan.post(ChatMessage(0.0, "b", "far", Position(200.0, 200.0)))
+        heard = list(chan.heard_by(Position(5.0, 5.0), now=10.0))
+        assert [m.text for m in heard] == ["near"]
+
+
+class TestScheduledEvent:
+    def _event(self, **kwargs):
+        venue = PointOfInterest("stage", 100.0, 100.0, radius=10.0, weight=2.0)
+        defaults = dict(name="party", start=100.0, end=200.0, venue=venue)
+        defaults.update(kwargs)
+        return ScheduledEvent(**defaults)
+
+    def test_active_window_half_open(self):
+        event = self._event()
+        assert not event.active_at(99.9)
+        assert event.active_at(100.0)
+        assert event.active_at(199.9)
+        assert not event.active_at(200.0)
+
+    def test_duration(self):
+        assert self._event().duration == 100.0
+
+    def test_boosted_venue_scales_weight(self):
+        event = self._event(weight_boost=5.0)
+        boosted = event.boosted_venue()
+        assert boosted.weight == 10.0
+        assert boosted.name == "stage"
+        # Spawn weight rises so event-goers land at the venue.
+        assert boosted.spawn_weight >= event.venue.weight
+
+    def test_validation(self):
+        with pytest.raises(ValueError, match="end after"):
+            self._event(start=200.0, end=100.0)
+        with pytest.raises(ValueError, match="arrival boost"):
+            self._event(arrival_boost=0.0)
+        with pytest.raises(ValueError, match="weight boost"):
+            self._event(weight_boost=-1.0)

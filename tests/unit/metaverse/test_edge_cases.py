@@ -1,0 +1,140 @@
+"""Edge cases and failure injection for the world engine."""
+
+import numpy as np
+import pytest
+
+from repro.geometry import Path, Position
+from repro.metaverse import Avatar, AvatarState, Land, Population, SessionProcess, World
+from repro.metaverse.avatar import _MIN_EFFECTIVE_PAUSE
+from repro.mobility import Leg, MobilityModel, RandomWaypoint
+
+
+class DegenerateModel(MobilityModel):
+    """A pathological model: zero-length legs with zero pause."""
+
+    def initial_position(self, rng):
+        return Position(10.0, 10.0)
+
+    def next_leg(self, position, rng):
+        return Leg(Path.from_points([position]), speed=0.0, pause=0.0)
+
+
+class BurstModel(MobilityModel):
+    """Tiny legs with tiny pauses: many leg boundaries per tick."""
+
+    def initial_position(self, rng):
+        return Position(50.0, 50.0)
+
+    def next_leg(self, position, rng):
+        target = Position(position.x + 0.5, position.y)
+        return Leg(Path.from_points([position, target]), speed=5.0, pause=0.05)
+
+
+class TestPathologicalModels:
+    def test_degenerate_model_cannot_stall_the_clock(self):
+        avatar = Avatar("d", DegenerateModel(256.0, 256.0), Position(10.0, 10.0))
+        rng = np.random.default_rng(0)
+        # Must terminate: degenerate legs are coerced to a minimum pause.
+        avatar.tick(10.0, rng)
+        assert avatar.state is AvatarState.PAUSED
+        assert avatar.position == Position(10.0, 10.0)
+
+    def test_min_effective_pause_is_positive(self):
+        assert _MIN_EFFECTIVE_PAUSE > 0
+
+    def test_burst_model_crosses_many_legs_per_tick(self):
+        avatar = Avatar("b", BurstModel(256.0, 256.0), Position(50.0, 50.0))
+        rng = np.random.default_rng(0)
+        avatar.tick(2.0, rng)
+        # 0.5 m per leg at 5 m/s = 0.1 s walk + 0.05 s pause: a 2 s
+        # tick crosses ~13 legs; the avatar must have moved several legs.
+        assert avatar.distance_walked > 2.0
+
+
+class TestWorldEdgeCases:
+    def test_zero_population_window(self):
+        # A rate so low that no one arrives in the window.
+        pop = Population(
+            "ghost",
+            SessionProcess(hourly_rate=1e-3),
+            RandomWaypoint(256.0, 256.0),
+        )
+        world = World(Land("Empty"), [pop], seed=0)
+        world.run_until(600.0)
+        assert world.online_count == 0
+        assert world.snapshot_positions() == {}
+
+    def test_fractional_dt(self):
+        pop = Population(
+            "v", SessionProcess(hourly_rate=300.0), RandomWaypoint(256.0, 256.0)
+        )
+        world = World(Land("F"), [pop], seed=1, dt=0.5)
+        world.run_until(100.0)
+        assert world.now == pytest.approx(100.0)
+
+    def test_run_until_is_idempotent_at_same_time(self):
+        pop = Population(
+            "v", SessionProcess(hourly_rate=100.0), RandomWaypoint(256.0, 256.0)
+        )
+        world = World(Land("I"), [pop], seed=2)
+        world.run_until(50.0)
+        logins = world.stats.logins
+        world.run_until(50.0)  # no-op
+        assert world.stats.logins == logins
+
+    def test_prepare_extension_monotone(self):
+        pop = Population(
+            "v", SessionProcess(hourly_rate=200.0), RandomWaypoint(256.0, 256.0)
+        )
+        world = World(Land("P"), [pop], seed=3)
+        world.prepare(600.0)
+        pending_after_first = len(world._pending)
+        world.prepare(300.0)  # shrinking horizon is a no-op
+        assert len(world._pending) == pending_after_first
+        world.prepare(1200.0)
+        assert len(world._pending) > pending_after_first
+
+    def test_arrival_times_within_pending_are_sorted(self):
+        pop_a = Population(
+            "a", SessionProcess(hourly_rate=150.0, user_prefix="a"),
+            RandomWaypoint(256.0, 256.0),
+        )
+        pop_b = Population(
+            "b", SessionProcess(hourly_rate=150.0, user_prefix="b"),
+            RandomWaypoint(256.0, 256.0),
+        )
+        world = World(Land("S"), [pop_a, pop_b], seed=4)
+        world.prepare(3600.0)
+        times = [v.arrival_time for v, _p, _e in world._pending]
+        assert times == sorted(times)
+
+    def test_avatar_lookup(self):
+        pop = Population(
+            "v", SessionProcess(hourly_rate=600.0), RandomWaypoint(256.0, 256.0)
+        )
+        world = World(Land("L"), [pop], seed=5)
+        world.run_until(120.0)
+        some_avatar = world.online_avatars()[0]
+        assert world.avatar(some_avatar.user_id) is some_avatar
+        with pytest.raises(KeyError):
+            world.avatar("nobody")
+
+
+class TestSessionTruncationAtTraceEnd:
+    def test_sessions_extend_past_monitoring_window(self):
+        """Sessions longer than the window are observed truncated,
+        exactly like the paper's 24 h cut."""
+        from repro.monitors import Crawler
+
+        pop = Population(
+            "v",
+            SessionProcess(hourly_rate=400.0),
+            RandomWaypoint(256.0, 256.0),
+        )
+        world = World(Land("T"), [pop], seed=6)
+        trace = Crawler(tau=10.0).monitor(world, 900.0)
+        # Users still online at the end were recorded up to the cut.
+        assert world.online_count > 0
+        last = trace.snapshots[-1]
+        online_ids = {a.user_id for a in world.online_avatars()}
+        assert online_ids & set(last.users)

@@ -1,0 +1,126 @@
+"""Unit tests for repro.metaverse.land and repro.metaverse.objects."""
+
+import pytest
+
+from repro.geometry import Position
+from repro.metaverse import (
+    AccessPolicy,
+    DeploymentError,
+    Land,
+    MoneySpot,
+    ScriptedObject,
+    SitObject,
+    WorldObject,
+)
+from repro.metaverse.objects import deploy
+from repro.mobility import PointOfInterest
+
+
+class TestAccessPolicy:
+    def test_private_forbids_deployment(self):
+        assert not AccessPolicy.PRIVATE.allows_object_deployment
+        assert AccessPolicy.PUBLIC.allows_object_deployment
+        assert AccessPolicy.SANDBOX.allows_object_deployment
+
+    def test_only_public_expires(self):
+        assert AccessPolicy.PUBLIC.objects_expire
+        assert not AccessPolicy.PRIVATE.objects_expire
+        assert not AccessPolicy.SANDBOX.objects_expire
+
+
+class TestLand:
+    def test_default_size_is_sl_region(self):
+        land = Land("X")
+        assert land.width == 256.0 and land.height == 256.0
+        assert land.area == 256.0 * 256.0
+
+    def test_contains_and_clamp(self):
+        land = Land("X")
+        assert land.contains(Position(100, 100))
+        assert not land.contains(Position(-1, 100))
+        assert land.clamp(Position(300, -5)) == Position(256.0, 0.0)
+
+    def test_poi_outside_rejected(self):
+        poi = PointOfInterest("p", 500.0, 10.0, radius=5.0)
+        with pytest.raises(ValueError, match="outside"):
+            Land("X", pois=[poi])
+
+    def test_poi_named(self):
+        poi = PointOfInterest("stage", 10.0, 10.0, radius=5.0)
+        land = Land("X", pois=[poi])
+        assert land.poi_named("stage") is poi
+        with pytest.raises(KeyError):
+            land.poi_named("missing")
+
+    def test_with_poi_copies(self):
+        land = Land("X")
+        extra = PointOfInterest("new", 10.0, 10.0, radius=5.0)
+        grown = land.with_poi(extra)
+        assert len(grown.pois) == 1
+        assert len(land.pois) == 0
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            Land("X", width=0.0)
+        with pytest.raises(ValueError):
+            Land("X", object_lifetime=0.0)
+        with pytest.raises(ValueError):
+            Land("X", max_concurrent=0)
+
+
+class TestWorldObjects:
+    def test_expiry_on_public_land(self):
+        land = Land("X", policy=AccessPolicy.PUBLIC, object_lifetime=100.0)
+        obj = WorldObject(position=Position(10, 10), created_at=50.0)
+        assert obj.expires_at(land) == 150.0
+        assert not obj.expired(land, 149.0)
+        assert obj.expired(land, 150.0)
+
+    def test_no_expiry_on_sandbox(self):
+        land = Land("X", policy=AccessPolicy.SANDBOX)
+        obj = WorldObject(position=Position(10, 10))
+        assert obj.expires_at(land) is None
+        assert not obj.expired(land, 1e12)
+
+    def test_object_ids_unique(self):
+        a = WorldObject(position=Position(0, 0))
+        b = WorldObject(position=Position(0, 0))
+        assert a.object_id != b.object_id
+
+    def test_scripted_object_memory_limit(self):
+        obj = ScriptedObject(position=Position(0, 0))
+        assert obj.memory_limit_bytes == 16 * 1024
+        with pytest.raises(ValueError):
+            ScriptedObject(position=Position(0, 0), memory_limit_bytes=0)
+
+    def test_sit_object_capacity(self):
+        with pytest.raises(ValueError):
+            SitObject(position=Position(0, 0), capacity=0)
+
+    def test_money_spot_interval(self):
+        with pytest.raises(ValueError):
+            MoneySpot(position=Position(0, 0), payout_interval=0.0)
+
+
+class TestDeploy:
+    def test_public_land_accepts(self):
+        land = Land("X", policy=AccessPolicy.PUBLIC)
+        obj = ScriptedObject(position=Position(10, 10))
+        assert deploy(land, obj) is obj
+
+    def test_private_land_refuses(self):
+        land = Land("X", policy=AccessPolicy.PRIVATE)
+        obj = ScriptedObject(position=Position(10, 10))
+        with pytest.raises(DeploymentError, match="private"):
+            deploy(land, obj)
+
+    def test_private_land_with_authorization(self):
+        land = Land("X", policy=AccessPolicy.PRIVATE)
+        obj = ScriptedObject(position=Position(10, 10))
+        assert deploy(land, obj, authorized=True) is obj
+
+    def test_off_land_position_refused(self):
+        land = Land("X")
+        obj = ScriptedObject(position=Position(500.0, 10.0))
+        with pytest.raises(DeploymentError, match="outside"):
+            deploy(land, obj)

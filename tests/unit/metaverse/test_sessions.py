@@ -1,0 +1,149 @@
+"""Unit tests for repro.metaverse.sessions."""
+
+import numpy as np
+import pytest
+
+from repro.metaverse import PlannedVisit, SessionProcess
+from repro.metaverse.sessions import (
+    EVENING_PROFILE,
+    FLAT_PROFILE,
+    MAX_SESSION_SECONDS,
+    VisitIterator,
+)
+
+
+@pytest.fixture
+def rng():
+    return np.random.default_rng(77)
+
+
+class TestPlannedVisit:
+    def test_departure(self):
+        v = PlannedVisit("u", 100.0, 50.0)
+        assert v.departure_time == 150.0
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            PlannedVisit("u", -1.0, 10.0)
+        with pytest.raises(ValueError):
+            PlannedVisit("u", 0.0, 0.0)
+
+
+class TestProfiles:
+    def test_flat_profile(self):
+        assert len(FLAT_PROFILE) == 24
+        assert all(m == 1.0 for m in FLAT_PROFILE)
+
+    def test_evening_profile_normalized(self):
+        assert len(EVENING_PROFILE) == 24
+        assert sum(EVENING_PROFILE) / 24.0 == pytest.approx(1.0)
+
+    def test_evening_peak_in_the_evening(self):
+        assert max(EVENING_PROFILE) == EVENING_PROFILE[20]
+
+
+class TestSessionProcess:
+    def test_rate_at_flat(self):
+        proc = SessionProcess(hourly_rate=360.0)
+        assert proc.rate_at(0.0) == pytest.approx(0.1)
+        assert proc.rate_at(12 * 3600.0) == pytest.approx(0.1)
+
+    def test_rate_follows_profile(self):
+        proc = SessionProcess(hourly_rate=100.0, diurnal_profile=EVENING_PROFILE)
+        assert proc.rate_at(20.5 * 3600.0) > proc.rate_at(3.5 * 3600.0)
+
+    def test_rate_wraps_around_midnight(self):
+        proc = SessionProcess(hourly_rate=100.0, diurnal_profile=EVENING_PROFILE)
+        assert proc.rate_at(3.0 * 3600.0) == proc.rate_at(27.0 * 3600.0)
+
+    def test_schedule_counts_match_rate(self, rng):
+        proc = SessionProcess(hourly_rate=120.0)
+        visits = proc.schedule(3600.0 * 10, rng)
+        assert len(visits) == pytest.approx(1200, rel=0.1)
+
+    def test_schedule_time_ordered_and_in_window(self, rng):
+        proc = SessionProcess(hourly_rate=60.0)
+        visits = proc.schedule(3600.0, rng, start=1800.0)
+        times = [v.arrival_time for v in visits]
+        assert times == sorted(times)
+        assert all(1800.0 <= t for t in times)
+
+    def test_unique_ids(self, rng):
+        proc = SessionProcess(hourly_rate=100.0)
+        visits = proc.schedule(3600.0, rng)
+        first_ids = {v.user_id for v in visits}
+        assert len(first_ids) == len(visits)  # no revisits by default
+
+    def test_serial_start_offsets_ids(self, rng):
+        proc = SessionProcess(hourly_rate=100.0, user_prefix="x")
+        visits = proc.schedule(600.0, rng, serial_start=500)
+        assert all(int(v.user_id.split("-")[-1]) > 500 for v in visits)
+
+    def test_durations_capped(self, rng):
+        proc = SessionProcess(hourly_rate=200.0)
+        visits = proc.schedule(4 * 3600.0, rng)
+        assert all(v.duration <= MAX_SESSION_SECONDS for v in visits)
+
+    def test_boost_multiplies_arrivals(self, rng):
+        proc = SessionProcess(hourly_rate=60.0)
+        plain = proc.schedule(4 * 3600.0, np.random.default_rng(1))
+        boosted = proc.schedule(
+            4 * 3600.0, np.random.default_rng(1), boost=lambda t: 3.0
+        )
+        assert len(boosted) > 2.0 * len(plain)
+
+    def test_expected_unique_users(self):
+        proc = SessionProcess(hourly_rate=50.0)
+        assert proc.expected_unique_users(2.5 * 3600.0) == pytest.approx(125.0)
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            SessionProcess(hourly_rate=0.0)
+        with pytest.raises(ValueError):
+            SessionProcess(hourly_rate=10.0, diurnal_profile=(1.0,) * 23)
+        with pytest.raises(ValueError):
+            SessionProcess(hourly_rate=10.0, diurnal_profile=(0.0,) * 24)
+        with pytest.raises(ValueError):
+            SessionProcess(hourly_rate=10.0, revisit_probability=1.0)
+
+
+class TestRevisits:
+    def test_revisits_share_user_id(self, rng):
+        proc = SessionProcess(hourly_rate=30.0, revisit_probability=0.5)
+        visits = proc.schedule(6 * 3600.0, rng)
+        by_user = {}
+        for v in visits:
+            by_user.setdefault(v.user_id, []).append(v)
+        multi = [vs for vs in by_user.values() if len(vs) > 1]
+        assert multi, "expected at least one returning user"
+
+    def test_revisits_never_overlap(self, rng):
+        proc = SessionProcess(hourly_rate=30.0, revisit_probability=0.6)
+        visits = proc.schedule(6 * 3600.0, rng)
+        by_user = {}
+        for v in visits:
+            by_user.setdefault(v.user_id, []).append(v)
+        for vs in by_user.values():
+            vs.sort(key=lambda v: v.arrival_time)
+            for prev, cur in zip(vs, vs[1:]):
+                assert cur.arrival_time > prev.departure_time
+
+    def test_mean_visits_per_user(self):
+        proc = SessionProcess(hourly_rate=10.0, revisit_probability=0.5)
+        assert proc.mean_visits_per_user == pytest.approx(2.0)
+
+    def test_visit_volume_scales_with_revisits(self, rng):
+        base = SessionProcess(hourly_rate=50.0)
+        returning = SessionProcess(hourly_rate=50.0, revisit_probability=0.5)
+        n_base = len(base.schedule(12 * 3600.0, np.random.default_rng(2)))
+        n_returning = len(returning.schedule(12 * 3600.0, np.random.default_rng(2)))
+        assert n_returning > 1.3 * n_base
+
+
+class TestVisitIterator:
+    def test_yields_due_in_order(self):
+        visits = [PlannedVisit("b", 20.0, 5.0), PlannedVisit("a", 10.0, 5.0)]
+        it = VisitIterator(visits)
+        assert [v.user_id for v in it.due(15.0)] == ["a"]
+        assert [v.user_id for v in it.due(25.0)] == ["b"]
+        assert it.exhausted

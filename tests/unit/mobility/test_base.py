@@ -1,0 +1,56 @@
+"""Unit tests for repro.mobility.base."""
+
+import numpy as np
+import pytest
+
+from repro.geometry import Path, Position
+from repro.mobility import Leg, RandomWaypoint
+
+
+class TestLeg:
+    def test_travel_seconds(self):
+        leg = Leg(Path.from_points([(0, 0), (30, 0)]), speed=3.0, pause=10.0)
+        assert leg.travel_seconds == 10.0
+        assert leg.total_seconds == 20.0
+
+    def test_pure_pause_leg(self):
+        leg = Leg(Path.from_points([(5, 5)]), speed=0.0, pause=60.0)
+        assert leg.travel_seconds == 0.0
+        assert leg.total_seconds == 60.0
+
+    def test_rejects_negative_speed(self):
+        with pytest.raises(ValueError, match="non-negative"):
+            Leg(Path.from_points([(0, 0)]), speed=-1.0, pause=0.0)
+
+    def test_rejects_zero_speed_with_distance(self):
+        with pytest.raises(ValueError, match="zero speed"):
+            Leg(Path.from_points([(0, 0), (10, 0)]), speed=0.0, pause=0.0)
+
+    def test_rejects_negative_pause(self):
+        with pytest.raises(ValueError, match="non-negative"):
+            Leg(Path.from_points([(0, 0)]), speed=0.0, pause=-5.0)
+
+
+class TestModelHelpers:
+    def test_clamp(self):
+        model = RandomWaypoint(100.0, 50.0)
+        assert model.clamp(-5.0, 60.0) == Position(0.0, 50.0)
+        assert model.clamp(42.0, 7.0) == Position(42.0, 7.0)
+
+    def test_uniform_point_in_bounds(self):
+        model = RandomWaypoint(100.0, 50.0)
+        rng = np.random.default_rng(0)
+        for _i in range(100):
+            p = model.uniform_point(rng)
+            assert 0.0 <= p.x <= 100.0
+            assert 0.0 <= p.y <= 50.0
+
+    def test_size_validation(self):
+        with pytest.raises(ValueError, match="positive"):
+            RandomWaypoint(0.0, 10.0)
+
+    def test_straight_leg(self):
+        model = RandomWaypoint(100.0, 100.0)
+        leg = model.straight_leg(Position(0, 0), Position(10, 0), speed=2.0, pause=1.0)
+        assert leg.path.length == 10.0
+        assert leg.travel_seconds == 5.0

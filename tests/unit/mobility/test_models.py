@@ -1,0 +1,255 @@
+"""Unit tests for the concrete mobility models."""
+
+import math
+
+import numpy as np
+import pytest
+
+from repro.geometry import Position, distance
+from repro.mobility import (
+    LevyWalk,
+    PoiMobility,
+    PointOfInterest,
+    RandomWaypoint,
+    StaticModel,
+)
+
+
+@pytest.fixture
+def rng():
+    return np.random.default_rng(11)
+
+
+class TestRandomWaypoint:
+    def test_legs_stay_in_bounds(self, rng):
+        model = RandomWaypoint(200.0, 100.0)
+        pos = model.initial_position(rng)
+        for _i in range(50):
+            leg = model.next_leg(pos, rng)
+            end = leg.path.waypoints[-1]
+            assert 0.0 <= end.x <= 200.0
+            assert 0.0 <= end.y <= 100.0
+            pos = end
+
+    def test_speed_range_respected(self, rng):
+        model = RandomWaypoint(100.0, 100.0, min_speed=2.0, max_speed=3.0)
+        for _i in range(50):
+            leg = model.next_leg(Position(50, 50), rng)
+            assert 2.0 <= leg.speed < 3.0
+
+    def test_pause_range_respected(self, rng):
+        model = RandomWaypoint(100.0, 100.0, min_pause=5.0, max_pause=6.0)
+        for _i in range(50):
+            leg = model.next_leg(Position(50, 50), rng)
+            assert 5.0 <= leg.pause < 6.0
+
+    def test_fixed_pause(self, rng):
+        model = RandomWaypoint(100.0, 100.0, min_pause=7.0, max_pause=7.0)
+        assert model.next_leg(Position(0, 0), rng).pause == 7.0
+
+    def test_zero_min_speed_rejected(self):
+        with pytest.raises(ValueError, match="min_speed"):
+            RandomWaypoint(100.0, 100.0, min_speed=0.0)
+
+
+class TestLevyWalk:
+    def test_flight_lengths_truncated(self, rng):
+        model = LevyWalk(1000.0, 1000.0, min_flight=5.0, max_flight=50.0)
+        start = Position(500.0, 500.0)
+        for _i in range(200):
+            leg = model.next_leg(start, rng)
+            # Reflection can shorten the chord but never lengthen it.
+            assert leg.path.length <= 50.0 + 1e-9
+
+    def test_reflection_keeps_walker_inside(self, rng):
+        model = LevyWalk(100.0, 100.0, min_flight=50.0, max_flight=400.0)
+        pos = Position(5.0, 5.0)
+        for _i in range(100):
+            leg = model.next_leg(pos, rng)
+            pos = leg.path.waypoints[-1]
+            assert 0.0 <= pos.x <= 100.0
+            assert 0.0 <= pos.y <= 100.0
+
+    def test_reflect_axis(self):
+        assert LevyWalk._reflect_axis(-10.0, 100.0) == 10.0
+        assert LevyWalk._reflect_axis(110.0, 100.0) == 90.0
+        assert LevyWalk._reflect_axis(250.0, 100.0) == 50.0
+        assert LevyWalk._reflect_axis(30.0, 100.0) == 30.0
+
+    def test_heavy_tailed_flights(self, rng):
+        model = LevyWalk(10000.0, 10000.0, flight_alpha=1.5,
+                         min_flight=1.0, max_flight=1000.0)
+        lengths = [model.next_leg(Position(5000, 5000), rng).path.length for _ in range(2000)]
+        # Heavy tail: p99 much larger than the median.
+        assert np.quantile(lengths, 0.99) > 10 * np.median(lengths)
+
+    def test_speed_validation(self):
+        with pytest.raises(ValueError, match="speed"):
+            LevyWalk(100.0, 100.0, speed=0.0)
+
+
+class TestStaticModel:
+    def test_anchor_spawn(self, rng):
+        model = StaticModel(100.0, 100.0, anchor=Position(10.0, 20.0))
+        assert model.initial_position(rng) == Position(10.0, 20.0)
+
+    def test_region_spawn_inside_disc(self, rng):
+        model = StaticModel(256.0, 256.0, region=(100.0, 100.0, 30.0))
+        for _i in range(100):
+            p = model.initial_position(rng)
+            assert distance(p, Position(100.0, 100.0)) <= 30.0 + 1e-9
+
+    def test_uniform_spawn(self, rng):
+        model = StaticModel(50.0, 50.0)
+        p = model.initial_position(rng)
+        assert 0.0 <= p.x <= 50.0
+
+    def test_never_moves(self, rng):
+        model = StaticModel(100.0, 100.0)
+        pos = Position(5.0, 5.0)
+        leg = model.next_leg(pos, rng)
+        assert leg.path.length == 0.0
+        assert leg.pause > 0.0
+
+    def test_anchor_and_region_exclusive(self):
+        with pytest.raises(ValueError, match="either"):
+            StaticModel(100.0, 100.0, anchor=Position(1, 1), region=(5, 5, 2))
+
+    def test_anchor_bounds_checked(self):
+        with pytest.raises(ValueError, match="outside"):
+            StaticModel(100.0, 100.0, anchor=Position(500.0, 5.0))
+
+
+class TestPointOfInterest:
+    def test_contains(self):
+        poi = PointOfInterest("p", 50.0, 50.0, radius=10.0)
+        assert poi.contains(Position(55.0, 50.0))
+        assert not poi.contains(Position(65.0, 50.0))
+
+    def test_validation(self):
+        with pytest.raises(ValueError, match="radius"):
+            PointOfInterest("p", 0, 0, radius=0.0)
+        with pytest.raises(ValueError, match="weights"):
+            PointOfInterest("p", 0, 0, radius=1.0, weight=-1.0)
+        with pytest.raises(ValueError, match="dwell"):
+            PointOfInterest("p", 0, 0, radius=1.0, dwell_scale=0.0)
+
+
+class TestPoiMobility:
+    def _model(self, **kwargs):
+        pois = [
+            PointOfInterest("hub", 128.0, 128.0, radius=15.0, weight=5.0, spawn_weight=1.0),
+            PointOfInterest("side", 50.0, 50.0, radius=10.0, weight=1.0),
+        ]
+        defaults = dict(stay_probability=0.8, explore_probability=0.05)
+        defaults.update(kwargs)
+        return PoiMobility(256.0, 256.0, pois, **defaults)
+
+    def test_requires_pois(self):
+        with pytest.raises(ValueError, match="at least one"):
+            PoiMobility(256.0, 256.0, [])
+
+    def test_requires_positive_weight(self):
+        pois = [PointOfInterest("p", 10, 10, radius=5.0, weight=0.0)]
+        with pytest.raises(ValueError, match="positive weight"):
+            PoiMobility(256.0, 256.0, pois)
+
+    def test_poi_outside_land_rejected(self):
+        pois = [PointOfInterest("p", 500.0, 10.0, radius=5.0)]
+        with pytest.raises(ValueError, match="outside"):
+            PoiMobility(256.0, 256.0, pois)
+
+    def test_spawn_at_weighted_poi(self, rng):
+        model = self._model()
+        for _i in range(50):
+            p = model.initial_position(rng)
+            # Only the hub has spawn weight.
+            assert distance(p, Position(128.0, 128.0)) <= 15.0 + 1e-9
+
+    def test_uniform_spawn_without_spawn_weights(self, rng):
+        pois = [PointOfInterest("p", 128.0, 128.0, radius=10.0, weight=1.0)]
+        model = PoiMobility(256.0, 256.0, pois)
+        points = [model.initial_position(rng) for _ in range(300)]
+        outside = [p for p in points if distance(p, Position(128, 128)) > 10.0]
+        assert len(outside) > 200  # uniform: most spawns miss the POI
+
+    def test_poi_at(self):
+        model = self._model()
+        assert model.poi_at(Position(128.0, 130.0)).name == "hub"
+        assert model.poi_at(Position(200.0, 200.0)) is None
+
+    def test_micro_move_stays_in_poi(self, rng):
+        model = self._model(stay_probability=1.0)
+        pos = Position(128.0, 128.0)
+        for _i in range(50):
+            leg = model.next_leg(pos, rng)
+            pos = leg.path.waypoints[-1]
+            assert distance(pos, Position(128.0, 128.0)) <= 15.0 + 1e-9
+
+    def test_relocation_targets_other_poi(self, rng):
+        model = self._model(stay_probability=0.0, explore_probability=0.0)
+        # From the hub, the only other destination is "side".
+        for _i in range(20):
+            leg = model.next_leg(Position(128.0, 128.0), rng)
+            end = leg.path.waypoints[-1]
+            assert distance(end, Position(50.0, 50.0)) <= 10.0 + 1e-9
+
+    def test_dwell_scale_stretches_pauses(self, rng):
+        pois = [
+            PointOfInterest("fast", 50.0, 50.0, radius=8.0, weight=1.0),
+            PointOfInterest("slow", 200.0, 200.0, radius=8.0, weight=1.0, dwell_scale=10.0),
+        ]
+        model = PoiMobility(256.0, 256.0, pois, stay_probability=1.0,
+                            explore_probability=0.0)
+        fast = [model.next_leg(Position(50, 50), rng).pause for _ in range(200)]
+        slow = [model.next_leg(Position(200, 200), rng).pause for _ in range(200)]
+        assert np.median(slow) > 5 * np.median(fast)
+
+    def test_local_wander_short_steps(self, rng):
+        model = self._model(local_wander_probability=1.0, local_wander_reach=6.0)
+        pos = Position(200.0, 60.0)  # outside every POI
+        leg = model.next_leg(pos, rng)
+        assert leg.path.length <= 6.0 + 1e-9
+
+    def test_exploration_reaches_whole_land(self, rng):
+        model = self._model(stay_probability=0.0, explore_probability=1.0)
+        ends = [model.next_leg(Position(128, 128), rng).path.waypoints[-1] for _ in range(300)]
+        xs = [p.x for p in ends]
+        assert min(xs) < 40 and max(xs) > 216  # spans the land
+
+    def test_point_within_always_inside(self, rng):
+        model = self._model()
+        poi = model.pois[0]
+        for _i in range(200):
+            assert poi.contains(model.point_within(poi, rng))
+
+    def test_parameter_validation(self):
+        with pytest.raises(ValueError, match="stay_probability"):
+            self._model(stay_probability=1.5)
+        with pytest.raises(ValueError, match="explore_probability"):
+            self._model(explore_probability=-0.1)
+        with pytest.raises(ValueError, match="micro_move_scale"):
+            self._model(micro_move_scale=0.0)
+        with pytest.raises(ValueError, match="local_wander_probability"):
+            self._model(local_wander_probability=2.0)
+        with pytest.raises(ValueError, match="local_wander_reach"):
+            self._model(local_wander_reach=0.0)
+
+
+class TestDeterminism:
+    def test_same_seed_same_trajectory(self):
+        pois = [PointOfInterest("p", 100.0, 100.0, radius=10.0, weight=1.0)]
+        model = PoiMobility(256.0, 256.0, pois)
+
+        def run(seed):
+            rng = np.random.default_rng(seed)
+            pos = model.initial_position(rng)
+            out = [pos]
+            for _i in range(20):
+                leg = model.next_leg(pos, rng)
+                pos = leg.path.waypoints[-1]
+                out.append(pos)
+            return out
+
+        assert run(3) == run(3)
+        assert run(3) != run(4)

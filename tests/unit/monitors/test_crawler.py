@@ -1,0 +1,118 @@
+"""Unit tests for repro.monitors.crawler."""
+
+import pytest
+
+from repro.metaverse import Land, Population, SessionProcess, World
+from repro.mobility import RandomWaypoint
+from repro.monitors import Crawler, GroundTruthMonitor, run_monitors
+from repro.trace import validate_trace
+
+
+def _world(seed=0, rate=150.0):
+    pop = Population(
+        "visitors",
+        SessionProcess(hourly_rate=rate),
+        RandomWaypoint(256.0, 256.0),
+    )
+    return World(Land("CrawlLand"), [pop], seed=seed)
+
+
+class TestSampling:
+    def test_snapshot_period(self):
+        world = _world()
+        trace = Crawler(tau=10.0).monitor(world, 300.0)
+        times = [s.time for s in trace]
+        assert len(times) == 30
+        diffs = [b - a for a, b in zip(times, times[1:])]
+        assert all(d == pytest.approx(10.0) for d in diffs)
+
+    def test_metadata_filled(self):
+        world = _world()
+        trace = Crawler(tau=5.0).monitor(world, 60.0)
+        assert trace.metadata.land_name == "CrawlLand"
+        assert trace.metadata.tau == 5.0
+        assert trace.metadata.source == "crawler-mimic"
+
+    def test_naive_source_label(self):
+        world = _world()
+        trace = Crawler(tau=10.0, mimic=False).monitor(world, 60.0)
+        assert trace.metadata.source == "crawler-naive"
+
+    def test_sees_whole_population(self):
+        world = _world(seed=3)
+        truth = GroundTruthMonitor(tau=10.0)
+        crawler = Crawler(tau=10.0)
+        run_monitors(world, [truth, crawler], 1800.0)
+        assert crawler.trace().unique_users() == truth.trace().unique_users()
+
+    def test_crawler_avatar_not_in_trace(self):
+        world = _world(seed=4)
+        crawler = Crawler(tau=10.0, name="the-crawler")
+        trace = crawler.monitor(world, 300.0)
+        assert "the-crawler" not in trace.unique_users()
+
+    def test_trace_before_attach_raises(self):
+        with pytest.raises(RuntimeError, match="never attached"):
+            Crawler().trace()
+
+
+class TestMimicry:
+    def test_mimic_crawler_chats(self):
+        world = _world(seed=5)
+        crawler = Crawler(tau=10.0, mimic=True, chat_interval=60.0)
+        crawler.monitor(world, 600.0)
+        assert len(world.chat) > 0
+        assert world.chat.spoken_recently("crawler", now=world.now, window=600.0)
+
+    def test_naive_crawler_is_silent(self):
+        world = _world(seed=5)
+        crawler = Crawler(tau=10.0, mimic=False)
+        crawler.monitor(world, 600.0)
+        assert len(world.chat) == 0
+
+    def test_naive_crawler_perturbs_world(self):
+        world = _world(seed=6)
+        world.attraction_probability = 0.05
+        Crawler(tau=10.0, mimic=False).monitor(world, 1800.0)
+        assert world.stats.attraction_redirects > 0
+
+    def test_mimic_crawler_does_not_perturb(self):
+        world = _world(seed=6)
+        world.attraction_probability = 0.05
+        Crawler(tau=10.0, mimic=True).monitor(world, 1800.0)
+        assert world.stats.attraction_redirects == 0
+
+
+class TestInstability:
+    def test_crashes_create_sampling_gaps(self):
+        world = _world(seed=7)
+        crawler = Crawler(tau=10.0, crash_probability=0.1, restart_delay=120.0, seed=1)
+        trace = crawler.monitor(world, 2 * 3600.0)
+        assert crawler.crashes > 0
+        issues = validate_trace(trace)
+        assert any(i.code == "sampling-gap" for i in issues)
+
+    def test_stable_crawler_has_clean_trace(self):
+        world = _world(seed=8)
+        trace = Crawler(tau=10.0, crash_probability=0.0).monitor(world, 1800.0)
+        assert not any(i.code == "sampling-gap" for i in validate_trace(trace))
+
+    def test_detach_is_clean(self):
+        world = _world(seed=9)
+        crawler = Crawler(tau=10.0)
+        crawler.monitor(world, 60.0)
+        assert world.observer_avatars() == []
+        # The world can keep running after the crawler left.
+        world.run_until(world.now + 60.0)
+
+
+class TestValidation:
+    def test_parameter_checks(self):
+        with pytest.raises(ValueError):
+            Crawler(tau=0.0)
+        with pytest.raises(ValueError):
+            Crawler(crash_probability=1.5)
+        with pytest.raises(ValueError):
+            Crawler(restart_delay=0.0)
+        with pytest.raises(ValueError):
+            Crawler(chat_interval=0.0)

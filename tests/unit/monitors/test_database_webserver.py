@@ -1,0 +1,110 @@
+"""Unit tests for repro.monitors.database and repro.monitors.webserver."""
+
+import pytest
+
+from repro.geometry import Position
+from repro.monitors import TraceDatabase, WebServer
+from repro.trace import PositionRecord, Snapshot, TraceMetadata
+
+
+class TestTraceDatabase:
+    def test_add_record(self):
+        db = TraceDatabase()
+        assert db.add_record(PositionRecord(0.0, "a", 1, 2, 0))
+        assert db.record_count == 1
+
+    def test_duplicate_key_ignored(self):
+        db = TraceDatabase()
+        db.add_record(PositionRecord(0.0, "a", 1, 2, 0))
+        assert not db.add_record(PositionRecord(0.0, "a", 9, 9, 0))
+        assert db.record_count == 1
+        assert db.duplicate_writes == 1
+        # First write wins.
+        assert db.observations_of("a")[0].x == 1.0
+
+    def test_same_user_different_times_ok(self):
+        db = TraceDatabase()
+        db.add_record(PositionRecord(0.0, "a", 1, 1, 0))
+        db.add_record(PositionRecord(10.0, "a", 2, 2, 0))
+        assert db.record_count == 2
+
+    def test_add_snapshot(self):
+        db = TraceDatabase()
+        inserted = db.add_snapshot(
+            Snapshot(5.0, {"a": Position(1, 1), "b": Position(2, 2)})
+        )
+        assert inserted == 2
+        assert db.snapshot_count == 1
+
+    def test_empty_snapshot_keeps_timestamp(self):
+        # "The land was empty at t" is data; dropping it would bias
+        # mean concurrency upward on sparse lands.
+        db = TraceDatabase()
+        assert db.add_snapshot(Snapshot(5.0, {})) == 0
+        assert db.snapshot_count == 1
+        trace = db.to_trace()
+        assert len(trace) == 1
+        assert trace.mean_concurrency() == 0.0
+
+    def test_users(self):
+        db = TraceDatabase()
+        db.add_record(PositionRecord(0.0, "a", 1, 1, 0))
+        db.add_record(PositionRecord(5.0, "b", 1, 1, 0))
+        assert db.users() == {"a", "b"}
+
+    def test_observations_sorted(self):
+        db = TraceDatabase()
+        db.add_record(PositionRecord(10.0, "a", 2, 2, 0))
+        db.add_record(PositionRecord(0.0, "a", 1, 1, 0))
+        times = [r.time for r in db.observations_of("a")]
+        assert times == [0.0, 10.0]
+
+    def test_between(self):
+        db = TraceDatabase()
+        for t in (0.0, 10.0, 20.0, 30.0):
+            db.add_record(PositionRecord(t, "a", 1, 1, 0))
+        snaps = db.between(10.0, 20.0)
+        assert [s.time for s in snaps] == [10.0, 20.0]
+
+    def test_to_trace_carries_metadata(self):
+        meta = TraceMetadata(land_name="L", tau=5.0)
+        db = TraceDatabase(meta)
+        db.add_record(PositionRecord(0.0, "a", 1, 1, 0))
+        trace = db.to_trace()
+        assert trace.metadata.land_name == "L"
+        assert len(trace) == 1
+
+
+class TestWebServer:
+    def test_accepts_within_budget(self):
+        server = WebServer(max_requests_per_minute=2)
+        assert server.try_request(0.0, 10)
+        assert server.try_request(1.0, 10)
+        assert server.stats.accepted_requests == 2
+        assert server.stats.records_received == 20
+
+    def test_rejects_over_budget(self):
+        server = WebServer(max_requests_per_minute=2)
+        server.try_request(0.0, 1)
+        server.try_request(1.0, 1)
+        assert not server.try_request(2.0, 1)
+        assert server.stats.rejected_requests == 1
+
+    def test_window_slides(self):
+        server = WebServer(max_requests_per_minute=1)
+        assert server.try_request(0.0, 1)
+        assert not server.try_request(30.0, 1)
+        assert server.try_request(61.0, 1)
+
+    def test_max_records_per_request(self):
+        server = WebServer(body_limit_bytes=2048)
+        assert server.max_records_per_request(40) == 51
+        assert server.max_records_per_request(4096) == 1  # at least one
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            WebServer(max_requests_per_minute=0)
+        with pytest.raises(ValueError):
+            WebServer(body_limit_bytes=0)
+        with pytest.raises(ValueError):
+            WebServer().max_records_per_request(0)

@@ -1,0 +1,60 @@
+"""Coverage for the ground-truth reference monitor."""
+
+import pytest
+
+from repro.metaverse import Land, Population, SessionProcess, World
+from repro.mobility import RandomWaypoint
+from repro.monitors import GroundTruthMonitor, run_monitors
+
+
+def _world(seed=0):
+    pop = Population(
+        "v", SessionProcess(hourly_rate=200.0), RandomWaypoint(256.0, 256.0)
+    )
+    return World(Land("GT"), [pop], seed=seed)
+
+
+class TestGroundTruthMonitor:
+    def test_samples_every_tick(self):
+        world = _world()
+        monitor = GroundTruthMonitor(tau=1.0)
+        run_monitors(world, [monitor], 60.0)
+        assert len(monitor.trace()) == 60
+
+    def test_finer_than_crawler(self):
+        from repro.monitors import Crawler
+
+        world = _world(seed=1)
+        truth = GroundTruthMonitor(tau=1.0)
+        crawler = Crawler(tau=10.0)
+        run_monitors(world, [truth, crawler], 120.0)
+        assert len(truth.trace()) == 10 * len(crawler.trace())
+
+    def test_metadata(self):
+        world = _world(seed=2)
+        monitor = GroundTruthMonitor(tau=5.0, name="oracle")
+        run_monitors(world, [monitor], 30.0)
+        meta = monitor.trace().metadata
+        assert meta.source == "oracle"
+        assert meta.tau == 5.0
+        assert meta.land_name == "GT"
+
+    def test_no_observer_avatar(self):
+        # Unlike the crawler, ground truth has no in-world presence.
+        world = _world(seed=3)
+        monitor = GroundTruthMonitor(tau=10.0)
+        monitor.attach(world)
+        assert world.observer_avatars() == []
+        monitor.detach(world)
+
+    def test_trace_before_attach(self):
+        with pytest.raises(RuntimeError, match="never attached"):
+            GroundTruthMonitor().trace()
+
+    def test_validation(self):
+        with pytest.raises(ValueError, match="positive"):
+            GroundTruthMonitor(tau=0.0)
+
+    def test_run_monitors_validation(self):
+        with pytest.raises(ValueError, match="positive"):
+            run_monitors(_world(), [], 0.0)

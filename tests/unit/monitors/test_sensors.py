@@ -1,0 +1,172 @@
+"""Unit tests for repro.monitors.sensors."""
+
+import pytest
+
+from repro.geometry import Position
+from repro.metaverse import AccessPolicy, Land, Population, SessionProcess, World
+from repro.mobility import PoiMobility, PointOfInterest, RandomWaypoint, StaticModel
+from repro.monitors import GroundTruthMonitor, SensorNetwork, WebServer, run_monitors
+from repro.monitors.sensors import (
+    CACHE_BYTES,
+    MAX_DETECTIONS,
+    RECORD_BYTES,
+    SENSING_RANGE,
+    VirtualSensor,
+)
+from repro.metaverse.objects import DeploymentError
+
+
+def _world(seed=0, rate=150.0, land=None):
+    pop = Population(
+        "visitors",
+        SessionProcess(hourly_rate=rate),
+        RandomWaypoint(256.0, 256.0),
+    )
+    return World(land or Land("SensorLand"), [pop], seed=seed)
+
+
+def _crowded_world(seed=0, n=40):
+    """Everyone packed into one spot: saturates a single sensor."""
+    poi = PointOfInterest("spot", 128.0, 128.0, radius=5.0, weight=1.0, spawn_weight=1.0)
+    land = Land("Crowded", pois=[poi])
+    pop = Population(
+        "campers",
+        SessionProcess(hourly_rate=600.0),
+        StaticModel(256.0, 256.0, region=(128.0, 128.0, 5.0)),
+    )
+    return World(land, [pop], seed=seed)
+
+
+class TestDeployment:
+    def test_grid_covers_land(self):
+        world = _world()
+        sensors = SensorNetwork(tau=10.0, spacing=96.0)
+        sensors.attach(world)
+        assert len(sensors.sensors) == 9  # ceil(256/96)^2
+        assert sensors.coverage_fraction(256.0, 256.0) == pytest.approx(1.0)
+
+    def test_sparse_grid_leaves_gaps(self):
+        world = _world()
+        sensors = SensorNetwork(tau=10.0, spacing=220.0)
+        sensors.attach(world)
+        assert sensors.coverage_fraction(256.0, 256.0) < 1.0
+
+    def test_private_land_refuses_sensors(self):
+        land = Land("Private", policy=AccessPolicy.PRIVATE)
+        world = _world(land=land)
+        sensors = SensorNetwork(tau=10.0)
+        with pytest.raises(DeploymentError, match="private"):
+            sensors.attach(world)
+
+    def test_trace_before_attach_raises(self):
+        with pytest.raises(RuntimeError, match="never attached"):
+            SensorNetwork().trace()
+
+
+class TestScanLimits:
+    def test_detection_cap(self):
+        world = _crowded_world(seed=1)
+        world.run_until(1800.0)
+        sensor = VirtualSensor("s", Position(128.0, 128.0), created_at=0.0)
+        assert world.online_count > MAX_DETECTIONS
+        records = sensor.scan(world)
+        assert len(records) == MAX_DETECTIONS
+
+    def test_scan_prefers_nearest(self):
+        world = _world(seed=2)
+        world.run_until(600.0)
+        sensor = VirtualSensor("s", Position(128.0, 128.0), created_at=0.0)
+        records = sensor.scan(world)
+        distances = [
+            ((r.x - 128.0) ** 2 + (r.y - 128.0) ** 2) ** 0.5 for r in records
+        ]
+        assert distances == sorted(distances)
+        assert all(d <= SENSING_RANGE for d in distances)
+
+    def test_cache_capacity(self):
+        sensor = VirtualSensor("s", Position(0, 0), created_at=0.0)
+        assert sensor.cache_capacity == CACHE_BYTES // RECORD_BYTES
+
+    def test_cache_overflow_drops(self):
+        from repro.trace import PositionRecord
+
+        sensor = VirtualSensor("s", Position(0, 0), created_at=0.0)
+        batch = [PositionRecord(0.0, f"u{i}", 1, 1, 0) for i in range(sensor.cache_capacity + 50)]
+        sensor.store(batch)
+        assert len(sensor.cache) == sensor.cache_capacity
+        assert sensor.dropped_records == 50
+
+
+class TestDataPath:
+    def test_partial_trace_vs_ground_truth(self):
+        world = _crowded_world(seed=3)
+        truth = GroundTruthMonitor(tau=10.0)
+        sensors = SensorNetwork(tau=10.0)
+        run_monitors(world, [truth, sensors], 1800.0)
+        true_records = sum(len(s) for s in truth.trace())
+        sensed_records = sum(len(s) for s in sensors.trace())
+        # The 16-avatar cap guarantees the sensors miss data here.
+        assert sensed_records < true_records
+
+    def test_throttled_webserver_loses_data(self):
+        world = _crowded_world(seed=4)
+        strangled = SensorNetwork(
+            tau=10.0, webserver=WebServer(max_requests_per_minute=1)
+        )
+        open_pipe = SensorNetwork(tau=10.0, webserver=WebServer(max_requests_per_minute=600))
+        world2 = _crowded_world(seed=4)
+        run_monitors(world, [strangled], 3600.0)
+        run_monitors(world2, [open_pipe], 3600.0)
+        assert strangled.trace().records() != []
+        assert len(strangled.trace().records()) < len(open_pipe.trace().records())
+
+    def test_expiry_and_replication(self):
+        land = Land("Pub", policy=AccessPolicy.PUBLIC, object_lifetime=300.0)
+        world = _world(seed=5, land=land)
+        sensors = SensorNetwork(tau=10.0, replication_interval=600.0)
+        sensors.attach(world)
+        created_at = sensors.sensors[0].created_at
+        world.run_until(700.0)
+        sensors.collect(world)  # triggers replication at t>=600
+        assert sensors.sensors[0].created_at > created_at
+
+    def test_no_expiry_on_sandbox(self):
+        land = Land("Sand", policy=AccessPolicy.SANDBOX, object_lifetime=300.0)
+        world = _world(seed=6, land=land)
+        sensors = SensorNetwork(tau=10.0)
+        sensors.attach(world)
+        world.run_until(1000.0)
+        sensors.collect(world)
+        assert not sensors._is_expired(sensors.sensors[0], world.now)
+
+    def test_detach_flushes(self):
+        world = _world(seed=7)
+        sensors = SensorNetwork(tau=10.0)
+        sensors.attach(world)
+        world.run_until(100.0)
+        sensors.collect(world)
+        cached = sum(len(s.cache) for s in sensors.sensors)
+        sensors.detach(world)
+        assert sum(len(s.cache) for s in sensors.sensors) == 0
+        if cached:
+            assert sensors.trace().records()
+
+    def test_duplicate_observations_deduped(self):
+        # Overlapping sensors see the same avatar; the database keeps
+        # one row per (time, user).
+        world = _crowded_world(seed=8)
+        sensors = SensorNetwork(tau=10.0, spacing=40.0)  # heavy overlap
+        run_monitors(world, [sensors], 600.0)
+        trace = sensors.trace()
+        for snapshot in trace:
+            assert len(snapshot.users) == len(snapshot)
+
+
+class TestValidation:
+    def test_parameter_checks(self):
+        with pytest.raises(ValueError):
+            SensorNetwork(tau=0.0)
+        with pytest.raises(ValueError):
+            SensorNetwork(spacing=0.0)
+        with pytest.raises(ValueError):
+            SensorNetwork(replication_interval=0.0)

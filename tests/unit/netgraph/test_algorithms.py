@@ -1,0 +1,123 @@
+"""Unit tests for repro.netgraph.algorithms."""
+
+import pytest
+
+from repro.netgraph import (
+    Graph,
+    bfs_distances,
+    complete_graph,
+    connected_components,
+    cycle_graph,
+    diameter,
+    eccentricity,
+    largest_component,
+    path_graph,
+    shortest_path_length,
+    star_graph,
+)
+
+
+class TestBfsDistances:
+    def test_source_is_zero(self):
+        g = path_graph(3)
+        assert bfs_distances(g, 0)[0] == 0
+
+    def test_path_distances(self):
+        g = path_graph(5)
+        assert bfs_distances(g, 0) == {0: 0, 1: 1, 2: 2, 3: 3, 4: 4}
+
+    def test_unreachable_absent(self):
+        g = Graph(nodes=["a", "b"])
+        assert bfs_distances(g, "a") == {"a": 0}
+
+    def test_unknown_source_raises(self):
+        with pytest.raises(KeyError):
+            bfs_distances(Graph(), "ghost")
+
+
+class TestShortestPath:
+    def test_direct_edge(self):
+        g = path_graph(4)
+        assert shortest_path_length(g, 1, 2) == 1
+
+    def test_across_cycle(self):
+        g = cycle_graph(6)
+        assert shortest_path_length(g, 0, 3) == 3
+
+    def test_disconnected_raises(self):
+        g = Graph(nodes=["a", "b"])
+        with pytest.raises(ValueError, match="no path"):
+            shortest_path_length(g, "a", "b")
+
+
+class TestComponents:
+    def test_single_component(self):
+        assert len(connected_components(complete_graph(5))) == 1
+
+    def test_isolated_nodes_are_components(self):
+        g = Graph(nodes=["a", "b", "c"], edges=[("a", "b")])
+        comps = connected_components(g)
+        assert len(comps) == 2
+        assert comps[0] == {"a", "b"}  # largest first
+
+    def test_empty_graph(self):
+        assert connected_components(Graph()) == []
+
+    def test_largest_component_subgraph(self):
+        g = Graph(edges=[("a", "b"), ("b", "c"), ("x", "y")])
+        lcc = largest_component(g)
+        assert set(lcc.nodes()) == {"a", "b", "c"}
+        assert lcc.edge_count == 2
+
+    def test_largest_component_of_empty(self):
+        assert largest_component(Graph()).node_count == 0
+
+
+class TestDiameter:
+    def test_path(self):
+        assert diameter(path_graph(7)) == 6
+
+    def test_cycle(self):
+        assert diameter(cycle_graph(8)) == 4
+
+    def test_complete(self):
+        assert diameter(complete_graph(10)) == 1
+
+    def test_star(self):
+        assert diameter(star_graph(6)) == 2
+
+    def test_singleton(self):
+        assert diameter(Graph(nodes=["a"])) == 0
+
+    def test_empty(self):
+        assert diameter(Graph()) == 0
+
+    def test_disconnected_uses_largest_component(self):
+        # This is the paper's convention: the diameter of a
+        # disconnected LoS snapshot is that of the biggest island.
+        g = Graph(edges=[("a", "b"), ("b", "c"), ("x", "y")])
+        assert diameter(g) == 2
+
+    def test_disconnected_strict_mode_raises(self):
+        g = Graph(nodes=["a", "b"])
+        with pytest.raises(ValueError, match="disconnected"):
+            diameter(g, of_largest_component=False)
+
+    def test_apfel_paradox(self):
+        """Small range -> small components -> small diameter.
+
+        The paper's Fig. 2(b)/(e) 'contradiction': at r=10 m Apfel's
+        LCC diameter is *smaller* than at r=80 m because the land
+        fragments.  Model the situation with two island cliques plus a
+        long chain appearing once the range grows.
+        """
+        sparse = Graph(edges=[("a", "b"), ("c", "d")])  # fragments
+        dense = path_graph(6)  # one long component
+        assert diameter(sparse) < diameter(dense)
+
+
+class TestEccentricity:
+    def test_center_vs_leaf(self):
+        g = path_graph(5)
+        assert eccentricity(g, 2) == 2
+        assert eccentricity(g, 0) == 4

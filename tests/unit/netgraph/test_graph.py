@@ -1,0 +1,124 @@
+"""Unit tests for repro.netgraph.graph."""
+
+import pytest
+
+from repro.netgraph import Graph
+
+
+class TestConstruction:
+    def test_empty(self):
+        g = Graph()
+        assert g.node_count == 0
+        assert g.edge_count == 0
+
+    def test_from_nodes_and_edges(self):
+        g = Graph(nodes=["a", "b", "c"], edges=[("a", "b")])
+        assert g.node_count == 3
+        assert g.edge_count == 1
+
+    def test_edge_creates_endpoints(self):
+        g = Graph(edges=[("x", "y")])
+        assert "x" in g and "y" in g
+
+    def test_add_node_idempotent(self):
+        g = Graph()
+        g.add_node("a")
+        g.add_node("a")
+        assert g.node_count == 1
+
+    def test_parallel_edges_merge(self):
+        g = Graph()
+        g.add_edge(1, 2)
+        g.add_edge(1, 2)
+        g.add_edge(2, 1)
+        assert g.edge_count == 1
+
+    def test_self_loop_rejected(self):
+        g = Graph()
+        with pytest.raises(ValueError, match="self-loops"):
+            g.add_edge("a", "a")
+
+
+class TestQueries:
+    def test_degree(self):
+        g = Graph(edges=[("a", "b"), ("a", "c")])
+        assert g.degree("a") == 2
+        assert g.degree("b") == 1
+
+    def test_degree_unknown_node_raises(self):
+        with pytest.raises(KeyError):
+            Graph().degree("ghost")
+
+    def test_has_edge(self):
+        g = Graph(edges=[("a", "b")])
+        assert g.has_edge("a", "b")
+        assert g.has_edge("b", "a")
+        assert not g.has_edge("a", "c")
+
+    def test_has_edge_unknown_nodes_is_false(self):
+        assert not Graph().has_edge("u", "v")
+
+    def test_neighbours_returns_copy(self):
+        g = Graph(edges=[("a", "b")])
+        nbrs = g.neighbours("a")
+        nbrs.add("z")
+        assert g.neighbours("a") == {"b"}
+
+    def test_edges_listed_once(self):
+        g = Graph(edges=[("a", "b"), ("b", "c"), ("c", "a")])
+        assert len(g.edges()) == 3
+
+    def test_iteration_and_len(self):
+        g = Graph(nodes=range(5))
+        assert len(g) == 5
+        assert sorted(g) == [0, 1, 2, 3, 4]
+
+
+class TestMutation:
+    def test_remove_edge(self):
+        g = Graph(edges=[("a", "b")])
+        g.remove_edge("a", "b")
+        assert not g.has_edge("a", "b")
+        assert g.node_count == 2
+
+    def test_remove_missing_edge_raises(self):
+        g = Graph(nodes=["a", "b"])
+        with pytest.raises(KeyError):
+            g.remove_edge("a", "b")
+
+    def test_remove_node_cleans_adjacency(self):
+        g = Graph(edges=[("a", "b"), ("b", "c")])
+        g.remove_node("b")
+        assert "b" not in g
+        assert g.degree("a") == 0
+        assert g.degree("c") == 0
+
+    def test_remove_missing_node_raises(self):
+        with pytest.raises(KeyError):
+            Graph().remove_node("ghost")
+
+
+class TestSubgraphAndCopy:
+    def test_subgraph_induced(self):
+        g = Graph(edges=[("a", "b"), ("b", "c"), ("c", "d")])
+        sub = g.subgraph(["a", "b", "c"])
+        assert sub.node_count == 3
+        assert sub.has_edge("a", "b") and sub.has_edge("b", "c")
+        assert not sub.has_edge("c", "d")
+
+    def test_subgraph_ignores_unknown(self):
+        g = Graph(nodes=["a"])
+        sub = g.subgraph(["a", "ghost"])
+        assert sub.nodes() == ["a"]
+
+    def test_copy_is_independent(self):
+        g = Graph(edges=[("a", "b")])
+        clone = g.copy()
+        clone.add_edge("a", "c")
+        assert not g.has_edge("a", "c")
+        assert clone.has_edge("a", "b")
+
+    def test_adjacency_snapshot_immutable_values(self):
+        g = Graph(edges=[(1, 2)])
+        adj = g.adjacency()
+        assert adj[1] == frozenset({2})

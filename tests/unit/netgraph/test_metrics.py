@@ -1,0 +1,116 @@
+"""Unit tests for repro.netgraph.metrics, cross-validated vs networkx."""
+
+import numpy as np
+import pytest
+
+from repro.netgraph import (
+    Graph,
+    average_clustering,
+    clustering_coefficients,
+    complete_graph,
+    cycle_graph,
+    degree_sequence,
+    density,
+    erdos_renyi,
+    geometric_graph,
+    local_clustering,
+    path_graph,
+    star_graph,
+    triangle_count,
+)
+
+networkx = pytest.importorskip("networkx")
+
+
+def _to_networkx(graph: Graph):
+    nx_graph = networkx.Graph()
+    nx_graph.add_nodes_from(graph.nodes())
+    nx_graph.add_edges_from(graph.edges())
+    return nx_graph
+
+
+class TestKnownAnswers:
+    def test_complete_graph_clustering_is_one(self):
+        assert average_clustering(complete_graph(5)) == 1.0
+
+    def test_star_clustering_is_zero(self):
+        assert average_clustering(star_graph(5)) == 0.0
+
+    def test_path_clustering_is_zero(self):
+        assert average_clustering(path_graph(6)) == 0.0
+
+    def test_triangle_with_tail(self):
+        g = Graph(edges=[("a", "b"), ("b", "c"), ("c", "a"), ("c", "d")])
+        assert local_clustering(g, "a") == 1.0
+        assert local_clustering(g, "c") == pytest.approx(1.0 / 3.0)
+        assert local_clustering(g, "d") == 0.0
+
+    def test_low_degree_contributes_zero(self):
+        g = Graph(nodes=["lonely"], edges=[("a", "b")])
+        assert local_clustering(g, "lonely") == 0.0
+        assert local_clustering(g, "a") == 0.0
+
+    def test_triangle_count_complete(self):
+        # C(5, 3) triangles in K5.
+        assert triangle_count(complete_graph(5)) == 10
+
+    def test_triangle_count_cycle(self):
+        assert triangle_count(cycle_graph(6)) == 0
+
+    def test_density_bounds(self):
+        assert density(complete_graph(6)) == 1.0
+        assert density(Graph(nodes=range(6))) == 0.0
+        assert density(Graph(nodes=["a"])) == 0.0
+
+    def test_degree_sequence(self):
+        assert sorted(degree_sequence(star_graph(4))) == [1, 1, 1, 1, 4]
+
+    def test_empty_graph_average_clustering(self):
+        assert average_clustering(Graph()) == 0.0
+
+
+class TestAgainstNetworkx:
+    @pytest.mark.parametrize("seed", [0, 1, 2])
+    def test_clustering_matches_on_random_graphs(self, seed):
+        rng = np.random.default_rng(seed)
+        g = erdos_renyi(30, 0.15, rng)
+        ours = clustering_coefficients(g)
+        theirs = networkx.clustering(_to_networkx(g))
+        for node in g.nodes():
+            assert ours[node] == pytest.approx(theirs[node])
+
+    @pytest.mark.parametrize("seed", [3, 4])
+    def test_clustering_matches_on_geometric_graphs(self, seed):
+        rng = np.random.default_rng(seed)
+        positions = rng.uniform(0, 100, (40, 2))
+        g = geometric_graph(positions, radius=18.0)
+        assert average_clustering(g) == pytest.approx(
+            networkx.average_clustering(_to_networkx(g))
+        )
+
+    @pytest.mark.parametrize("seed", [5, 6])
+    def test_triangles_match(self, seed):
+        rng = np.random.default_rng(seed)
+        g = erdos_renyi(25, 0.2, rng)
+        nx_triangles = sum(networkx.triangles(_to_networkx(g)).values()) // 3
+        assert triangle_count(g) == nx_triangles
+
+    def test_geometric_graph_is_los_construction(self):
+        # Two points at distance 5, one far away: one edge at r=6.
+        pts = np.array([[0.0, 0.0], [5.0, 0.0], [50.0, 50.0]])
+        g = geometric_graph(pts, radius=6.0)
+        assert g.edge_count == 1
+        assert g.has_edge(0, 1)
+
+    def test_geometric_graph_strict_threshold(self):
+        pts = np.array([[0.0, 0.0], [10.0, 0.0]])
+        assert geometric_graph(pts, radius=10.0).edge_count == 0
+
+    def test_erdos_renyi_probability_extremes(self):
+        rng = np.random.default_rng(0)
+        assert erdos_renyi(10, 0.0, rng).edge_count == 0
+        assert erdos_renyi(10, 1.0, rng).edge_count == 45
+
+    def test_erdos_renyi_rejects_bad_p(self):
+        with pytest.raises(ValueError, match="probability"):
+            erdos_renyi(5, 1.5, np.random.default_rng(0))

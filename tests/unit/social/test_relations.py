@@ -1,0 +1,160 @@
+"""Unit tests for the relation graph (the paper's §5 future work)."""
+
+import pytest
+
+from repro.core.contacts import ContactInterval
+from repro.social import (
+    Acquaintance,
+    RelationGraph,
+    acquaintance_summary,
+    build_relation_graph,
+    encounter_regularity,
+    strength_frequency_correlation,
+)
+
+
+def _contact(a, b, start, end, censored=False):
+    return ContactInterval(a, b, start, end, censored)
+
+
+@pytest.fixture
+def contacts():
+    return [
+        _contact("alice", "bob", 0.0, 60.0),
+        _contact("alice", "bob", 300.0, 340.0),
+        _contact("alice", "bob", 900.0, 1000.0),
+        _contact("bob", "carol", 100.0, 140.0),
+        _contact("dave", "alice", 50.0, 60.0, censored=True),
+    ]
+
+
+class TestAcquaintance:
+    def test_derived_metrics(self):
+        a = Acquaintance("a", "b", frequency=4, strength=200.0, first_met=0.0, last_met=900.0)
+        assert a.mean_contact_duration == 50.0
+        assert a.lifetime == 900.0
+
+    def test_pair_canonical(self):
+        a = Acquaintance("z", "a", frequency=1, strength=1.0, first_met=0.0, last_met=0.0)
+        assert a.pair == ("a", "z")
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            Acquaintance("a", "b", frequency=0, strength=1.0, first_met=0.0, last_met=0.0)
+        with pytest.raises(ValueError):
+            Acquaintance("a", "b", frequency=1, strength=-1.0, first_met=0.0, last_met=0.0)
+        with pytest.raises(ValueError):
+            Acquaintance("a", "b", frequency=1, strength=1.0, first_met=10.0, last_met=0.0)
+
+
+class TestBuildRelationGraph:
+    def test_aggregates_pair_history(self, contacts):
+        relations = build_relation_graph(contacts)
+        ab = relations.acquaintance("alice", "bob")
+        assert ab.frequency == 3
+        assert ab.strength == pytest.approx(60.0 + 40.0 + 100.0)
+        assert ab.first_met == 0.0
+        assert ab.last_met == 900.0
+
+    def test_min_encounters_filters_passersby(self, contacts):
+        relations = build_relation_graph(contacts, min_encounters=2)
+        assert relations.are_acquainted("alice", "bob")
+        assert not relations.are_acquainted("bob", "carol")
+        assert len(relations) == 1
+
+    def test_censored_contacts_optional(self, contacts):
+        with_censored = build_relation_graph(contacts)
+        without = build_relation_graph(contacts, include_censored=False)
+        assert with_censored.are_acquainted("dave", "alice")
+        assert not without.are_acquainted("dave", "alice")
+
+    def test_symmetry(self, contacts):
+        relations = build_relation_graph(contacts)
+        assert relations.acquaintance("bob", "alice") is relations.acquaintance("alice", "bob")
+
+    def test_empty_contacts(self):
+        relations = build_relation_graph([])
+        assert len(relations) == 0
+        assert relations.user_count == 0
+
+    def test_validation(self):
+        with pytest.raises(ValueError, match="min_encounters"):
+            build_relation_graph([], min_encounters=0)
+
+
+class TestRelationGraphQueries:
+    def test_acquaintances_of_sorted_by_strength(self, contacts):
+        relations = build_relation_graph(contacts)
+        friends = relations.acquaintances_of("alice")
+        strengths = [f.strength for f in friends]
+        assert strengths == sorted(strengths, reverse=True)
+        assert {f.pair for f in friends} == {("alice", "bob"), ("alice", "dave")}
+
+    def test_unknown_user_has_no_acquaintances(self, contacts):
+        relations = build_relation_graph(contacts)
+        assert relations.acquaintances_of("stranger") == []
+
+    def test_strongest(self, contacts):
+        relations = build_relation_graph(contacts)
+        top = relations.strongest(1)
+        assert top[0].pair == ("alice", "bob")
+        with pytest.raises(ValueError):
+            relations.strongest(0)
+
+    def test_graph_algorithms_apply(self, contacts):
+        from repro.netgraph import connected_components
+
+        relations = build_relation_graph(contacts)
+        components = connected_components(relations.graph)
+        assert {frozenset(c) for c in components} == {
+            frozenset({"alice", "bob", "carol", "dave"})
+        }
+
+
+class TestSocialMetrics:
+    def test_summary_keys(self, contacts):
+        relations = build_relation_graph(contacts)
+        summary = acquaintance_summary(relations)
+        assert set(summary) == {"frequency", "strength_s", "acquaintances_per_user"}
+        assert summary["frequency"].maximum == 3
+
+    def test_summary_rejects_empty(self):
+        with pytest.raises(ValueError, match="no acquaintances"):
+            acquaintance_summary(build_relation_graph([]))
+
+    def test_correlation_positive_for_cumulative_strength(self, contacts):
+        relations = build_relation_graph(contacts)
+        assert strength_frequency_correlation(relations) > 0.5
+
+    def test_correlation_needs_two_edges(self):
+        relations = build_relation_graph([_contact("a", "b", 0.0, 10.0)])
+        with pytest.raises(ValueError, match="at least two"):
+            strength_frequency_correlation(relations)
+
+    def test_encounter_regularity(self, contacts):
+        result = encounter_regularity(contacts, min_encounters=3)
+        assert result["pairs_gaps"] == 2.0  # alice-bob has 3 meetings -> 2 gaps
+        assert result["median_gap_s"] > 0
+        assert result["cv"] >= 0
+
+    def test_encounter_regularity_threshold(self, contacts):
+        with pytest.raises(ValueError, match="no pair reached"):
+            encounter_regularity(contacts, min_encounters=10)
+
+
+class TestEndToEnd:
+    def test_relation_graph_from_simulated_land(self):
+        """Acquaintances emerge from POI co-location on a real trace."""
+        from repro.core import BLUETOOTH_RANGE, extract_contacts
+        from repro.lands import generic_land
+        from repro.monitors import Crawler
+
+        world = generic_land(n_pois=3, hourly_rate=150.0, seed=5).build(seed=8)
+        trace = Crawler(tau=10.0).monitor(world, 2700.0)
+        contacts = extract_contacts(trace, BLUETOOTH_RANGE)
+        relations = build_relation_graph(contacts, min_encounters=2)
+        assert len(relations) > 0
+        # Re-meeting pairs are a strict subset of all meeting pairs.
+        all_pairs = build_relation_graph(contacts, min_encounters=1)
+        assert len(relations) < len(all_pairs)
+        assert strength_frequency_correlation(all_pairs) > 0.0

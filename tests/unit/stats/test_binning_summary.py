@@ -1,0 +1,101 @@
+"""Unit tests for repro.stats.binning and repro.stats.summary."""
+
+import numpy as np
+import pytest
+
+from repro.stats import linear_bins, log_binned_histogram, log_bins, summarize
+from repro.stats.summary import Summary
+
+
+class TestLinearBins:
+    def test_edges(self):
+        edges = linear_bins(0.0, 10.0, 5)
+        assert len(edges) == 6
+        assert edges[0] == 0.0 and edges[-1] == 10.0
+
+    def test_invalid(self):
+        with pytest.raises(ValueError):
+            linear_bins(0.0, 10.0, 0)
+        with pytest.raises(ValueError):
+            linear_bins(10.0, 0.0, 5)
+
+
+class TestLogBins:
+    def test_spans_range(self):
+        edges = log_bins(1.0, 1000.0, per_decade=5)
+        assert edges[0] == pytest.approx(1.0)
+        assert edges[-1] == pytest.approx(1000.0)
+
+    def test_per_decade_resolution(self):
+        edges = log_bins(1.0, 100.0, per_decade=10)
+        assert len(edges) == 21  # 2 decades * 10 + 1
+
+    def test_log_spacing(self):
+        edges = log_bins(1.0, 10000.0, per_decade=4)
+        ratios = edges[1:-1] / edges[:-2]
+        assert np.allclose(ratios, ratios[0], rtol=1e-6)
+
+    def test_rejects_non_positive(self):
+        with pytest.raises(ValueError):
+            log_bins(0.0, 10.0)
+        with pytest.raises(ValueError):
+            log_bins(-1.0, 10.0)
+
+
+class TestLogBinnedHistogram:
+    def test_density_normalized(self):
+        rng = np.random.default_rng(0)
+        sample = rng.lognormal(2.0, 1.0, 5000)
+        centers, density = log_binned_histogram(sample)
+        edges = log_bins(sample.min(), sample.max())
+        widths = np.diff(edges)
+        assert float(np.sum(density * widths)) == pytest.approx(1.0, rel=1e-6)
+
+    def test_power_law_is_straight_on_loglog(self):
+        rng = np.random.default_rng(1)
+        alpha = 2.0
+        sample = (1.0 - rng.random(200000)) ** (-1.0 / (alpha - 1.0))
+        sample = sample[sample < 1e4]
+        centers, density = log_binned_histogram(sample, per_decade=4)
+        keep = density > 0
+        slope = np.polyfit(np.log10(centers[keep]), np.log10(density[keep]), 1)[0]
+        assert slope == pytest.approx(-alpha, abs=0.25)
+
+    def test_degenerate_sample(self):
+        centers, density = log_binned_histogram([7.0, 7.0])
+        assert list(centers) == [7.0]
+
+    def test_rejects_non_positive_values(self):
+        with pytest.raises(ValueError, match="positive"):
+            log_binned_histogram([1.0, 0.0])
+
+    def test_rejects_empty(self):
+        with pytest.raises(ValueError, match="empty"):
+            log_binned_histogram([])
+
+
+class TestSummary:
+    def test_known_values(self):
+        s = summarize(range(1, 101))
+        assert s.n == 100
+        assert s.mean == pytest.approx(50.5)
+        assert s.median == pytest.approx(50.5)
+        assert s.p90 == pytest.approx(90.1)
+        assert s.minimum == 1 and s.maximum == 100
+
+    def test_row_keys(self):
+        row = summarize([1.0, 2.0]).row()
+        assert set(row) == {
+            "n", "mean", "std", "min", "p10", "p25",
+            "median", "p75", "p90", "p99", "max",
+        }
+
+    def test_empty_rejected(self):
+        with pytest.raises(ValueError, match="empty"):
+            summarize([])
+
+    def test_is_frozen(self):
+        s = summarize([1.0])
+        with pytest.raises(AttributeError):
+            s.mean = 5.0
+        assert isinstance(s, Summary)

@@ -1,0 +1,150 @@
+"""Unit tests for repro.stats.distributions."""
+
+import numpy as np
+import pytest
+
+from repro.stats import (
+    BoundedPareto,
+    Exponential,
+    LogNormal,
+    TruncatedParetoExp,
+    Uniform,
+)
+
+
+@pytest.fixture
+def rng():
+    return np.random.default_rng(42)
+
+
+class TestUniform:
+    def test_bounds(self, rng):
+        law = Uniform(2.0, 5.0)
+        draws = law.sample(rng, 1000)
+        assert draws.min() >= 2.0 and draws.max() < 5.0
+
+    def test_mean(self):
+        assert Uniform(0.0, 10.0).mean == 5.0
+
+    def test_scalar_draw(self, rng):
+        assert isinstance(Uniform(0, 1).sample(rng), float)
+
+    def test_invalid_range(self):
+        with pytest.raises(ValueError):
+            Uniform(5.0, 5.0)
+
+
+class TestExponential:
+    def test_mean(self, rng):
+        law = Exponential(rate=0.1)
+        assert law.mean == 10.0
+        draws = law.sample(rng, 20000)
+        assert np.mean(draws) == pytest.approx(10.0, rel=0.05)
+
+    def test_positive(self, rng):
+        assert (Exponential(2.0).sample(rng, 100) >= 0).all()
+
+    def test_invalid_rate(self):
+        with pytest.raises(ValueError):
+            Exponential(0.0)
+
+
+class TestLogNormal:
+    def test_cap_enforced(self, rng):
+        law = LogNormal(mu=np.log(1000.0), sigma=1.5, cap=2000.0)
+        draws = law.sample(rng, 5000)
+        assert draws.max() <= 2000.0
+
+    def test_cap_resamples_not_clips(self, rng):
+        # Clipping would pile mass exactly at the cap.
+        law = LogNormal(mu=np.log(1000.0), sigma=1.5, cap=2000.0)
+        draws = law.sample(rng, 5000)
+        assert (draws == 2000.0).sum() == 0
+
+    def test_scalar_draw_respects_cap(self, rng):
+        law = LogNormal(mu=np.log(100.0), sigma=2.0, cap=150.0)
+        assert all(law.sample(rng) <= 150.0 for _ in range(200))
+
+    def test_uncapped_mean(self):
+        law = LogNormal(mu=0.0, sigma=1.0)
+        assert law.uncapped_mean == pytest.approx(np.exp(0.5))
+
+    def test_session_shape(self, rng):
+        # The paper: 90 % of sessions < 1 h, max ~4 h.  The default
+        # session law in repro.metaverse.sessions must satisfy this.
+        from repro.metaverse.sessions import MAX_SESSION_SECONDS, SessionProcess
+
+        law = SessionProcess(hourly_rate=10.0).session_law
+        draws = law.sample(rng, 20000)
+        assert np.quantile(draws, 0.9) < 3600.0
+        assert draws.max() <= MAX_SESSION_SECONDS
+
+    def test_invalid_sigma(self):
+        with pytest.raises(ValueError):
+            LogNormal(mu=0.0, sigma=0.0)
+
+
+class TestBoundedPareto:
+    def test_bounds(self, rng):
+        law = BoundedPareto(alpha=1.5, low=10.0, high=500.0)
+        draws = law.sample(rng, 5000)
+        assert draws.min() >= 10.0 and draws.max() <= 500.0
+
+    def test_heavy_tail_ordering(self, rng):
+        # Smaller alpha -> heavier tail -> larger p99.
+        light = BoundedPareto(alpha=3.0, low=1.0, high=10000.0).sample(rng, 20000)
+        heavy = BoundedPareto(alpha=1.2, low=1.0, high=10000.0).sample(rng, 20000)
+        assert np.quantile(heavy, 0.99) > np.quantile(light, 0.99)
+
+    def test_alpha_one_special_case(self, rng):
+        law = BoundedPareto(alpha=1.0, low=1.0, high=100.0)
+        draws = law.sample(rng, 5000)
+        assert draws.min() >= 1.0 and draws.max() <= 100.0
+        # Log-uniform: median is the geometric mean of the bounds.
+        assert np.median(draws) == pytest.approx(10.0, rel=0.15)
+
+    def test_mean_matches_empirical(self, rng):
+        for alpha in (0.8, 1.0, 1.5, 2.0, 2.5):
+            law = BoundedPareto(alpha=alpha, low=5.0, high=300.0)
+            draws = law.sample(rng, 100000)
+            assert law.mean == pytest.approx(np.mean(draws), rel=0.03), f"alpha={alpha}"
+
+    def test_scalar_draw(self, rng):
+        assert isinstance(BoundedPareto(2.0, 1.0, 10.0).sample(rng), float)
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            BoundedPareto(alpha=-1.0, low=1.0, high=2.0)
+        with pytest.raises(ValueError):
+            BoundedPareto(alpha=1.0, low=0.0, high=2.0)
+        with pytest.raises(ValueError):
+            BoundedPareto(alpha=1.0, low=5.0, high=5.0)
+
+
+class TestTruncatedParetoExp:
+    def test_bounds(self, rng):
+        law = TruncatedParetoExp(alpha=1.4, rate=1.0 / 500.0, low=10.0, high=3000.0)
+        draws = law.sample(rng, 5000)
+        assert draws.min() >= 10.0 and draws.max() <= 3000.0
+
+    def test_cutoff_thins_tail(self, rng):
+        pure = BoundedPareto(alpha=1.4, low=10.0, high=3000.0).sample(rng, 30000)
+        cut = TruncatedParetoExp(alpha=1.4, rate=1.0 / 200.0, low=10.0, high=3000.0).sample(rng, 30000)
+        # The exponential cut-off must suppress the far tail.
+        assert np.quantile(cut, 0.99) < np.quantile(pure, 0.99)
+
+    def test_scalar_draw(self, rng):
+        law = TruncatedParetoExp(alpha=1.4, rate=0.01, low=1.0, high=100.0)
+        assert isinstance(law.sample(rng), float)
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            TruncatedParetoExp(alpha=1.4, rate=0.0, low=1.0, high=10.0)
+
+
+class TestDeterminism:
+    def test_same_seed_same_draws(self):
+        law = BoundedPareto(alpha=1.5, low=1.0, high=100.0)
+        a = law.sample(np.random.default_rng(7), 50)
+        b = law.sample(np.random.default_rng(7), 50)
+        np.testing.assert_array_equal(a, b)

@@ -1,0 +1,115 @@
+"""Unit tests for repro.stats.ecdf."""
+
+import numpy as np
+import pytest
+
+from repro.stats import ECDF, ccdf_points, ecdf_points
+
+
+class TestConstruction:
+    def test_empty_sample_rejected(self):
+        with pytest.raises(ValueError, match="empty"):
+            ECDF([])
+
+    def test_nan_rejected(self):
+        with pytest.raises(ValueError, match="NaN"):
+            ECDF([1.0, float("nan")])
+
+    def test_accepts_generators(self):
+        e = ECDF(x for x in [3, 1, 2])
+        assert e.n == 3
+
+    def test_min_max(self):
+        e = ECDF([5, 1, 9])
+        assert e.min == 1 and e.max == 9
+
+
+class TestCdf:
+    def test_below_min_is_zero(self):
+        assert ECDF([1, 2, 3]).cdf(0.5) == 0.0
+
+    def test_at_max_is_one(self):
+        assert ECDF([1, 2, 3]).cdf(3) == 1.0
+
+    def test_right_continuity(self):
+        e = ECDF([1, 2, 3, 4])
+        assert e.cdf(2) == 0.5  # P[X <= 2]
+        assert e.cdf(1.999) == 0.25
+
+    def test_vectorized(self):
+        e = ECDF([1, 2, 3, 4])
+        np.testing.assert_allclose(e.cdf(np.array([0, 2, 10])), [0.0, 0.5, 1.0])
+
+    def test_callable(self):
+        e = ECDF([1, 2])
+        assert e(1) == 0.5
+
+    def test_with_duplicates(self):
+        e = ECDF([1, 1, 1, 5])
+        assert e.cdf(1) == 0.75
+
+
+class TestCcdf:
+    def test_complement(self):
+        e = ECDF([1, 2, 3, 4])
+        x = np.array([0.5, 1.5, 2.5, 3.5, 4.5])
+        np.testing.assert_allclose(np.asarray(e.ccdf(x)) + np.asarray(e.cdf(x)), 1.0)
+
+    def test_survival_at(self):
+        e = ECDF([10, 20, 30, 40])
+        assert e.survival_at(20) == 0.5
+
+
+class TestQuantiles:
+    def test_median_odd(self):
+        assert ECDF([1, 2, 3]).median == 2
+
+    def test_median_even_lower_convention(self):
+        assert ECDF([1, 2, 3, 4]).median == 2
+
+    def test_extremes(self):
+        e = ECDF([3, 1, 4, 1, 5])
+        assert e.quantile(0.0) == 1
+        assert e.quantile(1.0) == 5
+
+    def test_p90(self):
+        values = list(range(1, 101))
+        assert ECDF(values).quantile(0.9) == 90
+
+    def test_out_of_range_rejected(self):
+        with pytest.raises(ValueError, match="quantile"):
+            ECDF([1]).quantile(1.5)
+
+    def test_quantile_inverts_cdf(self):
+        rng = np.random.default_rng(0)
+        e = ECDF(rng.exponential(10.0, 500))
+        for q in (0.1, 0.5, 0.9):
+            v = e.quantile(q)
+            assert e.cdf(v) >= q
+            # The next-smaller sample sits below q.
+            assert e.cdf(v - 1e-9) < q + 1.0 / e.n
+
+
+class TestSteps:
+    def test_steps_monotonic(self):
+        rng = np.random.default_rng(1)
+        xs, heights = ECDF(rng.normal(size=200)).steps()
+        assert np.all(np.diff(xs) > 0)
+        assert np.all(np.diff(heights) > 0)
+        assert heights[-1] == pytest.approx(1.0)
+
+    def test_ccdf_steps_start_at_one(self):
+        xs, heights = ECDF([5, 6, 7]).ccdf_steps()
+        assert heights[0] == 1.0
+        assert np.all(np.diff(heights) < 0)
+
+    def test_ccdf_steps_are_p_x_geq(self):
+        xs, heights = ECDF([1, 2, 2, 3]).ccdf_steps()
+        # P[X >= 2] = 3/4 at x = 2.
+        assert heights[list(xs).index(2)] == 0.75
+
+    def test_helper_functions(self):
+        xs1, h1 = ecdf_points([1, 2, 3])
+        xs2, h2 = ccdf_points([1, 2, 3])
+        assert list(xs1) == list(xs2)
+        assert h1[-1] == 1.0 and h2[0] == 1.0

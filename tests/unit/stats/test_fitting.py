@@ -1,0 +1,147 @@
+"""Unit tests for repro.stats.fitting."""
+
+import numpy as np
+import pytest
+
+from repro.stats import (
+    compare_fits,
+    fit_exponential,
+    fit_lognormal,
+    fit_power_law,
+    fit_truncated_power_law,
+    ks_distance,
+)
+
+
+@pytest.fixture
+def rng():
+    return np.random.default_rng(2008)
+
+
+class TestExponentialFit:
+    def test_recovers_rate(self, rng):
+        sample = rng.exponential(50.0, 4000)
+        fit = fit_exponential(sample, xmin=0.0)
+        assert fit.params["rate"] == pytest.approx(1.0 / 50.0, rel=0.05)
+
+    def test_cdf_shape(self, rng):
+        fit = fit_exponential(rng.exponential(10.0, 1000), xmin=0.0)
+        assert fit.cdf(np.array([-1.0]))[0] == 0.0
+        assert float(fit.cdf(np.array([1e9]))[0]) == pytest.approx(1.0)
+
+    def test_degenerate_sample_rejected(self):
+        with pytest.raises(ValueError, match="degenerate"):
+            fit_exponential([5.0, 5.0, 5.0], xmin=5.0)
+
+
+class TestPowerLawFit:
+    def test_recovers_alpha(self, rng):
+        alpha = 2.5
+        xmin = 1.0
+        sample = xmin * (1.0 - rng.random(6000)) ** (-1.0 / (alpha - 1.0))
+        fit = fit_power_law(sample, xmin=xmin)
+        assert fit.params["alpha"] == pytest.approx(alpha, rel=0.05)
+
+    def test_needs_positive_xmin(self):
+        with pytest.raises(ValueError, match="positive"):
+            fit_power_law([1.0, 2.0], xmin=0.0)
+
+    def test_small_tail_rejected(self):
+        with pytest.raises(ValueError, match="at least 2"):
+            fit_power_law([1.0], xmin=0.5)
+
+
+class TestLognormalFit:
+    def test_recovers_parameters(self, rng):
+        sample = rng.lognormal(3.0, 0.7, 5000)
+        fit = fit_lognormal(sample, xmin=float(sample.min()))
+        assert fit.params["mu"] == pytest.approx(3.0, abs=0.1)
+        assert fit.params["sigma"] == pytest.approx(0.7, abs=0.1)
+
+
+class TestTruncatedPowerLawFit:
+    def test_recovers_shape_on_synthetic_data(self, rng):
+        from repro.stats import TruncatedParetoExp
+
+        law = TruncatedParetoExp(alpha=1.3, rate=1.0 / 300.0, low=10.0, high=50000.0)
+        sample = law.sample(rng, 4000)
+        fit = fit_truncated_power_law(sample, xmin=10.0)
+        assert fit.params["alpha"] == pytest.approx(1.3, abs=0.25)
+        assert fit.params["rate"] == pytest.approx(1.0 / 300.0, rel=0.5)
+
+    def test_cdf_monotone(self, rng):
+        from repro.stats import TruncatedParetoExp
+
+        law = TruncatedParetoExp(alpha=1.5, rate=0.01, low=5.0, high=2000.0)
+        fit = fit_truncated_power_law(law.sample(rng, 1000), xmin=5.0)
+        xs = np.linspace(5.0, 2000.0, 20)
+        cdf = fit.cdf(xs)
+        assert np.all(np.diff(cdf) >= -1e-9)
+        assert cdf[0] >= 0.0 and cdf[-1] <= 1.0 + 1e-9
+
+
+class TestModelComparison:
+    def test_truncated_power_law_wins_on_its_own_data(self, rng):
+        """The paper's shape claim, as a model-selection statement."""
+        from repro.stats import TruncatedParetoExp
+
+        law = TruncatedParetoExp(alpha=1.4, rate=1.0 / 400.0, low=10.0, high=100000.0)
+        sample = law.sample(rng, 3000)
+        results = compare_fits(
+            sample, xmin=10.0, models=("power_law", "exponential", "truncated_power_law")
+        )
+        assert results[0].model == "truncated_power_law"
+
+    def test_exponential_wins_on_exponential_data(self, rng):
+        sample = 10.0 + rng.exponential(30.0, 3000)
+        results = compare_fits(sample, xmin=10.0, models=("power_law", "exponential"))
+        assert results[0].model == "exponential"
+
+    def test_sorted_by_aic(self, rng):
+        sample = rng.lognormal(2.0, 1.0, 500) + 1.0
+        results = compare_fits(sample)
+        aics = [fit.aic for fit in results]
+        assert aics == sorted(aics)
+
+    def test_unknown_model_rejected(self):
+        with pytest.raises(ValueError, match="unknown models"):
+            compare_fits([1.0, 2.0, 3.0], models=("gamma",))
+
+
+class TestKsDistance:
+    def test_zero_for_own_ecdf_limit(self, rng):
+        sample = np.sort(rng.random(2000))
+
+        def uniform_cdf(x):
+            return np.clip(x, 0.0, 1.0)
+
+        assert ks_distance(sample, uniform_cdf) < 0.05
+
+    def test_large_for_wrong_model(self, rng):
+        sample = rng.exponential(100.0, 1000)
+
+        def uniform_cdf(x):
+            return np.clip(np.asarray(x) / 10.0, 0.0, 1.0)
+
+        assert ks_distance(sample, uniform_cdf) > 0.5
+
+    def test_empty_sample_rejected(self):
+        with pytest.raises(ValueError, match="empty"):
+            ks_distance([], lambda x: x)
+
+    def test_fit_result_ks_helper(self, rng):
+        sample = rng.exponential(20.0, 1500)
+        fit = fit_exponential(sample, xmin=0.0)
+        assert fit.ks(sample) < 0.05
+
+
+class TestFitResult:
+    def test_aic_penalizes_parameters(self, rng):
+        sample = 5.0 + rng.exponential(50.0, 2000)
+        exp_fit = fit_exponential(sample, xmin=5.0)
+        assert exp_fit.aic == pytest.approx(2 * 1 - 2 * exp_fit.log_likelihood)
+
+    def test_n_params(self, rng):
+        sample = 5.0 + rng.exponential(50.0, 500)
+        assert fit_exponential(sample, xmin=5.0).n_params == 1
+        assert fit_truncated_power_law(sample, xmin=5.0).n_params == 2

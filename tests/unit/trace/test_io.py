@@ -1,0 +1,117 @@
+"""Unit tests for repro.trace.io: round-trips and format edge cases."""
+
+import gzip
+
+import pytest
+
+from repro.geometry import Position
+from repro.trace import (
+    Snapshot,
+    Trace,
+    TraceMetadata,
+    read_trace_csv,
+    read_trace_jsonl,
+    write_trace_csv,
+    write_trace_jsonl,
+)
+
+
+@pytest.fixture
+def sample_trace():
+    meta = TraceMetadata(land_name="Test Land", tau=10.0, source="unit-test")
+    snapshots = [
+        Snapshot(0.0, {"alice": Position(1.5, 2.5, 0.0), "bob": Position(100.0, 200.0, 5.0)}),
+        Snapshot(10.0, {"alice": Position(2.0, 3.0, 0.0)}),
+        Snapshot(20.0, {}),
+    ]
+    return Trace(snapshots, meta)
+
+
+def _assert_traces_equal(a: Trace, b: Trace, *, empty_snapshots_preserved: bool):
+    assert a.metadata.land_name == b.metadata.land_name
+    assert a.metadata.tau == b.metadata.tau
+    snaps_a = [s for s in a if len(s) > 0] if not empty_snapshots_preserved else list(a)
+    snaps_b = [s for s in b if len(s) > 0] if not empty_snapshots_preserved else list(b)
+    assert len(snaps_a) == len(snaps_b)
+    for sa, sb in zip(snaps_a, snaps_b):
+        assert sa.time == sb.time
+        assert sa.users == sb.users
+        for user in sa.users:
+            pa, pb = sa.position_of(user), sb.position_of(user)
+            assert pa.x == pytest.approx(pb.x, abs=1e-3)
+            assert pa.y == pytest.approx(pb.y, abs=1e-3)
+            assert pa.z == pytest.approx(pb.z, abs=1e-3)
+
+
+class TestCsv:
+    def test_roundtrip(self, sample_trace, tmp_path):
+        path = write_trace_csv(sample_trace, tmp_path / "t.csv")
+        loaded = read_trace_csv(path)
+        # CSV is record-based: snapshots with no users vanish.
+        _assert_traces_equal(sample_trace, loaded, empty_snapshots_preserved=False)
+
+    def test_gzip_roundtrip(self, sample_trace, tmp_path):
+        path = write_trace_csv(sample_trace, tmp_path / "t.csv.gz")
+        with gzip.open(path, "rt") as f:
+            assert "repro-trace-metadata" in f.readline()
+        loaded = read_trace_csv(path)
+        assert loaded.metadata.land_name == "Test Land"
+
+    def test_header_without_metadata_accepted(self, tmp_path):
+        path = tmp_path / "bare.csv"
+        path.write_text("time,user,x,y,z\n5.0,u1,1.0,2.0,0.0\n")
+        loaded = read_trace_csv(path)
+        assert len(loaded) == 1
+        assert loaded.metadata.land_name == "unknown"
+
+    def test_wrong_header_rejected(self, tmp_path):
+        path = tmp_path / "bad.csv"
+        path.write_text("a,b,c\n1,2,3\n")
+        with pytest.raises(ValueError, match="header"):
+            read_trace_csv(path)
+
+    def test_malformed_row_rejected(self, tmp_path):
+        path = tmp_path / "bad.csv"
+        path.write_text("time,user,x,y,z\n1.0,u\n")
+        with pytest.raises(ValueError, match="malformed"):
+            read_trace_csv(path)
+
+    def test_user_ids_with_commas_quoted(self, tmp_path):
+        meta = TraceMetadata(land_name="L")
+        trace = Trace([Snapshot(0.0, {'weird,user': Position(1, 1)})], meta)
+        loaded = read_trace_csv(write_trace_csv(trace, tmp_path / "q.csv"))
+        assert loaded.unique_users() == {"weird,user"}
+
+
+class TestJsonl:
+    def test_roundtrip(self, sample_trace, tmp_path):
+        path = write_trace_jsonl(sample_trace, tmp_path / "t.jsonl")
+        loaded = read_trace_jsonl(path)
+        # JSONL keeps empty snapshots.
+        _assert_traces_equal(sample_trace, loaded, empty_snapshots_preserved=True)
+
+    def test_gzip_roundtrip(self, sample_trace, tmp_path):
+        path = write_trace_jsonl(sample_trace, tmp_path / "t.jsonl.gz")
+        loaded = read_trace_jsonl(path)
+        assert len(loaded) == 3
+
+    def test_metadata_first_line(self, sample_trace, tmp_path):
+        path = write_trace_jsonl(sample_trace, tmp_path / "t.jsonl")
+        first = path.read_text().splitlines()[0]
+        assert "metadata" in first
+
+    def test_blank_lines_skipped(self, tmp_path):
+        path = tmp_path / "sparse.jsonl"
+        path.write_text('{"metadata": {"land_name": "L", "width": 256.0, '
+                        '"height": 256.0, "tau": 10.0, "source": "x", "notes": ""}}\n'
+                        "\n"
+                        '{"t": 1.0, "users": {"u": [1.0, 2.0, 0.0]}}\n')
+        loaded = read_trace_jsonl(path)
+        assert len(loaded) == 1
+
+
+class TestCrossFormat:
+    def test_csv_and_jsonl_agree(self, sample_trace, tmp_path):
+        csv_loaded = read_trace_csv(write_trace_csv(sample_trace, tmp_path / "a.csv"))
+        jsonl_loaded = read_trace_jsonl(write_trace_jsonl(sample_trace, tmp_path / "a.jsonl"))
+        _assert_traces_equal(csv_loaded, jsonl_loaded, empty_snapshots_preserved=False)

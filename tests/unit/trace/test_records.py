@@ -1,0 +1,65 @@
+"""Unit tests for repro.trace.records."""
+
+import numpy as np
+import pytest
+
+from repro.geometry import Position
+from repro.trace import PositionRecord, Snapshot
+
+
+class TestPositionRecord:
+    def test_fields(self):
+        r = PositionRecord(10.0, "alice", 1.0, 2.0, 3.0)
+        assert r.time == 10.0 and r.user == "alice"
+        assert r.position == Position(1.0, 2.0, 3.0)
+
+    def test_z_defaults(self):
+        assert PositionRecord(0.0, "u", 1.0, 2.0).z == 0.0
+
+    def test_sitting_artifact(self):
+        assert PositionRecord(0.0, "u", 0.0, 0.0, 0.0).is_sitting_artifact
+        assert not PositionRecord(0.0, "u", 0.0, 0.1, 0.0).is_sitting_artifact
+
+
+class TestSnapshot:
+    def test_len_and_contains(self):
+        s = Snapshot(5.0, {"a": Position(1, 1), "b": Position(2, 2)})
+        assert len(s) == 2
+        assert "a" in s and "c" not in s
+
+    def test_users_frozenset(self):
+        s = Snapshot(0.0, {"a": Position(0, 1)})
+        assert s.users == frozenset({"a"})
+
+    def test_position_of(self):
+        s = Snapshot(0.0, {"a": Position(3, 4)})
+        assert s.position_of("a") == Position(3, 4)
+        with pytest.raises(KeyError):
+            s.position_of("ghost")
+
+    def test_immutable_against_source_mutation(self):
+        source = {"a": Position(1, 1)}
+        s = Snapshot(0.0, source)
+        source["b"] = Position(2, 2)
+        assert len(s) == 1
+
+    def test_records_roundtrip(self):
+        s = Snapshot(7.0, {"a": Position(1, 2, 3)})
+        records = s.records()
+        assert records == [PositionRecord(7.0, "a", 1.0, 2.0, 3.0)]
+
+    def test_as_arrays_alignment(self):
+        s = Snapshot(0.0, {"a": Position(1, 2, 3), "b": Position(4, 5, 6)})
+        users, coords = s.as_arrays()
+        assert coords.shape == (2, 3)
+        for i, user in enumerate(users):
+            assert tuple(coords[i]) == tuple(s.position_of(user))
+
+    def test_as_arrays_empty(self):
+        users, coords = Snapshot(0.0, {}).as_arrays()
+        assert users == []
+        assert coords.shape == (0, 3)
+
+    def test_iteration(self):
+        s = Snapshot(0.0, {"a": Position(0, 0), "b": Position(1, 1)})
+        assert sorted(s) == ["a", "b"]

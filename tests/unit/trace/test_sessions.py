@@ -1,0 +1,115 @@
+"""Unit tests for repro.trace.sessions."""
+
+import pytest
+
+from repro.geometry import Position
+from repro.trace import Snapshot, Trace, TraceMetadata, UserSession, extract_sessions
+
+
+def _trace(observations, tau=10.0):
+    """observations: {user: [(t, x, y), ...]}"""
+    by_time = {}
+    for user, obs in observations.items():
+        for t, x, y in obs:
+            by_time.setdefault(t, {})[user] = Position(x, y)
+    snaps = [Snapshot(t, positions) for t, positions in sorted(by_time.items())]
+    return Trace(snaps, TraceMetadata(tau=tau))
+
+
+class TestUserSession:
+    def test_validation_empty(self):
+        with pytest.raises(ValueError, match="at least one"):
+            UserSession("u", (), ())
+
+    def test_validation_alignment(self):
+        with pytest.raises(ValueError, match="align"):
+            UserSession("u", (0.0, 1.0), (Position(0, 0),))
+
+    def test_validation_ordering(self):
+        with pytest.raises(ValueError, match="ordered"):
+            UserSession("u", (1.0, 1.0), (Position(0, 0), Position(1, 1)))
+
+    def test_travel_time(self):
+        s = UserSession("u", (0.0, 10.0, 20.0), tuple(Position(i, 0) for i in range(3)))
+        assert s.travel_time == 20.0
+
+    def test_travel_length(self):
+        s = UserSession("u", (0.0, 10.0), (Position(0, 0), Position(3, 4)))
+        assert s.travel_length() == 5.0
+
+    def test_effective_travel_time_excludes_pauses(self):
+        positions = (Position(0, 0), Position(10, 0), Position(10, 0.1), Position(20, 0))
+        s = UserSession("u", (0.0, 10.0, 20.0, 30.0), positions)
+        # Interval 2 covers 0.1 m < epsilon: a pause.
+        assert s.effective_travel_time(pause_epsilon=0.5) == 20.0
+        assert s.pause_time(pause_epsilon=0.5) == 10.0
+
+    def test_net_displacement(self):
+        s = UserSession("u", (0.0, 10.0, 20.0),
+                        (Position(0, 0), Position(100, 100), Position(3, 4)))
+        assert s.net_displacement() == 5.0
+
+    def test_single_observation_session(self):
+        s = UserSession("u", (5.0,), (Position(1, 1),))
+        assert s.travel_time == 0.0
+        assert s.travel_length() == 0.0
+
+
+class TestExtractSessions:
+    def test_continuous_presence_is_one_session(self):
+        trace = _trace({"u": [(t, t, 0.0) for t in range(0, 100, 10)]})
+        sessions = extract_sessions(trace)
+        assert len(sessions) == 1
+        assert sessions[0].observation_count == 10
+
+    def test_gap_splits_sessions(self):
+        obs = [(0, 0, 0), (10, 1, 0), (100, 2, 0), (110, 3, 0)]
+        trace = _trace({"u": obs})
+        sessions = extract_sessions(trace)
+        assert len(sessions) == 2
+        assert sessions[0].logout_time == 10
+        assert sessions[1].login_time == 100
+
+    def test_default_gap_tolerates_one_missed_snapshot(self):
+        obs = [(0, 0, 0), (20, 1, 0)]  # one missing sample at t=10
+        trace = _trace({"u": obs}, tau=10.0)
+        assert len(extract_sessions(trace)) == 1
+
+    def test_custom_gap_threshold(self):
+        obs = [(0, 0, 0), (20, 1, 0)]
+        trace = _trace({"u": obs}, tau=10.0)
+        assert len(extract_sessions(trace, gap_threshold=15.0)) == 2
+
+    def test_invalid_gap_threshold(self):
+        trace = _trace({"u": [(0, 0, 0)]})
+        with pytest.raises(ValueError, match="positive"):
+            extract_sessions(trace, gap_threshold=0.0)
+
+    def test_multiple_users_independent(self):
+        trace = _trace({
+            "a": [(0, 0, 0), (10, 1, 0)],
+            "b": [(50, 5, 5), (60, 6, 6)],
+        })
+        sessions = extract_sessions(trace)
+        assert len(sessions) == 2
+        assert {s.user for s in sessions} == {"a", "b"}
+
+    def test_sorted_by_login_time(self):
+        trace = _trace({
+            "late": [(100, 0, 0)],
+            "early": [(0, 0, 0)],
+        })
+        sessions = extract_sessions(trace)
+        assert [s.user for s in sessions] == ["early", "late"]
+
+    def test_empty_trace_yields_no_sessions(self):
+        assert extract_sessions(Trace([])) == []
+
+    def test_travel_metrics_respect_session_split(self):
+        # User walks 10 m, leaves, comes back far away and walks 20 m:
+        # the teleport between visits must not count as travel.
+        obs = [(0, 0, 0), (10, 10, 0), (500, 100, 100), (510, 100, 120)]
+        trace = _trace({"u": obs})
+        sessions = extract_sessions(trace)
+        lengths = sorted(s.travel_length() for s in sessions)
+        assert lengths == [10.0, 20.0]

@@ -1,0 +1,121 @@
+"""Unit tests for repro.trace.trace."""
+
+import pytest
+
+from repro.geometry import Position
+from repro.trace import PositionRecord, Snapshot, Trace, TraceMetadata
+
+
+def _snap(t, users):
+    return Snapshot(t, {u: Position(float(i), float(i)) for i, u in enumerate(users)})
+
+
+class TestTraceMetadata:
+    def test_defaults(self):
+        meta = TraceMetadata()
+        assert meta.width == 256.0 and meta.height == 256.0
+        assert meta.tau == 10.0
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            TraceMetadata(width=0.0)
+        with pytest.raises(ValueError):
+            TraceMetadata(tau=-1.0)
+
+
+class TestConstruction:
+    def test_sorts_snapshots(self):
+        trace = Trace([_snap(20, ["a"]), _snap(10, ["a"])])
+        assert [s.time for s in trace] == [10, 20]
+
+    def test_duplicate_timestamps_rejected(self):
+        with pytest.raises(ValueError, match="duplicate"):
+            Trace([_snap(10, ["a"]), _snap(10, ["b"])])
+
+    def test_from_records_groups_by_time(self):
+        records = [
+            PositionRecord(0.0, "a", 1, 1, 0),
+            PositionRecord(0.0, "b", 2, 2, 0),
+            PositionRecord(10.0, "a", 3, 3, 0),
+        ]
+        trace = Trace.from_records(records)
+        assert len(trace) == 2
+        assert len(trace[0]) == 2
+
+    def test_from_records_duplicate_user_rejected(self):
+        records = [
+            PositionRecord(0.0, "a", 1, 1, 0),
+            PositionRecord(0.0, "a", 2, 2, 0),
+        ]
+        with pytest.raises(ValueError, match="twice"):
+            Trace.from_records(records)
+
+
+class TestAccessors:
+    def test_time_span(self):
+        trace = Trace([_snap(t, ["a"]) for t in (0, 10, 20)])
+        assert trace.start_time == 0
+        assert trace.end_time == 20
+        assert trace.duration == 20
+
+    def test_empty_trace_properties(self):
+        trace = Trace([])
+        assert trace.is_empty
+        with pytest.raises(ValueError, match="non-empty"):
+            _ = trace.start_time
+
+    def test_unique_users(self):
+        trace = Trace([_snap(0, ["a", "b"]), _snap(10, ["b", "c"])])
+        assert trace.unique_users() == {"a", "b", "c"}
+
+    def test_concurrency(self):
+        trace = Trace([_snap(0, ["a", "b"]), _snap(10, ["b"]), _snap(20, [])])
+        assert trace.concurrency() == [2, 1, 0]
+        assert trace.mean_concurrency() == pytest.approx(1.0)
+
+    def test_observations_of(self):
+        trace = Trace([_snap(0, ["a"]), _snap(10, ["b"]), _snap(20, ["a"])])
+        obs = trace.observations_of("a")
+        assert [t for t, _p in obs] == [0, 20]
+
+    def test_records_flat(self):
+        trace = Trace([_snap(0, ["a", "b"]), _snap(10, ["a"])])
+        assert len(trace.records()) == 3
+
+    def test_indexing(self):
+        trace = Trace([_snap(0, ["a"]), _snap(10, ["a"])])
+        assert trace[1].time == 10
+
+
+class TestWindowAndResample:
+    def test_window(self):
+        trace = Trace([_snap(t, ["a"]) for t in range(0, 100, 10)])
+        sub = trace.window(20, 50)
+        assert [s.time for s in sub] == [20, 30, 40, 50]
+
+    def test_window_shares_metadata(self):
+        meta = TraceMetadata(land_name="X")
+        trace = Trace([_snap(0, ["a"])], meta)
+        assert trace.window(0, 10).metadata.land_name == "X"
+
+    def test_window_invalid(self):
+        trace = Trace([_snap(0, ["a"])])
+        with pytest.raises(ValueError):
+            trace.window(10, 0)
+
+    def test_resampled_stride(self):
+        trace = Trace([_snap(t, ["a"]) for t in range(0, 100, 10)])
+        coarse = trace.resampled(3)
+        assert [s.time for s in coarse] == [0, 30, 60, 90]
+
+    def test_resampled_scales_tau(self):
+        trace = Trace([_snap(t, ["a"]) for t in range(0, 50, 10)], TraceMetadata(tau=10.0))
+        assert trace.resampled(3).metadata.tau == 30.0
+
+    def test_resampled_identity(self):
+        trace = Trace([_snap(t, ["a"]) for t in range(0, 50, 10)])
+        assert len(trace.resampled(1)) == len(trace)
+
+    def test_resampled_invalid(self):
+        with pytest.raises(ValueError):
+            Trace([_snap(0, ["a"])]).resampled(0)

@@ -1,0 +1,124 @@
+"""Unit tests for repro.trace.validation and repro.trace.synth."""
+
+import numpy as np
+import pytest
+
+from repro.geometry import Position
+from repro.trace import (
+    Snapshot,
+    Trace,
+    TraceMetadata,
+    constant_positions_trace,
+    crossing_users_trace,
+    orbiting_users_trace,
+    random_walk_trace,
+    validate_trace,
+)
+
+
+class TestValidation:
+    def test_clean_trace_has_no_issues(self):
+        trace = constant_positions_trace({"a": (10, 10), "b": (50, 50)}, steps=5)
+        assert validate_trace(trace) == []
+
+    def test_empty_trace_is_error(self):
+        issues = validate_trace(Trace([]))
+        assert issues[0].severity == "error"
+        assert issues[0].code == "empty-trace"
+
+    def test_sampling_gap_detected(self):
+        meta = TraceMetadata(tau=10.0)
+        snaps = [
+            Snapshot(0.0, {"a": Position(1, 1)}),
+            Snapshot(10.0, {"a": Position(1, 1)}),
+            Snapshot(120.0, {"a": Position(1, 1)}),  # 110 s gap
+        ]
+        issues = validate_trace(Trace(snaps, meta))
+        assert any(i.code == "sampling-gap" for i in issues)
+
+    def test_gap_check_disabled(self):
+        meta = TraceMetadata(tau=10.0)
+        snaps = [Snapshot(0.0, {"a": Position(1, 1)}), Snapshot(500.0, {"a": Position(1, 1)})]
+        issues = validate_trace(Trace(snaps, meta), check_gaps=False)
+        assert not any(i.code == "sampling-gap" for i in issues)
+
+    def test_out_of_bounds_detected(self):
+        snaps = [Snapshot(0.0, {"a": Position(300.0, 10.0)})]
+        issues = validate_trace(Trace(snaps, TraceMetadata()))
+        assert any(i.code == "out-of-bounds" for i in issues)
+
+    def test_bounds_check_disabled(self):
+        snaps = [Snapshot(0.0, {"a": Position(300.0, 10.0)})]
+        issues = validate_trace(Trace(snaps, TraceMetadata()), check_bounds=False)
+        assert not any(i.code == "out-of-bounds" for i in issues)
+
+    def test_sitting_artifact_detected(self):
+        snaps = [Snapshot(0.0, {"a": Position(0.0, 0.0, 0.0)})]
+        issues = validate_trace(Trace(snaps, TraceMetadata()))
+        assert any(i.code == "sitting-artifact" for i in issues)
+
+    def test_empty_snapshot_warned(self):
+        snaps = [Snapshot(0.0, {})]
+        issues = validate_trace(Trace(snaps, TraceMetadata()))
+        assert any(i.code == "empty-snapshot" for i in issues)
+
+    def test_issue_str_includes_location(self):
+        snaps = [Snapshot(5.0, {"bob": Position(999.0, 10.0)})]
+        issue = validate_trace(Trace(snaps, TraceMetadata()))[0]
+        text = str(issue)
+        assert "t=5" in text and "bob" in text
+
+
+class TestSynthBuilders:
+    def test_constant_positions(self):
+        trace = constant_positions_trace({"a": (0, 0), "b": (5, 0)}, steps=10, tau=5.0)
+        assert len(trace) == 10
+        assert trace.metadata.tau == 5.0
+        first, last = trace[0], trace[-1]
+        assert first.position_of("a") == last.position_of("a")
+
+    def test_constant_requires_steps(self):
+        with pytest.raises(ValueError):
+            constant_positions_trace({"a": (0, 0)}, steps=0)
+
+    def test_crossing_users_meet_once(self):
+        trace = crossing_users_trace(steps=61, tau=10.0, speed=1.0, lane_gap=2.0)
+        from repro.core import extract_contacts
+
+        contacts = extract_contacts(trace, r=15.0)
+        assert len(contacts) == 1
+        contact = contacts[0]
+        # The crossing happens mid-trace.
+        mid = trace.duration / 2.0
+        assert contact.start <= mid <= contact.end
+
+    def test_crossing_users_never_meet_below_lane_gap(self):
+        trace = crossing_users_trace(lane_gap=5.0)
+        from repro.core import extract_contacts
+
+        assert extract_contacts(trace, r=4.0) == []
+
+    def test_orbiting_users_distance_constant(self):
+        trace = orbiting_users_trace(steps=30, radius=40.0)
+        from repro.geometry import distance
+
+        for snap in trace:
+            d = distance(snap.position_of("a"), snap.position_of("b"))
+            assert d == pytest.approx(80.0, abs=1e-6)
+
+    def test_random_walk_stays_in_bounds(self):
+        rng = np.random.default_rng(0)
+        trace = random_walk_trace(5, 200, rng, step_std=30.0, size=100.0)
+        for snap in trace:
+            for pos in snap.positions.values():
+                assert 0.0 <= pos.x <= 100.0
+                assert 0.0 <= pos.y <= 100.0
+
+    def test_random_walk_user_count(self):
+        rng = np.random.default_rng(1)
+        trace = random_walk_trace(7, 3, rng)
+        assert len(trace.unique_users()) == 7
+
+    def test_random_walk_validation(self):
+        with pytest.raises(ValueError):
+            random_walk_trace(0, 5, np.random.default_rng(0))
