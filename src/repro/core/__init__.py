@@ -24,8 +24,11 @@ from repro.core.contacts import (
     ContactInterval,
     contact_durations,
     extract_contacts,
+    extract_contacts_reference,
     first_contact_times,
     inter_contact_times,
+    iter_snapshot_pairs,
+    snapshot_id_pairs,
 )
 from repro.core.losgraph import (
     clustering_series,
@@ -49,8 +52,11 @@ __all__ = [
     "ContactInterval",
     "contact_durations",
     "extract_contacts",
+    "extract_contacts_reference",
     "first_contact_times",
     "inter_contact_times",
+    "iter_snapshot_pairs",
+    "snapshot_id_pairs",
     "clustering_series",
     "degree_samples",
     "diameter_series",

@@ -50,6 +50,11 @@ class TraceAnalyzer:
         self.trace = trace
         self._contacts: dict[float, list[ContactInterval]] = {}
         self._sessions: list[UserSession] | None = None
+        # Array caches: repeated analyzer passes (figures, ablations)
+        # re-request the same samples; keeping them as flat ndarrays
+        # avoids re-walking the columnar store and re-boxing floats.
+        self._degree_arrays: dict[tuple[float, int], np.ndarray] = {}
+        self._zone_arrays: dict[tuple[float, int], np.ndarray] = {}
 
     # -- cached extractions ------------------------------------------------
 
@@ -64,6 +69,24 @@ class TraceAnalyzer:
         if self._sessions is None:
             self._sessions = extract_sessions(self.trace)
         return self._sessions
+
+    def degree_array(self, r: float, every: int = 1) -> np.ndarray:
+        """Aggregated degree samples as a flat float array (cached)."""
+        key = (r, every)
+        if key not in self._degree_arrays:
+            self._degree_arrays[key] = np.asarray(
+                losgraph.degree_samples(self.trace, r, every), dtype=float
+            )
+        return self._degree_arrays[key]
+
+    def zone_array(self, cell_size: float, every: int = 1) -> np.ndarray:
+        """Users-per-cell samples as a flat int array (cached)."""
+        key = (cell_size, every)
+        if key not in self._zone_arrays:
+            self._zone_arrays[key] = spatial.zone_occupation(
+                self.trace, cell_size, every
+            )
+        return self._zone_arrays[key]
 
     # -- summary -----------------------------------------------------------
 
@@ -102,14 +125,14 @@ class TraceAnalyzer:
 
     def degrees(self, r: float, every: int = 1) -> ECDF:
         """Aggregated node-degree distribution — Fig. 2(a)/(d)."""
-        return _ecdf(
-            [float(d) for d in losgraph.degree_samples(self.trace, r, every)],
-            f"no degree samples at r={r}",
-        )
+        return _ecdf(self.degree_array(r, every), f"no degree samples at r={r}")
 
     def isolation_fraction(self, r: float, every: int = 1) -> float:
         """Share of (user, snapshot) samples with zero neighbours."""
-        return losgraph.isolation_fraction(self.trace, r, every)
+        samples = self.degree_array(r, every)
+        if not len(samples):
+            raise ValueError("trace produced no degree samples")
+        return float((samples == 0).sum() / len(samples))
 
     def diameters(self, r: float, every: int = 1) -> ECDF:
         """Largest-component diameter distribution — Fig. 2(b)/(e)."""
@@ -144,8 +167,8 @@ class TraceAnalyzer:
 
     def zone_occupation(self, cell_size: float = spatial.ZONE_SIZE, every: int = 1) -> ECDF:
         """Users-per-cell distribution — Fig. 3."""
-        counts = spatial.zone_occupation(self.trace, cell_size, every)
-        return _ecdf([float(c) for c in counts], "no occupancy samples")
+        counts = self.zone_array(cell_size, every)
+        return _ecdf(counts.astype(float), "no occupancy samples")
 
 
 def _ecdf(samples: list[float] | np.ndarray, empty_message: str) -> ECDF:

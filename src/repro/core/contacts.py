@@ -30,6 +30,7 @@ from typing import Iterable, Iterator
 
 import numpy as np
 
+from repro.geometry.grid import planar_neighbour_pairs
 from repro.trace import Trace
 
 #: Bluetooth-class communication range used throughout the paper, meters.
@@ -87,12 +88,102 @@ def _snapshot_pairs(users: list[str], coords: np.ndarray, r: float) -> set[tuple
     return pairs
 
 
+def snapshot_id_pairs(user_ids: np.ndarray, xyz: np.ndarray, r: float) -> np.ndarray:
+    """Interned-id pairs within range ``r`` in one snapshot.
+
+    ``user_ids`` and ``xyz`` are one columnar snapshot slice; the
+    result is an ``(m, 2)`` int64 array of global user ids with
+    ``pair[:, 0] < pair[:, 1]`` numerically.  Neighbour search is the
+    uniform-grid cell list, so cost scales with local density rather
+    than the snapshot's square.
+    """
+    if len(user_ids) < 2:
+        return np.empty((0, 2), dtype=np.int64)
+    local = planar_neighbour_pairs(xyz[:, :2], r)
+    if not len(local):
+        return local
+    first = user_ids[local[:, 0]]
+    second = user_ids[local[:, 1]]
+    return np.stack(
+        (np.minimum(first, second), np.maximum(first, second)), axis=1
+    )
+
+
+def iter_snapshot_pairs(
+    trace: Trace, r: float
+) -> Iterator[tuple[float, np.ndarray, np.ndarray]]:
+    """Per snapshot: ``(time, user_ids, id_pairs)`` straight off the columns.
+
+    ``user_ids`` is the snapshot's presence slice and ``id_pairs`` the
+    in-range pairs from :func:`snapshot_id_pairs`.  This is the array
+    feed the DTN replay and graph layers consume; names live in
+    ``trace.columns.users``.
+    """
+    if r <= 0:
+        raise ValueError(f"communication range must be positive, got {r}")
+    cols = trace.columns
+    for index in range(cols.snapshot_count):
+        user_ids, xyz = cols.slice_of(index)
+        yield float(cols.times[index]), user_ids, snapshot_id_pairs(user_ids, xyz, r)
+
+
 def extract_contacts(trace: Trace, r: float) -> list[ContactInterval]:
     """All contact intervals of a trace under communication range ``r``.
 
-    Runs in one pass over the snapshots, tracking open contacts in a
-    dictionary; strict closure (a pair out of range at any snapshot
-    ends the contact — missing one sample means missing the pair).
+    Runs in one pass over the columnar snapshots, tracking open
+    contacts in a dictionary keyed by packed integer id pairs; strict
+    closure (a pair out of range at any snapshot ends the contact —
+    missing one sample means missing the pair).  Equivalent output to
+    :func:`extract_contacts_reference`, which keeps the original dense
+    O(n²) formulation for cross-checking.
+    """
+    if r <= 0:
+        raise ValueError(f"communication range must be positive, got {r}")
+    tau = trace.metadata.tau
+    cols = trace.columns
+    names = cols.users.names
+    shift = max(len(names), 1)
+    open_contacts: dict[int, float] = {}
+    last_seen: dict[int, float] = {}
+    closed: list[tuple[int, float, float, bool]] = []
+
+    for index in range(cols.snapshot_count):
+        user_ids, xyz = cols.slice_of(index)
+        pairs = snapshot_id_pairs(user_ids, xyz, r)
+        current = set((pairs[:, 0] * shift + pairs[:, 1]).tolist())
+        now = float(cols.times[index])
+        # Close contacts that did not survive into this snapshot.
+        for key in list(open_contacts):
+            if key not in current:
+                start = open_contacts.pop(key)
+                closed.append((key, start, last_seen.pop(key) + tau, False))
+        # Open new contacts / refresh ongoing ones.
+        for key in current:
+            if key not in open_contacts:
+                open_contacts[key] = now
+            last_seen[key] = now
+
+    # Whatever is still open is censored by the end of the measurement.
+    for key, start in open_contacts.items():
+        closed.append((key, start, last_seen[key], True))
+
+    contacts = []
+    for key, start, end, censored in closed:
+        name_a = names[key // shift]
+        name_b = names[key % shift]
+        if name_b < name_a:
+            name_a, name_b = name_b, name_a
+        contacts.append(ContactInterval(name_a, name_b, start, end, censored))
+    contacts.sort(key=lambda c: (c.start, c.pair))
+    return contacts
+
+
+def extract_contacts_reference(trace: Trace, r: float) -> list[ContactInterval]:
+    """Reference O(n²) extractor kept for equivalence testing.
+
+    This is the original dense-distance-matrix implementation working
+    on string pairs; :func:`extract_contacts` must produce the exact
+    same interval list on any trace.
     """
     if r <= 0:
         raise ValueError(f"communication range must be positive, got {r}")
@@ -105,7 +196,6 @@ def extract_contacts(trace: Trace, r: float) -> list[ContactInterval]:
         users, coords = snapshot.as_arrays()
         current = _snapshot_pairs(users, coords, r)
         now = snapshot.time
-        # Close contacts that did not survive into this snapshot.
         for pair in list(open_contacts):
             if pair not in current:
                 start = open_contacts.pop(pair)
@@ -113,13 +203,11 @@ def extract_contacts(trace: Trace, r: float) -> list[ContactInterval]:
                     ContactInterval(pair[0], pair[1], start, last_seen[pair] + tau)
                 )
                 del last_seen[pair]
-        # Open new contacts / refresh ongoing ones.
         for pair in current:
             if pair not in open_contacts:
                 open_contacts[pair] = now
             last_seen[pair] = now
 
-    # Whatever is still open is censored by the end of the measurement.
     for pair, start in open_contacts.items():
         contacts.append(
             ContactInterval(pair[0], pair[1], start, last_seen[pair], censored=True)

@@ -19,30 +19,33 @@ from __future__ import annotations
 
 import numpy as np
 
+from repro.geometry.grid import planar_neighbour_pairs
 from repro.netgraph import Graph, average_clustering, diameter
 from repro.trace import Snapshot, Trace
+
+
+def graph_from_pairs(users: list[str], pairs: np.ndarray) -> Graph:
+    """Build a line-of-sight graph from node names plus local index pairs."""
+    graph = Graph(nodes=users)
+    for i, j in pairs:
+        graph.add_edge(users[int(i)], users[int(j)])
+    return graph
 
 
 def snapshot_graph(snapshot: Snapshot, r: float) -> Graph:
     """The line-of-sight network of one snapshot.
 
     Every present user is a node (isolated users matter for the degree
-    distribution); an edge links users closer than ``r``.
+    distribution); an edge links users closer than ``r``.  Edges come
+    from the uniform-grid neighbour search, so cost follows local
+    density instead of the snapshot's square.
     """
     if r <= 0:
         raise ValueError(f"communication range must be positive, got {r}")
     users, coords = snapshot.as_arrays()
-    graph = Graph(nodes=users)
-    n = len(users)
-    if n < 2:
-        return graph
-    plane = coords[:, :2]
-    diff = plane[:, None, :] - plane[None, :, :]
-    dist = np.hypot(diff[..., 0], diff[..., 1])
-    close = np.argwhere((dist < r) & np.triu(np.ones((n, n), dtype=bool), k=1))
-    for i, j in close:
-        graph.add_edge(users[int(i)], users[int(j)])
-    return graph
+    if len(users) < 2:
+        return Graph(nodes=users)
+    return graph_from_pairs(users, planar_neighbour_pairs(coords[:, :2], r))
 
 
 def degree_samples(trace: Trace, r: float, every: int = 1) -> list[int]:
@@ -52,11 +55,27 @@ def degree_samples(trace: Trace, r: float, every: int = 1) -> list[int]:
     benchmark harnesses use to bound runtime; the distribution is
     insensitive to moderate subsampling because consecutive snapshots
     are highly correlated.
+
+    Degrees are counted directly on the columnar pair arrays (bincount
+    over pair endpoints) — no per-snapshot graph object is built.
     """
+    if r <= 0:
+        raise ValueError(f"communication range must be positive, got {r}")
+    if every < 1:
+        raise ValueError(f"stride must be >= 1, got {every}")
+    cols = trace.columns
     samples: list[int] = []
-    for snapshot in _strided(trace, every):
-        graph = snapshot_graph(snapshot, r)
-        samples.extend(graph.degree(node) for node in graph.nodes())
+    for index in range(0, cols.snapshot_count, every):
+        user_ids, xyz = cols.slice_of(index)
+        n = len(user_ids)
+        if n == 0:
+            continue
+        if n == 1:
+            samples.append(0)
+            continue
+        pairs = planar_neighbour_pairs(xyz[:, :2], r)
+        degrees = np.bincount(pairs.ravel(), minlength=n)
+        samples.extend(int(d) for d in degrees)
     return samples
 
 
@@ -114,4 +133,7 @@ def clustering_series(
 def _strided(trace: Trace, every: int):
     if every < 1:
         raise ValueError(f"stride must be >= 1, got {every}")
-    return trace.snapshots[::every]
+    # Yield lazily: materializing the skipped snapshots' dict views
+    # would defeat the columnar layout for strided consumers.
+    for index in range(0, len(trace), every):
+        yield trace[index]

@@ -18,7 +18,7 @@ from __future__ import annotations
 
 import numpy as np
 
-from repro.geometry.grid import occupancy_counts
+from repro.geometry.grid import flat_cell_indices, grid_shape
 from repro.trace import Trace, UserSession, extract_sessions
 
 #: The paper's zone size, meters.
@@ -77,15 +77,22 @@ def zone_occupation(
     if every < 1:
         raise ValueError(f"stride must be >= 1, got {every}")
     meta = trace.metadata
-    all_counts: list[np.ndarray] = []
-    for snapshot in trace.snapshots[::every]:
-        xy = [(pos.x, pos.y) for pos in snapshot.positions.values()]
-        all_counts.append(
-            occupancy_counts(xy, meta.width, meta.height, cell_size)
-        )
-    if not all_counts:
+    cols = trace.columns
+    kept = np.arange(0, cols.snapshot_count, every)
+    if not len(kept):
         return np.empty(0, dtype=np.int64)
-    return np.concatenate(all_counts)
+    grid_cols, grid_rows = grid_shape(meta.width, meta.height, cell_size)
+    cells = grid_cols * grid_rows
+
+    strided = cols.select(kept)
+    cell_keys = flat_cell_indices(
+        strided.xyz[:, :2], meta.width, meta.height, cell_size
+    )
+    snap_of_row = np.repeat(np.arange(len(kept)), strided.counts())
+    keys = snap_of_row * cells + cell_keys
+    # One bincount over (snapshot, cell) keys covers every selected
+    # snapshot, empty cells and empty snapshots included.
+    return np.bincount(keys, minlength=len(kept) * cells)
 
 
 def hotspot_cells(

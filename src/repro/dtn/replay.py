@@ -6,7 +6,8 @@ from dataclasses import dataclass
 
 import numpy as np
 
-from repro.core.losgraph import snapshot_graph
+from repro.core.losgraph import graph_from_pairs
+from repro.geometry.grid import planar_neighbour_pairs
 from repro.dtn.messages import Message
 from repro.dtn.routing import RoutingProtocol
 from repro.trace import Trace
@@ -83,10 +84,13 @@ def replay(
 ) -> ReplayResult:
     """Run one protocol over a trace and a message workload.
 
-    The replay walks the snapshots once; each alive, undelivered
-    message advances by one protocol step per snapshot.  Messages whose
-    TTL expires stop forwarding; copies are counted as the number of
-    distinct nodes that ever held the message.
+    The replay walks the columnar snapshots once; each alive,
+    undelivered message advances by one protocol step per snapshot.
+    Contact events arrive as integer-pair arrays from the grid-indexed
+    neighbour search; the per-snapshot graph is only materialized when
+    at least one message is active.  Messages whose TTL expires stop
+    forwarding; copies are counted as the number of distinct nodes that
+    ever held the message.
     """
     if r <= 0:
         raise ValueError(f"communication range must be positive, got {r}")
@@ -95,8 +99,10 @@ def replay(
     delivered_at: dict[str, float] = {}
     ever_held: dict[str, set[str]] = {m.msg_id: {m.src} for m in messages}
 
-    for snapshot in trace:
-        now = snapshot.time
+    cols = trace.columns
+    names = cols.users.names
+    for index in range(cols.snapshot_count):
+        now = float(cols.times[index])
         active = [
             m
             for m in messages
@@ -104,7 +110,13 @@ def replay(
         ]
         if not active:
             continue
-        graph = snapshot_graph(snapshot, r)
+        user_ids, xyz = cols.slice_of(index)
+        present = [names[uid] for uid in user_ids]
+        if len(present) < 2:
+            pairs = np.empty((0, 2), dtype=np.int64)
+        else:
+            pairs = planar_neighbour_pairs(xyz[:, :2], r)
+        graph = graph_from_pairs(present, pairs)
         for message in active:
             current = holders[message.msg_id]
             new_holders, delivered = protocol.step(

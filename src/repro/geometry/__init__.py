@@ -21,8 +21,11 @@ from repro.geometry.grid import (
     CellIndex,
     SpatialGrid,
     cell_of,
+    flat_cell_indices,
+    grid_shape,
     iter_cells,
     occupancy_counts,
+    planar_neighbour_pairs,
 )
 from repro.geometry.paths import Path, Segment
 
@@ -38,8 +41,11 @@ __all__ = [
     "CellIndex",
     "SpatialGrid",
     "cell_of",
+    "flat_cell_indices",
+    "grid_shape",
     "iter_cells",
     "occupancy_counts",
+    "planar_neighbour_pairs",
     "Path",
     "Segment",
 ]

@@ -154,6 +154,154 @@ class SpatialGrid:
         return pairs
 
 
+def _cell_group_pairs(
+    starts_a: np.ndarray,
+    counts_a: np.ndarray,
+    starts_b: np.ndarray,
+    counts_b: np.ndarray,
+    same_group: bool,
+) -> tuple[np.ndarray, np.ndarray]:
+    """Candidate index pairs between matched groups of sorted points.
+
+    Group ``g`` on the A side holds the contiguous index range
+    ``starts_a[g] : starts_a[g] + counts_a[g]`` (likewise B); the result
+    is the cross product of every matched group pair, fully vectorized.
+    With ``same_group`` (A is B) only the strict upper triangle is kept.
+    """
+    sizes = counts_a * counts_b
+    total = int(sizes.sum())
+    if total == 0:
+        empty = np.empty(0, dtype=np.int64)
+        return empty, empty
+    offsets = np.repeat(np.cumsum(sizes) - sizes, sizes)
+    local = np.arange(total, dtype=np.int64) - offsets
+    kb = np.repeat(counts_b, sizes)
+    left = np.repeat(starts_a, sizes) + local // kb
+    right = np.repeat(starts_b, sizes) + local % kb
+    if same_group:
+        keep = left < right
+        left, right = left[keep], right[keep]
+    return left, right
+
+
+def planar_neighbour_pairs(
+    xy: np.ndarray,
+    radius: float,
+    cell_size: float | None = None,
+) -> np.ndarray:
+    """All index pairs ``(i, j)``, ``i < j``, with planar distance < ``radius``.
+
+    Vectorized cell-list search: points are bucketed into a uniform
+    grid of ``cell_size`` (default: ``radius``), sorted by cell, and
+    only same-cell plus forward-neighbour-cell blocks are compared —
+    O(n + candidate pairs) instead of the O(n²) dense matrix.  Returns
+    an ``(m, 2)`` int64 array sorted lexicographically; the strict
+    ``<`` threshold matches the paper's link definition.
+    """
+    if radius <= 0:
+        raise ValueError(f"radius must be positive, got {radius}")
+    xy = np.asarray(xy, dtype=np.float64).reshape(-1, 2)
+    n = len(xy)
+    if n < 2:
+        return np.empty((0, 2), dtype=np.int64)
+    cell = float(cell_size) if cell_size is not None else float(radius)
+    if cell < radius:
+        raise ValueError(
+            f"cell_size ({cell}) must be >= radius ({radius}): the search "
+            "only visits adjacent cells"
+        )
+    col = np.floor(xy[:, 0] / cell).astype(np.int64)
+    row = np.floor(xy[:, 1] / cell).astype(np.int64)
+    col -= col.min()
+    row -= row.min()
+    # Stride with one column of headroom so a +1 column offset never
+    # wraps onto an occupied cell of the next row.
+    stride = int(col.max()) + 2
+    keys = row * stride + col
+    order = np.argsort(keys, kind="stable")
+    sorted_keys = keys[order]
+    sorted_xy = xy[order]
+    unique_keys, starts = np.unique(sorted_keys, return_index=True)
+    counts = np.diff(np.append(starts, n)).astype(np.int64)
+    starts = starts.astype(np.int64)
+
+    left_parts: list[np.ndarray] = []
+    right_parts: list[np.ndarray] = []
+    same_left, same_right = _cell_group_pairs(starts, counts, starts, counts, True)
+    left_parts.append(same_left)
+    right_parts.append(same_right)
+    # Forward half of the 8-neighbourhood: E, NW, N, NE.
+    for offset in (1, stride - 1, stride, stride + 1):
+        targets = unique_keys + offset
+        pos = np.searchsorted(unique_keys, targets)
+        pos_clipped = np.minimum(pos, len(unique_keys) - 1)
+        matched = unique_keys[pos_clipped] == targets
+        if not matched.any():
+            continue
+        left, right = _cell_group_pairs(
+            starts[matched],
+            counts[matched],
+            starts[pos_clipped[matched]],
+            counts[pos_clipped[matched]],
+            False,
+        )
+        left_parts.append(left)
+        right_parts.append(right)
+
+    cand_left = np.concatenate(left_parts)
+    cand_right = np.concatenate(right_parts)
+    if not len(cand_left):
+        return np.empty((0, 2), dtype=np.int64)
+    dx = sorted_xy[cand_left, 0] - sorted_xy[cand_right, 0]
+    dy = sorted_xy[cand_left, 1] - sorted_xy[cand_right, 1]
+    close = np.hypot(dx, dy) < radius
+    first = order[cand_left[close]]
+    second = order[cand_right[close]]
+    pairs = np.stack(
+        (np.minimum(first, second), np.maximum(first, second)), axis=1
+    )
+    return pairs[np.lexsort((pairs[:, 1], pairs[:, 0]))]
+
+
+def grid_shape(width: float, height: float, cell_size: float) -> tuple[int, int]:
+    """``(cols, rows)`` of the cell grid covering a ``width x height`` area."""
+    return int(np.ceil(width / cell_size)), int(np.ceil(height / cell_size))
+
+
+def flat_cell_indices(
+    xy: np.ndarray,
+    width: float,
+    height: float,
+    cell_size: float,
+    clamp: bool = True,
+) -> np.ndarray:
+    """Row-major flat cell index per point, vectorized.
+
+    This is the single home of the boundary convention: points are
+    clamped onto the land when ``clamp`` is true (SL coordinates
+    occasionally overshoot the edge during teleports), otherwise
+    out-of-area points raise ``ValueError``.  Both
+    :func:`occupancy_counts` and the analysis layer's zone-occupation
+    metric index through here, so they can never diverge.
+    """
+    pts = np.asarray(xy, dtype=float).reshape(-1, 2) if len(xy) else np.empty((0, 2))
+    px, py = pts[:, 0], pts[:, 1]
+    if clamp:
+        px = np.clip(px, 0.0, np.nextafter(width, 0.0))
+        py = np.clip(py, 0.0, np.nextafter(height, 0.0))
+    else:
+        outside = (px < 0.0) | (px >= width) | (py < 0.0) | (py >= height)
+        if outside.any():
+            bad = int(np.flatnonzero(outside)[0])
+            raise ValueError(
+                f"point ({px[bad]}, {py[bad]}) outside {width}x{height} area"
+            )
+    cols, _ = grid_shape(width, height, cell_size)
+    col = np.floor(px / cell_size).astype(np.int64)
+    row = np.floor(py / cell_size).astype(np.int64)
+    return row * cols + col
+
+
 def occupancy_counts(
     xy: Sequence[tuple[float, float]] | np.ndarray,
     width: float,
@@ -167,21 +315,7 @@ def occupancy_counts(
     cells included (that is why the curve starts around 0.8: most of a
     land is empty).  Returns a flat array with one entry per cell of the
     ``width x height`` area.
-
-    Points outside the area are clamped onto the boundary when
-    ``clamp`` is true (SL coordinates occasionally overshoot the land
-    edge during teleports); otherwise they raise ``ValueError``.
     """
-    cols = int(np.ceil(width / cell_size))
-    rows = int(np.ceil(height / cell_size))
-    counts = np.zeros(cols * rows, dtype=np.int64)
-    pts = np.asarray(xy, dtype=float).reshape(-1, 2) if len(xy) else np.empty((0, 2))
-    for px, py in pts:
-        if clamp:
-            px = min(max(px, 0.0), np.nextafter(width, 0.0))
-            py = min(max(py, 0.0), np.nextafter(height, 0.0))
-        elif not (0.0 <= px < width and 0.0 <= py < height):
-            raise ValueError(f"point ({px}, {py}) outside {width}x{height} area")
-        cell = cell_of(px, py, cell_size)
-        counts[cell.row * cols + cell.col] += 1
-    return counts
+    cols, rows = grid_shape(width, height, cell_size)
+    keys = flat_cell_indices(xy, width, height, cell_size, clamp)
+    return np.bincount(keys, minlength=cols * rows)

@@ -12,8 +12,16 @@ wins, matching an INSERT-IGNORE key constraint.
 
 from __future__ import annotations
 
+import numpy as np
+
 from repro.geometry import Position
-from repro.trace import PositionRecord, Snapshot, Trace, TraceMetadata
+from repro.trace import (
+    ColumnarBuilder,
+    PositionRecord,
+    Snapshot,
+    Trace,
+    TraceMetadata,
+)
 
 
 class TraceDatabase:
@@ -90,6 +98,18 @@ class TraceDatabase:
         return [Snapshot(t, self._by_time[t]) for t in times]
 
     def to_trace(self) -> Trace:
-        """Materialize everything as an immutable trace."""
-        snapshots = [Snapshot(t, bucket) for t, bucket in self._by_time.items()]
-        return Trace(snapshots, self.metadata)
+        """Materialize everything as an immutable columnar trace.
+
+        Rows go straight into flat arrays — the dict-of-dicts write
+        buffer is never exploded into per-record objects.
+        """
+        builder = ColumnarBuilder()
+        for t in sorted(self._by_time):
+            bucket = self._by_time[t]
+            coords = np.empty((len(bucket), 3), dtype=np.float64)
+            for i, pos in enumerate(bucket.values()):
+                coords[i, 0] = pos.x
+                coords[i, 1] = pos.y
+                coords[i, 2] = pos.z
+            builder.append_snapshot(t, list(bucket), coords)
+        return Trace.from_columns(builder.build(), self.metadata)

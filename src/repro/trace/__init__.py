@@ -8,6 +8,12 @@ sensor network, from a file, or from a real 2008 crawl — the record
 format is plain ``(t, user, x, y, z)``.
 """
 
+from repro.trace.columnar import (
+    ColumnarBuilder,
+    ColumnarStore,
+    UserInterner,
+    store_from_records,
+)
 from repro.trace.records import PositionRecord, Snapshot
 from repro.trace.trace import Trace, TraceMetadata
 from repro.trace.io import (
@@ -26,6 +32,10 @@ from repro.trace.synth import (
 )
 
 __all__ = [
+    "ColumnarBuilder",
+    "ColumnarStore",
+    "UserInterner",
+    "store_from_records",
     "PositionRecord",
     "Snapshot",
     "Trace",

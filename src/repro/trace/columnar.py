@@ -1,0 +1,311 @@
+"""Columnar trace storage: interned user ids over flat, contiguous arrays.
+
+This is the canonical in-memory layout behind :class:`~repro.trace.Trace`.
+A trace of ``S`` snapshots holding ``N`` observations total is stored as
+
+* ``times``            — ``(S,)`` float64, strictly increasing;
+* ``snapshot_offsets`` — ``(S + 1,)`` int64, CSR-style row offsets:
+  snapshot ``k`` owns rows ``snapshot_offsets[k]:snapshot_offsets[k+1]``;
+* ``user_ids``         — ``(N,)`` int64, interned user identifiers;
+* ``xyz``              — ``(N, 3)`` float64 coordinates.
+
+User names are interned once into a :class:`UserInterner`; all hot-path
+code (contact extraction, line-of-sight graphs, zone occupation) works
+on the integer ids and only maps back to names at the API boundary.
+Derived traces (windows, resamples) share the interner, so an id means
+the same user across every view of a measurement.
+
+The dict-backed :class:`~repro.trace.records.Snapshot` objects survive
+as *views* materialized on demand; analysis code that wants arrays goes
+straight to the store.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Sequence
+
+import numpy as np
+
+
+class UserInterner:
+    """Bidirectional mapping between user names and dense integer ids.
+
+    Ids are assigned in first-appearance order and never reused; the
+    table only grows.  Sharing one interner across derived traces keeps
+    ids stable under windowing and resampling.
+    """
+
+    def __init__(self, names: Iterable[str] = ()) -> None:
+        self._names: list[str] = []
+        self._ids: dict[str, int] = {}
+        for name in names:
+            self.intern(name)
+
+    def __len__(self) -> int:
+        return len(self._names)
+
+    def __contains__(self, name: str) -> bool:
+        return name in self._ids
+
+    def intern(self, name: str) -> int:
+        """Id for ``name``, assigning the next free id on first sight."""
+        uid = self._ids.get(name)
+        if uid is None:
+            uid = len(self._names)
+            self._ids[name] = uid
+            self._names.append(name)
+        return uid
+
+    def id_of(self, name: str) -> int:
+        """Id of an already-interned name; raises ``KeyError`` otherwise."""
+        return self._ids[name]
+
+    def name_of(self, uid: int) -> str:
+        """Name behind an id; raises ``IndexError`` for unknown ids."""
+        return self._names[uid]
+
+    @property
+    def names(self) -> list[str]:
+        """All interned names, indexed by id.  Treat as read-only."""
+        return self._names
+
+
+class ColumnarStore:
+    """The flat-array backing of one trace.
+
+    Construction validates the CSR invariants once; afterwards the
+    store is treated as immutable (arrays are not defensively copied —
+    the containing :class:`~repro.trace.Trace` is the unit of sharing).
+    """
+
+    __slots__ = ("times", "snapshot_offsets", "user_ids", "xyz", "users")
+
+    def __init__(
+        self,
+        times: np.ndarray,
+        snapshot_offsets: np.ndarray,
+        user_ids: np.ndarray,
+        xyz: np.ndarray,
+        users: UserInterner,
+    ) -> None:
+        self.times = np.asarray(times, dtype=np.float64)
+        self.snapshot_offsets = np.asarray(snapshot_offsets, dtype=np.int64)
+        self.user_ids = np.asarray(user_ids, dtype=np.int64)
+        self.xyz = np.asarray(xyz, dtype=np.float64).reshape(-1, 3)
+        self.users = users
+        self._validate()
+
+    def _validate(self) -> None:
+        if self.snapshot_offsets.shape != (len(self.times) + 1,):
+            raise ValueError(
+                f"snapshot_offsets must have {len(self.times) + 1} entries, "
+                f"got {len(self.snapshot_offsets)}"
+            )
+        if len(self.times) and np.any(np.diff(self.times) <= 0):
+            if len(np.unique(self.times)) != len(self.times):
+                raise ValueError("trace contains duplicate snapshot timestamps")
+            raise ValueError("snapshot times must be increasing")
+        if self.snapshot_offsets[0] != 0 or self.snapshot_offsets[-1] != len(self.user_ids):
+            raise ValueError("snapshot_offsets must span exactly the observation rows")
+        if np.any(np.diff(self.snapshot_offsets) < 0):
+            raise ValueError("snapshot_offsets must be non-decreasing")
+        if len(self.user_ids) != len(self.xyz):
+            raise ValueError("user_ids and xyz must have one row per observation")
+        if len(self.user_ids) and (
+            self.user_ids.min() < 0 or self.user_ids.max() >= len(self.users)
+        ):
+            raise ValueError("user id outside the interner's range")
+
+    # -- shape ------------------------------------------------------------
+
+    @property
+    def snapshot_count(self) -> int:
+        """Number of snapshots ``S``."""
+        return len(self.times)
+
+    @property
+    def observation_count(self) -> int:
+        """Total observation rows ``N``."""
+        return len(self.user_ids)
+
+    def counts(self) -> np.ndarray:
+        """Users per snapshot — ``(S,)`` int64."""
+        return np.diff(self.snapshot_offsets)
+
+    # -- per-snapshot access ----------------------------------------------
+
+    def slice_of(self, index: int) -> tuple[np.ndarray, np.ndarray]:
+        """``(user_ids, xyz)`` array views of snapshot ``index``."""
+        lo = self.snapshot_offsets[index]
+        hi = self.snapshot_offsets[index + 1]
+        return self.user_ids[lo:hi], self.xyz[lo:hi]
+
+    def names_of(self, index: int) -> list[str]:
+        """User names present in snapshot ``index``, in row order."""
+        names = self.users.names
+        lo = self.snapshot_offsets[index]
+        hi = self.snapshot_offsets[index + 1]
+        return [names[uid] for uid in self.user_ids[lo:hi]]
+
+    # -- bulk access -------------------------------------------------------
+
+    def row_times(self) -> np.ndarray:
+        """Per-observation timestamp — ``(N,)`` float64."""
+        return np.repeat(self.times, self.counts())
+
+    def present_ids(self) -> np.ndarray:
+        """Sorted unique user ids appearing in this store."""
+        return np.unique(self.user_ids)
+
+    def select(self, snapshot_indices: Sequence[int] | np.ndarray) -> "ColumnarStore":
+        """New store holding only the given snapshots (interner shared).
+
+        ``snapshot_indices`` must be strictly increasing, so the result
+        keeps the time ordering invariant.
+        """
+        idx = np.asarray(snapshot_indices, dtype=np.int64)
+        counts = np.diff(self.snapshot_offsets)[idx]
+        offsets = np.zeros(len(idx) + 1, dtype=np.int64)
+        np.cumsum(counts, out=offsets[1:])
+        if len(idx):
+            starts = self.snapshot_offsets[idx]
+            rows = _concat_aranges(starts, counts)
+        else:
+            rows = np.empty(0, dtype=np.int64)
+        return ColumnarStore(
+            self.times[idx], offsets, self.user_ids[rows], self.xyz[rows], self.users
+        )
+
+
+class ColumnarBuilder:
+    """Accumulates snapshots and materializes a :class:`ColumnarStore`.
+
+    Monitors, readers and synthetic-trace generators append rows here
+    instead of building per-record dicts; ``build()`` sorts snapshots
+    by time (stable within a snapshot) and validates once.
+    """
+
+    def __init__(self, users: UserInterner | None = None) -> None:
+        self.users = users or UserInterner()
+        self._times: list[float] = []
+        self._counts: list[int] = []
+        self._ids: list[np.ndarray] = []
+        self._xyz: list[np.ndarray] = []
+
+    @property
+    def snapshot_count(self) -> int:
+        return len(self._times)
+
+    def append_snapshot(
+        self,
+        time: float,
+        names: Sequence[str],
+        coords: np.ndarray | Sequence[Sequence[float]],
+    ) -> None:
+        """Add one snapshot: user names plus an ``(n, 3)`` coordinate block."""
+        ids = np.fromiter(
+            (self.users.intern(name) for name in names),
+            dtype=np.int64,
+            count=len(names),
+        )
+        if len(set(ids.tolist())) != len(ids):
+            seen: set[int] = set()
+            for uid in ids.tolist():
+                if uid in seen:
+                    raise ValueError(
+                        f"user {self.users.name_of(uid)!r} appears twice at t={time}"
+                    )
+                seen.add(uid)
+        block = np.asarray(coords, dtype=np.float64).reshape(len(names), 3)
+        self._times.append(float(time))
+        self._counts.append(len(names))
+        self._ids.append(ids)
+        self._xyz.append(block)
+
+    def append_ids(self, time: float, ids: np.ndarray, coords: np.ndarray) -> None:
+        """Add one snapshot of already-interned ids (trusted, no dup check)."""
+        self._times.append(float(time))
+        self._counts.append(len(ids))
+        self._ids.append(np.asarray(ids, dtype=np.int64))
+        self._xyz.append(np.asarray(coords, dtype=np.float64).reshape(len(ids), 3))
+
+    def build(self) -> ColumnarStore:
+        """Sort by time and freeze into a store."""
+        times = np.asarray(self._times, dtype=np.float64)
+        order = np.argsort(times, kind="stable")
+        counts = np.asarray(self._counts, dtype=np.int64)[order]
+        offsets = np.zeros(len(order) + 1, dtype=np.int64)
+        np.cumsum(counts, out=offsets[1:])
+        if self._ids:
+            user_ids = np.concatenate([self._ids[k] for k in order])
+            xyz = np.concatenate([self._xyz[k] for k in order])
+        else:
+            user_ids = np.empty(0, dtype=np.int64)
+            xyz = np.empty((0, 3), dtype=np.float64)
+        return ColumnarStore(times[order], offsets, user_ids, xyz, self.users)
+
+
+def store_from_records(
+    times: np.ndarray,
+    names: Sequence[str],
+    xyz: np.ndarray,
+    users: UserInterner | None = None,
+) -> ColumnarStore:
+    """Build a store from flat per-observation records.
+
+    ``times`` is ``(N,)``, ``names`` has ``N`` entries, ``xyz`` is
+    ``(N, 3)``.  Records are grouped into snapshots by timestamp with a
+    stable sort, so within-snapshot row order follows input order — the
+    same convention dict grouping used.  A ``(time, user)`` pair seen
+    twice raises ``ValueError``.
+    """
+    users = users or UserInterner()
+    times = np.asarray(times, dtype=np.float64)
+    xyz = np.asarray(xyz, dtype=np.float64).reshape(len(times), 3)
+    ids = np.fromiter(
+        (users.intern(name) for name in names), dtype=np.int64, count=len(names)
+    )
+    order = np.argsort(times, kind="stable")
+    times, ids, xyz = times[order], ids[order], xyz[order]
+    snap_times, starts = np.unique(times, return_index=True)
+    offsets = np.append(starts, len(times)).astype(np.int64)
+    # Duplicate (time, user) detection on the grouped layout.
+    if len(ids):
+        snap_of_row = np.repeat(np.arange(len(snap_times)), np.diff(offsets))
+        key = snap_of_row * (len(users) + 1) + ids
+        unique_keys, first_rows = np.unique(key, return_index=True)
+        if len(unique_keys) != len(ids):
+            dup_rows = np.setdiff1d(np.arange(len(ids)), first_rows)
+            row = int(dup_rows[0])
+            raise ValueError(
+                f"user {users.name_of(int(ids[row]))!r} appears twice "
+                f"at t={float(times[row])}"
+            )
+    return ColumnarStore(snap_times, offsets, ids, xyz, users)
+
+
+def empty_store(users: UserInterner | None = None) -> ColumnarStore:
+    """A store with no snapshots (shares ``users`` when given)."""
+    return ColumnarStore(
+        np.empty(0, dtype=np.float64),
+        np.zeros(1, dtype=np.int64),
+        np.empty(0, dtype=np.int64),
+        np.empty((0, 3), dtype=np.float64),
+        users or UserInterner(),
+    )
+
+
+def _concat_aranges(starts: np.ndarray, counts: np.ndarray) -> np.ndarray:
+    """Concatenation of ``arange(s, s + c)`` for each start/count pair."""
+    counts = np.asarray(counts, dtype=np.int64)
+    total = int(counts.sum())
+    if total == 0:
+        return np.empty(0, dtype=np.int64)
+    keep = counts > 0
+    starts = np.asarray(starts, dtype=np.int64)[keep]
+    counts = counts[keep]
+    ends = np.cumsum(counts)
+    steps = np.ones(total, dtype=np.int64)
+    steps[0] = starts[0]
+    steps[ends[:-1]] = starts[1:] - (starts[:-1] + counts[:-1] - 1)
+    return np.cumsum(steps)

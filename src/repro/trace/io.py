@@ -17,8 +17,9 @@ import json
 from pathlib import Path
 from typing import TextIO
 
-from repro.geometry import Position
-from repro.trace.records import PositionRecord, Snapshot
+import numpy as np
+
+from repro.trace.columnar import ColumnarBuilder, store_from_records
 from repro.trace.trace import Trace, TraceMetadata
 
 _METADATA_FIELDS = ("land_name", "width", "height", "tau", "source", "notes")
@@ -51,10 +52,13 @@ def write_trace_csv(trace: Trace, path: str | Path) -> Path:
             handle.write(header_line + "\n")
         writer = csv.writer(handle)
         writer.writerow(["time", "user", "x", "y", "z"])
-        for record in trace.records():
+        cols = trace.columns
+        names = cols.users.names
+        row_times = cols.row_times()
+        for i in range(cols.observation_count):
             writer.writerow(
-                [f"{record.time:.3f}", record.user,
-                 f"{record.x:.3f}", f"{record.y:.3f}", f"{record.z:.3f}"]
+                [f"{row_times[i]:.3f}", names[cols.user_ids[i]],
+                 f"{cols.xyz[i, 0]:.3f}", f"{cols.xyz[i, 1]:.3f}", f"{cols.xyz[i, 2]:.3f}"]
             )
     return target
 
@@ -67,7 +71,9 @@ def read_trace_csv(path: str | Path) -> Trace:
     """
     source = Path(path)
     metadata: TraceMetadata | None = None
-    records: list[PositionRecord] = []
+    times: list[float] = []
+    names: list[str] = []
+    coords: list[tuple[float, float, float]] = []
     with _open_text(source, "r") as handle:
         header_seen = False
         for line in handle:
@@ -91,16 +97,15 @@ def read_trace_csv(path: str | Path) -> Trace:
             row = next(csv.reader([line]))
             if len(row) != 5:
                 raise ValueError(f"malformed CSV row: {line!r}")
-            records.append(
-                PositionRecord(
-                    time=float(row[0]),
-                    user=row[1],
-                    x=float(row[2]),
-                    y=float(row[3]),
-                    z=float(row[4]),
-                )
-            )
-    return Trace.from_records(records, metadata)
+            times.append(float(row[0]))
+            names.append(row[1])
+            coords.append((float(row[2]), float(row[3]), float(row[4])))
+    store = store_from_records(
+        np.asarray(times, dtype=np.float64),
+        names,
+        np.asarray(coords, dtype=np.float64).reshape(len(times), 3),
+    )
+    return Trace.from_columns(store, metadata)
 
 
 def write_trace_jsonl(trace: Trace, path: str | Path) -> Path:
@@ -109,12 +114,15 @@ def write_trace_jsonl(trace: Trace, path: str | Path) -> Path:
     with _open_text(target, "w") as handle:
         meta = {name: getattr(trace.metadata, name) for name in _METADATA_FIELDS}
         handle.write(json.dumps({"metadata": meta}) + "\n")
-        for snapshot in trace:
+        cols = trace.columns
+        names = cols.users.names
+        for index in range(cols.snapshot_count):
+            user_ids, xyz = cols.slice_of(index)
             payload = {
-                "t": snapshot.time,
+                "t": float(cols.times[index]),
                 "users": {
-                    user: [pos.x, pos.y, pos.z]
-                    for user, pos in snapshot.positions.items()
+                    names[uid]: [float(x), float(y), float(z)]
+                    for uid, (x, y, z) in zip(user_ids, xyz)
                 },
             }
             handle.write(json.dumps(payload) + "\n")
@@ -125,7 +133,7 @@ def read_trace_jsonl(path: str | Path) -> Trace:
     """Read a trace written by :func:`write_trace_jsonl`."""
     source = Path(path)
     metadata: TraceMetadata | None = None
-    snapshots: list[Snapshot] = []
+    builder = ColumnarBuilder()
     with _open_text(source, "r") as handle:
         for line in handle:
             line = line.strip()
@@ -135,9 +143,9 @@ def read_trace_jsonl(path: str | Path) -> Trace:
             if "metadata" in payload:
                 metadata = TraceMetadata(**payload["metadata"])
                 continue
-            positions = {
-                user: Position(coords[0], coords[1], coords[2] if len(coords) > 2 else 0.0)
-                for user, coords in payload["users"].items()
-            }
-            snapshots.append(Snapshot(payload["t"], positions))
-    return Trace(snapshots, metadata)
+            users = payload["users"]
+            block = np.zeros((len(users), 3), dtype=np.float64)
+            for i, coords in enumerate(users.values()):
+                block[i, : len(coords)] = coords[:3]
+            builder.append_snapshot(payload["t"], list(users), block)
+    return Trace.from_columns(builder.build(), metadata)

@@ -74,15 +74,38 @@ class Snapshot:
             for user, pos in self.positions.items()
         ]
 
+    @classmethod
+    def from_arrays(cls, time: float, users: list[str], coords: np.ndarray) -> "Snapshot":
+        """Snapshot view over columnar data, with the array cache pre-seeded.
+
+        Used by :class:`~repro.trace.Trace` to materialize dict-backed
+        views of its columnar store without paying a later dict→array
+        conversion in :meth:`as_arrays`.
+        """
+        coords = np.asarray(coords, dtype=float).reshape(len(users), 3)
+        positions = {
+            user: Position(float(x), float(y), float(z))
+            for user, (x, y, z) in zip(users, coords)
+        }
+        snapshot = cls(time, positions)
+        object.__setattr__(snapshot, "_arrays", (users, coords))
+        return snapshot
+
     def as_arrays(self) -> tuple[list[str], np.ndarray]:
         """Users and an ``(n, 3)`` coordinate array, in a stable order.
 
         The order is the snapshot's insertion order, which the
         simulator keeps deterministic; analysis code relies only on the
-        pairing between the two return values.
+        pairing between the two return values.  The result is computed
+        once and cached (treat both returns as read-only): analyzer
+        passes revisit the same snapshots for every range ``r``.
         """
-        users = list(self.positions)
-        coords = np.array(
-            [[p.x, p.y, p.z] for p in self.positions.values()], dtype=float
-        ).reshape(len(users), 3)
-        return users, coords
+        cached = getattr(self, "_arrays", None)
+        if cached is None:
+            users = list(self.positions)
+            coords = np.array(
+                [[p.x, p.y, p.z] for p in self.positions.values()], dtype=float
+            ).reshape(len(users), 3)
+            cached = (users, coords)
+            object.__setattr__(self, "_arrays", cached)
+        return cached

@@ -7,11 +7,17 @@ pauses.  A monitor only sees presence at sampling instants, so a
 session is reconstructed as a maximal run of observations whose gaps
 stay below a threshold (default: twice the sampling interval — one
 missed snapshot is tolerated, two mean the user left and came back).
+
+Extraction runs on the columnar store: one stable argsort groups every
+observation row by user (time order preserved within a user), and gap
+thresholds split the runs — no per-snapshot dict walking.
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass, field
+
+import numpy as np
 
 from repro.geometry import Position, distance
 from repro.trace.trace import Trace
@@ -38,6 +44,29 @@ class UserSession:
         if any(b <= a for a, b in zip(self.times, self.times[1:])):
             raise ValueError("session observations must be strictly time-ordered")
 
+    @classmethod
+    def _from_arrays(cls, user: str, times: np.ndarray, xyz: np.ndarray) -> "UserSession":
+        """Session over columnar rows, with the array cache pre-seeded."""
+        session = cls(
+            user,
+            tuple(float(t) for t in times),
+            tuple(Position(*(float(v) for v in row)) for row in xyz),
+        )
+        object.__setattr__(
+            session, "_arrays", (np.asarray(times, dtype=float), np.asarray(xyz, dtype=float))
+        )
+        return session
+
+    def as_arrays(self) -> tuple[np.ndarray, np.ndarray]:
+        """``(times, xyz)`` arrays of the visit, cached after first use."""
+        cached = getattr(self, "_arrays", None)
+        if cached is None:
+            times = np.asarray(self.times, dtype=float)
+            xyz = np.array([[p.x, p.y, p.z] for p in self.positions], dtype=float)
+            cached = (times, xyz.reshape(len(self.times), 3))
+            object.__setattr__(self, "_arrays", cached)
+        return cached
+
     @property
     def login_time(self) -> float:
         """First time the monitor saw the user in this visit."""
@@ -58,12 +87,14 @@ class UserSession:
         """Number of snapshots in which the user appeared."""
         return len(self.times)
 
+    def _step_lengths(self) -> np.ndarray:
+        """Planar displacement per inter-observation step."""
+        _, xyz = self.as_arrays()
+        return np.hypot(np.diff(xyz[:, 0]), np.diff(xyz[:, 1]))
+
     def travel_length(self) -> float:
         """The paper's *travel length*: summed displacement login→logout."""
-        total = 0.0
-        for a, b in zip(self.positions, self.positions[1:]):
-            total += distance(a, b)
-        return total
+        return float(self._step_lengths().sum())
 
     def effective_travel_time(self, pause_epsilon: float = PAUSE_EPSILON) -> float:
         """The paper's *effective travel time*: time spent moving.
@@ -71,14 +102,9 @@ class UserSession:
         An inter-observation interval counts as movement when the
         displacement across it exceeds ``pause_epsilon`` meters.
         """
-        moving = 0.0
-        for (t0, p0), (t1, p1) in zip(
-            zip(self.times, self.positions),
-            zip(self.times[1:], self.positions[1:]),
-        ):
-            if distance(p0, p1) > pause_epsilon:
-                moving += t1 - t0
-        return moving
+        times, _ = self.as_arrays()
+        moving = self._step_lengths() > pause_epsilon
+        return float(np.diff(times)[moving].sum())
 
     def pause_time(self, pause_epsilon: float = PAUSE_EPSILON) -> float:
         """Connected-but-stationary time (complement of effective travel)."""
@@ -114,24 +140,24 @@ def extract_sessions(
     if gap_threshold <= 0:
         raise ValueError(f"gap threshold must be positive, got {gap_threshold}")
 
-    observations: dict[str, list[tuple[float, Position]]] = {}
-    for snapshot in trace:
-        for user, position in snapshot.positions.items():
-            observations.setdefault(user, []).append((snapshot.time, position))
+    cols = trace.columns
+    if cols.observation_count == 0:
+        return []
+    order = np.argsort(cols.user_ids, kind="stable")
+    uids = cols.user_ids[order]
+    times = cols.row_times()[order]
+    xyz = cols.xyz[order]
 
-    sessions: list[UserSession] = []
-    for user, obs in observations.items():
-        run_times: list[float] = []
-        run_positions: list[Position] = []
-        for time, position in obs:
-            if run_times and time - run_times[-1] > gap_threshold:
-                sessions.append(
-                    UserSession(user, tuple(run_times), tuple(run_positions))
-                )
-                run_times, run_positions = [], []
-            run_times.append(time)
-            run_positions.append(position)
-        sessions.append(UserSession(user, tuple(run_times), tuple(run_positions)))
+    breaks = np.empty(len(uids), dtype=bool)
+    breaks[0] = True
+    breaks[1:] = (uids[1:] != uids[:-1]) | (np.diff(times) > gap_threshold)
+    starts = np.flatnonzero(breaks)
+    ends = np.append(starts[1:], len(uids))
 
+    names = cols.users.names
+    sessions = [
+        UserSession._from_arrays(names[uids[lo]], times[lo:hi], xyz[lo:hi])
+        for lo, hi in zip(starts, ends)
+    ]
     sessions.sort(key=lambda s: (s.login_time, s.user))
     return sessions

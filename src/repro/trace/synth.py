@@ -5,6 +5,11 @@ closed form, so the analysis layer has known-answer tests: two users
 crossing at a given time *must* yield exactly one contact of a given
 length, orbiting users *must* never meet, and so on.  Examples and
 docs also use them as minimal inputs.
+
+All builders assemble the columnar arrays directly (ids, flat
+coordinates) — no per-record dicts — which also makes
+:func:`random_walk_trace` cheap enough to serve as the scaling
+benchmark's workload generator.
 """
 
 from __future__ import annotations
@@ -13,13 +18,35 @@ import math
 
 import numpy as np
 
-from repro.geometry import Position
-from repro.trace.records import Snapshot
+from repro.trace.columnar import ColumnarStore, UserInterner
 from repro.trace.trace import Trace, TraceMetadata
 
 
 def _metadata(tau: float, name: str) -> TraceMetadata:
     return TraceMetadata(land_name=name, tau=tau, source="synthetic")
+
+
+def _dense_trace(
+    users: list[str],
+    times: np.ndarray,
+    xyz_per_step: np.ndarray,
+    metadata: TraceMetadata,
+) -> Trace:
+    """Trace where every user appears in every snapshot.
+
+    ``xyz_per_step`` is ``(steps, n_users, 3)``; offsets and ids are
+    the regular pattern of a fully dense trace.
+    """
+    steps, n = xyz_per_step.shape[0], len(users)
+    interner = UserInterner(users)
+    store = ColumnarStore(
+        times=np.asarray(times, dtype=np.float64),
+        snapshot_offsets=np.arange(steps + 1, dtype=np.int64) * n,
+        user_ids=np.tile(np.arange(n, dtype=np.int64), steps),
+        xyz=np.asarray(xyz_per_step, dtype=np.float64).reshape(steps * n, 3),
+        users=interner,
+    )
+    return Trace.from_columns(store, metadata)
 
 
 def constant_positions_trace(
@@ -34,9 +61,13 @@ def constant_positions_trace(
     """
     if steps < 1:
         raise ValueError(f"need at least one step, got {steps}")
-    frozen = {user: Position(x, y) for user, (x, y) in positions.items()}
-    snapshots = [Snapshot(i * tau, frozen) for i in range(steps)]
-    return Trace(snapshots, _metadata(tau, "synthetic-constant"))
+    users = list(positions)
+    frame = np.array(
+        [[x, y, 0.0] for x, y in positions.values()], dtype=np.float64
+    ).reshape(len(users), 3)
+    xyz = np.broadcast_to(frame, (steps, len(users), 3))
+    times = np.arange(steps, dtype=np.float64) * tau
+    return _dense_trace(users, times, xyz, _metadata(tau, "synthetic-constant"))
 
 
 def crossing_users_trace(
@@ -55,22 +86,14 @@ def crossing_users_trace(
     """
     if steps < 3:
         raise ValueError(f"need at least three steps, got {steps}")
-    snapshots = []
+    times = np.arange(steps, dtype=np.float64) * tau
     span = speed * tau * (steps - 1)
-    start_a = 128.0 - span / 2.0
-    start_b = 128.0 + span / 2.0
-    for i in range(steps):
-        t = i * tau
-        snapshots.append(
-            Snapshot(
-                t,
-                {
-                    "a": Position(start_a + speed * t, 100.0),
-                    "b": Position(start_b - speed * t, 100.0 + lane_gap),
-                },
-            )
-        )
-    return Trace(snapshots, _metadata(tau, "synthetic-crossing"))
+    xyz = np.zeros((steps, 2, 3), dtype=np.float64)
+    xyz[:, 0, 0] = 128.0 - span / 2.0 + speed * times
+    xyz[:, 0, 1] = 100.0
+    xyz[:, 1, 0] = 128.0 + span / 2.0 - speed * times
+    xyz[:, 1, 1] = 100.0 + lane_gap
+    return _dense_trace(["a", "b"], times, xyz, _metadata(tau, "synthetic-crossing"))
 
 
 def orbiting_users_trace(
@@ -88,20 +111,14 @@ def orbiting_users_trace(
     if steps < 1:
         raise ValueError(f"need at least one step, got {steps}")
     cx, cy = center
-    snapshots = []
-    for i in range(steps):
-        t = i * tau
-        angle = 2.0 * math.pi * i / steps
-        snapshots.append(
-            Snapshot(
-                t,
-                {
-                    "a": Position(cx + radius * math.cos(angle), cy + radius * math.sin(angle)),
-                    "b": Position(cx - radius * math.cos(angle), cy - radius * math.sin(angle)),
-                },
-            )
-        )
-    return Trace(snapshots, _metadata(tau, "synthetic-orbit"))
+    times = np.arange(steps, dtype=np.float64) * tau
+    angles = 2.0 * math.pi * np.arange(steps) / steps
+    xyz = np.zeros((steps, 2, 3), dtype=np.float64)
+    xyz[:, 0, 0] = cx + radius * np.cos(angles)
+    xyz[:, 0, 1] = cy + radius * np.sin(angles)
+    xyz[:, 1, 0] = cx - radius * np.cos(angles)
+    xyz[:, 1, 1] = cy - radius * np.sin(angles)
+    return _dense_trace(["a", "b"], times, xyz, _metadata(tau, "synthetic-orbit"))
 
 
 def random_walk_trace(
@@ -122,13 +139,9 @@ def random_walk_trace(
         raise ValueError("need at least one user and one step")
     users = [f"u{i:03d}" for i in range(n_users)]
     coords = rng.uniform(0.0, size, (n_users, 2))
-    snapshots = []
+    xyz = np.zeros((steps, n_users, 3), dtype=np.float64)
     for i in range(steps):
-        positions = {
-            user: Position(float(coords[j, 0]), float(coords[j, 1]))
-            for j, user in enumerate(users)
-        }
-        snapshots.append(Snapshot(i * tau, positions))
+        xyz[i, :, :2] = coords
         coords = coords + rng.normal(0.0, step_std, (n_users, 2))
         # Reflect at the borders to keep walkers on the land.
         coords = np.abs(coords)
@@ -138,4 +151,5 @@ def random_walk_trace(
     meta = TraceMetadata(
         land_name="synthetic-random-walk", width=size, height=size, tau=tau, source="synthetic"
     )
-    return Trace(snapshots, meta)
+    times = np.arange(steps, dtype=np.float64) * tau
+    return _dense_trace(users, times, xyz, meta)

@@ -1,11 +1,26 @@
-"""The trace container: metadata plus a time-ordered snapshot list."""
+"""The trace container: metadata plus a columnar snapshot store.
+
+Since the columnar refactor a :class:`Trace` is a thin façade over a
+:class:`~repro.trace.columnar.ColumnarStore` — interned user ids plus
+flat ``times`` / ``snapshot_offsets`` / ``user_ids`` / ``xyz`` arrays.
+The historical object API (``Snapshot`` iteration, ``PositionRecord``
+lists) is preserved as views materialized on demand; analysis hot
+paths reach the arrays through :attr:`Trace.columns`.
+"""
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field, replace
+from dataclasses import dataclass, replace
 from typing import Iterable, Iterator, Sequence
 
+import numpy as np
+
 from repro.geometry import Position
+from repro.trace.columnar import (
+    ColumnarBuilder,
+    ColumnarStore,
+    store_from_records,
+)
 from repro.trace.records import PositionRecord, Snapshot
 
 #: Default land footprint in meters (Second Life region size).
@@ -41,6 +56,8 @@ class Trace:
 
     Construction validates ordering once; afterwards the trace behaves
     as an immutable value as far as the analysis layer is concerned.
+    Storage is columnar (:attr:`columns`); ``Snapshot`` objects handed
+    out by iteration/indexing are cached views of the same arrays.
     """
 
     def __init__(
@@ -49,12 +66,32 @@ class Trace:
         metadata: TraceMetadata | None = None,
     ) -> None:
         self.metadata = metadata or TraceMetadata()
-        self._snapshots: list[Snapshot] = sorted(snapshots, key=lambda s: s.time)
-        times = [s.time for s in self._snapshots]
+        ordered = sorted(snapshots, key=lambda s: s.time)
+        times = [s.time for s in ordered]
         if len(set(times)) != len(times):
             raise ValueError("trace contains duplicate snapshot timestamps")
+        builder = ColumnarBuilder()
+        for snapshot in ordered:
+            users, coords = snapshot.as_arrays()
+            builder.append_snapshot(snapshot.time, users, coords)
+        self._columns = builder.build()
+        # The input snapshots already are the views the columns describe.
+        self._views: list[Snapshot | None] = list(ordered)
 
     # -- constructors ---------------------------------------------------
+
+    @classmethod
+    def from_columns(
+        cls,
+        columns: ColumnarStore,
+        metadata: TraceMetadata | None = None,
+    ) -> "Trace":
+        """Wrap an already-built columnar store (no copying)."""
+        trace = cls.__new__(cls)
+        trace.metadata = metadata or TraceMetadata()
+        trace._columns = columns
+        trace._views = [None] * columns.snapshot_count
+        return trace
 
     @classmethod
     def from_records(
@@ -63,51 +100,72 @@ class Trace:
         metadata: TraceMetadata | None = None,
     ) -> "Trace":
         """Group flat records into snapshots by timestamp."""
-        by_time: dict[float, dict[str, Position]] = {}
-        for record in records:
-            bucket = by_time.setdefault(record.time, {})
-            if record.user in bucket:
-                raise ValueError(
-                    f"user {record.user!r} appears twice at t={record.time}"
-                )
-            bucket[record.user] = record.position
-        snapshots = [Snapshot(t, positions) for t, positions in by_time.items()]
-        return cls(snapshots, metadata)
+        rows = list(records)
+        times = np.fromiter((r.time for r in rows), dtype=np.float64, count=len(rows))
+        xyz = np.empty((len(rows), 3), dtype=np.float64)
+        for i, record in enumerate(rows):
+            xyz[i, 0] = record.x
+            xyz[i, 1] = record.y
+            xyz[i, 2] = record.z
+        store = store_from_records(times, [r.user for r in rows], xyz)
+        return cls.from_columns(store, metadata)
 
     # -- container protocol ----------------------------------------------
 
     def __len__(self) -> int:
-        return len(self._snapshots)
+        return self._columns.snapshot_count
 
     def __iter__(self) -> Iterator[Snapshot]:
-        return iter(self._snapshots)
+        for index in range(len(self)):
+            yield self[index]
 
-    def __getitem__(self, index: int) -> Snapshot:
-        return self._snapshots[index]
+    def __getitem__(self, index: int) -> Snapshot | list[Snapshot]:
+        if isinstance(index, slice):
+            return [self[i] for i in range(*index.indices(len(self)))]
+        if index < 0:
+            index += len(self)
+        if not 0 <= index < len(self):
+            raise IndexError("snapshot index out of range")
+        view = self._views[index]
+        if view is None:
+            ids, coords = self._columns.slice_of(index)
+            names = self._columns.users.names
+            view = Snapshot.from_arrays(
+                float(self._columns.times[index]),
+                [names[uid] for uid in ids],
+                coords,
+            )
+            self._views[index] = view
+        return view
 
     # -- accessors --------------------------------------------------------
 
     @property
+    def columns(self) -> ColumnarStore:
+        """The canonical columnar storage.  Treat as read-only."""
+        return self._columns
+
+    @property
     def snapshots(self) -> Sequence[Snapshot]:
-        """The snapshots, oldest first."""
-        return tuple(self._snapshots)
+        """The snapshots, oldest first (views over :attr:`columns`)."""
+        return tuple(self[index] for index in range(len(self)))
 
     @property
     def is_empty(self) -> bool:
         """True when the trace holds no snapshots."""
-        return not self._snapshots
+        return self._columns.snapshot_count == 0
 
     @property
     def start_time(self) -> float:
         """Timestamp of the first snapshot."""
         self._require_nonempty()
-        return self._snapshots[0].time
+        return float(self._columns.times[0])
 
     @property
     def end_time(self) -> float:
         """Timestamp of the last snapshot."""
         self._require_nonempty()
-        return self._snapshots[-1].time
+        return float(self._columns.times[-1])
 
     @property
     def duration(self) -> float:
@@ -117,43 +175,59 @@ class Trace:
 
     def unique_users(self) -> set[str]:
         """Every user that appears at least once — the paper's 'unique visitors'."""
-        users: set[str] = set()
-        for snapshot in self._snapshots:
-            users |= snapshot.users
-        return users
+        names = self._columns.users.names
+        return {names[uid] for uid in self._columns.present_ids()}
 
     def concurrency(self) -> list[int]:
         """User count per snapshot — basis for 'average concurrent users'."""
-        return [len(snapshot) for snapshot in self._snapshots]
+        return [int(c) for c in self._columns.counts()]
 
     def mean_concurrency(self) -> float:
         """Average number of simultaneously observed users."""
-        counts = self.concurrency()
-        if not counts:
+        counts = self._columns.counts()
+        if not len(counts):
             return 0.0
-        return sum(counts) / len(counts)
+        return float(counts.mean())
 
     def records(self) -> list[PositionRecord]:
         """The whole trace as flat records, time-ordered."""
-        flat: list[PositionRecord] = []
-        for snapshot in self._snapshots:
-            flat.extend(snapshot.records())
-        return flat
+        cols = self._columns
+        names = cols.users.names
+        row_times = cols.row_times()
+        return [
+            PositionRecord(
+                float(row_times[i]),
+                names[cols.user_ids[i]],
+                float(cols.xyz[i, 0]),
+                float(cols.xyz[i, 1]),
+                float(cols.xyz[i, 2]),
+            )
+            for i in range(cols.observation_count)
+        ]
 
     def observations_of(self, user: str) -> list[tuple[float, Position]]:
         """Time-ordered ``(time, position)`` pairs for one user."""
+        cols = self._columns
+        if user not in cols.users:
+            return []
+        uid = cols.users.id_of(user)
+        rows = np.flatnonzero(cols.user_ids == uid)
+        row_times = cols.row_times()
         return [
-            (snapshot.time, snapshot.position_of(user))
-            for snapshot in self._snapshots
-            if user in snapshot
+            (
+                float(row_times[i]),
+                Position(*(float(v) for v in cols.xyz[i])),
+            )
+            for i in rows
         ]
 
     def window(self, start: float, end: float) -> "Trace":
         """Sub-trace with snapshots in ``[start, end]`` (metadata shared)."""
         if end < start:
             raise ValueError(f"empty window [{start}, {end}]")
-        kept = [s for s in self._snapshots if start <= s.time <= end]
-        return Trace(kept, self.metadata)
+        times = self._columns.times
+        kept = np.flatnonzero((times >= start) & (times <= end))
+        return Trace.from_columns(self._columns.select(kept), self.metadata)
 
     def resampled(self, every: int) -> "Trace":
         """Keep every ``every``-th snapshot (tau scales accordingly).
@@ -163,16 +237,16 @@ class Trace:
         """
         if every < 1:
             raise ValueError(f"resampling factor must be >= 1, got {every}")
-        kept = self._snapshots[::every]
+        kept = np.arange(0, self._columns.snapshot_count, every)
         meta = replace(self.metadata, tau=self.metadata.tau * every)
-        return Trace(kept, meta)
+        return Trace.from_columns(self._columns.select(kept), meta)
 
     def _require_nonempty(self) -> None:
-        if not self._snapshots:
+        if self.is_empty:
             raise ValueError("operation requires a non-empty trace")
 
     def __repr__(self) -> str:  # pragma: no cover - debugging aid
-        span = f"{self.start_time:.0f}..{self.end_time:.0f}s" if self._snapshots else "empty"
+        span = f"{self.start_time:.0f}..{self.end_time:.0f}s" if len(self) else "empty"
         return (
             f"Trace(land={self.metadata.land_name!r}, snapshots={len(self)}, "
             f"span={span}, users={len(self.unique_users())})"

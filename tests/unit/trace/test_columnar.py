@@ -1,0 +1,140 @@
+"""Unit tests for the columnar trace backend."""
+
+import numpy as np
+import pytest
+
+from repro.geometry import Position
+from repro.trace import (
+    ColumnarBuilder,
+    Snapshot,
+    Trace,
+    TraceMetadata,
+    UserInterner,
+    store_from_records,
+)
+from repro.trace.columnar import _concat_aranges
+
+
+class TestUserInterner:
+    def test_first_appearance_order(self):
+        table = UserInterner()
+        assert table.intern("bob") == 0
+        assert table.intern("amy") == 1
+        assert table.intern("bob") == 0
+        assert table.name_of(1) == "amy"
+        assert "amy" in table and "zed" not in table
+        assert len(table) == 2
+
+
+class TestColumnarBuilder:
+    def test_sorts_snapshots_by_time(self):
+        builder = ColumnarBuilder()
+        builder.append_snapshot(20.0, ["a"], [[1.0, 2.0, 0.0]])
+        builder.append_snapshot(10.0, ["b"], [[3.0, 4.0, 0.0]])
+        store = builder.build()
+        assert store.times.tolist() == [10.0, 20.0]
+        assert store.names_of(0) == ["b"]
+        assert store.names_of(1) == ["a"]
+
+    def test_duplicate_user_in_snapshot_rejected(self):
+        builder = ColumnarBuilder()
+        with pytest.raises(ValueError, match="twice"):
+            builder.append_snapshot(0.0, ["a", "a"], np.zeros((2, 3)))
+
+    def test_empty_snapshot_kept(self):
+        builder = ColumnarBuilder()
+        builder.append_snapshot(0.0, [], np.zeros((0, 3)))
+        store = builder.build()
+        assert store.snapshot_count == 1
+        assert store.counts().tolist() == [0]
+
+
+class TestStoreFromRecords:
+    def test_groups_by_time_stably(self):
+        store = store_from_records(
+            np.array([10.0, 0.0, 10.0]),
+            ["x", "y", "z"],
+            np.arange(9, dtype=float).reshape(3, 3),
+        )
+        assert store.times.tolist() == [0.0, 10.0]
+        assert store.names_of(1) == ["x", "z"]
+
+    def test_duplicate_time_user_rejected(self):
+        with pytest.raises(ValueError, match="twice"):
+            store_from_records(
+                np.array([5.0, 5.0]), ["a", "a"], np.zeros((2, 3))
+            )
+
+
+class TestTraceColumns:
+    def _trace(self):
+        snaps = [
+            Snapshot(0.0, {"a": Position(1, 2, 3), "b": Position(4, 5, 6)}),
+            Snapshot(10.0, {"b": Position(7, 8, 9)}),
+            Snapshot(20.0, {}),
+        ]
+        return Trace(snaps, TraceMetadata(tau=10.0))
+
+    def test_layout(self):
+        cols = self._trace().columns
+        assert cols.times.tolist() == [0.0, 10.0, 20.0]
+        assert cols.snapshot_offsets.tolist() == [0, 2, 3, 3]
+        assert cols.user_ids.tolist() == [0, 1, 1]
+        assert cols.xyz.shape == (3, 3)
+        assert cols.row_times().tolist() == [0.0, 0.0, 10.0]
+
+    def test_snapshot_views_are_cached_and_consistent(self):
+        trace = self._trace()
+        first = trace[0]
+        assert trace[0] is first
+        users, coords = first.as_arrays()
+        users2, coords2 = first.as_arrays()
+        assert users is users2 and coords is coords2
+        assert users == ["a", "b"]
+        assert coords[1].tolist() == [4.0, 5.0, 6.0]
+
+    def test_from_columns_roundtrip_through_window(self):
+        trace = self._trace()
+        sub = trace.window(5.0, 25.0)
+        assert [s.time for s in sub] == [10.0, 20.0]
+        # Interner shared: ids stable across views.
+        assert sub.columns.users is trace.columns.users
+        assert sub.unique_users() == {"b"}
+
+    def test_resampled_strides_columns(self):
+        trace = self._trace()
+        coarse = trace.resampled(2)
+        assert coarse.columns.times.tolist() == [0.0, 20.0]
+        assert coarse.columns.user_ids.tolist() == [0, 1]
+        assert coarse.metadata.tau == 20.0
+
+    def test_negative_indexing(self):
+        trace = self._trace()
+        assert trace[-1].time == 20.0
+        assert trace[-3].time == 0.0
+        with pytest.raises(IndexError):
+            trace[3]
+
+    def test_slice_indexing(self):
+        trace = self._trace()
+        assert [s.time for s in trace[0:2]] == [0.0, 10.0]
+        assert [s.time for s in trace[::2]] == [0.0, 20.0]
+        assert trace[10:] == []
+
+    def test_select_empty(self):
+        cols = self._trace().columns.select(np.array([], dtype=int))
+        assert cols.snapshot_count == 0
+        assert cols.observation_count == 0
+
+
+class TestConcatAranges:
+    def test_basic(self):
+        out = _concat_aranges(np.array([3, 10]), np.array([2, 3]))
+        assert out.tolist() == [3, 4, 10, 11, 12]
+
+    def test_skips_empty_groups(self):
+        out = _concat_aranges(np.array([5, 7, 9]), np.array([1, 0, 2]))
+        assert out.tolist() == [5, 9, 10]
+
+    def test_all_empty(self):
+        assert _concat_aranges(np.array([1]), np.array([0])).tolist() == []
