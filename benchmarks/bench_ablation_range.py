@@ -9,25 +9,16 @@ graph densifies toward a clique — the mechanism behind the paper's
 Apfel 'contradiction'.
 """
 
-from repro.core import TraceAnalyzer
 from repro.core.report import render_summary_table
+from repro.experiments.ablations import ablation_range_sweep
 
 RANGES = (5.0, 10.0, 20.0, 40.0, 80.0, 160.0)
 
 
-def _sweep(analyzer: TraceAnalyzer, every: int) -> list[dict[str, object]]:
-    rows = []
-    for r in RANGES:
-        rows.append(
-            {
-                "r_m": r,
-                "ct_median_s": analyzer.contact_times(r).median,
-                "median_degree": analyzer.degrees(r, every).median,
-                "isolated": round(analyzer.isolation_fraction(r, every), 3),
-                "max_diameter": analyzer.diameters(r, every).max,
-            }
-        )
-    return rows
+def _sweep(analyzer, every: int) -> list[dict[str, object]]:
+    # The per-radius contact loop lives in ablation_range_sweep now,
+    # batched over one grid build per snapshot (extract_contacts_multirange).
+    return ablation_range_sweep(analyzer, RANGES, every)
 
 
 def test_ablation_range_sweep_sparse_land(benchmark, analyzers, config, capsys):

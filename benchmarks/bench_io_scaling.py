@@ -1,0 +1,144 @@
+"""Trace IO scaling: memory-mapped ``.rtrc`` vs CSV parsing.
+
+Measures load time of the binary columnar format
+(:func:`repro.trace.read_trace_rtrc`, ``np.memmap``-backed) against
+the CSV parser on synthetic traces of growing observation count, plus
+the throughput of the batched CSV writer.
+
+Runs two ways:
+
+* ``pytest benchmarks/bench_io_scaling.py -s`` for the assertion
+  harness (scaled down to stay quick);
+* ``PYTHONPATH=src python benchmarks/bench_io_scaling.py`` for the
+  full table at 1M observations (the numbers recorded in CHANGES.md).
+
+Acceptance bar: the rtrc memmap load of a 1M-observation trace is
+>= 10x faster than the CSV parse (in practice it is hundreds of times
+faster — the load is four ``np.memmap`` calls plus a JSON header).
+"""
+
+from __future__ import annotations
+
+import time
+
+import numpy as np
+
+from repro.trace import (
+    Trace,
+    read_trace_csv,
+    read_trace_rtrc,
+    write_trace_csv,
+    write_trace_rtrc,
+)
+from repro.trace.columnar import ColumnarStore, UserInterner
+
+#: (snapshots, users-per-snapshot) per sweep point; observations = S * U.
+SIZES = ((100, 200), (400, 500), (1000, 1000))
+
+#: Write throughput floor for the batched CSV writer, rows per second.
+#: The dev container sustains ~400-500k rows/s; the floor is set low
+#: enough to absorb slow CI machines while still catching a fall back
+#: to per-row formatting (~a 3x margin).
+CSV_WRITE_FLOOR_ROWS_PER_S = 120_000.0
+
+#: Load-time bar: rtrc memmap load vs CSV parse.
+RTRC_LOAD_SPEEDUP_FLOOR = 10.0
+
+
+def _trace(snapshots: int, users: int) -> Trace:
+    rng = np.random.default_rng(snapshots * 31 + users)
+    times = np.arange(snapshots, dtype=np.float64) * 10.0
+    offsets = np.arange(snapshots + 1, dtype=np.int64) * users
+    ids = np.tile(np.arange(users, dtype=np.int64), snapshots)
+    xyz = rng.uniform(0.0, 256.0, size=(snapshots * users, 3))
+    store = ColumnarStore(
+        times, offsets, ids, xyz, UserInterner(f"u{i:05d}" for i in range(users))
+    )
+    return Trace.from_columns(store)
+
+
+def _timed(fn, *args) -> tuple[float, object]:
+    t0 = time.perf_counter()
+    result = fn(*args)
+    return time.perf_counter() - t0, result
+
+
+def _measure(snapshots: int, users: int, tmp) -> dict[str, float]:
+    trace = _trace(snapshots, users)
+    rows = trace.columns.observation_count
+    csv_path = tmp / "t.csv"
+    rtrc_path = tmp / "t.rtrc"
+    t_write_csv, _ = _timed(write_trace_csv, trace, csv_path)
+    t_write_rtrc, _ = _timed(write_trace_rtrc, trace, rtrc_path)
+    t_read_csv, from_csv = _timed(read_trace_csv, csv_path)
+    t_read_rtrc, from_rtrc = _timed(read_trace_rtrc, rtrc_path)
+    assert np.array_equal(
+        from_csv.columns.user_ids, from_rtrc.columns.user_ids
+    ), "formats disagree"
+    # Touch the mapped columns so the comparison includes page faults.
+    t0 = time.perf_counter()
+    checksum = float(from_rtrc.columns.xyz.sum())
+    t_touch = time.perf_counter() - t0
+    assert np.isfinite(checksum)
+    return {
+        "rows": rows,
+        "write_csv_s": t_write_csv,
+        "write_rtrc_s": t_write_rtrc,
+        "read_csv_s": t_read_csv,
+        "read_rtrc_s": t_read_rtrc,
+        "read_rtrc_touched_s": t_read_rtrc + t_touch,
+        "write_rows_per_s": rows / t_write_csv,
+        "load_speedup": t_read_csv / t_read_rtrc,
+    }
+
+
+def test_rtrc_load_beats_csv_parse(tmp_path):
+    row = _measure(400, 500, tmp_path)  # 200k observations
+    assert row["load_speedup"] >= RTRC_LOAD_SPEEDUP_FLOOR, (
+        f"rtrc load only {row['load_speedup']:.1f}x faster than CSV "
+        f"(bar: {RTRC_LOAD_SPEEDUP_FLOOR:.0f}x)"
+    )
+
+
+def test_csv_write_throughput(tmp_path):
+    row = _measure(400, 500, tmp_path)
+    assert row["write_rows_per_s"] >= CSV_WRITE_FLOOR_ROWS_PER_S, (
+        f"CSV writer at {row['write_rows_per_s']:.0f} rows/s "
+        f"(floor: {CSV_WRITE_FLOOR_ROWS_PER_S:.0f})"
+    )
+
+
+def test_rtrc_round_trip_integrity(tmp_path):
+    trace = _trace(50, 40)
+    write_trace_rtrc(trace, tmp_path / "t.rtrc")
+    loaded = read_trace_rtrc(tmp_path / "t.rtrc")
+    assert np.array_equal(loaded.columns.xyz, trace.columns.xyz)
+    assert np.array_equal(loaded.columns.times, trace.columns.times)
+
+
+def main() -> None:
+    import tempfile
+    from pathlib import Path
+
+    print("trace IO scaling: CSV parse vs rtrc memmap load")
+    header = (
+        f"{'rows':>9} {'csv write':>10} {'rtrc write':>10} {'csv read':>10} "
+        f"{'rtrc read':>10} {'rtrc+touch':>10} {'speedup':>8}"
+    )
+    print(header)
+    for snapshots, users in SIZES:
+        with tempfile.TemporaryDirectory() as tmp:
+            row = _measure(snapshots, users, Path(tmp))
+        print(
+            f"{row['rows']:>9} {row['write_csv_s']:>9.2f}s {row['write_rtrc_s']:>9.3f}s "
+            f"{row['read_csv_s']:>9.2f}s {row['read_rtrc_s'] * 1e3:>7.1f}ms "
+            f"{row['read_rtrc_touched_s'] * 1e3:>7.1f}ms {row['load_speedup']:>7.0f}x"
+        )
+    print(
+        f"csv write throughput at the largest size: "
+        f"{row['write_rows_per_s'] / 1e3:.0f}k rows/s"
+    )
+
+
+if __name__ == "__main__":
+    main()

@@ -1,17 +1,20 @@
 """Command-line interface: ``slmob`` / ``python -m repro``.
 
-Four subcommands cover the workflow end to end::
+Five subcommands cover the workflow end to end::
 
-    slmob simulate --land dance --hours 2 --out dance.csv.gz
-    slmob analyze dance.csv.gz
-    slmob validate dance.csv.gz
+    slmob simulate --land dance --hours 2 --out dance.rtrc
+    slmob convert dance.csv.gz dance.rtrc
+    slmob analyze dance.rtrc --shards 4
+    slmob validate dance.rtrc
     slmob experiments --hours 3          # paper-vs-measured report
     slmob experiments --full --out EXPERIMENTS.md
 
 ``simulate`` runs a calibrated land under a monitor and writes the
-trace; ``analyze`` recomputes every §3 metric from a trace file (ours
-or an external one in the same CSV schema); ``experiments`` regenerates
-the paper's tables and figures.
+trace; ``convert`` transcodes between the CSV / JSONL / binary
+``.rtrc`` formats (suffix decides); ``analyze`` recomputes every §3
+metric from a trace file — with ``--shards K`` the heavy extractions
+fan out over K time shards; ``experiments`` regenerates the paper's
+tables and figures.
 """
 
 from __future__ import annotations
@@ -24,25 +27,13 @@ from repro.core import BLUETOOTH_RANGE, WIFI_RANGE, TraceAnalyzer
 from repro.core.report import log_grid, render_ccdf_table, render_summary_table
 from repro.lands import paper_presets
 from repro.monitors import Crawler, SensorNetwork
-from repro.trace import (
-    read_trace_csv,
-    read_trace_jsonl,
-    validate_trace,
-    write_trace_csv,
-    write_trace_jsonl,
-)
+from repro.trace import read_trace, validate_trace, write_trace
 
 _LAND_KEYS = {
     "apfel": "Apfel Land",
     "dance": "Dance Island",
     "iov": "Isle of View",
 }
-
-
-def _read_any(path: Path):
-    if ".jsonl" in path.name:
-        return read_trace_jsonl(path)
-    return read_trace_csv(path)
 
 
 def _cmd_simulate(args: argparse.Namespace) -> int:
@@ -62,10 +53,7 @@ def _cmd_simulate(args: argparse.Namespace) -> int:
     )
     trace = monitor.monitor(world, args.hours * 3600.0)
     out = Path(args.out)
-    if ".jsonl" in out.name:
-        write_trace_jsonl(trace, out)
-    else:
-        write_trace_csv(trace, out)
+    write_trace(trace, out)
     print(
         f"wrote {out}: {len(trace)} snapshots, "
         f"{len(trace.unique_users())} unique users",
@@ -74,14 +62,28 @@ def _cmd_simulate(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_convert(args: argparse.Namespace) -> int:
+    trace = read_trace(Path(args.input))
+    out = write_trace(trace, Path(args.output))
+    print(
+        f"wrote {out}: {len(trace)} snapshots, "
+        f"{trace.columns.observation_count} observations",
+        file=sys.stderr,
+    )
+    return 0
+
+
 def _cmd_analyze(args: argparse.Namespace) -> int:
-    trace = _read_any(Path(args.trace))
-    analyzer = TraceAnalyzer(trace)
+    trace = read_trace(Path(args.trace))
+    analyzer = TraceAnalyzer(trace, shards=args.shards)
     summary = analyzer.summary()
     print(f"== {summary.land_name} ==")
     print(render_summary_table([summary.row()]))
 
     ranges = args.range or [BLUETOOTH_RANGE, WIFI_RANGE]
+    # One batched pass builds the neighbour grid once per snapshot for
+    # every requested radius.
+    analyzer.contacts_multirange(ranges)
     grid = log_grid(trace.metadata.tau, 1e4, 7)
     for r in ranges:
         print(f"\n-- temporal metrics at r={r:g} m (CCDF) --")
@@ -136,7 +138,7 @@ def _cmd_analyze(args: argparse.Namespace) -> int:
 
 
 def _cmd_validate(args: argparse.Namespace) -> int:
-    trace = _read_any(Path(args.trace))
+    trace = read_trace(Path(args.trace))
     issues = validate_trace(trace)
     if not issues:
         print("trace is clean")
@@ -191,8 +193,16 @@ def build_parser() -> argparse.ArgumentParser:
     simulate.add_argument("--monitor", choices=["crawler", "sensors"], default="crawler")
     simulate.add_argument("--naive", action="store_true",
                           help="use the perturbing (non-mimicking) crawler")
-    simulate.add_argument("--out", required=True, help="output .csv[.gz] or .jsonl[.gz]")
+    simulate.add_argument("--out", required=True,
+                          help="output .csv[.gz], .jsonl[.gz] or .rtrc[.gz]")
     simulate.set_defaults(func=_cmd_simulate)
+
+    convert = sub.add_parser(
+        "convert", help="transcode a trace between csv/jsonl/rtrc (suffix decides)"
+    )
+    convert.add_argument("input", help="source trace (.csv[.gz], .jsonl[.gz], .rtrc[.gz])")
+    convert.add_argument("output", help="destination trace; format from suffix")
+    convert.set_defaults(func=_cmd_convert)
 
     analyze = sub.add_parser("analyze", help="compute the paper's metrics from a trace")
     analyze.add_argument("trace")
@@ -200,6 +210,9 @@ def build_parser() -> argparse.ArgumentParser:
                          help="communication range(s) in meters (repeatable)")
     analyze.add_argument("--every", type=int, default=6,
                          help="snapshot stride for graph metrics")
+    analyze.add_argument("--shards", type=int, default=1,
+                         help="fan contact/session/zone extraction over this "
+                              "many time shards (1 = unsharded)")
     analyze.set_defaults(func=_cmd_analyze)
 
     validate = sub.add_parser("validate", help="run trace sanity checks")

@@ -24,12 +24,14 @@ from repro.core.contacts import (
     ContactInterval,
     contact_durations,
     extract_contacts,
+    extract_contacts_multirange,
     extract_contacts_reference,
     first_contact_times,
     inter_contact_times,
     iter_snapshot_pairs,
     snapshot_id_pairs,
 )
+from repro.core.sharded import ShardedAnalyzer
 from repro.core.losgraph import (
     clustering_series,
     degree_samples,
@@ -52,7 +54,9 @@ __all__ = [
     "ContactInterval",
     "contact_durations",
     "extract_contacts",
+    "extract_contacts_multirange",
     "extract_contacts_reference",
+    "ShardedAnalyzer",
     "first_contact_times",
     "inter_contact_times",
     "iter_snapshot_pairs",

@@ -8,12 +8,14 @@ Fig. 2 touches each snapshot once per range.
 from __future__ import annotations
 
 from dataclasses import dataclass
+from typing import Iterable
 
 import numpy as np
 
 from repro.core import contacts as contacts_mod
 from repro.core import losgraph, spatial
 from repro.core.contacts import ContactInterval
+from repro.core.sharded import ShardedAnalyzer
 from repro.stats import ECDF
 from repro.trace import Trace, UserSession, extract_sessions
 
@@ -42,12 +44,27 @@ class TraceSummary:
 
 
 class TraceAnalyzer:
-    """Compute and cache every §3 metric of one trace."""
+    """Compute and cache every §3 metric of one trace.
 
-    def __init__(self, trace: Trace) -> None:
+    With ``shards > 1`` the expensive whole-trace extractions
+    (contacts, sessions, zone occupation) fan out over contiguous time
+    shards via :class:`~repro.core.sharded.ShardedAnalyzer`; results
+    are merged to be exactly equal to the unsharded path, so every
+    downstream metric is unchanged.
+    """
+
+    def __init__(
+        self,
+        trace: Trace,
+        shards: int = 1,
+        max_workers: int | None = None,
+    ) -> None:
         if trace.is_empty:
             raise ValueError("cannot analyze an empty trace")
         self.trace = trace
+        self._sharded = (
+            ShardedAnalyzer(trace, shards, max_workers) if shards > 1 else None
+        )
         self._contacts: dict[float, list[ContactInterval]] = {}
         self._sessions: list[UserSession] | None = None
         # Array caches: repeated analyzer passes (figures, ablations)
@@ -61,13 +78,40 @@ class TraceAnalyzer:
     def contacts(self, r: float) -> list[ContactInterval]:
         """Contact intervals under range ``r`` (cached per range)."""
         if r not in self._contacts:
-            self._contacts[r] = contacts_mod.extract_contacts(self.trace, r)
+            if self._sharded is not None:
+                self._contacts[r] = self._sharded.contacts(r)
+            else:
+                self._contacts[r] = contacts_mod.extract_contacts(self.trace, r)
         return self._contacts[r]
+
+    def contacts_multirange(
+        self, ranges: Iterable[float]
+    ) -> dict[float, list[ContactInterval]]:
+        """Contacts for a whole radio-range sweep in one batched pass.
+
+        Uncached radii are extracted together
+        (:func:`~repro.core.contacts.extract_contacts_multirange`
+        builds the neighbour grid once per snapshot for all of them)
+        and land in the same per-range cache :meth:`contacts` uses.
+        """
+        radii = sorted({float(r) for r in ranges})
+        missing = [r for r in radii if r not in self._contacts]
+        if missing:
+            if self._sharded is not None:
+                self._contacts.update(self._sharded.contacts_multirange(missing))
+            else:
+                self._contacts.update(
+                    contacts_mod.extract_contacts_multirange(self.trace, missing)
+                )
+        return {r: self._contacts[r] for r in radii}
 
     def sessions(self) -> list[UserSession]:
         """Reconstructed user visits (cached)."""
         if self._sessions is None:
-            self._sessions = extract_sessions(self.trace)
+            if self._sharded is not None:
+                self._sessions = self._sharded.sessions()
+            else:
+                self._sessions = extract_sessions(self.trace)
         return self._sessions
 
     def degree_array(self, r: float, every: int = 1) -> np.ndarray:
@@ -83,9 +127,14 @@ class TraceAnalyzer:
         """Users-per-cell samples as a flat int array (cached)."""
         key = (cell_size, every)
         if key not in self._zone_arrays:
-            self._zone_arrays[key] = spatial.zone_occupation(
-                self.trace, cell_size, every
-            )
+            if self._sharded is not None:
+                self._zone_arrays[key] = self._sharded.zone_occupation(
+                    cell_size, every
+                )
+            else:
+                self._zone_arrays[key] = spatial.zone_occupation(
+                    self.trace, cell_size, every
+                )
         return self._zone_arrays[key]
 
     # -- summary -----------------------------------------------------------

@@ -30,7 +30,10 @@ from typing import Iterable, Iterator
 
 import numpy as np
 
-from repro.geometry.grid import planar_neighbour_pairs
+from repro.geometry.grid import (
+    planar_neighbour_pairs,
+    planar_neighbour_pairs_with_distances,
+)
 from repro.trace import Trace
 
 #: Bluetooth-class communication range used throughout the paper, meters.
@@ -176,6 +179,96 @@ def extract_contacts(trace: Trace, r: float) -> list[ContactInterval]:
         contacts.append(ContactInterval(name_a, name_b, start, end, censored))
     contacts.sort(key=lambda c: (c.start, c.pair))
     return contacts
+
+
+def extract_contacts_multirange(
+    trace: Trace,
+    ranges: Iterable[float],
+) -> dict[float, list[ContactInterval]]:
+    """Contact intervals under several communication ranges in one pass.
+
+    A radio-range sweep re-runs :func:`extract_contacts` once per
+    radius, rebuilding the neighbour grid for every snapshot each
+    time.  This batched extractor builds the cell list once per
+    snapshot at the *largest* requested radius, keeps the candidate
+    distances, and selects each smaller radius by masking — one grid
+    build amortized over the whole sweep.  Per radius the interval
+    state advances by diffing consecutive sorted pair-key sets, so the
+    output is exactly what ``extract_contacts(trace, r)`` returns.
+
+    ``ranges`` may be unsorted and may contain duplicates; the result
+    is keyed by each distinct radius.  An empty ``ranges`` yields an
+    empty dict.
+    """
+    radii = sorted({float(r) for r in ranges})
+    for r in radii:
+        if r <= 0:
+            raise ValueError(f"communication range must be positive, got {r}")
+    if not radii:
+        return {}
+    r_max = radii[-1]
+    tau = trace.metadata.tau
+    cols = trace.columns
+    names = cols.users.names
+    shift = max(len(names), 1)
+    empty_keys = np.empty(0, dtype=np.int64)
+
+    open_start: list[dict[int, float]] = [{} for _ in radii]
+    prev_keys: list[np.ndarray] = [empty_keys for _ in radii]
+    closed: list[list[tuple[int, float, float, bool]]] = [[] for _ in radii]
+    prev_time = 0.0
+
+    for index in range(cols.snapshot_count):
+        user_ids, xyz = cols.slice_of(index)
+        now = float(cols.times[index])
+        if len(user_ids) < 2:
+            keys_sorted = empty_keys
+            dist_sorted = np.empty(0, dtype=np.float64)
+        else:
+            local, dist = planar_neighbour_pairs_with_distances(xyz[:, :2], r_max)
+            first = user_ids[local[:, 0]]
+            second = user_ids[local[:, 1]]
+            keys = np.minimum(first, second) * shift + np.maximum(first, second)
+            order = np.argsort(keys)
+            keys_sorted = keys[order]
+            dist_sorted = dist[order]
+        for k, r in enumerate(radii):
+            current = keys_sorted if r == r_max else keys_sorted[dist_sorted < r]
+            ended = np.setdiff1d(prev_keys[k], current, assume_unique=True)
+            starts = open_start[k]
+            for key in ended.tolist():
+                closed[k].append((key, starts.pop(key), prev_time + tau, False))
+            begun = np.setdiff1d(current, prev_keys[k], assume_unique=True)
+            for key in begun.tolist():
+                starts[key] = now
+            prev_keys[k] = current
+        prev_time = now
+
+    # Pairs still in range at the last snapshot are censored there.
+    for k in range(len(radii)):
+        starts = open_start[k]
+        for key in prev_keys[k].tolist():
+            closed[k].append((key, starts[key], prev_time, True))
+
+    result: dict[float, list[ContactInterval]] = {}
+    for k, r in enumerate(radii):
+        raw = []
+        for key, start, end, censored in closed[k]:
+            name_a = names[key // shift]
+            name_b = names[key % shift]
+            if name_b < name_a:
+                name_a, name_b = name_b, name_a
+            raw.append((start, name_a, name_b, end, censored))
+        # Tuple sort == the (start, pair) order extract_contacts uses; a
+        # (start, pair) tie is impossible, so later fields never
+        # compare.  Sorting raw tuples before object construction keeps
+        # the sort key C-level.
+        raw.sort()
+        result[r] = [
+            ContactInterval(user_a, user_b, start, end, censored)
+            for start, user_a, user_b, end, censored in raw
+        ]
+    return result
 
 
 def extract_contacts_reference(trace: Trace, r: float) -> list[ContactInterval]:

@@ -1,0 +1,219 @@
+"""Shard-parallel analysis: fan extractions over time shards, merge exactly.
+
+:class:`ShardedAnalyzer` splits a trace into ``k`` contiguous time
+shards (:func:`repro.trace.split_time_shards`), runs the expensive
+per-snapshot extractions shard-by-shard on a
+:class:`concurrent.futures.ThreadPoolExecutor`, and merges the partial
+results into *exactly* what the unsharded code produces — including
+contacts and sessions that span shard boundaries.  The equivalence
+suite (``tests/unit/core/test_sharded_equivalence.py``) pins this
+bit-for-bit.
+
+Merge semantics:
+
+* **Contacts** — a contact still open at a shard's last snapshot is
+  censored there; if the same pair is in range at the first snapshot
+  of the next non-empty shard the two pieces are one contact (strict
+  per-snapshot closure has no other way to keep a contact alive across
+  the boundary).  Unmatched boundary-censored contacts are closed with
+  the usual ``+τ`` convention; only contacts open at the end of the
+  *last* shard stay censored.
+* **Sessions** — per-shard visits of one user whose boundary gap is
+  within the session gap threshold are concatenated; within a shard
+  the extractor already guarantees larger gaps, so stitching only ever
+  fires at boundaries.
+* **Zone occupation** — the snapshot stride is phased per shard so the
+  globally-strided snapshot selection is reproduced, then the
+  per-shard count arrays concatenate in snapshot-major order.
+"""
+
+from __future__ import annotations
+
+import os
+from concurrent.futures import ThreadPoolExecutor
+from typing import Callable, Iterable, Sequence, TypeVar
+
+import numpy as np
+
+from repro.core import spatial
+from repro.core.contacts import (
+    ContactInterval,
+    extract_contacts,
+    extract_contacts_multirange,
+)
+from repro.trace import Trace, UserSession, extract_sessions, split_time_shards
+
+T = TypeVar("T")
+
+
+class ShardedAnalyzer:
+    """Fan contact/session/zone extraction across time shards.
+
+    ``shards`` is the number of time windows; ``max_workers`` caps the
+    thread pool (default: one thread per non-empty shard, bounded by
+    the CPU count).  Results are cached like
+    :class:`~repro.core.analyzer.TraceAnalyzer` caches its extractions.
+    """
+
+    def __init__(
+        self,
+        trace: Trace,
+        shards: int,
+        max_workers: int | None = None,
+    ) -> None:
+        if trace.is_empty:
+            raise ValueError("cannot analyze an empty trace")
+        if shards < 1:
+            raise ValueError(f"shard count must be >= 1, got {shards}")
+        self.trace = trace
+        self.shards = [s for s in split_time_shards(trace, shards) if len(s)]
+        self.shard_count = shards
+        self._max_workers = max_workers or min(
+            len(self.shards), os.cpu_count() or 1
+        )
+        self._contacts: dict[float, list[ContactInterval]] = {}
+        self._sessions: dict[float, list[UserSession]] = {}
+
+    def _map(self, fn: Callable[[Trace], T], jobs: Sequence[Trace] | None = None) -> list[T]:
+        """Apply ``fn`` to each job (default: every non-empty shard), in order."""
+        if jobs is None:
+            jobs = self.shards
+        if len(jobs) <= 1:
+            return [fn(job) for job in jobs]
+        with ThreadPoolExecutor(max_workers=self._max_workers) as pool:
+            return list(pool.map(fn, jobs))
+
+    # -- contacts ----------------------------------------------------------
+
+    def contacts(self, r: float) -> list[ContactInterval]:
+        """Merged contact intervals under range ``r`` (cached per range)."""
+        if r not in self._contacts:
+            per_shard = self._map(lambda shard: extract_contacts(shard, r))
+            self._contacts[r] = self._merge_contacts(per_shard)
+        return self._contacts[r]
+
+    def contacts_multirange(
+        self, ranges: Iterable[float]
+    ) -> dict[float, list[ContactInterval]]:
+        """Batched multi-range extraction, sharded, merged per radius."""
+        radii = sorted({float(r) for r in ranges})
+        missing = [r for r in radii if r not in self._contacts]
+        if missing:
+            per_shard = self._map(
+                lambda shard: extract_contacts_multirange(shard, missing)
+            )
+            for r in missing:
+                self._contacts[r] = self._merge_contacts(
+                    [result[r] for result in per_shard]
+                )
+        return {r: self._contacts[r] for r in radii}
+
+    def _merge_contacts(
+        self, per_shard: Sequence[list[ContactInterval]]
+    ) -> list[ContactInterval]:
+        tau = self.trace.metadata.tau
+        first_times = [s.start_time for s in self.shards]
+        merged: list[ContactInterval] = []
+        # pair -> (merged start, last in-range time) of contacts still
+        # open at the previous shard's boundary.
+        open_tail: dict[tuple[str, str], tuple[float, float]] = {}
+        for contacts, first_time in zip(per_shard, first_times):
+            still_open: dict[tuple[str, str], tuple[float, float]] = {}
+            for c in contacts:
+                carried = open_tail.pop(c.pair, None) if c.start == first_time else None
+                start = carried[0] if carried is not None else c.start
+                if c.censored:
+                    still_open[c.pair] = (start, c.end)
+                elif start != c.start:
+                    merged.append(
+                        ContactInterval(c.pair[0], c.pair[1], start, c.end)
+                    )
+                else:
+                    merged.append(c)
+            # Boundary contacts the next shard did not continue close
+            # with the usual +tau convention.
+            for pair, (start, last_seen) in open_tail.items():
+                merged.append(
+                    ContactInterval(pair[0], pair[1], start, last_seen + tau)
+                )
+            open_tail = still_open
+        # Contacts open at the end of the final shard stay censored.
+        for pair, (start, last_seen) in open_tail.items():
+            merged.append(
+                ContactInterval(pair[0], pair[1], start, last_seen, censored=True)
+            )
+        merged.sort(key=lambda c: (c.start, c.pair))
+        return merged
+
+    # -- sessions ----------------------------------------------------------
+
+    def sessions(self, gap_threshold: float | None = None) -> list[UserSession]:
+        """Merged user visits (cached per resolved gap threshold)."""
+        resolved = (
+            gap_threshold
+            if gap_threshold is not None
+            else 2.0 * self.trace.metadata.tau
+        )
+        if resolved not in self._sessions:
+            per_shard = self._map(
+                lambda shard: extract_sessions(shard, resolved)
+            )
+            self._sessions[resolved] = self._merge_sessions(per_shard, resolved)
+        return self._sessions[resolved]
+
+    @staticmethod
+    def _merge_sessions(
+        per_shard: Sequence[list[UserSession]],
+        gap_threshold: float,
+    ) -> list[UserSession]:
+        by_user: dict[str, list[UserSession]] = {}
+        for sessions in per_shard:
+            for session in sessions:
+                by_user.setdefault(session.user, []).append(session)
+        merged: list[UserSession] = []
+        for user, sessions in by_user.items():
+            current = sessions[0]
+            for candidate in sessions[1:]:
+                if candidate.login_time - current.logout_time <= gap_threshold:
+                    times_a, xyz_a = current.as_arrays()
+                    times_b, xyz_b = candidate.as_arrays()
+                    current = UserSession._from_arrays(
+                        user,
+                        np.concatenate([times_a, times_b]),
+                        np.vstack([xyz_a, xyz_b]),
+                    )
+                else:
+                    merged.append(current)
+                    current = candidate
+            merged.append(current)
+        merged.sort(key=lambda s: (s.login_time, s.user))
+        return merged
+
+    # -- zone occupation ---------------------------------------------------
+
+    def zone_occupation(
+        self,
+        cell_size: float = spatial.ZONE_SIZE,
+        every: int = 1,
+    ) -> np.ndarray:
+        """Users-per-cell samples, shard-parallel, snapshot-major order."""
+        if every < 1:
+            raise ValueError(f"stride must be >= 1, got {every}")
+        jobs: list[Trace] = []
+        consumed = 0
+        for shard in self.shards:
+            # Phase the stride so the union of shard selections equals
+            # the global range(0, S, every) selection.
+            phase = (-consumed) % every
+            kept = np.arange(phase, len(shard), every)
+            consumed += len(shard)
+            if len(kept):
+                jobs.append(
+                    Trace.from_columns(shard.columns.select(kept), shard.metadata)
+                )
+        if not jobs:
+            return np.empty(0, dtype=np.int64)
+        parts = self._map(
+            lambda sub: spatial.zone_occupation(sub, cell_size, 1), jobs
+        )
+        return np.concatenate(parts)

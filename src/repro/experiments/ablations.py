@@ -58,6 +58,35 @@ def ablation_tau(
     return rows
 
 
+def ablation_range_sweep(
+    analyzer: TraceAnalyzer,
+    ranges: tuple[float, ...] = (5.0, 10.0, 20.0, 40.0, 80.0, 160.0),
+    every: int = 1,
+) -> list[dict[str, object]]:
+    """A6: one land under a whole sweep of communication ranges.
+
+    The sweep is batched: :meth:`TraceAnalyzer.contacts_multirange`
+    extracts every radius from a single neighbour-grid build per
+    snapshot instead of re-running contact extraction per radius.
+    Rows report the monotone effects (CT and degree grow with r,
+    isolation falls) plus the non-monotone LCC diameter that underlies
+    the paper's Apfel 'contradiction'.
+    """
+    analyzer.contacts_multirange(ranges)
+    rows: list[dict[str, object]] = []
+    for r in ranges:
+        rows.append(
+            {
+                "r_m": r,
+                "ct_median_s": analyzer.contact_times(r).median,
+                "median_degree": analyzer.degrees(r, every).median,
+                "isolated": round(analyzer.isolation_fraction(r, every), 3),
+                "max_diameter": analyzer.diameters(r, every).max,
+            }
+        )
+    return rows
+
+
 def ablation_crawler_perturbation(
     duration: float = 2.0 * 3600.0,
     seed: int = 77,

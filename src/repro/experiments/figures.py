@@ -56,6 +56,8 @@ def fig1_temporal(
     analyzers = all_analyzers(config)
     result: dict[str, dict[str, ECDF]] = {panel: {} for panel in FIG1_PANELS}
     for land, a in analyzers.items():
+        # Both radii from one batched pass over the snapshots.
+        a.contacts_multirange((BLUETOOTH_RANGE, WIFI_RANGE))
         _collect(result, "ct_rb", land, lambda: a.contact_times(BLUETOOTH_RANGE), strict)
         _collect(result, "ict_rb", land, lambda: a.inter_contact_times(BLUETOOTH_RANGE), strict)
         _collect(result, "ft_rb", land, lambda: a.first_contact_times(BLUETOOTH_RANGE), strict)

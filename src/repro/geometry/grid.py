@@ -198,12 +198,29 @@ def planar_neighbour_pairs(
     an ``(m, 2)`` int64 array sorted lexicographically; the strict
     ``<`` threshold matches the paper's link definition.
     """
+    pairs, _ = planar_neighbour_pairs_with_distances(xy, radius, cell_size)
+    return pairs
+
+
+def planar_neighbour_pairs_with_distances(
+    xy: np.ndarray,
+    radius: float,
+    cell_size: float | None = None,
+) -> tuple[np.ndarray, np.ndarray]:
+    """:func:`planar_neighbour_pairs` plus the distance of every pair.
+
+    Returns ``(pairs, distances)`` with ``distances[k]`` the planar
+    distance of ``pairs[k]``.  Multi-range consumers build the cell
+    list once at the largest radius and select smaller radii by
+    masking the distances — one grid build amortized over a whole
+    radio-range sweep.
+    """
     if radius <= 0:
         raise ValueError(f"radius must be positive, got {radius}")
     xy = np.asarray(xy, dtype=np.float64).reshape(-1, 2)
     n = len(xy)
     if n < 2:
-        return np.empty((0, 2), dtype=np.int64)
+        return np.empty((0, 2), dtype=np.int64), np.empty(0, dtype=np.float64)
     cell = float(cell_size) if cell_size is not None else float(radius)
     if cell < radius:
         raise ValueError(
@@ -251,16 +268,18 @@ def planar_neighbour_pairs(
     cand_left = np.concatenate(left_parts)
     cand_right = np.concatenate(right_parts)
     if not len(cand_left):
-        return np.empty((0, 2), dtype=np.int64)
+        return np.empty((0, 2), dtype=np.int64), np.empty(0, dtype=np.float64)
     dx = sorted_xy[cand_left, 0] - sorted_xy[cand_right, 0]
     dy = sorted_xy[cand_left, 1] - sorted_xy[cand_right, 1]
-    close = np.hypot(dx, dy) < radius
+    dist = np.hypot(dx, dy)
+    close = dist < radius
     first = order[cand_left[close]]
     second = order[cand_right[close]]
     pairs = np.stack(
         (np.minimum(first, second), np.maximum(first, second)), axis=1
     )
-    return pairs[np.lexsort((pairs[:, 1], pairs[:, 0]))]
+    ordering = np.lexsort((pairs[:, 1], pairs[:, 0]))
+    return pairs[ordering], dist[close][ordering]
 
 
 def grid_shape(width: float, height: float, cell_size: float) -> tuple[int, int]:

@@ -15,12 +15,15 @@ from __future__ import annotations
 import numpy as np
 
 from repro.geometry import Position
+from pathlib import Path
+
 from repro.trace import (
     ColumnarBuilder,
     PositionRecord,
     Snapshot,
     Trace,
     TraceMetadata,
+    write_trace_rtrc,
 )
 
 
@@ -113,3 +116,12 @@ class TraceDatabase:
                 coords[i, 2] = pos.z
             builder.append_snapshot(t, list(bucket), coords)
         return Trace.from_columns(builder.build(), self.metadata)
+
+    def export_rtrc(self, path: str | Path) -> Path:
+        """Dump the database as a binary columnar ``.rtrc`` file.
+
+        The write buffer goes straight through the columnar build into
+        raw array sections; analysts then ``np.memmap`` the result
+        instead of re-querying (and re-parsing) the database.
+        """
+        return write_trace_rtrc(self.to_trace(), path)

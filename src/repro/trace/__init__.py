@@ -16,12 +16,22 @@ from repro.trace.columnar import (
 )
 from repro.trace.records import PositionRecord, Snapshot
 from repro.trace.trace import Trace, TraceMetadata
+from repro.trace.storage import (
+    read_store_rtrc,
+    read_trace_rtrc,
+    write_store_rtrc,
+    write_trace_rtrc,
+)
 from repro.trace.io import (
+    read_trace,
     read_trace_csv,
     read_trace_jsonl,
+    trace_format,
+    write_trace,
     write_trace_csv,
     write_trace_jsonl,
 )
+from repro.trace.sharding import concat_shards, concat_stores, split_time_shards
 from repro.trace.sessions import UserSession, extract_sessions
 from repro.trace.validation import TraceIssue, validate_trace
 from repro.trace.synth import (
@@ -40,10 +50,20 @@ __all__ = [
     "Snapshot",
     "Trace",
     "TraceMetadata",
+    "read_store_rtrc",
+    "read_trace_rtrc",
+    "write_store_rtrc",
+    "write_trace_rtrc",
+    "read_trace",
     "read_trace_csv",
     "read_trace_jsonl",
+    "trace_format",
+    "write_trace",
     "write_trace_csv",
     "write_trace_jsonl",
+    "concat_shards",
+    "concat_stores",
+    "split_time_shards",
     "UserSession",
     "extract_sessions",
     "TraceIssue",

@@ -186,7 +186,8 @@ class ColumnarBuilder:
     """
 
     def __init__(self, users: UserInterner | None = None) -> None:
-        self.users = users or UserInterner()
+        # Explicit None test: an interner with no names yet is falsy.
+        self.users = users if users is not None else UserInterner()
         self._times: list[float] = []
         self._counts: list[int] = []
         self._ids: list[np.ndarray] = []
@@ -259,7 +260,7 @@ def store_from_records(
     same convention dict grouping used.  A ``(time, user)`` pair seen
     twice raises ``ValueError``.
     """
-    users = users or UserInterner()
+    users = users if users is not None else UserInterner()
     times = np.asarray(times, dtype=np.float64)
     xyz = np.asarray(xyz, dtype=np.float64).reshape(len(times), 3)
     ids = np.fromiter(
@@ -291,7 +292,7 @@ def empty_store(users: UserInterner | None = None) -> ColumnarStore:
         np.zeros(1, dtype=np.int64),
         np.empty(0, dtype=np.int64),
         np.empty((0, 3), dtype=np.float64),
-        users or UserInterner(),
+        users if users is not None else UserInterner(),
     )
 
 

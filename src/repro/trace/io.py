@@ -6,6 +6,10 @@ metadata carried in ``#``-prefixed header comments.  JSONL keeps the
 snapshot structure explicit, which is convenient for streaming
 consumers.  Both formats transparently support gzip via a ``.gz``
 suffix.
+
+The binary columnar format lives in :mod:`repro.trace.storage`
+(``.rtrc``, memory-mapped); :func:`read_trace` / :func:`write_trace`
+dispatch on the file suffix across all three formats.
 """
 
 from __future__ import annotations
@@ -19,7 +23,8 @@ from typing import TextIO
 
 import numpy as np
 
-from repro.trace.columnar import ColumnarBuilder, store_from_records
+from repro.trace.columnar import ColumnarBuilder, ColumnarStore, store_from_records
+from repro.trace.storage import read_trace_rtrc, write_trace_rtrc
 from repro.trace.trace import Trace, TraceMetadata
 
 _METADATA_FIELDS = ("land_name", "width", "height", "tau", "source", "notes")
@@ -44,22 +49,57 @@ def _parse_metadata(line: str) -> TraceMetadata | None:
     return TraceMetadata(**payload)
 
 
+_EMPTY_SNAPSHOTS_PREFIX = "# repro-trace-empty-snapshots:"
+
+
+def _empty_snapshots_header(trace: Trace) -> list[str]:
+    """Comment line preserving zero-user snapshots in flat-record CSV.
+
+    "The monitor looked and the land was empty" is data; without this
+    line a CSV round trip would silently drop those timestamps (and
+    inflate mean concurrency on re-load).  Times are quantized through
+    the same ``%.3f`` the data rows use, so empty and occupied
+    snapshots can never collide or reorder on re-load.
+    """
+    cols = trace.columns
+    empty = cols.times[cols.counts() == 0]
+    if not len(empty):
+        return []
+    quantized = [float(f"{t:.3f}") for t in empty.tolist()]
+    return [f"{_EMPTY_SNAPSHOTS_PREFIX} {json.dumps(quantized)}"]
+
+
+def _parse_empty_snapshots(line: str) -> list[float] | None:
+    if not line.startswith(_EMPTY_SNAPSHOTS_PREFIX):
+        return None
+    return [float(t) for t in json.loads(line[len(_EMPTY_SNAPSHOTS_PREFIX):])]
+
+
 def write_trace_csv(trace: Trace, path: str | Path) -> Path:
-    """Write a trace as flat CSV records; returns the path written."""
+    """Write a trace as flat CSV records; returns the path written.
+
+    Formatting is batched per column (one tight comprehension over each
+    unboxed column, then a single C-level ``writer.writerows`` over the
+    zipped columns) instead of boxing every observation through
+    per-row numpy indexing — ~1.5x the rows/s of the row loop.
+    """
     target = Path(path)
     with _open_text(target, "w") as handle:
         for header_line in _metadata_header(trace.metadata):
             handle.write(header_line + "\n")
+        for header_line in _empty_snapshots_header(trace):
+            handle.write(header_line + "\n")
         writer = csv.writer(handle)
         writer.writerow(["time", "user", "x", "y", "z"])
         cols = trace.columns
-        names = cols.users.names
-        row_times = cols.row_times()
-        for i in range(cols.observation_count):
-            writer.writerow(
-                [f"{row_times[i]:.3f}", names[cols.user_ids[i]],
-                 f"{cols.xyz[i, 0]:.3f}", f"{cols.xyz[i, 1]:.3f}", f"{cols.xyz[i, 2]:.3f}"]
-            )
+        if cols.observation_count:
+            names = cols.users.names
+            times_col = [f"{v:.3f}" for v in cols.row_times().tolist()]
+            names_col = [names[i] for i in cols.user_ids.tolist()]
+            x_col = [f"{v:.3f}" for v in cols.xyz[:, 0].tolist()]
+            y_col = [f"{v:.3f}" for v in cols.xyz[:, 1].tolist()]
+            z_col = [f"{v:.3f}" for v in cols.xyz[:, 2].tolist()]
+            writer.writerows(zip(times_col, names_col, x_col, y_col, z_col))
     return target
 
 
@@ -71,6 +111,7 @@ def read_trace_csv(path: str | Path) -> Trace:
     """
     source = Path(path)
     metadata: TraceMetadata | None = None
+    empty_times: list[float] = []
     times: list[float] = []
     names: list[str] = []
     coords: list[tuple[float, float, float]] = []
@@ -84,6 +125,9 @@ def read_trace_csv(path: str | Path) -> Trace:
                 parsed = _parse_metadata(line)
                 if parsed is not None:
                     metadata = parsed
+                empties = _parse_empty_snapshots(line)
+                if empties is not None:
+                    empty_times.extend(empties)
                 continue
             if not header_seen:
                 header_seen = True
@@ -105,7 +149,28 @@ def read_trace_csv(path: str | Path) -> Trace:
         names,
         np.asarray(coords, dtype=np.float64).reshape(len(times), 3),
     )
+    if empty_times:
+        store = _with_empty_snapshots(store, empty_times)
     return Trace.from_columns(store, metadata)
+
+
+def _with_empty_snapshots(store, empty_times: list[float]):
+    """Splice zero-row snapshots into a store built from flat records.
+
+    Empty snapshots own no observation rows, so only ``times`` and the
+    CSR offsets change; the id and coordinate columns pass through.
+    """
+    extra = np.asarray(empty_times, dtype=np.float64)
+    times = np.concatenate([store.times, extra])
+    counts = np.concatenate(
+        [np.diff(store.snapshot_offsets), np.zeros(len(extra), dtype=np.int64)]
+    )
+    order = np.argsort(times, kind="stable")
+    offsets = np.zeros(len(times) + 1, dtype=np.int64)
+    np.cumsum(counts[order], out=offsets[1:])
+    return ColumnarStore(
+        times[order], offsets, store.user_ids, store.xyz, store.users
+    )
 
 
 def write_trace_jsonl(trace: Trace, path: str | Path) -> Path:
@@ -149,3 +214,38 @@ def read_trace_jsonl(path: str | Path) -> Trace:
                 block[i, : len(coords)] = coords[:3]
             builder.append_snapshot(payload["t"], list(users), block)
     return Trace.from_columns(builder.build(), metadata)
+
+
+def trace_format(path: str | Path) -> str:
+    """Serialization format implied by a path: ``rtrc``, ``jsonl`` or ``csv``.
+
+    A trailing ``.gz`` is transparent for every format; anything that
+    is neither ``.rtrc`` nor ``.jsonl`` is treated as CSV, matching the
+    historical default.
+    """
+    name = Path(path).name
+    if ".rtrc" in name:
+        return "rtrc"
+    if ".jsonl" in name:
+        return "jsonl"
+    return "csv"
+
+
+def read_trace(path: str | Path) -> Trace:
+    """Read a trace in any supported format, dispatching on the suffix."""
+    fmt = trace_format(path)
+    if fmt == "rtrc":
+        return read_trace_rtrc(path)
+    if fmt == "jsonl":
+        return read_trace_jsonl(path)
+    return read_trace_csv(path)
+
+
+def write_trace(trace: Trace, path: str | Path) -> Path:
+    """Write a trace in the format implied by the suffix."""
+    fmt = trace_format(path)
+    if fmt == "rtrc":
+        return write_trace_rtrc(trace, path)
+    if fmt == "jsonl":
+        return write_trace_jsonl(trace, path)
+    return write_trace_csv(trace, path)

@@ -1,0 +1,99 @@
+"""Time-window sharding of columnar traces.
+
+A shard is an ordinary :class:`~repro.trace.Trace` over a contiguous
+snapshot range of its parent; because the columnar layout is CSR-flat
+and shards share the parent's :class:`~repro.trace.UserInterner`, a
+shard split is a handful of array slices and concatenation is a
+handful of array concatenations — no re-parsing, no re-interning.
+
+This is the substrate :class:`~repro.core.sharded.ShardedAnalyzer`
+fans work over; the split/concat pair round-trips exactly::
+
+    concat_shards(split_time_shards(trace, k)).columns  ==  trace.columns
+"""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+import numpy as np
+
+from repro.trace.columnar import ColumnarStore, UserInterner, empty_store
+from repro.trace.trace import Trace
+
+
+def split_time_shards(trace: Trace, k: int) -> list[Trace]:
+    """Partition a trace into ``k`` contiguous time-window shards.
+
+    Snapshots are split as evenly as possible (the first ``S % k``
+    shards get one extra snapshot); with ``k`` larger than the
+    snapshot count the tail shards are empty.  All shards share the
+    parent's metadata and interner, so interned ids stay comparable
+    across shards and :func:`concat_shards` restores the parent
+    exactly.
+    """
+    if k < 1:
+        raise ValueError(f"shard count must be >= 1, got {k}")
+    parts = np.array_split(np.arange(trace.columns.snapshot_count), k)
+    return [
+        Trace.from_columns(trace.columns.select(part), trace.metadata)
+        for part in parts
+    ]
+
+
+def concat_stores(
+    stores: Sequence[ColumnarStore],
+    users: UserInterner | None = None,
+) -> ColumnarStore:
+    """Concatenate time-ordered stores into one store.
+
+    Snapshot times must be strictly increasing across the
+    concatenation (shards out of order are rejected by the store's own
+    validation).  When every input shares one interner object the ids
+    pass through untouched; otherwise names are re-interned into a
+    merged table and the id columns are remapped through it.
+    """
+    inputs = list(stores)
+    stores = [s for s in inputs if s.snapshot_count]
+    if not stores:
+        if users is None:
+            users = inputs[0].users if inputs else None
+        return empty_store(users)
+    shared = users is None and all(s.users is stores[0].users for s in stores)
+    # NB: an empty interner is falsy (it defines __len__), so the
+    # caller-supplied table must be tested against None explicitly.
+    target = (
+        stores[0].users
+        if shared
+        else (users if users is not None else UserInterner())
+    )
+    times = np.concatenate([s.times for s in stores])
+    counts = np.concatenate([np.diff(s.snapshot_offsets) for s in stores])
+    offsets = np.zeros(len(times) + 1, dtype=np.int64)
+    np.cumsum(counts, out=offsets[1:])
+    if shared:
+        user_ids = np.concatenate([s.user_ids for s in stores])
+    else:
+        remapped = []
+        for s in stores:
+            mapping = np.fromiter(
+                (target.intern(name) for name in s.users.names),
+                dtype=np.int64,
+                count=len(s.users),
+            )
+            remapped.append(mapping[s.user_ids] if len(s.user_ids) else s.user_ids)
+        user_ids = np.concatenate(remapped)
+    xyz = np.concatenate([s.xyz for s in stores])
+    return ColumnarStore(times, offsets, user_ids, xyz, target)
+
+
+def concat_shards(shards: Sequence[Trace]) -> Trace:
+    """Concatenate time-ordered shard traces back into one trace.
+
+    Metadata is taken from the first shard; shard times must be
+    strictly increasing across the sequence.
+    """
+    if not shards:
+        raise ValueError("cannot concatenate zero shards")
+    store = concat_stores([shard.columns for shard in shards])
+    return Trace.from_columns(store, shards[0].metadata)

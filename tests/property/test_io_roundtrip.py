@@ -1,0 +1,204 @@
+"""Property-based round-trip tests across every serialization format.
+
+Random traces must survive CSV ↔ JSONL ↔ ``.rtrc`` ↔ memmap round
+trips *bit-for-bit*: identical snapshot times, identical interned id
+columns (interning order is first appearance for every reader),
+identical coordinates and metadata.  Traces are generated on a
+millimeter grid because the CSV writer renders ``%.3f`` — every other
+format is exact for arbitrary doubles, so the quantized values make
+one generator serve all formats.
+
+Covers the edge cases the formats historically get wrong: empty
+traces, empty snapshots, single-user traces, gzip variants, and
+metadata with awkward characters.
+"""
+
+import tempfile
+from pathlib import Path
+
+import numpy as np
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.trace import (
+    Trace,
+    TraceMetadata,
+    read_trace,
+    read_trace_csv,
+    read_trace_jsonl,
+    read_trace_rtrc,
+    write_trace,
+    write_trace_csv,
+    write_trace_jsonl,
+    write_trace_rtrc,
+)
+from repro.trace.columnar import ColumnarBuilder, ColumnarStore
+
+# User names: printable, no newlines (CSV is line-oriented); commas and
+# quotes are fair game — the csv module must quote them.
+_NAME_ALPHABET = st.sampled_from(
+    list("abcdefghijklmnopqrstuvwxyzABC0123456789 _-,.'\"éß中")
+)
+_names = st.text(alphabet=_NAME_ALPHABET, min_size=1, max_size=12).filter(
+    lambda s: s.strip() == s
+)
+
+
+def _milli(lo: int, hi: int):
+    """Floats on the 1/1000 grid — exact through a %.3f round trip."""
+    return st.integers(min_value=lo, max_value=hi).map(lambda k: k / 1000.0)
+
+
+@st.composite
+def metadatas(draw):
+    return TraceMetadata(
+        land_name=draw(_names),
+        width=draw(_milli(1_000, 512_000)),
+        height=draw(_milli(1_000, 512_000)),
+        tau=draw(_milli(1, 60_000)),
+        source=draw(st.sampled_from(["crawler", "sensor-network", "synthetic"])),
+        notes=draw(st.text(alphabet=_NAME_ALPHABET, max_size=20)),
+    )
+
+
+@st.composite
+def traces(draw):
+    user_pool = draw(st.lists(_names, min_size=1, max_size=6, unique=True))
+    snapshot_count = draw(st.integers(min_value=0, max_value=7))
+    time_millis = draw(
+        st.lists(
+            st.integers(min_value=0, max_value=10_000_000),
+            min_size=snapshot_count,
+            max_size=snapshot_count,
+            unique=True,
+        )
+    )
+    builder = ColumnarBuilder()
+    for millis in sorted(time_millis):
+        present = draw(
+            st.lists(st.sampled_from(user_pool), max_size=len(user_pool), unique=True)
+        )
+        coords = np.array(
+            [
+                [
+                    draw(_milli(0, 256_000)),
+                    draw(_milli(0, 256_000)),
+                    draw(_milli(0, 256_000)),
+                ]
+                for _ in present
+            ],
+            dtype=np.float64,
+        ).reshape(len(present), 3)
+        builder.append_snapshot(millis / 1000.0, present, coords)
+    return Trace.from_columns(builder.build(), draw(metadatas()))
+
+
+def assert_traces_identical(original: Trace, loaded: Trace) -> None:
+    a, b = original.columns, loaded.columns
+    assert np.array_equal(a.times, b.times)
+    assert np.array_equal(a.snapshot_offsets, b.snapshot_offsets)
+    assert np.array_equal(a.user_ids, b.user_ids)
+    assert np.array_equal(a.xyz, b.xyz)
+    assert a.users.names == b.users.names
+    assert original.metadata == loaded.metadata
+
+
+def _roundtrip(trace: Trace, writer, reader, filename: str) -> Trace:
+    with tempfile.TemporaryDirectory() as tmp:
+        path = Path(tmp) / filename
+        writer(trace, path)
+        return reader(path)
+
+
+class TestSingleFormatRoundTrips:
+    @settings(max_examples=30, deadline=None)
+    @given(traces())
+    def test_csv(self, trace):
+        loaded = _roundtrip(trace, write_trace_csv, read_trace_csv, "t.csv")
+        assert_traces_identical(trace, loaded)
+
+    @settings(max_examples=30, deadline=None)
+    @given(traces())
+    def test_jsonl(self, trace):
+        loaded = _roundtrip(trace, write_trace_jsonl, read_trace_jsonl, "t.jsonl")
+        assert_traces_identical(trace, loaded)
+
+    @settings(max_examples=30, deadline=None)
+    @given(traces())
+    def test_rtrc_memmap(self, trace):
+        with tempfile.TemporaryDirectory() as tmp:
+            path = Path(tmp) / "t.rtrc"
+            write_trace_rtrc(trace, path)
+            loaded = read_trace_rtrc(path, mmap=True)
+            assert_traces_identical(trace, loaded)
+
+    @settings(max_examples=15, deadline=None)
+    @given(traces())
+    def test_gzip_paths(self, trace):
+        for name in ("t.csv.gz", "t.jsonl.gz", "t.rtrc.gz"):
+            loaded = _roundtrip(trace, write_trace, read_trace, name)
+            assert_traces_identical(trace, loaded)
+
+
+class TestCrossFormatChain:
+    @settings(max_examples=20, deadline=None)
+    @given(traces())
+    def test_csv_jsonl_rtrc_memmap_chain(self, trace):
+        with tempfile.TemporaryDirectory() as tmp:
+            tmp = Path(tmp)
+            via_csv = _chain_read(trace, write_trace_csv, read_trace_csv, tmp / "a.csv")
+            via_jsonl = _chain_read(
+                via_csv, write_trace_jsonl, read_trace_jsonl, tmp / "b.jsonl"
+            )
+            write_trace_rtrc(via_jsonl, tmp / "c.rtrc")
+            final = read_trace_rtrc(tmp / "c.rtrc", mmap=True)
+            assert_traces_identical(trace, final)
+            # And back out of the memmap into text formats again.
+            write_trace_csv(final, tmp / "d.csv")
+            assert_traces_identical(trace, read_trace_csv(tmp / "d.csv"))
+
+
+def _chain_read(trace, writer, reader, path):
+    writer(trace, path)
+    return reader(path)
+
+
+class TestTargetedShapes:
+    @settings(max_examples=15, deadline=None)
+    @given(traces())
+    def test_empty_snapshots_survive_all_formats(self, base):
+        # Splice guaranteed-empty snapshots around whatever was drawn.
+        cols = base.columns
+        last = base.end_time if len(base) else 0.0
+        extra = np.array([last + 0.5, last + 1.0])
+        store = ColumnarStore(
+            np.concatenate([cols.times, extra]),
+            np.concatenate(
+                [cols.snapshot_offsets, [cols.snapshot_offsets[-1]] * 2]
+            ),
+            cols.user_ids,
+            cols.xyz,
+            cols.users,
+        )
+        trace = Trace.from_columns(store, base.metadata)
+        assert trace.concurrency()[-2:] == [0, 0]
+        for name in ("t.csv", "t.jsonl", "t.rtrc"):
+            loaded = _roundtrip(trace, write_trace, read_trace, name)
+            assert loaded.concurrency() == trace.concurrency()
+            assert_traces_identical(trace, loaded)
+
+    @settings(max_examples=15, deadline=None)
+    @given(st.data())
+    def test_single_user_trace(self, data):
+        name = data.draw(_names)
+        steps = data.draw(st.integers(min_value=1, max_value=6))
+        builder = ColumnarBuilder()
+        for step in range(steps):
+            builder.append_snapshot(
+                step * 10.0, [name], np.array([[step / 8.0, 1.0, 0.0]])
+            )
+        trace = Trace.from_columns(builder.build(), data.draw(metadatas()))
+        for filename in ("t.csv", "t.jsonl", "t.rtrc"):
+            loaded = _roundtrip(trace, write_trace, read_trace, filename)
+            assert_traces_identical(trace, loaded)
+            assert loaded.unique_users() == {name}

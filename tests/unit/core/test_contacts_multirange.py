@@ -1,0 +1,101 @@
+"""``extract_contacts_multirange`` vs N independent ``extract_contacts``."""
+
+import numpy as np
+import pytest
+
+from repro.core import (
+    TraceAnalyzer,
+    extract_contacts,
+    extract_contacts_multirange,
+)
+from repro.trace import (
+    Trace,
+    TraceMetadata,
+    crossing_users_trace,
+    random_walk_trace,
+)
+from repro.trace.columnar import ColumnarBuilder, empty_store
+
+SWEEP = (5.0, 10.0, 20.0, 40.0, 80.0)
+
+
+@pytest.fixture(scope="module")
+def walk():
+    return random_walk_trace(25, 40, np.random.default_rng(17))
+
+
+class TestEquivalence:
+    def test_matches_independent_extractions(self, walk):
+        batched = extract_contacts_multirange(walk, SWEEP)
+        assert set(batched) == set(SWEEP)
+        for r in SWEEP:
+            assert batched[r] == extract_contacts(walk, r)
+
+    def test_crossing_trace(self):
+        trace = crossing_users_trace()
+        batched = extract_contacts_multirange(trace, (10.0, 80.0))
+        for r in (10.0, 80.0):
+            assert batched[r] == extract_contacts(trace, r)
+
+    def test_single_radius_degenerates(self, walk):
+        batched = extract_contacts_multirange(walk, [10.0])
+        assert batched[10.0] == extract_contacts(walk, 10.0)
+
+    def test_trace_with_empty_snapshots(self):
+        builder = ColumnarBuilder()
+        builder.append_snapshot(0.0, ["a", "b"], [[0, 0, 0], [3, 0, 0]])
+        builder.append_snapshot(10.0, [], np.empty((0, 3)))
+        builder.append_snapshot(20.0, ["a", "b"], [[0, 0, 0], [3, 0, 0]])
+        trace = Trace.from_columns(builder.build(), TraceMetadata(tau=10.0))
+        batched = extract_contacts_multirange(trace, (5.0, 10.0))
+        for r in (5.0, 10.0):
+            contacts = extract_contacts(trace, r)
+            assert batched[r] == contacts
+            assert len(contacts) == 2  # the empty snapshot splits the contact
+
+    def test_empty_trace(self):
+        trace = Trace.from_columns(empty_store())
+        assert extract_contacts_multirange(trace, SWEEP) == {r: [] for r in SWEEP}
+
+
+class TestEdgeCases:
+    def test_duplicate_radii_collapse(self, walk):
+        batched = extract_contacts_multirange(walk, (10.0, 10.0, 80.0, 10.0))
+        assert sorted(batched) == [10.0, 80.0]
+        assert batched[10.0] == extract_contacts(walk, 10.0)
+        assert batched[80.0] == extract_contacts(walk, 80.0)
+
+    def test_unsorted_radii(self, walk):
+        shuffled = (80.0, 5.0, 40.0, 10.0, 20.0)
+        batched = extract_contacts_multirange(walk, shuffled)
+        for r in shuffled:
+            assert batched[r] == extract_contacts(walk, r)
+
+    def test_integer_radii_keyed_as_floats(self, walk):
+        batched = extract_contacts_multirange(walk, [10, 80])
+        assert batched[10.0] == extract_contacts(walk, 10.0)
+
+    def test_empty_ranges(self, walk):
+        assert extract_contacts_multirange(walk, ()) == {}
+
+    def test_nonpositive_radius_rejected(self, walk):
+        with pytest.raises(ValueError, match="positive"):
+            extract_contacts_multirange(walk, (10.0, 0.0))
+        with pytest.raises(ValueError, match="positive"):
+            extract_contacts_multirange(walk, (-5.0,))
+
+
+class TestAnalyzerCache:
+    def test_multirange_seeds_per_range_cache(self, walk):
+        analyzer = TraceAnalyzer(walk)
+        batched = analyzer.contacts_multirange(SWEEP)
+        for r in SWEEP:
+            # Same object: contacts() must hit the cache, not re-extract.
+            assert analyzer.contacts(r) is batched[r]
+
+    def test_partial_cache_reuse(self, walk):
+        analyzer = TraceAnalyzer(walk)
+        first = analyzer.contacts(10.0)
+        batched = analyzer.contacts_multirange((10.0, 80.0))
+        assert batched[10.0] is first
+        assert batched[80.0] == extract_contacts(walk, 80.0)

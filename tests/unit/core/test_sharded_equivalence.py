@@ -1,0 +1,165 @@
+"""Sharded vs unsharded analysis must agree exactly.
+
+``ShardedAnalyzer`` fans contact extraction, session splitting and
+zone occupation over time shards and merges the partial results; these
+tests pin the merge to be *bit-for-bit* the unsharded answer at
+k ∈ {1, 2, 7} shards — including contacts and sessions that span shard
+boundaries, and strided zone occupation whose phase crosses them.
+"""
+
+import numpy as np
+import pytest
+
+from repro.core import ShardedAnalyzer, TraceAnalyzer, extract_contacts
+from repro.core.spatial import zone_occupation
+from repro.trace import (
+    Trace,
+    TraceMetadata,
+    constant_positions_trace,
+    extract_sessions,
+    random_walk_trace,
+)
+from repro.trace.columnar import ColumnarBuilder
+
+SHARD_COUNTS = (1, 2, 7)
+
+
+def churn_trace(seed: int, steps: int = 40, n_users: int = 14) -> Trace:
+    """Random walk with per-snapshot presence churn.
+
+    Users join and leave (including fully empty snapshots), so session
+    splitting and contact closure both get exercised across shard
+    boundaries.
+    """
+    rng = np.random.default_rng(seed)
+    names = [f"u{i:02d}" for i in range(n_users)]
+    positions = rng.uniform(0.0, 120.0, size=(n_users, 3))
+    positions[:, 2] = 0.0
+    builder = ColumnarBuilder()
+    for step in range(steps):
+        positions[:, :2] += rng.normal(0.0, 4.0, size=(n_users, 2))
+        positions[:, :2] = np.clip(positions[:, :2], 0.0, 120.0)
+        present = rng.random(n_users) < 0.7
+        idx = np.flatnonzero(present)
+        builder.append_snapshot(
+            step * 10.0, [names[i] for i in idx], positions[idx]
+        )
+    meta = TraceMetadata(land_name="churn", width=128.0, height=128.0, tau=10.0)
+    return Trace.from_columns(builder.build(), meta)
+
+
+@pytest.fixture(scope="module", params=(11, 29))
+def trace(request):
+    return churn_trace(request.param)
+
+
+class TestContacts:
+    @pytest.mark.parametrize("k", SHARD_COUNTS)
+    @pytest.mark.parametrize("r", (6.0, 15.0, 80.0))
+    def test_contacts_match_unsharded(self, trace, k, r):
+        sharded = ShardedAnalyzer(trace, k)
+        assert sharded.contacts(r) == extract_contacts(trace, r)
+
+    @pytest.mark.parametrize("k", SHARD_COUNTS)
+    def test_multirange_matches_unsharded(self, trace, k):
+        sharded = ShardedAnalyzer(trace, k)
+        result = sharded.contacts_multirange((6.0, 15.0, 80.0))
+        for r, contacts in result.items():
+            assert contacts == extract_contacts(trace, r)
+
+    @pytest.mark.parametrize("k", SHARD_COUNTS)
+    def test_boundary_spanning_contact_is_one_interval(self, k):
+        # Two users pinned in range for the whole trace: every shard
+        # boundary cuts the contact and the merge must restitch it
+        # into exactly one censored interval.
+        trace = constant_positions_trace(
+            {"a": (10.0, 10.0), "b": (12.0, 10.0)}, steps=21, tau=10.0
+        )
+        sharded = ShardedAnalyzer(trace, k)
+        contacts = sharded.contacts(10.0)
+        assert contacts == extract_contacts(trace, 10.0)
+        assert len(contacts) == 1
+        (contact,) = contacts
+        assert contact.censored
+        assert contact.start == trace.start_time
+        assert contact.end == trace.end_time
+
+    def test_boundary_contact_closed_by_next_shard(self):
+        # In range for the first two snapshots only; with the shard
+        # boundary right after them, the censored piece in shard 0 must
+        # be closed (+tau) rather than stay censored.
+        builder = ColumnarBuilder()
+        builder.append_snapshot(0.0, ["a", "b"], [[0, 0, 0], [1, 0, 0]])
+        builder.append_snapshot(10.0, ["a", "b"], [[0, 0, 0], [1, 0, 0]])
+        builder.append_snapshot(20.0, ["a", "b"], [[0, 0, 0], [90, 0, 0]])
+        builder.append_snapshot(30.0, ["a", "b"], [[0, 0, 0], [90, 0, 0]])
+        trace = Trace.from_columns(builder.build(), TraceMetadata(tau=10.0))
+        sharded = ShardedAnalyzer(trace, 2)
+        contacts = sharded.contacts(10.0)
+        assert contacts == extract_contacts(trace, 10.0)
+        assert len(contacts) == 1
+        assert not contacts[0].censored
+        assert contacts[0].start == 0.0
+        assert contacts[0].end == 20.0  # last seen 10.0 + tau
+
+
+class TestSessions:
+    @pytest.mark.parametrize("k", SHARD_COUNTS)
+    def test_sessions_match_unsharded(self, trace, k):
+        sharded = ShardedAnalyzer(trace, k)
+        assert sharded.sessions() == extract_sessions(trace)
+
+    @pytest.mark.parametrize("k", SHARD_COUNTS)
+    def test_custom_gap_threshold(self, trace, k):
+        sharded = ShardedAnalyzer(trace, k)
+        assert sharded.sessions(45.0) == extract_sessions(trace, 45.0)
+
+    def test_session_spanning_every_boundary(self):
+        trace = constant_positions_trace({"solo": (5.0, 5.0)}, steps=15, tau=10.0)
+        sharded = ShardedAnalyzer(trace, 7)
+        sessions = sharded.sessions()
+        assert sessions == extract_sessions(trace)
+        assert len(sessions) == 1
+        assert sessions[0].observation_count == 15
+
+
+class TestZoneOccupation:
+    @pytest.mark.parametrize("k", SHARD_COUNTS)
+    @pytest.mark.parametrize("every", (1, 3, 5))
+    def test_zone_occupation_matches_unsharded(self, trace, k, every):
+        sharded = ShardedAnalyzer(trace, k)
+        expected = zone_occupation(trace, 20.0, every)
+        assert np.array_equal(sharded.zone_occupation(20.0, every), expected)
+
+    def test_stride_larger_than_shard(self):
+        trace = churn_trace(3, steps=10)
+        sharded = ShardedAnalyzer(trace, 7)
+        expected = zone_occupation(trace, 20.0, 4)
+        assert np.array_equal(sharded.zone_occupation(20.0, 4), expected)
+
+
+class TestAnalyzerIntegration:
+    @pytest.mark.parametrize("k", (2, 7))
+    def test_analyzer_shards_argument(self, trace, k):
+        plain = TraceAnalyzer(trace)
+        sharded = TraceAnalyzer(trace, shards=k)
+        assert sharded.contacts(15.0) == plain.contacts(15.0)
+        assert sharded.sessions() == plain.sessions()
+        assert np.array_equal(
+            sharded.zone_array(20.0, 3), plain.zone_array(20.0, 3)
+        )
+        multi = sharded.contacts_multirange((6.0, 80.0))
+        assert multi[6.0] == plain.contacts(6.0)
+        assert multi[80.0] == plain.contacts(80.0)
+
+    def test_ecdf_metrics_unchanged(self, trace):
+        plain = TraceAnalyzer(trace)
+        sharded = TraceAnalyzer(trace, shards=4)
+        for r in (15.0, 80.0):
+            assert np.array_equal(
+                sharded.contact_times(r).values, plain.contact_times(r).values
+            )
+
+    def test_invalid_shard_counts_rejected(self, trace):
+        with pytest.raises(ValueError):
+            ShardedAnalyzer(trace, 0)

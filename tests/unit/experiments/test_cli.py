@@ -25,6 +25,34 @@ class TestParser:
         args = build_parser().parse_args(["analyze", "t.csv", "--range", "10", "--range", "80"])
         assert args.range == [10.0, 80.0]
 
+    def test_analyze_shards_flag(self):
+        args = build_parser().parse_args(["analyze", "t.rtrc", "--shards", "4"])
+        assert args.shards == 4
+        assert build_parser().parse_args(["analyze", "t.rtrc"]).shards == 1
+
+    def test_analyze_help_documents_shards(self, capsys):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["analyze", "--help"])
+        help_text = capsys.readouterr().out
+        assert "--shards" in help_text
+        assert "fan contact/session/zone extraction" in help_text
+
+    def test_convert_positionals(self):
+        args = build_parser().parse_args(["convert", "in.csv.gz", "out.rtrc"])
+        assert args.input == "in.csv.gz"
+        assert args.output == "out.rtrc"
+
+    def test_convert_help_names_formats(self, capsys):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["convert", "--help"])
+        help_text = capsys.readouterr().out
+        assert "rtrc" in help_text
+
+    def test_simulate_help_mentions_rtrc(self, capsys):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["simulate", "--help"])
+        assert ".rtrc" in capsys.readouterr().out
+
 
 class TestSimulateAnalyzeRoundTrip:
     @pytest.fixture(scope="class")
@@ -78,6 +106,54 @@ class TestSimulateAnalyzeRoundTrip:
         ])
         assert code == 0
         assert read_trace_csv(out).metadata.source == "sensor-network"
+
+    def test_rtrc_output(self, tmp_path):
+        out = tmp_path / "mini.rtrc"
+        code = main([
+            "simulate", "--land", "dance", "--hours", "0.05",
+            "--spinup", "300", "--out", str(out),
+        ])
+        assert code == 0
+        from repro.trace import read_trace_rtrc
+
+        assert read_trace_rtrc(out).metadata.land_name == "Dance Island"
+
+
+class TestConvertAndShards:
+    @pytest.fixture(scope="class")
+    def trace_path(self, tmp_path_factory):
+        out = tmp_path_factory.mktemp("convert") / "mini.csv"
+        assert main([
+            "simulate", "--land", "dance", "--hours", "0.1",
+            "--spinup", "600", "--seed", "3", "--out", str(out),
+        ]) == 0
+        return out
+
+    def test_convert_csv_to_rtrc_preserves_columns(self, trace_path, tmp_path, capsys):
+        out = tmp_path / "mini.rtrc"
+        assert main(["convert", str(trace_path), str(out)]) == 0
+        import numpy as np
+
+        from repro.trace import read_trace_rtrc
+
+        original = read_trace_csv(trace_path)
+        converted = read_trace_rtrc(out)
+        assert np.array_equal(original.columns.times, converted.columns.times)
+        assert np.array_equal(original.columns.user_ids, converted.columns.user_ids)
+        assert np.array_equal(original.columns.xyz, converted.columns.xyz)
+
+    def test_analyze_rtrc_with_shards_matches_unsharded(self, trace_path, tmp_path, capsys):
+        out = tmp_path / "mini.rtrc"
+        assert main(["convert", str(trace_path), str(out)]) == 0
+        capsys.readouterr()
+        assert main(["analyze", str(out), "--range", "10", "--every", "6"]) == 0
+        unsharded = capsys.readouterr().out
+        assert main([
+            "analyze", str(out), "--range", "10", "--every", "6", "--shards", "3",
+        ]) == 0
+        sharded = capsys.readouterr().out
+        assert sharded == unsharded
+        assert "Dance Island" in sharded
 
 
 class TestValidateExitCodes:

@@ -74,6 +74,23 @@ class TestTraceDatabase:
         assert trace.metadata.land_name == "L"
         assert len(trace) == 1
 
+    def test_export_rtrc(self, tmp_path):
+        import numpy as np
+
+        from repro.trace import read_trace_rtrc
+
+        meta = TraceMetadata(land_name="L", tau=5.0)
+        db = TraceDatabase(meta)
+        db.add_snapshot(Snapshot(0.0, {"a": Position(1, 2, 0), "b": Position(3, 4, 0)}))
+        db.add_snapshot(Snapshot(5.0, {}))  # empty snapshot is data too
+        path = db.export_rtrc(tmp_path / "db.rtrc")
+        loaded = read_trace_rtrc(path)
+        expected = db.to_trace()
+        assert loaded.metadata == meta
+        assert np.array_equal(loaded.columns.times, expected.columns.times)
+        assert np.array_equal(loaded.columns.xyz, expected.columns.xyz)
+        assert loaded.concurrency() == [2, 0]
+
 
 class TestWebServer:
     def test_accepts_within_budget(self):

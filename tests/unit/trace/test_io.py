@@ -47,8 +47,44 @@ class TestCsv:
     def test_roundtrip(self, sample_trace, tmp_path):
         path = write_trace_csv(sample_trace, tmp_path / "t.csv")
         loaded = read_trace_csv(path)
-        # CSV is record-based: snapshots with no users vanish.
-        _assert_traces_equal(sample_trace, loaded, empty_snapshots_preserved=False)
+        # CSV is record-based, but the empty-snapshots header comment
+        # preserves zero-user snapshots across the round trip.
+        _assert_traces_equal(sample_trace, loaded, empty_snapshots_preserved=True)
+        assert loaded.concurrency() == [2, 1, 0]
+
+    def test_empty_snapshot_times_quantized_like_rows(self, tmp_path):
+        # Row times are rendered %.3f; the empty-snapshots header must
+        # quantize identically, or a freshly written file could re-load
+        # with snapshots reordered around a sub-millisecond boundary.
+        meta = TraceMetadata(land_name="Q")
+        trace = Trace(
+            [
+                Snapshot(0.9994, {}),
+                Snapshot(1.0004, {"u": Position(1.0, 1.0, 0.0)}),
+                Snapshot(2.0026, {}),
+            ],
+            meta,
+        )
+        loaded = read_trace_csv(write_trace_csv(trace, tmp_path / "q.csv"))
+        assert loaded.columns.times.tolist() == [0.999, 1.0, 2.003]
+        assert loaded.concurrency() == [0, 1, 0]
+
+    def test_same_millisecond_empty_snapshot_collides_loudly(self, tmp_path):
+        # CSV resolution is one millisecond; an empty and an occupied
+        # snapshot inside the same millisecond cannot be represented,
+        # and the re-load must fail loudly instead of silently
+        # reordering (full-precision header times used to do that).
+        meta = TraceMetadata(land_name="Q")
+        trace = Trace(
+            [
+                Snapshot(2.0006, {"u": Position(1.0, 1.0, 0.0)}),
+                Snapshot(2.0011, {}),
+            ],
+            meta,
+        )
+        path = write_trace_csv(trace, tmp_path / "clash.csv")
+        with pytest.raises(ValueError, match="duplicate"):
+            read_trace_csv(path)
 
     def test_gzip_roundtrip(self, sample_trace, tmp_path):
         path = write_trace_csv(sample_trace, tmp_path / "t.csv.gz")

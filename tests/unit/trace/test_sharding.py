@@ -1,0 +1,99 @@
+"""Unit tests for time-window shard split/concat on the columnar store."""
+
+import numpy as np
+import pytest
+
+from repro.trace import (
+    Trace,
+    concat_shards,
+    concat_stores,
+    random_walk_trace,
+    split_time_shards,
+)
+from repro.trace.columnar import ColumnarBuilder, UserInterner, empty_store
+
+
+def _assert_stores_equal(a, b):
+    assert np.array_equal(a.times, b.times)
+    assert np.array_equal(a.snapshot_offsets, b.snapshot_offsets)
+    assert np.array_equal(a.user_ids, b.user_ids)
+    assert np.array_equal(a.xyz, b.xyz)
+
+
+class TestSplit:
+    def test_round_trip_identity(self):
+        trace = random_walk_trace(9, 23, np.random.default_rng(4))
+        for k in (1, 2, 3, 7, 23, 50):
+            back = concat_shards(split_time_shards(trace, k))
+            _assert_stores_equal(back.columns, trace.columns)
+            assert back.metadata == trace.metadata
+
+    def test_shards_are_contiguous_and_balanced(self):
+        trace = random_walk_trace(3, 10, np.random.default_rng(0))
+        shards = split_time_shards(trace, 3)
+        assert [len(s) for s in shards] == [4, 3, 3]
+        stitched = [t for s in shards for t in s.columns.times.tolist()]
+        assert stitched == trace.columns.times.tolist()
+
+    def test_shards_share_interner(self):
+        trace = random_walk_trace(4, 8, np.random.default_rng(1))
+        shards = split_time_shards(trace, 2)
+        assert all(s.columns.users is trace.columns.users for s in shards)
+
+    def test_oversharding_yields_empty_tails(self):
+        trace = random_walk_trace(2, 3, np.random.default_rng(2))
+        shards = split_time_shards(trace, 10)
+        assert len(shards) == 10
+        assert sum(len(s) for s in shards) == 3
+        assert len(shards[-1]) == 0
+
+    def test_invalid_shard_count(self):
+        trace = random_walk_trace(2, 3, np.random.default_rng(2))
+        with pytest.raises(ValueError, match="shard count"):
+            split_time_shards(trace, 0)
+
+
+class TestConcat:
+    def test_rejects_empty_sequence(self):
+        with pytest.raises(ValueError, match="zero shards"):
+            concat_shards([])
+
+    def test_rejects_out_of_order_shards(self):
+        trace = random_walk_trace(3, 6, np.random.default_rng(5))
+        first, second = split_time_shards(trace, 2)
+        with pytest.raises(ValueError):
+            concat_shards([second, first])
+
+    def test_concat_all_empty_keeps_interner(self):
+        users = UserInterner(["ghost"])
+        store = concat_stores([empty_store(users), empty_store(users)])
+        assert store.snapshot_count == 0
+        assert store.users is users
+
+    def test_caller_supplied_empty_interner_is_used(self):
+        # An interner with no names is falsy — it must still win over
+        # a fresh throwaway one when passed explicitly.
+        target = UserInterner()
+        b1 = ColumnarBuilder()
+        b1.append_snapshot(0.0, ["alice"], [[0, 0, 0]])
+        b2 = ColumnarBuilder()
+        b2.append_snapshot(10.0, ["bob"], [[1, 1, 0]])
+        merged = concat_stores([b1.build(), b2.build()], users=target)
+        assert merged.users is target
+        assert target.names == ["alice", "bob"]
+        assert concat_stores([], users=target).users is target
+        assert empty_store(target).users is target
+
+    def test_concat_remaps_foreign_interners(self):
+        # Two independently built stores observing overlapping user
+        # sets in different first-appearance orders.
+        b1 = ColumnarBuilder()
+        b1.append_snapshot(0.0, ["alice", "bob"], [[0, 0, 0], [1, 1, 0]])
+        b2 = ColumnarBuilder()
+        b2.append_snapshot(10.0, ["bob", "carol"], [[2, 2, 0], [3, 3, 0]])
+        merged = concat_stores([b1.build(), b2.build()])
+        assert merged.users.names == ["alice", "bob", "carol"]
+        assert merged.names_of(0) == ["alice", "bob"]
+        assert merged.names_of(1) == ["bob", "carol"]
+        trace = Trace.from_columns(merged)
+        assert trace.unique_users() == {"alice", "bob", "carol"}

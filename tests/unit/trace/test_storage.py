@@ -1,0 +1,160 @@
+"""Unit tests for the binary columnar ``.rtrc`` trace format."""
+
+import gzip
+
+import numpy as np
+import pytest
+
+from repro.trace import (
+    Trace,
+    TraceMetadata,
+    random_walk_trace,
+    read_store_rtrc,
+    read_trace_rtrc,
+    write_trace_rtrc,
+)
+from repro.trace.columnar import ColumnarBuilder, empty_store
+from repro.trace.storage import ALIGNMENT, MAGIC, RtrcFormatError
+
+
+def _assert_stores_equal(a, b):
+    assert np.array_equal(a.times, b.times)
+    assert np.array_equal(a.snapshot_offsets, b.snapshot_offsets)
+    assert np.array_equal(a.user_ids, b.user_ids)
+    assert np.array_equal(a.xyz, b.xyz)
+    assert a.users.names == b.users.names
+
+
+class TestRoundTrip:
+    def test_random_walk_round_trip(self, tmp_path):
+        trace = random_walk_trace(12, 30, np.random.default_rng(3))
+        path = write_trace_rtrc(trace, tmp_path / "walk.rtrc")
+        loaded = read_trace_rtrc(path)
+        _assert_stores_equal(trace.columns, loaded.columns)
+        assert loaded.metadata == trace.metadata
+
+    def test_metadata_survives(self, tmp_path):
+        meta = TraceMetadata(
+            land_name="Dance Island", width=128.0, height=64.0,
+            tau=2.5, source="crawler", notes="unicode ✓ comma, quote\"",
+        )
+        builder = ColumnarBuilder()
+        builder.append_snapshot(0.0, ["a", "b"], [[1, 2, 0], [3, 4, 5]])
+        trace = Trace.from_columns(builder.build(), meta)
+        loaded = read_trace_rtrc(write_trace_rtrc(trace, tmp_path / "m.rtrc"))
+        assert loaded.metadata == meta
+
+    def test_empty_trace(self, tmp_path):
+        trace = Trace.from_columns(empty_store())
+        loaded = read_trace_rtrc(write_trace_rtrc(trace, tmp_path / "e.rtrc"))
+        assert len(loaded) == 0
+        assert loaded.columns.observation_count == 0
+
+    def test_empty_snapshots_survive(self, tmp_path):
+        builder = ColumnarBuilder()
+        builder.append_snapshot(0.0, [], np.empty((0, 3)))
+        builder.append_snapshot(10.0, ["solo"], [[5.0, 5.0, 0.0]])
+        builder.append_snapshot(20.0, [], np.empty((0, 3)))
+        trace = Trace.from_columns(builder.build())
+        loaded = read_trace_rtrc(write_trace_rtrc(trace, tmp_path / "s.rtrc"))
+        _assert_stores_equal(trace.columns, loaded.columns)
+        assert loaded.concurrency() == [0, 1, 0]
+
+    def test_gzip_round_trip(self, tmp_path):
+        trace = random_walk_trace(5, 10, np.random.default_rng(1))
+        path = write_trace_rtrc(trace, tmp_path / "walk.rtrc.gz")
+        with open(path, "rb") as fh:
+            assert fh.read(2) == b"\x1f\x8b"  # actually gzipped
+        _assert_stores_equal(trace.columns, read_trace_rtrc(path).columns)
+
+    def test_rewrite_onto_own_memmap_source(self, tmp_path):
+        # A memmapped trace written back to its own backing file must
+        # not truncate the pages it is still reading from (the write
+        # goes to a temp sibling and renames into place).
+        trace = random_walk_trace(6, 15, np.random.default_rng(8))
+        path = write_trace_rtrc(trace, tmp_path / "self.rtrc")
+        loaded = read_trace_rtrc(path, mmap=True)
+        write_trace_rtrc(loaded, path)
+        again = read_trace_rtrc(path, mmap=True)
+        _assert_stores_equal(trace.columns, again.columns)
+        assert not list(tmp_path.glob("*.tmp"))  # no temp litter
+
+    def test_written_file_honors_umask(self, tmp_path):
+        # The temp-file dance must not leak mkstemp's 0600 mode; the
+        # result should match what a plain open() would have created.
+        trace = random_walk_trace(3, 4, np.random.default_rng(0))
+        rtrc = write_trace_rtrc(trace, tmp_path / "perm.rtrc")
+        plain = tmp_path / "plain"
+        plain.write_bytes(b"x")
+        assert (rtrc.stat().st_mode & 0o777) == (plain.stat().st_mode & 0o777)
+
+    def test_in_memory_load_matches_mmap(self, tmp_path):
+        trace = random_walk_trace(6, 12, np.random.default_rng(9))
+        path = write_trace_rtrc(trace, tmp_path / "w.rtrc")
+        mapped, meta_a = read_store_rtrc(path, mmap=True)
+        buffered, meta_b = read_store_rtrc(path, mmap=False)
+        _assert_stores_equal(mapped, buffered)
+        assert meta_a == meta_b
+
+
+class TestMemmapSemantics:
+    def test_mmap_load_is_lazy_view(self, tmp_path):
+        trace = random_walk_trace(8, 20, np.random.default_rng(5))
+        path = write_trace_rtrc(trace, tmp_path / "w.rtrc")
+        store, _ = read_store_rtrc(path, mmap=True)
+        for column in (store.times, store.user_ids, store.xyz):
+            backing = column
+            while not isinstance(backing, np.memmap) and getattr(backing, "base", None) is not None:
+                backing = backing.base
+            assert isinstance(backing, np.memmap)
+
+    def test_mmap_columns_are_read_only(self, tmp_path):
+        trace = random_walk_trace(4, 6, np.random.default_rng(2))
+        path = write_trace_rtrc(trace, tmp_path / "w.rtrc")
+        store, _ = read_store_rtrc(path, mmap=True)
+        with pytest.raises((ValueError, RuntimeError)):
+            store.xyz[0, 0] = 99.0
+
+    def test_sections_are_aligned(self, tmp_path):
+        trace = random_walk_trace(4, 6, np.random.default_rng(2))
+        path = write_trace_rtrc(trace, tmp_path / "w.rtrc")
+        import json
+        import struct
+
+        raw = path.read_bytes()
+        _, _, _, hlen = struct.unpack_from("<4sHHQ", raw)
+        header = json.loads(raw[16:16 + hlen])
+        for spec in header["sections"].values():
+            assert spec["offset"] % ALIGNMENT == 0
+
+
+class TestErrors:
+    def test_rejects_foreign_file(self, tmp_path):
+        path = tmp_path / "not.rtrc"
+        path.write_bytes(b"time,user,x,y,z\n0.0,a,1,2,3\n")
+        with pytest.raises(RtrcFormatError, match="bad magic"):
+            read_trace_rtrc(path)
+
+    def test_rejects_truncated_file(self, tmp_path):
+        path = tmp_path / "trunc.rtrc"
+        path.write_bytes(MAGIC)
+        with pytest.raises(RtrcFormatError, match="truncated"):
+            read_trace_rtrc(path, mmap=False)
+
+    def test_rejects_future_version(self, tmp_path):
+        trace = random_walk_trace(3, 4, np.random.default_rng(0))
+        path = write_trace_rtrc(trace, tmp_path / "v.rtrc")
+        raw = bytearray(path.read_bytes())
+        raw[4] = 99  # bump the version field
+        path.write_bytes(bytes(raw))
+        with pytest.raises(RtrcFormatError, match="version"):
+            read_trace_rtrc(path)
+
+    def test_rejects_corrupt_header(self, tmp_path):
+        trace = random_walk_trace(3, 4, np.random.default_rng(0))
+        path = write_trace_rtrc(trace, tmp_path / "c.rtrc")
+        raw = bytearray(path.read_bytes())
+        raw[20] = 0xFF  # stomp the JSON header
+        path.write_bytes(bytes(raw))
+        with pytest.raises(RtrcFormatError):
+            read_trace_rtrc(path)
