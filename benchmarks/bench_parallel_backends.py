@@ -1,0 +1,176 @@
+"""Shard backends head to head: serial vs thread vs process contacts.
+
+Times the contact-interval extraction of a 1M-observation random-walk
+trace three ways: unsharded (:func:`repro.core.extract_contacts`),
+sharded on the thread backend, and sharded on the process backend
+(spawned workers memmap-loading per-shard ``.rtrc`` files).  The
+interval/session state machines are pure Python, so the thread
+backend serializes on the GIL and lands near serial time; the process
+backend is the one that actually scales with cores.
+
+Runs two ways:
+
+* ``pytest benchmarks/bench_parallel_backends.py -s`` for the
+  assertion harness (correctness smoke at reduced scale — perf floors
+  live in the CI benchmark step, where the workload is big enough to
+  amortize worker spawn);
+* ``PYTHONPATH=src python benchmarks/bench_parallel_backends.py`` for
+  the full 1M-observation table.  With >= 2 usable cores the run
+  **fails** (exit 1) unless the process backend beats the thread
+  backend by :data:`PROCESS_OVER_THREAD_FLOOR`; on a single core the
+  floor is reported as skipped — there is no parallelism to measure.
+
+CI publishes the table as an artifact, so the regression floor comes
+with the numbers that justified it.
+"""
+
+from __future__ import annotations
+
+import os
+import sys
+import time
+
+import numpy as np
+
+from repro.core import ShardedAnalyzer, extract_contacts
+from repro.trace import Trace
+from repro.trace.columnar import ColumnarStore, UserInterner
+
+#: Full-run workload: 500 snapshots x 2000 users = 1M observations.
+FULL_SNAPSHOTS, FULL_USERS = 500, 2000
+
+#: Contact range (metres) — ~10 in-range neighbours per user, so the
+#: Python merge state machine dominates and the GIL bite is visible.
+RADIUS = 10.0
+
+#: Shard count for both sharded backends.
+SHARDS = 4
+
+#: CI regression floor: process-backend speedup over the thread
+#: backend on the full contacts workload, enforced when >= 2 cores
+#: are usable.  A 4-vCPU runner lands well above this; dropping under
+#: it means the process path stopped parallelizing (or started
+#: shipping trace bytes through the pipe again).
+PROCESS_OVER_THREAD_FLOOR = 1.5
+
+
+def usable_cores() -> int:
+    """Cores this process may actually run on (affinity-aware)."""
+    if hasattr(os, "sched_getaffinity"):
+        return len(os.sched_getaffinity(0))
+    return os.cpu_count() or 1
+
+
+def walk_trace(
+    snapshots: int, users: int, region: float = 256.0, step: float = 4.0
+) -> Trace:
+    """A random-walk trace with steady contact churn.
+
+    Everyone takes a Gaussian step per snapshot, so pairs drift in and
+    out of range and the interval state machine does real work —
+    unlike static positions, where every contact is one censored span.
+    """
+    rng = np.random.default_rng(snapshots * 31 + users)
+    times = np.arange(snapshots, dtype=np.float64) * 10.0
+    offsets = np.arange(snapshots + 1, dtype=np.int64) * users
+    ids = np.tile(np.arange(users, dtype=np.int64), snapshots)
+    pos = rng.uniform(0.0, region, size=(users, 3))
+    pos[:, 2] = 0.0
+    frames = np.empty((snapshots, users, 3))
+    for s in range(snapshots):
+        frames[s] = pos
+        pos[:, :2] = np.clip(
+            pos[:, :2] + rng.normal(0.0, step, size=(users, 2)), 0.0, region
+        )
+    store = ColumnarStore(
+        times,
+        offsets,
+        ids,
+        frames.reshape(-1, 3),
+        UserInterner(f"u{i:05d}" for i in range(users)),
+    )
+    return Trace.from_columns(store)
+
+
+def _timed(fn) -> tuple[float, object]:
+    t0 = time.perf_counter()
+    result = fn()
+    return time.perf_counter() - t0, result
+
+
+def measure(trace: Trace) -> dict[str, float]:
+    """Wall time of the contacts workload per backend, plus checks."""
+    t_serial, serial = _timed(lambda: extract_contacts(trace, RADIUS))
+    results = {"serial_s": t_serial, "contacts": len(serial)}
+    for backend in ("thread", "process"):
+        with ShardedAnalyzer(trace, SHARDS, backend=backend) as sharded:
+            t, merged = _timed(lambda: sharded.contacts(RADIUS))
+        assert merged == serial, f"{backend} backend diverged from serial"
+        results[f"{backend}_s"] = t
+    results["process_over_thread"] = results["thread_s"] / results["process_s"]
+    results["process_over_serial"] = t_serial / results["process_s"]
+    return results
+
+
+# -- pytest harness (correctness smoke at reduced scale) -------------------
+
+
+def test_backends_agree_on_contacts():
+    row = measure(walk_trace(40, 150))  # 6k observations
+    assert row["contacts"] > 0, "degenerate workload: no contacts"
+
+
+def test_shard_files_round_trip_through_process_pool():
+    trace = walk_trace(24, 80)
+    with ShardedAnalyzer(trace, 3, backend="process") as sharded:
+        merged = sharded.contacts(RADIUS)
+        # Second analysis reuses the pool and shard files.
+        occupancy = sharded.zone_occupation(20.0, every=2)
+    assert merged == extract_contacts(trace, RADIUS)
+    assert occupancy.sum() == sum(
+        len(trace.columns.slice_snapshots(i, i + 1).user_ids)
+        for i in range(0, len(trace), 2)
+    )
+
+
+# -- full table ------------------------------------------------------------
+
+
+def main() -> int:
+    cores = usable_cores()
+    obs = FULL_SNAPSHOTS * FULL_USERS
+    print(
+        f"parallel shard backends: contacts workload, {obs} observations, "
+        f"r={RADIUS:g} m, k={SHARDS} shards, {cores} usable core(s)"
+    )
+    trace = walk_trace(FULL_SNAPSHOTS, FULL_USERS)
+    row = measure(trace)
+    print(f"{'backend':>10} {'wall':>9} {'vs serial':>10}")
+    print(f"{'serial':>10} {row['serial_s']:>8.2f}s {'1.00x':>10}")
+    print(
+        f"{'thread':>10} {row['thread_s']:>8.2f}s "
+        f"{row['serial_s'] / row['thread_s']:>9.2f}x"
+    )
+    print(
+        f"{'process':>10} {row['process_s']:>8.2f}s "
+        f"{row['process_over_serial']:>9.2f}x"
+    )
+    print(
+        f"{row['contacts']} contact intervals; process over thread: "
+        f"{row['process_over_thread']:.2f}x (floor {PROCESS_OVER_THREAD_FLOOR}x)"
+    )
+    if cores < 2:
+        print("floor skipped: single usable core, nothing to parallelize")
+        return 0
+    if row["process_over_thread"] < PROCESS_OVER_THREAD_FLOOR:
+        print(
+            f"REGRESSION: process backend only {row['process_over_thread']:.2f}x "
+            f"the thread backend (floor {PROCESS_OVER_THREAD_FLOOR}x)",
+            file=sys.stderr,
+        )
+        return 1
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

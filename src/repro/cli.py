@@ -1,10 +1,11 @@
 """Command-line interface: ``slmob`` / ``python -m repro``.
 
-Five subcommands cover the workflow end to end::
+Six subcommands cover the workflow end to end::
 
     slmob simulate --land dance --hours 2 --out dance.rtrc
     slmob convert dance.csv.gz dance.rtrc
-    slmob analyze dance.rtrc --shards 4
+    slmob analyze dance.rtrc --shards 4 --backend process
+    slmob shard-export dance.rtrc shards/ --shards 8
     slmob validate dance.rtrc
     slmob experiments --hours 3          # paper-vs-measured report
     slmob experiments --full --out EXPERIMENTS.md
@@ -13,8 +14,11 @@ Five subcommands cover the workflow end to end::
 trace; ``convert`` transcodes between the CSV / JSONL / binary
 ``.rtrc`` formats (suffix decides); ``analyze`` recomputes every §3
 metric from a trace file — with ``--shards K`` the heavy extractions
-fan out over K time shards; ``experiments`` regenerates the paper's
-tables and figures.
+fan out over K time shards, on threads or (``--backend process``)
+spawned workers that memmap-load per-shard ``.rtrc`` files;
+``shard-export`` materializes those per-shard files (plus a manifest)
+for external workers; ``experiments`` regenerates the paper's tables
+and figures.
 """
 
 from __future__ import annotations
@@ -73,67 +77,81 @@ def _cmd_convert(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_shard_export(args: argparse.Namespace) -> int:
+    from repro.trace import to_rtrc_dir
+
+    trace = read_trace(Path(args.input))
+    paths = to_rtrc_dir(trace, args.shards, Path(args.outdir), gzip_shards=args.gzip)
+    total = trace.columns.observation_count
+    print(
+        f"wrote {len(paths)} shard files + manifest to {args.outdir}: "
+        f"{len(trace)} snapshots, {total} observations",
+        file=sys.stderr,
+    )
+    return 0
+
+
 def _cmd_analyze(args: argparse.Namespace) -> int:
     trace = read_trace(Path(args.trace))
-    analyzer = TraceAnalyzer(trace, shards=args.shards)
-    summary = analyzer.summary()
-    print(f"== {summary.land_name} ==")
-    print(render_summary_table([summary.row()]))
+    with TraceAnalyzer(trace, shards=args.shards, backend=args.backend) as analyzer:
+        summary = analyzer.summary()
+        print(f"== {summary.land_name} ==")
+        print(render_summary_table([summary.row()]))
 
-    ranges = args.range or [BLUETOOTH_RANGE, WIFI_RANGE]
-    # One batched pass builds the neighbour grid once per snapshot for
-    # every requested radius.
-    analyzer.contacts_multirange(ranges)
-    grid = log_grid(trace.metadata.tau, 1e4, 7)
-    for r in ranges:
-        print(f"\n-- temporal metrics at r={r:g} m (CCDF) --")
-        series = {
-            "CT": analyzer.contact_times(r),
-            "ICT": analyzer.inter_contact_times(r),
-            "FT": analyzer.first_contact_times(r),
-        }
-        print(render_ccdf_table(series, grid, complementary=True))
-        print(f"\n-- graph metrics at r={r:g} m --")
+        ranges = args.range or [BLUETOOTH_RANGE, WIFI_RANGE]
+        # One batched pass builds the neighbour grid once per snapshot for
+        # every requested radius.
+        analyzer.contacts_multirange(ranges)
+        grid = log_grid(trace.metadata.tau, 1e4, 7)
+        for r in ranges:
+            print(f"\n-- temporal metrics at r={r:g} m (CCDF) --")
+            series = {
+                "CT": analyzer.contact_times(r),
+                "ICT": analyzer.inter_contact_times(r),
+                "FT": analyzer.first_contact_times(r),
+            }
+            print(render_ccdf_table(series, grid, complementary=True))
+            print(f"\n-- graph metrics at r={r:g} m --")
+            print(
+                render_summary_table(
+                    [
+                        {
+                            "median_degree": analyzer.degrees(r, args.every).median,
+                            "isolated": round(analyzer.isolation_fraction(r, args.every), 3),
+                            "median_diameter": analyzer.diameters(r, args.every).median,
+                            "median_clustering": round(
+                                analyzer.clustering(r, args.every).median, 3
+                            ),
+                        }
+                    ]
+                )
+            )
+
+        print("\n-- trip metrics --")
         print(
             render_summary_table(
                 [
                     {
-                        "median_degree": analyzer.degrees(r, args.every).median,
-                        "isolated": round(analyzer.isolation_fraction(r, args.every), 3),
-                        "median_diameter": analyzer.diameters(r, args.every).median,
-                        "median_clustering": round(
-                            analyzer.clustering(r, args.every).median, 3
-                        ),
-                    }
+                        "metric": "travel length (m)",
+                        "median": round(analyzer.travel_lengths().median, 1),
+                        "p90": round(float(analyzer.travel_lengths().quantile(0.9)), 1),
+                    },
+                    {
+                        "metric": "effective travel time (s)",
+                        "median": round(analyzer.effective_travel_times().median, 1),
+                        "p90": round(float(analyzer.effective_travel_times().quantile(0.9)), 1),
+                    },
+                    {
+                        "metric": "travel time (s)",
+                        "median": round(analyzer.travel_times().median, 1),
+                        "p90": round(float(analyzer.travel_times().quantile(0.9)), 1),
+                    },
                 ]
             )
         )
-
-    print("\n-- trip metrics --")
-    print(
-        render_summary_table(
-            [
-                {
-                    "metric": "travel length (m)",
-                    "median": round(analyzer.travel_lengths().median, 1),
-                    "p90": round(float(analyzer.travel_lengths().quantile(0.9)), 1),
-                },
-                {
-                    "metric": "effective travel time (s)",
-                    "median": round(analyzer.effective_travel_times().median, 1),
-                    "p90": round(float(analyzer.effective_travel_times().quantile(0.9)), 1),
-                },
-                {
-                    "metric": "travel time (s)",
-                    "median": round(analyzer.travel_times().median, 1),
-                    "p90": round(float(analyzer.travel_times().quantile(0.9)), 1),
-                },
-            ]
-        )
-    )
-    occupancy = analyzer.zone_occupation(20.0, args.every)
-    print(f"\nzone occupation (L=20m): {float(occupancy.cdf(0.0)):.1%} empty cells, "
-          f"busiest cell {occupancy.max:.0f} users")
+        occupancy = analyzer.zone_occupation(20.0, args.every)
+        print(f"\nzone occupation (L=20m): {float(occupancy.cdf(0.0)):.1%} empty cells, "
+              f"busiest cell {occupancy.max:.0f} users")
     return 0
 
 
@@ -211,9 +229,28 @@ def build_parser() -> argparse.ArgumentParser:
     analyze.add_argument("--every", type=int, default=6,
                          help="snapshot stride for graph metrics")
     analyze.add_argument("--shards", type=int, default=1,
-                         help="fan contact/session/zone extraction over this "
-                              "many time shards (1 = unsharded)")
+                         help="fan contact/session/zone/graph extraction over "
+                              "this many time shards (1 = unsharded)")
+    analyze.add_argument("--backend", choices=["thread", "process"],
+                         default="thread",
+                         help="shard worker backend: 'thread' shares memory "
+                              "but serializes on the GIL; 'process' memmap-"
+                              "loads per-shard .rtrc files in spawned workers")
     analyze.set_defaults(func=_cmd_analyze)
+
+    shard_export = sub.add_parser(
+        "shard-export",
+        help="materialize per-shard .rtrc files (plus a manifest) for "
+             "parallel workers",
+    )
+    shard_export.add_argument("input",
+                              help="source trace (.csv[.gz], .jsonl[.gz], .rtrc[.gz])")
+    shard_export.add_argument("outdir", help="destination directory")
+    shard_export.add_argument("--shards", type=int, required=True,
+                              help="number of contiguous time shards to write")
+    shard_export.add_argument("--gzip", action="store_true",
+                              help="write .rtrc.gz shards (not memmappable)")
+    shard_export.set_defaults(func=_cmd_shard_export)
 
     validate = sub.add_parser("validate", help="run trace sanity checks")
     validate.add_argument("trace")

@@ -31,7 +31,13 @@ from repro.core.contacts import (
     iter_snapshot_pairs,
     snapshot_id_pairs,
 )
-from repro.core.sharded import ShardedAnalyzer
+from repro.core.sharded import (
+    ShardAnalysisError,
+    ShardedAnalyzer,
+    merge_shard_contacts,
+    merge_shard_sessions,
+)
+from repro.core.windowed import WindowedAnalyzer
 from repro.core.losgraph import (
     clustering_series,
     degree_samples,
@@ -56,7 +62,11 @@ __all__ = [
     "extract_contacts",
     "extract_contacts_multirange",
     "extract_contacts_reference",
+    "ShardAnalysisError",
     "ShardedAnalyzer",
+    "WindowedAnalyzer",
+    "merge_shard_contacts",
+    "merge_shard_sessions",
     "first_contact_times",
     "inter_contact_times",
     "iter_snapshot_pairs",

@@ -15,7 +15,7 @@ import numpy as np
 from repro.core import contacts as contacts_mod
 from repro.core import losgraph, spatial
 from repro.core.contacts import ContactInterval
-from repro.core.sharded import ShardedAnalyzer
+from repro.core.sharded import BACKENDS, ShardedAnalyzer
 from repro.stats import ECDF
 from repro.trace import Trace, UserSession, extract_sessions
 
@@ -47,10 +47,15 @@ class TraceAnalyzer:
     """Compute and cache every §3 metric of one trace.
 
     With ``shards > 1`` the expensive whole-trace extractions
-    (contacts, sessions, zone occupation) fan out over contiguous time
-    shards via :class:`~repro.core.sharded.ShardedAnalyzer`; results
-    are merged to be exactly equal to the unsharded path, so every
-    downstream metric is unchanged.
+    (contacts, sessions, zone occupation, losgraph degrees, diameters,
+    clustering) fan out over contiguous time shards via
+    :class:`~repro.core.sharded.ShardedAnalyzer`; results are merged
+    to be exactly equal to the unsharded path, so every downstream
+    metric is unchanged.  ``backend`` selects the shard workers:
+    ``"thread"`` (shared memory, GIL-bound state machines) or
+    ``"process"`` (per-shard ``.rtrc`` files memmap-loaded by spawned
+    workers — the scalable path; use :meth:`close` or a ``with`` block
+    to release its pool and shard files promptly).
     """
 
     def __init__(
@@ -58,12 +63,21 @@ class TraceAnalyzer:
         trace: Trace,
         shards: int = 1,
         max_workers: int | None = None,
+        backend: str = "thread",
     ) -> None:
         if trace.is_empty:
             raise ValueError("cannot analyze an empty trace")
+        if backend not in BACKENDS:
+            # Validate even when unsharded, so a typo'd backend fails
+            # loudly instead of silently running serial.
+            raise ValueError(
+                f"unknown backend {backend!r}; expected one of {BACKENDS}"
+            )
         self.trace = trace
         self._sharded = (
-            ShardedAnalyzer(trace, shards, max_workers) if shards > 1 else None
+            ShardedAnalyzer(trace, shards, max_workers, backend)
+            if shards > 1
+            else None
         )
         self._contacts: dict[float, list[ContactInterval]] = {}
         self._sessions: list[UserSession] | None = None
@@ -72,6 +86,17 @@ class TraceAnalyzer:
         # avoids re-walking the columnar store and re-boxing floats.
         self._degree_arrays: dict[tuple[float, int], np.ndarray] = {}
         self._zone_arrays: dict[tuple[float, int], np.ndarray] = {}
+
+    def close(self) -> None:
+        """Release sharded-backend resources (process pool, shard files)."""
+        if self._sharded is not None:
+            self._sharded.close()
+
+    def __enter__(self) -> "TraceAnalyzer":
+        return self
+
+    def __exit__(self, *exc_info: object) -> None:
+        self.close()
 
     # -- cached extractions ------------------------------------------------
 
@@ -118,9 +143,11 @@ class TraceAnalyzer:
         """Aggregated degree samples as a flat float array (cached)."""
         key = (r, every)
         if key not in self._degree_arrays:
-            self._degree_arrays[key] = np.asarray(
-                losgraph.degree_samples(self.trace, r, every), dtype=float
-            )
+            if self._sharded is not None:
+                samples = self._sharded.degree_array(r, every)
+            else:
+                samples = losgraph.degree_samples(self.trace, r, every)
+            self._degree_arrays[key] = np.asarray(samples, dtype=float)
         return self._degree_arrays[key]
 
     def zone_array(self, cell_size: float, every: int = 1) -> np.ndarray:
@@ -185,17 +212,19 @@ class TraceAnalyzer:
 
     def diameters(self, r: float, every: int = 1) -> ECDF:
         """Largest-component diameter distribution — Fig. 2(b)/(e)."""
-        return _ecdf(
-            [float(d) for d in losgraph.diameter_series(self.trace, r, every)],
-            f"no diameter samples at r={r}",
-        )
+        if self._sharded is not None:
+            series = np.asarray(self._sharded.diameter_array(r, every), dtype=float)
+        else:
+            series = [float(d) for d in losgraph.diameter_series(self.trace, r, every)]
+        return _ecdf(series, f"no diameter samples at r={r}")
 
     def clustering(self, r: float, every: int = 1) -> ECDF:
         """Per-snapshot mean clustering distribution — Fig. 2(c)/(f)."""
-        return _ecdf(
-            losgraph.clustering_series(self.trace, r, every),
-            f"no clustering samples at r={r}",
-        )
+        if self._sharded is not None:
+            series = self._sharded.clustering_array(r, every)
+        else:
+            series = losgraph.clustering_series(self.trace, r, every)
+        return _ecdf(series, f"no clustering samples at r={r}")
 
     # -- spatial metrics (Figs. 3 & 4) ---------------------------------------------
 

@@ -1,0 +1,249 @@
+"""Shard task execution: one task vocabulary for every backend.
+
+The sharded and windowed analyzers fan per-shard extraction over
+workers.  A *task* is a plain ``(kind, params)`` pair — picklable, so
+the same task runs on an in-memory shard (thread backend, serial
+windowed loop) or inside a spawned worker process that memmap-loads
+its shard from a per-shard ``.rtrc`` file (process backend).  The
+shard file *is* the input channel: the parent ships a path plus a tiny
+task tuple, the worker pages in only what the extraction touches.
+
+Results travel as **compact array payloads** instead of object lists:
+contact intervals become five flat arrays, sessions become a CSR-style
+``(user ids, offsets, times, xyz)`` quadruple, and the per-snapshot
+metrics (zone occupation, degrees, diameters, clustering) are already
+arrays.  Pickling a shard's result therefore costs a handful of buffer
+copies regardless of how many Python objects the final answer
+materializes — the parent decodes payloads back into the exact
+``ContactInterval`` / ``UserSession`` objects the serial extractors
+produce, so the boundary merges stay bit-for-bit.
+
+Both backends run the *same* :func:`extract_shard_task` body; the
+codec (:func:`encode_payload` / :func:`decode_payload`) wraps it only
+where a pickle boundary actually exists — the process backend's
+:func:`run_shard_file_task`.  In-process execution (thread backend,
+serial windowed loop) passes the extractor's objects straight
+through, paying nothing.  The equivalence suite
+(``tests/unit/core/test_parallel_backends.py``) pins both paths
+against the unsharded oracle.
+"""
+
+from __future__ import annotations
+
+import multiprocessing
+from concurrent.futures import ProcessPoolExecutor
+from pathlib import Path
+from typing import Sequence
+
+import numpy as np
+
+from repro.core import losgraph, spatial
+from repro.core.contacts import (
+    ContactInterval,
+    extract_contacts,
+    extract_contacts_multirange,
+)
+from repro.trace import Trace, UserSession, extract_sessions, read_trace_rtrc
+from repro.trace.columnar import UserInterner
+
+#: Task kinds understood by :func:`run_shard_task`.
+TASK_KINDS = (
+    "contacts",
+    "contacts_multirange",
+    "sessions",
+    "zone_occupation",
+    "degrees",
+    "diameters",
+    "clustering",
+)
+
+#: Payload of one shard's contact extraction: ``(ids_a, ids_b, starts,
+#: ends, censored)`` flat arrays, one row per interval, in the exact
+#: order the serial extractor emits.
+ContactPayload = tuple[np.ndarray, np.ndarray, np.ndarray, np.ndarray, np.ndarray]
+
+#: Payload of one shard's session extraction: ``(user_ids, offsets,
+#: times, xyz)`` — CSR layout, session ``i`` owns rows
+#: ``offsets[i]:offsets[i + 1]``.
+SessionPayload = tuple[np.ndarray, np.ndarray, np.ndarray, np.ndarray]
+
+
+# -- payload codecs --------------------------------------------------------
+
+
+def encode_contacts(
+    contacts: Sequence[ContactInterval], users: UserInterner
+) -> ContactPayload:
+    """Contact intervals as five flat arrays (order preserved)."""
+    n = len(contacts)
+    ids_a = np.fromiter((users.id_of(c.user_a) for c in contacts), np.int64, count=n)
+    ids_b = np.fromiter((users.id_of(c.user_b) for c in contacts), np.int64, count=n)
+    starts = np.fromiter((c.start for c in contacts), np.float64, count=n)
+    ends = np.fromiter((c.end for c in contacts), np.float64, count=n)
+    censored = np.fromiter((c.censored for c in contacts), np.bool_, count=n)
+    return ids_a, ids_b, starts, ends, censored
+
+
+def decode_contacts(
+    payload: ContactPayload, names: Sequence[str]
+) -> list[ContactInterval]:
+    """Rebuild the exact interval list :func:`encode_contacts` saw."""
+    ids_a, ids_b, starts, ends, censored = payload
+    return [
+        ContactInterval(names[a], names[b], start, end, flag)
+        for a, b, start, end, flag in zip(
+            ids_a.tolist(), ids_b.tolist(), starts.tolist(), ends.tolist(),
+            censored.tolist(),
+        )
+    ]
+
+
+def encode_sessions(
+    sessions: Sequence[UserSession], users: UserInterner
+) -> SessionPayload:
+    """Sessions as one CSR block (order preserved)."""
+    n = len(sessions)
+    uids = np.fromiter((users.id_of(s.user) for s in sessions), np.int64, count=n)
+    counts = np.fromiter((s.observation_count for s in sessions), np.int64, count=n)
+    offsets = np.zeros(n + 1, dtype=np.int64)
+    np.cumsum(counts, out=offsets[1:])
+    if n:
+        blocks = [s.as_arrays() for s in sessions]
+        times = np.concatenate([t for t, _ in blocks])
+        xyz = np.concatenate([x for _, x in blocks])
+    else:
+        times = np.empty(0, dtype=np.float64)
+        xyz = np.empty((0, 3), dtype=np.float64)
+    return uids, offsets, times, xyz
+
+
+def decode_sessions(
+    payload: SessionPayload, names: Sequence[str]
+) -> list[UserSession]:
+    """Rebuild the exact session list :func:`encode_sessions` saw."""
+    uids, offsets, times, xyz = payload
+    bounds = offsets.tolist()
+    return [
+        UserSession._from_arrays(names[uid], times[lo:hi], xyz[lo:hi])
+        for uid, lo, hi in zip(uids.tolist(), bounds, bounds[1:])
+    ]
+
+
+def encode_payload(kind: str, result: object, users: UserInterner) -> object:
+    """Compact-array form of one task result, for the pickle boundary."""
+    if kind == "contacts":
+        return encode_contacts(result, users)
+    if kind == "contacts_multirange":
+        return {r: encode_contacts(c, users) for r, c in result.items()}
+    if kind == "sessions":
+        return encode_sessions(result, users)
+    return result
+
+
+def decode_payload(kind: str, payload: object, names: Sequence[str]) -> object:
+    """Inverse of :func:`encode_payload` — the exact extractor objects."""
+    if kind == "contacts":
+        return decode_contacts(payload, names)
+    if kind == "contacts_multirange":
+        return {r: decode_contacts(p, names) for r, p in payload.items()}
+    if kind == "sessions":
+        return decode_sessions(payload, names)
+    return payload
+
+
+# -- the task runner -------------------------------------------------------
+
+
+def phased_selection(trace: Trace, every: int, phase: int) -> Trace | None:
+    """The shard's slice of a globally strided snapshot selection.
+
+    ``phase`` is the first local snapshot the global ``range(0, S,
+    every)`` stride lands on inside this shard; ``None`` means the
+    stride skips the shard entirely.
+    """
+    if every == 1:
+        return trace if len(trace) else None
+    kept = np.arange(phase, len(trace), every)
+    if not len(kept):
+        return None
+    return Trace.from_columns(trace.columns.select(kept), trace.metadata)
+
+
+def extract_shard_task(trace: Trace, kind: str, params: tuple) -> object:
+    """Run one analysis task on one shard; returns the raw result.
+
+    This is the single worker body every backend executes —
+    interval/session *objects* for the list-valued tasks, sample
+    arrays for the rest.  Strided tasks carry their shard's phase in
+    ``params`` so the union of the per-shard selections reproduces the
+    global stride exactly.
+    """
+    if kind == "contacts":
+        (r,) = params
+        return extract_contacts(trace, r)
+    if kind == "contacts_multirange":
+        (radii,) = params
+        return extract_contacts_multirange(trace, radii)
+    if kind == "sessions":
+        (gap_threshold,) = params
+        return extract_sessions(trace, gap_threshold)
+    if kind == "zone_occupation":
+        cell_size, every, phase = params
+        sub = phased_selection(trace, every, phase)
+        if sub is None:
+            return np.empty(0, dtype=np.int64)
+        return spatial.zone_occupation(sub, cell_size, 1)
+    if kind == "degrees":
+        r, every, phase = params
+        sub = phased_selection(trace, every, phase)
+        if sub is None:
+            return np.empty(0, dtype=np.int64)
+        return np.asarray(losgraph.degree_samples(sub, r, 1), dtype=np.int64)
+    if kind == "diameters":
+        r, every, phase = params
+        sub = phased_selection(trace, every, phase)
+        if sub is None:
+            return np.empty(0, dtype=np.int64)
+        return np.asarray(losgraph.diameter_series(sub, r, 1), dtype=np.int64)
+    if kind == "clustering":
+        r, every, phase = params
+        sub = phased_selection(trace, every, phase)
+        if sub is None:
+            return np.empty(0, dtype=np.float64)
+        return np.asarray(losgraph.clustering_series(sub, r, 1), dtype=np.float64)
+    raise ValueError(f"unknown shard task {kind!r}")
+
+
+# -- the process backend ---------------------------------------------------
+
+
+def run_shard_task(trace: Trace, kind: str, params: tuple) -> object:
+    """The shared task body plus the payload encoding, in the worker."""
+    result = extract_shard_task(trace, kind, params)
+    return encode_payload(kind, result, trace.columns.users)
+
+
+def run_shard_file_task(path: str, kind: str, params: tuple) -> object:
+    """Worker entry point of the process backend.
+
+    Runs inside a spawned worker: memmap-load the shard's ``.rtrc``
+    file (zero parse, lazy paging — only the pages the task touches
+    fault in), execute the shared task body, and encode the result for
+    the trip back through the pipe.  Module-level so it pickles under
+    the ``spawn`` start method.
+    """
+    return run_shard_task(read_trace_rtrc(Path(path), mmap=True), kind, params)
+
+
+def process_pool(max_workers: int) -> ProcessPoolExecutor:
+    """A ``spawn``-based process pool.
+
+    ``spawn`` (not ``fork``) so workers start from a clean interpreter
+    on every platform: nothing of the parent's heap — in particular
+    its memmapped stores — leaks into the children, which is exactly
+    the out-of-core contract the per-shard files exist for.
+    """
+    return ProcessPoolExecutor(
+        max_workers=max_workers,
+        mp_context=multiprocessing.get_context("spawn"),
+    )

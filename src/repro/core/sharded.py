@@ -2,14 +2,26 @@
 
 :class:`ShardedAnalyzer` splits a trace into ``k`` contiguous time
 shards (:func:`repro.trace.split_time_shards`), runs the expensive
-per-snapshot extractions shard-by-shard on a
-:class:`concurrent.futures.ThreadPoolExecutor`, and merges the partial
-results into *exactly* what the unsharded code produces — including
-contacts and sessions that span shard boundaries.  The equivalence
-suite (``tests/unit/core/test_sharded_equivalence.py``) pins this
-bit-for-bit.
+per-snapshot extractions shard-by-shard on a worker pool, and merges
+the partial results into *exactly* what the unsharded code produces —
+including contacts and sessions that span shard boundaries.  The
+equivalence suites (``tests/unit/core/test_sharded_equivalence.py``,
+``tests/unit/core/test_parallel_backends.py``) pin this bit-for-bit.
 
-Merge semantics:
+Two execution backends share one task vocabulary
+(:mod:`repro.core.parallel`):
+
+* ``backend="thread"`` — a ``ThreadPoolExecutor`` over the in-memory
+  shard views.  Cheap to start, but the Python interval/session state
+  machines serialize on the GIL; only the numpy portions overlap.
+* ``backend="process"`` — the shards are materialized as per-shard
+  ``.rtrc`` files (lazily, into a private temp directory) and a
+  ``spawn``-based ``ProcessPoolExecutor`` fans the same tasks; each
+  worker memmap-loads its own file, so no trace bytes cross the pipe
+  in either direction — tasks go in as tiny tuples, results come back
+  as compact array payloads.
+
+Merge semantics (split-agnostic; the windowed analyzer reuses them):
 
 * **Contacts** — a contact still open at a shard's last snapshot is
   censored there; if the same pair is in range at the first snapshot
@@ -22,128 +34,199 @@ Merge semantics:
   within the session gap threshold are concatenated; within a shard
   the extractor already guarantees larger gaps, so stitching only ever
   fires at boundaries.
-* **Zone occupation** — the snapshot stride is phased per shard so the
-  globally-strided snapshot selection is reproduced, then the
-  per-shard count arrays concatenate in snapshot-major order.
+* **Per-snapshot samples** (zone occupation, losgraph degrees,
+  diameters, clustering) — the snapshot stride is phased per shard so
+  the globally-strided selection is reproduced, then the per-shard
+  sample arrays concatenate in snapshot-major order.
 """
 
 from __future__ import annotations
 
 import os
-from concurrent.futures import ThreadPoolExecutor
-from typing import Callable, Iterable, Sequence, TypeVar
+import tempfile
+import weakref
+from concurrent.futures import Future, ThreadPoolExecutor
+from concurrent.futures.process import BrokenProcessPool
+from pathlib import Path
+from typing import Iterable, Sequence
 
 import numpy as np
 
 from repro.core import spatial
-from repro.core.contacts import (
-    ContactInterval,
-    extract_contacts,
-    extract_contacts_multirange,
+from repro.core.contacts import ContactInterval
+from repro.core.parallel import (
+    decode_payload,
+    extract_shard_task,
+    process_pool,
+    run_shard_file_task,
 )
-from repro.trace import Trace, UserSession, extract_sessions, split_time_shards
+from repro.trace import (
+    Trace,
+    TraceMetadata,
+    UserSession,
+    split_time_shards,
+    write_trace_rtrc,
+)
 
-T = TypeVar("T")
+#: Execution backends understood by :class:`ShardedAnalyzer`.
+BACKENDS = ("thread", "process")
 
 
-class ShardedAnalyzer:
-    """Fan contact/session/zone extraction across time shards.
+class ShardAnalysisError(RuntimeError):
+    """A shard worker failed; the message names the shard's time range."""
 
-    ``shards`` is the number of time windows; ``max_workers`` caps the
-    thread pool (default: one thread per non-empty shard, bounded by
-    the CPU count).  Results are cached like
-    :class:`~repro.core.analyzer.TraceAnalyzer` caches its extractions.
+
+def merge_shard_contacts(
+    per_shard: Sequence[list[ContactInterval]],
+    first_times: Sequence[float],
+    tau: float,
+) -> list[ContactInterval]:
+    """Stitch per-shard contact intervals into the unsharded answer.
+
+    ``per_shard`` holds each non-empty shard's intervals in time order;
+    ``first_times`` the matching shards' first snapshot times.  The
+    boundary rule is described in the module docstring.
+    """
+    merged: list[ContactInterval] = []
+    # pair -> (merged start, last in-range time) of contacts still
+    # open at the previous shard's boundary.
+    open_tail: dict[tuple[str, str], tuple[float, float]] = {}
+    for contacts, first_time in zip(per_shard, first_times):
+        still_open: dict[tuple[str, str], tuple[float, float]] = {}
+        for c in contacts:
+            carried = open_tail.pop(c.pair, None) if c.start == first_time else None
+            start = carried[0] if carried is not None else c.start
+            if c.censored:
+                still_open[c.pair] = (start, c.end)
+            elif start != c.start:
+                merged.append(
+                    ContactInterval(c.pair[0], c.pair[1], start, c.end)
+                )
+            else:
+                merged.append(c)
+        # Boundary contacts the next shard did not continue close
+        # with the usual +tau convention.
+        for pair, (start, last_seen) in open_tail.items():
+            merged.append(
+                ContactInterval(pair[0], pair[1], start, last_seen + tau)
+            )
+        open_tail = still_open
+    # Contacts open at the end of the final shard stay censored.
+    for pair, (start, last_seen) in open_tail.items():
+        merged.append(
+            ContactInterval(pair[0], pair[1], start, last_seen, censored=True)
+        )
+    merged.sort(key=lambda c: (c.start, c.pair))
+    return merged
+
+
+def merge_shard_sessions(
+    per_shard: Sequence[list[UserSession]],
+    gap_threshold: float,
+) -> list[UserSession]:
+    """Stitch per-shard visit lists into the unsharded session list."""
+    by_user: dict[str, list[UserSession]] = {}
+    for sessions in per_shard:
+        for session in sessions:
+            by_user.setdefault(session.user, []).append(session)
+    merged: list[UserSession] = []
+    for user, sessions in by_user.items():
+        current = sessions[0]
+        for candidate in sessions[1:]:
+            if candidate.login_time - current.logout_time <= gap_threshold:
+                times_a, xyz_a = current.as_arrays()
+                times_b, xyz_b = candidate.as_arrays()
+                current = UserSession._from_arrays(
+                    user,
+                    np.concatenate([times_a, times_b]),
+                    np.vstack([xyz_a, xyz_b]),
+                )
+            else:
+                merged.append(current)
+                current = candidate
+        merged.append(current)
+    merged.sort(key=lambda s: (s.login_time, s.user))
+    return merged
+
+
+def stride_phases(shard_lengths: Iterable[int], every: int) -> list[int]:
+    """Per-shard phases reproducing the global ``range(0, S, every)``."""
+    if every < 1:
+        raise ValueError(f"stride must be >= 1, got {every}")
+    phases: list[int] = []
+    consumed = 0
+    for length in shard_lengths:
+        phases.append((-consumed) % every)
+        consumed += length
+    return phases
+
+
+class BoundaryMergeAnalyzer:
+    """Cache + exact-merge plumbing shared by time-partitioned analyzers.
+
+    Subclasses split a trace into contiguous time parts — even
+    snapshot shards (:class:`ShardedAnalyzer`), wall-clock windows
+    (:class:`~repro.core.windowed.WindowedAnalyzer`) — and fan
+    :func:`~repro.core.parallel.extract_shard_task` over them however
+    they like; this base owns the per-parameter result caches, the
+    boundary merges, and the strided-sample concatenation.  A subclass
+    provides:
+
+    * ``metadata`` — the trace's :class:`~repro.trace.TraceMetadata`;
+    * ``_map(kind, params_per_part)`` — one decoded task result per
+      non-empty part, in time order;
+    * ``_part_first_times()`` — first snapshot time per non-empty part;
+    * ``_part_lengths()`` — snapshot count per non-empty part.
     """
 
-    def __init__(
-        self,
-        trace: Trace,
-        shards: int,
-        max_workers: int | None = None,
-    ) -> None:
-        if trace.is_empty:
-            raise ValueError("cannot analyze an empty trace")
-        if shards < 1:
-            raise ValueError(f"shard count must be >= 1, got {shards}")
-        self.trace = trace
-        self.shards = [s for s in split_time_shards(trace, shards) if len(s)]
-        self.shard_count = shards
-        self._max_workers = max_workers or min(
-            len(self.shards), os.cpu_count() or 1
-        )
+    metadata: TraceMetadata
+
+    def __init__(self) -> None:
         self._contacts: dict[float, list[ContactInterval]] = {}
         self._sessions: dict[float, list[UserSession]] = {}
+        self._samples: dict[tuple, np.ndarray] = {}
 
-    def _map(self, fn: Callable[[Trace], T], jobs: Sequence[Trace] | None = None) -> list[T]:
-        """Apply ``fn`` to each job (default: every non-empty shard), in order."""
-        if jobs is None:
-            jobs = self.shards
-        if len(jobs) <= 1:
-            return [fn(job) for job in jobs]
-        with ThreadPoolExecutor(max_workers=self._max_workers) as pool:
-            return list(pool.map(fn, jobs))
+    def _map(self, kind: str, params_per_part: Sequence[tuple]) -> list[object]:
+        raise NotImplementedError
+
+    def _part_first_times(self) -> list[float]:
+        raise NotImplementedError
+
+    def _part_lengths(self) -> list[int]:
+        raise NotImplementedError
+
+    def _part_count(self) -> int:
+        return len(self._part_lengths())
 
     # -- contacts ----------------------------------------------------------
 
     def contacts(self, r: float) -> list[ContactInterval]:
         """Merged contact intervals under range ``r`` (cached per range)."""
         if r not in self._contacts:
-            per_shard = self._map(lambda shard: extract_contacts(shard, r))
-            self._contacts[r] = self._merge_contacts(per_shard)
+            per_part = self._map("contacts", [(r,)] * self._part_count())
+            self._contacts[r] = merge_shard_contacts(
+                per_part, self._part_first_times(), self.metadata.tau
+            )
         return self._contacts[r]
 
     def contacts_multirange(
         self, ranges: Iterable[float]
     ) -> dict[float, list[ContactInterval]]:
-        """Batched multi-range extraction, sharded, merged per radius."""
+        """Batched multi-range extraction, merged per radius."""
         radii = sorted({float(r) for r in ranges})
         missing = [r for r in radii if r not in self._contacts]
         if missing:
-            per_shard = self._map(
-                lambda shard: extract_contacts_multirange(shard, missing)
+            per_part = self._map(
+                "contacts_multirange", [(tuple(missing),)] * self._part_count()
             )
+            first_times = self._part_first_times()
             for r in missing:
-                self._contacts[r] = self._merge_contacts(
-                    [result[r] for result in per_shard]
+                self._contacts[r] = merge_shard_contacts(
+                    [result[r] for result in per_part],
+                    first_times,
+                    self.metadata.tau,
                 )
         return {r: self._contacts[r] for r in radii}
-
-    def _merge_contacts(
-        self, per_shard: Sequence[list[ContactInterval]]
-    ) -> list[ContactInterval]:
-        tau = self.trace.metadata.tau
-        first_times = [s.start_time for s in self.shards]
-        merged: list[ContactInterval] = []
-        # pair -> (merged start, last in-range time) of contacts still
-        # open at the previous shard's boundary.
-        open_tail: dict[tuple[str, str], tuple[float, float]] = {}
-        for contacts, first_time in zip(per_shard, first_times):
-            still_open: dict[tuple[str, str], tuple[float, float]] = {}
-            for c in contacts:
-                carried = open_tail.pop(c.pair, None) if c.start == first_time else None
-                start = carried[0] if carried is not None else c.start
-                if c.censored:
-                    still_open[c.pair] = (start, c.end)
-                elif start != c.start:
-                    merged.append(
-                        ContactInterval(c.pair[0], c.pair[1], start, c.end)
-                    )
-                else:
-                    merged.append(c)
-            # Boundary contacts the next shard did not continue close
-            # with the usual +tau convention.
-            for pair, (start, last_seen) in open_tail.items():
-                merged.append(
-                    ContactInterval(pair[0], pair[1], start, last_seen + tau)
-                )
-            open_tail = still_open
-        # Contacts open at the end of the final shard stay censored.
-        for pair, (start, last_seen) in open_tail.items():
-            merged.append(
-                ContactInterval(pair[0], pair[1], start, last_seen, censored=True)
-            )
-        merged.sort(key=lambda c: (c.start, c.pair))
-        return merged
 
     # -- sessions ----------------------------------------------------------
 
@@ -152,68 +235,229 @@ class ShardedAnalyzer:
         resolved = (
             gap_threshold
             if gap_threshold is not None
-            else 2.0 * self.trace.metadata.tau
+            else 2.0 * self.metadata.tau
         )
         if resolved not in self._sessions:
-            per_shard = self._map(
-                lambda shard: extract_sessions(shard, resolved)
-            )
-            self._sessions[resolved] = self._merge_sessions(per_shard, resolved)
+            per_part = self._map("sessions", [(resolved,)] * self._part_count())
+            self._sessions[resolved] = merge_shard_sessions(per_part, resolved)
         return self._sessions[resolved]
 
-    @staticmethod
-    def _merge_sessions(
-        per_shard: Sequence[list[UserSession]],
-        gap_threshold: float,
-    ) -> list[UserSession]:
-        by_user: dict[str, list[UserSession]] = {}
-        for sessions in per_shard:
-            for session in sessions:
-                by_user.setdefault(session.user, []).append(session)
-        merged: list[UserSession] = []
-        for user, sessions in by_user.items():
-            current = sessions[0]
-            for candidate in sessions[1:]:
-                if candidate.login_time - current.logout_time <= gap_threshold:
-                    times_a, xyz_a = current.as_arrays()
-                    times_b, xyz_b = candidate.as_arrays()
-                    current = UserSession._from_arrays(
-                        user,
-                        np.concatenate([times_a, times_b]),
-                        np.vstack([xyz_a, xyz_b]),
-                    )
-                else:
-                    merged.append(current)
-                    current = candidate
-            merged.append(current)
-        merged.sort(key=lambda s: (s.login_time, s.user))
-        return merged
+    # -- per-snapshot sample arrays ----------------------------------------
 
-    # -- zone occupation ---------------------------------------------------
+    def _strided_samples(self, kind: str, head: tuple, every: int) -> np.ndarray:
+        """Fan a strided per-snapshot task; concatenate snapshot-major."""
+        key = (kind, *head, every)
+        if key not in self._samples:
+            phases = stride_phases(self._part_lengths(), every)
+            parts = self._map(kind, [(*head, every, phase) for phase in phases])
+            self._samples[key] = np.concatenate(parts)
+        return self._samples[key]
 
     def zone_occupation(
         self,
         cell_size: float = spatial.ZONE_SIZE,
         every: int = 1,
     ) -> np.ndarray:
-        """Users-per-cell samples, shard-parallel, snapshot-major order."""
-        if every < 1:
-            raise ValueError(f"stride must be >= 1, got {every}")
-        jobs: list[Trace] = []
-        consumed = 0
-        for shard in self.shards:
-            # Phase the stride so the union of shard selections equals
-            # the global range(0, S, every) selection.
-            phase = (-consumed) % every
-            kept = np.arange(phase, len(shard), every)
-            consumed += len(shard)
-            if len(kept):
-                jobs.append(
-                    Trace.from_columns(shard.columns.select(kept), shard.metadata)
-                )
-        if not jobs:
-            return np.empty(0, dtype=np.int64)
-        parts = self._map(
-            lambda sub: spatial.zone_occupation(sub, cell_size, 1), jobs
+        """Users-per-cell samples, merged in snapshot-major order."""
+        return self._strided_samples("zone_occupation", (cell_size,), every)
+
+    def degree_array(self, r: float, every: int = 1) -> np.ndarray:
+        """Aggregated node-degree samples — Fig. 2(a)/(d) feed."""
+        return self._strided_samples("degrees", (r,), every)
+
+    def diameter_array(self, r: float, every: int = 1) -> np.ndarray:
+        """Per-snapshot largest-component diameters."""
+        return self._strided_samples("diameters", (r,), every)
+
+    def clustering_array(self, r: float, every: int = 1) -> np.ndarray:
+        """Per-snapshot mean clustering coefficients."""
+        return self._strided_samples("clustering", (r,), every)
+
+
+class ShardedAnalyzer(BoundaryMergeAnalyzer):
+    """Fan contact/session/zone/graph extraction across time shards.
+
+    ``shards`` is the number of time windows; ``max_workers`` caps the
+    pool (default: one worker per non-empty shard, bounded by the CPU
+    count); ``backend`` picks thread or process execution.  Results
+    are cached like :class:`~repro.core.analyzer.TraceAnalyzer` caches
+    its extractions.
+
+    The process backend owns two lazy resources — the per-shard
+    ``.rtrc`` files and a persistent worker pool (spawning workers is
+    much more expensive than a thread pool, so it is reused across
+    analyses).  Both are released by :meth:`close` (also a context
+    manager) and by garbage collection.
+    """
+
+    def __init__(
+        self,
+        trace: Trace,
+        shards: int,
+        max_workers: int | None = None,
+        backend: str = "thread",
+    ) -> None:
+        if trace.is_empty:
+            raise ValueError("cannot analyze an empty trace")
+        if shards < 1:
+            raise ValueError(f"shard count must be >= 1, got {shards}")
+        if backend not in BACKENDS:
+            raise ValueError(
+                f"unknown backend {backend!r}; expected one of {BACKENDS}"
+            )
+        super().__init__()
+        self.trace = trace
+        self.metadata = trace.metadata
+        self.backend = backend
+        self.shards = [s for s in split_time_shards(trace, shards) if len(s)]
+        self.shard_count = shards
+        self._max_workers = max_workers or min(
+            len(self.shards), os.cpu_count() or 1
         )
-        return np.concatenate(parts)
+        self._tmpdir: tempfile.TemporaryDirectory | None = None
+        self._shard_paths: list[Path] | None = None
+        self._pool = None
+        self._pool_finalizer: weakref.finalize | None = None
+        self._closed = False
+
+    # -- lifecycle ---------------------------------------------------------
+
+    def close(self) -> None:
+        """Shut down the worker pool and delete the shard files.
+
+        Cached results stay readable; starting a *new* analysis after
+        close raises rather than silently resurrecting the pool and
+        tempdir with nobody left to release them.
+        """
+        self._closed = True
+        if self._pool is not None:
+            self._pool.shutdown(wait=True)
+            self._pool = None
+        if self._pool_finalizer is not None:
+            self._pool_finalizer.detach()
+            self._pool_finalizer = None
+        if self._tmpdir is not None:
+            self._tmpdir.cleanup()
+            self._tmpdir = None
+            self._shard_paths = None
+
+    def __enter__(self) -> "ShardedAnalyzer":
+        return self
+
+    def __exit__(self, *exc_info: object) -> None:
+        self.close()
+
+    # -- execution ---------------------------------------------------------
+
+    def _shard_files(self) -> list[Path]:
+        """Materialize each non-empty shard as its own ``.rtrc`` file."""
+        if self._shard_paths is None:
+            self._tmpdir = tempfile.TemporaryDirectory(prefix="rtrc-shards-")
+            root = Path(self._tmpdir.name)
+            self._shard_paths = [
+                write_trace_rtrc(shard, root / f"shard-{index:05d}.rtrc")
+                for index, shard in enumerate(self.shards)
+            ]
+        return self._shard_paths
+
+    def _process_pool(self):
+        if self._pool is None:
+            self._pool = process_pool(self._max_workers)
+            # Belt and braces: an abandoned analyzer must not leak
+            # worker processes until interpreter exit.
+            self._pool_finalizer = weakref.finalize(
+                self, self._pool.shutdown, wait=False
+            )
+        return self._pool
+
+    def _discard_pool(self) -> None:
+        """Drop a broken pool so the next analysis spawns a fresh one.
+
+        ``ProcessPoolExecutor`` marks itself permanently broken when a
+        worker dies (OOM kill, segfault); keeping it around would make
+        every later analysis fail on submit even though the shard
+        files and trace are intact.
+        """
+        if self._pool is not None:
+            self._pool.shutdown(wait=False, cancel_futures=True)
+            self._pool = None
+        if self._pool_finalizer is not None:
+            self._pool_finalizer.detach()
+            self._pool_finalizer = None
+
+    def _map(self, kind: str, params_per_shard: Sequence[tuple]) -> list[object]:
+        """One task per non-empty shard, results in shard order.
+
+        Worker failures are re-raised as :class:`ShardAnalysisError`
+        naming the failing shard's time range (the original exception
+        rides along as ``__cause__``).  A broken process pool is
+        discarded, so the analyzer stays usable after a worker death.
+        """
+        if self._closed:
+            raise ValueError("analyzer is closed")
+        if len(self.shards) <= 1:
+            # One non-empty shard means nothing to fan — run inline on
+            # either backend rather than paying spawn + shard-file
+            # overhead for zero available parallelism.
+            return [
+                self._run_local(i, kind, params)
+                for i, params in enumerate(params_per_shard)
+            ]
+        if self.backend == "process":
+            paths = self._shard_files()
+            pool = self._process_pool()
+            try:
+                futures = [
+                    pool.submit(run_shard_file_task, str(paths[i]), kind, params)
+                    for i, params in enumerate(params_per_shard)
+                ]
+            except BrokenProcessPool as exc:
+                self._discard_pool()
+                raise ShardAnalysisError(
+                    f"{kind}: the worker pool broke before shard tasks could "
+                    f"be submitted: {exc}"
+                ) from exc
+            payloads = [self._collect(i, kind, f) for i, f in enumerate(futures)]
+            return [decode_payload(kind, p, self._names) for p in payloads]
+        with ThreadPoolExecutor(max_workers=self._max_workers) as pool:
+            futures = [
+                pool.submit(extract_shard_task, self.shards[i], kind, params)
+                for i, params in enumerate(params_per_shard)
+            ]
+            return [self._collect(i, kind, f) for i, f in enumerate(futures)]
+
+    def _run_local(self, index: int, kind: str, params: tuple) -> object:
+        try:
+            return extract_shard_task(self.shards[index], kind, params)
+        except Exception as exc:
+            raise self._shard_error(index, kind, exc) from exc
+
+    def _collect(self, index: int, kind: str, future: Future) -> object:
+        try:
+            return future.result()
+        except Exception as exc:
+            if isinstance(exc, BrokenProcessPool):
+                self._discard_pool()
+            raise self._shard_error(index, kind, exc) from exc
+
+    def _shard_error(
+        self, index: int, kind: str, exc: Exception
+    ) -> ShardAnalysisError:
+        shard = self.shards[index]
+        return ShardAnalysisError(
+            f"{kind} failed on shard {index + 1}/{len(self.shards)} covering "
+            f"t=[{shard.start_time:g}, {shard.end_time:g}] "
+            f"({len(shard)} snapshots): {exc}"
+        )
+
+    @property
+    def _names(self) -> list[str]:
+        return self.trace.columns.users.names
+
+    # -- partition geometry ------------------------------------------------
+
+    def _part_first_times(self) -> list[float]:
+        return [s.start_time for s in self.shards]
+
+    def _part_lengths(self) -> list[int]:
+        return [len(s) for s in self.shards]

@@ -17,6 +17,8 @@ from repro.trace.columnar import (
 from repro.trace.records import PositionRecord, Snapshot
 from repro.trace.trace import Trace, TraceMetadata
 from repro.trace.storage import (
+    RtrcFormatError,
+    TraceFormatError,
     read_store_rtrc,
     read_trace_rtrc,
     write_store_rtrc,
@@ -31,7 +33,14 @@ from repro.trace.io import (
     write_trace_csv,
     write_trace_jsonl,
 )
-from repro.trace.sharding import concat_shards, concat_stores, split_time_shards
+from repro.trace.sharding import (
+    concat_shards,
+    concat_stores,
+    read_rtrc_dir,
+    shard_edges,
+    split_time_shards,
+    to_rtrc_dir,
+)
 from repro.trace.sessions import UserSession, extract_sessions
 from repro.trace.validation import TraceIssue, validate_trace
 from repro.trace.synth import (
@@ -50,6 +59,8 @@ __all__ = [
     "Snapshot",
     "Trace",
     "TraceMetadata",
+    "RtrcFormatError",
+    "TraceFormatError",
     "read_store_rtrc",
     "read_trace_rtrc",
     "write_store_rtrc",
@@ -63,7 +74,10 @@ __all__ = [
     "write_trace_jsonl",
     "concat_shards",
     "concat_stores",
+    "read_rtrc_dir",
+    "shard_edges",
     "split_time_shards",
+    "to_rtrc_dir",
     "UserSession",
     "extract_sessions",
     "TraceIssue",

@@ -157,6 +157,32 @@ class ColumnarStore:
         """Sorted unique user ids appearing in this store."""
         return np.unique(self.user_ids)
 
+    def slice_snapshots(self, start: int, stop: int) -> "ColumnarStore":
+        """Contiguous snapshot range ``[start, stop)`` as zero-copy views.
+
+        Unlike :meth:`select`, which fancy-indexes (and therefore
+        copies), a contiguous range keeps ``times`` / ``user_ids`` /
+        ``xyz`` as basic slices of the parent arrays — a memmap-backed
+        store stays lazy, so shard and window views of an on-disk trace
+        touch no pages until an analysis reads them.
+        """
+        if not 0 <= start <= stop <= self.snapshot_count:
+            raise ValueError(
+                f"snapshot range [{start}, {stop}) outside 0..{self.snapshot_count}"
+            )
+        lo = int(self.snapshot_offsets[start])
+        hi = int(self.snapshot_offsets[stop])
+        # Rebasing the offsets copies S_range + 1 ints; the three data
+        # columns stay views.
+        offsets = self.snapshot_offsets[start : stop + 1] - lo
+        return ColumnarStore(
+            self.times[start:stop],
+            offsets,
+            self.user_ids[lo:hi],
+            self.xyz[lo:hi],
+            self.users,
+        )
+
     def select(self, snapshot_indices: Sequence[int] | np.ndarray) -> "ColumnarStore":
         """New store holding only the given snapshots (interner shared).
 

@@ -14,12 +14,35 @@ fans work over; the split/concat pair round-trips exactly::
 
 from __future__ import annotations
 
+import json
+from pathlib import Path
 from typing import Sequence
 
 import numpy as np
 
 from repro.trace.columnar import ColumnarStore, UserInterner, empty_store
+from repro.trace.storage import TraceFormatError, read_trace_rtrc, write_trace_rtrc
 from repro.trace.trace import Trace
+
+#: Name of the shard-directory manifest written by :func:`to_rtrc_dir`.
+MANIFEST_NAME = "manifest.json"
+
+
+def shard_edges(snapshot_count: int, k: int) -> np.ndarray:
+    """Snapshot boundaries of an even ``k``-way split — ``(k + 1,)`` int64.
+
+    Shard ``i`` covers snapshots ``edges[i]:edges[i + 1]``; the first
+    ``S % k`` shards get one extra snapshot (the same partition
+    ``np.array_split`` produces), and with ``k`` larger than the
+    snapshot count the tail shards are empty.
+    """
+    if k < 1:
+        raise ValueError(f"shard count must be >= 1, got {k}")
+    sizes = np.full(k, snapshot_count // k, dtype=np.int64)
+    sizes[: snapshot_count % k] += 1
+    edges = np.zeros(k + 1, dtype=np.int64)
+    np.cumsum(sizes, out=edges[1:])
+    return edges
 
 
 def split_time_shards(trace: Trace, k: int) -> list[Trace]:
@@ -30,15 +53,108 @@ def split_time_shards(trace: Trace, k: int) -> list[Trace]:
     snapshot count the tail shards are empty.  All shards share the
     parent's metadata and interner, so interned ids stay comparable
     across shards and :func:`concat_shards` restores the parent
-    exactly.
+    exactly.  Shards are zero-copy slice views
+    (:meth:`~repro.trace.columnar.ColumnarStore.slice_snapshots`), so
+    splitting a memmap-backed trace touches no data pages.
     """
-    if k < 1:
-        raise ValueError(f"shard count must be >= 1, got {k}")
-    parts = np.array_split(np.arange(trace.columns.snapshot_count), k)
+    edges = shard_edges(trace.columns.snapshot_count, k)
     return [
-        Trace.from_columns(trace.columns.select(part), trace.metadata)
-        for part in parts
+        Trace.from_columns(
+            trace.columns.slice_snapshots(int(lo), int(hi)), trace.metadata
+        )
+        for lo, hi in zip(edges[:-1], edges[1:])
     ]
+
+
+def to_rtrc_dir(
+    trace: Trace,
+    k: int,
+    directory: str | Path,
+    gzip_shards: bool = False,
+) -> list[Path]:
+    """Materialize ``k`` per-shard ``.rtrc`` files under ``directory``.
+
+    This is the on-disk counterpart of :func:`split_time_shards`: each
+    shard (empty tail shards included) becomes its own memmappable
+    file, so parallel workers — process pools, other machines — can
+    load exactly their slice with zero parsing and no shared state.
+    Every shard file carries the parent's full interner, so interned
+    ids stay comparable across shard files.
+
+    A ``manifest.json`` records the shard order, per-shard snapshot
+    counts and time ranges; :func:`read_rtrc_dir` uses it to restore
+    the shards in order, and ``concat_shards(read_rtrc_dir(d))``
+    round-trips the original trace bit-for-bit.
+
+    Returns the shard file paths, in time order.
+    """
+    target = Path(directory)
+    target.mkdir(parents=True, exist_ok=True)
+    shards = split_time_shards(trace, k)
+    suffix = ".rtrc.gz" if gzip_shards else ".rtrc"
+    paths: list[Path] = []
+    for index, shard in enumerate(shards):
+        paths.append(write_trace_rtrc(shard, target / f"shard-{index:05d}{suffix}"))
+    manifest = {
+        "format": "rtrc-shard-dir",
+        "version": 1,
+        "shards": k,
+        "files": [p.name for p in paths],
+        "snapshot_counts": [len(s) for s in shards],
+        "time_ranges": [
+            [s.start_time, s.end_time] if len(s) else None for s in shards
+        ],
+    }
+    (target / MANIFEST_NAME).write_text(
+        json.dumps(manifest, indent=2) + "\n", encoding="utf-8"
+    )
+    return paths
+
+
+def read_rtrc_dir(directory: str | Path, mmap: bool = True) -> list[Trace]:
+    """Load the shard traces written by :func:`to_rtrc_dir`, in order.
+
+    The manifest fixes the order; without one (foreign directories) the
+    ``shard-*`` files are taken in name order.  When every shard file
+    carries the same user table — always true for :func:`to_rtrc_dir`
+    output — the loaded stores are re-pointed at one shared interner,
+    so downstream code (``concat_shards``, the sharded analyzer
+    merges) sees ids exactly as if the shards had been split in
+    memory.
+    """
+    source = Path(directory)
+    manifest_path = source / MANIFEST_NAME
+    if manifest_path.exists():
+        try:
+            manifest = json.loads(manifest_path.read_text(encoding="utf-8"))
+            files = [str(name) for name in manifest["files"]]
+        except (json.JSONDecodeError, KeyError, TypeError) as exc:
+            raise TraceFormatError(
+                f"{manifest_path}: unreadable shard manifest ({exc})"
+            ) from exc
+    else:
+        files = sorted(
+            p.name for p in source.glob("shard-*.rtrc*") if not p.name.endswith(".tmp")
+        )
+    if not files:
+        raise TraceFormatError(f"{source}: no shard files found")
+    shards = []
+    for name in files:
+        try:
+            shards.append(read_trace_rtrc(source / name, mmap=mmap))
+        except FileNotFoundError as exc:
+            raise TraceFormatError(
+                f"{source}: manifest names missing shard file {name!r}"
+            ) from exc
+    # Re-share one interner object across shards whose name tables
+    # agree (ColumnarStore treats `users` as an immutable table, so
+    # swapping in an equal one is safe and makes ids pass through
+    # concat_stores untouched).
+    first = shards[0].columns.users
+    for shard in shards[1:]:
+        if shard.columns.users.names == first.names:
+            shard.columns.users = first
+    return shards
 
 
 def concat_stores(

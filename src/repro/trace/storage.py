@@ -73,7 +73,15 @@ _SECTION_DTYPES = (
 _METADATA_FIELDS = tuple(f.name for f in fields(TraceMetadata))
 
 
-class RtrcFormatError(ValueError):
+class TraceFormatError(ValueError):
+    """A trace file is unreadable: wrong format, corrupt, or truncated.
+
+    Base class for format-specific errors so callers can catch one
+    exception across every on-disk representation.
+    """
+
+
+class RtrcFormatError(TraceFormatError):
     """Raised when a file is not a readable rtrc trace."""
 
 
@@ -193,32 +201,84 @@ def _parse_header(payload: bytes, path: Path) -> dict:
         header = json.loads(payload.decode("utf-8"))
     except (UnicodeDecodeError, json.JSONDecodeError) as exc:
         raise RtrcFormatError(f"{path}: corrupt rtrc header ({exc})") from exc
+    if not isinstance(header, dict):
+        raise RtrcFormatError(f"{path}: rtrc header is not a JSON object")
     for key in ("metadata", "users", "sections"):
         if key not in header:
             raise RtrcFormatError(f"{path}: rtrc header misses {key!r}")
     missing = [name for name, _ in _SECTION_DTYPES if name not in header["sections"]]
     if missing:
         raise RtrcFormatError(f"{path}: rtrc header misses sections {missing}")
+    for name, dtype in _SECTION_DTYPES:
+        _validate_section_spec(header["sections"][name], name, np.dtype(dtype), path)
     return header
+
+
+def _validate_section_spec(
+    spec: object, name: str, dtype: np.dtype, path: Path
+) -> None:
+    """Reject malformed or internally inconsistent section tables.
+
+    Everything the loaders later trust — integer offsets, a sane shape,
+    and ``nbytes`` matching ``shape`` — is checked here so corruption
+    surfaces as an :class:`RtrcFormatError` naming the section, never
+    as a numpy reshape/memmap traceback deep in the load.
+    """
+    if not isinstance(spec, dict):
+        raise RtrcFormatError(f"{path}: section {name!r} is not an object")
+    for key in ("shape", "offset", "nbytes"):
+        if key not in spec:
+            raise RtrcFormatError(f"{path}: section {name!r} misses {key!r}")
+    shape = spec["shape"]
+    if not isinstance(shape, list) or not all(
+        isinstance(v, int) and v >= 0 for v in shape
+    ):
+        raise RtrcFormatError(
+            f"{path}: section {name!r} has invalid shape {shape!r}"
+        )
+    offset, nbytes = spec["offset"], spec["nbytes"]
+    if not isinstance(offset, int) or offset < 0 or offset % ALIGNMENT != 0:
+        raise RtrcFormatError(
+            f"{path}: section {name!r} has invalid offset {offset!r}"
+        )
+    if not isinstance(nbytes, int) or nbytes < 0:
+        raise RtrcFormatError(
+            f"{path}: section {name!r} has invalid nbytes {nbytes!r}"
+        )
+    expected = int(np.prod(shape, dtype=np.int64)) * dtype.itemsize
+    if nbytes != expected:
+        raise RtrcFormatError(
+            f"{path}: section {name!r} length mismatch — shape {shape} "
+            f"needs {expected} bytes, header claims {nbytes}"
+        )
 
 
 def _store_from_sections(
     header: dict,
     load_section,
+    path: Path,
 ) -> tuple[ColumnarStore, TraceMetadata]:
     arrays = {}
     for name, dtype in _SECTION_DTYPES:
         spec = header["sections"][name]
         shape = tuple(int(v) for v in spec["shape"])
         arrays[name] = load_section(spec, np.dtype(dtype), shape)
-    metadata = TraceMetadata(**header["metadata"])
-    store = ColumnarStore(
-        arrays["times"],
-        arrays["snapshot_offsets"],
-        arrays["user_ids"],
-        arrays["xyz"],
-        UserInterner(header["users"]),
-    )
+    try:
+        metadata = TraceMetadata(**header["metadata"])
+    except (TypeError, ValueError) as exc:
+        raise RtrcFormatError(f"{path}: invalid rtrc metadata ({exc})") from exc
+    try:
+        store = ColumnarStore(
+            arrays["times"],
+            arrays["snapshot_offsets"],
+            arrays["user_ids"],
+            arrays["xyz"],
+            UserInterner(header["users"]),
+        )
+    except (TypeError, ValueError) as exc:
+        raise RtrcFormatError(
+            f"{path}: rtrc sections do not form a valid trace ({exc})"
+        ) from exc
     return store, metadata
 
 
@@ -241,14 +301,27 @@ def read_store_rtrc(
     if not mmap:
         return _read_buffer(source.read_bytes(), source)
 
+    file_size = source.stat().st_size
     with open(source, "rb") as handle:
         preamble = handle.read(_PREAMBLE.size)
         header_length, data_start = _parse_preamble(preamble, source)
+        if _PREAMBLE.size + header_length > file_size:
+            raise RtrcFormatError(
+                f"{source}: truncated rtrc file — header claims "
+                f"{header_length} bytes, file has {file_size}"
+            )
         header = _parse_header(handle.read(header_length), source)
 
     def load_section(spec: dict, dtype: np.dtype, shape: tuple[int, ...]) -> np.ndarray:
-        if int(spec["nbytes"]) == 0:
+        nbytes = int(spec["nbytes"])
+        if nbytes == 0:
             return np.empty(shape, dtype=dtype)
+        end = data_start + int(spec["offset"]) + nbytes
+        if end > file_size:
+            raise RtrcFormatError(
+                f"{source}: truncated rtrc file — section needs bytes up to "
+                f"{end}, file has {file_size}"
+            )
         return np.memmap(
             source,
             dtype=dtype,
@@ -257,11 +330,16 @@ def read_store_rtrc(
             shape=shape,
         )
 
-    return _store_from_sections(header, load_section)
+    return _store_from_sections(header, load_section, source)
 
 
 def _read_buffer(raw: bytes, path: Path) -> tuple[ColumnarStore, TraceMetadata]:
     header_length, data_start = _parse_preamble(raw, path)
+    if _PREAMBLE.size + header_length > len(raw):
+        raise RtrcFormatError(
+            f"{path}: truncated rtrc file — header claims {header_length} "
+            f"bytes, buffer has {len(raw)}"
+        )
     header = _parse_header(raw[_PREAMBLE.size:_PREAMBLE.size + header_length], path)
 
     def load_section(spec: dict, dtype: np.dtype, shape: tuple[int, ...]) -> np.ndarray:
@@ -270,10 +348,13 @@ def _read_buffer(raw: bytes, path: Path) -> tuple[ColumnarStore, TraceMetadata]:
             return np.empty(shape, dtype=dtype)
         start = data_start + int(spec["offset"])
         if start + nbytes > len(raw):
-            raise RtrcFormatError(f"{path}: section {spec!r} exceeds the file")
+            raise RtrcFormatError(
+                f"{path}: truncated rtrc file — section needs bytes up to "
+                f"{start + nbytes}, buffer has {len(raw)}"
+            )
         return np.frombuffer(raw, dtype=dtype, count=int(np.prod(shape)), offset=start).reshape(shape)
 
-    return _store_from_sections(header, load_section)
+    return _store_from_sections(header, load_section, path)
 
 
 def read_trace_rtrc(path: str | Path, mmap: bool = True) -> Trace:

@@ -168,9 +168,13 @@ class TestTargetedShapes:
     @given(traces())
     def test_empty_snapshots_survive_all_formats(self, base):
         # Splice guaranteed-empty snapshots around whatever was drawn.
+        # Stay on the millisecond grid the module docstring requires:
+        # naive `last + 0.5` can land an ulp off the grid (e.g.
+        # 0.059 + 0.5 == 0.5589999999999999), which the CSV %.3f
+        # round trip legitimately snaps back to 0.559.
         cols = base.columns
-        last = base.end_time if len(base) else 0.0
-        extra = np.array([last + 0.5, last + 1.0])
+        last_millis = round((base.end_time if len(base) else 0.0) * 1000.0)
+        extra = np.array([last_millis + 500, last_millis + 1000]) / 1000.0
         store = ColumnarStore(
             np.concatenate([cols.times, extra]),
             np.concatenate(

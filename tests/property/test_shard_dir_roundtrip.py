@@ -1,0 +1,165 @@
+"""Property tests: per-shard ``.rtrc`` directories round-trip exactly.
+
+For any trace and any shard count,
+``split → to_rtrc_dir → read_rtrc_dir (memmap) → concat_shards``
+must reproduce the original trace bit-for-bit — snapshot times,
+CSR offsets, interned id columns, coordinates, user table, and
+metadata.  Covers the shapes that historically go wrong: empty shards
+(k beyond the snapshot count), fully empty traces, single-snapshot
+traces, and gzipped shard files.
+"""
+
+import tempfile
+from pathlib import Path
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.trace import (
+    Trace,
+    TraceFormatError,
+    TraceMetadata,
+    concat_shards,
+    read_rtrc_dir,
+    to_rtrc_dir,
+)
+from repro.trace.columnar import ColumnarBuilder
+from repro.trace.sharding import MANIFEST_NAME
+
+_names = st.text(
+    alphabet=st.sampled_from(list("abcdefgh0123456789_-é")),
+    min_size=1,
+    max_size=8,
+)
+
+
+def _milli(lo: int, hi: int):
+    return st.integers(min_value=lo, max_value=hi).map(lambda k: k / 1000.0)
+
+
+@st.composite
+def traces(draw):
+    user_pool = draw(st.lists(_names, min_size=1, max_size=5, unique=True))
+    snapshot_count = draw(st.integers(min_value=0, max_value=9))
+    time_millis = draw(
+        st.lists(
+            st.integers(min_value=0, max_value=10_000_000),
+            min_size=snapshot_count,
+            max_size=snapshot_count,
+            unique=True,
+        )
+    )
+    builder = ColumnarBuilder()
+    for millis in sorted(time_millis):
+        present = draw(
+            st.lists(st.sampled_from(user_pool), max_size=len(user_pool), unique=True)
+        )
+        coords = np.array(
+            [
+                [draw(_milli(0, 256_000)), draw(_milli(0, 256_000)), 0.0]
+                for _ in present
+            ],
+            dtype=np.float64,
+        ).reshape(len(present), 3)
+        builder.append_snapshot(millis / 1000.0, present, coords)
+    metadata = TraceMetadata(
+        land_name=draw(_names), tau=draw(_milli(1, 60_000)), source="synthetic"
+    )
+    return Trace.from_columns(builder.build(), metadata)
+
+
+def assert_round_trips(trace: Trace, k: int, gzip_shards: bool = False) -> None:
+    with tempfile.TemporaryDirectory() as tmp:
+        paths = to_rtrc_dir(trace, k, tmp, gzip_shards=gzip_shards)
+        assert len(paths) == k
+        assert (Path(tmp) / MANIFEST_NAME).exists()
+        shards = read_rtrc_dir(tmp)
+        assert len(shards) == k
+        # Shard files written from one parent share one loaded interner.
+        assert all(s.columns.users is shards[0].columns.users for s in shards)
+        back = concat_shards(shards)
+    a, b = trace.columns, back.columns
+    assert np.array_equal(a.times, b.times)
+    assert np.array_equal(a.snapshot_offsets, b.snapshot_offsets)
+    assert np.array_equal(a.user_ids, b.user_ids)
+    assert np.array_equal(a.xyz, b.xyz)
+    assert a.users.names == b.users.names
+    assert back.metadata == trace.metadata
+
+
+class TestRoundTrip:
+    @settings(max_examples=40, deadline=None)
+    @given(trace=traces(), k=st.integers(min_value=1, max_value=9))
+    def test_split_write_memmap_concat(self, trace, k):
+        assert_round_trips(trace, k)
+
+    @settings(max_examples=12, deadline=None)
+    @given(trace=traces(), k=st.integers(min_value=1, max_value=5))
+    def test_gzip_shards(self, trace, k):
+        assert_round_trips(trace, k, gzip_shards=True)
+
+    @settings(max_examples=12, deadline=None)
+    @given(trace=traces())
+    def test_oversharded_empty_tails(self, trace):
+        # k far beyond the snapshot count: most shard files are empty.
+        assert_round_trips(trace, len(trace) + 4)
+
+
+class TestTargetedShapes:
+    def test_single_snapshot_trace(self):
+        builder = ColumnarBuilder()
+        builder.append_snapshot(5.0, ["only"], [[1.0, 2.0, 0.0]])
+        trace = Trace.from_columns(builder.build(), TraceMetadata(tau=10.0))
+        assert_round_trips(trace, 3)
+
+    def test_empty_trace(self):
+        builder = ColumnarBuilder()
+        trace = Trace.from_columns(builder.build(), TraceMetadata(tau=10.0))
+        assert_round_trips(trace, 2)
+
+    def test_empty_snapshots_inside_shards(self):
+        builder = ColumnarBuilder()
+        builder.append_snapshot(0.0, [], np.empty((0, 3)))
+        builder.append_snapshot(10.0, ["u"], [[1.0, 1.0, 0.0]])
+        builder.append_snapshot(20.0, [], np.empty((0, 3)))
+        trace = Trace.from_columns(builder.build(), TraceMetadata(tau=10.0))
+        assert_round_trips(trace, 2)
+
+
+class TestDirectoryHandling:
+    def test_missing_manifest_falls_back_to_name_order(self, tmp_path):
+        builder = ColumnarBuilder()
+        for step in range(6):
+            builder.append_snapshot(step * 10.0, ["u"], [[float(step), 0.0, 0.0]])
+        trace = Trace.from_columns(builder.build(), TraceMetadata(tau=10.0))
+        to_rtrc_dir(trace, 3, tmp_path)
+        (tmp_path / MANIFEST_NAME).unlink()
+        back = concat_shards(read_rtrc_dir(tmp_path))
+        assert np.array_equal(back.columns.times, trace.columns.times)
+
+    def test_empty_directory_rejected(self, tmp_path):
+        with pytest.raises(TraceFormatError, match="no shard files"):
+            read_rtrc_dir(tmp_path)
+
+    def test_corrupt_manifest_rejected(self, tmp_path):
+        builder = ColumnarBuilder()
+        builder.append_snapshot(0.0, ["u"], [[0.0, 0.0, 0.0]])
+        trace = Trace.from_columns(builder.build(), TraceMetadata(tau=10.0))
+        to_rtrc_dir(trace, 1, tmp_path)
+        (tmp_path / MANIFEST_NAME).write_text("{not json", encoding="utf-8")
+        with pytest.raises(TraceFormatError, match="manifest"):
+            read_rtrc_dir(tmp_path)
+
+    def test_missing_shard_file_rejected(self, tmp_path):
+        builder = ColumnarBuilder()
+        for step in range(4):
+            builder.append_snapshot(step * 10.0, ["u"], [[float(step), 0.0, 0.0]])
+        trace = Trace.from_columns(builder.build(), TraceMetadata(tau=10.0))
+        to_rtrc_dir(trace, 2, tmp_path)
+        (tmp_path / "shard-00001.rtrc").unlink()
+        # A manifest naming an absent file is a corrupt shard dir, not
+        # a bare FileNotFoundError.
+        with pytest.raises(TraceFormatError, match="shard-00001"):
+            read_rtrc_dir(tmp_path)

@@ -1,0 +1,167 @@
+"""Out-of-core windowed analysis must equal the whole-trace answer.
+
+:class:`~repro.core.windowed.WindowedAnalyzer` iterates fixed-width
+time windows over a memmapped ``.rtrc`` store; whatever the window
+width — narrower than a sampling interval, spanning the whole trace,
+or cutting through contacts and sessions — the merged results must be
+bit-for-bit what the in-memory extractors produce.
+"""
+
+import numpy as np
+import pytest
+
+from repro.core import WindowedAnalyzer, extract_contacts, losgraph
+from repro.core.spatial import zone_occupation
+from repro.trace import (
+    Trace,
+    TraceMetadata,
+    extract_sessions,
+    write_trace_rtrc,
+)
+from repro.trace.columnar import ColumnarBuilder, empty_store
+from tests.unit.core.test_sharded_equivalence import churn_trace
+
+WINDOW_WIDTHS = (5.0, 25.0, 95.0, 1e6)
+
+
+@pytest.fixture(scope="module")
+def trace():
+    return churn_trace(23)
+
+
+@pytest.fixture(scope="module")
+def rtrc_path(trace, tmp_path_factory):
+    path = tmp_path_factory.mktemp("windowed") / "trace.rtrc"
+    write_trace_rtrc(trace, path)
+    return path
+
+
+@pytest.fixture(
+    scope="module",
+    params=WINDOW_WIDTHS,
+    ids=[f"w{w:g}" for w in WINDOW_WIDTHS],
+)
+def windowed(request, rtrc_path):
+    return WindowedAnalyzer(rtrc_path, request.param)
+
+
+class TestWindowing:
+    def test_windows_cover_every_snapshot_in_order(self, windowed, trace):
+        stitched = np.concatenate(
+            [w.columns.times for w in windowed.iter_windows()]
+        )
+        assert np.array_equal(stitched, trace.columns.times)
+
+    def test_windows_are_memmap_views(self, windowed):
+        # Out-of-core means no column is copied out of the mapped file.
+        for window in windowed.iter_windows():
+            backing = window.columns.xyz
+            while not isinstance(backing, np.memmap) and backing.base is not None:
+                backing = backing.base
+            assert isinstance(backing, np.memmap)
+            break
+
+    def test_single_window_when_width_spans_trace(self, rtrc_path):
+        analyzer = WindowedAnalyzer(rtrc_path, 1e6)
+        assert analyzer.window_count == 1
+
+    def test_window_bounds_respect_width(self, rtrc_path, trace):
+        analyzer = WindowedAnalyzer(rtrc_path, 25.0)
+        for window in analyzer.iter_windows():
+            assert window.end_time - window.start_time < 25.0
+
+    def test_invalid_width_rejected(self, rtrc_path):
+        with pytest.raises(ValueError, match="window width"):
+            WindowedAnalyzer(rtrc_path, 0.0)
+
+    def test_empty_store_rejected(self, tmp_path):
+        path = write_trace_rtrc(
+            Trace.from_columns(empty_store()), tmp_path / "empty.rtrc"
+        )
+        with pytest.raises(ValueError, match="empty"):
+            WindowedAnalyzer(path, 10.0)
+
+
+class TestLifecycle:
+    def test_close_keeps_caches_but_blocks_new_analyses(self, rtrc_path, trace):
+        with WindowedAnalyzer(rtrc_path, 25.0) as w:
+            contacts = w.contacts(15.0)
+        # Cached results survive close; a fresh analysis does not.
+        assert w.contacts(15.0) == contacts == extract_contacts(trace, 15.0)
+        with pytest.raises(ValueError, match="closed"):
+            w.sessions()
+        with pytest.raises(ValueError, match="closed"):
+            w.snapshot_count
+
+
+class TestEquivalence:
+    @pytest.mark.parametrize("r", (6.0, 15.0, 80.0))
+    def test_contacts(self, windowed, trace, r):
+        assert windowed.contacts(r) == extract_contacts(trace, r)
+
+    def test_contacts_multirange(self, windowed, trace):
+        result = windowed.contacts_multirange((6.0, 80.0))
+        for r, contacts in result.items():
+            assert contacts == extract_contacts(trace, r)
+
+    def test_sessions(self, windowed, trace):
+        assert windowed.sessions() == extract_sessions(trace)
+
+    def test_sessions_custom_gap(self, windowed, trace):
+        assert windowed.sessions(45.0) == extract_sessions(trace, 45.0)
+
+    @pytest.mark.parametrize("every", (1, 3))
+    def test_zone_occupation(self, windowed, trace, every):
+        expected = zone_occupation(trace, 20.0, every)
+        assert np.array_equal(windowed.zone_occupation(20.0, every), expected)
+
+    @pytest.mark.parametrize("every", (1, 2))
+    def test_degrees(self, windowed, trace, every):
+        expected = np.asarray(
+            losgraph.degree_samples(trace, 15.0, every), dtype=np.int64
+        )
+        assert np.array_equal(windowed.degree_array(15.0, every), expected)
+
+    def test_diameters_and_clustering(self, windowed, trace):
+        assert np.array_equal(
+            windowed.diameter_array(15.0, 2),
+            np.asarray(losgraph.diameter_series(trace, 15.0, 2), dtype=np.int64),
+        )
+        assert np.array_equal(
+            windowed.clustering_array(15.0, 2),
+            np.asarray(losgraph.clustering_series(trace, 15.0, 2), dtype=np.float64),
+        )
+
+
+class TestSparseGaps:
+    """A trace with long silent stretches: some windows hold nothing."""
+
+    @pytest.fixture(scope="class")
+    def gappy(self, tmp_path_factory):
+        builder = ColumnarBuilder()
+        for t in (0.0, 10.0, 20.0, 500.0, 510.0, 1200.0):
+            builder.append_snapshot(t, ["a", "b"], [[0, 0, 0], [3, 0, 0]])
+        trace = Trace.from_columns(
+            builder.build(), TraceMetadata(land_name="gappy", tau=10.0)
+        )
+        path = tmp_path_factory.mktemp("gappy") / "gappy.rtrc"
+        write_trace_rtrc(trace, path)
+        return trace, path
+
+    def test_empty_windows_are_skipped_not_fatal(self, gappy):
+        trace, path = gappy
+        analyzer = WindowedAnalyzer(path, 50.0)
+        # 0..1200 s in 50 s windows: most hold no snapshot.
+        assert analyzer.window_count == 25
+        lens = [len(w) for w in analyzer.iter_windows()]
+        assert sum(lens) == len(trace)
+        assert all(n > 0 for n in lens)
+
+    def test_gappy_results_match(self, gappy):
+        trace, path = gappy
+        analyzer = WindowedAnalyzer(path, 50.0)
+        assert analyzer.contacts(10.0) == extract_contacts(trace, 10.0)
+        assert analyzer.sessions() == extract_sessions(trace)
+        assert np.array_equal(
+            analyzer.zone_occupation(20.0, 2), zone_occupation(trace, 20.0, 2)
+        )

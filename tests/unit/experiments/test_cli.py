@@ -35,7 +35,8 @@ class TestParser:
             build_parser().parse_args(["analyze", "--help"])
         help_text = capsys.readouterr().out
         assert "--shards" in help_text
-        assert "fan contact/session/zone extraction" in help_text
+        assert "fan contact/session/zone/graph extraction" in help_text
+        assert "--backend" in help_text
 
     def test_convert_positionals(self):
         args = build_parser().parse_args(["convert", "in.csv.gz", "out.rtrc"])

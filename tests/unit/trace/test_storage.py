@@ -14,7 +14,15 @@ from repro.trace import (
     write_trace_rtrc,
 )
 from repro.trace.columnar import ColumnarBuilder, empty_store
-from repro.trace.storage import ALIGNMENT, MAGIC, RtrcFormatError
+from repro.trace.io import read_trace
+from repro.trace.storage import (
+    ALIGNMENT,
+    MAGIC,
+    RtrcFormatError,
+    TraceFormatError,
+    _align,
+    _PREAMBLE,
+)
 
 
 def _assert_stores_equal(a, b):
@@ -158,3 +166,122 @@ class TestErrors:
         path.write_bytes(bytes(raw))
         with pytest.raises(RtrcFormatError):
             read_trace_rtrc(path)
+
+
+def _rewrite_header(path, mutate):
+    """Re-serialize a valid rtrc file with a mutated JSON header.
+
+    The data region is carried over untouched, so these tests corrupt
+    exactly one thing: what the header *claims* about the data.
+    """
+    import json
+    import struct
+
+    raw = path.read_bytes()
+    magic, version, reserved, hlen = _PREAMBLE.unpack_from(raw)
+    data_start = _align(_PREAMBLE.size + hlen)
+    header = json.loads(raw[_PREAMBLE.size:_PREAMBLE.size + hlen])
+    result = mutate(header)
+    header = header if result is None else result
+    payload = json.dumps(header).encode("utf-8")
+    new_start = _align(_PREAMBLE.size + len(payload))
+    out = _PREAMBLE.pack(magic, version, reserved, len(payload))
+    out += payload
+    out += b"\0" * (new_start - _PREAMBLE.size - len(payload))
+    out += raw[data_start:]
+    path.write_bytes(out)
+
+
+class TestCorruption:
+    """Broken files must fail with a clear error, never a numpy traceback."""
+
+    @pytest.fixture
+    def valid(self, tmp_path):
+        trace = random_walk_trace(6, 8, np.random.default_rng(11))
+        return write_trace_rtrc(trace, tmp_path / "v.rtrc")
+
+    @pytest.mark.parametrize("mmap", (True, False))
+    def test_truncated_data_region(self, valid, mmap):
+        import os
+
+        raw = valid.read_bytes()
+        _, _, _, hlen = _PREAMBLE.unpack_from(raw)
+        data_start = _align(_PREAMBLE.size + hlen)
+        os.truncate(valid, data_start + 16)  # cut into the times section
+        with pytest.raises(RtrcFormatError, match="truncated"):
+            read_trace_rtrc(valid, mmap=mmap)
+
+    @pytest.mark.parametrize("mmap", (True, False))
+    def test_header_longer_than_file(self, valid, mmap):
+        import os
+
+        os.truncate(valid, _PREAMBLE.size + 4)
+        with pytest.raises(RtrcFormatError, match="truncated"):
+            read_trace_rtrc(valid, mmap=mmap)
+
+    @pytest.mark.parametrize("mmap", (True, False))
+    def test_section_nbytes_mismatch(self, valid, mmap):
+        def lie(header):
+            header["sections"]["xyz"]["nbytes"] += 8
+
+        _rewrite_header(valid, lie)
+        with pytest.raises(RtrcFormatError, match="length mismatch"):
+            read_trace_rtrc(valid, mmap=mmap)
+
+    @pytest.mark.parametrize("mmap", (True, False))
+    def test_section_shape_lie(self, valid, mmap):
+        # Previously this surfaced as a numpy reshape/memmap traceback.
+        def lie(header):
+            header["sections"]["xyz"]["shape"][0] += 3
+
+        _rewrite_header(valid, lie)
+        with pytest.raises(RtrcFormatError, match="length mismatch"):
+            read_trace_rtrc(valid, mmap=mmap)
+
+    def test_missing_section_entry(self, valid):
+        def drop(header):
+            del header["sections"]["times"]
+
+        _rewrite_header(valid, drop)
+        with pytest.raises(RtrcFormatError, match="misses sections"):
+            read_trace_rtrc(valid)
+
+    def test_invalid_section_offset(self, valid):
+        def skew(header):
+            header["sections"]["user_ids"]["offset"] = 13  # unaligned
+
+        _rewrite_header(valid, skew)
+        with pytest.raises(RtrcFormatError, match="invalid offset"):
+            read_trace_rtrc(valid)
+
+    def test_non_object_header(self, valid):
+        _rewrite_header(valid, lambda header: ["not", "an", "object"])
+        with pytest.raises(RtrcFormatError, match="not a JSON object"):
+            read_trace_rtrc(valid)
+
+    def test_bad_metadata_fields(self, valid):
+        def poison(header):
+            header["metadata"]["tau"] = -1.0
+
+        _rewrite_header(valid, poison)
+        with pytest.raises(RtrcFormatError, match="metadata"):
+            read_trace_rtrc(valid)
+
+    def test_inconsistent_columns_wrapped(self, valid):
+        # Sections that load fine but do not form a valid store (the
+        # offsets column no longer spans the observation rows).
+        def shrink(header):
+            spec = header["sections"]["snapshot_offsets"]
+            spec["shape"] = [spec["shape"][0] - 2]
+            spec["nbytes"] -= 16
+
+        _rewrite_header(valid, shrink)
+        with pytest.raises(RtrcFormatError, match="valid trace"):
+            read_trace_rtrc(valid)
+
+    def test_errors_share_the_trace_format_base(self, valid):
+        assert issubclass(RtrcFormatError, TraceFormatError)
+        assert issubclass(TraceFormatError, ValueError)
+        valid.write_bytes(b"garbage that is definitely not rtrc")
+        with pytest.raises(TraceFormatError):
+            read_trace(valid)
