@@ -1,37 +1,52 @@
 """Command-line interface: ``slmob`` / ``python -m repro``.
 
-Six subcommands cover the workflow end to end::
+Seven subcommands cover the workflow end to end (full reference with
+examples: ``docs/cli.md``)::
 
     slmob simulate --land dance --hours 2 --out dance.rtrc
+    slmob crawl --land dance --hours 8 --out live.rtrc --follow
     slmob convert dance.csv.gz dance.rtrc
     slmob analyze dance.rtrc --shards 4 --backend process
+    slmob analyze live.rtrc --follow
     slmob shard-export dance.rtrc shards/ --shards 8
     slmob validate dance.rtrc
     slmob experiments --hours 3          # paper-vs-measured report
     slmob experiments --full --out EXPERIMENTS.md
 
 ``simulate`` runs a calibrated land under a monitor and writes the
-trace; ``convert`` transcodes between the CSV / JSONL / binary
-``.rtrc`` formats (suffix decides); ``analyze`` recomputes every §3
-metric from a trace file — with ``--shards K`` the heavy extractions
-fan out over K time shards, on threads or (``--backend process``)
-spawned workers that memmap-load per-shard ``.rtrc`` files;
-``shard-export`` materializes those per-shard files (plus a manifest)
-for external workers; ``experiments`` regenerates the paper's tables
-and figures.
+trace in one shot; ``crawl`` runs the same measurement *streaming* —
+snapshots append to an ``.rtrc`` store round by round
+(:class:`~repro.trace.RtrcAppender`) and ``--follow`` analyzes the
+growing store incrementally; ``convert`` transcodes between the CSV /
+JSONL / binary ``.rtrc`` formats (suffix decides); ``analyze``
+recomputes every §3 metric from a trace file — with ``--shards K`` the
+heavy extractions fan out over K time shards, on threads or
+(``--backend process``) spawned workers that memmap-load per-shard
+``.rtrc`` files, and with ``--follow`` it tails a store another
+process is appending to; ``shard-export`` materializes per-shard files
+(plus a manifest) for external workers; ``experiments`` regenerates
+the paper's tables and figures.
 """
 
 from __future__ import annotations
 
 import argparse
 import sys
+import time
 from pathlib import Path
 
-from repro.core import BLUETOOTH_RANGE, WIFI_RANGE, TraceAnalyzer
+from repro.core import BLUETOOTH_RANGE, WIFI_RANGE, LiveAnalyzer, TraceAnalyzer
 from repro.core.report import log_grid, render_ccdf_table, render_summary_table
 from repro.lands import paper_presets
-from repro.monitors import Crawler, SensorNetwork
-from repro.trace import read_trace, validate_trace, write_trace
+from repro.monitors import Crawler, SensorNetwork, stream_monitors
+from repro.trace import (
+    RtrcAppender,
+    TraceFormatError,
+    read_trace,
+    trace_format,
+    validate_trace,
+    write_trace,
+)
 
 _LAND_KEYS = {
     "apfel": "Apfel Land",
@@ -40,12 +55,18 @@ _LAND_KEYS = {
 }
 
 
-def _cmd_simulate(args: argparse.Namespace) -> int:
+def _build_world(args: argparse.Namespace):
+    """Land preset + warmed-up world shared by ``simulate`` and ``crawl``."""
     land_name = _LAND_KEYS[args.land]
     preset = paper_presets()[land_name]
     world = preset.build(seed=args.seed, start_time=args.start_hour * 3600.0)
     if args.spinup > 0:
         world.run_until(world.now + args.spinup)
+    return land_name, world
+
+
+def _cmd_simulate(args: argparse.Namespace) -> int:
+    land_name, world = _build_world(args)
     if args.monitor == "crawler":
         monitor = Crawler(tau=args.tau, mimic=not args.naive)
     else:
@@ -63,6 +84,89 @@ def _cmd_simulate(args: argparse.Namespace) -> int:
         f"{len(trace.unique_users())} unique users",
         file=sys.stderr,
     )
+    return 0
+
+
+def _live_status(live: LiveAnalyzer, ranges: list[float], now: float | None) -> str:
+    """One incremental status line for the crawl / follow loops."""
+    clock = f"t={now:.0f}s " if now is not None else ""
+    parts = [
+        f"{clock}snapshots={live.snapshot_count} "
+        f"observations={live.observation_count}"
+    ]
+    for r in ranges:
+        parts.append(f"contacts(r={r:g})={len(live.contacts(r))}")
+    parts.append(f"sessions={len(live.sessions())}")
+    return " ".join(parts)
+
+
+def _cmd_crawl(args: argparse.Namespace) -> int:
+    out = Path(args.out)
+    if trace_format(out) != "rtrc" or out.suffix == ".gz":
+        print(
+            f"crawl streams to an appendable plain .rtrc store; got {out}",
+            file=sys.stderr,
+        )
+        return 2
+    land_name, world = _build_world(args)
+    ranges = args.range or [BLUETOOTH_RANGE]
+    print(
+        f"crawling {land_name!r} for {args.hours:.2f} h "
+        f"(tau={args.tau:g}s, seed={args.seed}, "
+        f"round={args.round_minutes:g} min, streaming to {out})...",
+        file=sys.stderr,
+    )
+    with RtrcAppender(out) as appender:
+        crawler = Crawler(tau=args.tau, mimic=not args.naive, sink=appender)
+        live = LiveAnalyzer(out) if args.follow else None
+        try:
+            rounds = stream_monitors(
+                world, [crawler], args.hours * 3600.0, args.round_minutes * 60.0
+            )
+            for now in rounds:
+                # The commit is the durability point: everything this
+                # round observed is now visible to concurrent readers.
+                appender.commit()
+                if live is not None:
+                    live.refresh()
+                    print(_live_status(live, ranges, now), file=sys.stderr)
+                else:
+                    print(
+                        f"t={now:.0f}s snapshots={appender.snapshot_count} "
+                        f"users={appender.user_count} "
+                        f"observations={appender.observation_count}",
+                        file=sys.stderr,
+                    )
+        finally:
+            if live is not None:
+                live.close()
+    print(
+        f"wrote {out}: {appender.snapshot_count} snapshots, "
+        f"{appender.user_count} unique users",
+        file=sys.stderr,
+    )
+    return 0
+
+
+def _follow_analyze(args: argparse.Namespace) -> int:
+    """Tail a growing store: report after every observed commit."""
+    ranges = args.range or [BLUETOOTH_RANGE, WIFI_RANGE]
+    idle = 0
+    with _open_live(args.trace) as live:
+        if live.snapshot_count:
+            print(_live_status(live, ranges, None))
+        while idle < args.idle_rounds:
+            time.sleep(args.poll)
+            if _refresh_live(live):
+                idle = 0
+                print(_live_status(live, ranges, None))
+            else:
+                idle += 1
+        print(
+            f"no growth after {args.idle_rounds} polls of {args.poll:g}s; "
+            f"final state: {live.snapshot_count} snapshots, "
+            f"{live.part_count} append rounds observed"
+        )
     return 0
 
 
@@ -91,7 +195,36 @@ def _cmd_shard_export(args: argparse.Namespace) -> int:
     return 0
 
 
+def _open_live(path) -> LiveAnalyzer:
+    """Open a LiveAnalyzer, absorbing one racing header rewrite.
+
+    The producer commits by rewriting the store header in place; a
+    read that lands mid-rewrite can parse a torn header.  One short
+    retry separates that transient from real corruption.
+    """
+    try:
+        return LiveAnalyzer(path)
+    except TraceFormatError:
+        time.sleep(0.05)
+        return LiveAnalyzer(path)
+
+
+def _refresh_live(live: LiveAnalyzer) -> int:
+    """``live.refresh()`` with the same torn-header retry."""
+    try:
+        return live.refresh()
+    except TraceFormatError:
+        time.sleep(0.05)
+        return live.refresh()
+
+
 def _cmd_analyze(args: argparse.Namespace) -> int:
+    if args.follow:
+        path = Path(args.trace)
+        if trace_format(path) != "rtrc" or path.suffix == ".gz":
+            print("--follow needs a (plain) .rtrc store", file=sys.stderr)
+            return 2
+        return _follow_analyze(args)
     trace = read_trace(Path(args.trace))
     with TraceAnalyzer(trace, shards=args.shards, backend=args.backend) as analyzer:
         summary = analyzer.summary()
@@ -201,19 +334,42 @@ def build_parser() -> argparse.ArgumentParser:
     )
     sub = parser.add_subparsers(dest="command", required=True)
 
+    def add_world_args(parser: argparse.ArgumentParser) -> None:
+        parser.add_argument("--land", choices=sorted(_LAND_KEYS), default="dance")
+        parser.add_argument("--hours", type=float, default=1.0)
+        parser.add_argument("--tau", type=float, default=10.0)
+        parser.add_argument("--seed", type=int, default=2008)
+        parser.add_argument("--start-hour", type=float, default=12.0)
+        parser.add_argument("--spinup", type=float, default=1800.0)
+        parser.add_argument("--naive", action="store_true",
+                            help="use the perturbing (non-mimicking) crawler")
+
     simulate = sub.add_parser("simulate", help="simulate a land and write a trace")
-    simulate.add_argument("--land", choices=sorted(_LAND_KEYS), default="dance")
-    simulate.add_argument("--hours", type=float, default=1.0)
-    simulate.add_argument("--tau", type=float, default=10.0)
-    simulate.add_argument("--seed", type=int, default=2008)
-    simulate.add_argument("--start-hour", type=float, default=12.0)
-    simulate.add_argument("--spinup", type=float, default=1800.0)
+    add_world_args(simulate)
     simulate.add_argument("--monitor", choices=["crawler", "sensors"], default="crawler")
-    simulate.add_argument("--naive", action="store_true",
-                          help="use the perturbing (non-mimicking) crawler")
     simulate.add_argument("--out", required=True,
                           help="output .csv[.gz], .jsonl[.gz] or .rtrc[.gz]")
     simulate.set_defaults(func=_cmd_simulate)
+
+    crawl = sub.add_parser(
+        "crawl",
+        help="stream a live crawl into an appendable .rtrc store, "
+             "committing round by round",
+    )
+    add_world_args(crawl)
+    crawl.add_argument("--out", required=True,
+                       help="appendable output store (plain .rtrc; created "
+                            "or extended)")
+    crawl.add_argument("--round-minutes", type=float, default=10.0,
+                       help="simulated minutes per append round; each round "
+                            "ends in a commit (the crash-durability point)")
+    crawl.add_argument("--follow", action="store_true",
+                       help="incrementally analyze the growing store after "
+                            "each commit and print a status line")
+    crawl.add_argument("--range", type=float, action="append",
+                       help="communication range(s) for --follow status "
+                            "lines (repeatable; default bluetooth 10 m)")
+    crawl.set_defaults(func=_cmd_crawl)
 
     convert = sub.add_parser(
         "convert", help="transcode a trace between csv/jsonl/rtrc (suffix decides)"
@@ -236,6 +392,15 @@ def build_parser() -> argparse.ArgumentParser:
                          help="shard worker backend: 'thread' shares memory "
                               "but serializes on the GIL; 'process' memmap-"
                               "loads per-shard .rtrc files in spawned workers")
+    analyze.add_argument("--follow", action="store_true",
+                         help="tail a growing .rtrc store: re-memmap after "
+                              "each commit and extend contact/session "
+                              "results incrementally (ignores --shards)")
+    analyze.add_argument("--poll", type=float, default=2.0,
+                         help="seconds between growth checks with --follow")
+    analyze.add_argument("--idle-rounds", type=int, default=3,
+                         help="stop --follow after this many growth-free "
+                              "polls (0 = report once and exit)")
     analyze.set_defaults(func=_cmd_analyze)
 
     shard_export = sub.add_parser(

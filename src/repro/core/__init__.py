@@ -37,6 +37,7 @@ from repro.core.sharded import (
     merge_shard_contacts,
     merge_shard_sessions,
 )
+from repro.core.live import LiveAnalyzer
 from repro.core.windowed import WindowedAnalyzer
 from repro.core.losgraph import (
     clustering_series,
@@ -62,6 +63,7 @@ __all__ = [
     "extract_contacts",
     "extract_contacts_multirange",
     "extract_contacts_reference",
+    "LiveAnalyzer",
     "ShardAnalysisError",
     "ShardedAnalyzer",
     "WindowedAnalyzer",

@@ -46,16 +46,51 @@ class TraceSummary:
 class TraceAnalyzer:
     """Compute and cache every §3 metric of one trace.
 
-    With ``shards > 1`` the expensive whole-trace extractions
-    (contacts, sessions, zone occupation, losgraph degrees, diameters,
-    clustering) fan out over contiguous time shards via
-    :class:`~repro.core.sharded.ShardedAnalyzer`; results are merged
-    to be exactly equal to the unsharded path, so every downstream
-    metric is unchanged.  ``backend`` selects the shard workers:
-    ``"thread"`` (shared memory, GIL-bound state machines) or
-    ``"process"`` (per-shard ``.rtrc`` files memmap-loaded by spawned
-    workers — the scalable path; use :meth:`close` or a ``with`` block
-    to release its pool and shard files promptly).
+    The front door of the analysis layer: construct it once per trace
+    and ask for metrics — expensive extractions (contacts per range,
+    sessions, per-snapshot sample arrays) are computed on first use
+    and cached, so rendering all of Fig. 1 + Fig. 2 touches each
+    snapshot once per range.
+
+    Parameters
+    ----------
+    trace:
+        The (non-empty) trace to analyze.  A memmap-backed trace
+        (:func:`~repro.trace.read_trace_rtrc`) works unchanged — pages
+        fault in as extractions touch them.
+    shards:
+        With ``shards > 1`` the whole-trace extractions (contacts,
+        sessions, zone occupation, losgraph degrees / diameters /
+        clustering) fan out over contiguous time shards via
+        :class:`~repro.core.sharded.ShardedAnalyzer`.  The merged
+        results are *exactly* equal to the unsharded path, so every
+        downstream metric is unchanged; pick the shard count by core
+        count, not by accuracy concerns.
+    max_workers:
+        Cap on the shard worker pool (default: one worker per
+        non-empty shard, bounded by the CPU count).
+    backend:
+        Where shard workers run.  ``"thread"`` (default) has no
+        start-up cost but the Python interval/session state machines
+        serialize on the GIL — right for small traces and
+        numpy-dominated work.  ``"process"`` materializes per-shard
+        ``.rtrc`` files and fans spawned workers that memmap-load
+        their own shard — true multi-core scaling for the GIL-bound
+        extractions, at the cost of worker spawn and a one-time shard
+        write.  Validated even when ``shards == 1`` so typos fail
+        loudly.
+
+    Lifecycle
+    ---------
+    The process backend owns a worker pool and shard files; release
+    them promptly with :meth:`close` or a ``with`` block::
+
+        with TraceAnalyzer(trace, shards=8, backend="process") as a:
+            a.contacts_multirange([10.0, 80.0])
+
+    ``close()`` is a no-op for the serial and thread paths, so it is
+    always safe to use the context-manager form.  Cached results
+    remain readable after close.
     """
 
     def __init__(

@@ -1,0 +1,205 @@
+"""Live incremental analysis over a growing ``.rtrc`` store.
+
+A streaming crawl (:class:`~repro.trace.RtrcAppender`) extends its
+store while the measurement is still running; re-running a whole-trace
+:class:`~repro.core.analyzer.TraceAnalyzer` after every commit would
+re-extract the entire past for each new minute of data.
+:class:`LiveAnalyzer` instead treats the store's growth history as a
+time partition: every :meth:`refresh` that observes new snapshots adds
+one *part* covering exactly the newly appended span, extraction runs
+only over that part (a zero-copy view of the re-memmapped store), and
+the per-part results are stitched through the same exact boundary
+merges :class:`~repro.core.sharded.ShardedAnalyzer` and
+:class:`~repro.core.windowed.WindowedAnalyzer` use.  The incremental
+answers are therefore bit-for-bit what a full recompute over the
+current prefix would produce — pinned against the serial oracle by
+``tests/unit/core/test_live.py``.
+
+The one contract the appender guarantees and this class relies on:
+the store is **append-only** — committed snapshots never change, new
+ones only arrive at the end.  A store that shrank or rewrote its past
+is rejected on refresh.
+"""
+
+from __future__ import annotations
+
+from pathlib import Path
+from typing import Sequence
+
+import numpy as np
+
+from repro.core.parallel import extract_shard_task
+from repro.core.sharded import BoundaryMergeAnalyzer
+from repro.trace import Trace, TraceMetadata, read_store_rtrc
+
+
+class LiveAnalyzer(BoundaryMergeAnalyzer):
+    """Incrementally extend analyses as an ``.rtrc`` store grows.
+
+    Parameters
+    ----------
+    path:
+        The store to follow.  It may be empty (a crawl that has not
+        committed yet): analyses over zero snapshots return empty
+        contact/session lists, and the first :meth:`refresh` that sees
+        data makes them live.
+    mmap:
+        Memory-map the store on every refresh (the default).  Pass
+        False to load copies instead — only useful on filesystems
+        without mmap support.
+
+    Usage
+    -----
+    Call :meth:`refresh` whenever the producer may have committed new
+    snapshots (it returns how many arrived), then query any of the
+    :class:`~repro.core.sharded.BoundaryMergeAnalyzer` analyses —
+    ``contacts`` / ``contacts_multirange`` / ``sessions`` /
+    ``zone_occupation`` / ``degree_array`` / ``diameter_array`` /
+    ``clustering_array``::
+
+        live = LiveAnalyzer("crawl.rtrc")
+        while crawling:
+            if live.refresh():
+                print(len(live.contacts(10.0)), "contacts so far")
+
+    Each query after a refresh extracts only the newly appended part;
+    previously computed parts are served from a per-part cache and
+    merged with the fresh tail.  Merging is cheap (linear in result
+    size) compared to extraction, so a long-running crawl pays per
+    round roughly the cost of analyzing just that round's data.
+
+    Lifecycle: :meth:`close` (or a ``with`` block) drops the memmap;
+    cached results stay readable, new analyses and refreshes raise.
+    """
+
+    def __init__(self, path: str | Path, mmap: bool = True) -> None:
+        super().__init__()
+        self.path = Path(path)
+        self._mmap = bool(mmap)
+        self._closed = False
+        self._store = None
+        self.metadata: TraceMetadata = TraceMetadata()
+        # Snapshot indices cutting the store into growth parts: part i
+        # covers snapshots [_edges[i], _edges[i + 1]).
+        self._edges: list[int] = [0]
+        # Guard against a store whose past was rewritten: the last
+        # committed snapshot time must never change between refreshes.
+        self._last_edge_time: float | None = None
+        # (kind, part_index, params) -> task result; the incremental
+        # heart — parts never change, so their results never expire.
+        self._task_cache: dict[tuple, object] = {}
+        self.refresh()
+
+    # -- lifecycle ----------------------------------------------------------
+
+    def close(self) -> None:
+        """Drop the memmapped store; cached merged results survive.
+
+        New analyses and refreshes raise afterwards — mirroring
+        :class:`~repro.core.windowed.WindowedAnalyzer`.
+        """
+        self._closed = True
+        self._store = None
+
+    def __enter__(self) -> "LiveAnalyzer":
+        return self
+
+    def __exit__(self, *exc_info: object) -> None:
+        self.close()
+
+    def _open_store(self):
+        if self._store is None:
+            raise ValueError(f"{self.path}: analyzer is closed")
+        return self._store
+
+    # -- growth tracking ----------------------------------------------------
+
+    def refresh(self) -> int:
+        """Re-memmap the store; returns how many new snapshots appeared.
+
+        New snapshots become one new part; analyses requested
+        afterwards extract only that part and re-merge.  A refresh
+        that observes no growth is free and invalidates nothing.
+        Raises ``ValueError`` if the store shrank or its committed
+        prefix changed — the append-only contract is broken and
+        incremental results would be silently wrong.
+        """
+        if self._closed:
+            raise ValueError(f"{self.path}: analyzer is closed")
+        store, metadata = read_store_rtrc(self.path, mmap=self._mmap)
+        known = self._edges[-1]
+        if store.snapshot_count < known:
+            raise ValueError(
+                f"{self.path}: store shrank from {known} to "
+                f"{store.snapshot_count} snapshots; LiveAnalyzer requires "
+                "an append-only store"
+            )
+        if known and self._last_edge_time is not None:
+            if float(store.times[known - 1]) != self._last_edge_time:
+                raise ValueError(
+                    f"{self.path}: committed snapshots changed under the "
+                    "analyzer; LiveAnalyzer requires an append-only store"
+                )
+        self._store = store
+        self.metadata = metadata
+        grown = store.snapshot_count - known
+        if grown:
+            self._edges.append(store.snapshot_count)
+            self._last_edge_time = float(store.times[store.snapshot_count - 1])
+            # Merged results are stale; the per-part task cache is not.
+            self._contacts.clear()
+            self._sessions.clear()
+            self._samples.clear()
+        return grown
+
+    @property
+    def snapshot_count(self) -> int:
+        """Snapshots in the store as of the last refresh."""
+        return self._edges[-1]
+
+    @property
+    def observation_count(self) -> int:
+        """Observation rows in the store as of the last refresh."""
+        return self._open_store().observation_count
+
+    @property
+    def part_count(self) -> int:
+        """Growth parts observed so far (one per growing refresh)."""
+        return len(self._edges) - 1
+
+    # -- BoundaryMergeAnalyzer plumbing -------------------------------------
+
+    def _map(self, kind: str, params_per_part: Sequence[tuple]) -> list[object]:
+        """One task result per part, extracting only uncached parts.
+
+        Cache keys include the part's own parameters, so strided
+        analyses (whose per-part phase depends only on the lengths of
+        *earlier* parts, which never change) hit the cache too.
+        """
+        store = self._open_store()
+        results: list[object] = []
+        for index, params in enumerate(params_per_part):
+            key = (kind, index, params)
+            if key not in self._task_cache:
+                lo, hi = self._edges[index], self._edges[index + 1]
+                part = Trace.from_columns(
+                    store.slice_snapshots(lo, hi), self.metadata
+                )
+                self._task_cache[key] = extract_shard_task(part, kind, params)
+            results.append(self._task_cache[key])
+        return results
+
+    def _strided_samples(self, kind: str, head: tuple, every: int) -> np.ndarray:
+        if not self.part_count:
+            raise ValueError(
+                f"{self.path}: store holds no snapshots yet; refresh() "
+                "after the producer commits"
+            )
+        return super()._strided_samples(kind, head, every)
+
+    def _part_first_times(self) -> list[float]:
+        store = self._open_store()
+        return [float(store.times[lo]) for lo in self._edges[:-1]]
+
+    def _part_lengths(self) -> list[int]:
+        return np.diff(np.asarray(self._edges, dtype=np.int64)).tolist()

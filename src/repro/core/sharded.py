@@ -277,17 +277,42 @@ class BoundaryMergeAnalyzer:
 class ShardedAnalyzer(BoundaryMergeAnalyzer):
     """Fan contact/session/zone/graph extraction across time shards.
 
-    ``shards`` is the number of time windows; ``max_workers`` caps the
-    pool (default: one worker per non-empty shard, bounded by the CPU
-    count); ``backend`` picks thread or process execution.  Results
-    are cached like :class:`~repro.core.analyzer.TraceAnalyzer` caches
-    its extractions.
+    Usually reached through ``TraceAnalyzer(trace, shards=k)``; use it
+    directly when only the raw merged extractions are needed.
 
+    Parameters
+    ----------
+    trace:
+        The (non-empty) trace to analyze.
+    shards:
+        Number of contiguous time windows to fan over.  Purely a
+        performance knob: merges reproduce the unsharded results
+        exactly at any count (empty shards are dropped).
+    max_workers:
+        Pool cap; defaults to one worker per non-empty shard, bounded
+        by the CPU count.
+    backend:
+        ``"thread"`` — a ``ThreadPoolExecutor`` over in-memory shard
+        views; no start-up cost, but the Python interval/session state
+        machines serialize on the GIL, so only numpy grid work
+        overlaps.  ``"process"`` — per-shard ``.rtrc`` files
+        (materialized lazily into a private temp dir) analyzed by a
+        ``spawn``-based ``ProcessPoolExecutor`` whose workers
+        memmap-load their own shard; real multi-core scaling at the
+        cost of worker spawn and the one-time shard write.
+
+    Results are cached like :class:`~repro.core.analyzer.TraceAnalyzer`
+    caches its extractions.
+
+    Lifecycle
+    ---------
     The process backend owns two lazy resources — the per-shard
     ``.rtrc`` files and a persistent worker pool (spawning workers is
     much more expensive than a thread pool, so it is reused across
-    analyses).  Both are released by :meth:`close` (also a context
-    manager) and by garbage collection.
+    analyses).  Both are released by :meth:`close` (also available as
+    a context manager) and, as a backstop, by garbage collection.
+    After ``close()`` cached results stay readable but new analyses
+    raise — nothing resurrects the pool silently.
     """
 
     def __init__(

@@ -34,12 +34,32 @@ from repro.trace import Trace, TraceMetadata, read_store_rtrc
 class WindowedAnalyzer(BoundaryMergeAnalyzer):
     """Stream fixed-width time windows of an on-disk trace.
 
-    ``window`` is the window width in seconds (trace time).  Windows
-    are aligned to the first snapshot: window ``i`` covers
-    ``[t0 + i * window, t0 + (i + 1) * window)``, and the final
-    snapshot always lands in the last window.  Analyses run one window
-    at a time and merge exactly; results are cached per parameter like
-    the other analyzers.
+    Parameters
+    ----------
+    path:
+        An ``.rtrc`` file (plain, non-empty).  It is memory-mapped,
+        so construction costs a header parse, not a load.
+    window:
+        Window width in seconds of trace time.  Windows are aligned
+        to the first snapshot: window ``i`` covers
+        ``[t0 + i * window, t0 + (i + 1) * window)``, and the final
+        snapshot always lands in the last window.  The width is a
+        *memory* knob, not an accuracy knob — any width produces the
+        exact whole-trace answers; smaller widths keep fewer pages
+        live at once.
+    mmap:
+        Pass ``False`` to load the store into memory instead of
+        mapping it (defeats the out-of-core point; useful only where
+        mmap is unavailable).
+
+    Analyses run one window at a time and merge exactly; results are
+    cached per parameter like the other analyzers.
+
+    Lifecycle
+    ---------
+    :meth:`close` (or a ``with`` block) drops the memmap so the file
+    mapping and descriptor can go away; cached results stay readable,
+    new analyses raise.
     """
 
     def __init__(

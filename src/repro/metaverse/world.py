@@ -232,6 +232,30 @@ class World:
                 positions[user_id] = obs.avatar.reported_position
         return positions
 
+    def snapshot_arrays(
+        self, include_observers: bool = False
+    ) -> tuple[list[str], np.ndarray]:
+        """User ids and an ``(n, 3)`` coordinate block, in one pass.
+
+        The columnar counterpart of :meth:`snapshot_positions` (same
+        avatars, same order): streaming monitors feed these straight
+        into :meth:`Snapshot.from_arrays
+        <repro.trace.Snapshot.from_arrays>` and on to an
+        :class:`~repro.trace.RtrcAppender`, skipping the dict-of-
+        ``Position`` round trip on the per-sample hot path.
+        """
+        avatars = list(self._online.values())
+        if include_observers:
+            avatars.extend(obs.avatar for obs in self._observers.values())
+        names = [avatar.user_id for avatar in avatars]
+        coords = np.empty((len(avatars), 3), dtype=np.float64)
+        for row, avatar in enumerate(avatars):
+            pos = avatar.reported_position
+            coords[row, 0] = pos.x
+            coords[row, 1] = pos.y
+            coords[row, 2] = pos.z
+        return names, coords
+
     # -- clock ----------------------------------------------------------------
 
     def run_until(self, t: float) -> None:

@@ -17,7 +17,12 @@ so their fidelity can be compared against ground truth
 (:class:`~repro.monitors.base.GroundTruthMonitor`).
 """
 
-from repro.monitors.base import GroundTruthMonitor, Monitor, run_monitors
+from repro.monitors.base import (
+    GroundTruthMonitor,
+    Monitor,
+    run_monitors,
+    stream_monitors,
+)
 from repro.monitors.database import TraceDatabase
 from repro.monitors.webserver import WebServer
 from repro.monitors.crawler import Crawler
@@ -27,6 +32,7 @@ __all__ = [
     "GroundTruthMonitor",
     "Monitor",
     "run_monitors",
+    "stream_monitors",
     "TraceDatabase",
     "WebServer",
     "Crawler",

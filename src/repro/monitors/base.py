@@ -44,6 +44,15 @@ class Monitor(abc.ABC):
         """Everything observed so far, as a trace."""
 
 
+def _advance(world: World, monitors: list[Monitor], end: float) -> None:
+    """Step the world to ``end``, sampling every due monitor."""
+    while world.now < end - 1e-9:
+        world.step()
+        for monitor in monitors:
+            while monitor.next_sample_time() <= world.now + 1e-9:
+                monitor.collect(world)
+
+
 def run_monitors(
     world: World,
     monitors: list[Monitor],
@@ -60,13 +69,44 @@ def run_monitors(
         raise ValueError(f"duration must be positive, got {duration}")
     for monitor in monitors:
         monitor.attach(world)
+    try:
+        _advance(world, monitors, world.now + duration)
+    finally:
+        for monitor in monitors:
+            monitor.detach(world)
+
+
+def stream_monitors(
+    world: World,
+    monitors: list[Monitor],
+    duration: float,
+    round_seconds: float,
+):
+    """Run monitors in rounds, yielding the clock between rounds.
+
+    The streaming counterpart of :func:`run_monitors`: the world
+    advances ``round_seconds`` at a time and the generator yields
+    ``world.now`` after each round, handing control back to the caller
+    — the crawl loop uses the gap to commit its
+    :class:`~repro.trace.RtrcAppender` sink and refresh a
+    :class:`~repro.core.live.LiveAnalyzer`, so the trace on disk grows
+    (and stays analyzable) while the measurement is still running.
+
+    Monitors stay attached across rounds (one continuous measurement,
+    not ``duration / round_seconds`` separate ones) and are detached
+    when the generator finishes or is closed early.
+    """
+    if duration <= 0:
+        raise ValueError(f"duration must be positive, got {duration}")
+    if round_seconds <= 0:
+        raise ValueError(f"round length must be positive, got {round_seconds}")
+    for monitor in monitors:
+        monitor.attach(world)
     end = world.now + duration
     try:
         while world.now < end - 1e-9:
-            world.step()
-            for monitor in monitors:
-                while monitor.next_sample_time() <= world.now + 1e-9:
-                    monitor.collect(world)
+            _advance(world, monitors, min(world.now + round_seconds, end))
+            yield world.now
     finally:
         for monitor in monitors:
             monitor.detach(world)
@@ -80,25 +120,36 @@ class GroundTruthMonitor(Monitor):
     its trace is the best observable approximation of the underlying
     motion.  Architecture ablations compare crawler and sensor output
     against it.
+
+    Like :class:`~repro.monitors.crawler.Crawler`, an optional
+    ``sink`` (an :class:`~repro.trace.RtrcAppender`) switches the
+    monitor to streaming mode: samples go to disk as they are taken
+    and :meth:`trace` is unavailable — follow the sink's file instead.
     """
 
-    def __init__(self, tau: float = 1.0, name: str = "ground-truth") -> None:
+    def __init__(
+        self, tau: float = 1.0, name: str = "ground-truth", sink=None
+    ) -> None:
         if tau <= 0:
             raise ValueError(f"tau must be positive, got {tau}")
         self.tau = float(tau)
         self.name = name
+        self.sink = sink
         self._db: TraceDatabase | None = None
         self._next_sample = float("inf")
 
     def attach(self, world: World) -> None:
+        metadata = TraceMetadata(
+            land_name=world.land.name,
+            width=world.land.width,
+            height=world.land.height,
+            tau=self.tau,
+            source=self.name,
+        )
+        if self.sink is not None:
+            self.sink.metadata = metadata
         self._db = TraceDatabase(
-            TraceMetadata(
-                land_name=world.land.name,
-                width=world.land.width,
-                height=world.land.height,
-                tau=self.tau,
-                source=self.name,
-            )
+            metadata, sink=self.sink, buffer=self.sink is None
         )
         self._next_sample = world.now + self.tau
 
@@ -110,7 +161,9 @@ class GroundTruthMonitor(Monitor):
 
     def collect(self, world: World) -> None:
         assert self._db is not None, "collect before attach"
-        self._db.add_snapshot(Snapshot(world.now, world.snapshot_positions()))
+        self._db.add_snapshot(
+            Snapshot.from_arrays(world.now, *world.snapshot_arrays())
+        )
         self._next_sample += self.tau
 
     def trace(self) -> Trace:

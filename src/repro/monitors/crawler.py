@@ -55,6 +55,15 @@ class Crawler(Monitor):
         change the world realization.
     name:
         The crawler avatar's user id on the land.
+    sink:
+        Optional :class:`~repro.trace.RtrcAppender` (or anything with
+        its ``append_snapshot`` shape).  When given, the crawler runs
+        in *streaming* mode: every snapshot goes to the sink as it is
+        taken, nothing is buffered in RAM, and :meth:`trace` is
+        unavailable — read the sink's growing ``.rtrc`` store instead
+        (``slmob crawl`` follows it with a
+        :class:`~repro.core.live.LiveAnalyzer`).  Committing the sink
+        is the caller's choice of durability cadence.
     """
 
     def __init__(
@@ -66,6 +75,7 @@ class Crawler(Monitor):
         chat_interval: float = 90.0,
         seed: int = 12061,
         name: str = "crawler",
+        sink=None,
     ) -> None:
         if tau <= 0:
             raise ValueError(f"tau must be positive, got {tau}")
@@ -83,6 +93,7 @@ class Crawler(Monitor):
         self.restart_delay = float(restart_delay)
         self.chat_interval = float(chat_interval)
         self.name = name
+        self.sink = sink
         self._rng = np.random.default_rng(seed)
         self._db: TraceDatabase | None = None
         self._avatar: Avatar | None = None
@@ -95,14 +106,19 @@ class Crawler(Monitor):
     def attach(self, world: World) -> None:
         """Log in: embody the crawler avatar and start the sample clock."""
         land = world.land
+        metadata = TraceMetadata(
+            land_name=land.name,
+            width=land.width,
+            height=land.height,
+            tau=self.tau,
+            source="crawler-mimic" if self.mimic else "crawler-naive",
+        )
+        if self.sink is not None:
+            # The sink learns the land only now; the metadata lands in
+            # the store header at its next commit.
+            self.sink.metadata = metadata
         self._db = TraceDatabase(
-            TraceMetadata(
-                land_name=land.name,
-                width=land.width,
-                height=land.height,
-                tau=self.tau,
-                source="crawler-mimic" if self.mimic else "crawler-naive",
-            )
+            metadata, sink=self.sink, buffer=self.sink is None
         )
         if self.mimic:
             model = RandomWaypoint(
@@ -144,7 +160,9 @@ class Crawler(Monitor):
             missed = int(np.ceil(self.restart_delay / self.tau))
             self._next_sample += missed * self.tau
             return
-        self._db.add_snapshot(Snapshot(world.now, world.snapshot_positions()))
+        self._db.add_snapshot(
+            Snapshot.from_arrays(world.now, *world.snapshot_arrays())
+        )
         self._next_sample += self.tau
         if self.mimic and world.now >= self._next_chat and self._avatar is not None:
             phrase = DEFAULT_PHRASES[int(self._rng.integers(len(DEFAULT_PHRASES)))]
@@ -154,7 +172,11 @@ class Crawler(Monitor):
             self._next_chat = world.now + self.chat_interval
 
     def trace(self) -> Trace:
-        """The measurement so far."""
+        """The measurement so far (buffered mode only).
+
+        A streaming crawler keeps nothing in RAM — load the sink's
+        ``.rtrc`` store (or point a ``LiveAnalyzer`` at it) instead.
+        """
         if self._db is None:
             raise RuntimeError("crawler never attached; no trace available")
         return self._db.to_trace()

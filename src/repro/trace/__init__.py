@@ -17,6 +17,7 @@ from repro.trace.columnar import (
 from repro.trace.records import PositionRecord, Snapshot
 from repro.trace.trace import Trace, TraceMetadata
 from repro.trace.storage import (
+    RtrcAppender,
     RtrcFormatError,
     TraceFormatError,
     read_store_rtrc,
@@ -59,6 +60,7 @@ __all__ = [
     "Snapshot",
     "Trace",
     "TraceMetadata",
+    "RtrcAppender",
     "RtrcFormatError",
     "TraceFormatError",
     "read_store_rtrc",

@@ -232,7 +232,21 @@ def trace_format(path: str | Path) -> str:
 
 
 def read_trace(path: str | Path) -> Trace:
-    """Read a trace in any supported format, dispatching on the suffix."""
+    """Read a trace in any supported format, dispatching on the suffix.
+
+    The format rules of :func:`trace_format` apply: ``.rtrc[.gz]`` is
+    the binary columnar format (memory-mapped when not gzipped —
+    loading costs a header parse and the data pages fault in lazily),
+    ``.jsonl[.gz]`` is one snapshot per line, and anything else is
+    flat-record CSV.  Only ``.rtrc`` avoids re-parsing every
+    observation on every load; convert once (``slmob convert``) when
+    a trace will be analyzed more than once.
+
+    All formats return an equivalent :class:`~repro.trace.Trace`
+    (pinned bit-for-bit by ``tests/property/test_io_roundtrip.py``),
+    with one caveat: CSV quantizes coordinates and times through the
+    ``%.3f`` text format.
+    """
     fmt = trace_format(path)
     if fmt == "rtrc":
         return read_trace_rtrc(path)
@@ -242,7 +256,17 @@ def read_trace(path: str | Path) -> Trace:
 
 
 def write_trace(trace: Trace, path: str | Path) -> Path:
-    """Write a trace in the format implied by the suffix."""
+    """Write a trace in the format implied by the suffix; returns the path.
+
+    Dispatches like :func:`read_trace`.  ``.rtrc`` writes go through
+    a temp file plus atomic rename, so overwriting a store that other
+    processes are memmapping is safe (they keep their old view); the
+    text writers stream in place.  A trailing ``.gz`` gzips any
+    format (a gzipped ``.rtrc`` loads in memory instead of
+    memmapping, and cannot be appended to).  To *grow* a trace on
+    disk instead of rewriting it, use
+    :class:`~repro.trace.RtrcAppender`.
+    """
     fmt = trace_format(path)
     if fmt == "rtrc":
         return write_trace_rtrc(trace, path)

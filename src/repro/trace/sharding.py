@@ -84,7 +84,22 @@ def to_rtrc_dir(
     A ``manifest.json`` records the shard order, per-shard snapshot
     counts and time ranges; :func:`read_rtrc_dir` uses it to restore
     the shards in order, and ``concat_shards(read_rtrc_dir(d))``
-    round-trips the original trace bit-for-bit.
+    round-trips the original trace bit-for-bit.  The directory layout
+    and manifest schema are specified in ``docs/file-format.md``.
+
+    Parameters
+    ----------
+    trace:
+        The trace to split; ``directory`` is created if needed.
+    k:
+        Number of contiguous time shards (the first ``S % k`` get one
+        extra snapshot; ``k`` beyond the snapshot count yields empty
+        tail shards, which are still written so the manifest keeps
+        the requested shard count).
+    gzip_shards:
+        Write ``.rtrc.gz`` shards — smaller on disk but loaded in
+        memory instead of memmapped; prefer plain shards for worker
+        fan-out.
 
     Returns the shard file paths, in time order.
     """
@@ -121,6 +136,12 @@ def read_rtrc_dir(directory: str | Path, mmap: bool = True) -> list[Trace]:
     so downstream code (``concat_shards``, the sharded analyzer
     merges) sees ids exactly as if the shards had been split in
     memory.
+
+    With ``mmap`` (the default) each shard is a lazy memory-mapped
+    view — opening a directory of huge shards costs one header parse
+    per file; pass ``False`` to load copies.  Unreadable manifests and
+    shard files named by a manifest but missing on disk raise
+    :class:`~repro.trace.TraceFormatError`.
     """
     source = Path(directory)
     manifest_path = source / MANIFEST_NAME

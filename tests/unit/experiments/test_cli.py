@@ -157,6 +157,89 @@ class TestConvertAndShards:
         assert "Dance Island" in sharded
 
 
+class TestCrawlStreaming:
+    @pytest.fixture(scope="class")
+    def crawl_store(self, tmp_path_factory):
+        out = tmp_path_factory.mktemp("crawl") / "live.rtrc"
+        code = main([
+            "crawl", "--land", "dance", "--hours", "0.1",
+            "--spinup", "600", "--seed", "3",
+            "--round-minutes", "2", "--out", str(out),
+        ])
+        assert code == 0
+        return out
+
+    def test_crawl_matches_one_shot_simulate(self, crawl_store, tmp_path):
+        # Same seed, same land: the streamed store must be bit-for-bit
+        # the trace the buffered simulate pipeline writes.
+        import numpy as np
+
+        from repro.trace import read_trace_rtrc
+
+        one_shot = tmp_path / "one.rtrc"
+        assert main([
+            "simulate", "--land", "dance", "--hours", "0.1",
+            "--spinup", "600", "--seed", "3", "--out", str(one_shot),
+        ]) == 0
+        streamed = read_trace_rtrc(crawl_store)
+        expected = read_trace_rtrc(one_shot)
+        assert np.array_equal(streamed.columns.times, expected.columns.times)
+        assert np.array_equal(streamed.columns.user_ids, expected.columns.user_ids)
+        assert np.array_equal(streamed.columns.xyz, expected.columns.xyz)
+        assert streamed.columns.users.names == expected.columns.users.names
+        assert streamed.metadata == expected.metadata
+
+    def test_crawl_follow_prints_live_status(self, tmp_path, capsys):
+        out = tmp_path / "follow.rtrc"
+        code = main([
+            "crawl", "--land", "dance", "--hours", "0.05",
+            "--spinup", "300", "--round-minutes", "1",
+            "--out", str(out), "--follow",
+        ])
+        assert code == 0
+        status = capsys.readouterr().err
+        assert "contacts(r=10)" in status
+        assert "sessions=" in status
+
+    def test_crawl_rejects_non_rtrc_target(self, tmp_path, capsys):
+        code = main([
+            "crawl", "--land", "dance", "--hours", "0.05",
+            "--out", str(tmp_path / "x.csv"),
+        ])
+        assert code == 2
+        assert ".rtrc" in capsys.readouterr().err
+
+    def test_analyze_follow_reports_and_exits(self, crawl_store, capsys):
+        code = main([
+            "analyze", str(crawl_store), "--follow",
+            "--idle-rounds", "0", "--range", "10",
+        ])
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "contacts(r=10)" in out
+        assert "no growth" in out
+
+    def test_analyze_follow_rejects_csv(self, tmp_path, capsys):
+        csv = tmp_path / "x.csv"
+        csv.write_text("time,user,x,y,z\n")
+        assert main(["analyze", str(csv), "--follow"]) == 2
+
+    def test_analyze_follow_rejects_gzip_store(self, tmp_path, capsys):
+        # A gzipped store can never grow (the appender rejects it);
+        # tailing one would just re-decompress forever.
+        gz = tmp_path / "x.rtrc.gz"
+        gz.write_bytes(b"")
+        assert main(["analyze", str(gz), "--follow"]) == 2
+        assert ".rtrc" in capsys.readouterr().err
+
+    def test_crawl_help_documents_streaming(self, capsys):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["crawl", "--help"])
+        help_text = capsys.readouterr().out
+        assert "--round-minutes" in help_text
+        assert "--follow" in help_text
+
+
 class TestValidateExitCodes:
     def test_validate_flags_dirty_trace(self, tmp_path, capsys):
         dirty = tmp_path / "dirty.csv"

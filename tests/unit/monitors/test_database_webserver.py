@@ -92,6 +92,116 @@ class TestTraceDatabase:
         assert loaded.concurrency() == [2, 0]
 
 
+class TestStreamingDatabase:
+    """Unbuffered mode forwards snapshots to a sink and keeps nothing."""
+
+    def _streaming_db(self, tmp_path):
+        from repro.trace import RtrcAppender
+
+        sink = RtrcAppender(tmp_path / "stream.rtrc")
+        return TraceDatabase(TraceMetadata(), sink=sink, buffer=False), sink
+
+    def test_snapshots_flow_to_the_sink(self, tmp_path):
+        db, sink = self._streaming_db(tmp_path)
+        db.add_snapshot(Snapshot(0.0, {"a": Position(1, 2), "b": Position(3, 4)}))
+        db.add_snapshot(Snapshot(10.0, {"a": Position(5, 6)}))
+        assert db.snapshot_count == 2
+        assert db.record_count == 3
+        assert db.users() == {"a", "b"}
+        assert sink.snapshot_count == 2
+        sink.close()
+        from repro.trace import read_trace_rtrc
+
+        assert len(read_trace_rtrc(sink.path)) == 2
+
+    def test_to_trace_points_at_the_sink(self, tmp_path):
+        db, sink = self._streaming_db(tmp_path)
+        with pytest.raises(ValueError, match="sink"):
+            db.to_trace()
+        sink.close()
+
+    def test_per_record_writes_rejected(self, tmp_path):
+        db, sink = self._streaming_db(tmp_path)
+        with pytest.raises(ValueError, match="buffer"):
+            db.add_record(PositionRecord(0.0, "a", 1.0, 2.0))
+        sink.close()
+
+    def test_unbuffered_without_sink_rejected(self):
+        with pytest.raises(ValueError, match="sink"):
+            TraceDatabase(TraceMetadata(), buffer=False)
+
+    def test_buffered_with_sink_keeps_both(self, tmp_path):
+        from repro.trace import RtrcAppender, read_trace_rtrc
+
+        sink = RtrcAppender(tmp_path / "both.rtrc")
+        db = TraceDatabase(TraceMetadata(), sink=sink)
+        db.add_snapshot(Snapshot(0.0, {"a": Position(1, 2)}))
+        sink.close()
+        assert db.to_trace().columns.snapshot_count == 1
+        assert len(read_trace_rtrc(sink.path)) == 1
+
+
+class TestStreamingMonitors:
+    def test_crawler_sink_streams_the_measurement(self, tmp_path):
+        import numpy as np
+
+        from repro.lands import dance_island
+        from repro.monitors import Crawler
+        from repro.trace import RtrcAppender, read_trace_rtrc
+
+        preset = dance_island()
+        # Two identical world realizations: one crawled buffered, one
+        # streamed to disk.
+        world_buffered = preset.build(seed=5, start_time=43200.0)
+        trace_via_buffer = Crawler(tau=10.0).monitor(world_buffered, 120.0)
+
+        world_streamed = preset.build(seed=5, start_time=43200.0)
+        sink = RtrcAppender(tmp_path / "crawl.rtrc")
+        crawler = Crawler(tau=10.0, sink=sink)
+        from repro.monitors import run_monitors
+
+        run_monitors(world_streamed, [crawler], 120.0)
+        sink.close()
+        streamed = read_trace_rtrc(sink.path)
+        assert np.array_equal(
+            streamed.columns.times, trace_via_buffer.columns.times
+        )
+        assert np.array_equal(
+            streamed.columns.user_ids, trace_via_buffer.columns.user_ids
+        )
+        assert np.array_equal(streamed.columns.xyz, trace_via_buffer.columns.xyz)
+        assert streamed.metadata == trace_via_buffer.metadata
+        with pytest.raises(ValueError, match="sink"):
+            crawler.trace()
+
+    def test_stream_monitors_yields_between_rounds(self, tmp_path):
+        from repro.lands import dance_island
+        from repro.monitors import GroundTruthMonitor, stream_monitors
+        from repro.trace import RtrcAppender, read_trace_rtrc
+
+        preset = dance_island()
+        world = preset.build(seed=2, start_time=43200.0)
+        sink = RtrcAppender(tmp_path / "gt.rtrc")
+        monitor = GroundTruthMonitor(tau=5.0, sink=sink)
+        commits = []
+        for now in stream_monitors(world, [monitor], 60.0, 20.0):
+            sink.commit()
+            commits.append(read_trace_rtrc(sink.path).columns.snapshot_count)
+        sink.close()
+        assert len(commits) == 3
+        # Every yield exposed a strictly larger committed prefix.
+        assert commits == sorted(commits) and commits[-1] == 12
+        assert read_trace_rtrc(sink.path).metadata.source == "ground-truth"
+
+    def test_stream_monitors_validates_rounds(self):
+        from repro.lands import dance_island
+        from repro.monitors import GroundTruthMonitor, stream_monitors
+
+        world = dance_island().build(seed=1)
+        with pytest.raises(ValueError, match="round"):
+            list(stream_monitors(world, [GroundTruthMonitor()], 10.0, 0.0))
+
+
 class TestWebServer:
     def test_accepts_within_budget(self):
         server = WebServer(max_requests_per_minute=2)

@@ -1,0 +1,46 @@
+"""The documentation surface must not rot: intra-repo links resolve.
+
+Runs the same checker the CI docs job uses
+(``tools/check_doc_links.py``), so a broken link in ``README.md`` or
+``docs/*.md`` fails tier-1 locally before CI ever sees it.
+"""
+
+import importlib.util
+from pathlib import Path
+
+REPO_ROOT = Path(__file__).resolve().parents[2]
+
+
+def _checker():
+    spec = importlib.util.spec_from_file_location(
+        "check_doc_links", REPO_ROOT / "tools" / "check_doc_links.py"
+    )
+    module = importlib.util.module_from_spec(spec)
+    spec.loader.exec_module(module)
+    return module
+
+
+def test_documentation_surface_exists():
+    module = _checker()
+    names = {path.name for path in module.doc_files(REPO_ROOT)}
+    # The PR-4 documentation satellites are part of the contract.
+    assert {"README.md", "architecture.md", "cli.md", "file-format.md"} <= names
+
+
+def test_intra_repo_links_resolve():
+    module = _checker()
+    assert module.broken_links(REPO_ROOT) == []
+
+
+def test_checker_reports_broken_links(tmp_path):
+    module = _checker()
+    (tmp_path / "docs").mkdir()
+    (tmp_path / "README.md").write_text(
+        "see [missing](docs/nope.md) and [ok](docs/real.md) "
+        "and [bad anchor](docs/real.md#nowhere)\n"
+    )
+    (tmp_path / "docs" / "real.md").write_text("# Real\n")
+    problems = module.broken_links(tmp_path)
+    assert len(problems) == 2
+    assert any("nope.md" in problem for problem in problems)
+    assert any("nowhere" in problem for problem in problems)

@@ -1,0 +1,340 @@
+"""Crash-safety and equivalence tests for :class:`RtrcAppender`.
+
+The contract under test: a trace streamed through the appender in any
+number of append/commit rounds loads (memmap included) bit-for-bit
+identical to the same trace written in one shot; a torn append — rows
+written but the header commit never reached — is detected and
+truncated on reopen; and a concurrent reader always sees a consistent
+committed prefix.
+"""
+
+import numpy as np
+import pytest
+
+from repro.trace import (
+    RtrcAppender,
+    Trace,
+    TraceMetadata,
+    random_walk_trace,
+    read_store_rtrc,
+    read_trace_rtrc,
+    write_trace_rtrc,
+)
+from repro.trace.storage import MIN_HEADER_RESERVE, RtrcFormatError
+
+
+def _assert_stores_equal(a, b):
+    assert np.array_equal(a.times, b.times)
+    assert np.array_equal(a.snapshot_offsets, b.snapshot_offsets)
+    assert np.array_equal(a.user_ids, b.user_ids)
+    assert np.array_equal(a.xyz, b.xyz)
+    assert a.users.names == b.users.names
+
+
+def _stream(appender, trace, start=0, stop=None, commit_every=None):
+    """Append snapshots ``[start, stop)`` of ``trace``, committing on a cadence."""
+    cols = trace.columns
+    stop = cols.snapshot_count if stop is None else stop
+    for index in range(start, stop):
+        lo, hi = cols.snapshot_offsets[index], cols.snapshot_offsets[index + 1]
+        appender.append_snapshot(
+            float(cols.times[index]), cols.names_of(index), cols.xyz[lo:hi]
+        )
+        if commit_every and (index - start) % commit_every == commit_every - 1:
+            appender.commit()
+
+
+@pytest.fixture
+def trace():
+    return random_walk_trace(12, 30, np.random.default_rng(3))
+
+
+class TestEquivalence:
+    @pytest.mark.parametrize("rounds", (1, 3, 7))
+    def test_streamed_rounds_match_one_shot(self, tmp_path, trace, rounds):
+        one_shot = write_trace_rtrc(trace, tmp_path / "one.rtrc")
+        streamed = tmp_path / "streamed.rtrc"
+        edges = np.linspace(0, len(trace), rounds + 1).astype(int)
+        with RtrcAppender(streamed, trace.metadata) as appender:
+            for lo, hi in zip(edges[:-1], edges[1:]):
+                _stream(appender, trace, int(lo), int(hi))
+                appender.commit()
+        expected = read_trace_rtrc(one_shot)
+        loaded = read_trace_rtrc(streamed)  # memmap load
+        _assert_stores_equal(expected.columns, loaded.columns)
+        assert loaded.metadata == expected.metadata
+
+    def test_growth_paths_forced_by_tiny_capacities(self, tmp_path, trace):
+        streamed = tmp_path / "tiny.rtrc"
+        with RtrcAppender(
+            streamed,
+            trace.metadata,
+            snapshot_capacity=1,
+            observation_capacity=2,
+            header_reserve=64,
+        ) as appender:
+            _stream(appender, trace, commit_every=4)
+        _assert_stores_equal(trace.columns, read_trace_rtrc(streamed).columns)
+
+    def test_empty_snapshots_stream(self, tmp_path):
+        with RtrcAppender(tmp_path / "e.rtrc") as appender:
+            appender.append_snapshot(0.0, [], np.empty((0, 3)))
+            appender.append_snapshot(10.0, ["solo"], [[1.0, 2.0, 3.0]])
+            appender.append_snapshot(20.0, [], np.empty((0, 3)))
+        loaded = read_trace_rtrc(tmp_path / "e.rtrc")
+        assert loaded.concurrency() == [0, 1, 0]
+
+    def test_reopen_continues_the_stream(self, tmp_path, trace):
+        path = tmp_path / "resume.rtrc"
+        with RtrcAppender(path, trace.metadata) as appender:
+            _stream(appender, trace, 0, 11)
+        with RtrcAppender(path) as appender:
+            assert appender.snapshot_count == 11
+            assert appender.metadata == trace.metadata
+            _stream(appender, trace, 11)
+        _assert_stores_equal(trace.columns, read_trace_rtrc(path).columns)
+
+    def test_append_to_one_shot_file_converts_it(self, tmp_path, trace):
+        path = write_trace_rtrc(trace, tmp_path / "grown.rtrc")
+        with RtrcAppender(path) as appender:
+            appender.append_snapshot(
+                trace.end_time + 5.0, ["late"], [[1.0, 1.0, 0.0]]
+            )
+        loaded = read_trace_rtrc(path)
+        assert len(loaded) == len(trace) + 1
+        prefix = loaded.columns.slice_snapshots(0, len(trace))
+        assert np.array_equal(prefix.times, trace.columns.times)
+        assert np.array_equal(prefix.user_ids, trace.columns.user_ids)
+        assert np.array_equal(prefix.xyz, trace.columns.xyz)
+        # The interner keeps the original table as a prefix and only
+        # appends the new user.
+        assert loaded.columns.users.names[:-1] == trace.columns.users.names
+        assert loaded.columns.users.names[-1] == "late"
+
+    def test_in_memory_load_matches_mmap(self, tmp_path, trace):
+        path = tmp_path / "buf.rtrc"
+        with RtrcAppender(path, trace.metadata) as appender:
+            _stream(appender, trace, commit_every=7)
+        mapped, _ = read_store_rtrc(path, mmap=True)
+        buffered, _ = read_store_rtrc(path, mmap=False)
+        _assert_stores_equal(mapped, buffered)
+
+
+class TestCommitSemantics:
+    def test_uncommitted_appends_are_invisible(self, tmp_path):
+        path = tmp_path / "pending.rtrc"
+        appender = RtrcAppender(path, TraceMetadata())
+        appender.append_snapshot(0.0, ["a"], [[0.0, 0.0, 0.0]])
+        appender.commit()
+        appender.append_snapshot(10.0, ["a"], [[1.0, 0.0, 0.0]])
+        assert len(read_trace_rtrc(path)) == 1  # reader sees the commit only
+        assert appender.snapshot_count == 2
+        assert appender.committed_snapshot_count == 1
+        appender.commit()
+        assert len(read_trace_rtrc(path)) == 2
+        appender.close()
+
+    def test_close_commits(self, tmp_path):
+        path = tmp_path / "close.rtrc"
+        with RtrcAppender(path) as appender:
+            appender.append_snapshot(0.0, ["a"], [[0.0, 0.0, 0.0]])
+        assert len(read_trace_rtrc(path)) == 1
+
+    def test_closed_appender_rejects_writes(self, tmp_path):
+        appender = RtrcAppender(tmp_path / "c.rtrc")
+        appender.close()
+        appender.close()  # idempotent
+        with pytest.raises(ValueError, match="closed"):
+            appender.append_snapshot(0.0, [], np.empty((0, 3)))
+        with pytest.raises(ValueError, match="closed"):
+            appender.commit()
+
+    def test_metadata_assignment_lands_at_commit(self, tmp_path):
+        path = tmp_path / "meta.rtrc"
+        meta = TraceMetadata(land_name="Dance Island", tau=10.0, source="crawler")
+        with RtrcAppender(path) as appender:
+            appender.metadata = meta
+        assert read_trace_rtrc(path).metadata == meta
+
+    def test_commit_without_changes_is_a_noop(self, tmp_path):
+        path = tmp_path / "noop.rtrc"
+        with RtrcAppender(path) as appender:
+            appender.append_snapshot(0.0, ["a"], [[0.0, 0.0, 0.0]])
+            appender.commit()
+            before = path.stat().st_mtime_ns
+            appender.commit()
+            assert path.stat().st_mtime_ns == before
+
+
+class TestValidation:
+    def test_gzip_store_rejected(self, tmp_path):
+        with pytest.raises(ValueError, match="gzip"):
+            RtrcAppender(tmp_path / "t.rtrc.gz")
+
+    def test_non_increasing_time_rejected(self, tmp_path):
+        with RtrcAppender(tmp_path / "t.rtrc") as appender:
+            appender.append_snapshot(5.0, ["a"], [[0.0, 0.0, 0.0]])
+            with pytest.raises(ValueError, match="strictly increasing"):
+                appender.append_snapshot(5.0, ["b"], [[0.0, 0.0, 0.0]])
+
+    def test_duplicate_user_in_snapshot_rejected(self, tmp_path):
+        with RtrcAppender(tmp_path / "t.rtrc") as appender:
+            with pytest.raises(ValueError, match="twice"):
+                appender.append_snapshot(
+                    0.0, ["a", "a"], [[0.0, 0.0, 0.0], [1.0, 0.0, 0.0]]
+                )
+
+    def test_rejected_snapshot_does_not_pollute_the_user_table(self, tmp_path):
+        path = tmp_path / "t.rtrc"
+        with RtrcAppender(path) as appender:
+            with pytest.raises(ValueError, match="twice"):
+                appender.append_snapshot(
+                    0.0,
+                    ["dup", "phantom", "dup"],
+                    [[0.0, 0.0, 0.0]] * 3,
+                )
+            assert appender.user_names == []  # nothing leaked
+            appender.append_snapshot(1.0, ["real"], [[0.0, 0.0, 0.0]])
+        assert read_trace_rtrc(path).columns.users.names == ["real"]
+
+    def test_fsync_mode_streams_and_grows(self, tmp_path):
+        # Exercises the fsync'd commit and growth-rewrite paths
+        # (durability itself is not observable in a test).
+        path = tmp_path / "durable.rtrc"
+        with RtrcAppender(
+            path, fsync=True, snapshot_capacity=1, observation_capacity=2
+        ) as appender:
+            for index in range(6):
+                appender.append_snapshot(
+                    float(index), [f"u{index}"], [[0.0, 0.0, 0.0]]
+                )
+                appender.commit()
+        assert len(read_trace_rtrc(path)) == 6
+
+    def test_foreign_file_rejected(self, tmp_path):
+        path = tmp_path / "foreign.rtrc"
+        path.write_bytes(b"time,user,x,y,z\n")
+        with pytest.raises(RtrcFormatError, match="bad magic"):
+            RtrcAppender(path)
+
+
+class TestCrashSafety:
+    """Torn appends must be detected and truncated, never half-loaded."""
+
+    def _crash(self, appender):
+        """Abandon the appender mid-append: flush data, skip the commit."""
+        appender._fh.flush()
+        appender._fh.close()
+        appender._fh = None
+
+    def test_torn_append_truncated_on_reload(self, tmp_path, trace):
+        path = tmp_path / "torn.rtrc"
+        appender = RtrcAppender(path, trace.metadata)
+        _stream(appender, trace, 0, 10)
+        appender.commit()
+        _stream(appender, trace, 10, 20)  # written but never committed
+        self._crash(appender)
+
+        committed = read_trace_rtrc(path)
+        assert len(committed) == 10  # plain readers see the commit only
+
+        reopened = RtrcAppender(path)
+        assert reopened.snapshot_count == 10
+        assert reopened.recovered_bytes > 0  # the torn tail was cut off
+        _stream(reopened, trace, 10)  # overwrite the torn region
+        reopened.close()
+        _assert_stores_equal(trace.columns, read_trace_rtrc(path).columns)
+
+    def test_torn_first_append_leaves_valid_empty_store(self, tmp_path):
+        path = tmp_path / "torn0.rtrc"
+        appender = RtrcAppender(path)
+        appender.append_snapshot(0.0, ["a"], [[0.0, 0.0, 0.0]])
+        self._crash(appender)
+        assert len(read_trace_rtrc(path)) == 0
+        with RtrcAppender(path) as reopened:
+            assert reopened.snapshot_count == 0
+            reopened.append_snapshot(1.0, ["b"], [[1.0, 0.0, 0.0]])
+        loaded = read_trace_rtrc(path)
+        assert loaded.columns.times.tolist() == [1.0]
+        assert loaded.columns.users.names == ["b"]
+
+    def test_no_temp_litter_after_growth(self, tmp_path, trace):
+        path = tmp_path / "grow.rtrc"
+        with RtrcAppender(
+            path, trace.metadata, snapshot_capacity=1, observation_capacity=2
+        ) as appender:
+            _stream(appender, trace)
+        assert not list(tmp_path.glob("*.tmp"))
+
+    def test_concurrent_reader_sees_consistent_prefix(self, tmp_path, trace):
+        path = tmp_path / "shared.rtrc"
+        appender = RtrcAppender(path, trace.metadata)
+        _stream(appender, trace, 0, 10)
+        appender.commit()
+
+        reader = read_trace_rtrc(path, mmap=True)  # holds a live memmap
+        frozen_times = reader.columns.times.copy()
+        frozen_xyz = reader.columns.xyz.copy()
+
+        # Keep appending (including capacity growth) under the reader.
+        _stream(appender, trace, 10)
+        appender.commit()
+        appender.close()
+
+        assert len(reader) == 10
+        assert np.array_equal(reader.columns.times, frozen_times)
+        assert np.array_equal(reader.columns.xyz, frozen_xyz)
+        _assert_stores_equal(
+            reader.columns, read_trace_rtrc(path).columns.slice_snapshots(0, 10)
+        )
+
+    def test_truncation_below_committed_data_is_corruption(self, tmp_path, trace):
+        # A file cut into its *committed* sections (bad copy, disk
+        # trouble) is not a torn append; reopening must fail cleanly
+        # instead of resuming over a zero-filled hole.
+        import os
+
+        path = tmp_path / "cut.rtrc"
+        with RtrcAppender(path, trace.metadata) as appender:
+            _stream(appender, trace)
+        os.truncate(path, path.stat().st_size - 16)
+        with pytest.raises(RtrcFormatError, match="truncated"):
+            RtrcAppender(path)
+
+    def test_recovered_clean_store_reports_nothing(self, tmp_path, trace):
+        path = tmp_path / "clean.rtrc"
+        with RtrcAppender(path, trace.metadata) as appender:
+            _stream(appender, trace)
+        reopened = RtrcAppender(path)
+        assert reopened.recovered_bytes == 0
+        reopened.close()
+
+
+class TestLayout:
+    def test_plain_reader_ignores_the_append_key(self, tmp_path, trace):
+        # The appendable layout stays a valid version-1 file: padded
+        # header, capacity gaps between sections, extra "append" key.
+        path = tmp_path / "layout.rtrc"
+        with RtrcAppender(path, trace.metadata) as appender:
+            _stream(appender, trace)
+        store, metadata = read_store_rtrc(path, mmap=True)
+        _assert_stores_equal(store, trace.columns)
+        assert metadata == trace.metadata
+
+    def test_header_reserve_grows_with_the_user_table(self, tmp_path):
+        path = tmp_path / "users.rtrc"
+        with RtrcAppender(path, header_reserve=64) as appender:
+            for index in range(40):
+                appender.append_snapshot(
+                    float(index),
+                    [f"user-with-a-long-name-{index:04d}"],
+                    [[0.0, 0.0, 0.0]],
+                )
+                appender.commit()
+            assert appender._reserve > 64
+        loaded = read_trace_rtrc(path)
+        assert loaded.columns.users.names[-1] == "user-with-a-long-name-0039"
+
+    def test_default_reserve_fits_typical_headers(self, tmp_path):
+        with RtrcAppender(tmp_path / "d.rtrc") as appender:
+            assert appender._reserve == MIN_HEADER_RESERVE

@@ -1,0 +1,103 @@
+#!/usr/bin/env python3
+"""Fail on broken intra-repo links in the Markdown documentation.
+
+Scans ``README.md`` and ``docs/*.md`` for Markdown links and verifies
+that every *relative* target resolves to a file in the repository
+(anchors are checked against the target file's headings).  External
+links (``http[s]://``, ``mailto:``) are out of scope — CI must not
+depend on the network.
+
+Usage::
+
+    python tools/check_doc_links.py [repo_root]
+
+Exit status 0 when every link resolves, 1 otherwise (each broken link
+is reported on stderr).  ``tests/unit/test_doc_links.py`` runs the
+same check in the tier-1 suite, so locally a broken link fails before
+CI ever sees it.
+"""
+
+from __future__ import annotations
+
+import re
+import sys
+from pathlib import Path
+
+#: Inline Markdown links: [text](target).  Images share the syntax.
+_LINK = re.compile(r"\[[^\]^\[]*\]\(([^)\s]+)(?:\s+\"[^\"]*\")?\)")
+
+#: Targets that are not files of this repository.
+_EXTERNAL = ("http://", "https://", "mailto:")
+
+
+def _heading_anchor(line: str) -> str | None:
+    """GitHub-style anchor of a Markdown heading line, or None."""
+    stripped = line.lstrip()
+    if not stripped.startswith("#"):
+        return None
+    text = stripped.lstrip("#").strip()
+    # Drop inline code/backticks and punctuation, keep word chars,
+    # spaces and hyphens; collapse spaces to hyphens.
+    text = text.replace("`", "")
+    text = re.sub(r"[^\w\- ]", "", text).strip().lower()
+    return re.sub(r"[ ]+", "-", text)
+
+
+def _anchors_of(path: Path) -> set[str]:
+    return {
+        anchor
+        for line in path.read_text(encoding="utf-8").splitlines()
+        if (anchor := _heading_anchor(line)) is not None
+    }
+
+
+def doc_files(root: Path) -> list[Path]:
+    """The documentation surface under link check."""
+    files = [root / "README.md"]
+    files.extend(sorted((root / "docs").glob("*.md")))
+    return [path for path in files if path.exists()]
+
+
+def broken_links(root: Path) -> list[str]:
+    """Every unresolvable relative link, as ``file: target (reason)``."""
+    problems: list[str] = []
+    for doc in doc_files(root):
+        for target in _LINK.findall(doc.read_text(encoding="utf-8")):
+            if target.startswith(_EXTERNAL):
+                continue
+            rel = doc.relative_to(root)
+            if target.startswith("#"):
+                if target[1:] not in _anchors_of(doc):
+                    problems.append(f"{rel}: {target} (no such heading)")
+                continue
+            path_part, _, anchor = target.partition("#")
+            resolved = (doc.parent / path_part).resolve()
+            if not resolved.exists():
+                problems.append(f"{rel}: {target} (no such file)")
+                continue
+            if anchor and resolved.suffix == ".md":
+                if anchor not in _anchors_of(resolved):
+                    problems.append(
+                        f"{rel}: {target} (no heading #{anchor} in "
+                        f"{resolved.name})"
+                    )
+    return problems
+
+
+def main(argv: list[str] | None = None) -> int:
+    argv = sys.argv[1:] if argv is None else argv
+    root = Path(argv[0]).resolve() if argv else Path(__file__).resolve().parent.parent
+    problems = broken_links(root)
+    for problem in problems:
+        print(f"broken link — {problem}", file=sys.stderr)
+    checked = len(doc_files(root))
+    if problems:
+        print(f"{len(problems)} broken link(s) across {checked} files",
+              file=sys.stderr)
+        return 1
+    print(f"doc links OK ({checked} files checked)")
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())
