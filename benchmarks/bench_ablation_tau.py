@@ -6,7 +6,6 @@ contacts (contact count drops) and can only report durations at its
 own resolution.
 """
 
-from repro.core import BLUETOOTH_RANGE, TraceAnalyzer
 from repro.core.report import render_summary_table
 from repro.experiments import ablation_tau
 

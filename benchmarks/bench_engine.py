@@ -6,12 +6,10 @@ every experiment, and a regression here multiplies into hours on the
 24 h runs.
 """
 
-import numpy as np
 
 from repro.core.contacts import extract_contacts
 from repro.core.losgraph import snapshot_graph
 from repro.lands import dance_island
-from repro.monitors import Crawler
 
 
 def test_world_stepping_throughput(benchmark):

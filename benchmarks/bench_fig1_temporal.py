@@ -12,7 +12,7 @@ import pytest
 from repro.core import BLUETOOTH_RANGE, WIFI_RANGE
 from repro.core.contacts import contact_durations, extract_contacts, inter_contact_times
 from repro.core.report import log_grid, render_ccdf_table
-from repro.stats import ECDF, compare_fits
+from repro.stats import compare_fits
 
 
 def _print_panel(capsys, title, series, grid=None):

@@ -1,0 +1,214 @@
+"""Benchmark-trend tier: cheap, machine-readable, regression-gated.
+
+Runs a reduced-scale slice of the benchmark suite on every CI push,
+writes one ``BENCH_<name>.json`` per benchmark (wall times plus the
+speedup ratios the repo's performance claims rest on), and fails when
+a ratio drops past a configurable floor below the committed baseline
+(``benchmarks/baselines.json``).  Ratios — not absolute times — are
+gated, so the gate is robust across runner generations; the floor
+absorbs scheduler noise on shared runners.
+
+Usage::
+
+    PYTHONPATH=src python benchmarks/trend.py                # run + gate
+    PYTHONPATH=src python benchmarks/trend.py --out-dir out  # artifacts
+    PYTHONPATH=src python benchmarks/trend.py --floor-ratio 0.4
+    PYTHONPATH=src python benchmarks/trend.py --only append_ingest
+    PYTHONPATH=src python benchmarks/trend.py --list
+
+``--floor-ratio`` (or the ``BENCH_FLOOR_RATIO`` environment variable)
+scales every baseline: a measured ratio below ``baseline *
+floor_ratio`` is a regression.  Benchmarks that need parallelism
+auto-skip below 2 usable cores and record the skip in their JSON.
+The update workflow for ``baselines.json`` is documented in
+``benchmarks/README.md``.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import os
+import sys
+import tempfile
+import time
+from pathlib import Path
+
+import numpy as np
+
+BASELINES_PATH = Path(__file__).with_name("baselines.json")
+
+
+# -- the cheap benchmark tier ----------------------------------------------
+
+
+def bench_contacts_grid() -> dict:
+    """Grid-indexed contact engine vs the dense O(n^2) reference."""
+    from repro.core.contacts import (
+        BLUETOOTH_RANGE,
+        extract_contacts,
+        extract_contacts_reference,
+    )
+    from repro.trace import random_walk_trace
+
+    trace = random_walk_trace(200, 40, np.random.default_rng(200))
+    extract_contacts(trace, BLUETOOTH_RANGE)  # warm allocator/caches
+    t0 = time.perf_counter()
+    grid = extract_contacts(trace, BLUETOOTH_RANGE)
+    t_grid = time.perf_counter() - t0
+    t0 = time.perf_counter()
+    dense = extract_contacts_reference(trace, BLUETOOTH_RANGE)
+    t_dense = time.perf_counter() - t0
+    assert grid == dense, "grid and dense extractors disagree"
+    return {
+        "metrics": {"grid_over_dense": t_dense / t_grid},
+        "timings": {"grid_s": t_grid, "dense_s": t_dense},
+    }
+
+
+def bench_multirange() -> dict:
+    """Batched radius sweep vs N sequential extractions (hot-spot)."""
+    from bench_multirange import WORKLOADS, _measure
+
+    row = _measure(dict(WORKLOADS[0][1]))
+    return {
+        "metrics": {"batched_over_sequential": row["speedup"]},
+        "timings": {
+            "sequential_s": row["sequential_s"],
+            "multirange_s": row["multirange_s"],
+        },
+    }
+
+
+def bench_append_ingest() -> dict:
+    """Streaming appends vs per-round rewrites; live vs full analysis."""
+    from bench_append_ingest import _trace, measure_analysis, measure_append
+
+    with tempfile.TemporaryDirectory() as tmp:
+        append = measure_append(_trace(240, 400), 24, Path(tmp))
+    with tempfile.TemporaryDirectory() as tmp:
+        analysis = measure_analysis(_trace(120, 300), 8, Path(tmp))
+    return {
+        "metrics": {
+            "append_over_rewrite": append["speedup"],
+            "live_over_full": analysis["speedup"],
+        },
+        "timings": {
+            "append_s": append["append_s"],
+            "rewrite_s": append["rewrite_s"],
+            "live_s": analysis["live_s"],
+            "full_s": analysis["full_s"],
+        },
+    }
+
+
+def bench_live_shard_dir() -> dict:
+    """Parallel live shard-dir catch-up vs the serial live analyzer."""
+    from bench_live_shard_dir import grow_shard_dir, measure
+    from bench_parallel_backends import usable_cores, walk_trace
+
+    cores = usable_cores()
+    if cores < 2:
+        return {"skipped": True, "reason": f"{cores} usable core(s)"}
+    trace = walk_trace(240, 800)  # 192k observations
+    with tempfile.TemporaryDirectory() as tmp:
+        root = grow_shard_dir(trace, 8, Path(tmp) / "shards")
+        row = measure(trace, root)
+    return {
+        "metrics": {"process_over_serial": row["process_over_serial"]},
+        "timings": {"serial_s": row["serial_s"], "process_s": row["process_s"]},
+    }
+
+
+BENCHES = {
+    "contacts_grid": bench_contacts_grid,
+    "multirange": bench_multirange,
+    "append_ingest": bench_append_ingest,
+    "live_shard_dir": bench_live_shard_dir,
+}
+
+
+# -- the gate ---------------------------------------------------------------
+
+
+def run_trend(
+    out_dir: Path,
+    floor_ratio: float,
+    only: list[str] | None = None,
+) -> int:
+    """Run the tier, write ``BENCH_*.json``, gate against baselines."""
+    baselines = json.loads(BASELINES_PATH.read_text(encoding="utf-8"))
+    baseline_metrics: dict[str, float] = baselines["metrics"]
+    out_dir.mkdir(parents=True, exist_ok=True)
+    cores = os.cpu_count() or 1
+    failures: list[str] = []
+    for name, bench in BENCHES.items():
+        if only and name not in only:
+            continue
+        t0 = time.perf_counter()
+        result = bench()
+        wall = time.perf_counter() - t0
+        record = {
+            "name": name,
+            "cores": cores,
+            "wall_s": wall,
+            "skipped": bool(result.get("skipped", False)),
+            "reason": result.get("reason"),
+            "metrics": result.get("metrics", {}),
+            "timings": result.get("timings", {}),
+            "floor_ratio": floor_ratio,
+            "baselines": {},
+        }
+        if record["skipped"]:
+            print(f"[trend] {name}: SKIPPED ({record['reason']})")
+        for metric, value in record["metrics"].items():
+            key = f"{name}.{metric}"
+            baseline = baseline_metrics.get(key)
+            record["baselines"][metric] = baseline
+            if baseline is None:
+                print(f"[trend] {key} = {value:.2f}x (no baseline, not gated)")
+                continue
+            floor = baseline * floor_ratio
+            status = "ok" if value >= floor else "REGRESSION"
+            print(
+                f"[trend] {key} = {value:.2f}x "
+                f"(baseline {baseline:.2f}x, floor {floor:.2f}x) {status}"
+            )
+            if value < floor:
+                failures.append(
+                    f"{key}: {value:.2f}x under floor {floor:.2f}x "
+                    f"(baseline {baseline:.2f}x * ratio {floor_ratio})"
+                )
+        path = out_dir / f"BENCH_{name}.json"
+        path.write_text(json.dumps(record, indent=2) + "\n", encoding="utf-8")
+        print(f"[trend] wrote {path}")
+    if failures:
+        print("\nbenchmark-trend regressions:", file=sys.stderr)
+        for line in failures:
+            print(f"  {line}", file=sys.stderr)
+        return 1
+    return 0
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--out-dir", default=".",
+                        help="where BENCH_<name>.json artifacts go")
+    parser.add_argument("--floor-ratio", type=float,
+                        default=float(os.environ.get("BENCH_FLOOR_RATIO", 0.5)),
+                        help="fail when a metric drops below baseline * "
+                             "this ratio (default 0.5, or BENCH_FLOOR_RATIO)")
+    parser.add_argument("--only", action="append",
+                        help="run only this benchmark (repeatable)")
+    parser.add_argument("--list", action="store_true",
+                        help="list benchmark names and exit")
+    args = parser.parse_args(argv)
+    if args.list:
+        for name in BENCHES:
+            print(name)
+        return 0
+    return run_trend(Path(args.out_dir), args.floor_ratio, args.only)
+
+
+if __name__ == "__main__":
+    sys.exit(main())

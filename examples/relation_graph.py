@@ -58,7 +58,10 @@ def main() -> None:
     print("\n== frequency & strength of contact between acquaintances ==")
     summary = acquaintance_summary(met_once)
     rows = [
-        {"metric": name, **{k: round(v, 1) for k, v in s.row().items() if k in ("median", "p90", "max")}}
+        {
+            "metric": name,
+            **{k: round(v, 1) for k, v in s.row().items() if k in ("median", "p90", "max")},
+        }
         for name, s in summary.items()
     ]
     print(render_summary_table(rows))

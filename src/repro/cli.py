@@ -1,31 +1,38 @@
 """Command-line interface: ``slmob`` / ``python -m repro``.
 
-Seven subcommands cover the workflow end to end (full reference with
+Eight subcommands cover the workflow end to end (full reference with
 examples: ``docs/cli.md``)::
 
     slmob simulate --land dance --hours 2 --out dance.rtrc
     slmob crawl --land dance --hours 8 --out live.rtrc --follow
+    slmob crawl --land dance --hours 8 --out live-shards --follow
     slmob convert dance.csv.gz dance.rtrc
     slmob analyze dance.rtrc --shards 4 --backend process
-    slmob analyze live.rtrc --follow
+    slmob analyze live-shards --follow --backend process
     slmob shard-export dance.rtrc shards/ --shards 8
+    slmob compact live-shards --shards 4
     slmob validate dance.rtrc
     slmob experiments --hours 3          # paper-vs-measured report
     slmob experiments --full --out EXPERIMENTS.md
 
 ``simulate`` runs a calibrated land under a monitor and writes the
 trace in one shot; ``crawl`` runs the same measurement *streaming* —
-snapshots append to an ``.rtrc`` store round by round
-(:class:`~repro.trace.RtrcAppender`) and ``--follow`` analyzes the
-growing store incrementally; ``convert`` transcodes between the CSV /
-JSONL / binary ``.rtrc`` formats (suffix decides); ``analyze``
-recomputes every §3 metric from a trace file — with ``--shards K`` the
-heavy extractions fan out over K time shards, on threads or
-(``--backend process``) spawned workers that memmap-load per-shard
-``.rtrc`` files, and with ``--follow`` it tails a store another
-process is appending to; ``shard-export`` materializes per-shard files
-(plus a manifest) for external workers; ``experiments`` regenerates
-the paper's tables and figures.
+snapshots append round by round to a single ``.rtrc`` store
+(:class:`~repro.trace.RtrcAppender`) or, given a suffix-less output
+path, to a shard directory where every committed round becomes its
+own immutable shard file (:class:`~repro.trace.RtrcDirAppender`);
+``--follow`` analyzes the growing store incrementally either way;
+``convert`` transcodes between the CSV / JSONL / binary ``.rtrc``
+formats (suffix decides); ``analyze`` recomputes every §3 metric from
+a trace file — with ``--shards K`` the heavy extractions fan out over
+K time shards, on threads or (``--backend process``) spawned workers
+that memmap-load per-shard ``.rtrc`` files, and with ``--follow`` it
+tails a store or shard directory another process is appending to
+(``--backend`` fans the catch-up extractions too); ``shard-export``
+materializes per-shard files (plus a manifest) for external workers;
+``compact`` folds many small append-round shards into balanced ones
+and trims the capacity slack of appendable single files;
+``experiments`` regenerates the paper's tables and figures.
 """
 
 from __future__ import annotations
@@ -41,7 +48,10 @@ from repro.lands import paper_presets
 from repro.monitors import Crawler, SensorNetwork, stream_monitors
 from repro.trace import (
     RtrcAppender,
+    RtrcDirAppender,
     TraceFormatError,
+    compact_rtrc_store,
+    compact_shard_dir,
     read_trace,
     trace_format,
     validate_trace,
@@ -100,11 +110,25 @@ def _live_status(live: LiveAnalyzer, ranges: list[float], now: float | None) -> 
     return " ".join(parts)
 
 
+def _is_shard_dir_path(path: Path) -> bool:
+    """Whether a crawl/follow target names a shard directory.
+
+    An existing directory, or a *fresh* path with no suffix, selects
+    the shard-dir layout (one ``.rtrc`` file per committed round); a
+    ``.rtrc`` suffix selects the single appendable file.  An existing
+    suffix-less regular file is neither — let the format checks
+    reject it cleanly instead of mkdir-ing over it.
+    """
+    return path.is_dir() or (path.suffix == "" and not path.exists())
+
+
 def _cmd_crawl(args: argparse.Namespace) -> int:
     out = Path(args.out)
-    if trace_format(out) != "rtrc" or out.suffix == ".gz":
+    to_dir = _is_shard_dir_path(out)
+    if not to_dir and (trace_format(out) != "rtrc" or out.suffix == ".gz"):
         print(
-            f"crawl streams to an appendable plain .rtrc store; got {out}",
+            f"crawl streams to an appendable plain .rtrc store (or a "
+            f"suffix-less shard-directory path); got {out}",
             file=sys.stderr,
         )
         return 2
@@ -113,10 +137,11 @@ def _cmd_crawl(args: argparse.Namespace) -> int:
     print(
         f"crawling {land_name!r} for {args.hours:.2f} h "
         f"(tau={args.tau:g}s, seed={args.seed}, "
-        f"round={args.round_minutes:g} min, streaming to {out})...",
+        f"round={args.round_minutes:g} min, streaming to {out}"
+        f"{' [shard dir, one file per round]' if to_dir else ''})...",
         file=sys.stderr,
     )
-    with RtrcAppender(out) as appender:
+    with (RtrcDirAppender(out) if to_dir else RtrcAppender(out)) as appender:
         crawler = Crawler(tau=args.tau, mimic=not args.naive, sink=appender)
         live = LiveAnalyzer(out) if args.follow else None
         try:
@@ -152,7 +177,8 @@ def _follow_analyze(args: argparse.Namespace) -> int:
     """Tail a growing store: report after every observed commit."""
     ranges = args.range or [BLUETOOTH_RANGE, WIFI_RANGE]
     idle = 0
-    with _open_live(args.trace) as live:
+    backend = args.backend or "serial"
+    with _open_live(args.trace, backend) as live:
         if live.snapshot_count:
             print(_live_status(live, ranges, None))
         while idle < args.idle_rounds:
@@ -195,7 +221,43 @@ def _cmd_shard_export(args: argparse.Namespace) -> int:
     return 0
 
 
-def _open_live(path) -> LiveAnalyzer:
+def _cmd_compact(args: argparse.Namespace) -> int:
+    target = Path(args.store)
+    if not target.exists():
+        print(f"{target}: no such store or shard directory", file=sys.stderr)
+        return 2
+    if target.is_dir():
+        before = sum(
+            p.stat().st_size for p in target.iterdir() if p.is_file()
+        )
+        try:
+            paths = compact_shard_dir(target, args.shards, gzip_shards=args.gzip)
+        except TraceFormatError as exc:
+            print(f"cannot compact shard directory: {exc}", file=sys.stderr)
+            return 2
+        after = sum(p.stat().st_size for p in target.iterdir() if p.is_file())
+        print(
+            f"compacted {target} into {len(paths)} shard file(s) "
+            f"({before} -> {after} bytes)",
+            file=sys.stderr,
+        )
+        return 0
+    if trace_format(target) != "rtrc" or target.suffix == ".gz":
+        print(
+            f"compact works on plain .rtrc stores and shard directories; "
+            f"got {target}",
+            file=sys.stderr,
+        )
+        return 2
+    path, reclaimed = compact_rtrc_store(target)
+    print(
+        f"compacted {path}: reclaimed {reclaimed} bytes of append slack",
+        file=sys.stderr,
+    )
+    return 0
+
+
+def _open_live(path, backend: str = "serial") -> LiveAnalyzer:
     """Open a LiveAnalyzer, absorbing one racing header rewrite.
 
     The producer commits by rewriting the store header in place; a
@@ -203,10 +265,10 @@ def _open_live(path) -> LiveAnalyzer:
     retry separates that transient from real corruption.
     """
     try:
-        return LiveAnalyzer(path)
+        return LiveAnalyzer(path, backend=backend)
     except TraceFormatError:
         time.sleep(0.05)
-        return LiveAnalyzer(path)
+        return LiveAnalyzer(path, backend=backend)
 
 
 def _refresh_live(live: LiveAnalyzer) -> int:
@@ -219,14 +281,48 @@ def _refresh_live(live: LiveAnalyzer) -> int:
 
 
 def _cmd_analyze(args: argparse.Namespace) -> int:
+    source = Path(args.trace)
     if args.follow:
-        path = Path(args.trace)
-        if trace_format(path) != "rtrc" or path.suffix == ".gz":
-            print("--follow needs a (plain) .rtrc store", file=sys.stderr)
+        if not _is_shard_dir_path(source) and (
+            trace_format(source) != "rtrc" or source.suffix == ".gz"
+        ):
+            print(
+                "--follow needs a plain .rtrc store or a shard directory",
+                file=sys.stderr,
+            )
+            return 2
+        if not source.exists():
+            # A follower started before its producer: without the
+            # store (or directory) we cannot even pick the follow
+            # mode, so fail cleanly instead of a raw traceback.
+            print(
+                f"{source}: nothing to follow yet — start the crawl "
+                "first (or create the store), then re-run",
+                file=sys.stderr,
+            )
             return 2
         return _follow_analyze(args)
-    trace = read_trace(Path(args.trace))
-    with TraceAnalyzer(trace, shards=args.shards, backend=args.backend) as analyzer:
+    backend = args.backend or "thread"
+    if backend == "serial":
+        print(
+            "--backend serial only applies to --follow; batch analysis "
+            "with --shards 1 is already serial",
+            file=sys.stderr,
+        )
+        return 2
+    if source.is_dir():
+        # A finished shard-dir crawl analyzes like any other trace:
+        # load the committed rounds and concatenate.
+        from repro.trace import concat_shards, read_rtrc_dir
+
+        try:
+            trace = concat_shards(read_rtrc_dir(source))
+        except TraceFormatError as exc:
+            print(f"cannot load shard directory: {exc}", file=sys.stderr)
+            return 2
+    else:
+        trace = read_trace(source)
+    with TraceAnalyzer(trace, shards=args.shards, backend=backend) as analyzer:
         summary = analyzer.summary()
         print(f"== {summary.land_name} ==")
         print(render_summary_table([summary.row()]))
@@ -358,8 +454,10 @@ def build_parser() -> argparse.ArgumentParser:
     )
     add_world_args(crawl)
     crawl.add_argument("--out", required=True,
-                       help="appendable output store (plain .rtrc; created "
-                            "or extended)")
+                       help="appendable output store: a plain .rtrc file, "
+                            "or a suffix-less path for a shard directory "
+                            "with one file per committed round (created or "
+                            "extended)")
     crawl.add_argument("--round-minutes", type=float, default=10.0,
                        help="simulated minutes per append round; each round "
                             "ends in a commit (the crash-durability point)")
@@ -387,15 +485,19 @@ def build_parser() -> argparse.ArgumentParser:
     analyze.add_argument("--shards", type=int, default=1,
                          help="fan contact/session/zone/graph extraction over "
                               "this many time shards (1 = unsharded)")
-    analyze.add_argument("--backend", choices=["thread", "process"],
-                         default="thread",
-                         help="shard worker backend: 'thread' shares memory "
-                              "but serializes on the GIL; 'process' memmap-"
-                              "loads per-shard .rtrc files in spawned workers")
+    analyze.add_argument("--backend",
+                         choices=["serial", "thread", "process"],
+                         default=None,
+                         help="worker backend: 'thread' (batch default) "
+                              "shares memory but serializes on the GIL; "
+                              "'process' memmap-loads per-part .rtrc files "
+                              "in spawned workers; 'serial' (--follow "
+                              "default) runs parts inline one at a time")
     analyze.add_argument("--follow", action="store_true",
-                         help="tail a growing .rtrc store: re-memmap after "
-                              "each commit and extend contact/session "
-                              "results incrementally (ignores --shards)")
+                         help="tail a growing .rtrc store or shard "
+                              "directory: re-read after each commit and "
+                              "extend contact/session results incrementally "
+                              "(ignores --shards; honours --backend)")
     analyze.add_argument("--poll", type=float, default=2.0,
                          help="seconds between growth checks with --follow")
     analyze.add_argument("--idle-rounds", type=int, default=3,
@@ -416,6 +518,24 @@ def build_parser() -> argparse.ArgumentParser:
     shard_export.add_argument("--gzip", action="store_true",
                               help="write .rtrc.gz shards (not memmappable)")
     shard_export.set_defaults(func=_cmd_shard_export)
+
+    compact = sub.add_parser(
+        "compact",
+        help="fold append-round shard files into balanced shards, or trim "
+             "the capacity slack of an appendable .rtrc store (only after "
+             "the crawl writing it has finished — a live appender keeps "
+             "writing to the pre-compaction file)",
+    )
+    compact.add_argument("store",
+                         help="a shard directory (crawled round by round) "
+                              "or an appendable plain .rtrc store")
+    compact.add_argument("--shards", type=int, default=1,
+                         help="shard count for a compacted directory "
+                              "(default 1; ignored for single files)")
+    compact.add_argument("--gzip", action="store_true",
+                         help="write compacted directory shards as .rtrc.gz "
+                              "(not memmappable; ignored for single files)")
+    compact.set_defaults(func=_cmd_compact)
 
     validate = sub.add_parser("validate", help="run trace sanity checks")
     validate.add_argument("trace")

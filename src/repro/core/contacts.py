@@ -67,7 +67,11 @@ class ContactInterval:
     @property
     def pair(self) -> tuple[str, str]:
         """The user pair, in canonical (sorted) order."""
-        return (self.user_a, self.user_b) if self.user_a <= self.user_b else (self.user_b, self.user_a)
+        return (
+            (self.user_a, self.user_b)
+            if self.user_a <= self.user_b
+            else (self.user_b, self.user_a)
+        )
 
     @property
     def duration(self) -> float:

@@ -1,24 +1,36 @@
-"""Live incremental analysis over a growing ``.rtrc`` store.
+"""Live incremental analysis over a growing ``.rtrc`` store or shard dir.
 
-A streaming crawl (:class:`~repro.trace.RtrcAppender`) extends its
-store while the measurement is still running; re-running a whole-trace
+A streaming crawl (:class:`~repro.trace.RtrcAppender`,
+:class:`~repro.trace.RtrcDirAppender`) extends its store while the
+measurement is still running; re-running a whole-trace
 :class:`~repro.core.analyzer.TraceAnalyzer` after every commit would
 re-extract the entire past for each new minute of data.
 :class:`LiveAnalyzer` instead treats the store's growth history as a
 time partition: every :meth:`refresh` that observes new snapshots adds
-one *part* covering exactly the newly appended span, extraction runs
-only over that part (a zero-copy view of the re-memmapped store), and
-the per-part results are stitched through the same exact boundary
-merges :class:`~repro.core.sharded.ShardedAnalyzer` and
+one or more *parts* covering exactly the newly appended spans,
+extraction runs only over those parts, and the per-part results are
+stitched through the same exact boundary merges
+:class:`~repro.core.sharded.ShardedAnalyzer` and
 :class:`~repro.core.windowed.WindowedAnalyzer` use.  The incremental
 answers are therefore bit-for-bit what a full recompute over the
 current prefix would produce — pinned against the serial oracle by
-``tests/unit/core/test_live.py``.
+``tests/unit/core/test_live.py`` and ``test_live_shard_dir.py``.
 
-The one contract the appender guarantees and this class relies on:
-the store is **append-only** — committed snapshots never change, new
-ones only arrive at the end.  A store that shrank or rewrote its past
-is rejected on refresh.
+Two inputs are followed:
+
+* a single appendable ``.rtrc`` **file** — each growing refresh turns
+  the newly appended snapshot span into one part (a zero-copy view of
+  the re-memmapped store);
+* a **shard directory** — each committed append round already *is* an
+  immutable ``shard-*.rtrc`` file, so every new file becomes one part
+  and, under ``backend="process"``, workers memmap-load the round
+  files directly: the crawl's own output doubles as the parallel
+  work-distribution format, nothing is re-materialized.
+
+The one contract both producers guarantee and this class relies on:
+the store is **append-only** — committed snapshots (and committed
+shard files) never change, new ones only arrive at the end.  A store
+that shrank or rewrote its past is rejected on refresh.
 """
 
 from __future__ import annotations
@@ -28,9 +40,19 @@ from typing import Sequence
 
 import numpy as np
 
-from repro.core.parallel import extract_shard_task
+from repro.core.parallel import (
+    SCHEDULER_BACKENDS,
+    PartAnalysisError,
+    PartScheduler,
+)
 from repro.core.sharded import BoundaryMergeAnalyzer
-from repro.trace import Trace, TraceMetadata, read_store_rtrc
+from repro.trace import (
+    Trace,
+    TraceMetadata,
+    list_rtrc_dir,
+    read_store_rtrc,
+    read_trace_rtrc,
+)
 
 
 class LiveAnalyzer(BoundaryMergeAnalyzer):
@@ -39,14 +61,31 @@ class LiveAnalyzer(BoundaryMergeAnalyzer):
     Parameters
     ----------
     path:
-        The store to follow.  It may be empty (a crawl that has not
-        committed yet): analyses over zero snapshots return empty
+        The store to follow: a single appendable ``.rtrc`` file, or a
+        shard directory an :class:`~repro.trace.RtrcDirAppender` is
+        committing rounds into (an existing directory selects shard-dir
+        mode).  Either may be empty (a crawl that has not committed
+        yet): analyses over zero snapshots return empty
         contact/session lists, and the first :meth:`refresh` that sees
         data makes them live.
     mmap:
         Memory-map the store on every refresh (the default).  Pass
         False to load copies instead — only useful on filesystems
         without mmap support.
+    backend:
+        Where the per-part extractions run when more than one part
+        needs work.  ``"serial"`` (default) — inline, one part at a
+        time.  ``"thread"`` — a thread pool over the part views
+        (GIL-bound for the Python state machines).  ``"process"`` —
+        spawned workers memmap-load one ``.rtrc`` file per part: in
+        shard-dir mode the committed round files are used as-is; in
+        single-file mode each growth part is materialized once into a
+        scheduler-private temp file.  Parallelism pays off when several
+        parts need extraction at once — a follower catching up on a
+        long crawl, or the first request for a new parameter
+        backfilling every committed round.
+    max_workers:
+        Pool cap for the parallel backends (default: CPU count).
 
     Usage
     -----
@@ -62,70 +101,105 @@ class LiveAnalyzer(BoundaryMergeAnalyzer):
             if live.refresh():
                 print(len(live.contacts(10.0)), "contacts so far")
 
-    Each query after a refresh extracts only the newly appended part;
+    Each query after a refresh extracts only uncached parts;
     previously computed parts are served from a per-part cache and
     merged with the fresh tail.  Merging is cheap (linear in result
     size) compared to extraction, so a long-running crawl pays per
     round roughly the cost of analyzing just that round's data.
 
-    Lifecycle: :meth:`close` (or a ``with`` block) drops the memmap;
-    cached results stay readable, new analyses and refreshes raise.
+    Lifecycle: :meth:`close` (or a ``with`` block) drops the memmaps
+    and shuts the worker pool down; cached results stay readable, new
+    analyses and refreshes raise.
     """
 
-    def __init__(self, path: str | Path, mmap: bool = True) -> None:
+    def __init__(
+        self,
+        path: str | Path,
+        mmap: bool = True,
+        backend: str = "serial",
+        max_workers: int | None = None,
+    ) -> None:
+        if backend not in SCHEDULER_BACKENDS:
+            raise ValueError(
+                f"unknown backend {backend!r}; expected one of "
+                f"{SCHEDULER_BACKENDS}"
+            )
         super().__init__()
         self.path = Path(path)
+        self._label = str(self.path)
         self._mmap = bool(mmap)
-        self._closed = False
-        self._store = None
+        self.backend = backend
+        self._dir = self.path.is_dir()
         self.metadata: TraceMetadata = TraceMetadata()
-        # Snapshot indices cutting the store into growth parts: part i
-        # covers snapshots [_edges[i], _edges[i + 1]).
-        self._edges: list[int] = [0]
-        # Guard against a store whose past was rewritten: the last
-        # committed snapshot time must never change between refreshes.
-        self._last_edge_time: float | None = None
         # (kind, part_index, params) -> task result; the incremental
         # heart — parts never change, so their results never expire.
         self._task_cache: dict[tuple, object] = {}
+        self._scheduler = PartScheduler(
+            backend, max_workers, file_prefix="round"
+        )
+        if self._dir:
+            self._known_files: list[str] = []
+            # Per non-empty round file: (path, first_time, length).
+            # Only metadata is retained — part traces are reopened
+            # lazily, so a follower of a months-long crawl does not
+            # hold one memmap (and file descriptor) per round forever.
+            self._part_paths: list[Path] = []
+            self._part_meta: list[tuple[float, int]] = []
+            self._dir_names: list[str] = []
+            self._snapshots = 0
+            self._observations = 0
+            self._last_time = float("-inf")
+        else:
+            self._store = None
+            # Snapshot indices cutting the store into growth parts:
+            # part i covers snapshots [_edges[i], _edges[i + 1]).
+            self._edges: list[int] = [0]
+            # Guard against a store whose past was rewritten: the last
+            # committed snapshot time must never change between
+            # refreshes.
+            self._last_edge_time: float | None = None
         self.refresh()
 
     # -- lifecycle ----------------------------------------------------------
 
-    def close(self) -> None:
-        """Drop the memmapped store; cached merged results survive.
+    def _release(self) -> None:
+        """Drop the memmaps and the pool; cached merged results survive.
 
-        New analyses and refreshes raise afterwards — mirroring
-        :class:`~repro.core.windowed.WindowedAnalyzer`.
+        New analyses and refreshes raise afterwards — the contract
+        shared with :class:`~repro.core.windowed.WindowedAnalyzer` and
+        :class:`~repro.core.sharded.ShardedAnalyzer`.
         """
-        self._closed = True
-        self._store = None
-
-    def __enter__(self) -> "LiveAnalyzer":
-        return self
-
-    def __exit__(self, *exc_info: object) -> None:
-        self.close()
+        if not self._dir:
+            self._store = None
+        self._scheduler.close()
 
     def _open_store(self):
-        if self._store is None:
-            raise ValueError(f"{self.path}: analyzer is closed")
+        self._check_open()
         return self._store
 
     # -- growth tracking ----------------------------------------------------
 
     def refresh(self) -> int:
-        """Re-memmap the store; returns how many new snapshots appeared.
+        """Observe the producer's commits; returns how many new snapshots.
 
-        New snapshots become one new part; analyses requested
-        afterwards extract only that part and re-merge.  A refresh
-        that observes no growth is free and invalidates nothing.
-        Raises ``ValueError`` if the store shrank or its committed
-        prefix changed — the append-only contract is broken and
-        incremental results would be silently wrong.
+        New snapshots become new parts (one per growth span or per
+        committed shard file); analyses requested afterwards extract
+        only those parts and re-merge.  A refresh that observes no
+        growth is free and invalidates nothing.  Raises ``ValueError``
+        if the store shrank or its committed prefix changed — the
+        append-only contract is broken and incremental results would
+        be silently wrong.
         """
-        if self._closed:
-            raise ValueError(f"{self.path}: analyzer is closed")
+        self._check_open()
+        grown = self._refresh_dir() if self._dir else self._refresh_file()
+        if grown:
+            # Merged results are stale; the per-part task cache is not.
+            self._contacts.clear()
+            self._sessions.clear()
+            self._samples.clear()
+        return grown
+
+    def _refresh_file(self) -> int:
         store, metadata = read_store_rtrc(self.path, mmap=self._mmap)
         known = self._edges[-1]
         if store.snapshot_count < known:
@@ -146,28 +220,138 @@ class LiveAnalyzer(BoundaryMergeAnalyzer):
         if grown:
             self._edges.append(store.snapshot_count)
             self._last_edge_time = float(store.times[store.snapshot_count - 1])
-            # Merged results are stale; the per-part task cache is not.
-            self._contacts.clear()
-            self._sessions.clear()
-            self._samples.clear()
         return grown
+
+    def _refresh_dir(self) -> int:
+        """All-or-nothing: no state changes unless every new file loads.
+
+        A mid-loop failure (torn read racing a commit, a file deleted
+        by a concurrent compaction) must not leave some parts
+        registered while the merged caches still describe the old
+        part set — the CLI retries ``TraceFormatError`` and would
+        otherwise serve an internally inconsistent view.
+        """
+        files = list_rtrc_dir(self.path)
+        known = self._known_files
+        if files[: len(known)] != known:
+            raise ValueError(
+                f"{self.path}: committed shard files changed under the "
+                "analyzer; LiveAnalyzer requires an append-only shard "
+                "directory (compact only between followers)"
+            )
+        new_paths: list[Path] = []
+        new_meta: list[tuple[float, int]] = []
+        dir_names = self._dir_names
+        metadata = self.metadata
+        last_time = self._last_time
+        snapshots = observations = 0
+        for name in files[len(known):]:
+            trace = read_trace_rtrc(self.path / name, mmap=self._mmap)
+            metadata = trace.metadata
+            names = trace.columns.users.names
+            if self.backend == "process" and names[: len(dir_names)] != dir_names:
+                # The process backend decodes every part's worker
+                # payload with the newest file's name table, which is
+                # only correct when each round's table is a prefix of
+                # the next (true for RtrcDirAppender / to_rtrc_dir /
+                # compact_shard_dir output).  A foreign directory with
+                # independent interners must fail loudly here, not
+                # silently mis-name users.
+                raise ValueError(
+                    f"{self.path}: shard file {name!r} does not extend the "
+                    "previous files' user table; backend='process' needs "
+                    "prefix-consistent interners (use backend='serial' for "
+                    "foreign shard directories)"
+                )
+            if len(names) >= len(dir_names):
+                dir_names = list(names)
+            if len(trace):
+                first = float(trace.columns.times[0])
+                if first <= last_time:
+                    raise ValueError(
+                        f"{self.path}: shard file {name!r} is not strictly "
+                        "after its predecessors; LiveAnalyzer requires an "
+                        "append-only shard directory"
+                    )
+                new_paths.append(self.path / name)
+                new_meta.append((first, len(trace)))
+                last_time = trace.end_time
+                snapshots += len(trace)
+                observations += trace.columns.observation_count
+        # Every new file loaded cleanly — commit the whole batch.
+        self.metadata = metadata
+        self._dir_names = dir_names
+        self._part_paths.extend(new_paths)
+        self._part_meta.extend(new_meta)
+        self._known_files.extend(files[len(known):])
+        self._last_time = last_time
+        self._snapshots += snapshots
+        self._observations += observations
+        return snapshots
 
     @property
     def snapshot_count(self) -> int:
-        """Snapshots in the store as of the last refresh."""
-        return self._edges[-1]
+        """Snapshots observed as of the last refresh."""
+        return self._snapshots if self._dir else self._edges[-1]
 
     @property
     def observation_count(self) -> int:
-        """Observation rows in the store as of the last refresh."""
+        """Observation rows observed as of the last refresh."""
+        if self._dir:
+            return self._observations
         return self._open_store().observation_count
 
     @property
     def part_count(self) -> int:
-        """Growth parts observed so far (one per growing refresh)."""
+        """Growth parts observed so far.
+
+        One per growing refresh for a single file; one per committed
+        non-empty shard file for a shard directory.
+        """
+        if self._dir:
+            return len(self._part_paths)
         return len(self._edges) - 1
 
     # -- BoundaryMergeAnalyzer plumbing -------------------------------------
+
+    def _part_trace(self, index: int) -> Trace:
+        if self._dir:
+            # Reopened on demand (a header parse, not a load): holding
+            # one memmap per committed round would leak an fd per
+            # round over a long crawl.
+            self._check_open()
+            return read_trace_rtrc(self._part_paths[index], mmap=self._mmap)
+        store = self._open_store()
+        lo, hi = self._edges[index], self._edges[index + 1]
+        return Trace.from_columns(store.slice_snapshots(lo, hi), self.metadata)
+
+    def _part_file(self, index: int) -> Path | None:
+        """The on-disk file already holding part ``index``, if any.
+
+        In shard-dir mode every part is a committed round file —
+        process workers memmap it directly.  Single-file parts are
+        views into one big store, so the scheduler materializes them.
+        """
+        return self._part_paths[index] if self._dir else None
+
+    @property
+    def _names(self) -> Sequence[str]:
+        if self._dir:
+            # Round k's user table is a prefix of round k+1's (the
+            # appender interns cumulatively; validated on refresh for
+            # the process backend), so the newest table decodes every
+            # earlier part's ids too.
+            return self._dir_names
+        store = self._open_store()
+        return store.users.names
+
+    def _part_error(self, index: int, kind: str, exc: Exception):
+        trace = self._part_trace(index)
+        return PartAnalysisError(
+            f"{kind} failed on part {index + 1}/{self.part_count} covering "
+            f"t=[{trace.start_time:g}, {trace.end_time:g}] "
+            f"({len(trace)} snapshots): {exc}"
+        )
 
     def _map(self, kind: str, params_per_part: Sequence[tuple]) -> list[object]:
         """One task result per part, extracting only uncached parts.
@@ -175,19 +359,31 @@ class LiveAnalyzer(BoundaryMergeAnalyzer):
         Cache keys include the part's own parameters, so strided
         analyses (whose per-part phase depends only on the lengths of
         *earlier* parts, which never change) hit the cache too.
+        Uncached parts fan over the scheduler's backend — several at
+        once when a follower is catching up or a new parameter
+        backfills the history.
         """
-        store = self._open_store()
-        results: list[object] = []
-        for index, params in enumerate(params_per_part):
-            key = (kind, index, params)
-            if key not in self._task_cache:
-                lo, hi = self._edges[index], self._edges[index + 1]
-                part = Trace.from_columns(
-                    store.slice_snapshots(lo, hi), self.metadata
-                )
-                self._task_cache[key] = extract_shard_task(part, kind, params)
-            results.append(self._task_cache[key])
-        return results
+        self._check_open()
+        missing = [
+            (index, params)
+            for index, params in enumerate(params_per_part)
+            if (kind, index, params) not in self._task_cache
+        ]
+        if missing:
+            results = self._scheduler.run(
+                kind,
+                missing,
+                part_trace=self._part_trace,
+                part_path=self._part_file,
+                names=lambda: self._names,
+                wrap_error=self._part_error,
+            )
+            for (index, params), result in zip(missing, results):
+                self._task_cache[(kind, index, params)] = result
+        return [
+            self._task_cache[(kind, index, params)]
+            for index, params in enumerate(params_per_part)
+        ]
 
     def _strided_samples(self, kind: str, head: tuple, every: int) -> np.ndarray:
         if not self.part_count:
@@ -198,8 +394,12 @@ class LiveAnalyzer(BoundaryMergeAnalyzer):
         return super()._strided_samples(kind, head, every)
 
     def _part_first_times(self) -> list[float]:
+        if self._dir:
+            return [first for first, _ in self._part_meta]
         store = self._open_store()
         return [float(store.times[lo]) for lo in self._edges[:-1]]
 
     def _part_lengths(self) -> list[int]:
+        if self._dir:
+            return [length for _, length in self._part_meta]
         return np.diff(np.asarray(self._edges, dtype=np.int64)).tolist()

@@ -31,9 +31,13 @@ against the unsharded oracle.
 from __future__ import annotations
 
 import multiprocessing
-from concurrent.futures import ProcessPoolExecutor
+import os
+import tempfile
+import weakref
+from concurrent.futures import Future, ProcessPoolExecutor, ThreadPoolExecutor
+from concurrent.futures.process import BrokenProcessPool
 from pathlib import Path
-from typing import Sequence
+from typing import Callable, Sequence
 
 import numpy as np
 
@@ -43,8 +47,17 @@ from repro.core.contacts import (
     extract_contacts,
     extract_contacts_multirange,
 )
-from repro.trace import Trace, UserSession, extract_sessions, read_trace_rtrc
+from repro.trace import (
+    Trace,
+    UserSession,
+    extract_sessions,
+    read_trace_rtrc,
+    write_trace_rtrc,
+)
 from repro.trace.columnar import UserInterner
+
+#: Execution backends understood by :class:`PartScheduler`.
+SCHEDULER_BACKENDS = ("serial", "thread", "process")
 
 #: Task kinds understood by :func:`run_shard_task`.
 TASK_KINDS = (
@@ -247,3 +260,275 @@ def process_pool(max_workers: int) -> ProcessPoolExecutor:
         max_workers=max_workers,
         mp_context=multiprocessing.get_context("spawn"),
     )
+
+
+# -- the part scheduler ----------------------------------------------------
+
+
+class PartAnalysisError(RuntimeError):
+    """A part task failed; the message names the failing part.
+
+    :class:`~repro.core.sharded.ShardAnalysisError` specializes it for
+    shard parts, so existing callers keep catching what they caught.
+    """
+
+
+class PartScheduler:
+    """Run one ``(kind, part, params)`` task set on a chosen backend.
+
+    This is the execution engine every time-partitioned analyzer
+    (:class:`~repro.core.sharded.ShardedAnalyzer`,
+    :class:`~repro.core.windowed.WindowedAnalyzer`,
+    :class:`~repro.core.live.LiveAnalyzer`) fans its per-part
+    extractions through.  The analyzers decide *what* the parts are
+    (shards, windows, append rounds) and how to merge; the scheduler
+    owns *where* tasks run and every resource that entails:
+
+    * ``backend="serial"`` — tasks run inline, strictly one part at a
+      time, ``part_trace`` called per task so at most one part's pages
+      are live (the windowed analyzer's out-of-core contract).
+    * ``backend="thread"`` — a per-run ``ThreadPoolExecutor`` over the
+      in-memory part views.  Cheap to start; the Python
+      interval/session state machines serialize on the GIL.
+    * ``backend="process"`` — a persistent ``spawn``-based
+      ``ProcessPoolExecutor`` whose workers memmap-load one ``.rtrc``
+      file per part (:func:`run_shard_file_task`).  Parts that already
+      live on disk (shard directories, append-round files) are handed
+      to workers as-is; parts that only exist as in-memory views are
+      materialized lazily into a private temp directory, once per part
+      index.
+
+    Part indices must be stable and parts immutable: the scheduler
+    caches materialized part files by index, so index ``i`` must
+    always denote the same snapshots (true for shards, windows, and
+    append-only growth parts).
+
+    Lifecycle: :meth:`close` shuts the worker pool down and deletes
+    the materialized part files.  A pool broken by a worker death is
+    discarded on detection so the next run respawns a fresh one.
+    """
+
+    def __init__(
+        self,
+        backend: str = "serial",
+        max_workers: int | None = None,
+        *,
+        file_prefix: str = "part",
+        error_cls: type[PartAnalysisError] = PartAnalysisError,
+    ) -> None:
+        if backend not in SCHEDULER_BACKENDS:
+            raise ValueError(
+                f"unknown backend {backend!r}; expected one of {SCHEDULER_BACKENDS}"
+            )
+        self.backend = backend
+        self._max_workers = max_workers
+        self._file_prefix = file_prefix
+        self._error_cls = error_cls
+        self._pool: ProcessPoolExecutor | None = None
+        self._pool_size = 0
+        self._pool_finalizer: weakref.finalize | None = None
+        self._tmpdir: tempfile.TemporaryDirectory | None = None
+        self._part_files: dict[int, Path] = {}
+        self._closed = False
+
+    # -- lifecycle ---------------------------------------------------------
+
+    def close(self) -> None:
+        """Shut the pool down and delete materialized part files."""
+        self._closed = True
+        if self._pool is not None:
+            self._pool.shutdown(wait=True)
+            self._pool = None
+        if self._pool_finalizer is not None:
+            self._pool_finalizer.detach()
+            self._pool_finalizer = None
+        if self._tmpdir is not None:
+            self._tmpdir.cleanup()
+            self._tmpdir = None
+        self._part_files.clear()
+
+    def __enter__(self) -> "PartScheduler":
+        return self
+
+    def __exit__(self, *exc_info: object) -> None:
+        self.close()
+
+    @property
+    def pool(self) -> ProcessPoolExecutor | None:
+        """The live process pool, if one has been spawned."""
+        return self._pool
+
+    @property
+    def materialized_paths(self) -> list[Path]:
+        """Part files this scheduler wrote (not externally provided ones)."""
+        return [self._part_files[i] for i in sorted(self._part_files)]
+
+    # -- execution ---------------------------------------------------------
+
+    def run(
+        self,
+        kind: str,
+        tasks: Sequence[tuple[int, tuple]],
+        *,
+        part_trace: Callable[[int], Trace],
+        part_path: Callable[[int], Path | None] | None = None,
+        names: Sequence[str] | Callable[[], Sequence[str]] | None = None,
+        wrap_error: Callable[[int, str, Exception], Exception] | None = None,
+    ) -> list[object]:
+        """Run ``tasks`` (``(part_index, params)`` pairs), in task order.
+
+        ``part_trace(i)`` yields part ``i`` as an in-memory (usually
+        zero-copy) trace view; ``part_path(i)`` may name an ``.rtrc``
+        file already holding exactly that part, which the process
+        backend then memmap-loads directly instead of materializing a
+        copy.  ``names`` is the interner's name table (or a callable
+        producing it) used to decode process-backend payloads back
+        into extractor objects.  ``wrap_error(i, kind, exc)`` builds
+        the exception re-raised when part ``i``'s task fails (the
+        original rides along as ``__cause__``).
+
+        A single-task run executes inline on every backend — there is
+        no parallelism to buy, so no spawn or shard-file overhead is
+        paid.
+        """
+        if self._closed:
+            raise ValueError("part scheduler is closed")
+        tasks = list(tasks)
+        wrap = wrap_error or self._default_error
+        if self.backend == "serial" or len(tasks) <= 1:
+            return [
+                self._run_inline(index, kind, params, part_trace, wrap)
+                for index, params in tasks
+            ]
+        if self.backend == "thread":
+            with ThreadPoolExecutor(max_workers=self._workers(len(tasks))) as pool:
+                futures = [
+                    pool.submit(extract_shard_task, part_trace(index), kind, params)
+                    for index, params in tasks
+                ]
+                return [
+                    self._collect(index, kind, future, wrap)
+                    for (index, _), future in zip(tasks, futures)
+                ]
+        paths = [self._task_file(index, part_trace, part_path) for index, _ in tasks]
+        pool = self._process_pool(len(tasks))
+        try:
+            futures = [
+                pool.submit(run_shard_file_task, str(path), kind, params)
+                for path, (_, params) in zip(paths, tasks)
+            ]
+        except BrokenProcessPool as exc:
+            self.discard_pool()
+            raise self._error_cls(
+                f"{kind}: the worker pool broke before part tasks could "
+                f"be submitted: {exc}"
+            ) from exc
+        payloads = [
+            self._collect(index, kind, future, wrap)
+            for (index, _), future in zip(tasks, futures)
+        ]
+        name_table = names() if callable(names) else names
+        if name_table is None:
+            raise ValueError(
+                "process backend needs the interner's name table to "
+                "decode worker payloads"
+            )
+        return [decode_payload(kind, payload, name_table) for payload in payloads]
+
+    def _process_pool(self, task_count: int) -> ProcessPoolExecutor:
+        """The persistent spawn pool, created on first use.
+
+        Spawning workers is much more expensive than a thread pool, so
+        the pool is reused across runs; a ``weakref`` finalizer makes
+        sure an abandoned scheduler does not leak worker processes
+        until interpreter exit.  A pool sized for an earlier, smaller
+        run is replaced when a bigger task set arrives (a live
+        follower's first refresh may see two rounds, a later backfill
+        forty — the backfill must not be pinned to two workers); it
+        never shrinks.
+        """
+        size = self._workers(task_count)
+        if self._pool is not None and self._pool_size < size:
+            self.discard_pool()
+        if self._pool is None:
+            self._pool = process_pool(size)
+            self._pool_size = size
+            self._pool_finalizer = weakref.finalize(
+                self, self._pool.shutdown, wait=False
+            )
+        return self._pool
+
+    def discard_pool(self) -> None:
+        """Drop a broken pool so the next run spawns a fresh one.
+
+        ``ProcessPoolExecutor`` marks itself permanently broken when a
+        worker dies (OOM kill, segfault); keeping it around would make
+        every later run fail on submit even though the part files and
+        traces are intact.
+        """
+        if self._pool is not None:
+            self._pool.shutdown(wait=False, cancel_futures=True)
+            self._pool = None
+        if self._pool_finalizer is not None:
+            self._pool_finalizer.detach()
+            self._pool_finalizer = None
+
+    # -- plumbing ----------------------------------------------------------
+
+    def _workers(self, task_count: int) -> int:
+        return self._max_workers or min(task_count, os.cpu_count() or 1)
+
+    def _run_inline(
+        self,
+        index: int,
+        kind: str,
+        params: tuple,
+        part_trace: Callable[[int], Trace],
+        wrap: Callable[[int, str, Exception], Exception],
+    ) -> object:
+        try:
+            return extract_shard_task(part_trace(index), kind, params)
+        except Exception as exc:
+            raise wrap(index, kind, exc) from exc
+
+    def _collect(
+        self,
+        index: int,
+        kind: str,
+        future: Future,
+        wrap: Callable[[int, str, Exception], Exception],
+    ) -> object:
+        try:
+            return future.result()
+        except Exception as exc:
+            if isinstance(exc, BrokenProcessPool):
+                self.discard_pool()
+            raise wrap(index, kind, exc) from exc
+
+    def _default_error(
+        self, index: int, kind: str, exc: Exception
+    ) -> PartAnalysisError:
+        return self._error_cls(f"{kind} failed on part {index}: {exc}")
+
+    def _task_file(
+        self,
+        index: int,
+        part_trace: Callable[[int], Trace],
+        part_path: Callable[[int], Path | None] | None,
+    ) -> Path:
+        """The ``.rtrc`` file a worker should memmap-load for part ``index``.
+
+        An analyzer-provided on-disk part (shard dir, append round) is
+        used as-is; otherwise the part is materialized once into the
+        scheduler's temp directory and reused across runs.
+        """
+        if part_path is not None:
+            existing = part_path(index)
+            if existing is not None:
+                return Path(existing)
+        if index not in self._part_files:
+            if self._tmpdir is None:
+                self._tmpdir = tempfile.TemporaryDirectory(prefix="rtrc-parts-")
+            target = Path(self._tmpdir.name) / f"{self._file_prefix}-{index:05d}.rtrc"
+            self._part_files[index] = write_trace_rtrc(part_trace(index), target)
+        return self._part_files[index]

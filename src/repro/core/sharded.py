@@ -43,36 +43,25 @@ Merge semantics (split-agnostic; the windowed analyzer reuses them):
 from __future__ import annotations
 
 import os
-import tempfile
-import weakref
-from concurrent.futures import Future, ThreadPoolExecutor
-from concurrent.futures.process import BrokenProcessPool
-from pathlib import Path
 from typing import Iterable, Sequence
 
 import numpy as np
 
 from repro.core import spatial
 from repro.core.contacts import ContactInterval
-from repro.core.parallel import (
-    decode_payload,
-    extract_shard_task,
-    process_pool,
-    run_shard_file_task,
-)
+from repro.core.parallel import PartAnalysisError, PartScheduler
 from repro.trace import (
     Trace,
     TraceMetadata,
     UserSession,
     split_time_shards,
-    write_trace_rtrc,
 )
 
 #: Execution backends understood by :class:`ShardedAnalyzer`.
 BACKENDS = ("thread", "process")
 
 
-class ShardAnalysisError(RuntimeError):
+class ShardAnalysisError(PartAnalysisError):
     """A shard worker failed; the message names the shard's time range."""
 
 
@@ -166,25 +155,71 @@ class BoundaryMergeAnalyzer:
 
     Subclasses split a trace into contiguous time parts — even
     snapshot shards (:class:`ShardedAnalyzer`), wall-clock windows
-    (:class:`~repro.core.windowed.WindowedAnalyzer`) — and fan
-    :func:`~repro.core.parallel.extract_shard_task` over them however
-    they like; this base owns the per-parameter result caches, the
-    boundary merges, and the strided-sample concatenation.  A subclass
-    provides:
+    (:class:`~repro.core.windowed.WindowedAnalyzer`), append rounds
+    (:class:`~repro.core.live.LiveAnalyzer`) — and fan
+    :func:`~repro.core.parallel.extract_shard_task` over them (usually
+    through a :class:`~repro.core.parallel.PartScheduler`); this base
+    owns the per-parameter result caches, the boundary merges, the
+    strided-sample concatenation, and the shared close contract.  A
+    subclass provides:
 
     * ``metadata`` — the trace's :class:`~repro.trace.TraceMetadata`;
     * ``_map(kind, params_per_part)`` — one decoded task result per
-      non-empty part, in time order;
+      non-empty part, in time order (call :meth:`_check_open` first);
     * ``_part_first_times()`` — first snapshot time per non-empty part;
-    * ``_part_lengths()`` — snapshot count per non-empty part.
+    * ``_part_lengths()`` — snapshot count per non-empty part;
+    * ``_release()`` — drop the subclass's resources (pools, memmaps,
+      part files) when :meth:`close` runs.
+
+    Close contract (uniform across every subclass, pinned by
+    ``tests/unit/core/test_close_contract.py``): after :meth:`close`,
+    previously computed results stay readable from the caches, any
+    analysis that would need new extraction raises ``ValueError``
+    mentioning "closed", and no pool, temp directory, or memmap is
+    silently resurrected.  ``close()`` is idempotent and available as
+    a context manager.
     """
 
     metadata: TraceMetadata
+
+    #: Human-readable name used in the closed-analyzer error message;
+    #: subclasses set it to something identifying the input.
+    _label: str = "analyzer"
 
     def __init__(self) -> None:
         self._contacts: dict[float, list[ContactInterval]] = {}
         self._sessions: dict[float, list[UserSession]] = {}
         self._samples: dict[tuple, np.ndarray] = {}
+        self._closed = False
+
+    # -- lifecycle ---------------------------------------------------------
+
+    @property
+    def closed(self) -> bool:
+        """Whether :meth:`close` has run."""
+        return self._closed
+
+    def close(self) -> None:
+        """Release resources; cached results survive, new analyses raise."""
+        if self._closed:
+            return
+        self._closed = True
+        self._release()
+
+    def _release(self) -> None:
+        """Subclass hook: drop pools, memmaps, and part files."""
+
+    def _check_open(self) -> None:
+        if self._closed:
+            raise ValueError(f"{self._label}: analyzer is closed")
+
+    def __enter__(self):
+        return self
+
+    def __exit__(self, *exc_info: object) -> None:
+        self.close()
+
+    # -- partition plumbing ------------------------------------------------
 
     def _map(self, kind: str, params_per_part: Sequence[tuple]) -> list[object]:
         raise NotImplementedError
@@ -336,79 +371,24 @@ class ShardedAnalyzer(BoundaryMergeAnalyzer):
         self.backend = backend
         self.shards = [s for s in split_time_shards(trace, shards) if len(s)]
         self.shard_count = shards
+        self._label = "sharded analyzer"
         self._max_workers = max_workers or min(
             len(self.shards), os.cpu_count() or 1
         )
-        self._tmpdir: tempfile.TemporaryDirectory | None = None
-        self._shard_paths: list[Path] | None = None
-        self._pool = None
-        self._pool_finalizer: weakref.finalize | None = None
-        self._closed = False
+        self._scheduler = PartScheduler(
+            backend,
+            self._max_workers,
+            file_prefix="shard",
+            error_cls=ShardAnalysisError,
+        )
 
     # -- lifecycle ---------------------------------------------------------
 
-    def close(self) -> None:
-        """Shut down the worker pool and delete the shard files.
-
-        Cached results stay readable; starting a *new* analysis after
-        close raises rather than silently resurrecting the pool and
-        tempdir with nobody left to release them.
-        """
-        self._closed = True
-        if self._pool is not None:
-            self._pool.shutdown(wait=True)
-            self._pool = None
-        if self._pool_finalizer is not None:
-            self._pool_finalizer.detach()
-            self._pool_finalizer = None
-        if self._tmpdir is not None:
-            self._tmpdir.cleanup()
-            self._tmpdir = None
-            self._shard_paths = None
-
-    def __enter__(self) -> "ShardedAnalyzer":
-        return self
-
-    def __exit__(self, *exc_info: object) -> None:
-        self.close()
+    def _release(self) -> None:
+        """Shut down the worker pool and delete the shard files."""
+        self._scheduler.close()
 
     # -- execution ---------------------------------------------------------
-
-    def _shard_files(self) -> list[Path]:
-        """Materialize each non-empty shard as its own ``.rtrc`` file."""
-        if self._shard_paths is None:
-            self._tmpdir = tempfile.TemporaryDirectory(prefix="rtrc-shards-")
-            root = Path(self._tmpdir.name)
-            self._shard_paths = [
-                write_trace_rtrc(shard, root / f"shard-{index:05d}.rtrc")
-                for index, shard in enumerate(self.shards)
-            ]
-        return self._shard_paths
-
-    def _process_pool(self):
-        if self._pool is None:
-            self._pool = process_pool(self._max_workers)
-            # Belt and braces: an abandoned analyzer must not leak
-            # worker processes until interpreter exit.
-            self._pool_finalizer = weakref.finalize(
-                self, self._pool.shutdown, wait=False
-            )
-        return self._pool
-
-    def _discard_pool(self) -> None:
-        """Drop a broken pool so the next analysis spawns a fresh one.
-
-        ``ProcessPoolExecutor`` marks itself permanently broken when a
-        worker dies (OOM kill, segfault); keeping it around would make
-        every later analysis fail on submit even though the shard
-        files and trace are intact.
-        """
-        if self._pool is not None:
-            self._pool.shutdown(wait=False, cancel_futures=True)
-            self._pool = None
-        if self._pool_finalizer is not None:
-            self._pool_finalizer.detach()
-            self._pool_finalizer = None
 
     def _map(self, kind: str, params_per_shard: Sequence[tuple]) -> list[object]:
         """One task per non-empty shard, results in shard order.
@@ -417,53 +397,17 @@ class ShardedAnalyzer(BoundaryMergeAnalyzer):
         naming the failing shard's time range (the original exception
         rides along as ``__cause__``).  A broken process pool is
         discarded, so the analyzer stays usable after a worker death.
+        A single non-empty shard runs inline on either backend — no
+        spawn or shard-file overhead for zero available parallelism.
         """
-        if self._closed:
-            raise ValueError("analyzer is closed")
-        if len(self.shards) <= 1:
-            # One non-empty shard means nothing to fan — run inline on
-            # either backend rather than paying spawn + shard-file
-            # overhead for zero available parallelism.
-            return [
-                self._run_local(i, kind, params)
-                for i, params in enumerate(params_per_shard)
-            ]
-        if self.backend == "process":
-            paths = self._shard_files()
-            pool = self._process_pool()
-            try:
-                futures = [
-                    pool.submit(run_shard_file_task, str(paths[i]), kind, params)
-                    for i, params in enumerate(params_per_shard)
-                ]
-            except BrokenProcessPool as exc:
-                self._discard_pool()
-                raise ShardAnalysisError(
-                    f"{kind}: the worker pool broke before shard tasks could "
-                    f"be submitted: {exc}"
-                ) from exc
-            payloads = [self._collect(i, kind, f) for i, f in enumerate(futures)]
-            return [decode_payload(kind, p, self._names) for p in payloads]
-        with ThreadPoolExecutor(max_workers=self._max_workers) as pool:
-            futures = [
-                pool.submit(extract_shard_task, self.shards[i], kind, params)
-                for i, params in enumerate(params_per_shard)
-            ]
-            return [self._collect(i, kind, f) for i, f in enumerate(futures)]
-
-    def _run_local(self, index: int, kind: str, params: tuple) -> object:
-        try:
-            return extract_shard_task(self.shards[index], kind, params)
-        except Exception as exc:
-            raise self._shard_error(index, kind, exc) from exc
-
-    def _collect(self, index: int, kind: str, future: Future) -> object:
-        try:
-            return future.result()
-        except Exception as exc:
-            if isinstance(exc, BrokenProcessPool):
-                self._discard_pool()
-            raise self._shard_error(index, kind, exc) from exc
+        self._check_open()
+        return self._scheduler.run(
+            kind,
+            list(enumerate(params_per_shard)),
+            part_trace=lambda index: self.shards[index],
+            names=lambda: self._names,
+            wrap_error=self._shard_error,
+        )
 
     def _shard_error(
         self, index: int, kind: str, exc: Exception

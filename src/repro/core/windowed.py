@@ -7,26 +7,38 @@ per-snapshot graph samples all advance snapshot by snapshot.
 as a memmap (zero parse, nothing resident) and iterates fixed-width
 **time windows** over it.  Each window is a zero-copy
 :meth:`~repro.trace.columnar.ColumnarStore.slice_snapshots` view, so
-at any moment only the pages of the window being processed (plus the
-accumulated *results*) are live; processed windows are dropped and
-their pages evicted by the OS under memory pressure.
+in the default serial mode only the pages of the window being
+processed (plus the accumulated *results*) are live; processed
+windows are dropped and their pages evicted by the OS under memory
+pressure.
 
 Windows are merged through the same
 :class:`~repro.core.sharded.BoundaryMergeAnalyzer` plumbing the
 sharded analyzer uses, so the answers are bit-for-bit what a
 whole-trace :class:`~repro.core.analyzer.TraceAnalyzer` returns — the
 split just follows the wall clock instead of an even snapshot count.
+Since the part scheduler landed, windows can also *fan*: pass
+``backend="thread"`` or ``backend="process"`` and the per-window
+tasks run on a worker pool (the process backend materializes each
+non-empty window once as its own ``.rtrc`` file that workers
+memmap-load), trading the strict one-window memory bound for
+multi-core throughput.
 """
 
 from __future__ import annotations
 
 import math
+import os
 from pathlib import Path
 from typing import Iterator, Sequence
 
 import numpy as np
 
-from repro.core.parallel import extract_shard_task
+from repro.core.parallel import (
+    SCHEDULER_BACKENDS,
+    PartAnalysisError,
+    PartScheduler,
+)
 from repro.core.sharded import BoundaryMergeAnalyzer
 from repro.trace import Trace, TraceMetadata, read_store_rtrc
 
@@ -51,15 +63,27 @@ class WindowedAnalyzer(BoundaryMergeAnalyzer):
         Pass ``False`` to load the store into memory instead of
         mapping it (defeats the out-of-core point; useful only where
         mmap is unavailable).
+    backend:
+        ``"serial"`` (default) — windows run strictly one at a time;
+        the out-of-core memory bound holds.  ``"thread"`` — a thread
+        pool over the zero-copy window views (GIL-bound for the
+        Python interval/session state machines).  ``"process"`` —
+        non-empty windows are materialized once as per-window
+        ``.rtrc`` files and spawned workers memmap-load their own
+        window; real multi-core scaling, with roughly one window per
+        worker resident at a time instead of one overall.
+    max_workers:
+        Pool cap for the parallel backends; defaults to one worker
+        per non-empty window, bounded by the CPU count.
 
-    Analyses run one window at a time and merge exactly; results are
-    cached per parameter like the other analyzers.
+    Analyses merge exactly; results are cached per parameter like the
+    other analyzers.
 
     Lifecycle
     ---------
-    :meth:`close` (or a ``with`` block) drops the memmap so the file
-    mapping and descriptor can go away; cached results stay readable,
-    new analyses raise.
+    :meth:`close` (or a ``with`` block) drops the memmap, shuts the
+    worker pool down and deletes materialized window files; cached
+    results stay readable, new analyses raise.
     """
 
     def __init__(
@@ -67,12 +91,21 @@ class WindowedAnalyzer(BoundaryMergeAnalyzer):
         path: str | Path,
         window: float,
         mmap: bool = True,
+        backend: str = "serial",
+        max_workers: int | None = None,
     ) -> None:
         if window <= 0:
             raise ValueError(f"window width must be positive, got {window}")
+        if backend not in SCHEDULER_BACKENDS:
+            raise ValueError(
+                f"unknown backend {backend!r}; expected one of "
+                f"{SCHEDULER_BACKENDS}"
+            )
         super().__init__()
         self.path = Path(path)
         self.window = float(window)
+        self.backend = backend
+        self._label = str(self.path)
         store, metadata = read_store_rtrc(self.path, mmap=mmap)
         if store.snapshot_count == 0:
             raise ValueError("cannot analyze an empty trace")
@@ -93,11 +126,16 @@ class WindowedAnalyzer(BoundaryMergeAnalyzer):
         self._edges = np.concatenate(
             ([0], run_starts, [store.snapshot_count])
         ).astype(np.int64)
+        self._scheduler = PartScheduler(
+            backend,
+            max_workers or min(len(self._edges) - 1, os.cpu_count() or 1),
+            file_prefix="window",
+        )
 
     # -- lifecycle ---------------------------------------------------------
 
-    def close(self) -> None:
-        """Drop the memmapped store so its mapping and fd can go away.
+    def _release(self) -> None:
+        """Drop the memmapped store, the pool, and any window files.
 
         Cached results stay readable; starting a *new* analysis after
         close raises.  Mirrors the protocol of
@@ -105,16 +143,10 @@ class WindowedAnalyzer(BoundaryMergeAnalyzer):
         :class:`~repro.core.analyzer.TraceAnalyzer`.
         """
         self._store = None
-
-    def __enter__(self) -> "WindowedAnalyzer":
-        return self
-
-    def __exit__(self, *exc_info: object) -> None:
-        self.close()
+        self._scheduler.close()
 
     def _open_store(self):
-        if self._store is None:
-            raise ValueError(f"{self.path}: analyzer is closed")
+        self._check_open()
         return self._store
 
     # -- shape -------------------------------------------------------------
@@ -131,6 +163,12 @@ class WindowedAnalyzer(BoundaryMergeAnalyzer):
 
     # -- iteration ---------------------------------------------------------
 
+    def _window_trace(self, index: int) -> Trace:
+        """Non-empty window ``index`` as a zero-copy trace view."""
+        store = self._open_store()
+        lo, hi = int(self._edges[index]), int(self._edges[index + 1])
+        return Trace.from_columns(store.slice_snapshots(lo, hi), self.metadata)
+
     def iter_windows(self) -> Iterator[Trace]:
         """Yield each non-empty window as a zero-copy trace view.
 
@@ -139,19 +177,42 @@ class WindowedAnalyzer(BoundaryMergeAnalyzer):
         about the non-empty sequence (exactly like the sharded
         analyzer drops empty shards).
         """
-        store = self._open_store()
-        for lo, hi in zip(self._edges[:-1].tolist(), self._edges[1:].tolist()):
-            yield Trace.from_columns(
-                store.slice_snapshots(lo, hi), self.metadata
-            )
+        for index in range(len(self._edges) - 1):
+            yield self._window_trace(index)
 
-    # -- execution (strictly one window in memory at a time) ---------------
+    # -- execution ---------------------------------------------------------
 
     def _map(self, kind: str, params_per_part: Sequence[tuple]) -> list[object]:
-        return [
-            extract_shard_task(trace, kind, params)
-            for trace, params in zip(self.iter_windows(), params_per_part)
-        ]
+        """One task per non-empty window, fanned per the backend.
+
+        The serial backend pulls window views one at a time, so at
+        most one window's pages are resident; the parallel backends
+        keep roughly one window per worker live instead.
+        """
+        self._check_open()
+        return self._scheduler.run(
+            kind,
+            list(enumerate(params_per_part)),
+            part_trace=self._window_trace,
+            names=lambda: self._open_store().users.names,
+            wrap_error=self._window_error,
+        )
+
+    def _window_error(self, index: int, kind: str, exc: Exception):
+        lo, hi = int(self._edges[index]), int(self._edges[index + 1])
+        store = self._store
+        detail = ""
+        if store is not None:
+            detail = (
+                f" covering t=[{float(store.times[lo]):g}, "
+                f"{float(store.times[hi - 1]):g}] ({hi - lo} snapshots)"
+            )
+        return PartAnalysisError(
+            f"{kind} failed on window {index + 1}/{len(self._edges) - 1}"
+            f"{detail}: {exc}"
+        )
+
+    # -- partition geometry ------------------------------------------------
 
     def _part_first_times(self) -> list[float]:
         return self._open_store().times[self._edges[:-1]].astype(float).tolist()

@@ -31,7 +31,9 @@ FIG2_PANELS = (
 )
 
 
-def _collect(result: dict[str, dict[str, ECDF]], panel: str, land: str, build, strict: bool) -> None:
+def _collect(
+    result: dict[str, dict[str, ECDF]], panel: str, land: str, build, strict: bool
+) -> None:
     try:
         result[panel][land] = build()
     except ValueError:
@@ -78,7 +80,9 @@ def fig2_graphs(
     for land, a in analyzers.items():
         _collect(result, "degree_rb", land, lambda: a.degrees(BLUETOOTH_RANGE, every), strict)
         _collect(result, "diameter_rb", land, lambda: a.diameters(BLUETOOTH_RANGE, every), strict)
-        _collect(result, "clustering_rb", land, lambda: a.clustering(BLUETOOTH_RANGE, every), strict)
+        _collect(
+            result, "clustering_rb", land, lambda: a.clustering(BLUETOOTH_RANGE, every), strict
+        )
         _collect(result, "degree_rw", land, lambda: a.degrees(WIFI_RANGE, every), strict)
         _collect(result, "diameter_rw", land, lambda: a.diameters(WIFI_RANGE, every), strict)
         _collect(result, "clustering_rw", land, lambda: a.clustering(WIFI_RANGE, every), strict)

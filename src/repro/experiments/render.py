@@ -82,7 +82,13 @@ def render_experiment_report(config: ExperimentConfig) -> str:
         ct = _median_or_none(fig1["ct_rb"], land)
         if ct is not None:
             blocks.append(
-                _check(f"{land} CT median @10m", ct, targets.ct_median_rb / 2.5, targets.ct_median_rb * 2.5, "s")
+                _check(
+                    f"{land} CT median @10m",
+                    ct,
+                    targets.ct_median_rb / 2.5,
+                    targets.ct_median_rb * 2.5,
+                    "s",
+                )
             )
         ict = _median_or_none(fig1["ict_rb"], land)
         if ict is not None:
@@ -92,7 +98,13 @@ def render_experiment_report(config: ExperimentConfig) -> str:
         if ft is not None:
             flo, fhi = targets.ft_median_rb
             blocks.append(
-                _check(f"{land} FT median @10m", ft, flo / 2.5 if flo else 0.0, max(fhi * 2.5, 1.0), "s")
+                _check(
+                    f"{land} FT median @10m",
+                    ft,
+                    flo / 2.5 if flo else 0.0,
+                    max(fhi * 2.5, 1.0),
+                    "s",
+                )
             )
     blocks.append("```\n")
 
@@ -103,11 +115,23 @@ def render_experiment_report(config: ExperimentConfig) -> str:
     diameter_grid = [0.0, 1.0, 2.0, 3.0, 5.0, 8.0, 12.0]
     clustering_grid = [0.0, 0.2, 0.4, 0.6, 0.8, 0.95]
     blocks.append(_panel_block("Fig 2(a) Node Degree, r=10m", fig2["degree_rb"], degree_grid, True))
-    blocks.append(_panel_block("Fig 2(b) Network Diameter, r=10m", fig2["diameter_rb"], diameter_grid, False))
-    blocks.append(_panel_block("Fig 2(c) Clustering Coefficient, r=10m", fig2["clustering_rb"], clustering_grid, False))
+    blocks.append(
+        _panel_block("Fig 2(b) Network Diameter, r=10m", fig2["diameter_rb"], diameter_grid, False)
+    )
+    blocks.append(
+        _panel_block(
+            "Fig 2(c) Clustering Coefficient, r=10m", fig2["clustering_rb"], clustering_grid, False
+        )
+    )
     blocks.append(_panel_block("Fig 2(d) Node Degree, r=80m", fig2["degree_rw"], degree_grid, True))
-    blocks.append(_panel_block("Fig 2(e) Network Diameter, r=80m", fig2["diameter_rw"], diameter_grid, False))
-    blocks.append(_panel_block("Fig 2(f) Clustering Coefficient, r=80m", fig2["clustering_rw"], clustering_grid, False))
+    blocks.append(
+        _panel_block("Fig 2(e) Network Diameter, r=80m", fig2["diameter_rw"], diameter_grid, False)
+    )
+    blocks.append(
+        _panel_block(
+            "Fig 2(f) Clustering Coefficient, r=80m", fig2["clustering_rw"], clustering_grid, False
+        )
+    )
     blocks.append("Headline graph checks:\n```")
     analyzers = all_analyzers(config)
     for land, targets in PAPER_TARGETS.items():
@@ -146,13 +170,23 @@ def render_experiment_report(config: ExperimentConfig) -> str:
     length_grid = [10.0, 50.0, 100.0, 230.0, 400.0, 500.0, 1000.0, 2000.0]
     time_grid4 = [60.0, 300.0, 900.0, 1800.0, 3600.0, 7200.0, 14400.0]
     blocks.append(_panel_block("Fig 4(a) Travel Length", fig4["travel_length"], length_grid, False))
-    blocks.append(_panel_block("Fig 4(b) Effective Travel Time", fig4["effective_travel_time"], time_grid4, False))
+    blocks.append(
+        _panel_block(
+            "Fig 4(b) Effective Travel Time", fig4["effective_travel_time"], time_grid4, False
+        )
+    )
     blocks.append(_panel_block("Fig 4(c) Travel Time", fig4["travel_time"], time_grid4, False))
     blocks.append("Headline trip checks:\n```")
     for land, targets in PAPER_TARGETS.items():
         p90 = float(fig4["travel_length"][land].quantile(0.9))
         blocks.append(
-            _check(f"{land} travel length p90", p90, targets.travel_p90 / 2.0, targets.travel_p90 * 2.0, "m")
+            _check(
+                f"{land} travel length p90",
+                p90,
+                targets.travel_p90 / 2.0,
+                targets.travel_p90 * 2.0,
+                "m",
+            )
         )
         tmax = fig4["travel_time"][land].max
         blocks.append(_check(f"{land} longest session", tmax, 0.0, 4.25 * 3600.0, "s"))

@@ -12,7 +12,7 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 from typing import Iterator, Sequence
 
-from repro.geometry.vectors import Position, distance, unit_direction
+from repro.geometry.vectors import Position, distance
 
 
 @dataclass(frozen=True)

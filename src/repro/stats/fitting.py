@@ -152,7 +152,9 @@ def fit_lognormal(sample: Sequence[float], xmin: float | None = None) -> FitResu
 
     def cdf(x: np.ndarray) -> np.ndarray:
         x_arr = np.asarray(x, dtype=float)
-        raw = (_lognorm_cdf(np.maximum(x_arr, xmin), mu, sigma) - _lognorm_cdf(xmin, mu, sigma)) / norm
+        raw = (
+            _lognorm_cdf(np.maximum(x_arr, xmin), mu, sigma) - _lognorm_cdf(xmin, mu, sigma)
+        ) / norm
         return np.where(x_arr < xmin, 0.0, raw)
 
     return FitResult(

@@ -20,6 +20,7 @@ from repro.trace.storage import (
     RtrcAppender,
     RtrcFormatError,
     TraceFormatError,
+    compact_rtrc_store,
     read_store_rtrc,
     read_trace_rtrc,
     write_store_rtrc,
@@ -35,9 +36,13 @@ from repro.trace.io import (
     write_trace_jsonl,
 )
 from repro.trace.sharding import (
+    RtrcDirAppender,
+    compact_shard_dir,
     concat_shards,
     concat_stores,
+    list_rtrc_dir,
     read_rtrc_dir,
+    read_shard_manifest,
     shard_edges,
     split_time_shards,
     to_rtrc_dir,
@@ -63,6 +68,7 @@ __all__ = [
     "RtrcAppender",
     "RtrcFormatError",
     "TraceFormatError",
+    "compact_rtrc_store",
     "read_store_rtrc",
     "read_trace_rtrc",
     "write_store_rtrc",
@@ -74,9 +80,13 @@ __all__ = [
     "write_trace",
     "write_trace_csv",
     "write_trace_jsonl",
+    "RtrcDirAppender",
+    "compact_shard_dir",
     "concat_shards",
     "concat_stores",
+    "list_rtrc_dir",
     "read_rtrc_dir",
+    "read_shard_manifest",
     "shard_edges",
     "split_time_shards",
     "to_rtrc_dir",

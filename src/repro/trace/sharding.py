@@ -15,14 +15,22 @@ fans work over; the split/concat pair round-trips exactly::
 from __future__ import annotations
 
 import json
+import os
 from pathlib import Path
 from typing import Sequence
 
 import numpy as np
 
 from repro.trace.columnar import ColumnarStore, UserInterner, empty_store
-from repro.trace.storage import TraceFormatError, read_trace_rtrc, write_trace_rtrc
-from repro.trace.trace import Trace
+from repro.trace.storage import (
+    TraceFormatError,
+    _tempfile_for,
+    read_store_rtrc,
+    read_trace_rtrc,
+    write_store_rtrc,
+    write_trace_rtrc,
+)
+from repro.trace.trace import Trace, TraceMetadata
 
 #: Name of the shard-directory manifest written by :func:`to_rtrc_dir`.
 MANIFEST_NAME = "manifest.json"
@@ -110,20 +118,113 @@ def to_rtrc_dir(
     paths: list[Path] = []
     for index, shard in enumerate(shards):
         paths.append(write_trace_rtrc(shard, target / f"shard-{index:05d}{suffix}"))
+    write_shard_manifest(
+        target,
+        [p.name for p in paths],
+        [len(s) for s in shards],
+        [[s.start_time, s.end_time] if len(s) else None for s in shards],
+    )
+    return paths
+
+
+def _fsync_path(path: Path) -> None:
+    """Flush one file's (or directory's) data and metadata to disk."""
+    fd = os.open(path, os.O_RDONLY)
+    try:
+        os.fsync(fd)
+    finally:
+        os.close(fd)
+
+
+def write_shard_manifest(
+    directory: Path,
+    files: Sequence[str],
+    snapshot_counts: Sequence[int],
+    time_ranges: Sequence[list[float] | None],
+    generation: int = 0,
+    fsync: bool = False,
+) -> Path:
+    """Atomically (re)write a shard directory's ``manifest.json``.
+
+    The write goes through a sibling temp file plus rename, so a
+    reader never parses a half-written manifest and a crash leaves
+    the previous manifest intact — the manifest swap is the commit
+    point for both append rounds (:class:`RtrcDirAppender`) and
+    compaction (:func:`compact_shard_dir`).  ``generation`` (omitted
+    while zero) counts compactions; compacted shard files carry it in
+    their names so a compaction never overwrites a file an old
+    manifest still references.
+    """
     manifest = {
         "format": "rtrc-shard-dir",
         "version": 1,
-        "shards": k,
-        "files": [p.name for p in paths],
-        "snapshot_counts": [len(s) for s in shards],
-        "time_ranges": [
-            [s.start_time, s.end_time] if len(s) else None for s in shards
-        ],
+        "shards": len(files),
+        "files": list(files),
+        "snapshot_counts": list(snapshot_counts),
+        "time_ranges": list(time_ranges),
     }
-    (target / MANIFEST_NAME).write_text(
-        json.dumps(manifest, indent=2) + "\n", encoding="utf-8"
+    if generation:
+        manifest["generation"] = generation
+    target = directory / MANIFEST_NAME
+    payload = json.dumps(manifest, indent=2) + "\n"
+    fd, tmp_name = _tempfile_for(target)
+    try:
+        with os.fdopen(fd, "w", encoding="utf-8") as handle:
+            handle.write(payload)
+            if fsync:
+                handle.flush()
+                os.fsync(handle.fileno())
+        os.replace(tmp_name, target)
+        if fsync:
+            _fsync_path(directory)
+    except BaseException:
+        try:
+            os.unlink(tmp_name)
+        except OSError:
+            pass
+        raise
+    return target
+
+
+def read_shard_manifest(directory: str | Path) -> dict | None:
+    """Parse a shard directory's manifest, or ``None`` when absent.
+
+    Unreadable manifests (bad JSON, missing keys) raise
+    :class:`~repro.trace.TraceFormatError` — a directory that claims
+    to be a shard dir but cannot say what it holds is corrupt, not
+    foreign.
+    """
+    manifest_path = Path(directory) / MANIFEST_NAME
+    if not manifest_path.exists():
+        return None
+    try:
+        manifest = json.loads(manifest_path.read_text(encoding="utf-8"))
+        files = manifest["files"]
+        if not isinstance(files, list):
+            raise TypeError(f"'files' is {type(files).__name__}, not a list")
+    except (json.JSONDecodeError, KeyError, TypeError) as exc:
+        raise TraceFormatError(
+            f"{manifest_path}: unreadable shard manifest ({exc})"
+        ) from exc
+    return manifest
+
+
+def list_rtrc_dir(directory: str | Path) -> list[str]:
+    """Shard file names of a directory, in load order.
+
+    The manifest fixes the order (and may legitimately be empty — a
+    streaming shard dir whose first round has not committed yet);
+    without one (foreign directories) the ``shard-*`` files are taken
+    in name order.  An empty list means "no shards yet", not an error
+    — callers that need at least one shard check themselves.
+    """
+    source = Path(directory)
+    manifest = read_shard_manifest(source)
+    if manifest is not None:
+        return [str(name) for name in manifest["files"]]
+    return sorted(
+        p.name for p in source.glob("shard-*.rtrc*") if not p.name.endswith(".tmp")
     )
-    return paths
 
 
 def read_rtrc_dir(directory: str | Path, mmap: bool = True) -> list[Trace]:
@@ -144,19 +245,7 @@ def read_rtrc_dir(directory: str | Path, mmap: bool = True) -> list[Trace]:
     :class:`~repro.trace.TraceFormatError`.
     """
     source = Path(directory)
-    manifest_path = source / MANIFEST_NAME
-    if manifest_path.exists():
-        try:
-            manifest = json.loads(manifest_path.read_text(encoding="utf-8"))
-            files = [str(name) for name in manifest["files"]]
-        except (json.JSONDecodeError, KeyError, TypeError) as exc:
-            raise TraceFormatError(
-                f"{manifest_path}: unreadable shard manifest ({exc})"
-            ) from exc
-    else:
-        files = sorted(
-            p.name for p in source.glob("shard-*.rtrc*") if not p.name.endswith(".tmp")
-        )
+    files = list_rtrc_dir(source)
     if not files:
         raise TraceFormatError(f"{source}: no shard files found")
     shards = []
@@ -234,3 +323,386 @@ def concat_shards(shards: Sequence[Trace]) -> Trace:
         raise ValueError("cannot concatenate zero shards")
     store = concat_stores([shard.columns for shard in shards])
     return Trace.from_columns(store, shards[0].metadata)
+
+
+# -- appendable shard directories -------------------------------------------
+
+
+class RtrcDirAppender:
+    """Stream a crawl into a shard *directory*: one file per round.
+
+    The single-file :class:`~repro.trace.RtrcAppender` grows one store
+    in place; this is its fan-out-friendly sibling — every committed
+    append round becomes a brand-new immutable ``shard-*.rtrc`` file
+    plus an atomic ``manifest.json`` swap.  Because committed rounds
+    never change, a long-running crawl is analyzable *in parallel
+    while it grows*: process workers memmap-load the round files
+    directly (:class:`~repro.core.live.LiveAnalyzer` with
+    ``backend="process"`` reuses them as its part files — nothing is
+    re-materialized), and readers racing an append only ever see fully
+    written files through the previous or the next manifest.
+
+    Parameters
+    ----------
+    directory:
+        The shard directory to create or extend.  An existing
+        directory written by :func:`to_rtrc_dir`, a previous appender,
+        or :func:`compact_shard_dir` is resumed: the cumulative user
+        table is rebuilt from the committed files (each file's table
+        is a prefix of the next, so interned ids stay comparable
+        across every file, old and new), and shard files present on
+        disk but absent from the manifest — the debris of a crash
+        between the file write and the manifest swap — are deleted
+        (``recovered_files``).
+    metadata:
+        Trace metadata stamped onto every round file this appender
+        writes.  Defaults to the newest committed file's metadata for
+        an existing directory and to the
+        :class:`~repro.trace.TraceMetadata` defaults otherwise; the
+        :attr:`metadata` property is assignable any time (monitors
+        learn the land only on attach).
+    fsync:
+        When True every commit fsyncs the round file and the
+        directory before, and the manifest after, the swap — making
+        the commit durable against power loss, not just process
+        crash (the same knob :class:`~repro.trace.RtrcAppender`
+        offers).  Off by default: the crawl loop favours throughput,
+        and a torn commit is recovered on reopen either way.
+
+    Usage mirrors :class:`~repro.trace.RtrcAppender` — it is a drop-in
+    monitor sink::
+
+        with RtrcDirAppender("crawl-shards/", metadata=meta) as out:
+            for t, names, coords in observations:
+                out.append_snapshot(t, names, coords)
+                ...
+                out.commit()   # this round becomes shard-0000N.rtrc
+
+    Pending (uncommitted) snapshots live in memory and are lost on a
+    crash — the manifest swap in :meth:`commit` is the durability
+    point, and it publishes whole rounds only, so a reader can never
+    observe a torn round.
+    """
+
+    def __init__(
+        self,
+        directory: str | Path,
+        metadata: TraceMetadata | None = None,
+        *,
+        fsync: bool = False,
+    ) -> None:
+        self.directory = Path(directory)
+        self.directory.mkdir(parents=True, exist_ok=True)
+        self._fsync = bool(fsync)
+        self._users = UserInterner()
+        self._metadata = metadata if metadata is not None else TraceMetadata()
+        self._files: list[str] = []
+        self._counts: list[int] = []
+        self._ranges: list[list[float] | None] = []
+        self._generation = 0
+        self._committed_s = 0
+        self._committed_n = 0
+        self._last_time = float("-inf")
+        self._closed = False
+        #: Orphaned shard files deleted while opening (crash debris).
+        self.recovered_files: list[str] = []
+        # The pending round, in memory until commit.
+        self._pending_times: list[float] = []
+        self._pending_ids: list[np.ndarray] = []
+        self._pending_xyz: list[np.ndarray] = []
+        self._pending_rows = 0
+        self._adopt_existing(metadata)
+        if read_shard_manifest(self.directory) is None:
+            # A fresh directory becomes self-describing immediately:
+            # an empty manifest distinguishes "no rounds committed
+            # yet" from "not a shard directory".
+            self._write_manifest()
+
+    # -- construction -------------------------------------------------------
+
+    def _adopt_existing(self, metadata: TraceMetadata | None) -> None:
+        manifest = read_shard_manifest(self.directory)
+        if manifest is not None:
+            files = [str(name) for name in manifest["files"]]
+            self._generation = int(manifest.get("generation", 0))
+        else:
+            files = list_rtrc_dir(self.directory)
+        for name in files:
+            path = self.directory / name
+            try:
+                store, file_meta = read_store_rtrc(path, mmap=True)
+            except FileNotFoundError as exc:
+                raise TraceFormatError(
+                    f"{self.directory}: manifest names missing shard file "
+                    f"{name!r}"
+                ) from exc
+            for user in store.users.names:
+                self._users.intern(user)
+            count = store.snapshot_count
+            self._files.append(name)
+            self._counts.append(count)
+            if count:
+                first = float(store.times[0])
+                last = float(store.times[-1])
+                if last <= self._last_time or first <= self._last_time:
+                    raise TraceFormatError(
+                        f"{self.directory}: shard file {name!r} is not "
+                        "strictly after its predecessors; the directory is "
+                        "not a time-ordered shard dir"
+                    )
+                self._ranges.append([first, last])
+                self._last_time = last
+                self._committed_s += count
+                self._committed_n += store.observation_count
+            else:
+                self._ranges.append(None)
+            if metadata is None:
+                self._metadata = file_meta
+        if manifest is not None:
+            known = set(files)
+            for path in sorted(self.directory.glob("shard-*.rtrc*")):
+                if path.name not in known and not path.name.endswith(".tmp"):
+                    path.unlink()
+                    self.recovered_files.append(path.name)
+
+    # -- lifecycle ----------------------------------------------------------
+
+    def close(self) -> None:
+        """Commit the pending round (if any); idempotent."""
+        if self._closed:
+            return
+        try:
+            self.commit()
+        finally:
+            self._closed = True
+
+    def __enter__(self) -> "RtrcDirAppender":
+        return self
+
+    def __exit__(self, *exc_info: object) -> None:
+        self.close()
+
+    def _require_open(self) -> None:
+        if self._closed:
+            raise ValueError(f"{self.directory}: appender is closed")
+
+    # -- shape ---------------------------------------------------------------
+
+    @property
+    def snapshot_count(self) -> int:
+        """Snapshots written so far (committed and pending)."""
+        return self._committed_s + len(self._pending_times)
+
+    @property
+    def observation_count(self) -> int:
+        """Observation rows written so far (committed and pending)."""
+        return self._committed_n + self._pending_rows
+
+    @property
+    def committed_snapshot_count(self) -> int:
+        """Snapshots a concurrent reader is guaranteed to see."""
+        return self._committed_s
+
+    @property
+    def shard_count(self) -> int:
+        """Committed round files so far."""
+        return len(self._files)
+
+    @property
+    def shard_files(self) -> list[str]:
+        """Committed round file names, in time order."""
+        return list(self._files)
+
+    @property
+    def user_count(self) -> int:
+        """Distinct users interned so far."""
+        return len(self._users)
+
+    @property
+    def user_names(self) -> list[str]:
+        """Interned user names, indexed by id.  Treat as read-only."""
+        return self._users.names
+
+    @property
+    def last_time(self) -> float:
+        """Timestamp of the newest appended snapshot (-inf when empty)."""
+        return self._last_time if not self._pending_times else self._pending_times[-1]
+
+    @property
+    def metadata(self) -> TraceMetadata:
+        """Trace metadata stamped on round files (assignable)."""
+        return self._metadata
+
+    @metadata.setter
+    def metadata(self, value: TraceMetadata) -> None:
+        self._metadata = value
+
+    # -- appends -------------------------------------------------------------
+
+    def append_snapshot(
+        self,
+        time: float,
+        names: Sequence[str],
+        coords: np.ndarray | Sequence[Sequence[float]],
+    ) -> None:
+        """Buffer one snapshot into the pending round.
+
+        ``time`` must be strictly greater than every earlier snapshot
+        in the directory; ``names`` may repeat users across snapshots
+        but not within one.  Nothing touches disk until :meth:`commit`.
+        """
+        self._require_open()
+        t = float(time)
+        if t <= self.last_time:
+            raise ValueError(
+                f"snapshot times must be strictly increasing: "
+                f"{t} after {self.last_time}"
+            )
+        rows = len(names)
+        block = np.ascontiguousarray(coords, dtype=np.float64).reshape(rows, 3)
+        if len(set(names)) != rows:
+            seen: set[str] = set()
+            for name in names:
+                if name in seen:
+                    raise ValueError(f"user {name!r} appears twice at t={t}")
+                seen.add(name)
+        ids = np.fromiter(
+            (self._users.intern(name) for name in names),
+            dtype=np.int64,
+            count=rows,
+        )
+        self._pending_times.append(t)
+        self._pending_ids.append(ids)
+        self._pending_xyz.append(block)
+        self._pending_rows += rows
+
+    def commit(self) -> Path | None:
+        """Publish the pending round as a new shard file.
+
+        The round's snapshots are written as one immutable
+        ``shard-*.rtrc`` file (via the usual temp-file + rename), then
+        the manifest is atomically swapped to include it — the commit
+        point.  A crash in between leaves an orphan file the next
+        appender deletes and a manifest that never mentions it, so
+        concurrent readers always load a consistent committed prefix.
+        Returns the new shard file's path, or ``None`` when nothing
+        was pending.
+        """
+        self._require_open()
+        if not self._pending_times:
+            return None
+        count = len(self._pending_times)
+        times = np.asarray(self._pending_times, dtype=np.float64)
+        offsets = np.zeros(count + 1, dtype=np.int64)
+        np.cumsum([len(ids) for ids in self._pending_ids], out=offsets[1:])
+        user_ids = (
+            np.concatenate(self._pending_ids)
+            if self._pending_rows
+            else np.empty(0, dtype=np.int64)
+        )
+        xyz = (
+            np.concatenate(self._pending_xyz)
+            if self._pending_rows
+            else np.empty((0, 3), dtype=np.float64)
+        )
+        store = ColumnarStore(times, offsets, user_ids, xyz, self._users)
+        name = f"shard-{len(self._files):05d}.rtrc"
+        path = write_store_rtrc(store, self._metadata, self.directory / name)
+        if self._fsync:
+            # The round file's blocks (same inode across the rename)
+            # and its directory entry must be durable before the
+            # manifest names it, or a power loss could publish a
+            # file whose data never reached disk.
+            _fsync_path(path)
+            _fsync_path(self.directory)
+        self._files.append(name)
+        self._counts.append(count)
+        self._ranges.append([float(times[0]), float(times[-1])])
+        self._committed_s += count
+        self._committed_n += self._pending_rows
+        self._last_time = float(times[-1])
+        self._pending_times = []
+        self._pending_ids = []
+        self._pending_xyz = []
+        self._pending_rows = 0
+        self._write_manifest()
+        return path
+
+    def _write_manifest(self) -> None:
+        write_shard_manifest(
+            self.directory,
+            self._files,
+            self._counts,
+            self._ranges,
+            self._generation,
+            fsync=self._fsync,
+        )
+
+
+# -- compaction --------------------------------------------------------------
+
+
+def compact_shard_dir(
+    directory: str | Path,
+    shards: int = 1,
+    gzip_shards: bool = False,
+) -> list[Path]:
+    """Fold a shard directory into ``shards`` balanced shard files.
+
+    A long-running :class:`RtrcDirAppender` crawl leaves one small
+    file per round; compaction rewrites the directory as an even
+    ``shards``-way split (the same partition :func:`to_rtrc_dir`
+    produces) while keeping the loaded data **bit-for-bit** identical:
+    ``concat_shards(read_rtrc_dir(d))`` returns the same columns and
+    the same user table before and after (pinned by
+    ``tests/unit/trace/test_compaction.py``).
+
+    The rewrite is crash-consistent: compacted files are written under
+    *generation-tagged* names (``shard-00000.g<N>.rtrc``) that no
+    previous manifest references, the manifest is then atomically
+    swapped to the new file list — the commit point — and only
+    afterwards are the old files unlinked.  A crash before the swap
+    leaves the directory exactly as it was (plus orphans the next
+    appender cleans up); a crash after it leaves a fully valid
+    compacted directory plus unlinked-later debris.  Concurrent
+    *readers* holding memmaps keep their consistent view (unlink only
+    removes the name); do **not** compact while an appender has the
+    directory open — the appender caches the manifest it opened with.
+
+    The concatenated store is materialized in memory for the rewrite,
+    so compaction currently assumes the directory fits in RAM;
+    bounded-memory (group-by-group) compaction is a ROADMAP follow-on.
+
+    Returns the new shard file paths, in time order.
+    """
+    source = Path(directory)
+    manifest = read_shard_manifest(source)
+    old_files = list_rtrc_dir(source)
+    if not old_files:
+        raise TraceFormatError(f"{source}: no shard files found")
+    trace = concat_shards(read_rtrc_dir(source, mmap=True))
+    generation = (int(manifest.get("generation", 0)) if manifest else 0) + 1
+    parts = split_time_shards(trace, shards)
+    suffix = ".rtrc.gz" if gzip_shards else ".rtrc"
+    names = [
+        f"shard-{index:05d}.g{generation}{suffix}" for index in range(len(parts))
+    ]
+    paths = [
+        write_trace_rtrc(part, source / name)
+        for part, name in zip(parts, names)
+    ]
+    write_shard_manifest(
+        source,
+        names,
+        [len(p) for p in parts],
+        [[p.start_time, p.end_time] if len(p) else None for p in parts],
+        generation,
+    )
+    survivors = set(names)
+    for name in old_files:
+        if name not in survivors:
+            try:
+                (source / name).unlink()
+            except FileNotFoundError:
+                pass
+    return paths

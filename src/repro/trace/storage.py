@@ -406,7 +406,9 @@ def _read_buffer(raw: bytes, path: Path) -> tuple[ColumnarStore, TraceMetadata]:
                 f"{path}: truncated rtrc file — section needs bytes up to "
                 f"{start + nbytes}, buffer has {len(raw)}"
             )
-        return np.frombuffer(raw, dtype=dtype, count=int(np.prod(shape)), offset=start).reshape(shape)
+        return np.frombuffer(
+            raw, dtype=dtype, count=int(np.prod(shape)), offset=start
+        ).reshape(shape)
 
     return _store_from_sections(header, load_section, path)
 
@@ -415,6 +417,40 @@ def read_trace_rtrc(path: str | Path, mmap: bool = True) -> Trace:
     """Read a trace written by :func:`write_trace_rtrc`."""
     store, metadata = read_store_rtrc(path, mmap=mmap)
     return Trace.from_columns(store, metadata)
+
+
+def compact_rtrc_store(path: str | Path) -> tuple[Path, int]:
+    """Rewrite an ``.rtrc`` file tightly, dropping append slack.
+
+    An appendable store (:class:`RtrcAppender`) reserves section
+    capacity and header padding so appends never move data; a finished
+    crawl therefore carries dead bytes — up to half the file right
+    after a capacity doubling.  Compaction rewrites the committed
+    prefix as a tightly packed one-shot file through the usual
+    temp-file + atomic-rename dance, so concurrent memmap readers keep
+    their consistent view of the old inode and a crash leaves the
+    original untouched.  (The next open-for-append simply converts the
+    file back to the appendable layout.)
+
+    Returns ``(path, bytes_reclaimed)``; gzipped stores are rejected —
+    they carry no slack to trim.
+
+    Do **not** compact a store a live :class:`RtrcAppender` has open:
+    the rename swaps a new inode into the path, so the appender keeps
+    writing to the old, now-invisible file and every round after the
+    compaction silently vanishes.  Compact finished crawls only (the
+    same single-writer rule :func:`~repro.trace.compact_shard_dir`
+    states for shard directories).
+    """
+    source = Path(path)
+    if _is_gzip(source):
+        raise ValueError(
+            f"{source}: gzipped rtrc stores have no append slack to compact"
+        )
+    before = source.stat().st_size
+    store, metadata = read_store_rtrc(source, mmap=True)
+    write_store_rtrc(store, metadata, source)
+    return source, before - source.stat().st_size
 
 
 # -- appendable stores ------------------------------------------------------

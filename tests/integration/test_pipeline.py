@@ -11,7 +11,6 @@ import pytest
 from repro.core import BLUETOOTH_RANGE, WIFI_RANGE, TraceAnalyzer
 from repro.experiments import ExperimentConfig, analyzer_for, clear_cache
 from repro.lands import paper_presets
-from repro.monitors import Crawler
 from repro.trace import read_trace_csv, validate_trace, write_trace_csv
 
 #: Shared one-hour afternoon windows; each land simulated once.

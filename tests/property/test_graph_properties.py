@@ -76,7 +76,10 @@ class TestGraphInvariants:
     @settings(max_examples=25)
     def test_matches_networkx(self, g):
         nx_g = _to_networkx(g)
-        assert average_clustering(g) == pytest.approx(networkx.average_clustering(nx_g)) if g.node_count else True
+        if g.node_count:
+            assert average_clustering(g) == pytest.approx(
+                networkx.average_clustering(nx_g)
+            )
         comps_ours = sorted(len(c) for c in connected_components(g))
         comps_nx = sorted(len(c) for c in networkx.connected_components(nx_g))
         assert comps_ours == comps_nx

@@ -5,9 +5,8 @@ import pytest
 
 from repro.core import TraceAnalyzer, render_ccdf_table, render_summary_table
 from repro.core.report import log_grid
-from repro.geometry import Position
 from repro.stats import ECDF
-from repro.trace import Snapshot, Trace, TraceMetadata, constant_positions_trace, random_walk_trace
+from repro.trace import Trace, constant_positions_trace, random_walk_trace
 
 
 @pytest.fixture(scope="module")

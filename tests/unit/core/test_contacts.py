@@ -10,7 +10,13 @@ from repro.core import (
     inter_contact_times,
 )
 from repro.geometry import Position
-from repro.trace import Snapshot, Trace, TraceMetadata, constant_positions_trace, crossing_users_trace
+from repro.trace import (
+    Snapshot,
+    Trace,
+    TraceMetadata,
+    constant_positions_trace,
+    crossing_users_trace,
+)
 
 
 def _trace_from_distances(distances, tau=10.0):

@@ -10,7 +10,7 @@ there by extracting *only* the newly appended part.
 import numpy as np
 import pytest
 
-import repro.core.live as live_module
+import repro.core.parallel as parallel_module
 from repro.core import LiveAnalyzer, extract_contacts, losgraph
 from repro.core.spatial import zone_occupation
 from repro.trace import (
@@ -121,13 +121,13 @@ class TestEquivalence:
 class TestIncrementality:
     def test_each_part_extracted_exactly_once(self, tmp_path, trace, monkeypatch):
         calls = []
-        real = live_module.extract_shard_task
+        real = parallel_module.extract_shard_task
 
         def counting(part, kind, params):
             calls.append((kind, len(part)))
             return real(part, kind, params)
 
-        monkeypatch.setattr(live_module, "extract_shard_task", counting)
+        monkeypatch.setattr(parallel_module, "extract_shard_task", counting)
         path = tmp_path / "live-count.rtrc"
         with RtrcAppender(path, trace.metadata) as appender:
             live = LiveAnalyzer(path)

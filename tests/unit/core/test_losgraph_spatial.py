@@ -1,6 +1,5 @@
 """Unit tests for repro.core.losgraph and repro.core.spatial."""
 
-import numpy as np
 import pytest
 
 from repro.core import (

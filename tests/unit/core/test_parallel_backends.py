@@ -160,8 +160,27 @@ class TestAnalyzerIntegration:
         # process backend must not pay spawn + shard-file overhead.
         with ShardedAnalyzer(trace, 1, backend="process") as sharded:
             assert sharded.contacts(15.0) == extract_contacts(trace, 15.0)
-            assert sharded._pool is None
-            assert sharded._shard_paths is None
+            assert sharded._scheduler.pool is None
+            assert sharded._scheduler.materialized_paths == []
+
+
+class TestPoolSizing:
+    def test_persistent_pool_grows_for_bigger_task_sets(self, monkeypatch):
+        # A live follower's first catch-up may fan 2 tasks; a later
+        # backfill may fan 8 — the persistent pool must not stay
+        # pinned at the first run's size.
+        import repro.core.parallel as parallel_mod
+        from repro.core.parallel import PartScheduler
+
+        monkeypatch.setattr(parallel_mod.os, "cpu_count", lambda: 8)
+        with PartScheduler("process") as scheduler:
+            small = scheduler._process_pool(2)
+            assert scheduler._pool_size == 2
+            assert scheduler._process_pool(2) is small  # reused
+            big = scheduler._process_pool(6)
+            assert big is not small
+            assert scheduler._pool_size == 6
+            assert scheduler._process_pool(3) is big  # never shrinks
 
 
 class TestFailurePropagation:
@@ -176,14 +195,14 @@ class TestFailurePropagation:
         assert excinfo.value.__cause__ is not None
 
     def test_thread_backend_preserves_cause(self, trace, monkeypatch):
-        import repro.core.sharded as sharded_mod
+        import repro.core.parallel as parallel_mod
 
         boom = RuntimeError("disk on fire")
 
         def exploding(shard, kind, params):
             raise boom
 
-        monkeypatch.setattr(sharded_mod, "extract_shard_task", exploding)
+        monkeypatch.setattr(parallel_mod, "extract_shard_task", exploding)
         sharded = ShardedAnalyzer(trace, 3, backend="thread")
         with pytest.raises(ShardAnalysisError, match="disk on fire") as excinfo:
             sharded.contacts(10.0)
@@ -198,12 +217,12 @@ class TestFailurePropagation:
         import os
 
         with ShardedAnalyzer(trace, 2, backend="process") as sharded:
-            pool = sharded._process_pool()
+            pool = sharded._scheduler._process_pool(len(sharded.shards))
             with pytest.raises(Exception):
                 pool.submit(os._exit, 13).result()
             with pytest.raises(ShardAnalysisError):
                 sharded.contacts(15.0)
-            assert sharded._pool is None
+            assert sharded._scheduler.pool is None
             assert sharded.contacts(15.0) == extract_contacts(trace, 15.0)
 
     def test_worker_death_mid_flight_recovers_next_call(self, trace):
@@ -212,11 +231,11 @@ class TestFailurePropagation:
         # wrapped error must discard the pool so the very next
         # analysis succeeds on a fresh one.
         with ShardedAnalyzer(trace, 2, backend="process") as sharded:
-            pool = sharded._process_pool()
+            pool = sharded._scheduler._process_pool(len(sharded.shards))
             pool.submit(int, 0).result()  # ensure workers are up
             for proc in list(pool._processes.values()):
                 proc.terminate()
             with pytest.raises(ShardAnalysisError):
                 sharded.sessions()
-            assert sharded._pool is None
+            assert sharded._scheduler.pool is None
             assert sharded.sessions() == extract_sessions(trace)

@@ -17,7 +17,6 @@ from repro.trace import (
     TraceMetadata,
     constant_positions_trace,
     extract_sessions,
-    random_walk_trace,
 )
 from repro.trace.columnar import ColumnarBuilder
 

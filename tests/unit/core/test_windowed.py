@@ -133,6 +133,85 @@ class TestEquivalence:
         )
 
 
+class TestBackendEquivalence:
+    """Thread and process window fans must equal the serial oracle.
+
+    The churn trace spans t = 0..390 s, so the widths below cut it
+    into exactly 1, 2 and 7 non-empty windows — the same part counts
+    the sharded and live equivalence suites pin.  Every family runs
+    bit-for-bit against the in-memory extractors; the process backend
+    really materializes per-window ``.rtrc`` files and spawns workers.
+    """
+
+    WIDTHS = {1: 1e6, 2: 200.0, 7: 56.0}
+
+    @pytest.fixture(
+        scope="class", params=("thread", "process"), ids=("thread", "process")
+    )
+    def backend(self, request):
+        return request.param
+
+    @pytest.fixture(
+        scope="class",
+        params=sorted(WIDTHS),
+        ids=[f"windows{n}" for n in sorted(WIDTHS)],
+    )
+    def fanned(self, request, rtrc_path, backend):
+        width = self.WIDTHS[request.param]
+        with WindowedAnalyzer(rtrc_path, width, backend=backend) as analyzer:
+            assert len(analyzer._part_lengths()) == request.param
+            yield analyzer
+
+    def test_contacts(self, fanned, trace):
+        assert fanned.contacts(15.0) == extract_contacts(trace, 15.0)
+
+    def test_contacts_multirange(self, fanned, trace):
+        result = fanned.contacts_multirange((6.0, 15.0, 80.0))
+        for r, contacts in result.items():
+            assert contacts == extract_contacts(trace, r)
+
+    def test_sessions(self, fanned, trace):
+        assert fanned.sessions() == extract_sessions(trace)
+        assert fanned.sessions(45.0) == extract_sessions(trace, 45.0)
+
+    @pytest.mark.parametrize("every", (1, 3))
+    def test_zone_occupation(self, fanned, trace, every):
+        expected = zone_occupation(trace, 20.0, every)
+        got = fanned.zone_occupation(20.0, every)
+        assert got.dtype == expected.dtype
+        assert np.array_equal(got, expected)
+
+    @pytest.mark.parametrize("every", (1, 2))
+    def test_losgraph_samples(self, fanned, trace, every):
+        assert np.array_equal(
+            fanned.degree_array(15.0, every),
+            np.asarray(losgraph.degree_samples(trace, 15.0, every), dtype=np.int64),
+        )
+        assert np.array_equal(
+            fanned.diameter_array(15.0, every),
+            np.asarray(losgraph.diameter_series(trace, 15.0, every), dtype=np.int64),
+        )
+        assert np.array_equal(
+            fanned.clustering_array(15.0, every),
+            np.asarray(
+                losgraph.clustering_series(trace, 15.0, every), dtype=np.float64
+            ),
+        )
+
+    def test_unknown_backend_rejected(self, rtrc_path):
+        with pytest.raises(ValueError, match="backend"):
+            WindowedAnalyzer(rtrc_path, 25.0, backend="carrier-pigeon")
+
+    def test_process_backend_materializes_window_files(self, rtrc_path, trace):
+        with WindowedAnalyzer(rtrc_path, 56.0, backend="process") as analyzer:
+            analyzer.contacts(15.0)
+            paths = analyzer._scheduler.materialized_paths
+            assert len(paths) == 7
+            assert all(p.exists() for p in paths)
+        # close() deletes the materialized window files with the pool.
+        assert not any(p.exists() for p in paths)
+
+
 class TestSparseGaps:
     """A trace with long silent stretches: some windows hold nothing."""
 

@@ -12,7 +12,7 @@ from repro.dtn import (
     uniform_workload,
 )
 from repro.netgraph import Graph
-from repro.trace import constant_positions_trace, random_walk_trace
+from repro.trace import random_walk_trace
 
 
 @pytest.fixture

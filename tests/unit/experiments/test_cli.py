@@ -254,3 +254,67 @@ class TestValidateExitCodes:
         out = capsys.readouterr().out
         assert "sitting-artifact" in out
         assert "out-of-bounds" in out
+
+
+class TestShardDirCli:
+    """The shard-dir surface: clean diagnostics, no raw tracebacks."""
+
+    def _grown_dir(self, tmp_path):
+        import numpy as np
+
+        from repro.trace import RtrcDirAppender
+        from tests.unit.core.test_sharded_equivalence import churn_trace
+
+        trace = churn_trace(47)
+        cols = trace.columns
+        root = tmp_path / "shards"
+        edges = np.linspace(0, cols.snapshot_count, 4).astype(int)
+        with RtrcDirAppender(root, trace.metadata) as appender:
+            for lo, hi in zip(edges[:-1], edges[1:]):
+                for i in range(int(lo), int(hi)):
+                    a, b = cols.snapshot_offsets[i], cols.snapshot_offsets[i + 1]
+                    appender.append_snapshot(
+                        float(cols.times[i]), cols.names_of(i), cols.xyz[a:b]
+                    )
+                appender.commit()
+        return root
+
+    def test_follow_before_producer_exits_cleanly(self, tmp_path, capsys):
+        # Follower started before the crawler: exit 2 + message, not a
+        # FileNotFoundError traceback (for dirs and files alike).
+        assert main(["analyze", str(tmp_path / "not-yet"), "--follow"]) == 2
+        assert "start the crawl" in capsys.readouterr().err
+        assert main(["analyze", str(tmp_path / "not.rtrc"), "--follow"]) == 2
+        assert "start the crawl" in capsys.readouterr().err
+
+    def test_batch_analyze_loads_a_shard_dir(self, tmp_path, capsys):
+        root = self._grown_dir(tmp_path)
+        assert main(["analyze", str(root), "--range", "15", "--every", "6"]) == 0
+        assert "churn" in capsys.readouterr().out
+
+    def test_batch_analyze_rejects_a_non_shard_dir(self, tmp_path, capsys):
+        empty = tmp_path / "empty-dir"
+        empty.mkdir()
+        assert main(["analyze", str(empty)]) == 2
+        assert "shard directory" in capsys.readouterr().err
+
+    def test_analyze_backend_serial_needs_follow(self, tmp_path, capsys):
+        root = self._grown_dir(tmp_path)
+        assert main(["analyze", str(root), "--backend", "serial"]) == 2
+        assert "--follow" in capsys.readouterr().err
+
+    def test_compact_missing_target_exits_cleanly(self, tmp_path, capsys):
+        assert main(["compact", str(tmp_path / "nothere.rtrc")]) == 2
+        assert "no such store" in capsys.readouterr().err
+
+    def test_compact_non_shard_dir_exits_cleanly(self, tmp_path, capsys):
+        empty = tmp_path / "empty-dir"
+        empty.mkdir()
+        assert main(["compact", str(empty)]) == 2
+        assert "cannot compact" in capsys.readouterr().err
+
+    def test_compact_shard_dir_round_trips(self, tmp_path, capsys):
+        root = self._grown_dir(tmp_path)
+        assert main(["compact", str(root), "--shards", "2"]) == 0
+        assert "2 shard file(s)" in capsys.readouterr().err
+        assert main(["analyze", str(root), "--range", "15"]) == 0

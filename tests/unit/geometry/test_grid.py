@@ -85,7 +85,10 @@ class TestSpatialGrid:
 
     def test_neighbour_pairs_matches_bruteforce(self):
         rng = np.random.default_rng(7)
-        points = [(f"p{i}", float(x), float(y)) for i, (x, y) in enumerate(rng.uniform(0, 100, (60, 2)))]
+        points = [
+            (f"p{i}", float(x), float(y))
+            for i, (x, y) in enumerate(rng.uniform(0, 100, (60, 2)))
+        ]
         grid = SpatialGrid(15.0)
         grid.insert_many(points)
         r = 12.0

@@ -10,7 +10,7 @@ from repro.lands import (
     isle_of_view,
     paper_presets,
 )
-from repro.metaverse import AccessPolicy, World
+from repro.metaverse import World
 
 
 class TestCalibrationData:

@@ -1,6 +1,5 @@
 """Unit tests for the concrete mobility models."""
 
-import math
 
 import numpy as np
 import pytest

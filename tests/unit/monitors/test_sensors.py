@@ -4,7 +4,7 @@ import pytest
 
 from repro.geometry import Position
 from repro.metaverse import AccessPolicy, Land, Population, SessionProcess, World
-from repro.mobility import PoiMobility, PointOfInterest, RandomWaypoint, StaticModel
+from repro.mobility import PointOfInterest, RandomWaypoint, StaticModel
 from repro.monitors import GroundTruthMonitor, SensorNetwork, WebServer, run_monitors
 from repro.monitors.sensors import (
     CACHE_BYTES,

@@ -5,7 +5,6 @@ import pytest
 from repro.core.contacts import ContactInterval
 from repro.social import (
     Acquaintance,
-    RelationGraph,
     acquaintance_summary,
     build_relation_graph,
     encounter_regularity,

@@ -129,7 +129,9 @@ class TestTruncatedParetoExp:
 
     def test_cutoff_thins_tail(self, rng):
         pure = BoundedPareto(alpha=1.4, low=10.0, high=3000.0).sample(rng, 30000)
-        cut = TruncatedParetoExp(alpha=1.4, rate=1.0 / 200.0, low=10.0, high=3000.0).sample(rng, 30000)
+        cut = TruncatedParetoExp(
+            alpha=1.4, rate=1.0 / 200.0, low=10.0, high=3000.0
+        ).sample(rng, 30000)
         # The exponential cut-off must suppress the far tail.
         assert np.quantile(cut, 0.99) < np.quantile(pure, 0.99)
 

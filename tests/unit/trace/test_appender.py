@@ -13,7 +13,6 @@ import pytest
 
 from repro.trace import (
     RtrcAppender,
-    Trace,
     TraceMetadata,
     random_walk_trace,
     read_store_rtrc,

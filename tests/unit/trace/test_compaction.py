@@ -1,0 +1,192 @@
+"""Compaction must be invisible to readers: same bytes, fewer files.
+
+``compact_shard_dir`` folds many small append-round shards into a
+balanced split, and ``compact_rtrc_store`` trims the capacity slack of
+an appendable single file; in both cases the loaded store — columns
+*and* user table — must be bit-for-bit what it was before.
+"""
+
+import numpy as np
+import pytest
+
+from repro.trace import (
+    RtrcAppender,
+    RtrcDirAppender,
+    Trace,
+    TraceFormatError,
+    compact_rtrc_store,
+    compact_shard_dir,
+    concat_shards,
+    list_rtrc_dir,
+    read_rtrc_dir,
+    read_shard_manifest,
+    read_trace_rtrc,
+    to_rtrc_dir,
+    write_trace_rtrc,
+)
+from tests.unit.core.test_sharded_equivalence import churn_trace
+
+
+def _stream_dir(root, trace, rounds, metadata=None):
+    cols = trace.columns
+    edges = np.linspace(0, cols.snapshot_count, rounds + 1).astype(int)
+    with RtrcDirAppender(root, metadata or trace.metadata) as appender:
+        for lo, hi in zip(edges[:-1], edges[1:]):
+            for index in range(int(lo), int(hi)):
+                a, b = cols.snapshot_offsets[index], cols.snapshot_offsets[index + 1]
+                appender.append_snapshot(
+                    float(cols.times[index]), cols.names_of(index), cols.xyz[a:b]
+                )
+            appender.commit()
+
+
+def _assert_stores_equal(a: Trace, b: Trace) -> None:
+    assert np.array_equal(a.columns.times, b.columns.times)
+    assert np.array_equal(a.columns.snapshot_offsets, b.columns.snapshot_offsets)
+    assert np.array_equal(a.columns.user_ids, b.columns.user_ids)
+    assert np.array_equal(a.columns.xyz, b.columns.xyz)
+    assert a.columns.users.names == b.columns.users.names
+    assert a.metadata == b.metadata
+
+
+@pytest.fixture(scope="module")
+def trace():
+    return churn_trace(41)
+
+
+class TestShardDirCompaction:
+    @pytest.mark.parametrize("k", (1, 2, 7))
+    def test_compacted_dir_loads_bit_for_bit(self, tmp_path, trace, k):
+        root = tmp_path / f"dir-{k}"
+        _stream_dir(root, trace, 9)
+        before = concat_shards(read_rtrc_dir(root))
+        paths = compact_shard_dir(root, k)
+        assert len(paths) == k
+        after = concat_shards(read_rtrc_dir(root))
+        _assert_stores_equal(before, after)
+        _assert_stores_equal(trace, after)
+
+    def test_compaction_balances_and_removes_round_files(self, tmp_path, trace):
+        root = tmp_path / "balance"
+        _stream_dir(root, trace, 9)
+        compact_shard_dir(root, 3)
+        manifest = read_shard_manifest(root)
+        assert len(manifest["files"]) == 3
+        counts = manifest["snapshot_counts"]
+        assert sum(counts) == len(trace)
+        assert max(counts) - min(counts) <= 1  # the even split
+        # Only the compacted generation (plus the manifest) survives.
+        on_disk = sorted(p.name for p in root.iterdir())
+        assert on_disk == sorted(manifest["files"] + ["manifest.json"])
+
+    def test_generation_names_never_collide_across_compactions(
+        self, tmp_path, trace
+    ):
+        root = tmp_path / "gens"
+        _stream_dir(root, trace, 5)
+        compact_shard_dir(root, 2)
+        assert read_shard_manifest(root)["generation"] == 1
+        compact_shard_dir(root, 2)
+        manifest = read_shard_manifest(root)
+        assert manifest["generation"] == 2
+        assert all(".g2." in name for name in manifest["files"])
+        _assert_stores_equal(trace, concat_shards(read_rtrc_dir(root)))
+
+    def test_compacted_dir_accepts_further_appends(self, tmp_path, trace):
+        root = tmp_path / "then-append"
+        _stream_dir(root, trace, 6)
+        compact_shard_dir(root, 2)
+        with RtrcDirAppender(root) as appender:
+            t = trace.end_time + 10.0
+            appender.append_snapshot(t, ["late"], [[0.0, 0.0, 0.0]])
+        loaded = concat_shards(read_rtrc_dir(root))
+        assert len(loaded) == len(trace) + 1
+
+    def test_compacting_a_to_rtrc_dir_export(self, tmp_path, trace):
+        root = tmp_path / "export"
+        to_rtrc_dir(trace, 7, root)
+        compact_shard_dir(root, 2)
+        _assert_stores_equal(trace, concat_shards(read_rtrc_dir(root)))
+
+    def test_gzip_compaction(self, tmp_path, trace):
+        root = tmp_path / "gz"
+        _stream_dir(root, trace, 4)
+        paths = compact_shard_dir(root, 2, gzip_shards=True)
+        assert all(p.suffix == ".gz" for p in paths)
+        _assert_stores_equal(trace, concat_shards(read_rtrc_dir(root)))
+
+    def test_empty_directory_rejected(self, tmp_path):
+        root = tmp_path / "empty"
+        RtrcDirAppender(root).close()
+        with pytest.raises(TraceFormatError, match="no shard files"):
+            compact_shard_dir(root, 2)
+
+    def test_interrupted_compaction_leaves_old_view_loadable(
+        self, tmp_path, trace, monkeypatch
+    ):
+        # Simulate a crash after the new generation's files are written
+        # but before the manifest swap: the directory must still load
+        # as the *old* view, and the next appender cleans the orphans.
+        import repro.trace.sharding as sharding_mod
+
+        root = tmp_path / "crash"
+        _stream_dir(root, trace, 4)
+        before = concat_shards(read_rtrc_dir(root))
+
+        boom = RuntimeError("power loss")
+
+        def exploding(*args, **kwargs):
+            raise boom
+
+        monkeypatch.setattr(sharding_mod, "write_shard_manifest", exploding)
+        with pytest.raises(RuntimeError, match="power loss"):
+            compact_shard_dir(root, 2)
+        monkeypatch.undo()
+
+        _assert_stores_equal(before, concat_shards(read_rtrc_dir(root)))
+        appender = RtrcDirAppender(root)
+        assert sorted(appender.recovered_files) == [
+            "shard-00000.g1.rtrc",
+            "shard-00001.g1.rtrc",
+        ]
+        appender.close()
+        assert sorted(list_rtrc_dir(root)) == sorted(
+            f"shard-{i:05d}.rtrc" for i in range(4)
+        )
+
+
+class TestSingleFileCompaction:
+    def test_slack_trimmed_and_bytes_identical(self, tmp_path, trace):
+        path = tmp_path / "grown.rtrc"
+        cols = trace.columns
+        with RtrcAppender(path, trace.metadata) as appender:
+            for index in range(cols.snapshot_count):
+                a, b = cols.snapshot_offsets[index], cols.snapshot_offsets[index + 1]
+                appender.append_snapshot(
+                    float(cols.times[index]), cols.names_of(index), cols.xyz[a:b]
+                )
+                appender.commit()
+        before = path.stat().st_size
+        _, reclaimed = compact_rtrc_store(path)
+        assert reclaimed > 0
+        assert path.stat().st_size == before - reclaimed
+        loaded = read_trace_rtrc(path)
+        _assert_stores_equal(trace, loaded)
+        # The compacted file is byte-identical to a one-shot write.
+        oneshot = write_trace_rtrc(trace, tmp_path / "oneshot.rtrc")
+        assert path.read_bytes() == oneshot.read_bytes()
+
+    def test_compacted_file_reopens_for_append(self, tmp_path, trace):
+        path = tmp_path / "reopen.rtrc"
+        write_trace_rtrc(trace, path)
+        compact_rtrc_store(path)
+        with RtrcAppender(path) as appender:
+            appender.append_snapshot(
+                trace.end_time + 5.0, ["late"], [[0.0, 0.0, 0.0]]
+            )
+        assert len(read_trace_rtrc(path)) == len(trace) + 1
+
+    def test_gzip_rejected(self, tmp_path, trace):
+        path = write_trace_rtrc(trace, tmp_path / "t.rtrc.gz")
+        with pytest.raises(ValueError, match="gzip"):
+            compact_rtrc_store(path)

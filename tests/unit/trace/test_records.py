@@ -1,6 +1,5 @@
 """Unit tests for repro.trace.records."""
 
-import numpy as np
 import pytest
 
 from repro.geometry import Position

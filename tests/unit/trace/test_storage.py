@@ -1,6 +1,5 @@
 """Unit tests for the binary columnar ``.rtrc`` trace format."""
 
-import gzip
 
 import numpy as np
 import pytest
