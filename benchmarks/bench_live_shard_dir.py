@@ -42,13 +42,16 @@ FULL_SNAPSHOTS, FULL_USERS = 500, 2000
 #: Crawl rounds the stream is committed in (= shard files = parts).
 ROUNDS = 8
 
-#: Contact range (metres) — the Python merge state machine dominates.
+#: Contact range (metres) — ~10 in-range neighbours per user.
 RADIUS = 10.0
 
 #: CI regression floor: process-backend speedup over the serial live
 #: analyzer on the catch-up contacts workload, enforced when >= 2
-#: cores are usable.
-PROCESS_OVER_SERIAL_FLOOR = 1.5
+#: cores are usable.  The run-length kernels made the serial baseline
+#: ~4x faster than the old loop extractors, so the parallel win over
+#: worker spawn is thinner than it was — the floor defends "the
+#: process path still parallelizes", not the old headline ratio.
+PROCESS_OVER_SERIAL_FLOOR = 1.2
 
 
 def grow_shard_dir(trace: Trace, rounds: int, root: Path) -> Path:

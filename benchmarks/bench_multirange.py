@@ -1,18 +1,18 @@
 """Batched multi-range contact sweeps vs sequential per-radius extraction.
 
-:func:`repro.core.extract_contacts_multirange` builds the neighbour
-grid once per snapshot at the largest radius and advances each
-radius's interval state by diffing sorted pair-key sets, where
-sequential :func:`extract_contacts` calls rebuild the grid and rewrite
-per-pair bookkeeping dictionaries once per radius.
+:func:`repro.core.extract_contacts_multirange` builds the pair-event
+table once per trace at the largest radius (grid queries with
+distances kept) and runs the run-length kernel per radius under a
+distance mask, where sequential :func:`extract_contacts` calls
+rebuild the grid and the event table once per radius.
 
 The headline workload is the paper's own regime: avatars clustered at
 hot-spots, mostly idle (§3's long contact times).  Persistent pairs
-are where batching shines — the sequential path updates every in-range
-pair's state at every snapshot while the batched diff touches only
-the (tiny) change set.  A mobile regime is reported alongside for
-contrast: when the population churns, emission of the (huge) interval
-list dominates both paths and the speedup narrows.
+are where batching shines — almost every r_max event survives every
+mask, so the once-built table amortizes across all five radii.  A
+mobile regime is reported alongside for contrast: when the population
+churns, per-radius kernel work dominates both paths and the speedup
+narrows.
 
 Runs two ways:
 
@@ -20,8 +20,9 @@ Runs two ways:
 * ``PYTHONPATH=src python benchmarks/bench_multirange.py`` — the table
   recorded in CHANGES.md.
 
-Acceptance bar: >= 2x over 5 sequential calls on the hot-spot
-workload (measured ~2.5-2.8x on the dev container).
+Acceptance bar: >= 1.1x over 5 sequential calls on the hot-spot
+workload (measured ~1.3x on the dev container since the kernel
+rewrite made the sequential baseline ~4x faster).
 """
 
 from __future__ import annotations
@@ -36,8 +37,14 @@ from repro.trace import random_walk_trace
 #: The 5-radius sweep of the acceptance bar (Bluetooth to WiFi class).
 RADII = (5.0, 10.0, 20.0, 40.0, 80.0)
 
-#: Speedup floor on the hot-spot workload.
-MULTIRANGE_SPEEDUP_FLOOR = 2.0
+#: Speedup floor on the hot-spot workload.  The run-length kernels
+#: rebuilt *both* paths on the shared event table: sequential calls
+#: now re-run the grid + kernel per radius while the batched sweep
+#: builds the event table once at r_max and masks per radius.  The
+#: sequential baseline got ~4x faster, so the ratio narrowed from
+#: ~2.5x to ~1.3x; the floor defends "one build beats five" rather
+#: than the old state-machine headline.
+MULTIRANGE_SPEEDUP_FLOOR = 1.1
 
 #: (label, random_walk_trace kwargs) per regime.
 WORKLOADS = (

@@ -66,6 +66,28 @@ def bench_contacts_grid() -> dict:
     }
 
 
+def bench_extraction_kernels() -> dict:
+    """Vectorized run-length kernels vs the per-snapshot loop extractors."""
+    from bench_extraction_kernels import measure
+    from bench_parallel_backends import walk_trace
+
+    row = measure(walk_trace(120, 300), sweep=(5.0, 10.0, 20.0, 40.0))
+    return {
+        "metrics": {
+            "kernel_over_loop": row["kernel_over_loop"],
+            "sweep_kernel_over_loop": row["sweep_kernel_over_loop"],
+        },
+        "timings": {
+            "loop_contacts_s": row["loop_contacts_s"],
+            "kernel_contacts_s": row["kernel_contacts_s"],
+            "loop_sessions_s": row["loop_sessions_s"],
+            "kernel_sessions_s": row["kernel_sessions_s"],
+            "loop_sweep_s": row["loop_sweep_s"],
+            "kernel_sweep_s": row["kernel_sweep_s"],
+        },
+    }
+
+
 def bench_multirange() -> dict:
     """Batched radius sweep vs N sequential extractions (hot-spot)."""
     from bench_multirange import WORKLOADS, _measure
@@ -122,6 +144,7 @@ def bench_live_shard_dir() -> dict:
 
 BENCHES = {
     "contacts_grid": bench_contacts_grid,
+    "extraction_kernels": bench_extraction_kernels,
     "multirange": bench_multirange,
     "append_ingest": bench_append_ingest,
     "live_shard_dir": bench_live_shard_dir,

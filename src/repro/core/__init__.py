@@ -5,6 +5,8 @@ the statistics of §3/§4:
 
 * :mod:`repro.core.contacts` — contact time (CT), inter-contact time
   (ICT) and first contact time (FT) under a communication range *r*;
+* :mod:`repro.core.kernels` — the vectorized run-length extraction
+  kernels and the columnar :class:`ContactSet` they produce;
 * :mod:`repro.core.losgraph` — line-of-sight network snapshots and
   their degree / diameter / clustering distributions;
 * :mod:`repro.core.spatial` — travel length, effective travel time,
@@ -23,13 +25,25 @@ from repro.core.contacts import (
     WIFI_RANGE,
     ContactInterval,
     contact_durations,
+    extract_contact_set,
+    extract_contact_sets_multirange,
     extract_contacts,
+    extract_contacts_loop,
     extract_contacts_multirange,
+    extract_contacts_multirange_loop,
     extract_contacts_reference,
     first_contact_times,
     inter_contact_times,
     iter_snapshot_pairs,
     snapshot_id_pairs,
+)
+from repro.core.kernels import (
+    ContactEventTable,
+    ContactSet,
+    build_contact_events,
+    contact_set_from_columns,
+    contact_set_from_events,
+    multirange_contact_sets,
 )
 from repro.core.sharded import (
     ShardAnalysisError,
@@ -58,11 +72,21 @@ from repro.core.report import render_ccdf_table, render_summary_table
 __all__ = [
     "BLUETOOTH_RANGE",
     "WIFI_RANGE",
+    "ContactEventTable",
     "ContactInterval",
+    "ContactSet",
+    "build_contact_events",
     "contact_durations",
+    "contact_set_from_columns",
+    "contact_set_from_events",
+    "extract_contact_set",
+    "extract_contact_sets_multirange",
     "extract_contacts",
+    "extract_contacts_loop",
     "extract_contacts_multirange",
+    "extract_contacts_multirange_loop",
     "extract_contacts_reference",
+    "multirange_contact_sets",
     "LiveAnalyzer",
     "ShardAnalysisError",
     "ShardedAnalyzer",

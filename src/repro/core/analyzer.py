@@ -2,7 +2,11 @@
 
 ``TraceAnalyzer`` caches the expensive extractions (contacts per
 range, sessions) so that computing all six panels of Fig. 1 plus
-Fig. 2 touches each snapshot once per range.
+Fig. 2 touches each snapshot once per range.  Extractions are cached
+in their columnar form (:class:`~repro.core.kernels.ContactSet`,
+:class:`~repro.trace.SessionSet`); the temporal and spatial metrics
+read the flat arrays directly, and the interval/session *object* views
+are materialized lazily only when a caller asks for them.
 """
 
 from __future__ import annotations
@@ -15,9 +19,10 @@ import numpy as np
 from repro.core import contacts as contacts_mod
 from repro.core import losgraph, spatial
 from repro.core.contacts import ContactInterval
+from repro.core.kernels import ContactSet
 from repro.core.sharded import BACKENDS, ShardedAnalyzer
 from repro.stats import ECDF
-from repro.trace import Trace, UserSession, extract_sessions
+from repro.trace import SessionSet, Trace, UserSession, extract_session_set
 
 
 @dataclass(frozen=True)
@@ -71,12 +76,11 @@ class TraceAnalyzer:
         non-empty shard, bounded by the CPU count).
     backend:
         Where shard workers run.  ``"thread"`` (default) has no
-        start-up cost but the Python interval/session state machines
-        serialize on the GIL — right for small traces and
-        numpy-dominated work.  ``"process"`` materializes per-shard
-        ``.rtrc`` files and fans spawned workers that memmap-load
-        their own shard — true multi-core scaling for the GIL-bound
-        extractions, at the cost of worker spawn and a one-time shard
+        start-up cost; the run-length extraction kernels are
+        numpy-bound and release the GIL, so shards overlap well.
+        ``"process"`` materializes per-shard ``.rtrc`` files and fans
+        spawned workers that memmap-load their own shard — full
+        isolation at the cost of worker spawn and a one-time shard
         write.  Validated even when ``shards == 1`` so typos fail
         loudly.
 
@@ -114,8 +118,8 @@ class TraceAnalyzer:
             if shards > 1
             else None
         )
-        self._contacts: dict[float, list[ContactInterval]] = {}
-        self._sessions: list[UserSession] | None = None
+        self._contact_sets: dict[float, ContactSet] = {}
+        self._session_set: SessionSet | None = None
         # Array caches: repeated analyzer passes (figures, ablations)
         # re-request the same samples; keeping them as flat ndarrays
         # avoids re-walking the columnar store and re-boxing floats.
@@ -135,44 +139,65 @@ class TraceAnalyzer:
 
     # -- cached extractions ------------------------------------------------
 
+    def contact_set(self, r: float) -> ContactSet:
+        """Columnar contact set under range ``r`` (cached per range)."""
+        if self._sharded is not None:
+            return self._sharded.contact_set(r)
+        if r not in self._contact_sets:
+            self._contact_sets[r] = contacts_mod.extract_contact_set(
+                self.trace, r
+            )
+        return self._contact_sets[r]
+
     def contacts(self, r: float) -> list[ContactInterval]:
         """Contact intervals under range ``r`` (cached per range)."""
-        if r not in self._contacts:
-            if self._sharded is not None:
-                self._contacts[r] = self._sharded.contacts(r)
-            else:
-                self._contacts[r] = contacts_mod.extract_contacts(self.trace, r)
-        return self._contacts[r]
+        return self.contact_set(r).intervals()
 
-    def contacts_multirange(
-        self, ranges: Iterable[float]
-    ) -> dict[float, list[ContactInterval]]:
-        """Contacts for a whole radio-range sweep in one batched pass.
+    def contact_sets_multirange(
+        self,
+        ranges: Iterable[float],
+        radius_workers: int | None = None,
+    ) -> dict[float, ContactSet]:
+        """Columnar contact sets for a whole radio-range sweep.
 
-        Uncached radii are extracted together
-        (:func:`~repro.core.contacts.extract_contacts_multirange`
-        builds the neighbour grid once per snapshot for all of them)
-        and land in the same per-range cache :meth:`contacts` uses.
+        Uncached radii share one event-table build at the largest
+        radius (:func:`~repro.core.contacts.extract_contact_sets_multirange`);
+        ``radius_workers > 1`` fans the per-radius kernel passes over
+        an internal thread pool.  Results land in the same per-range
+        cache :meth:`contact_set` uses.
         """
         radii = sorted({float(r) for r in ranges})
-        missing = [r for r in radii if r not in self._contacts]
+        if self._sharded is not None:
+            return self._sharded.contact_sets_multirange(radii, radius_workers)
+        missing = [r for r in radii if r not in self._contact_sets]
         if missing:
-            if self._sharded is not None:
-                self._contacts.update(self._sharded.contacts_multirange(missing))
-            else:
-                self._contacts.update(
-                    contacts_mod.extract_contacts_multirange(self.trace, missing)
+            self._contact_sets.update(
+                contacts_mod.extract_contact_sets_multirange(
+                    self.trace, missing, radius_workers
                 )
-        return {r: self._contacts[r] for r in radii}
+            )
+        return {r: self._contact_sets[r] for r in radii}
+
+    def contacts_multirange(
+        self,
+        ranges: Iterable[float],
+        radius_workers: int | None = None,
+    ) -> dict[float, list[ContactInterval]]:
+        """Contacts for a whole radio-range sweep in one batched pass."""
+        sets = self.contact_sets_multirange(ranges, radius_workers)
+        return {r: s.intervals() for r, s in sets.items()}
+
+    def session_set(self) -> SessionSet:
+        """Columnar session set (cached)."""
+        if self._sharded is not None:
+            return self._sharded.session_set()
+        if self._session_set is None:
+            self._session_set = extract_session_set(self.trace)
+        return self._session_set
 
     def sessions(self) -> list[UserSession]:
         """Reconstructed user visits (cached)."""
-        if self._sessions is None:
-            if self._sharded is not None:
-                self._sessions = self._sharded.sessions()
-            else:
-                self._sessions = extract_sessions(self.trace)
-        return self._sessions
+        return self.session_set().sessions()
 
     def degree_array(self, r: float, every: int = 1) -> np.ndarray:
         """Aggregated degree samples as a flat float array (cached)."""
@@ -217,19 +242,29 @@ class TraceAnalyzer:
 
     def contact_times(self, r: float) -> ECDF:
         """CT distribution under range ``r`` — Fig. 1(a)/(d)."""
-        durations = contacts_mod.contact_durations(self.contacts(r))
+        durations = self.contact_set(r).durations()
         return _ecdf(durations, f"no completed contacts at r={r}")
 
     def inter_contact_times(self, r: float) -> ECDF:
         """ICT distribution under range ``r`` — Fig. 1(b)/(e)."""
-        gaps = contacts_mod.inter_contact_times(self.contacts(r))
+        gaps = self.contact_set(r).inter_contact_gaps()
         return _ecdf(gaps, f"no repeated contacts at r={r}")
 
     def first_contact_times(self, r: float) -> ECDF:
-        """FT distribution under range ``r`` — Fig. 1(c)/(f)."""
-        waits = list(
-            contacts_mod.first_contact_times(self.trace, r, self.contacts(r)).values()
-        )
+        """FT distribution under range ``r`` — Fig. 1(c)/(f).
+
+        Waits are first-contact start minus first appearance, both
+        read off flat arrays: the contact set's per-user earliest
+        starts and the columnar store's first row per user id (row
+        times are snapshot-ordered, so the first occurrence *is* the
+        earliest).
+        """
+        user_ids, starts = self.contact_set(r).first_contact_starts()
+        cols = self.trace.columns
+        first_seen = np.full(len(cols.users.names), np.inf, dtype=np.float64)
+        seen_ids, first_rows = np.unique(cols.user_ids, return_index=True)
+        first_seen[seen_ids] = cols.row_times()[first_rows]
+        waits = starts - first_seen[user_ids]
         return _ecdf(waits, f"no user ever met a neighbour at r={r}")
 
     # -- line-of-sight graph metrics (Fig. 2) ----------------------------------
@@ -265,17 +300,17 @@ class TraceAnalyzer:
 
     def travel_lengths(self) -> ECDF:
         """Per-session travel length — Fig. 4(a)."""
-        return _ecdf(spatial.travel_lengths(self.trace, self.sessions()),
+        return _ecdf(spatial.travel_lengths(self.trace, self.session_set()),
                      "no sessions with at least two observations")
 
     def effective_travel_times(self) -> ECDF:
         """Per-session effective travel time — Fig. 4(b)."""
-        return _ecdf(spatial.effective_travel_times(self.trace, self.sessions()),
+        return _ecdf(spatial.effective_travel_times(self.trace, self.session_set()),
                      "no sessions with at least two observations")
 
     def travel_times(self) -> ECDF:
         """Per-session connection time — Fig. 4(c)."""
-        return _ecdf(spatial.travel_times(self.trace, self.sessions()),
+        return _ecdf(spatial.travel_times(self.trace, self.session_set()),
                      "no sessions with at least two observations")
 
     def zone_occupation(self, cell_size: float = spatial.ZONE_SIZE, every: int = 1) -> ECDF:

@@ -34,6 +34,13 @@ from repro.geometry.grid import (
     planar_neighbour_pairs,
     planar_neighbour_pairs_with_distances,
 )
+from repro.core.kernels import (
+    ContactEventTable,
+    ContactSet,
+    build_contact_events,
+    contact_set_from_events,
+    multirange_contact_sets,
+)
 from repro.trace import Trace
 
 #: Bluetooth-class communication range used throughout the paper, meters.
@@ -79,22 +86,6 @@ class ContactInterval:
         return self.end - self.start
 
 
-def _snapshot_pairs(users: list[str], coords: np.ndarray, r: float) -> set[tuple[str, str]]:
-    """Canonically ordered pairs of users within range ``r``."""
-    n = len(users)
-    if n < 2:
-        return set()
-    plane = coords[:, :2]
-    diff = plane[:, None, :] - plane[None, :, :]
-    dist = np.hypot(diff[..., 0], diff[..., 1])
-    close = np.argwhere((dist < r) & np.triu(np.ones((n, n), dtype=bool), k=1))
-    pairs: set[tuple[str, str]] = set()
-    for i, j in close:
-        a, b = users[int(i)], users[int(j)]
-        pairs.add((a, b) if a <= b else (b, a))
-    return pairs
-
-
 def snapshot_id_pairs(user_ids: np.ndarray, xyz: np.ndarray, r: float) -> np.ndarray:
     """Interned-id pairs within range ``r`` in one snapshot.
 
@@ -134,15 +125,82 @@ def iter_snapshot_pairs(
         yield float(cols.times[index]), user_ids, snapshot_id_pairs(user_ids, xyz, r)
 
 
+def extract_contact_set(trace: Trace, r: float) -> ContactSet:
+    """Contact intervals as a columnar :class:`ContactSet`.
+
+    The fast path: one event table, one run-length kernel pass
+    (:mod:`repro.core.kernels`).  Strict closure (a pair out of range
+    at any snapshot ends the contact — missing one sample means
+    missing the pair); contacts reaching the final snapshot are
+    censored there.  Bit-for-bit equivalent to
+    :func:`extract_contacts_loop` and
+    :func:`extract_contacts_reference`.
+    """
+    return contact_set_from_events(build_contact_events(trace, r))
+
+
 def extract_contacts(trace: Trace, r: float) -> list[ContactInterval]:
     """All contact intervals of a trace under communication range ``r``.
 
+    Object-list view over :func:`extract_contact_set` — same rows,
+    same ``(start, pair)`` order, boxed as :class:`ContactInterval`.
+    Consumers that only need numbers should take the set instead and
+    read its columns.
+    """
+    return extract_contact_set(trace, r).intervals()
+
+
+def extract_contact_sets_multirange(
+    trace: Trace,
+    ranges: Iterable[float],
+    radius_workers: int | None = None,
+) -> dict[float, ContactSet]:
+    """Columnar contact sets under several ranges from one event table.
+
+    The event table is built once at the *largest* requested radius
+    with per-pair distances kept; every radius is then one run-length
+    kernel pass under a distance mask.  ``radius_workers > 1`` fans
+    the per-radius passes across a thread pool (pure numpy work, so
+    the in-part fan actually runs concurrently); results are identical
+    on any worker count.
+    """
+    radii = sorted({float(r) for r in ranges})
+    for r in radii:
+        if r <= 0:
+            raise ValueError(f"communication range must be positive, got {r}")
+    if not radii:
+        return {}
+    table = build_contact_events(
+        trace, radii[-1], keep_distances=len(radii) > 1
+    )
+    return multirange_contact_sets(table, radii, radius_workers)
+
+
+def extract_contacts_multirange(
+    trace: Trace,
+    ranges: Iterable[float],
+    radius_workers: int | None = None,
+) -> dict[float, list[ContactInterval]]:
+    """Contact intervals under several communication ranges in one pass.
+
+    Object-list view over :func:`extract_contact_sets_multirange`;
+    each value is exactly what ``extract_contacts(trace, r)`` returns.
+    ``ranges`` may be unsorted and may contain duplicates; the result
+    is keyed by each distinct radius.  An empty ``ranges`` yields an
+    empty dict.
+    """
+    sets = extract_contact_sets_multirange(trace, ranges, radius_workers)
+    return {r: s.intervals() for r, s in sets.items()}
+
+
+def extract_contacts_loop(trace: Trace, r: float) -> list[ContactInterval]:
+    """The original per-snapshot state machine, kept as oracle/baseline.
+
     Runs in one pass over the columnar snapshots, tracking open
-    contacts in a dictionary keyed by packed integer id pairs; strict
-    closure (a pair out of range at any snapshot ends the contact —
-    missing one sample means missing the pair).  Equivalent output to
-    :func:`extract_contacts_reference`, which keeps the original dense
-    O(n²) formulation for cross-checking.
+    contacts in a dictionary keyed by packed integer id pairs.  The
+    run-length kernel (:func:`extract_contact_set`) is pinned
+    bit-for-bit against this loop; benchmarks report the kernel/loop
+    ratio.
     """
     if r <= 0:
         raise ValueError(f"communication range must be positive, got {r}")
@@ -174,35 +232,34 @@ def extract_contacts(trace: Trace, r: float) -> list[ContactInterval]:
     for key, start in open_contacts.items():
         closed.append((key, start, last_seen[key], True))
 
-    contacts = []
+    raw = []
     for key, start, end, censored in closed:
         name_a = names[key // shift]
         name_b = names[key % shift]
         if name_b < name_a:
             name_a, name_b = name_b, name_a
-        contacts.append(ContactInterval(name_a, name_b, start, end, censored))
-    contacts.sort(key=lambda c: (c.start, c.pair))
-    return contacts
+        raw.append((start, name_a, name_b, end, censored))
+    # Tuple sort == the (start, pair) order; ties are impossible, so
+    # later fields never compare and the key stays C-level.
+    raw.sort()
+    return [
+        ContactInterval(user_a, user_b, start, end, censored)
+        for start, user_a, user_b, end, censored in raw
+    ]
 
 
-def extract_contacts_multirange(
+def extract_contacts_multirange_loop(
     trace: Trace,
     ranges: Iterable[float],
 ) -> dict[float, list[ContactInterval]]:
-    """Contact intervals under several communication ranges in one pass.
+    """The original batched sweep loop, kept as oracle/baseline.
 
-    A radio-range sweep re-runs :func:`extract_contacts` once per
-    radius, rebuilding the neighbour grid for every snapshot each
-    time.  This batched extractor builds the cell list once per
-    snapshot at the *largest* requested radius, keeps the candidate
-    distances, and selects each smaller radius by masking — one grid
-    build amortized over the whole sweep.  Per radius the interval
-    state advances by diffing consecutive sorted pair-key sets, so the
-    output is exactly what ``extract_contacts(trace, r)`` returns.
-
-    ``ranges`` may be unsorted and may contain duplicates; the result
-    is keyed by each distinct radius.  An empty ``ranges`` yields an
-    empty dict.
+    Builds the cell list once per snapshot at the *largest* requested
+    radius, keeps the candidate distances, and selects each smaller
+    radius by masking.  Per radius the interval state advances by
+    diffing consecutive sorted pair-key sets in Python — the per-radius
+    kernel passes of :func:`extract_contact_sets_multirange` replace
+    exactly this loop; benchmarks report the ratio.
     """
     radii = sorted({float(r) for r in ranges})
     for r in radii:
@@ -291,7 +348,18 @@ def extract_contacts_reference(trace: Trace, r: float) -> list[ContactInterval]:
 
     for snapshot in trace:
         users, coords = snapshot.as_arrays()
-        current = _snapshot_pairs(users, coords, r)
+        current: set[tuple[str, str]] = set()
+        n = len(users)
+        if n >= 2:
+            plane = coords[:, :2]
+            diff = plane[:, None, :] - plane[None, :, :]
+            dist = np.hypot(diff[..., 0], diff[..., 1])
+            close = np.argwhere(
+                (dist < r) & np.triu(np.ones((n, n), dtype=bool), k=1)
+            )
+            for i, j in close:
+                a, b = users[int(i)], users[int(j)]
+                current.add((a, b) if a <= b else (b, a))
         now = snapshot.time
         for pair in list(open_contacts):
             if pair not in current:

@@ -1,0 +1,490 @@
+"""Vectorized run-length extraction kernels over a global event table.
+
+Contact extraction used to advance a Python state machine snapshot by
+snapshot (a dict of open contacts keyed by packed pair ids).  That
+loop is the serial floor under every backend: the grid neighbour
+search is numpy, but the per-snapshot dict/set churn is pure Python
+and serializes on the GIL.  This module replaces the state machine
+with a sort:
+
+1. **Event table** — per snapshot, the in-range pairs are packed into
+   integer keys (``min_id * shift + max_id``, exactly the keys the old
+   state machine used) and concatenated into one global table of
+   ``(pair_key, snapshot_index)`` events, optionally keeping each
+   pair's distance for multi-range masking.
+2. **Run-length kernel** — one ``np.lexsort`` by ``(pair_key,
+   snapshot_index)`` groups every pair's in-range history
+   contiguously.  A *run break* is a key change or a snapshot-index
+   jump > 1 (strict closure: one missed sample ends the contact).
+   Each run is one contact interval: ``start = times[first]``,
+   ``end = times[last] + tau``, censored iff the run reaches the final
+   snapshot (then ``end = times[last]``, no +τ closure).
+3. **Columnar result** — intervals come out as five flat arrays (the
+   process-backend codec's exact payload layout) wrapped in
+   :class:`ContactSet`; ``ContactInterval`` objects are built lazily
+   only when a consumer actually asks for them.
+
+For a radio-range sweep the event table is built **once** at the
+largest radius with distances kept; every radius is then the same
+kernel run under a distance mask — and because each masked run is
+independent numpy work, a sweep can fan across radii on a thread pool
+*within one part* (:func:`multirange_contact_sets`'s
+``radius_workers``).
+
+Everything here is pinned bit-for-bit against the retained loop
+extractors and the dense O(n²) reference by
+``tests/unit/core/test_kernels.py`` and
+``tests/property/test_kernel_properties.py``.
+"""
+
+from __future__ import annotations
+
+from concurrent.futures import ThreadPoolExecutor
+from dataclasses import dataclass
+from typing import TYPE_CHECKING, Iterable, Iterator, Sequence
+
+import numpy as np
+
+from repro.geometry.grid import (
+    planar_neighbour_pairs,
+    planar_neighbour_pairs_with_distances,
+)
+from repro.trace.columnar import name_ranks
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard, types only
+    from repro.core.contacts import ContactInterval
+    from repro.trace import Trace
+
+
+class ContactSet:
+    """Contact intervals as five flat arrays — the canonical form.
+
+    The layout is exactly the process-backend codec's payload:
+    ``ids_a`` / ``ids_b`` (int64 interner ids, canonical so that
+    ``names[ids_a[k]] <= names[ids_b[k]]``), ``starts`` / ``ends``
+    (float64 trace time, ``ends`` includes the +τ closure for
+    completed contacts) and ``censored`` (bool).  Rows are ordered by
+    ``(start, pair)`` — the same order the object extractors always
+    produced.
+
+    :class:`~repro.core.contacts.ContactInterval` objects are *views*
+    built lazily: iterate, index, or call :meth:`intervals` (cached).
+    Consumers that only need numbers (durations, ICT gaps, the codec,
+    the boundary merges) read the columns and never box a row.
+    """
+
+    __slots__ = (
+        "ids_a",
+        "ids_b",
+        "starts",
+        "ends",
+        "censored",
+        "_names",
+        "_intervals",
+    )
+
+    def __init__(
+        self,
+        ids_a: np.ndarray,
+        ids_b: np.ndarray,
+        starts: np.ndarray,
+        ends: np.ndarray,
+        censored: np.ndarray,
+        names: Sequence[str],
+    ) -> None:
+        self.ids_a = np.asarray(ids_a, dtype=np.int64)
+        self.ids_b = np.asarray(ids_b, dtype=np.int64)
+        self.starts = np.asarray(starts, dtype=np.float64)
+        self.ends = np.asarray(ends, dtype=np.float64)
+        self.censored = np.asarray(censored, dtype=np.bool_)
+        n = len(self.ids_a)
+        if not (
+            len(self.ids_b) == len(self.starts) == len(self.ends)
+            == len(self.censored) == n
+        ):
+            raise ValueError("contact columns must have equal length")
+        self._names = names
+        self._intervals: list[ContactInterval] | None = None
+
+    @classmethod
+    def empty(cls, names: Sequence[str]) -> "ContactSet":
+        """A set with zero intervals over the given name table."""
+        e = np.empty(0, dtype=np.int64)
+        f = np.empty(0, dtype=np.float64)
+        return cls(e, e.copy(), f, f.copy(), np.empty(0, dtype=np.bool_), names)
+
+    # -- shape & comparison ------------------------------------------------
+
+    def __len__(self) -> int:
+        return len(self.ids_a)
+
+    def __eq__(self, other: object) -> bool:
+        if isinstance(other, ContactSet):
+            return (
+                np.array_equal(self.ids_a, other.ids_a)
+                and np.array_equal(self.ids_b, other.ids_b)
+                and np.array_equal(self.starts, other.starts)
+                and np.array_equal(self.ends, other.ends)
+                and np.array_equal(self.censored, other.censored)
+                and list(self._names) == list(other._names)
+            )
+        if isinstance(other, list):
+            return self.intervals() == other
+        return NotImplemented
+
+    __hash__ = None  # mutable cache inside; not hashable
+
+    @property
+    def names(self) -> Sequence[str]:
+        """The interner name table the ids index into."""
+        return self._names
+
+    def arrays(
+        self,
+    ) -> tuple[np.ndarray, np.ndarray, np.ndarray, np.ndarray, np.ndarray]:
+        """The five-array payload ``(ids_a, ids_b, starts, ends, censored)``."""
+        return self.ids_a, self.ids_b, self.starts, self.ends, self.censored
+
+    # -- lazy object views -------------------------------------------------
+
+    def _interval(self, k: int) -> "ContactInterval":
+        from repro.core.contacts import ContactInterval
+
+        names = self._names
+        return ContactInterval(
+            names[self.ids_a[k]],
+            names[self.ids_b[k]],
+            float(self.starts[k]),
+            float(self.ends[k]),
+            bool(self.censored[k]),
+        )
+
+    def __getitem__(self, k: int) -> "ContactInterval":
+        if self._intervals is not None:
+            return self._intervals[k]
+        return self._interval(k)
+
+    def __iter__(self) -> Iterator["ContactInterval"]:
+        if self._intervals is not None:
+            return iter(self._intervals)
+        return (self._interval(k) for k in range(len(self)))
+
+    def intervals(self) -> "list[ContactInterval]":
+        """The rows as ``ContactInterval`` objects (built once, cached)."""
+        if self._intervals is None:
+            from repro.core.contacts import ContactInterval
+
+            names = self._names
+            self._intervals = [
+                ContactInterval(names[a], names[b], start, end, bool(flag))
+                for a, b, start, end, flag in zip(
+                    self.ids_a.tolist(),
+                    self.ids_b.tolist(),
+                    self.starts.tolist(),
+                    self.ends.tolist(),
+                    self.censored.tolist(),
+                )
+            ]
+        return self._intervals
+
+    # -- columnar statistics ----------------------------------------------
+
+    def durations(self, include_censored: bool = False) -> np.ndarray:
+        """CT samples (seconds), censored rows excluded by default."""
+        lengths = self.ends - self.starts
+        if include_censored:
+            return lengths
+        return lengths[~self.censored]
+
+    def pair_keys(self, shift: int | None = None) -> np.ndarray:
+        """Packed ``a * shift + b`` pair identifiers, one per row."""
+        if shift is None:
+            shift = max(len(self._names), 1)
+        return self.ids_a * shift + self.ids_b
+
+    def inter_contact_gaps(self) -> np.ndarray:
+        """ICT samples: per-pair gaps between successive contacts.
+
+        The gap runs from the *end* of contact ``k`` to the *start* of
+        contact ``k+1`` of the same pair (censored ends still delimit
+        a real gap start); non-positive gaps are dropped.  Same sample
+        multiset as
+        :func:`~repro.core.contacts.inter_contact_times`.
+        """
+        if len(self) < 2:
+            return np.empty(0, dtype=np.float64)
+        keys = self.pair_keys()
+        order = np.lexsort((self.starts, keys))
+        k = keys[order]
+        starts = self.starts[order]
+        ends = self.ends[order]
+        same = k[1:] == k[:-1]
+        gaps = starts[1:][same] - ends[:-1][same]
+        return gaps[gaps > 0]
+
+    def contact_users(self) -> np.ndarray:
+        """Sorted unique user ids that appear in any interval."""
+        return np.unique(np.concatenate((self.ids_a, self.ids_b)))
+
+    def first_contact_starts(self) -> tuple[np.ndarray, np.ndarray]:
+        """Per user: ``(user_ids, earliest contact start)``, id-sorted."""
+        if not len(self):
+            e = np.empty(0, dtype=np.int64)
+            return e, np.empty(0, dtype=np.float64)
+        ids = np.concatenate((self.ids_a, self.ids_b))
+        starts = np.concatenate((self.starts, self.starts))
+        order = np.lexsort((starts, ids))
+        ids, starts = ids[order], starts[order]
+        first = np.empty(len(ids), dtype=np.bool_)
+        first[0] = True
+        first[1:] = ids[1:] != ids[:-1]
+        return ids[first], starts[first]
+
+
+# -- the event table --------------------------------------------------------
+
+
+@dataclass(frozen=True)
+class ContactEventTable:
+    """All in-range pair sightings of a trace, as flat event columns.
+
+    One row per (snapshot, in-range pair): ``keys`` holds the packed
+    pair id (``min * shift + max``), ``snaps`` the snapshot index, and
+    ``dists`` (present only when built with ``keep_distances``) the
+    pair's planar distance — the handle multi-range masking selects
+    smaller radii with.  ``radius`` is the radius the table was built
+    at; a mask at ``r < radius`` reproduces the table that a direct
+    build at ``r`` would produce, because the neighbour search keeps
+    strictly-closer-than-``radius`` candidates with exact distances.
+    """
+
+    keys: np.ndarray
+    snaps: np.ndarray
+    dists: np.ndarray | None
+    times: np.ndarray
+    tau: float
+    shift: int
+    names: Sequence[str]
+    radius: float
+
+    @property
+    def snapshot_count(self) -> int:
+        return len(self.times)
+
+
+def build_contact_events(
+    trace: "Trace", r: float, keep_distances: bool = False
+) -> ContactEventTable:
+    """Concatenate per-snapshot in-range pairs into one event table.
+
+    The per-snapshot neighbour search is the same uniform-grid cell
+    list the loop extractors used (cost scales with local density);
+    only the *state* between snapshots disappears — events are just
+    appended and sorted once by the kernel.
+    """
+    if r <= 0:
+        raise ValueError(f"communication range must be positive, got {r}")
+    cols = trace.columns
+    names = cols.users.names
+    shift = max(len(names), 1)
+    key_parts: list[np.ndarray] = []
+    snap_parts: list[np.ndarray] = []
+    dist_parts: list[np.ndarray] = []
+    for index in range(cols.snapshot_count):
+        user_ids, xyz = cols.slice_of(index)
+        if len(user_ids) < 2:
+            continue
+        if keep_distances:
+            local, dist = planar_neighbour_pairs_with_distances(xyz[:, :2], r)
+        else:
+            local = planar_neighbour_pairs(xyz[:, :2], r)
+            dist = None
+        if not len(local):
+            continue
+        first = user_ids[local[:, 0]]
+        second = user_ids[local[:, 1]]
+        key_parts.append(
+            np.minimum(first, second) * shift + np.maximum(first, second)
+        )
+        snap_parts.append(np.full(len(local), index, dtype=np.int64))
+        if dist is not None:
+            dist_parts.append(dist)
+    if key_parts:
+        keys = np.concatenate(key_parts)
+        snaps = np.concatenate(snap_parts)
+        dists = np.concatenate(dist_parts) if keep_distances else None
+    else:
+        keys = np.empty(0, dtype=np.int64)
+        snaps = np.empty(0, dtype=np.int64)
+        dists = np.empty(0, dtype=np.float64) if keep_distances else None
+    return ContactEventTable(
+        keys=keys,
+        snaps=snaps,
+        dists=dists,
+        times=np.asarray(cols.times, dtype=np.float64),
+        tau=float(trace.metadata.tau),
+        shift=shift,
+        names=names,
+        radius=float(r),
+    )
+
+
+# -- the run-length kernel ---------------------------------------------------
+
+
+def contact_set_from_events(
+    table: ContactEventTable, r: float | None = None
+) -> ContactSet:
+    """Read contact intervals off the run boundaries of an event table.
+
+    With ``r`` given, only events whose kept distance is ``< r`` are
+    considered (the multi-range mask); the table must then have been
+    built with ``keep_distances`` and ``r <= table.radius``.
+    """
+    keys, snaps = table.keys, table.snaps
+    if r is not None and r != table.radius:
+        if table.dists is None:
+            raise ValueError("distance masking needs keep_distances=True")
+        if r > table.radius:
+            raise ValueError(
+                f"mask radius {r} exceeds the table's build radius "
+                f"{table.radius}"
+            )
+        mask = table.dists < r
+        keys, snaps = keys[mask], snaps[mask]
+    return ContactSet(
+        *_run_length_intervals(
+            keys, snaps, table.times, table.tau, table.shift, table.names
+        ),
+        table.names,
+    )
+
+
+def _run_length_intervals(
+    keys: np.ndarray,
+    snaps: np.ndarray,
+    times: np.ndarray,
+    tau: float,
+    shift: int,
+    names: Sequence[str],
+) -> tuple[np.ndarray, np.ndarray, np.ndarray, np.ndarray, np.ndarray]:
+    """The kernel proper: events → five sorted interval columns.
+
+    One lexsort by ``(pair_key, snapshot_index)`` makes every pair's
+    sighting history contiguous and time-ordered.  A run break is a
+    key change or a snapshot jump > 1 — strict per-snapshot closure.
+    The final snapshot censors any run that reaches it (no +τ
+    closure), matching the loop extractors exactly.
+    """
+    if not len(keys):
+        e = np.empty(0, dtype=np.int64)
+        f = np.empty(0, dtype=np.float64)
+        return e, e.copy(), f, f.copy(), np.empty(0, dtype=np.bool_)
+    order = np.lexsort((snaps, keys))
+    k = keys[order]
+    s = snaps[order]
+    head = np.empty(len(k), dtype=np.bool_)
+    head[0] = True
+    head[1:] = (k[1:] != k[:-1]) | (s[1:] != s[:-1] + 1)
+    first = np.flatnonzero(head)
+    last = np.append(first[1:], len(k)) - 1
+    run_keys = k[first]
+    censored = s[last] == len(times) - 1
+    starts = times[s[first]]
+    ends = np.where(censored, times[s[last]], times[s[last]] + tau)
+    ids_a = run_keys // shift
+    ids_b = run_keys % shift
+    return _canonical_contact_columns(
+        ids_a, ids_b, starts, ends, censored, names
+    )
+
+
+def _canonical_contact_columns(
+    ids_a: np.ndarray,
+    ids_b: np.ndarray,
+    starts: np.ndarray,
+    ends: np.ndarray,
+    censored: np.ndarray,
+    names: Sequence[str],
+) -> tuple[np.ndarray, np.ndarray, np.ndarray, np.ndarray, np.ndarray]:
+    """Canonicalize pairs by *name* order and sort rows by (start, pair).
+
+    This is the flat-array ``np.lexsort`` replacing the old
+    Python-level ``contacts.sort(key=lambda c: (c.start, c.pair))`` —
+    the sort happens before any object is constructed.
+    """
+    ranks = name_ranks(names)
+    rank_a = ranks[ids_a]
+    rank_b = ranks[ids_b]
+    swap = rank_a > rank_b
+    low = np.where(swap, ids_b, ids_a)
+    high = np.where(swap, ids_a, ids_b)
+    ids_a, ids_b = low, high
+    rank_a, rank_b = np.minimum(rank_a, rank_b), np.maximum(rank_a, rank_b)
+    order = np.lexsort((rank_b, rank_a, starts))
+    return (
+        ids_a[order],
+        ids_b[order],
+        starts[order],
+        ends[order],
+        censored[order],
+    )
+
+
+def contact_set_from_columns(
+    ids_a: np.ndarray,
+    ids_b: np.ndarray,
+    starts: np.ndarray,
+    ends: np.ndarray,
+    censored: np.ndarray,
+    names: Sequence[str],
+) -> ContactSet:
+    """Canonicalize + sort raw interval columns into a :class:`ContactSet`.
+
+    For producers (boundary merges, stitchers) that assemble interval
+    columns in some other order: pairs are name-canonicalized and rows
+    sorted by ``(start, pair)`` exactly like the kernel output.
+    """
+    return ContactSet(
+        *_canonical_contact_columns(ids_a, ids_b, starts, ends, censored, names),
+        names,
+    )
+
+
+# -- multirange fan ----------------------------------------------------------
+
+
+def multirange_contact_sets(
+    table: ContactEventTable,
+    radii: Iterable[float],
+    radius_workers: int | None = None,
+) -> dict[float, ContactSet]:
+    """Run the kernel once per radius over one shared event table.
+
+    The table must have been built with ``keep_distances=True`` at (at
+    least) the largest requested radius.  Each radius is an
+    independent masked kernel run — pure numpy, so with
+    ``radius_workers > 1`` the sweep fans across a thread pool *within
+    one part* (the in-part radius fan); results are identical on any
+    worker count, only the wall clock changes.
+    """
+    rs = sorted({float(r) for r in radii})
+    for r in rs:
+        if r <= 0:
+            raise ValueError(f"communication range must be positive, got {r}")
+    if not rs:
+        return {}
+    if rs[-1] > table.radius:
+        raise ValueError(
+            f"requested radius {rs[-1]} exceeds the table's build radius "
+            f"{table.radius}"
+        )
+    if radius_workers is not None and radius_workers > 1 and len(rs) > 1:
+        with ThreadPoolExecutor(
+            max_workers=min(radius_workers, len(rs))
+        ) as pool:
+            sets = list(
+                pool.map(lambda r: contact_set_from_events(table, r), rs)
+            )
+        return dict(zip(rs, sets))
+    return {r: contact_set_from_events(table, r) for r in rs}

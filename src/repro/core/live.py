@@ -75,8 +75,9 @@ class LiveAnalyzer(BoundaryMergeAnalyzer):
     backend:
         Where the per-part extractions run when more than one part
         needs work.  ``"serial"`` (default) — inline, one part at a
-        time.  ``"thread"`` — a thread pool over the part views
-        (GIL-bound for the Python state machines).  ``"process"`` —
+        time.  ``"thread"`` — a thread pool over the part views; the
+        run-length extraction kernels are numpy-bound and release the
+        GIL, so parts overlap.  ``"process"`` —
         spawned workers memmap-load one ``.rtrc`` file per part: in
         shard-dir mode the committed round files are used as-is; in
         single-file mode each growth part is materialized once into a

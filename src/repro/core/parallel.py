@@ -9,21 +9,24 @@ shard file *is* the input channel: the parent ships a path plus a tiny
 task tuple, the worker pages in only what the extraction touches.
 
 Results travel as **compact array payloads** instead of object lists:
-contact intervals become five flat arrays, sessions become a CSR-style
-``(user ids, offsets, times, xyz)`` quadruple, and the per-snapshot
-metrics (zone occupation, degrees, diameters, clustering) are already
-arrays.  Pickling a shard's result therefore costs a handful of buffer
-copies regardless of how many Python objects the final answer
-materializes — the parent decodes payloads back into the exact
-``ContactInterval`` / ``UserSession`` objects the serial extractors
-produce, so the boundary merges stay bit-for-bit.
+the extractors themselves now produce columnar results — contact
+intervals as a five-array :class:`~repro.core.kernels.ContactSet`,
+sessions as a CSR-backed :class:`~repro.trace.SessionSet` — and the
+per-snapshot metrics (zone occupation, degrees, diameters, clustering)
+are already arrays.  The codec is therefore *thin*: encoding a shard's
+result is handing over the set's existing arrays (no per-object
+interner lookups), decoding is rebuilding the set around the parent's
+name table (no object construction — ``ContactInterval`` /
+``UserSession`` views stay lazy).  Interner ids are stable across
+every view of a measurement, so worker-side ids decode directly
+against the parent's table.
 
 Both backends run the *same* :func:`extract_shard_task` body; the
 codec (:func:`encode_payload` / :func:`decode_payload`) wraps it only
 where a pickle boundary actually exists — the process backend's
 :func:`run_shard_file_task`.  In-process execution (thread backend,
-serial windowed loop) passes the extractor's objects straight
-through, paying nothing.  The equivalence suite
+serial windowed loop) passes the extractor's sets straight through,
+paying nothing.  The equivalence suite
 (``tests/unit/core/test_parallel_backends.py``) pins both paths
 against the unsharded oracle.
 """
@@ -43,18 +46,17 @@ import numpy as np
 
 from repro.core import losgraph, spatial
 from repro.core.contacts import (
-    ContactInterval,
-    extract_contacts,
-    extract_contacts_multirange,
+    extract_contact_set,
+    extract_contact_sets_multirange,
 )
+from repro.core.kernels import ContactSet
 from repro.trace import (
+    SessionSet,
     Trace,
-    UserSession,
-    extract_sessions,
+    extract_session_set,
     read_trace_rtrc,
     write_trace_rtrc,
 )
-from repro.trace.columnar import UserInterner
 
 #: Execution backends understood by :class:`PartScheduler`.
 SCHEDULER_BACKENDS = ("serial", "thread", "process")
@@ -84,77 +86,39 @@ SessionPayload = tuple[np.ndarray, np.ndarray, np.ndarray, np.ndarray]
 # -- payload codecs --------------------------------------------------------
 
 
-def encode_contacts(
-    contacts: Sequence[ContactInterval], users: UserInterner
-) -> ContactPayload:
-    """Contact intervals as five flat arrays (order preserved)."""
-    n = len(contacts)
-    ids_a = np.fromiter((users.id_of(c.user_a) for c in contacts), np.int64, count=n)
-    ids_b = np.fromiter((users.id_of(c.user_b) for c in contacts), np.int64, count=n)
-    starts = np.fromiter((c.start for c in contacts), np.float64, count=n)
-    ends = np.fromiter((c.end for c in contacts), np.float64, count=n)
-    censored = np.fromiter((c.censored for c in contacts), np.bool_, count=n)
-    return ids_a, ids_b, starts, ends, censored
+def encode_contacts(contacts: ContactSet) -> ContactPayload:
+    """A contact set's five flat arrays — already the payload."""
+    return contacts.arrays()
 
 
-def decode_contacts(
-    payload: ContactPayload, names: Sequence[str]
-) -> list[ContactInterval]:
-    """Rebuild the exact interval list :func:`encode_contacts` saw."""
-    ids_a, ids_b, starts, ends, censored = payload
-    return [
-        ContactInterval(names[a], names[b], start, end, flag)
-        for a, b, start, end, flag in zip(
-            ids_a.tolist(), ids_b.tolist(), starts.tolist(), ends.tolist(),
-            censored.tolist(),
-        )
-    ]
+def decode_contacts(payload: ContactPayload, names: Sequence[str]) -> ContactSet:
+    """Rebuild the set around the parent's name table (no boxing)."""
+    return ContactSet(*payload, names)
 
 
-def encode_sessions(
-    sessions: Sequence[UserSession], users: UserInterner
-) -> SessionPayload:
-    """Sessions as one CSR block (order preserved)."""
-    n = len(sessions)
-    uids = np.fromiter((users.id_of(s.user) for s in sessions), np.int64, count=n)
-    counts = np.fromiter((s.observation_count for s in sessions), np.int64, count=n)
-    offsets = np.zeros(n + 1, dtype=np.int64)
-    np.cumsum(counts, out=offsets[1:])
-    if n:
-        blocks = [s.as_arrays() for s in sessions]
-        times = np.concatenate([t for t, _ in blocks])
-        xyz = np.concatenate([x for _, x in blocks])
-    else:
-        times = np.empty(0, dtype=np.float64)
-        xyz = np.empty((0, 3), dtype=np.float64)
-    return uids, offsets, times, xyz
+def encode_sessions(sessions: SessionSet) -> SessionPayload:
+    """A session set's CSR block — already the payload."""
+    return sessions.arrays()
 
 
-def decode_sessions(
-    payload: SessionPayload, names: Sequence[str]
-) -> list[UserSession]:
-    """Rebuild the exact session list :func:`encode_sessions` saw."""
-    uids, offsets, times, xyz = payload
-    bounds = offsets.tolist()
-    return [
-        UserSession._from_arrays(names[uid], times[lo:hi], xyz[lo:hi])
-        for uid, lo, hi in zip(uids.tolist(), bounds, bounds[1:])
-    ]
+def decode_sessions(payload: SessionPayload, names: Sequence[str]) -> SessionSet:
+    """Rebuild the set around the parent's name table (no boxing)."""
+    return SessionSet(*payload, names)
 
 
-def encode_payload(kind: str, result: object, users: UserInterner) -> object:
+def encode_payload(kind: str, result: object) -> object:
     """Compact-array form of one task result, for the pickle boundary."""
     if kind == "contacts":
-        return encode_contacts(result, users)
+        return encode_contacts(result)
     if kind == "contacts_multirange":
-        return {r: encode_contacts(c, users) for r, c in result.items()}
+        return {r: encode_contacts(c) for r, c in result.items()}
     if kind == "sessions":
-        return encode_sessions(result, users)
+        return encode_sessions(result)
     return result
 
 
 def decode_payload(kind: str, payload: object, names: Sequence[str]) -> object:
-    """Inverse of :func:`encode_payload` — the exact extractor objects."""
+    """Inverse of :func:`encode_payload` — the extractor's columnar sets."""
     if kind == "contacts":
         return decode_contacts(payload, names)
     if kind == "contacts_multirange":
@@ -185,21 +149,24 @@ def phased_selection(trace: Trace, every: int, phase: int) -> Trace | None:
 def extract_shard_task(trace: Trace, kind: str, params: tuple) -> object:
     """Run one analysis task on one shard; returns the raw result.
 
-    This is the single worker body every backend executes —
-    interval/session *objects* for the list-valued tasks, sample
-    arrays for the rest.  Strided tasks carry their shard's phase in
-    ``params`` so the union of the per-shard selections reproduces the
-    global stride exactly.
+    This is the single worker body every backend executes — columnar
+    :class:`~repro.core.kernels.ContactSet` /
+    :class:`~repro.trace.SessionSet` results for the interval tasks,
+    sample arrays for the rest.  Strided tasks carry their shard's
+    phase in ``params`` so the union of the per-shard selections
+    reproduces the global stride exactly; ``contacts_multirange``
+    carries ``(radii, radius_workers)`` so a part can fan its radius
+    sweep across threads internally.
     """
     if kind == "contacts":
         (r,) = params
-        return extract_contacts(trace, r)
+        return extract_contact_set(trace, r)
     if kind == "contacts_multirange":
-        (radii,) = params
-        return extract_contacts_multirange(trace, radii)
+        radii, radius_workers = params
+        return extract_contact_sets_multirange(trace, radii, radius_workers)
     if kind == "sessions":
         (gap_threshold,) = params
-        return extract_sessions(trace, gap_threshold)
+        return extract_session_set(trace, gap_threshold)
     if kind == "zone_occupation":
         cell_size, every, phase = params
         sub = phased_selection(trace, every, phase)
@@ -233,7 +200,7 @@ def extract_shard_task(trace: Trace, kind: str, params: tuple) -> object:
 def run_shard_task(trace: Trace, kind: str, params: tuple) -> object:
     """The shared task body plus the payload encoding, in the worker."""
     result = extract_shard_task(trace, kind, params)
-    return encode_payload(kind, result, trace.columns.users)
+    return encode_payload(kind, result)
 
 
 def run_shard_file_task(path: str, kind: str, params: tuple) -> object:
@@ -288,8 +255,8 @@ class PartScheduler:
       time, ``part_trace`` called per task so at most one part's pages
       are live (the windowed analyzer's out-of-core contract).
     * ``backend="thread"`` — a per-run ``ThreadPoolExecutor`` over the
-      in-memory part views.  Cheap to start; the Python
-      interval/session state machines serialize on the GIL.
+      in-memory part views.  Cheap to start; the run-length extraction
+      kernels are numpy-bound and release the GIL, so parts overlap.
     * ``backend="process"`` — a persistent ``spawn``-based
       ``ProcessPoolExecutor`` whose workers memmap-load one ``.rtrc``
       file per part (:func:`run_shard_file_task`).  Parts that already

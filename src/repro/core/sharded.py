@@ -12,8 +12,9 @@ Two execution backends share one task vocabulary
 (:mod:`repro.core.parallel`):
 
 * ``backend="thread"`` — a ``ThreadPoolExecutor`` over the in-memory
-  shard views.  Cheap to start, but the Python interval/session state
-  machines serialize on the GIL; only the numpy portions overlap.
+  shard views.  Cheap to start, and since extraction is dominated by
+  the vectorized run-length kernels (:mod:`repro.core.kernels`), the
+  numpy calls release the GIL and shards genuinely overlap.
 * ``backend="process"`` — the shards are materialized as per-shard
   ``.rtrc`` files (lazily, into a private temp directory) and a
   ``spawn``-based ``ProcessPoolExecutor`` fans the same tasks; each
@@ -38,6 +39,13 @@ Merge semantics (split-agnostic; the windowed analyzer reuses them):
   diameters, clustering) — the snapshot stride is phased per shard so
   the globally-strided selection is reproduced, then the per-shard
   sample arrays concatenate in snapshot-major order.
+
+Both merges are **columnar**: per-part results arrive as
+:class:`~repro.core.kernels.ContactSet` /
+:class:`~repro.trace.SessionSet` arrays, one lexsort groups each
+pair's (or user's) per-part pieces, a vectorized link condition finds
+the boundary stitches, and run-length chains collapse into the merged
+rows — no interval or session objects are built anywhere in the merge.
 """
 
 from __future__ import annotations
@@ -49,13 +57,16 @@ import numpy as np
 
 from repro.core import spatial
 from repro.core.contacts import ContactInterval
+from repro.core.kernels import ContactSet, contact_set_from_columns
 from repro.core.parallel import PartAnalysisError, PartScheduler
 from repro.trace import (
+    SessionSet,
     Trace,
     TraceMetadata,
     UserSession,
     split_time_shards,
 )
+from repro.trace.columnar import _concat_aranges, name_ranks
 
 #: Execution backends understood by :class:`ShardedAnalyzer`.
 BACKENDS = ("thread", "process")
@@ -65,77 +76,197 @@ class ShardAnalysisError(PartAnalysisError):
     """A shard worker failed; the message names the shard's time range."""
 
 
+def _unify_name_tables(
+    tables: Sequence[Sequence[str]],
+) -> tuple[Sequence[str], list[np.ndarray | None]]:
+    """One name table covering every part, plus per-part id remaps.
+
+    Parts produced from views of one store share its table (identity
+    fast path); parts loaded from a shard directory's round files carry
+    prefix-consistent tables (the longest covers all, ids unchanged);
+    foreign directories with independent interners get their ids
+    rewritten into a first-seen union so the merge never conflates
+    distinct users that happen to share an id.  ``None`` in the remap
+    list means that part's ids are already valid in the merged table.
+    """
+    base = tables[0]
+    if all(t is base for t in tables[1:]):
+        return base, [None] * len(tables)
+    longest = max(tables, key=len)
+    if all(
+        t is longest or list(t) == list(longest[: len(t)]) for t in tables
+    ):
+        return longest, [None] * len(tables)
+    merged: list[str] = []
+    index: dict[str, int] = {}
+    remaps: list[np.ndarray | None] = []
+    for t in tables:
+        remap = np.empty(len(t), dtype=np.int64)
+        for i, name in enumerate(t):
+            j = index.get(name)
+            if j is None:
+                j = len(merged)
+                index[name] = j
+                merged.append(name)
+            remap[i] = j
+        remaps.append(remap)
+    return merged, remaps
+
+
 def merge_shard_contacts(
-    per_shard: Sequence[list[ContactInterval]],
+    per_shard: Sequence[ContactSet],
     first_times: Sequence[float],
     tau: float,
-) -> list[ContactInterval]:
-    """Stitch per-shard contact intervals into the unsharded answer.
+) -> ContactSet:
+    """Stitch per-shard contact sets into the unsharded answer.
 
-    ``per_shard`` holds each non-empty shard's intervals in time order;
-    ``first_times`` the matching shards' first snapshot times.  The
-    boundary rule is described in the module docstring.
+    ``per_shard`` holds each non-empty shard's contact set in time
+    order; ``first_times`` the matching shards' first snapshot times.
+    The merge is one lexsort by ``(pair, start)`` over the
+    concatenated part columns: a part-``p`` interval censored at its
+    shard boundary is the last row of its pair within part ``p``, so
+    its continuation — if any — is exactly the next row, and the link
+    condition (same pair, adjacent part, continuation starts at the
+    next part's first snapshot) vectorizes.  Linked rows chain into
+    one interval; censored tails the next part did not continue are
+    closed with the usual ``+τ`` convention, and only chains ending
+    censored in the *last* part stay censored.
     """
-    merged: list[ContactInterval] = []
-    # pair -> (merged start, last in-range time) of contacts still
-    # open at the previous shard's boundary.
-    open_tail: dict[tuple[str, str], tuple[float, float]] = {}
-    for contacts, first_time in zip(per_shard, first_times):
-        still_open: dict[tuple[str, str], tuple[float, float]] = {}
-        for c in contacts:
-            carried = open_tail.pop(c.pair, None) if c.start == first_time else None
-            start = carried[0] if carried is not None else c.start
-            if c.censored:
-                still_open[c.pair] = (start, c.end)
-            elif start != c.start:
-                merged.append(
-                    ContactInterval(c.pair[0], c.pair[1], start, c.end)
-                )
-            else:
-                merged.append(c)
-        # Boundary contacts the next shard did not continue close
-        # with the usual +tau convention.
-        for pair, (start, last_seen) in open_tail.items():
-            merged.append(
-                ContactInterval(pair[0], pair[1], start, last_seen + tau)
-            )
-        open_tail = still_open
-    # Contacts open at the end of the final shard stay censored.
-    for pair, (start, last_seen) in open_tail.items():
-        merged.append(
-            ContactInterval(pair[0], pair[1], start, last_seen, censored=True)
-        )
-    merged.sort(key=lambda c: (c.start, c.pair))
-    return merged
+    if not per_shard:
+        return ContactSet.empty([])
+    if len(per_shard) == 1:
+        return per_shard[0]
+    names, remaps = _unify_name_tables([s.names for s in per_shard])
+    n_parts = len(per_shard)
+    ids_a = np.concatenate(
+        [
+            s.ids_a if remap is None else remap[s.ids_a]
+            for s, remap in zip(per_shard, remaps)
+        ]
+    )
+    ids_b = np.concatenate(
+        [
+            s.ids_b if remap is None else remap[s.ids_b]
+            for s, remap in zip(per_shard, remaps)
+        ]
+    )
+    starts = np.concatenate([s.starts for s in per_shard])
+    ends = np.concatenate([s.ends for s in per_shard])
+    censored = np.concatenate([s.censored for s in per_shard])
+    part_of = np.repeat(
+        np.arange(n_parts, dtype=np.int64),
+        [len(s) for s in per_shard],
+    )
+    if not len(ids_a):
+        return ContactSet.empty(names)
+    part_first = np.asarray(first_times, dtype=np.float64)
+
+    shift = max(len(names), 1)
+    keys = ids_a * shift + ids_b
+    order = np.lexsort((starts, keys))
+    k = keys[order]
+    s = starts[order]
+    e = ends[order]
+    c = censored[order]
+    p = part_of[order]
+
+    # Row i+1 continues row i iff the pair matches, row i was censored
+    # at its shard boundary, the candidate lives in the very next
+    # non-empty part, and it starts at that part's first snapshot —
+    # the loop rule, applied to every boundary at once.
+    link = (
+        (k[1:] == k[:-1])
+        & c[:-1]
+        & (p[1:] == p[:-1] + 1)
+        & (s[1:] == part_first[p[1:]])
+    )
+    head = np.empty(len(k), dtype=np.bool_)
+    head[0] = True
+    head[1:] = ~link
+    first = np.flatnonzero(head)
+    last = np.append(first[1:], len(k)) - 1
+
+    tail_censored = c[last]
+    in_last_part = p[last] == n_parts - 1
+    keep_censored = tail_censored & in_last_part
+    merged_ends = np.where(tail_censored & ~in_last_part, e[last] + tau, e[last])
+    return contact_set_from_columns(
+        ids_a[order][first],
+        ids_b[order][first],
+        s[first],
+        merged_ends,
+        keep_censored,
+        names,
+    )
 
 
 def merge_shard_sessions(
-    per_shard: Sequence[list[UserSession]],
+    per_shard: Sequence[SessionSet],
     gap_threshold: float,
-) -> list[UserSession]:
-    """Stitch per-shard visit lists into the unsharded session list."""
-    by_user: dict[str, list[UserSession]] = {}
-    for sessions in per_shard:
-        for session in sessions:
-            by_user.setdefault(session.user, []).append(session)
-    merged: list[UserSession] = []
-    for user, sessions in by_user.items():
-        current = sessions[0]
-        for candidate in sessions[1:]:
-            if candidate.login_time - current.logout_time <= gap_threshold:
-                times_a, xyz_a = current.as_arrays()
-                times_b, xyz_b = candidate.as_arrays()
-                current = UserSession._from_arrays(
-                    user,
-                    np.concatenate([times_a, times_b]),
-                    np.vstack([xyz_a, xyz_b]),
-                )
-            else:
-                merged.append(current)
-                current = candidate
-        merged.append(current)
-    merged.sort(key=lambda s: (s.login_time, s.user))
-    return merged
+) -> SessionSet:
+    """Stitch per-shard session sets into the unsharded session list.
+
+    One lexsort by ``(user, login)`` over the concatenated per-part
+    sessions makes every user's visits contiguous and time-ordered;
+    consecutive visits whose gap is within ``gap_threshold`` chain
+    into one (within a part the extractor already guarantees larger
+    gaps, so links only ever fire at part boundaries).  Observation
+    rows are gathered with two vectorized index builds — no per-row
+    Python, no intermediate ``UserSession`` objects.
+    """
+    if not per_shard:
+        return SessionSet.empty([])
+    if len(per_shard) == 1:
+        return per_shard[0]
+    names, remaps = _unify_name_tables([s.names for s in per_shard])
+    uids = np.concatenate(
+        [
+            s.user_ids if remap is None else remap[s.user_ids]
+            for s, remap in zip(per_shard, remaps)
+        ]
+    )
+    if not len(uids):
+        return SessionSet.empty(names)
+    logins = np.concatenate([s.login_times() for s in per_shard])
+    logouts = np.concatenate([s.logout_times() for s in per_shard])
+    counts = np.concatenate([s.observation_counts() for s in per_shard])
+    all_times = np.concatenate([s.times for s in per_shard])
+    all_xyz = np.concatenate([s.xyz for s in per_shard])
+    row_base = np.cumsum([0] + [len(s.times) for s in per_shard])[:-1]
+    row_starts = np.concatenate(
+        [s.offsets[:-1] + base for s, base in zip(per_shard, row_base)]
+    )
+
+    order = np.lexsort((logins, uids))
+    u = uids[order]
+    li = logins[order]
+    lo = logouts[order]
+    cnt = counts[order]
+
+    link = (u[1:] == u[:-1]) & (li[1:] - lo[:-1] <= gap_threshold)
+    head = np.empty(len(u), dtype=np.bool_)
+    head[0] = True
+    head[1:] = ~link
+    first = np.flatnonzero(head)
+    last = np.append(first[1:], len(u)) - 1
+
+    # Gather rows once into (user, login) session order; chain members
+    # are consecutive there, so merged sessions are contiguous blocks.
+    rows_sorted = _concat_aranges(row_starts[order], cnt)
+    row_pos = np.zeros(len(u) + 1, dtype=np.int64)
+    np.cumsum(cnt, out=row_pos[1:])
+    merged_counts = row_pos[last + 1] - row_pos[first]
+    merged_uids = u[first]
+    merged_logins = li[first]
+
+    final = np.lexsort((name_ranks(names)[merged_uids], merged_logins))
+    sel = _concat_aranges(row_pos[first][final], merged_counts[final])
+    rows = rows_sorted[sel]
+    offsets = np.zeros(len(final) + 1, dtype=np.int64)
+    np.cumsum(merged_counts[final], out=offsets[1:])
+    return SessionSet(
+        merged_uids[final], offsets, all_times[rows], all_xyz[rows], names
+    )
 
 
 def stride_phases(shard_lengths: Iterable[int], every: int) -> list[int]:
@@ -187,8 +318,8 @@ class BoundaryMergeAnalyzer:
     _label: str = "analyzer"
 
     def __init__(self) -> None:
-        self._contacts: dict[float, list[ContactInterval]] = {}
-        self._sessions: dict[float, list[UserSession]] = {}
+        self._contacts: dict[float, ContactSet] = {}
+        self._sessions: dict[float, SessionSet] = {}
         self._samples: dict[tuple, np.ndarray] = {}
         self._closed = False
 
@@ -235,8 +366,8 @@ class BoundaryMergeAnalyzer:
 
     # -- contacts ----------------------------------------------------------
 
-    def contacts(self, r: float) -> list[ContactInterval]:
-        """Merged contact intervals under range ``r`` (cached per range)."""
+    def contact_set(self, r: float) -> ContactSet:
+        """Merged columnar contact set under range ``r`` (cached)."""
         if r not in self._contacts:
             per_part = self._map("contacts", [(r,)] * self._part_count())
             self._contacts[r] = merge_shard_contacts(
@@ -244,15 +375,28 @@ class BoundaryMergeAnalyzer:
             )
         return self._contacts[r]
 
-    def contacts_multirange(
-        self, ranges: Iterable[float]
-    ) -> dict[float, list[ContactInterval]]:
-        """Batched multi-range extraction, merged per radius."""
+    def contacts(self, r: float) -> list[ContactInterval]:
+        """Merged contact intervals under range ``r`` (cached per range)."""
+        return self.contact_set(r).intervals()
+
+    def contact_sets_multirange(
+        self,
+        ranges: Iterable[float],
+        radius_workers: int | None = None,
+    ) -> dict[float, ContactSet]:
+        """Batched multi-range extraction, merged per radius.
+
+        ``radius_workers > 1`` lets every part fan its radius sweep
+        across an internal thread pool (the per-radius kernel passes
+        are independent numpy work) — results are identical on any
+        worker count.
+        """
         radii = sorted({float(r) for r in ranges})
         missing = [r for r in radii if r not in self._contacts]
         if missing:
             per_part = self._map(
-                "contacts_multirange", [(tuple(missing),)] * self._part_count()
+                "contacts_multirange",
+                [(tuple(missing), radius_workers)] * self._part_count(),
             )
             first_times = self._part_first_times()
             for r in missing:
@@ -263,10 +407,19 @@ class BoundaryMergeAnalyzer:
                 )
         return {r: self._contacts[r] for r in radii}
 
+    def contacts_multirange(
+        self,
+        ranges: Iterable[float],
+        radius_workers: int | None = None,
+    ) -> dict[float, list[ContactInterval]]:
+        """Batched multi-range extraction, merged per radius."""
+        sets = self.contact_sets_multirange(ranges, radius_workers)
+        return {r: s.intervals() for r, s in sets.items()}
+
     # -- sessions ----------------------------------------------------------
 
-    def sessions(self, gap_threshold: float | None = None) -> list[UserSession]:
-        """Merged user visits (cached per resolved gap threshold)."""
+    def session_set(self, gap_threshold: float | None = None) -> SessionSet:
+        """Merged columnar session set (cached per resolved threshold)."""
         resolved = (
             gap_threshold
             if gap_threshold is not None
@@ -276,6 +429,10 @@ class BoundaryMergeAnalyzer:
             per_part = self._map("sessions", [(resolved,)] * self._part_count())
             self._sessions[resolved] = merge_shard_sessions(per_part, resolved)
         return self._sessions[resolved]
+
+    def sessions(self, gap_threshold: float | None = None) -> list[UserSession]:
+        """Merged user visits (cached per resolved gap threshold)."""
+        return self.session_set(gap_threshold).sessions()
 
     # -- per-snapshot sample arrays ----------------------------------------
 
@@ -328,9 +485,9 @@ class ShardedAnalyzer(BoundaryMergeAnalyzer):
         by the CPU count.
     backend:
         ``"thread"`` — a ``ThreadPoolExecutor`` over in-memory shard
-        views; no start-up cost, but the Python interval/session state
-        machines serialize on the GIL, so only numpy grid work
-        overlaps.  ``"process"`` — per-shard ``.rtrc`` files
+        views; no start-up cost, and the run-length extraction kernels
+        are numpy-bound so shards overlap despite the GIL.
+        ``"process"`` — per-shard ``.rtrc`` files
         (materialized lazily into a private temp dir) analyzed by a
         ``spawn``-based ``ProcessPoolExecutor`` whose workers
         memmap-load their own shard; real multi-core scaling at the

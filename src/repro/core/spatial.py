@@ -19,7 +19,7 @@ from __future__ import annotations
 import numpy as np
 
 from repro.geometry.grid import flat_cell_indices, grid_shape
-from repro.trace import Trace, UserSession, extract_sessions
+from repro.trace import SessionSet, Trace, UserSession, extract_sessions
 
 #: The paper's zone size, meters.
 ZONE_SIZE = 20.0
@@ -36,20 +36,34 @@ def _sessions(trace: Trace, sessions: list[UserSession] | None) -> list[UserSess
     return [s for s in sessions if s.observation_count >= MIN_OBSERVATIONS]
 
 
+def _trip_mask(sessions: SessionSet) -> np.ndarray:
+    """Rows of a columnar set that qualify for trip metrics."""
+    return sessions.observation_counts() >= MIN_OBSERVATIONS
+
+
 def travel_lengths(
     trace: Trace,
-    sessions: list[UserSession] | None = None,
-) -> list[float]:
-    """Travel-length samples (meters), one per session — Fig. 4(a)."""
+    sessions: list[UserSession] | SessionSet | None = None,
+) -> list[float] | np.ndarray:
+    """Travel-length samples (meters), one per session — Fig. 4(a).
+
+    A columnar :class:`~repro.trace.SessionSet` takes the vectorized
+    path (one segment-sum over the whole observation table); a session
+    list keeps the per-object path.
+    """
+    if isinstance(sessions, SessionSet):
+        return sessions.travel_lengths()[_trip_mask(sessions)]
     return [session.travel_length() for session in _sessions(trace, sessions)]
 
 
 def effective_travel_times(
     trace: Trace,
-    sessions: list[UserSession] | None = None,
+    sessions: list[UserSession] | SessionSet | None = None,
     pause_epsilon: float = 0.5,
-) -> list[float]:
+) -> list[float] | np.ndarray:
     """Effective-travel-time samples (seconds) — Fig. 4(b)."""
+    if isinstance(sessions, SessionSet):
+        return sessions.effective_travel_times(pause_epsilon)[_trip_mask(sessions)]
     return [
         session.effective_travel_time(pause_epsilon)
         for session in _sessions(trace, sessions)
@@ -58,9 +72,11 @@ def effective_travel_times(
 
 def travel_times(
     trace: Trace,
-    sessions: list[UserSession] | None = None,
-) -> list[float]:
+    sessions: list[UserSession] | SessionSet | None = None,
+) -> list[float] | np.ndarray:
     """Travel (login) time samples (seconds) — Fig. 4(c)."""
+    if isinstance(sessions, SessionSet):
+        return sessions.travel_times()[_trip_mask(sessions)]
     return [session.travel_time for session in _sessions(trace, sessions)]
 
 

@@ -66,8 +66,9 @@ class WindowedAnalyzer(BoundaryMergeAnalyzer):
     backend:
         ``"serial"`` (default) — windows run strictly one at a time;
         the out-of-core memory bound holds.  ``"thread"`` — a thread
-        pool over the zero-copy window views (GIL-bound for the
-        Python interval/session state machines).  ``"process"`` —
+        pool over the zero-copy window views; the run-length
+        extraction kernels are numpy-bound and release the GIL, so
+        windows overlap.  ``"process"`` —
         non-empty windows are materialized once as per-window
         ``.rtrc`` files and spawned workers memmap-load their own
         window; real multi-core scaling, with roughly one window per

@@ -47,7 +47,13 @@ from repro.trace.sharding import (
     split_time_shards,
     to_rtrc_dir,
 )
-from repro.trace.sessions import UserSession, extract_sessions
+from repro.trace.sessions import (
+    SessionSet,
+    UserSession,
+    extract_session_set,
+    extract_sessions,
+    extract_sessions_loop,
+)
 from repro.trace.validation import TraceIssue, validate_trace
 from repro.trace.synth import (
     constant_positions_trace,
@@ -90,8 +96,11 @@ __all__ = [
     "shard_edges",
     "split_time_shards",
     "to_rtrc_dir",
+    "SessionSet",
     "UserSession",
+    "extract_session_set",
     "extract_sessions",
+    "extract_sessions_loop",
     "TraceIssue",
     "validate_trace",
     "constant_positions_trace",

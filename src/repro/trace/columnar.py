@@ -322,6 +322,23 @@ def empty_store(users: UserInterner | None = None) -> ColumnarStore:
     )
 
 
+def name_ranks(names: "Sequence[str]") -> np.ndarray:
+    """Rank of each interned name under lexicographic order.
+
+    ``ranks[uid]`` is the position ``names[uid]`` would take in
+    ``sorted(names)``.  Public result ordering follows *names* (sort
+    keys like ``(start, pair)`` or ``(login, user)`` compare name
+    strings) while the array kernels work on interner ids, whose
+    numeric order is first-appearance — the ranks bridge the two
+    without building any string tuples.
+    """
+    arr = np.asarray(names, dtype=object)
+    order = np.argsort(arr, kind="stable")
+    ranks = np.empty(len(arr), dtype=np.int64)
+    ranks[order] = np.arange(len(arr), dtype=np.int64)
+    return ranks
+
+
 def _concat_aranges(starts: np.ndarray, counts: np.ndarray) -> np.ndarray:
     """Concatenation of ``arange(s, s + c)`` for each start/count pair."""
     counts = np.asarray(counts, dtype=np.int64)
