@@ -1,0 +1,253 @@
+"""Cached query-service throughput vs uncached response recompute.
+
+The query service answers repeated analytics queries from a
+per-``(kind, params)`` cache of encoded responses, invalidated by the
+store's commit generation — so between commits, a dashboard polling
+``/contacts?r=10`` costs one dictionary hit and a socket write instead
+of rebuilding and re-encoding the JSON document every time.  This
+benchmark measures that claim under concurrency: N keep-alive HTTP
+clients hammer the same endpoints against (a) the caching service and
+(b) a service with response caching disabled (every request rebuilds
+the payload from the follower's merged results and re-encodes it —
+the "uncached recompute" an un-cached web app would do per hit).
+
+A third pass re-runs the cached drill while a live producer POSTs
+crawl rounds through the ingest endpoint, measuring how much commit
+churn (which genuinely invalidates the cache) costs the readers.
+
+Runs two ways:
+
+* ``pytest benchmarks/bench_query_service.py -s`` — the assertion
+  harness (cached and uncached responses are byte-identical, at
+  reduced scale);
+* ``PYTHONPATH=src python benchmarks/bench_query_service.py`` — the
+  full table; **fails** (exit 1) when the cached path stops beating
+  the uncached recompute by :data:`CACHED_OVER_UNCACHED_FLOOR`.
+"""
+
+from __future__ import annotations
+
+import http.client
+import json
+import sys
+import tempfile
+import threading
+import time
+from pathlib import Path
+
+from bench_live_shard_dir import grow_shard_dir
+from bench_parallel_backends import walk_trace
+from repro.service import QueryService
+from repro.trace import Trace
+
+#: Full-run workload: 120 snapshots x 600 users = 72k observations.
+FULL_SNAPSHOTS, FULL_USERS = 120, 600
+
+#: Crawl rounds the store is committed in before serving.
+ROUNDS = 6
+
+#: Concurrent keep-alive query clients.
+CLIENTS = 4
+
+#: Queries per client per drill.
+QUERIES_PER_CLIENT = 80
+
+#: The endpoints every client cycles through (relative to the store).
+ENDPOINTS = ("/contacts?r=10", "/sessions", "/zones?cell=20&every=4")
+
+#: CI regression floor: cached-over-uncached throughput ratio.  The
+#: acceptance bar is 5x; the committed baseline is measured higher and
+#: the trend gate allows the usual floor-ratio slack below it.
+CACHED_OVER_UNCACHED_FLOOR = 5.0
+
+
+def build_store(trace: Trace, rounds: int, root: Path) -> Path:
+    """Commit ``trace`` into ``root`` as a served shard directory."""
+    return grow_shard_dir(trace, rounds, root)
+
+
+def _drill(
+    host: str,
+    port: int,
+    clients: int,
+    queries_per_client: int,
+    stop_append: threading.Event | None = None,
+) -> tuple[float, bytes]:
+    """Hammer the endpoints from ``clients`` keep-alive connections.
+
+    Returns ``(wall seconds, one response body)`` for the equivalence
+    checks.  Every request must come back 200.
+    """
+    errors: list[str] = []
+    sample: list[bytes] = []
+
+    def client(index: int) -> None:
+        connection = http.client.HTTPConnection(host, port, timeout=60)
+        try:
+            for n in range(queries_per_client):
+                path = f"/v1/crawl{ENDPOINTS[(index + n) % len(ENDPOINTS)]}"
+                connection.request("GET", path)
+                response = connection.getresponse()
+                body = response.read()
+                if response.status != 200:
+                    errors.append(f"{path} -> {response.status}")
+                    return
+                if not sample and path.endswith(ENDPOINTS[0]):
+                    sample.append(body)
+        finally:
+            connection.close()
+
+    threads = [
+        threading.Thread(target=client, args=(index,)) for index in range(clients)
+    ]
+    t0 = time.perf_counter()
+    for thread in threads:
+        thread.start()
+    for thread in threads:
+        thread.join()
+    wall = time.perf_counter() - t0
+    if stop_append is not None:
+        stop_append.set()
+    assert not errors, f"query drill failed: {errors[:3]}"
+    return wall, sample[0]
+
+
+def _appender(host: str, port: int, start_time: float, stop: threading.Event) -> None:
+    """POST small crawl rounds until told to stop (the churn source)."""
+    connection = http.client.HTTPConnection(host, port, timeout=60)
+    t = start_time
+    try:
+        while not stop.is_set():
+            t += 10.0
+            body = json.dumps(
+                {
+                    "snapshots": [
+                        {"t": t, "users": ["w1", "w2"], "xyz": [[1, 2, 0], [3, 4, 0]]}
+                    ]
+                }
+            )
+            connection.request(
+                "POST",
+                "/v1/crawl/rounds",
+                body=body,
+                headers={"Content-Type": "application/json"},
+            )
+            response = connection.getresponse()
+            response.read()
+            assert response.status == 200, f"ingest -> {response.status}"
+            time.sleep(0.01)
+    finally:
+        connection.close()
+
+
+def measure(
+    root: Path,
+    clients: int = CLIENTS,
+    queries_per_client: int = QUERIES_PER_CLIENT,
+    with_append: bool = True,
+) -> dict[str, float]:
+    """Cached vs uncached drills (plus the under-ingest drill)."""
+    total = clients * queries_per_client
+    results: dict[str, float] = {
+        "clients": clients,
+        "queries": total,
+    }
+    bodies: dict[str, bytes] = {}
+    for mode, cache_results in (("cached", True), ("uncached", False)):
+        with QueryService({"crawl": root}, cache_results=cache_results) as service:
+            host, port = service.start()
+            _drill(host, port, 1, len(ENDPOINTS))  # warm follower + caches
+            wall, body = _drill(host, port, clients, queries_per_client)
+            results[f"{mode}_s"] = wall
+            results[f"{mode}_qps"] = total / wall
+            bodies[mode] = body
+    assert bodies["cached"] == bodies["uncached"], (
+        "caching changed the response bytes"
+    )
+    results["cached_over_uncached"] = results["cached_qps"] / results["uncached_qps"]
+    if with_append:
+        with QueryService({"crawl": root}, ingest=True) as service:
+            host, port = service.start()
+            _drill(host, port, 1, len(ENDPOINTS))
+            stop = threading.Event()
+            # The producer must append strictly after the committed
+            # history; read the store's end from the session list.
+            connection = http.client.HTTPConnection(host, port, timeout=60)
+            connection.request("GET", "/v1/crawl/sessions")
+            sessions = json.loads(connection.getresponse().read())
+            connection.close()
+            last_time = max(
+                (s["logout"] for s in sessions["sessions"]), default=0.0
+            )
+            writer = threading.Thread(
+                target=_appender, args=(host, port, last_time + 1e6, stop)
+            )
+            writer.start()
+            try:
+                wall, _ = _drill(host, port, clients, queries_per_client, stop)
+            finally:
+                stop.set()
+                writer.join()
+            results["with_append_s"] = wall
+            results["with_append_qps"] = total / wall
+            results["rounds_ingested"] = service.stats.ingested_rounds
+    return results
+
+
+# -- pytest harness (correctness smoke at reduced scale) -------------------
+
+
+def test_cached_and_uncached_responses_identical(tmp_path):
+    trace = walk_trace(24, 60)
+    root = build_store(trace, 3, tmp_path / "store")
+    row = measure(root, clients=2, queries_per_client=6, with_append=False)
+    assert row["cached_qps"] > 0 and row["uncached_qps"] > 0
+
+
+def test_queries_survive_concurrent_ingest(tmp_path):
+    trace = walk_trace(24, 60)
+    root = build_store(trace, 3, tmp_path / "store")
+    row = measure(root, clients=2, queries_per_client=6, with_append=True)
+    assert row["rounds_ingested"] >= 1
+
+
+# -- full table ------------------------------------------------------------
+
+
+def main() -> int:
+    obs = FULL_SNAPSHOTS * FULL_USERS
+    print(
+        f"query service: {CLIENTS} keep-alive clients x "
+        f"{QUERIES_PER_CLIENT} queries over {ENDPOINTS}, store of "
+        f"{obs} observations in {ROUNDS} rounds"
+    )
+    trace = walk_trace(FULL_SNAPSHOTS, FULL_USERS)
+    with tempfile.TemporaryDirectory() as tmp:
+        root = build_store(trace, ROUNDS, Path(tmp) / "store")
+        row = measure(root)
+    print(f"{'mode':>14} {'wall':>9} {'qps':>9}")
+    print(f"{'uncached':>14} {row['uncached_s']:>8.2f}s {row['uncached_qps']:>9.0f}")
+    print(f"{'cached':>14} {row['cached_s']:>8.2f}s {row['cached_qps']:>9.0f}")
+    print(
+        f"{'cached+ingest':>14} {row['with_append_s']:>8.2f}s "
+        f"{row['with_append_qps']:>9.0f}"
+    )
+    print(
+        f"cached over uncached: {row['cached_over_uncached']:.1f}x "
+        f"(floor {CACHED_OVER_UNCACHED_FLOOR}x); "
+        f"{row['rounds_ingested']:.0f} rounds ingested during the "
+        f"cached+ingest drill"
+    )
+    if row["cached_over_uncached"] < CACHED_OVER_UNCACHED_FLOOR:
+        print(
+            f"REGRESSION: cached queries only "
+            f"{row['cached_over_uncached']:.1f}x the uncached recompute "
+            f"(floor {CACHED_OVER_UNCACHED_FLOOR}x)",
+            file=sys.stderr,
+        )
+        return 1
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -142,12 +142,32 @@ def bench_live_shard_dir() -> dict:
     }
 
 
+def bench_query_service() -> dict:
+    """Cached query-service throughput vs uncached response recompute."""
+    from bench_parallel_backends import walk_trace
+    from bench_query_service import build_store, measure
+
+    trace = walk_trace(60, 300)  # 18k observations
+    with tempfile.TemporaryDirectory() as tmp:
+        root = build_store(trace, 4, Path(tmp) / "store")
+        row = measure(root, clients=3, queries_per_client=40)
+    return {
+        "metrics": {"cached_over_uncached": row["cached_over_uncached"]},
+        "timings": {
+            "cached_s": row["cached_s"],
+            "uncached_s": row["uncached_s"],
+            "with_append_s": row["with_append_s"],
+        },
+    }
+
+
 BENCHES = {
     "contacts_grid": bench_contacts_grid,
     "extraction_kernels": bench_extraction_kernels,
     "multirange": bench_multirange,
     "append_ingest": bench_append_ingest,
     "live_shard_dir": bench_live_shard_dir,
+    "query_service": bench_query_service,
 }
 
 

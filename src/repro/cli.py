@@ -1,14 +1,16 @@
 """Command-line interface: ``slmob`` / ``python -m repro``.
 
-Eight subcommands cover the workflow end to end (full reference with
+Nine subcommands cover the workflow end to end (full reference with
 examples: ``docs/cli.md``)::
 
     slmob simulate --land dance --hours 2 --out dance.rtrc
     slmob crawl --land dance --hours 8 --out live.rtrc --follow
     slmob crawl --land dance --hours 8 --out live-shards --follow
+    slmob crawl --land dance --out http://127.0.0.1:8700/v1/crawl
     slmob convert dance.csv.gz dance.rtrc
     slmob analyze dance.rtrc --shards 4 --backend process
     slmob analyze live-shards --follow --backend process
+    slmob serve live-shards --port 8700 --ingest
     slmob shard-export dance.rtrc shards/ --shards 8
     slmob compact live-shards --shards 4
     slmob validate dance.rtrc
@@ -28,7 +30,11 @@ a trace file — with ``--shards K`` the heavy extractions fan out over
 K time shards, on threads or (``--backend process``) spawned workers
 that memmap-load per-shard ``.rtrc`` files, and with ``--follow`` it
 tails a store or shard directory another process is appending to
-(``--backend`` fans the catch-up extractions too); ``shard-export``
+(``--backend`` fans the catch-up extractions too); ``serve`` holds
+live followers over one or more stores and answers cached JSON
+queries (contacts / sessions / zones / graph metrics) over HTTP,
+optionally accepting crawl rounds via ``POST`` — the target of
+``crawl --out http://...``; ``shard-export``
 materializes per-shard files (plus a manifest) for external workers;
 ``compact`` folds many small append-round shards into balanced ones
 and trims the capacity slack of appendable single files;
@@ -42,10 +48,17 @@ import sys
 import time
 from pathlib import Path
 
-from repro.core import BLUETOOTH_RANGE, WIFI_RANGE, LiveAnalyzer, TraceAnalyzer
+from repro.core import (
+    BLUETOOTH_RANGE,
+    WIFI_RANGE,
+    LiveAnalyzer,
+    StoreChangedError,
+    TraceAnalyzer,
+)
 from repro.core.report import log_grid, render_ccdf_table, render_summary_table
 from repro.lands import paper_presets
 from repro.monitors import Crawler, SensorNetwork, stream_monitors
+from repro.service import DEFAULT_INGEST_BODY_LIMIT, DEFAULT_INGEST_BUDGET
 from repro.trace import (
     RtrcAppender,
     RtrcDirAppender,
@@ -122,7 +135,53 @@ def _is_shard_dir_path(path: Path) -> bool:
     return path.is_dir() or (path.suffix == "" and not path.exists())
 
 
+def _crawl_http(args: argparse.Namespace) -> int:
+    """Stream a crawl to a query service's ingest endpoint."""
+    from repro.service import HttpRoundSink, ServiceRejectedRound
+
+    if args.follow:
+        print(
+            "--follow needs a local store to tail; with an http:// sink, "
+            "query the service instead (GET <url>/contacts?r=10)",
+            file=sys.stderr,
+        )
+        return 2
+    land_name, world = _build_world(args)
+    print(
+        f"crawling {land_name!r} for {args.hours:.2f} h "
+        f"(tau={args.tau:g}s, seed={args.seed}, "
+        f"round={args.round_minutes:g} min, posting rounds to {args.out})...",
+        file=sys.stderr,
+    )
+    try:
+        with HttpRoundSink(args.out) as sink:
+            crawler = Crawler(tau=args.tau, mimic=not args.naive, sink=sink)
+            rounds = stream_monitors(
+                world, [crawler], args.hours * 3600.0, args.round_minutes * 60.0
+            )
+            for now in rounds:
+                sink.commit()
+                print(
+                    f"t={now:.0f}s snapshots={sink.snapshot_count} "
+                    f"users={sink.user_count} "
+                    f"observations={sink.observation_count} "
+                    f"rounds_posted={sink.rounds_posted}",
+                    file=sys.stderr,
+                )
+    except (ServiceRejectedRound, OSError) as exc:
+        print(f"ingest failed: {exc}", file=sys.stderr)
+        return 1
+    print(
+        f"posted {sink.rounds_posted} rounds to {args.out}: "
+        f"{sink.snapshot_count} snapshots, {sink.user_count} unique users",
+        file=sys.stderr,
+    )
+    return 0
+
+
 def _cmd_crawl(args: argparse.Namespace) -> int:
+    if args.out.startswith(("http://", "https://")):
+        return _crawl_http(args)
     out = Path(args.out)
     to_dir = _is_shard_dir_path(out)
     if not to_dir and (trace_format(out) != "rtrc" or out.suffix == ".gz"):
@@ -178,21 +237,36 @@ def _follow_analyze(args: argparse.Namespace) -> int:
     ranges = args.range or [BLUETOOTH_RANGE, WIFI_RANGE]
     idle = 0
     backend = args.backend or "serial"
-    with _open_live(args.trace, backend) as live:
-        if live.snapshot_count:
-            print(_live_status(live, ranges, None))
-        while idle < args.idle_rounds:
-            time.sleep(args.poll)
-            if _refresh_live(live):
-                idle = 0
+    try:
+        with _open_live(args.trace, backend) as live:
+            if live.snapshot_count:
                 print(_live_status(live, ranges, None))
-            else:
-                idle += 1
+            while idle < args.idle_rounds:
+                time.sleep(args.poll)
+                if _refresh_live(live):
+                    idle = 0
+                    print(_live_status(live, ranges, None))
+                else:
+                    idle += 1
+            print(
+                f"no growth after {args.idle_rounds} polls of {args.poll:g}s; "
+                f"final state: {live.snapshot_count} snapshots, "
+                f"{live.part_count} append rounds observed"
+            )
+    except StoreChangedError as exc:
+        # A concurrent compaction (or other history rewrite) broke the
+        # follower's append-only contract mid-follow.  The store is
+        # still valid — only this follower's incremental state is
+        # stale — so fail with guidance, not a traceback.
         print(
-            f"no growth after {args.idle_rounds} polls of {args.poll:g}s; "
-            f"final state: {live.snapshot_count} snapshots, "
-            f"{live.part_count} append rounds observed"
+            f"store changed under the follower: {exc}\n"
+            "compact only between followers — stop this follower before "
+            "running 'slmob compact', or serve the store through "
+            "'slmob serve' (the service re-opens its follower after a "
+            "compaction)",
+            file=sys.stderr,
         )
+        return 2
     return 0
 
 
@@ -384,6 +458,69 @@ def _cmd_analyze(args: argparse.Namespace) -> int:
     return 0
 
 
+def _serve_store_specs(specs: list[str]) -> dict[str, Path]:
+    """Parse ``[name=]PATH`` store arguments into ``{name: path}``.
+
+    The default name is the path's basename with any ``.rtrc[.gz]``
+    suffix stripped — ``crawls/dance.rtrc`` serves as ``/v1/dance``.
+    """
+    stores: dict[str, Path] = {}
+    for spec in specs:
+        if "=" in spec:
+            name, _, raw = spec.partition("=")
+        else:
+            raw = spec
+            name = Path(raw).name
+            for suffix in (".gz", ".rtrc"):
+                if name.endswith(suffix):
+                    name = name[: -len(suffix)]
+        if not name or "/" in name:
+            raise ValueError(f"invalid store name in {spec!r}")
+        if name in stores:
+            raise ValueError(
+                f"store name {name!r} used twice; disambiguate with name=PATH"
+            )
+        stores[name] = Path(raw)
+    return stores
+
+
+def _cmd_serve(args: argparse.Namespace) -> int:
+    from repro.service import QueryService
+
+    try:
+        stores = _serve_store_specs(args.stores)
+    except ValueError as exc:
+        print(str(exc), file=sys.stderr)
+        return 2
+    try:
+        service = QueryService(
+            stores,
+            host=args.host,
+            port=args.port,
+            backend=args.backend,
+            ingest=args.ingest,
+            ingest_budget=args.ingest_budget,
+            ingest_body_limit=args.ingest_body_limit,
+            verbose=not args.quiet,
+        )
+    except (ValueError, TraceFormatError) as exc:
+        print(f"cannot serve: {exc}", file=sys.stderr)
+        return 2
+    with service:
+        host, port = service.bind()
+        names = ", ".join(sorted(stores))
+        print(
+            f"serving {names} on http://{host}:{port}/v1 "
+            f"(ingest {'enabled' if args.ingest else 'disabled'}); Ctrl-C stops",
+            file=sys.stderr,
+        )
+        try:
+            service.serve_forever()
+        except KeyboardInterrupt:
+            print("stopping", file=sys.stderr)
+    return 0
+
+
 def _cmd_validate(args: argparse.Namespace) -> int:
     trace = read_trace(Path(args.trace))
     issues = validate_trace(trace)
@@ -504,6 +641,41 @@ def build_parser() -> argparse.ArgumentParser:
                          help="stop --follow after this many growth-free "
                               "polls (0 = report once and exit)")
     analyze.set_defaults(func=_cmd_analyze)
+
+    serve = sub.add_parser(
+        "serve",
+        help="serve cached JSON mobility analytics over live stores "
+             "(contacts / sessions / zones / graph metrics), optionally "
+             "accepting crawl rounds via POST",
+    )
+    serve.add_argument("stores", nargs="+", metavar="[NAME=]PATH",
+                       help="store(s) to serve: appendable .rtrc files or "
+                            "shard directories; NAME= overrides the URL "
+                            "segment (default: basename without .rtrc)")
+    serve.add_argument("--host", default="127.0.0.1",
+                       help="bind address (default 127.0.0.1)")
+    serve.add_argument("--port", type=int, default=8700,
+                       help="bind port (default 8700; 0 picks a free port)")
+    serve.add_argument("--backend",
+                       choices=["serial", "thread", "process"],
+                       default="serial",
+                       help="follower backend for catch-up extraction "
+                            "(as in analyze --follow)")
+    serve.add_argument("--ingest", action="store_true",
+                       help="accept POST /v1/<store>/rounds into shard-dir "
+                            "stores (the service's appender must then be "
+                            "the directory's only writer); a missing "
+                            "suffix-less store path is created fresh")
+    serve.add_argument("--ingest-budget", type=int,
+                       default=DEFAULT_INGEST_BUDGET,
+                       help="ingest requests allowed per sliding 60 s "
+                            "window, across all stores")
+    serve.add_argument("--ingest-body-limit", type=int,
+                       default=DEFAULT_INGEST_BODY_LIMIT,
+                       help="largest accepted ingest request body, bytes")
+    serve.add_argument("--quiet", action="store_true",
+                       help="do not log one line per request to stderr")
+    serve.set_defaults(func=_cmd_serve)
 
     shard_export = sub.add_parser(
         "shard-export",

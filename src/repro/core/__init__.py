@@ -51,7 +51,7 @@ from repro.core.sharded import (
     merge_shard_contacts,
     merge_shard_sessions,
 )
-from repro.core.live import LiveAnalyzer
+from repro.core.live import LiveAnalyzer, StoreChangedError
 from repro.core.windowed import WindowedAnalyzer
 from repro.core.losgraph import (
     clustering_series,
@@ -88,6 +88,7 @@ __all__ = [
     "extract_contacts_reference",
     "multirange_contact_sets",
     "LiveAnalyzer",
+    "StoreChangedError",
     "ShardAnalysisError",
     "ShardedAnalyzer",
     "WindowedAnalyzer",

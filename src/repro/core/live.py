@@ -55,6 +55,21 @@ from repro.trace import (
 )
 
 
+class StoreChangedError(ValueError):
+    """The followed store broke the append-only contract.
+
+    Raised by :meth:`LiveAnalyzer.refresh` when the store shrank, its
+    committed prefix was rewritten, or a shard directory's committed
+    file list changed (the signature of a concurrent
+    :func:`~repro.trace.compact_shard_dir`).  Incremental results over
+    a rewritten past would be silently wrong, so the follower refuses;
+    long-running consumers (the CLI ``--follow`` loop, the query
+    service) catch this specifically — the store itself is still
+    valid, only *this follower's* history is stale, so re-opening a
+    fresh follower recovers.
+    """
+
+
 class LiveAnalyzer(BoundaryMergeAnalyzer):
     """Incrementally extend analyses as an ``.rtrc`` store grows.
 
@@ -186,10 +201,10 @@ class LiveAnalyzer(BoundaryMergeAnalyzer):
         New snapshots become new parts (one per growth span or per
         committed shard file); analyses requested afterwards extract
         only those parts and re-merge.  A refresh that observes no
-        growth is free and invalidates nothing.  Raises ``ValueError``
-        if the store shrank or its committed prefix changed — the
-        append-only contract is broken and incremental results would
-        be silently wrong.
+        growth is free and invalidates nothing.  Raises
+        :class:`StoreChangedError` if the store shrank or its
+        committed prefix changed — the append-only contract is broken
+        and incremental results would be silently wrong.
         """
         self._check_open()
         grown = self._refresh_dir() if self._dir else self._refresh_file()
@@ -204,14 +219,14 @@ class LiveAnalyzer(BoundaryMergeAnalyzer):
         store, metadata = read_store_rtrc(self.path, mmap=self._mmap)
         known = self._edges[-1]
         if store.snapshot_count < known:
-            raise ValueError(
+            raise StoreChangedError(
                 f"{self.path}: store shrank from {known} to "
                 f"{store.snapshot_count} snapshots; LiveAnalyzer requires "
                 "an append-only store"
             )
         if known and self._last_edge_time is not None:
             if float(store.times[known - 1]) != self._last_edge_time:
-                raise ValueError(
+                raise StoreChangedError(
                     f"{self.path}: committed snapshots changed under the "
                     "analyzer; LiveAnalyzer requires an append-only store"
                 )
@@ -235,7 +250,7 @@ class LiveAnalyzer(BoundaryMergeAnalyzer):
         files = list_rtrc_dir(self.path)
         known = self._known_files
         if files[: len(known)] != known:
-            raise ValueError(
+            raise StoreChangedError(
                 f"{self.path}: committed shard files changed under the "
                 "analyzer; LiveAnalyzer requires an append-only shard "
                 "directory (compact only between followers)"
@@ -269,7 +284,7 @@ class LiveAnalyzer(BoundaryMergeAnalyzer):
             if len(trace):
                 first = float(trace.columns.times[0])
                 if first <= last_time:
-                    raise ValueError(
+                    raise StoreChangedError(
                         f"{self.path}: shard file {name!r} is not strictly "
                         "after its predecessors; LiveAnalyzer requires an "
                         "append-only shard directory"
@@ -312,6 +327,22 @@ class LiveAnalyzer(BoundaryMergeAnalyzer):
         if self._dir:
             return len(self._part_paths)
         return len(self._edges) - 1
+
+    @property
+    def is_shard_dir(self) -> bool:
+        """Whether the followed store is a shard directory."""
+        return self._dir
+
+    @property
+    def committed_file_count(self) -> int:
+        """Committed shard files observed (0 in single-file mode).
+
+        Unlike :attr:`part_count` this counts *empty* committed rounds
+        too, so together with the manifest generation it tags exactly
+        the committed prefix this follower has observed — the query
+        service's cache-invalidation token.
+        """
+        return len(self._known_files) if self._dir else 0
 
     # -- BoundaryMergeAnalyzer plumbing -------------------------------------
 

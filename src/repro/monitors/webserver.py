@@ -63,14 +63,18 @@ class WebServer:
             raise ValueError(f"record size must be >= 1 byte, got {record_bytes}")
         return max(1, self.body_limit_bytes // record_bytes)
 
+    def _evict(self, now: float) -> None:
+        """Drop window entries older than 60 s as of ``now``."""
+        while self._window and self._window[0] <= now - 60.0:
+            self._window.popleft()
+
     def try_request(self, now: float, record_count: int) -> bool:
         """Attempt one HTTP POST carrying ``record_count`` records.
 
         Returns True (and accounts for the request) when the sliding
         window has budget left; False when the request is throttled.
         """
-        while self._window and self._window[0] <= now - 60.0:
-            self._window.popleft()
+        self._evict(now)
         if len(self._window) >= self.max_requests_per_minute:
             self.stats.rejected_requests += 1
             return False
@@ -79,7 +83,12 @@ class WebServer:
         self.stats.records_received += record_count
         return True
 
-    @property
-    def requests_in_window(self) -> int:
-        """Requests currently inside the sliding window."""
+    def requests_in_window(self, now: float) -> int:
+        """Requests still inside the sliding window at time ``now``.
+
+        Expired entries are evicted first — without the eviction an
+        idle server would keep reporting a full window forever, since
+        only :meth:`try_request` used to trim it.
+        """
+        self._evict(now)
         return len(self._window)

@@ -43,6 +43,7 @@ from repro.trace.sharding import (
     list_rtrc_dir,
     read_rtrc_dir,
     read_shard_manifest,
+    shard_dir_generation,
     shard_edges,
     split_time_shards,
     to_rtrc_dir,
@@ -93,6 +94,7 @@ __all__ = [
     "list_rtrc_dir",
     "read_rtrc_dir",
     "read_shard_manifest",
+    "shard_dir_generation",
     "shard_edges",
     "split_time_shards",
     "to_rtrc_dir",

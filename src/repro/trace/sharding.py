@@ -209,6 +209,22 @@ def read_shard_manifest(directory: str | Path) -> dict | None:
     return manifest
 
 
+def shard_dir_generation(directory: str | Path) -> tuple[int, int]:
+    """``(compaction generation, committed file count)`` of a shard dir.
+
+    Every commit grows the file count and every compaction bumps the
+    generation (resetting the count), so the pair changes on *exactly*
+    the events that can change query results over the directory — a
+    ready-made cache-invalidation token.  The query service renders it
+    as the HTTP ETag of its cached answers.  A manifest-less (foreign)
+    directory reports generation 0 over the globbed file list.
+    """
+    manifest = read_shard_manifest(directory)
+    if manifest is None:
+        return (0, len(list_rtrc_dir(directory)))
+    return (int(manifest.get("generation", 0)), len(manifest["files"]))
+
+
 def list_rtrc_dir(directory: str | Path) -> list[str]:
     """Shard file names of a directory, in load order.
 

@@ -197,6 +197,36 @@ class TestEmptyAndContract:
             live.refresh()
         live.close()
 
+    def test_concurrent_compaction_raises_store_changed_error(self, tmp_path, trace):
+        # Regression: a compaction racing a follower used to surface
+        # as a bare ValueError traceback from deep inside refresh().
+        # It must raise the typed StoreChangedError so long-running
+        # consumers (the CLI --follow loop, the query service) can
+        # catch it specifically and re-open a fresh follower.
+        from repro.core import StoreChangedError
+        from repro.trace import compact_shard_dir
+
+        root = tmp_path / "compacted-under"
+        with RtrcDirAppender(root, trace.metadata) as appender:
+            for _ in _stream_rounds(appender, trace, 3):
+                pass
+        with LiveAnalyzer(root) as live:
+            before = live.contacts(15.0)
+            compact_shard_dir(root, 1)
+            with pytest.raises(StoreChangedError, match="compact only between"):
+                live.refresh()
+            # The follower's merged caches survive the refusal.
+            assert live.contacts(15.0) == before
+        # A fresh follower adopts the compacted directory cleanly.
+        with LiveAnalyzer(root) as reopened:
+            assert reopened.contacts(15.0) == before
+
+    def test_store_changed_error_is_a_value_error(self):
+        # Existing except-ValueError handlers keep working.
+        from repro.core import StoreChangedError
+
+        assert issubclass(StoreChangedError, ValueError)
+
     def test_close_keeps_caches_but_blocks_new_work(self, tmp_path, trace):
         root = tmp_path / "close"
         with RtrcDirAppender(root, trace.metadata) as appender:

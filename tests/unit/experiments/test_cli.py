@@ -318,3 +318,110 @@ class TestShardDirCli:
         assert main(["compact", str(root), "--shards", "2"]) == 0
         assert "2 shard file(s)" in capsys.readouterr().err
         assert main(["analyze", str(root), "--range", "15"]) == 0
+
+    def test_follow_racing_compaction_exits_with_guidance(
+        self, tmp_path, capsys, monkeypatch
+    ):
+        # Regression: a compaction racing `analyze --follow` used to
+        # escape as a raw StoreChangedError traceback.  It must exit 2
+        # with the "compact only between followers" guidance.
+        from repro.core import StoreChangedError
+
+        root = self._grown_dir(tmp_path)
+
+        def compacted_under(live):
+            raise StoreChangedError(
+                f"{root}: committed shard files changed under the analyzer"
+            )
+
+        monkeypatch.setattr("repro.cli._refresh_live", compacted_under)
+        code = main([
+            "analyze", str(root), "--follow",
+            "--poll", "0.01", "--idle-rounds", "1",
+        ])
+        assert code == 2
+        err = capsys.readouterr().err
+        assert "compact only between followers" in err
+        assert "slmob serve" in err
+
+
+class TestServeCli:
+    def test_serve_parser_defaults(self):
+        args = build_parser().parse_args(["serve", "crawl-dir"])
+        assert args.stores == ["crawl-dir"]
+        assert args.host == "127.0.0.1"
+        assert args.port == 8700
+        assert args.backend == "serial"
+        assert not args.ingest
+
+    def test_serve_help_documents_ingest(self, capsys):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["serve", "--help"])
+        help_text = capsys.readouterr().out
+        assert "--ingest" in help_text
+        assert "POST" in help_text
+
+    def test_store_specs_default_names_strip_rtrc(self):
+        from repro.cli import _serve_store_specs
+
+        stores = _serve_store_specs(
+            ["crawls/dance.rtrc", "apfel", "iov=crawls/live.rtrc.gz"]
+        )
+        assert sorted(stores) == ["apfel", "dance", "iov"]
+        assert str(stores["dance"]) == "crawls/dance.rtrc"
+
+    def test_store_specs_reject_duplicate_names(self):
+        from repro.cli import _serve_store_specs
+
+        with pytest.raises(ValueError, match="used twice"):
+            _serve_store_specs(["a/dance.rtrc", "b/dance.rtrc"])
+
+    def test_serve_missing_store_exits_cleanly(self, tmp_path, capsys):
+        assert main(["serve", str(tmp_path / "nothere")]) == 2
+        assert "cannot serve" in capsys.readouterr().err
+
+    def test_serve_duplicate_store_names_exit_cleanly(self, tmp_path, capsys):
+        assert main([
+            "serve", str(tmp_path / "x" / "dance"), str(tmp_path / "y" / "dance"),
+        ]) == 2
+        assert "used twice" in capsys.readouterr().err
+
+    def test_crawl_to_http_sink_posts_rounds(self, tmp_path, capsys):
+        # End to end: `crawl --out http://...` streams through the
+        # ingest endpoint into a service-owned shard directory.
+        from repro.service import QueryService
+        from repro.trace import read_rtrc_dir
+
+        root = tmp_path / "ingested"
+        with QueryService({"crawl": root}, ingest=True) as service:
+            host, port = service.start()
+            code = main([
+                "crawl", "--land", "dance", "--hours", "0.05",
+                "--spinup", "300", "--round-minutes", "1",
+                "--out", f"http://{host}:{port}/v1/crawl",
+            ])
+            assert code == 0
+            assert service.stats.ingested_rounds == 3
+        err = capsys.readouterr().err
+        assert "rounds_posted=3" in err
+        shards = read_rtrc_dir(root)
+        assert len(shards) == 3  # one committed shard file per round
+        assert shards[0].metadata.land_name == "Dance Island"
+
+    def test_crawl_http_sink_rejects_follow(self, capsys):
+        code = main([
+            "crawl", "--land", "dance", "--hours", "0.05",
+            "--out", "http://127.0.0.1:1/v1/crawl", "--follow",
+        ])
+        assert code == 2
+        assert "local store" in capsys.readouterr().err
+
+    def test_crawl_http_sink_unreachable_service_fails_cleanly(self, capsys):
+        # Nothing listens on the target: exit 1 + message, no traceback.
+        code = main([
+            "crawl", "--land", "dance", "--hours", "0.05",
+            "--spinup", "0", "--round-minutes", "1",
+            "--out", "http://127.0.0.1:1/v1/crawl",
+        ])
+        assert code == 1
+        assert "ingest failed" in capsys.readouterr().err

@@ -228,6 +228,26 @@ class TestWebServer:
         assert server.max_records_per_request(40) == 51
         assert server.max_records_per_request(4096) == 1  # at least one
 
+    def test_requests_in_window_evicts_expired(self):
+        # Regression: the window count used to include expired
+        # timestamps — only try_request trimmed the deque, so an idle
+        # server kept reporting a full window forever.
+        server = WebServer(max_requests_per_minute=3)
+        for t in (0.0, 1.0, 2.0):
+            assert server.try_request(t, 1)
+        assert server.requests_in_window(2.0) == 3
+        assert server.requests_in_window(61.5) == 1  # only t=2.0 survives
+        assert server.requests_in_window(120.0) == 0
+
+    def test_requests_in_window_idle_server_frees_budget(self):
+        server = WebServer(max_requests_per_minute=1)
+        assert server.try_request(0.0, 1)
+        assert server.requests_in_window(30.0) == 1
+        # After the window slides past the only entry, the reported
+        # load and the admission decision must agree.
+        assert server.requests_in_window(61.0) == 0
+        assert server.try_request(61.0, 1)
+
     def test_validation(self):
         with pytest.raises(ValueError):
             WebServer(max_requests_per_minute=0)

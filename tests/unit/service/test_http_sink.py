@@ -1,0 +1,141 @@
+"""Unit tests for repro.service.client: the HTTP crawl sink.
+
+The headline claim: a shard directory populated through
+:class:`~repro.service.HttpRoundSink` → ``POST /v1/<store>/rounds`` is
+**bit-for-bit** the store a local
+:class:`~repro.trace.RtrcDirAppender` would have written from the
+same snapshots — positions survive the JSON round trip exactly
+(shortest-round-trip float ``repr``), commit boundaries map one to
+one, and the user table interns in the same order.
+"""
+
+import threading
+import time
+
+import numpy as np
+import pytest
+
+from repro.service import HttpRoundSink, QueryService, ServiceRejectedRound
+from repro.trace import (
+    RtrcDirAppender,
+    concat_shards,
+    list_rtrc_dir,
+    random_walk_trace,
+    read_rtrc_dir,
+)
+
+
+@pytest.fixture(scope="module")
+def trace():
+    return random_walk_trace(11, 24, np.random.default_rng(3), tau=10.0)
+
+
+def stream(sink, trace, rounds):
+    cols = trace.columns
+    edges = np.linspace(0, cols.snapshot_count, rounds + 1).astype(int)
+    for lo, hi in zip(edges[:-1], edges[1:]):
+        for index in range(int(lo), int(hi)):
+            a, b = cols.snapshot_offsets[index], cols.snapshot_offsets[index + 1]
+            sink.append_snapshot(
+                float(cols.times[index]), cols.names_of(index), cols.xyz[a:b]
+            )
+        sink.commit()
+
+
+class TestBitIdenticalIngest:
+    def test_http_ingested_store_equals_local_appender(self, tmp_path, trace):
+        local = tmp_path / "local"
+        with RtrcDirAppender(local) as appender:
+            appender.metadata = trace.metadata
+            stream(appender, trace, 4)
+
+        remote = tmp_path / "remote"
+        with QueryService({"crawl": remote}, ingest=True) as service:
+            host, port = service.start()
+            with HttpRoundSink(f"http://{host}:{port}/v1/crawl") as sink:
+                sink.metadata = trace.metadata
+                stream(sink, trace, 4)
+            assert sink.rounds_posted == 4
+            assert sink.snapshot_count == len(trace)
+
+        # Same commit boundaries: one shard file per posted round.
+        assert list_rtrc_dir(local) == list_rtrc_dir(remote)
+        a = concat_shards(read_rtrc_dir(local))
+        b = concat_shards(read_rtrc_dir(remote))
+        assert a.metadata == b.metadata
+        assert a.columns.users.names == b.columns.users.names
+        assert np.array_equal(a.columns.times, b.columns.times)
+        assert np.array_equal(a.columns.snapshot_offsets, b.columns.snapshot_offsets)
+        assert np.array_equal(a.columns.user_ids, b.columns.user_ids)
+        # The headline bit: float64 positions survive the JSON trip.
+        assert np.array_equal(a.columns.xyz, b.columns.xyz)
+
+    def test_awkward_floats_survive_the_json_round_trip(self, tmp_path):
+        # Values with no short decimal form — thirds, tiny subnormal
+        # offsets, repr-roundtrip corner cases.
+        xyz = np.array(
+            [[1.0 / 3.0, 2.0 / 3.0, 0.1 + 0.2], [1e-308, 255.00000000000003, 1e16]]
+        )
+        with QueryService({"crawl": tmp_path / "r"}, ingest=True) as service:
+            host, port = service.start()
+            with HttpRoundSink(f"http://{host}:{port}/v1/crawl") as sink:
+                sink.append_snapshot(0.1 + 0.7, ["a", "b"], xyz)
+                sink.commit()
+        trace = concat_shards(read_rtrc_dir(tmp_path / "r"))
+        assert trace.columns.times[0] == 0.1 + 0.7
+        assert np.array_equal(trace.columns.xyz, xyz)
+
+
+class TestSinkBehavior:
+    def test_empty_commit_posts_nothing(self, tmp_path):
+        with QueryService({"crawl": tmp_path / "r"}, ingest=True) as service:
+            host, port = service.start()
+            with HttpRoundSink(f"http://{host}:{port}/v1/crawl") as sink:
+                sink.commit()
+                sink.commit()
+            assert sink.rounds_posted == 0
+            assert service.stats.ingested_rounds == 0
+
+    def test_close_flushes_the_pending_round(self, tmp_path):
+        with QueryService({"crawl": tmp_path / "r"}, ingest=True) as service:
+            host, port = service.start()
+            sink = HttpRoundSink(f"http://{host}:{port}/v1/crawl")
+            sink.append_snapshot(1.0, ["a"], [[0.0, 0.0, 0.0]])
+            sink.close()
+            assert sink.rounds_posted == 1
+            with pytest.raises(ValueError, match="closed"):
+                sink.append_snapshot(2.0, ["a"], [[0.0, 0.0, 0.0]])
+
+    def test_rejected_round_raises_with_server_message(self, tmp_path):
+        with QueryService({"crawl": tmp_path / "r"}, ingest=True) as service:
+            host, port = service.start()
+            sink = HttpRoundSink(f"http://{host}:{port}/v1/crawl", retries=0)
+            sink.append_snapshot(10.0, ["a"], [[0.0, 0.0, 0.0]])
+            sink.commit()
+            sink.append_snapshot(5.0, ["a"], [[0.0, 0.0, 0.0]])
+            with pytest.raises(ServiceRejectedRound, match="strictly increasing"):
+                sink.commit()
+
+    def test_budget_rejection_is_retried(self, tmp_path):
+        clock_now = [0.0]
+        service = QueryService(
+            {"crawl": tmp_path / "r"},
+            ingest=True,
+            ingest_budget=1,
+            clock=lambda: clock_now[0],
+        )
+        with service:
+            host, port = service.start()
+            sink = HttpRoundSink(f"http://{host}:{port}/v1/crawl", retry_wait=0.05)
+            sink.append_snapshot(1.0, ["a"], [[0.0, 0.0, 0.0]])
+            sink.commit()
+
+            def free_the_window():
+                time.sleep(0.3)
+                clock_now[0] = 61.0
+
+            threading.Thread(target=free_the_window).start()
+            sink.append_snapshot(2.0, ["a"], [[0.0, 0.0, 0.0]])
+            sink.commit()  # 429 first, then succeeds after the window slides
+            assert sink.rounds_posted == 2
+            assert service.stats.ingest_rejected >= 1
