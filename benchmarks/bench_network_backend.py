@@ -1,0 +1,122 @@
+"""Network backend vs serial: distributed contacts over loopback HTTP.
+
+Times the contact-interval extraction of a large random-walk trace
+unsharded (:func:`repro.core.extract_contacts`) and sharded on the
+network backend — a loopback coordinator serving per-shard ``.rtrc``
+files to spawned ``slmob worker`` processes, results streamed back as
+pickled payloads.  The distributed run pays real costs the process
+pool does not — worker spawn through the CLI, part bytes over HTTP,
+claim polling — so the floor defends that those overheads stay
+amortized by parallel extraction on a multi-core box, not that the
+network backend wins outright at every scale.
+
+Runs two ways:
+
+* ``pytest benchmarks/bench_network_backend.py -s`` for the
+  correctness smoke at reduced scale (equivalence is the point; perf
+  floors live in the CI benchmark step);
+* ``PYTHONPATH=src python benchmarks/bench_network_backend.py`` for
+  the full table.  With >= 2 usable cores the run **fails** (exit 1)
+  unless the network backend reaches
+  :data:`NETWORK_OVER_SERIAL_FLOOR` of the serial wall time; on a
+  single core the floor is skipped.
+"""
+
+from __future__ import annotations
+
+import sys
+import time
+
+from bench_parallel_backends import RADIUS, SHARDS, usable_cores, walk_trace
+
+from repro.core import ShardedAnalyzer, extract_contacts
+from repro.distributed import NetworkOptions
+from repro.trace import Trace
+
+#: Full-run workload: 400 snapshots x 1600 users = 640k observations.
+FULL_SNAPSHOTS, FULL_USERS = 400, 1600
+
+#: CI regression floor: network-backend speedup over the unsharded
+#: serial extraction on the full workload, enforced when >= 2 cores
+#: are usable.  The loopback protocol adds worker spawn (a full
+#: Python + numpy import per worker), one HTTP part transfer per
+#: shard, and pickle framing on every result, so this is a "the
+#: coordination overhead stays bounded" floor, not a multi-core
+#: headline; dropping under it means the protocol started eating the
+#: parallelism (chatty polling, re-fetched parts, serialized claims).
+NETWORK_OVER_SERIAL_FLOOR = 0.8
+
+
+def measure(trace: Trace, workers: int | None = None) -> dict[str, float]:
+    """Wall time of the contacts workload, serial vs network backend."""
+    t0 = time.perf_counter()
+    serial = extract_contacts(trace, RADIUS)
+    t_serial = time.perf_counter() - t0
+    spawn = workers if workers is not None else min(SHARDS, usable_cores())
+    options = NetworkOptions(spawn_workers=spawn)
+    with ShardedAnalyzer(
+        trace, SHARDS, backend="network", network=options
+    ) as sharded:
+        # Warm-up on a cheap kind: pays worker spawn + part transfer
+        # once, so the timed section measures steady-state dispatch.
+        sharded.zone_occupation(64.0, every=max(1, len(trace) // 4))
+        t0 = time.perf_counter()
+        merged = sharded.contacts(RADIUS)
+        t_network = time.perf_counter() - t0
+    assert merged == serial, "network backend diverged from serial"
+    return {
+        "serial_s": t_serial,
+        "network_s": t_network,
+        "workers": spawn,
+        "contacts": len(serial),
+        "network_over_serial": t_serial / t_network,
+    }
+
+
+# -- pytest harness (correctness smoke at reduced scale) -------------------
+
+
+def test_network_backend_agrees_with_serial():
+    row = measure(walk_trace(40, 150), workers=2)  # 6k observations
+    assert row["contacts"] > 0, "degenerate workload: no contacts"
+
+
+# -- full table ------------------------------------------------------------
+
+
+def main() -> int:
+    cores = usable_cores()
+    obs = FULL_SNAPSHOTS * FULL_USERS
+    trace = walk_trace(FULL_SNAPSHOTS, FULL_USERS)
+    row = measure(trace)
+    print(
+        f"network shard backend: contacts workload, {obs} observations, "
+        f"r={RADIUS:g} m, k={SHARDS} shards, {row['workers']} worker(s), "
+        f"{cores} usable core(s)"
+    )
+    print(f"{'backend':>10} {'wall':>9} {'vs serial':>10}")
+    print(f"{'serial':>10} {row['serial_s']:>8.2f}s {'1.00x':>10}")
+    print(
+        f"{'network':>10} {row['network_s']:>8.2f}s "
+        f"{row['network_over_serial']:>9.2f}x"
+    )
+    print(
+        f"{row['contacts']} contact intervals; network over serial: "
+        f"{row['network_over_serial']:.2f}x (floor {NETWORK_OVER_SERIAL_FLOOR}x)"
+    )
+    if cores < 2:
+        print("floor skipped: single usable core, nothing to parallelize")
+        return 0
+    if row["network_over_serial"] < NETWORK_OVER_SERIAL_FLOOR:
+        print(
+            f"REGRESSION: network backend only "
+            f"{row['network_over_serial']:.2f}x the unsharded serial "
+            f"extraction (floor {NETWORK_OVER_SERIAL_FLOOR}x)",
+            file=sys.stderr,
+        )
+        return 1
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -142,6 +142,26 @@ def bench_live_shard_dir() -> dict:
     }
 
 
+def bench_network_backend() -> dict:
+    """Distributed loopback-worker contacts vs the serial extraction."""
+    from bench_network_backend import measure
+    from bench_parallel_backends import usable_cores, walk_trace
+
+    cores = usable_cores()
+    if cores < 2:
+        return {"skipped": True, "reason": f"{cores} usable core(s)"}
+    trace = walk_trace(240, 800)  # 192k observations
+    row = measure(trace)
+    return {
+        "metrics": {"network_over_serial": row["network_over_serial"]},
+        "timings": {
+            "serial_s": row["serial_s"],
+            "network_s": row["network_s"],
+            "workers": row["workers"],
+        },
+    }
+
+
 def bench_query_service() -> dict:
     """Cached query-service throughput vs uncached response recompute."""
     from bench_parallel_backends import walk_trace
@@ -167,6 +187,7 @@ BENCHES = {
     "multirange": bench_multirange,
     "append_ingest": bench_append_ingest,
     "live_shard_dir": bench_live_shard_dir,
+    "network_backend": bench_network_backend,
     "query_service": bench_query_service,
 }
 

@@ -1,6 +1,6 @@
 """Command-line interface: ``slmob`` / ``python -m repro``.
 
-Nine subcommands cover the workflow end to end (full reference with
+Ten subcommands cover the workflow end to end (full reference with
 examples: ``docs/cli.md``)::
 
     slmob simulate --land dance --hours 2 --out dance.rtrc
@@ -9,8 +9,10 @@ examples: ``docs/cli.md``)::
     slmob crawl --land dance --out http://127.0.0.1:8700/v1/crawl
     slmob convert dance.csv.gz dance.rtrc
     slmob analyze dance.rtrc --shards 4 --backend process
+    slmob analyze dance.rtrc --shards 4 --backend network --workers 4
     slmob analyze live-shards --follow --backend process
     slmob serve live-shards --port 8700 --ingest
+    slmob worker http://127.0.0.1:8831/v1
     slmob shard-export dance.rtrc shards/ --shards 8
     slmob compact live-shards --shards 4
     slmob validate dance.rtrc
@@ -30,7 +32,11 @@ a trace file — with ``--shards K`` the heavy extractions fan out over
 K time shards, on threads or (``--backend process``) spawned workers
 that memmap-load per-shard ``.rtrc`` files, and with ``--follow`` it
 tails a store or shard directory another process is appending to
-(``--backend`` fans the catch-up extractions too); ``serve`` holds
+(``--backend`` fans the catch-up extractions too); with ``--backend
+network`` the analysis fans over ``worker`` processes — possibly on
+other machines — attached to an HTTP coordinator the analyze process
+hosts (``--workers N`` spawns local ones, ``--listen`` binds a
+routable address for remote ones); ``serve`` holds
 live followers over one or more stores and answers cached JSON
 queries (contacts / sessions / zones / graph metrics) over HTTP,
 optionally accepting crawl rounds via ``POST`` — the target of
@@ -44,6 +50,7 @@ and trims the capacity slack of appendable single files;
 from __future__ import annotations
 
 import argparse
+import os
 import sys
 import time
 from pathlib import Path
@@ -137,7 +144,11 @@ def _is_shard_dir_path(path: Path) -> bool:
 
 def _crawl_http(args: argparse.Namespace) -> int:
     """Stream a crawl to a query service's ingest endpoint."""
-    from repro.service import HttpRoundSink, ServiceRejectedRound
+    from repro.service import (
+        HttpRoundSink,
+        ServiceRejectedRound,
+        ServiceUnreachable,
+    )
 
     if args.follow:
         print(
@@ -168,7 +179,7 @@ def _crawl_http(args: argparse.Namespace) -> int:
                     f"rounds_posted={sink.rounds_posted}",
                     file=sys.stderr,
                 )
-    except (ServiceRejectedRound, OSError) as exc:
+    except (ServiceRejectedRound, ServiceUnreachable, OSError) as exc:
         print(f"ingest failed: {exc}", file=sys.stderr)
         return 1
     print(
@@ -232,13 +243,35 @@ def _cmd_crawl(args: argparse.Namespace) -> int:
     return 0
 
 
-def _follow_analyze(args: argparse.Namespace) -> int:
+def _network_options(args: argparse.Namespace):
+    """Build the coordinator options behind ``--workers`` / ``--listen``."""
+    from repro.distributed import NetworkOptions
+
+    options = NetworkOptions(spawn_workers=args.workers)
+    if args.listen:
+        host, sep, port = args.listen.rpartition(":")
+        if not sep or not port.isdigit():
+            raise ValueError(
+                f"--listen expects HOST:PORT, got {args.listen!r}"
+            )
+        options.host = host or "127.0.0.1"
+        options.port = int(port)
+    return options
+
+
+def _follow_analyze(args: argparse.Namespace, network=None) -> int:
     """Tail a growing store: report after every observed commit."""
     ranges = args.range or [BLUETOOTH_RANGE, WIFI_RANGE]
     idle = 0
     backend = args.backend or "serial"
     try:
-        with _open_live(args.trace, backend) as live:
+        with _open_live(args.trace, backend, network) as live:
+            if backend == "network":
+                print(
+                    f"network coordinator at {live.network_url()} "
+                    "(attach workers with: slmob worker <url>)",
+                    file=sys.stderr,
+                )
             if live.snapshot_count:
                 print(_live_status(live, ranges, None))
             while idle < args.idle_rounds:
@@ -331,7 +364,7 @@ def _cmd_compact(args: argparse.Namespace) -> int:
     return 0
 
 
-def _open_live(path, backend: str = "serial") -> LiveAnalyzer:
+def _open_live(path, backend: str = "serial", network=None) -> LiveAnalyzer:
     """Open a LiveAnalyzer, absorbing one racing header rewrite.
 
     The producer commits by rewriting the store header in place; a
@@ -339,10 +372,10 @@ def _open_live(path, backend: str = "serial") -> LiveAnalyzer:
     retry separates that transient from real corruption.
     """
     try:
-        return LiveAnalyzer(path, backend=backend)
+        return LiveAnalyzer(path, backend=backend, network=network)
     except TraceFormatError:
         time.sleep(0.05)
-        return LiveAnalyzer(path, backend=backend)
+        return LiveAnalyzer(path, backend=backend, network=network)
 
 
 def _refresh_live(live: LiveAnalyzer) -> int:
@@ -356,6 +389,13 @@ def _refresh_live(live: LiveAnalyzer) -> int:
 
 def _cmd_analyze(args: argparse.Namespace) -> int:
     source = Path(args.trace)
+    network = None
+    if args.backend == "network":
+        try:
+            network = _network_options(args)
+        except ValueError as exc:
+            print(str(exc), file=sys.stderr)
+            return 2
     if args.follow:
         if not _is_shard_dir_path(source) and (
             trace_format(source) != "rtrc" or source.suffix == ".gz"
@@ -375,12 +415,19 @@ def _cmd_analyze(args: argparse.Namespace) -> int:
                 file=sys.stderr,
             )
             return 2
-        return _follow_analyze(args)
+        return _follow_analyze(args, network)
     backend = args.backend or "thread"
     if backend == "serial":
         print(
             "--backend serial only applies to --follow; batch analysis "
             "with --shards 1 is already serial",
+            file=sys.stderr,
+        )
+        return 2
+    if backend == "network" and args.shards < 2:
+        print(
+            "--backend network needs --shards >= 2: a single shard runs "
+            "inline, so there is nothing to distribute",
             file=sys.stderr,
         )
         return 2
@@ -396,7 +443,17 @@ def _cmd_analyze(args: argparse.Namespace) -> int:
             return 2
     else:
         trace = read_trace(source)
-    with TraceAnalyzer(trace, shards=args.shards, backend=backend) as analyzer:
+    with TraceAnalyzer(
+        trace, shards=args.shards, backend=backend, network=network
+    ) as analyzer:
+        if backend == "network":
+            # Print the URL before the first extraction so externally
+            # attached workers (--workers 0) have an address to join.
+            print(
+                f"network coordinator at {analyzer.network_url()} "
+                "(attach workers with: slmob worker <url>)",
+                file=sys.stderr,
+            )
         summary = analyzer.summary()
         print(f"== {summary.land_name} ==")
         print(render_summary_table([summary.row()]))
@@ -521,6 +578,28 @@ def _cmd_serve(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_worker(args: argparse.Namespace) -> int:
+    """Run one network-backend worker against a coordinator.
+
+    The ``SLMOB_WORKER_CHAOS`` environment variable injects faults for
+    the distributed test-suite (``exit-after-claim``,
+    ``sleep-after-claim:SECONDS``); it is not part of the public
+    interface.
+    """
+    from repro.distributed import NetworkWorker
+
+    worker = NetworkWorker(
+        args.coordinator,
+        poll_wait=args.poll,
+        chaos=os.environ.get("SLMOB_WORKER_CHAOS"),
+        quiet=args.quiet,
+    )
+    done = worker.run()
+    if not args.quiet:
+        print(f"coordinator gone; {done} task(s) completed", file=sys.stderr)
+    return 0
+
+
 def _cmd_validate(args: argparse.Namespace) -> int:
     trace = read_trace(Path(args.trace))
     issues = validate_trace(trace)
@@ -623,13 +702,26 @@ def build_parser() -> argparse.ArgumentParser:
                          help="fan contact/session/zone/graph extraction over "
                               "this many time shards (1 = unsharded)")
     analyze.add_argument("--backend",
-                         choices=["serial", "thread", "process"],
+                         choices=["serial", "thread", "process", "network"],
                          default=None,
                          help="worker backend: 'thread' (batch default) "
                               "shares memory but serializes on the GIL; "
                               "'process' memmap-loads per-part .rtrc files "
-                              "in spawned workers; 'serial' (--follow "
-                              "default) runs parts inline one at a time")
+                              "in spawned workers; 'network' serves the "
+                              "same part files over an HTTP coordinator to "
+                              "'slmob worker' processes (see --workers / "
+                              "--listen); 'serial' (--follow default) runs "
+                              "parts inline one at a time")
+    analyze.add_argument("--workers", type=int, default=None,
+                         help="with --backend network: local worker "
+                              "processes to spawn and supervise (default: "
+                              "CPU count; 0 = spawn none, attach workers "
+                              "yourself with 'slmob worker <url>')")
+    analyze.add_argument("--listen", default=None, metavar="HOST:PORT",
+                         help="with --backend network: coordinator bind "
+                              "address (default 127.0.0.1 on an ephemeral "
+                              "port; bind a routable address to attach "
+                              "workers from other machines)")
     analyze.add_argument("--follow", action="store_true",
                          help="tail a growing .rtrc store or shard "
                               "directory: re-read after each commit and "
@@ -676,6 +768,23 @@ def build_parser() -> argparse.ArgumentParser:
     serve.add_argument("--quiet", action="store_true",
                        help="do not log one line per request to stderr")
     serve.set_defaults(func=_cmd_serve)
+
+    worker = sub.add_parser(
+        "worker",
+        help="serve a network-backend coordinator: claim part tasks, "
+             "fetch part files, run the extraction, stream encoded "
+             "results back (exits when the coordinator goes away)",
+    )
+    worker.add_argument("coordinator",
+                        help="coordinator base URL, e.g. "
+                             "http://127.0.0.1:8831/v1 (printed by "
+                             "'analyze --backend network')")
+    worker.add_argument("--poll", type=float, default=0.05,
+                        help="idle seconds between claim attempts, until "
+                             "the coordinator advertises its own interval")
+    worker.add_argument("--quiet", action="store_true",
+                        help="suppress the per-task progress lines")
+    worker.set_defaults(func=_cmd_worker)
 
     shard_export = sub.add_parser(
         "shard-export",

@@ -81,8 +81,13 @@ class TraceAnalyzer:
         ``"process"`` materializes per-shard ``.rtrc`` files and fans
         spawned workers that memmap-load their own shard — full
         isolation at the cost of worker spawn and a one-time shard
-        write.  Validated even when ``shards == 1`` so typos fail
-        loudly.
+        write.  ``"network"`` serves the same shard files over an HTTP
+        coordinator (:mod:`repro.distributed`) to ``slmob worker``
+        processes, possibly on other machines.  Validated even when
+        ``shards == 1`` so typos fail loudly.
+    network:
+        Optional :class:`~repro.distributed.NetworkOptions` for the
+        network backend; ignored by the other backends.
 
     Lifecycle
     ---------
@@ -103,6 +108,7 @@ class TraceAnalyzer:
         shards: int = 1,
         max_workers: int | None = None,
         backend: str = "thread",
+        network: object | None = None,
     ) -> None:
         if trace.is_empty:
             raise ValueError("cannot analyze an empty trace")
@@ -114,7 +120,7 @@ class TraceAnalyzer:
             )
         self.trace = trace
         self._sharded = (
-            ShardedAnalyzer(trace, shards, max_workers, backend)
+            ShardedAnalyzer(trace, shards, max_workers, backend, network)
             if shards > 1
             else None
         )
@@ -130,6 +136,19 @@ class TraceAnalyzer:
         """Release sharded-backend resources (process pool, shard files)."""
         if self._sharded is not None:
             self._sharded.close()
+
+    def network_url(self) -> str:
+        """The network coordinator's URL (``backend="network"`` only).
+
+        Starts the coordinator if needed so workers can attach before
+        the first analysis; raises ``ValueError`` for other backends
+        or an unsharded analyzer (nothing fans out at ``shards == 1``).
+        """
+        if self._sharded is None:
+            raise ValueError(
+                "the network coordinator only exists with shards > 1"
+            )
+        return self._sharded.network_url()
 
     def __enter__(self) -> "TraceAnalyzer":
         return self

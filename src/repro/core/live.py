@@ -47,6 +47,7 @@ from repro.core.parallel import (
 )
 from repro.core.sharded import BoundaryMergeAnalyzer
 from repro.trace import (
+    StoreChangedError,
     Trace,
     TraceMetadata,
     list_rtrc_dir,
@@ -54,20 +55,10 @@ from repro.trace import (
     read_trace_rtrc,
 )
 
-
-class StoreChangedError(ValueError):
-    """The followed store broke the append-only contract.
-
-    Raised by :meth:`LiveAnalyzer.refresh` when the store shrank, its
-    committed prefix was rewritten, or a shard directory's committed
-    file list changed (the signature of a concurrent
-    :func:`~repro.trace.compact_shard_dir`).  Incremental results over
-    a rewritten past would be silently wrong, so the follower refuses;
-    long-running consumers (the CLI ``--follow`` loop, the query
-    service) catch this specifically — the store itself is still
-    valid, only *this follower's* history is stale, so re-opening a
-    fresh follower recovers.
-    """
+# Re-exported here for compatibility: the error now lives in
+# repro.trace (RtrcDirAppender.commit raises it too), but followers
+# and their callers historically imported it from this module.
+__all__ = ["LiveAnalyzer", "StoreChangedError"]
 
 
 class LiveAnalyzer(BoundaryMergeAnalyzer):
@@ -96,12 +87,20 @@ class LiveAnalyzer(BoundaryMergeAnalyzer):
         spawned workers memmap-load one ``.rtrc`` file per part: in
         shard-dir mode the committed round files are used as-is; in
         single-file mode each growth part is materialized once into a
-        scheduler-private temp file.  Parallelism pays off when several
-        parts need extraction at once — a follower catching up on a
-        long crawl, or the first request for a new parameter
+        scheduler-private temp file.  ``"network"`` — the same part
+        files served over an HTTP coordinator to ``slmob worker``
+        processes (see ``network`` below).  Parallelism pays off when
+        several parts need extraction at once — a follower catching up
+        on a long crawl, or the first request for a new parameter
         backfilling every committed round.
     max_workers:
         Pool cap for the parallel backends (default: CPU count).
+    network:
+        Optional :class:`~repro.distributed.NetworkOptions` for
+        ``backend="network"`` — the same part files (round files, in
+        dir mode) served over an HTTP coordinator to ``slmob worker``
+        processes, possibly on other machines.  Ignored by the other
+        backends.
 
     Usage
     -----
@@ -134,6 +133,7 @@ class LiveAnalyzer(BoundaryMergeAnalyzer):
         mmap: bool = True,
         backend: str = "serial",
         max_workers: int | None = None,
+        network: object | None = None,
     ) -> None:
         if backend not in SCHEDULER_BACKENDS:
             raise ValueError(
@@ -151,7 +151,7 @@ class LiveAnalyzer(BoundaryMergeAnalyzer):
         # heart — parts never change, so their results never expire.
         self._task_cache: dict[tuple, object] = {}
         self._scheduler = PartScheduler(
-            backend, max_workers, file_prefix="round"
+            backend, max_workers, file_prefix="round", network=network
         )
         if self._dir:
             self._known_files: list[str] = []
@@ -265,19 +265,22 @@ class LiveAnalyzer(BoundaryMergeAnalyzer):
             trace = read_trace_rtrc(self.path / name, mmap=self._mmap)
             metadata = trace.metadata
             names = trace.columns.users.names
-            if self.backend == "process" and names[: len(dir_names)] != dir_names:
-                # The process backend decodes every part's worker
-                # payload with the newest file's name table, which is
-                # only correct when each round's table is a prefix of
-                # the next (true for RtrcDirAppender / to_rtrc_dir /
-                # compact_shard_dir output).  A foreign directory with
-                # independent interners must fail loudly here, not
-                # silently mis-name users.
+            if (
+                self.backend in ("process", "network")
+                and names[: len(dir_names)] != dir_names
+            ):
+                # The process and network backends decode every part's
+                # worker payload with the newest file's name table,
+                # which is only correct when each round's table is a
+                # prefix of the next (true for RtrcDirAppender /
+                # to_rtrc_dir / compact_shard_dir output).  A foreign
+                # directory with independent interners must fail
+                # loudly here, not silently mis-name users.
                 raise ValueError(
                     f"{self.path}: shard file {name!r} does not extend the "
-                    "previous files' user table; backend='process' needs "
-                    "prefix-consistent interners (use backend='serial' for "
-                    "foreign shard directories)"
+                    f"previous files' user table; backend={self.backend!r} "
+                    "needs prefix-consistent interners (use "
+                    "backend='serial' for foreign shard directories)"
                 )
             if len(names) >= len(dir_names):
                 dir_names = list(names)

@@ -21,14 +21,18 @@ name table (no object construction — ``ContactInterval`` /
 every view of a measurement, so worker-side ids decode directly
 against the parent's table.
 
-Both backends run the *same* :func:`extract_shard_task` body; the
+Every backend runs the *same* :func:`extract_shard_task` body; the
 codec (:func:`encode_payload` / :func:`decode_payload`) wraps it only
 where a pickle boundary actually exists — the process backend's
-:func:`run_shard_file_task`.  In-process execution (thread backend,
-serial windowed loop) passes the extractor's sets straight through,
-paying nothing.  The equivalence suite
-(``tests/unit/core/test_parallel_backends.py``) pins both paths
-against the unsharded oracle.
+:func:`run_shard_file_task`, and the network backend's HTTP result
+channel (:mod:`repro.distributed`), which ships the identical
+part-file-plus-task-tuple shape to workers in *other processes on
+other machines*.  In-process execution (thread backend, serial
+windowed loop) passes the extractor's sets straight through, paying
+nothing.  The equivalence suite
+(``tests/unit/core/test_parallel_backends.py``,
+``tests/unit/distributed/``) pins every path against the unsharded
+oracle.
 """
 
 from __future__ import annotations
@@ -59,7 +63,7 @@ from repro.trace import (
 )
 
 #: Execution backends understood by :class:`PartScheduler`.
-SCHEDULER_BACKENDS = ("serial", "thread", "process")
+SCHEDULER_BACKENDS = ("serial", "thread", "process", "network")
 
 #: Task kinds understood by :func:`run_shard_task`.
 TASK_KINDS = (
@@ -264,6 +268,14 @@ class PartScheduler:
       to workers as-is; parts that only exist as in-memory views are
       materialized lazily into a private temp directory, once per part
       index.
+    * ``backend="network"`` — a persistent
+      :class:`~repro.distributed.NetworkExecutor` serving the same
+      part files over a loopback (or LAN) HTTP coordinator to
+      ``slmob worker`` processes, which may live on other machines.
+      Tasks are leased with a deadline: a slow or dead worker's task
+      is re-dispatched, and results merge first-write-wins, so the
+      analysis is bit-for-bit the serial result at any worker count.
+      Tune with the ``network=`` :class:`~repro.distributed.NetworkOptions`.
 
     Part indices must be stable and parts immutable: the scheduler
     caches materialized part files by index, so index ``i`` must
@@ -282,6 +294,7 @@ class PartScheduler:
         *,
         file_prefix: str = "part",
         error_cls: type[PartAnalysisError] = PartAnalysisError,
+        network: object | None = None,
     ) -> None:
         if backend not in SCHEDULER_BACKENDS:
             raise ValueError(
@@ -291,6 +304,8 @@ class PartScheduler:
         self._max_workers = max_workers
         self._file_prefix = file_prefix
         self._error_cls = error_cls
+        self._network_options = network
+        self._netexec = None
         self._pool: ProcessPoolExecutor | None = None
         self._pool_size = 0
         self._pool_finalizer: weakref.finalize | None = None
@@ -303,6 +318,9 @@ class PartScheduler:
     def close(self) -> None:
         """Shut the pool down and delete materialized part files."""
         self._closed = True
+        if self._netexec is not None:
+            self._netexec.close()
+            self._netexec = None
         if self._pool is not None:
             self._pool.shutdown(wait=True)
             self._pool = None
@@ -378,6 +396,11 @@ class PartScheduler:
                     for (index, _), future in zip(tasks, futures)
                 ]
         paths = [self._task_file(index, part_trace, part_path) for index, _ in tasks]
+        if self.backend == "network":
+            payloads = self._network_executor().run(
+                kind, tasks, dict(zip((i for i, _ in tasks), paths)), wrap
+            )
+            return self._decode_all(kind, payloads, names)
         pool = self._process_pool(len(tasks))
         try:
             futures = [
@@ -394,13 +417,51 @@ class PartScheduler:
             self._collect(index, kind, future, wrap)
             for (index, _), future in zip(tasks, futures)
         ]
+        return self._decode_all(kind, payloads, names)
+
+    def _decode_all(
+        self,
+        kind: str,
+        payloads: Sequence[object],
+        names: Sequence[str] | Callable[[], Sequence[str]] | None,
+    ) -> list[object]:
+        """Decode worker payloads against the parent's name table."""
         name_table = names() if callable(names) else names
         if name_table is None:
             raise ValueError(
-                "process backend needs the interner's name table to "
-                "decode worker payloads"
+                f"{self.backend} backend needs the interner's name table "
+                "to decode worker payloads"
             )
         return [decode_payload(kind, payload, name_table) for payload in payloads]
+
+    def _network_executor(self):
+        """The persistent network coordinator, created on first use.
+
+        Imported lazily: :mod:`repro.distributed` sits on top of this
+        module, and serial/thread/process schedulers never pay for it.
+        """
+        if self._netexec is None:
+            from repro.distributed import NetworkExecutor
+
+            self._netexec = NetworkExecutor(
+                self._network_options, default_workers=self._max_workers
+            )
+        return self._netexec
+
+    def network_url(self) -> str:
+        """The network coordinator's base URL (workers attach here).
+
+        Starts the coordinator if it is not yet running; only valid on
+        ``backend="network"`` schedulers.
+        """
+        if self.backend != "network":
+            raise ValueError(
+                f"scheduler backend is {self.backend!r}; only the network "
+                "backend has a coordinator URL"
+            )
+        if self._closed:
+            raise ValueError("part scheduler is closed")
+        return self._network_executor().url
 
     def _process_pool(self, task_count: int) -> ProcessPoolExecutor:
         """The persistent spawn pool, created on first use.

@@ -69,7 +69,7 @@ from repro.trace import (
 from repro.trace.columnar import _concat_aranges, name_ranks
 
 #: Execution backends understood by :class:`ShardedAnalyzer`.
-BACKENDS = ("thread", "process")
+BACKENDS = ("thread", "process", "network")
 
 
 class ShardAnalysisError(PartAnalysisError):
@@ -350,6 +350,16 @@ class BoundaryMergeAnalyzer:
     def __exit__(self, *exc_info: object) -> None:
         self.close()
 
+    def network_url(self) -> str:
+        """The network coordinator's URL (``backend="network"`` only).
+
+        Starts the coordinator if needed, so remote ``slmob worker``
+        processes can attach before the first analysis is requested.
+        Raises ``ValueError`` on any other backend.
+        """
+        self._check_open()
+        return self._scheduler.network_url()
+
     # -- partition plumbing ------------------------------------------------
 
     def _map(self, kind: str, params_per_part: Sequence[tuple]) -> list[object]:
@@ -492,6 +502,14 @@ class ShardedAnalyzer(BoundaryMergeAnalyzer):
         ``spawn``-based ``ProcessPoolExecutor`` whose workers
         memmap-load their own shard; real multi-core scaling at the
         cost of worker spawn and the one-time shard write.
+        ``"network"`` — the same shard files served over an HTTP
+        coordinator (:mod:`repro.distributed`) to ``slmob worker``
+        processes, possibly on other machines; slow or dead workers'
+        tasks are re-dispatched, and results stay bit-identical.
+    network:
+        Optional :class:`~repro.distributed.NetworkOptions` for the
+        network backend (bind address, spawned local workers, task
+        deadline); ignored by the other backends.
 
     Results are cached like :class:`~repro.core.analyzer.TraceAnalyzer`
     caches its extractions.
@@ -513,6 +531,7 @@ class ShardedAnalyzer(BoundaryMergeAnalyzer):
         shards: int,
         max_workers: int | None = None,
         backend: str = "thread",
+        network: object | None = None,
     ) -> None:
         if trace.is_empty:
             raise ValueError("cannot analyze an empty trace")
@@ -537,6 +556,7 @@ class ShardedAnalyzer(BoundaryMergeAnalyzer):
             self._max_workers,
             file_prefix="shard",
             error_cls=ShardAnalysisError,
+            network=network,
         )
 
     # -- lifecycle ---------------------------------------------------------

@@ -73,9 +73,15 @@ class WindowedAnalyzer(BoundaryMergeAnalyzer):
         ``.rtrc`` files and spawned workers memmap-load their own
         window; real multi-core scaling, with roughly one window per
         worker resident at a time instead of one overall.
+        ``"network"`` — the same window files served over an HTTP
+        coordinator (:mod:`repro.distributed`) to ``slmob worker``
+        processes, possibly on other machines.
     max_workers:
         Pool cap for the parallel backends; defaults to one worker
         per non-empty window, bounded by the CPU count.
+    network:
+        Optional :class:`~repro.distributed.NetworkOptions` for the
+        network backend; ignored by the other backends.
 
     Analyses merge exactly; results are cached per parameter like the
     other analyzers.
@@ -94,6 +100,7 @@ class WindowedAnalyzer(BoundaryMergeAnalyzer):
         mmap: bool = True,
         backend: str = "serial",
         max_workers: int | None = None,
+        network: object | None = None,
     ) -> None:
         if window <= 0:
             raise ValueError(f"window width must be positive, got {window}")
@@ -131,6 +138,7 @@ class WindowedAnalyzer(BoundaryMergeAnalyzer):
             backend,
             max_workers or min(len(self._edges) - 1, os.cpu_count() or 1),
             file_prefix="window",
+            network=network,
         )
 
     # -- lifecycle ---------------------------------------------------------

@@ -1,0 +1,39 @@
+"""Distributed part-task execution: the scheduler's network backend.
+
+The :class:`~repro.core.parallel.PartScheduler` already expresses all
+analysis as picklable ``(kind, part, params)`` tasks over immutable
+``.rtrc`` part files — exactly the shape a multi-machine fan-out
+needs.  This package adds that fan-out with nothing but the standard
+library:
+
+* :class:`NetworkExecutor` (:mod:`repro.distributed.coordinator`) —
+  an in-process HTTP coordinator that leases tasks to workers, serves
+  part files by index, collects encoded payloads, and re-dispatches
+  the tasks of slow or dead workers after a deadline;
+* :class:`NetworkWorker` (:mod:`repro.distributed.worker`) — the
+  remote half (``slmob worker <url>``): claim a task, fetch and cache
+  its part file, run :func:`~repro.core.parallel.extract_shard_task`,
+  stream the :func:`~repro.core.parallel.encode_payload` result back.
+
+``PartScheduler(backend="network")`` wires the executor in; every
+analyzer that delegates to the scheduler (sharded, windowed, live)
+gains the backend for free, and the results stay bit-for-bit equal to
+the serial oracle at any worker count — including workers killed
+mid-task (``tests/unit/distributed/``).
+"""
+
+from repro.distributed.coordinator import (
+    NetworkExecutor,
+    NetworkOptions,
+    NetworkStats,
+    NetworkTaskError,
+)
+from repro.distributed.worker import NetworkWorker
+
+__all__ = [
+    "NetworkExecutor",
+    "NetworkOptions",
+    "NetworkStats",
+    "NetworkTaskError",
+    "NetworkWorker",
+]

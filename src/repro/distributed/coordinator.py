@@ -1,0 +1,479 @@
+"""The network backend's coordinator: lease tasks, serve parts, collect.
+
+:class:`NetworkExecutor` is what ``PartScheduler(backend="network")``
+holds instead of a process pool.  It runs a small stdlib HTTP server
+(the same ``ThreadingHTTPServer`` plumbing the query service uses) on
+whose routes remote :class:`~repro.distributed.worker.NetworkWorker`
+processes — on this machine or any other that can reach the bound
+address — pull work and push results:
+
+==============================  ===========================================
+``GET  /v1``                    coordinator status (JSON)
+``POST /v1/claim``              lease one task (pickled doc; 204 when idle)
+``GET  /v1/parts/<index>``      the part's immutable ``.rtrc`` bytes
+``POST /v1/results/<task id>``  one pickled ``("ok", payload)`` /
+                                ``("error", message)`` result
+==============================  ===========================================
+
+Scheduling is **lease-with-deadline**, the generalization of the
+process backend's broken-pool discard/respawn: a claimed task must
+report within ``task_deadline`` seconds or its lease expires and the
+task re-enters the queue for any other worker (straggler re-dispatch,
+worker-death reassignment — the coordinator cannot tell the two
+apart and does not need to).  Each expiry costs one attempt; a task
+that burns ``max_attempts`` leases fails the run.  Results are
+first-write-wins: a re-dispatched straggler's late answer is accepted
+if it arrives first and discarded otherwise — either way the merged
+analysis is bit-identical, because every worker runs the same
+deterministic :func:`~repro.core.parallel.extract_shard_task` body on
+the same immutable part bytes.  A worker-side *exception* (as opposed
+to a worker death) is deterministic and fails the task immediately —
+retrying a ``ValueError`` on identical input buys nothing.
+
+Task docs and results travel as **pickles** (params must round-trip
+exactly — JSON would quietly turn tuples into lists), which means the
+protocol is for *trusted* clusters only: bind to loopback or a
+private network, exactly like the process backend's pipe.  Control
+responses are canonical JSON via :func:`repro.service.encoding.encode`.
+"""
+
+from __future__ import annotations
+
+import os
+import pickle
+import subprocess
+import sys
+import threading
+import time
+import uuid
+from dataclasses import dataclass, field
+from http.server import BaseHTTPRequestHandler, ThreadingHTTPServer
+from pathlib import Path
+from typing import Callable, Mapping, Sequence
+
+from repro.service.encoding import encode, error_payload
+
+#: Wire pickle protocol: the newest both 3.10 and 3.12 speak.
+PICKLE_PROTOCOL = 4
+
+
+class NetworkTaskError(RuntimeError):
+    """A network task failed: worker exception or exhausted leases."""
+
+
+@dataclass
+class NetworkOptions:
+    """Tuning knobs for the scheduler's network backend.
+
+    Parameters
+    ----------
+    host / port:
+        Bind address of the coordinator's HTTP server.  The defaults
+        (loopback, ephemeral port) suit spawned local workers; bind a
+        routable address to attach workers from other machines (the
+        protocol is unauthenticated pickle — trusted networks only).
+    spawn_workers:
+        Local ``slmob worker`` subprocesses the executor launches and
+        supervises itself (a dead one is respawned while a run is
+        waiting, like the process backend respawns a broken pool).
+        ``None`` resolves to the scheduler's worker cap; ``0`` spawns
+        nothing — attach workers externally via ``slmob worker <url>``.
+    task_deadline:
+        Seconds a claimed task may stay unreported before its lease
+        expires and the task is re-dispatched to another worker.
+    max_attempts:
+        Leases one task may burn (expiries, not worker errors — those
+        fail immediately) before the run fails.
+    poll_wait:
+        Seconds an idle worker sleeps between claim attempts; handed
+        to workers in every claim response so the coordinator sets the
+        polling tempo.
+    """
+
+    host: str = "127.0.0.1"
+    port: int = 0
+    spawn_workers: int | None = None
+    task_deadline: float = 60.0
+    max_attempts: int = 3
+    poll_wait: float = 0.05
+
+
+@dataclass
+class NetworkStats:
+    """Counters the coordinator keeps about one executor's lifetime."""
+
+    tasks_completed: int = 0
+    tasks_failed: int = 0
+    leases_granted: int = 0
+    leases_expired: int = 0
+    late_results: int = 0
+    workers_respawned: int = 0
+    workers_seen: set = field(default_factory=set)
+
+
+class _Task:
+    """One leased unit of work; guarded by the executor's condition."""
+
+    __slots__ = (
+        "tid", "kind", "part", "params", "status",
+        "attempts", "deadline", "worker", "payload", "error",
+    )
+
+    def __init__(self, tid: int, kind: str, part: int, params: tuple) -> None:
+        self.tid = tid
+        self.kind = kind
+        self.part = part
+        self.params = params
+        self.status = "pending"  # pending | running | done | failed
+        self.attempts = 0
+        self.deadline = 0.0
+        self.worker: str | None = None
+        self.payload: object = None
+        self.error: NetworkTaskError | None = None
+
+
+class NetworkExecutor:
+    """Serve parts to workers and run task batches through them.
+
+    Created lazily by :class:`~repro.core.parallel.PartScheduler` on
+    the first multi-task network run (or explicitly via the
+    scheduler's ``network_url()``); persistent across runs like the
+    process pool — workers keep their part-file caches warm, and part
+    indices stay stable because the scheduler guarantees parts are
+    immutable.  :meth:`close` stops the server and terminates spawned
+    workers; external workers notice the coordinator is gone and exit
+    on their own.
+    """
+
+    def __init__(
+        self,
+        options: NetworkOptions | None = None,
+        *,
+        default_workers: int | None = None,
+    ) -> None:
+        self.options = options or NetworkOptions()
+        self.stats = NetworkStats()
+        self._run_id = uuid.uuid4().hex
+        self._cond = threading.Condition()
+        self._tasks: dict[int, _Task] = {}
+        self._queue: list[int] = []
+        self._parts: dict[int, Path] = {}
+        self._next_tid = 0
+        self._closed = False
+        self._spawn_target = self._resolve_spawn(default_workers)
+        self._procs: list[subprocess.Popen] = []
+        server = ThreadingHTTPServer(
+            (self.options.host, self.options.port), _CoordinatorHandler
+        )
+        server.daemon_threads = True
+        server.executor = self  # type: ignore[attr-defined]
+        self._server = server
+        self._thread = threading.Thread(
+            target=server.serve_forever,
+            name="slmob-coordinator",
+            daemon=True,
+        )
+        self._thread.start()
+
+    def _resolve_spawn(self, default_workers: int | None) -> int:
+        if self.options.spawn_workers is not None:
+            return max(0, int(self.options.spawn_workers))
+        return default_workers or (os.cpu_count() or 1)
+
+    # -- lifecycle -----------------------------------------------------------
+
+    @property
+    def url(self) -> str:
+        """The coordinator's base URL (``http://host:port/v1``)."""
+        host, port = self._server.server_address[:2]
+        return f"http://{host}:{port}/v1"
+
+    @property
+    def run_id(self) -> str:
+        """Opaque id workers key their part caches by."""
+        return self._run_id
+
+    def close(self) -> None:
+        """Stop serving, fail waiting runs, reap spawned workers."""
+        with self._cond:
+            if self._closed:
+                return
+            self._closed = True
+            for task in self._tasks.values():
+                if task.status in ("pending", "running"):
+                    task.status = "failed"
+                    task.error = NetworkTaskError(
+                        "coordinator closed while the task was outstanding"
+                    )
+            self._cond.notify_all()
+        self._server.shutdown()
+        self._server.server_close()
+        self._thread.join(timeout=10.0)
+        for proc in self._procs:
+            if proc.poll() is None:
+                proc.terminate()
+        for proc in self._procs:
+            try:
+                proc.wait(timeout=10.0)
+            except subprocess.TimeoutExpired:
+                proc.kill()
+                proc.wait()
+        self._procs.clear()
+
+    # -- spawned local workers -----------------------------------------------
+
+    def _spawn_worker(self) -> subprocess.Popen:
+        """One supervised local worker, through the real CLI entry point."""
+        return subprocess.Popen(
+            [sys.executable, "-m", "repro", "worker", self.url, "--quiet"],
+        )
+
+    def _supervise_workers(self) -> None:
+        """Top spawned workers up to target; respawn the dead.
+
+        The network sibling of ``PartScheduler.discard_pool``: a
+        worker killed mid-task (OOM, segfault, operator) left a lease
+        that will expire and re-dispatch; this makes sure a live
+        worker exists to pick the task up.  Called outside the lock —
+        process spawning is slow.
+        """
+        alive = [p for p in self._procs if p.poll() is None]
+        died = len(self._procs) - len(alive)
+        if died:
+            self.stats.workers_respawned += died
+        self._procs = alive
+        while len(self._procs) < self._spawn_target:
+            self._procs.append(self._spawn_worker())
+
+    # -- the run loop --------------------------------------------------------
+
+    def run(
+        self,
+        kind: str,
+        tasks: Sequence[tuple[int, tuple]],
+        paths: Mapping[int, Path],
+        wrap: Callable[[int, str, Exception], Exception],
+    ) -> list[object]:
+        """Run one task batch to completion; payloads in task order.
+
+        ``paths`` maps each task's part index to the ``.rtrc`` file
+        served to whichever worker claims it.  Blocks until every
+        task is done or one fails; a failure cancels the rest of the
+        batch and raises ``wrap(part_index, kind, cause)``.
+        """
+        with self._cond:
+            if self._closed:
+                raise ValueError("network executor is closed")
+            self._parts.update(paths)
+            batch: list[_Task] = []
+            for index, params in tasks:
+                task = _Task(self._next_tid, kind, index, params)
+                self._next_tid += 1
+                self._tasks[task.tid] = task
+                self._queue.append(task.tid)
+                batch.append(task)
+            self._cond.notify_all()
+        try:
+            if self._spawn_target:
+                self._supervise_workers()
+            with self._cond:
+                while True:
+                    self._reap(time.monotonic())
+                    failed = next(
+                        (t for t in batch if t.status == "failed"), None
+                    )
+                    if failed is not None:
+                        raise wrap(
+                            failed.part, kind, failed.error
+                        ) from failed.error
+                    if all(t.status == "done" for t in batch):
+                        return [t.payload for t in batch]
+                    self._cond.wait(timeout=0.1)
+                    if self._spawn_target:
+                        # Leaving the lock briefly is fine: batch
+                        # state only moves forward.
+                        self._cond.release()
+                        try:
+                            self._supervise_workers()
+                        finally:
+                            self._cond.acquire()
+        finally:
+            with self._cond:
+                for task in batch:
+                    self._tasks.pop(task.tid, None)
+                self._queue = [t for t in self._queue if t in self._tasks]
+
+    def _reap(self, now: float) -> None:
+        """Expire overdue leases; re-dispatch or fail.  Lock held."""
+        for task in self._tasks.values():
+            if task.status != "running" or now <= task.deadline:
+                continue
+            self.stats.leases_expired += 1
+            if task.attempts >= self.options.max_attempts:
+                task.status = "failed"
+                task.error = NetworkTaskError(
+                    f"no worker finished task {task.tid} ({task.kind}, part "
+                    f"{task.part}) within {self.options.task_deadline:g}s in "
+                    f"{task.attempts} attempt(s); last lease held by "
+                    f"{task.worker!r}"
+                )
+            else:
+                task.status = "pending"
+                self._queue.append(task.tid)
+            self._cond.notify_all()
+
+    # -- handler-facing operations (each takes the lock) ---------------------
+
+    def claim(self, worker: str) -> dict | None:
+        """Lease the oldest pending task to ``worker``; None when idle."""
+        with self._cond:
+            self.stats.workers_seen.add(worker)
+            self._reap(time.monotonic())
+            while self._queue:
+                task = self._tasks.get(self._queue.pop(0))
+                if task is None or task.status != "pending":
+                    continue
+                task.status = "running"
+                task.worker = worker
+                task.attempts += 1
+                task.deadline = time.monotonic() + self.options.task_deadline
+                self.stats.leases_granted += 1
+                return {
+                    "task": task.tid,
+                    "kind": task.kind,
+                    "part": task.part,
+                    "params": task.params,
+                    "run": self._run_id,
+                    "poll_wait": self.options.poll_wait,
+                }
+            return None
+
+    def complete(self, tid: int, ok: bool, value: object) -> bool:
+        """Record one worker's result; False for late/duplicate/unknown.
+
+        First write wins: once a task is done (or failed), later
+        results for it — a re-dispatched straggler finally reporting —
+        are acknowledged and dropped.
+        """
+        with self._cond:
+            task = self._tasks.get(tid)
+            if task is None or task.status in ("done", "failed"):
+                self.stats.late_results += 1
+                return False
+            if ok:
+                task.status = "done"
+                task.payload = value
+                self.stats.tasks_completed += 1
+            else:
+                # Deterministic worker-side exception: same input,
+                # same crash — fail the run now instead of burning
+                # the remaining leases.
+                task.status = "failed"
+                task.error = NetworkTaskError(str(value))
+                self.stats.tasks_failed += 1
+            self._cond.notify_all()
+            return True
+
+    def part_path(self, index: int) -> Path | None:
+        """The registered ``.rtrc`` file behind one part index."""
+        with self._cond:
+            return self._parts.get(index)
+
+    def status(self) -> dict:
+        """The ``GET /v1`` document."""
+        with self._cond:
+            states = [t.status for t in self._tasks.values()]
+            return {
+                "kind": "coordinator",
+                "run": self._run_id,
+                "parts": len(self._parts),
+                "pending": states.count("pending"),
+                "running": states.count("running"),
+                "workers_seen": len(self.stats.workers_seen),
+                "tasks_completed": self.stats.tasks_completed,
+            }
+
+
+class _CoordinatorHandler(BaseHTTPRequestHandler):
+    """Thin HTTP plumbing; all scheduling lives on the executor."""
+
+    server_version = "slmob-coordinator/1"
+    protocol_version = "HTTP/1.1"
+    # Same buffered-write setup as the query service: one segment per
+    # response instead of a Nagle/delayed-ACK stall per header line.
+    wbufsize = -1
+    disable_nagle_algorithm = True
+
+    @property
+    def executor(self) -> NetworkExecutor:
+        return self.server.executor  # type: ignore[attr-defined]
+
+    def _reply(self, status: int, body: bytes, content_type: str) -> None:
+        self.send_response(status)
+        self.send_header("Content-Type", content_type)
+        self.send_header("Content-Length", str(len(body)))
+        self.end_headers()
+        if body:
+            self.wfile.write(body)
+
+    def _reply_json(self, status: int, payload: dict) -> None:
+        self._reply(status, encode(payload), "application/json")
+
+    def _read_body(self) -> bytes:
+        try:
+            length = int(self.headers.get("Content-Length", 0))
+        except ValueError:
+            length = 0
+        return self.rfile.read(length) if length > 0 else b""
+
+    def do_GET(self) -> None:  # noqa: N802 (http.server API)
+        segments = [s for s in self.path.split("/") if s]
+        if segments == ["v1"]:
+            self._reply_json(200, self.executor.status())
+            return
+        if len(segments) == 3 and segments[:2] == ["v1", "parts"]:
+            try:
+                index = int(segments[2])
+            except ValueError:
+                self._reply_json(404, error_payload("part index must be an integer"))
+                return
+            path = self.executor.part_path(index)
+            if path is None:
+                self._reply_json(404, error_payload(f"unknown part {index}"))
+                return
+            self._reply(200, path.read_bytes(), "application/octet-stream")
+            return
+        self._reply_json(404, error_payload(f"unknown path {self.path!r}"))
+
+    def do_POST(self) -> None:  # noqa: N802 (http.server API)
+        segments = [s for s in self.path.split("/") if s]
+        body = self._read_body()
+        if segments == ["v1", "claim"]:
+            worker = body.decode("utf-8", "replace").strip() or "anonymous"
+            doc = self.executor.claim(worker)
+            if doc is None:
+                self._reply(204, b"", "application/octet-stream")
+            else:
+                self._reply(
+                    200,
+                    pickle.dumps(doc, protocol=PICKLE_PROTOCOL),
+                    "application/octet-stream",
+                )
+            return
+        if len(segments) == 3 and segments[:2] == ["v1", "results"]:
+            try:
+                tid = int(segments[2])
+                verdict, value = pickle.loads(body)
+                ok = verdict == "ok"
+                if verdict not in ("ok", "error"):
+                    raise ValueError(f"unknown verdict {verdict!r}")
+            except Exception as exc:
+                self._reply_json(400, error_payload(f"bad result document: {exc}"))
+                return
+            accepted = self.executor.complete(tid, ok, value)
+            self._reply_json(200, {"accepted": accepted})
+            return
+        self._reply_json(404, error_payload(f"unknown POST path {self.path!r}"))
+
+    def log_message(self, format: str, *args: object) -> None:
+        pass

@@ -1,0 +1,213 @@
+"""The network backend's worker: claim, fetch, extract, report.
+
+:class:`NetworkWorker` is the process behind ``slmob worker <url>``.
+It is deliberately dumb — all scheduling intelligence (leases,
+deadlines, re-dispatch, first-write-wins) lives on the coordinator —
+and loops over four steps:
+
+1. ``POST /v1/claim`` with its worker id; a ``204`` means no work is
+   pending, so sleep the coordinator-advertised poll interval and ask
+   again.
+2. ``GET /v1/parts/<index>`` for the claimed task's part file, cached
+   on local disk keyed by ``(run id, part index)`` — parts are
+   immutable within a run, so a worker that executes many tasks over
+   the same part pays the transfer once.
+3. Run :func:`~repro.core.parallel.run_shard_file_task` over the
+   cached file: memory-map the part, extract, encode the payload —
+   the identical code path the process backend's pool workers run,
+   which is what makes the distributed result bit-for-bit equal to
+   the serial oracle.
+4. ``POST /v1/results/<task id>`` with the pickled outcome; worker
+   exceptions travel as ``("error", message)`` so the coordinator can
+   fail the task deterministically instead of re-dispatching it.
+
+A coordinator that stops answering (analysis finished, executor
+closed) is the normal shutdown signal: the claim's transport retries
+exhaust into :class:`~repro.service.transport.TransportUnavailable`
+and :meth:`NetworkWorker.run` returns cleanly.
+
+The ``chaos`` hook exists for the fault-injection tests: it lets a
+test worker die right after claiming a task (``exit-after-claim``) or
+stall mid-task (``sleep-after-claim:SECONDS``) to prove the
+coordinator's lease expiry re-dispatches the work and discards the
+straggler's late result.
+"""
+
+from __future__ import annotations
+
+import os
+import pickle
+import socket
+import tempfile
+import time
+import urllib.error
+import urllib.request
+from pathlib import Path
+
+from repro.distributed.coordinator import PICKLE_PROTOCOL
+from repro.service.transport import TransportUnavailable, request_bytes
+
+
+def parse_chaos(spec: str | None):
+    """Turn a chaos spec string into the worker's pre-task hook.
+
+    ``exit-after-claim`` kills the process (``os._exit``) right after
+    a task is claimed — a worker death with a lease held.
+    ``sleep-after-claim:SECONDS`` stalls that long before extracting —
+    a straggler whose lease expires under it.  ``None``/empty gives a
+    no-op hook.
+    """
+    if not spec:
+        return lambda: None
+    if spec == "exit-after-claim":
+        return lambda: os._exit(17)
+    if spec.startswith("sleep-after-claim:"):
+        delay = float(spec.split(":", 1)[1])
+        return lambda: time.sleep(delay)
+    raise ValueError(f"unknown chaos spec {spec!r}")
+
+
+class NetworkWorker:
+    """One claim/fetch/extract/report loop against a coordinator.
+
+    Parameters
+    ----------
+    url:
+        The coordinator's base URL (``http://host:port/v1``, as
+        printed by ``slmob analyze --backend network`` or returned by
+        the scheduler's ``network_url()``).  A trailing slash is
+        tolerated.
+    poll_wait:
+        Idle sleep between claims, seconds; the coordinator's
+        advertised interval (sent with every granted lease) takes
+        over once a first task has been seen.
+    timeout / retries / backoff:
+        Per-request transport policy, shared with the ingest sink
+        (:func:`~repro.service.transport.request_bytes`).
+    chaos:
+        Fault-injection hook run between claiming and extracting; see
+        :func:`parse_chaos`.
+    quiet:
+        Suppress the per-task progress lines on stderr.
+    """
+
+    def __init__(
+        self,
+        url: str,
+        *,
+        poll_wait: float = 0.05,
+        timeout: float = 30.0,
+        retries: int = 3,
+        backoff: float = 0.1,
+        chaos: str | None = None,
+        quiet: bool = False,
+    ) -> None:
+        self.url = url.rstrip("/")
+        self.poll_wait = float(poll_wait)
+        self.timeout = float(timeout)
+        self.retries = int(retries)
+        self.backoff = float(backoff)
+        self.quiet = bool(quiet)
+        self.worker_id = f"{socket.gethostname()}-{os.getpid()}"
+        self.tasks_done = 0
+        self._chaos = parse_chaos(chaos)
+        self._cache_dir = tempfile.TemporaryDirectory(prefix="slmob-worker-")
+        self._cached: dict[tuple[str, int], Path] = {}
+
+    # -- wire helpers --------------------------------------------------------
+
+    def _request(self, path: str, data: bytes | None = None) -> bytes:
+        request = urllib.request.Request(
+            f"{self.url}{path}",
+            data=data,
+            headers={"Content-Type": "application/octet-stream"},
+            method="POST" if data is not None else "GET",
+        )
+        _, _, body = request_bytes(
+            request,
+            timeout=self.timeout,
+            retries=self.retries,
+            backoff=self.backoff,
+        )
+        return body
+
+    def _claim(self) -> dict | None:
+        body = self._request("/claim", self.worker_id.encode("utf-8"))
+        return pickle.loads(body) if body else None
+
+    def _fetch_part(self, run: str, index: int) -> Path:
+        key = (run, index)
+        path = self._cached.get(key)
+        if path is not None and path.exists():
+            return path
+        path = Path(self._cache_dir.name) / f"{run}-{index:05d}.rtrc"
+        path.write_bytes(self._request(f"/parts/{index}"))
+        self._cached[key] = path
+        return path
+
+    def _report(self, tid: int, verdict: str, value: object) -> None:
+        self._request(
+            f"/results/{tid}",
+            pickle.dumps((verdict, value), protocol=PICKLE_PROTOCOL),
+        )
+
+    def _log(self, message: str) -> None:
+        if not self.quiet:
+            import sys
+
+            print(f"worker {self.worker_id}: {message}", file=sys.stderr)
+
+    # -- the loop ------------------------------------------------------------
+
+    def run_one(self) -> bool:
+        """Claim and finish at most one task; False when none pending."""
+        doc = self._claim()
+        if doc is None:
+            return False
+        self.poll_wait = float(doc.get("poll_wait", self.poll_wait))
+        self._chaos()
+        tid, kind, part = doc["task"], doc["kind"], doc["part"]
+        try:
+            # Late import: keep worker startup (and the claim that
+            # races other workers) ahead of the numpy import cost.
+            from repro.core.parallel import run_shard_file_task
+
+            path = self._fetch_part(doc["run"], part)
+            payload = run_shard_file_task(str(path), kind, doc["params"])
+        except Exception as exc:
+            self._report(tid, "error", f"{type(exc).__name__}: {exc}")
+            self._log(f"task {tid} ({kind}, part {part}) failed: {exc}")
+        else:
+            self._report(tid, "ok", payload)
+            self.tasks_done += 1
+            self._log(f"task {tid} ({kind}, part {part}) done")
+        return True
+
+    def run(self) -> int:
+        """Serve until the coordinator goes away; tasks completed.
+
+        The exit conditions are all coordinator-driven: a transport
+        failure that survives the retry budget, or any HTTP error
+        status (a claim has no non-transient failure mode a worker
+        can fix), ends the loop cleanly.
+        """
+        self._log(f"serving {self.url}")
+        try:
+            while True:
+                try:
+                    busy = self.run_one()
+                except TransportUnavailable:
+                    self._log("coordinator unreachable; exiting")
+                    return self.tasks_done
+                except urllib.error.HTTPError as exc:
+                    self._log(f"coordinator refused ({exc.code}); exiting")
+                    return self.tasks_done
+                if not busy:
+                    time.sleep(self.poll_wait)
+        finally:
+            self.close()
+
+    def close(self) -> None:
+        """Drop the local part cache."""
+        self._cache_dir.cleanup()
+        self._cached.clear()

@@ -9,7 +9,11 @@ fixes the canonical response bytes both the service and its
 equivalence tests build.
 """
 
-from repro.service.client import HttpRoundSink, ServiceRejectedRound
+from repro.service.client import (
+    HttpRoundSink,
+    ServiceRejectedRound,
+    ServiceUnreachable,
+)
 from repro.service.encoding import (
     contacts_payload,
     encode,
@@ -24,16 +28,27 @@ from repro.service.server import (
     QueryService,
     ServiceError,
     ServiceStats,
+    etag_matches,
+)
+from repro.service.transport import (
+    TRANSIENT_STATUSES,
+    TransportUnavailable,
+    request_bytes,
 )
 
 __all__ = [
     "HttpRoundSink",
     "ServiceRejectedRound",
+    "ServiceUnreachable",
     "QueryService",
     "ServiceError",
     "ServiceStats",
     "DEFAULT_INGEST_BODY_LIMIT",
     "DEFAULT_INGEST_BUDGET",
+    "TRANSIENT_STATUSES",
+    "TransportUnavailable",
+    "etag_matches",
+    "request_bytes",
     "contacts_payload",
     "encode",
     "error_payload",

@@ -16,31 +16,51 @@ sink is bit-identical to one written by a local
 :class:`~repro.trace.RtrcDirAppender` (pinned by
 ``tests/unit/service/test_http_sink.py``).
 
-The sink honors the service's modeled platform limits: a ``429``
-(request budget exhausted) is retried after the server's
-``Retry-After``; any other error status raises
-:class:`ServiceRejectedRound` with the server's message.
+Transient failures are retried through the shared policy in
+:mod:`repro.service.transport`: a ``429`` (request budget exhausted),
+``502``/``503``/``504``, and transport-level errors — a connection
+reset, the service restarting between rounds — all get bounded
+backoff with a capped total attempt count, so a long streaming crawl
+survives server hiccups instead of dying mid-round.  Non-retryable
+statuses (``400`` validation failures, ``409`` time-order conflicts)
+raise :class:`ServiceRejectedRound` immediately with the server's
+message; an endpoint that stays unreachable through every attempt
+raises :class:`ServiceUnreachable`.
 """
 
 from __future__ import annotations
 
 import json
-import time
 import urllib.error
 import urllib.request
 from dataclasses import asdict
 
 import numpy as np
 
+from repro.service.transport import TransportUnavailable, request_bytes
 from repro.trace import TraceMetadata
 
 
 class ServiceRejectedRound(RuntimeError):
-    """The ingest endpoint refused a round (non-retryable status)."""
+    """The ingest endpoint refused a round (non-retryable status).
+
+    Also raised when a *retryable* status (429/502/503/504) persisted
+    through the whole retry budget — the server kept answering, so its
+    last verdict is the message worth surfacing.
+    """
 
     def __init__(self, status: int, message: str) -> None:
         super().__init__(f"ingest rejected with HTTP {status}: {message}")
         self.status = status
+
+
+class ServiceUnreachable(RuntimeError):
+    """The ingest endpoint stayed unreachable through every retry."""
+
+    def __init__(self, url: str, cause: TransportUnavailable) -> None:
+        super().__init__(f"ingest failed: {cause}")
+        self.url = url
+        self.attempts = cause.attempts
 
 
 class HttpRoundSink:
@@ -54,8 +74,12 @@ class HttpRoundSink:
     timeout:
         Socket timeout per POST, seconds.
     retries / retry_wait:
-        How often to retry a ``429`` budget rejection, and the wait
-        used when the server sends no usable ``Retry-After``.
+        Extra attempts allowed per POST for transient failures (429 /
+        502 / 503 / 504 and transport errors), and the base backoff
+        used when the server sends no usable ``Retry-After`` (doubled
+        per attempt, capped at ``max_backoff``).
+    max_backoff:
+        Upper bound on the per-attempt backoff wait, seconds.
     """
 
     def __init__(
@@ -65,11 +89,13 @@ class HttpRoundSink:
         timeout: float = 30.0,
         retries: int = 5,
         retry_wait: float = 1.0,
+        max_backoff: float = 30.0,
     ) -> None:
         self.url = url.rstrip("/")
         self.timeout = float(timeout)
         self.retries = int(retries)
         self.retry_wait = float(retry_wait)
+        self.max_backoff = float(max_backoff)
         self.metadata = TraceMetadata()
         self._metadata_sent: dict | None = None
         self._pending: list[dict] = []
@@ -164,30 +190,24 @@ class HttpRoundSink:
             raise ValueError(f"{self.url}: sink is closed")
 
     def _post(self, body: bytes) -> None:
-        attempts = 0
-        while True:
-            request = urllib.request.Request(
-                f"{self.url}/rounds",
-                data=body,
-                headers={"Content-Type": "application/json"},
-                method="POST",
-            )
-            try:
-                with urllib.request.urlopen(request, timeout=self.timeout):
-                    return
-            except urllib.error.HTTPError as exc:
-                detail = self._error_detail(exc)
-                if exc.code == 429 and attempts < self.retries:
-                    attempts += 1
-                    time.sleep(self._retry_after(exc))
-                    continue
-                raise ServiceRejectedRound(exc.code, detail) from None
-
-    def _retry_after(self, exc: urllib.error.HTTPError) -> float:
+        request = urllib.request.Request(
+            f"{self.url}/rounds",
+            data=body,
+            headers={"Content-Type": "application/json"},
+            method="POST",
+        )
         try:
-            return max(0.0, float(exc.headers.get("Retry-After", "")))
-        except (TypeError, ValueError):
-            return self.retry_wait
+            request_bytes(
+                request,
+                timeout=self.timeout,
+                retries=self.retries,
+                backoff=self.retry_wait,
+                max_backoff=self.max_backoff,
+            )
+        except urllib.error.HTTPError as exc:
+            raise ServiceRejectedRound(exc.code, self._error_detail(exc)) from None
+        except TransportUnavailable as exc:
+            raise ServiceUnreachable(self.url, exc) from exc
 
     @staticmethod
     def _error_detail(exc: urllib.error.HTTPError) -> str:

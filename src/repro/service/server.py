@@ -96,6 +96,30 @@ DEFAULT_INGEST_BODY_LIMIT = 16 << 20
 _GRAPH_KINDS = ("degrees", "diameters", "clustering")
 
 
+def etag_matches(if_none_match: str, etag: str) -> bool:
+    """Whether an ``If-None-Match`` header matches the current ETag.
+
+    RFC 7232 §3.2 semantics: the header may be ``*`` (matches any
+    current representation), or a comma-separated list of entity tags,
+    each optionally carrying a ``W/`` weak-validator prefix.
+    ``If-None-Match`` uses *weak comparison* — two tags match when
+    their opaque parts are equal, ``W/`` prefixes ignored — so a cache
+    replaying a weakened tag still gets its 304.  (Our ETags contain
+    no commas or embedded quotes, so splitting on commas is exact.)
+    """
+    header = if_none_match.strip()
+    if header == "*":
+        return True
+    current = etag[2:] if etag.startswith("W/") else etag
+    for candidate in header.split(","):
+        tag = candidate.strip()
+        if tag.startswith("W/"):
+            tag = tag[2:]
+        if tag and tag == current:
+            return True
+    return False
+
+
 class ServiceError(Exception):
     """An HTTP-mappable request failure."""
 
@@ -469,7 +493,7 @@ class QueryService:
             etag = self._etag(handle)
             with self._stats_lock:
                 self.stats.queries += 1
-            if if_none_match is not None and if_none_match.strip() == etag:
+            if if_none_match is not None and etag_matches(if_none_match, etag):
                 with self._stats_lock:
                     self.stats.not_modified += 1
                 return 304, {"ETag": etag}, b""

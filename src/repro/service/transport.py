@@ -1,0 +1,116 @@
+"""Shared HTTP transport with bounded transient-failure retries.
+
+Every HTTP client in the repo — the crawler's
+:class:`~repro.service.HttpRoundSink`, the distributed analysis
+worker (:mod:`repro.distributed.worker`) — talks to a long-running
+stdlib server that can restart, drop a keep-alive connection, or shed
+load mid-request.  A client that dies on the first connection reset
+turns every server hiccup into a lost crawl round or a stalled
+analysis, so the retry policy lives here, once:
+
+* **Transient transport errors** — connection refused/reset, DNS
+  blips, socket timeouts, a server closing the connection before the
+  status line (``RemoteDisconnected``) — are retried with capped
+  exponential backoff (``backoff * 2^attempt``, bounded by
+  ``max_backoff``) up to ``retries`` extra attempts, then raised as
+  :class:`TransportUnavailable` with the last error as ``__cause__``.
+* **Transient HTTP statuses** (:data:`TRANSIENT_STATUSES`: 429, 502,
+  503, 504) are retried on the same budget, honouring a parseable
+  ``Retry-After`` header over the computed backoff; when attempts run
+  out the final :class:`~urllib.error.HTTPError` propagates so the
+  caller can surface the server's message.
+* **Everything else** — non-retryable 4xx/5xx — raises its
+  :class:`~urllib.error.HTTPError` immediately: a ``400`` does not
+  become valid by asking again.
+
+Retries are only safe because every caller's requests are idempotent
+at the application layer: posting the same crawl round twice is
+rejected by the service's strictly-increasing-time validation, and
+re-posting a task result is first-write-wins at the coordinator.
+"""
+
+from __future__ import annotations
+
+import http.client
+import time
+import urllib.error
+import urllib.request
+from typing import Callable, Mapping
+
+#: HTTP statuses worth retrying: the request was fine, the server (or
+#: an intermediary) momentarily was not.
+TRANSIENT_STATUSES = frozenset({429, 502, 503, 504})
+
+
+class TransportUnavailable(RuntimeError):
+    """The endpoint stayed unreachable through every retry attempt.
+
+    Transport-level failure (no HTTP response at all), as opposed to
+    :class:`~urllib.error.HTTPError` which carries a server verdict.
+    The last underlying error rides along as ``__cause__``.
+    """
+
+    def __init__(self, url: str, attempts: int, last_error: Exception) -> None:
+        super().__init__(
+            f"{url}: unreachable after {attempts} attempt(s): {last_error}"
+        )
+        self.url = url
+        self.attempts = attempts
+
+
+def retry_after_wait(
+    headers: Mapping[str, str] | None, fallback: float
+) -> float:
+    """Seconds to wait per a ``Retry-After`` header, or ``fallback``.
+
+    Only the delta-seconds form is parsed (the servers in this repo
+    never send HTTP-dates); garbage falls back.
+    """
+    try:
+        return max(0.0, float((headers or {}).get("Retry-After", "")))
+    except (TypeError, ValueError):
+        return fallback
+
+
+def request_bytes(
+    request: urllib.request.Request,
+    *,
+    timeout: float = 30.0,
+    retries: int = 5,
+    backoff: float = 0.2,
+    max_backoff: float = 5.0,
+    sleep: Callable[[float], None] = time.sleep,
+) -> tuple[int, Mapping[str, str], bytes]:
+    """Perform one HTTP exchange with the shared retry policy.
+
+    Returns ``(status, headers, body)`` for any 2xx/3xx response.
+    ``retries`` counts *extra* attempts beyond the first; ``request``
+    must carry re-sendable ``data`` (bytes, not a stream).  Raises the
+    final :class:`~urllib.error.HTTPError` for non-retryable statuses
+    (immediately) and exhausted transient statuses (after the budget),
+    :class:`TransportUnavailable` for exhausted transport errors.
+    """
+    attempt = 0
+    while True:
+        try:
+            with urllib.request.urlopen(request, timeout=timeout) as response:
+                return response.status, dict(response.headers), response.read()
+        except urllib.error.HTTPError as exc:
+            if exc.code not in TRANSIENT_STATUSES or attempt >= retries:
+                raise
+            wait = retry_after_wait(
+                exc.headers, min(backoff * (2.0 ** attempt), max_backoff)
+            )
+            attempt += 1
+            sleep(wait)
+        except (OSError, http.client.HTTPException) as exc:
+            # URLError (connection refused, DNS), raw socket resets
+            # and timeouts, and half-closed keep-alive connections
+            # (RemoteDisconnected) all land here; HTTPError was
+            # already handled above.
+            if attempt >= retries:
+                raise TransportUnavailable(
+                    request.full_url, attempt + 1, exc
+                ) from exc
+            sleep(min(backoff * (2.0 ** attempt), max_backoff))
+            attempt += 1

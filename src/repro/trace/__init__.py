@@ -19,6 +19,7 @@ from repro.trace.trace import Trace, TraceMetadata
 from repro.trace.storage import (
     RtrcAppender,
     RtrcFormatError,
+    StoreChangedError,
     TraceFormatError,
     compact_rtrc_store,
     read_store_rtrc,
@@ -74,6 +75,7 @@ __all__ = [
     "TraceMetadata",
     "RtrcAppender",
     "RtrcFormatError",
+    "StoreChangedError",
     "TraceFormatError",
     "compact_rtrc_store",
     "read_store_rtrc",

@@ -23,6 +23,7 @@ import numpy as np
 
 from repro.trace.columnar import ColumnarStore, UserInterner, empty_store
 from repro.trace.storage import (
+    StoreChangedError,
     TraceFormatError,
     _tempfile_for,
     read_store_rtrc,
@@ -603,10 +604,21 @@ class RtrcDirAppender:
         concurrent readers always load a consistent committed prefix.
         Returns the new shard file's path, or ``None`` when nothing
         was pending.
+
+        Raises :class:`~repro.trace.StoreChangedError` when the
+        directory's manifest no longer matches the state this appender
+        opened with — the signature of a concurrent
+        :func:`compact_shard_dir` (generation bump, rewritten file
+        list).  Writing this appender's stale manifest would silently
+        resurrect the pre-compaction file list (whose files are
+        already unlinked) and lose every post-compaction round, so the
+        commit refuses instead; re-open the appender over the
+        compacted directory to resume.
         """
         self._require_open()
         if not self._pending_times:
             return None
+        self._check_not_superseded()
         count = len(self._pending_times)
         times = np.asarray(self._pending_times, dtype=np.float64)
         offsets = np.zeros(count + 1, dtype=np.int64)
@@ -631,6 +643,18 @@ class RtrcDirAppender:
             # file whose data never reached disk.
             _fsync_path(path)
             _fsync_path(self.directory)
+        try:
+            # Re-checked after the (slow) round-file write so a
+            # compaction landing mid-commit is still caught before the
+            # manifest swap publishes stale state; the fresh round
+            # file is unlinked rather than left as crash debris.
+            self._check_not_superseded()
+        except StoreChangedError:
+            try:
+                path.unlink()
+            except OSError:
+                pass
+            raise
         self._files.append(name)
         self._counts.append(count)
         self._ranges.append([float(times[0]), float(times[-1])])
@@ -643,6 +667,34 @@ class RtrcDirAppender:
         self._pending_rows = 0
         self._write_manifest()
         return path
+
+    def _check_not_superseded(self) -> None:
+        """Refuse to commit over a manifest this appender did not write.
+
+        The appender caches the manifest state it opened with (or last
+        wrote); a concurrent :func:`compact_shard_dir` bumps the
+        generation and replaces the file list, so committing the
+        cached state would atomically *unpublish* the compacted files.
+        Comparing generation plus file list catches that (and any
+        other external rewrite) at the last moment before the swap.
+        """
+        manifest = read_shard_manifest(self.directory)
+        if manifest is None:
+            raise StoreChangedError(
+                f"{self.directory}: manifest.json disappeared under the "
+                "appender; re-open the appender to resume"
+            )
+        generation = int(manifest.get("generation", 0))
+        files = [str(name) for name in manifest["files"]]
+        if generation != self._generation or files != self._files:
+            raise StoreChangedError(
+                f"{self.directory}: shard directory was compacted (or "
+                f"otherwise rewritten) under this appender — manifest is "
+                f"at generation {generation} with {len(files)} file(s), "
+                f"appender opened at generation {self._generation} with "
+                f"{len(self._files)} file(s); re-open the appender over "
+                "the compacted directory to resume appending"
+            )
 
     def _write_manifest(self) -> None:
         write_shard_manifest(

@@ -130,6 +130,22 @@ class RtrcFormatError(TraceFormatError):
     """Raised when a file is not a readable rtrc trace."""
 
 
+class StoreChangedError(ValueError):
+    """A live store broke the append-only contract under its holder.
+
+    Raised in two places that share one failure shape: a
+    :class:`~repro.core.live.LiveAnalyzer` follower whose store
+    shrank, rewrote its committed prefix, or swapped its shard-file
+    list; and an :class:`~repro.trace.RtrcDirAppender` whose directory
+    was compacted (generation bumped) between open and commit.  In
+    both cases the on-disk store is still internally consistent —
+    only *this holder's* in-memory history is stale — so long-running
+    consumers (the CLI ``--follow`` loop, the query service) catch
+    this specifically and recover by re-opening a fresh follower or
+    appender instead of dying.
+    """
+
+
 def _align(offset: int) -> int:
     return (offset + ALIGNMENT - 1) // ALIGNMENT * ALIGNMENT
 

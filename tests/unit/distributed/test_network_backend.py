@@ -1,0 +1,252 @@
+"""The network backend must be bit-for-bit the serial oracle.
+
+The acceptance bar for ``backend="network"``: every analysis family,
+fanned over real ``slmob worker`` subprocesses attached to the
+coordinator over loopback HTTP, produces **exactly** the unsharded
+extractors' results — at any worker count, and under fault injection
+(a worker killed after claiming a task, a straggler whose lease
+expires under it).  Nothing is mocked: workers are spawned through
+the real CLI entry point (``python -m repro worker <url>``), fetch
+their part files over HTTP, and stream pickled payloads back.
+"""
+
+import os
+import subprocess
+import sys
+import time
+
+import numpy as np
+import pytest
+
+from repro.core import (
+    LiveAnalyzer,
+    ShardedAnalyzer,
+    TraceAnalyzer,
+    extract_contacts,
+    losgraph,
+)
+from repro.core.parallel import (
+    SCHEDULER_BACKENDS,
+    PartAnalysisError,
+    PartScheduler,
+)
+from repro.core.windowed import WindowedAnalyzer
+from repro.distributed import NetworkOptions, NetworkTaskError
+from repro.trace import (
+    RtrcDirAppender,
+    extract_sessions,
+    write_trace_rtrc,
+)
+from tests.unit.core.test_sharded_equivalence import churn_trace
+
+RADII = (6.0, 15.0, 80.0)
+R = 10.0
+
+
+@pytest.fixture(scope="module")
+def trace():
+    return churn_trace(17)
+
+
+def spawn_worker(url, chaos=None, poll=0.02):
+    """One real CLI worker process; chaos rides in via the env hook."""
+    env = dict(os.environ)
+    if chaos:
+        env["SLMOB_WORKER_CHAOS"] = chaos
+    return subprocess.Popen(
+        [sys.executable, "-m", "repro", "worker", url, "--quiet",
+         "--poll", str(poll)],
+        env=env,
+    )
+
+
+def reap(*procs, timeout=20.0):
+    """Wait for workers to notice the coordinator is gone and exit."""
+    for proc in procs:
+        try:
+            proc.wait(timeout=timeout)
+        except subprocess.TimeoutExpired:
+            proc.kill()
+            proc.wait()
+            raise
+
+
+class TestEquivalence:
+    """Bit-identical results at 1, 2, and 4 spawned workers."""
+
+    @pytest.fixture(
+        scope="class", params=(1, 2, 4), ids=lambda w: f"w{w}"
+    )
+    def analyzer(self, request, trace):
+        options = NetworkOptions(spawn_workers=request.param)
+        with ShardedAnalyzer(
+            trace, 5, backend="network", network=options
+        ) as sharded:
+            yield sharded
+
+    def test_contacts(self, analyzer, trace):
+        assert analyzer.contacts(R) == extract_contacts(trace, R)
+
+    def test_contacts_multirange(self, analyzer, trace):
+        result = analyzer.contacts_multirange(RADII)
+        for r, contacts in result.items():
+            assert contacts == extract_contacts(trace, r)
+
+    def test_sessions(self, analyzer, trace):
+        assert analyzer.sessions() == extract_sessions(trace)
+
+    def test_degree_samples(self, analyzer, trace):
+        expected = np.asarray(
+            losgraph.degree_samples(trace, R, 2), dtype=np.int64
+        )
+        assert np.array_equal(analyzer.degree_array(R, 2), expected)
+
+    def test_clustering_samples(self, analyzer, trace):
+        expected = np.asarray(
+            losgraph.clustering_series(trace, R, 3), dtype=np.float64
+        )
+        assert np.array_equal(analyzer.clustering_array(R, 3), expected)
+
+
+class TestLiveShardDir:
+    def test_follower_backfill_over_round_files(self, tmp_path, trace):
+        # A shard-dir follower's committed round files double as the
+        # network backend's part files — workers fetch them over HTTP
+        # and the merged catch-up equals the serial whole-trace result.
+        root = tmp_path / "rounds"
+        cols = trace.columns
+        edges = np.linspace(0, cols.snapshot_count, 7).astype(int)
+        with RtrcDirAppender(root, trace.metadata) as appender:
+            for lo, hi in zip(edges[:-1], edges[1:]):
+                for index in range(int(lo), int(hi)):
+                    a, b = (
+                        cols.snapshot_offsets[index],
+                        cols.snapshot_offsets[index + 1],
+                    )
+                    appender.append_snapshot(
+                        float(cols.times[index]), cols.names_of(index),
+                        cols.xyz[a:b],
+                    )
+                appender.commit()
+        options = NetworkOptions(spawn_workers=2)
+        with LiveAnalyzer(root, backend="network", network=options) as live:
+            live.refresh()
+            assert live.contacts(R) == extract_contacts(trace, R)
+            assert live.sessions() == extract_sessions(trace)
+
+
+class TestFaultInjection:
+    def test_worker_killed_after_claim_is_reassigned(self, trace):
+        # The doomed worker claims a task and dies holding the lease;
+        # the deadline expires, the task re-enters the queue, and the
+        # healthy worker finishes it — results still bit-identical.
+        options = NetworkOptions(
+            spawn_workers=0, task_deadline=0.6, max_attempts=5
+        )
+        with ShardedAnalyzer(
+            trace, 4, backend="network", network=options
+        ) as analyzer:
+            url = analyzer.network_url()
+            doomed = spawn_worker(url, chaos="exit-after-claim")
+            time.sleep(0.4)
+            healthy = spawn_worker(url)
+            assert analyzer.contacts(R) == extract_contacts(trace, R)
+            stats = analyzer._scheduler._netexec.stats
+            assert stats.leases_expired >= 1
+            assert stats.tasks_completed == 4
+            doomed.wait(timeout=10)
+            assert doomed.returncode == 17  # the chaos hook's os._exit
+        reap(healthy)
+
+    def test_straggler_redispatched_and_late_result_discarded(self, trace):
+        options = NetworkOptions(
+            spawn_workers=0, task_deadline=0.4, max_attempts=5
+        )
+        with ShardedAnalyzer(
+            trace, 4, backend="network", network=options
+        ) as analyzer:
+            url = analyzer.network_url()
+            straggler = spawn_worker(url, chaos="sleep-after-claim:1.5")
+            time.sleep(0.2)
+            healthy = spawn_worker(url)
+            assert analyzer.sessions() == extract_sessions(trace)
+            executor = analyzer._scheduler._netexec
+            assert executor.stats.leases_expired >= 1
+            # The straggler wakes up and reports a lease that was
+            # re-dispatched long ago; first-write-wins drops it.
+            deadline = time.monotonic() + 10.0
+            while (
+                executor.stats.late_results == 0
+                and time.monotonic() < deadline
+            ):
+                time.sleep(0.05)
+            assert executor.stats.late_results >= 1
+        reap(straggler, healthy)
+
+    def test_worker_exception_fails_fast_without_retries(self, tmp_path, trace):
+        # A deterministic worker-side exception (unknown task kind)
+        # must fail the run immediately — re-dispatching an input that
+        # crashes deterministically would just burn every lease.
+        part = write_trace_rtrc(trace, tmp_path / "part.rtrc")
+        options = NetworkOptions(spawn_workers=1, task_deadline=30.0)
+        scheduler = PartScheduler("network", network=options)
+        try:
+            with pytest.raises(PartAnalysisError) as err:
+                scheduler.run(
+                    "no-such-kind",
+                    [(0, ()), (1, ())],
+                    part_trace=lambda i: trace,
+                    part_path=lambda i: part,
+                    names=lambda: trace.columns.users.names,
+                )
+            assert isinstance(err.value.__cause__, NetworkTaskError)
+            stats = scheduler._netexec.stats
+            assert stats.tasks_failed >= 1
+            assert stats.leases_expired == 0
+        finally:
+            scheduler.close()
+
+
+class TestSurface:
+    def test_network_is_a_scheduler_backend(self):
+        assert "network" in SCHEDULER_BACKENDS
+
+    def test_network_url_requires_the_network_backend(self):
+        scheduler = PartScheduler("thread")
+        with pytest.raises(ValueError, match="network"):
+            scheduler.network_url()
+        scheduler.close()
+
+    def test_closed_scheduler_refuses_coordinator(self):
+        scheduler = PartScheduler("network")
+        scheduler.close()
+        with pytest.raises(ValueError, match="closed"):
+            scheduler.network_url()
+
+    def test_unsharded_trace_analyzer_has_no_coordinator(self, trace):
+        with TraceAnalyzer(trace, shards=1, backend="network") as analyzer:
+            with pytest.raises(ValueError, match="shards"):
+                analyzer.network_url()
+
+    def test_windowed_analyzer_accepts_the_backend(self, tmp_path, trace):
+        path = write_trace_rtrc(trace, tmp_path / "w.rtrc")
+        options = NetworkOptions(spawn_workers=2)
+        with WindowedAnalyzer(
+            path, 100.0, backend="network", network=options
+        ) as windowed:
+            assert windowed.contacts(R) == extract_contacts(trace, R)
+
+    def test_coordinator_status_endpoint(self, trace):
+        import json
+        import urllib.request
+
+        options = NetworkOptions(spawn_workers=0)
+        scheduler = PartScheduler("network", network=options)
+        try:
+            url = scheduler.network_url()
+            with urllib.request.urlopen(url, timeout=10) as response:
+                doc = json.loads(response.read())
+            assert doc["kind"] == "coordinator"
+            assert doc["pending"] == 0
+        finally:
+            scheduler.close()

@@ -9,13 +9,22 @@ same snapshots — positions survive the JSON round trip exactly
 one, and the user table interns in the same order.
 """
 
+import socket
 import threading
 import time
+import urllib.error
+import urllib.request
+from http.server import BaseHTTPRequestHandler, ThreadingHTTPServer
 
 import numpy as np
 import pytest
 
-from repro.service import HttpRoundSink, QueryService, ServiceRejectedRound
+from repro.service import (
+    HttpRoundSink,
+    QueryService,
+    ServiceRejectedRound,
+    ServiceUnreachable,
+)
 from repro.trace import (
     RtrcDirAppender,
     concat_shards,
@@ -139,3 +148,143 @@ class TestSinkBehavior:
             sink.commit()  # 429 first, then succeeds after the window slides
             assert sink.rounds_posted == 2
             assert service.stats.ingest_rejected >= 1
+
+
+class _FlakyFront(BaseHTTPRequestHandler):
+    """Proxy in front of a real service that injects one failure mode
+    per request according to the server's ``plan`` (then passes)."""
+
+    protocol_version = "HTTP/1.1"
+
+    def do_POST(self):
+        body = self.rfile.read(int(self.headers.get("Content-Length", 0)))
+        plan = self.server.plan
+        mode = plan.pop(0) if plan else "pass"
+        self.server.seen.append(mode)
+        if mode in ("502", "503"):
+            payload = b'{"error": "upstream momentarily gone"}'
+            self.send_response(int(mode))
+            self.send_header("Content-Type", "application/json")
+            self.send_header("Content-Length", str(len(payload)))
+            self.end_headers()
+            self.wfile.write(payload)
+            return
+        if mode == "drop":
+            # Abrupt close before any status line: the client sees a
+            # connection reset / RemoteDisconnected, not an HTTPError.
+            self.connection.close()
+            return
+        if mode == "400":
+            payload = b'{"error": "malformed round"}'
+            self.send_response(400)
+            self.send_header("Content-Type", "application/json")
+            self.send_header("Content-Length", str(len(payload)))
+            self.end_headers()
+            self.wfile.write(payload)
+            return
+        request = urllib.request.Request(
+            self.server.upstream + self.path,
+            data=body,
+            headers={"Content-Type": "application/json"},
+            method="POST",
+        )
+        try:
+            with urllib.request.urlopen(request, timeout=30) as response:
+                status, out = response.status, response.read()
+        except urllib.error.HTTPError as exc:
+            status, out = exc.code, exc.read()
+        self.send_response(status)
+        self.send_header("Content-Type", "application/json")
+        self.send_header("Content-Length", str(len(out)))
+        self.end_headers()
+        self.wfile.write(out)
+
+    def log_message(self, format, *args):
+        pass
+
+
+@pytest.fixture()
+def flaky_front():
+    """A flaky proxy server factory bound to an ephemeral port."""
+    servers = []
+
+    def start(upstream, plan):
+        server = ThreadingHTTPServer(("127.0.0.1", 0), _FlakyFront)
+        server.daemon_threads = True
+        server.upstream = upstream
+        server.plan = list(plan)
+        server.seen = []
+        threading.Thread(target=server.serve_forever, daemon=True).start()
+        servers.append(server)
+        host, port = server.server_address[:2]
+        return server, f"http://{host}:{port}/v1/crawl"
+
+    yield start
+    for server in servers:
+        server.shutdown()
+        server.server_close()
+
+
+class TestTransientFailures:
+    def test_transient_failures_retried_store_bit_identical(
+        self, tmp_path, trace, flaky_front
+    ):
+        # Every round's first attempt fails a different way (503, 502,
+        # abrupt connection drop); the retried crawl must still build
+        # the exact store a clean local appender would have.
+        local = tmp_path / "local"
+        with RtrcDirAppender(local) as appender:
+            appender.metadata = trace.metadata
+            stream(appender, trace, 4)
+
+        remote = tmp_path / "remote"
+        with QueryService({"crawl": remote}, ingest=True) as service:
+            host, port = service.start()
+            _, url = flaky_front(
+                f"http://{host}:{port}",
+                ["503", "pass", "drop", "pass", "502", "pass", "drop", "pass"],
+            )
+            with HttpRoundSink(url, retry_wait=0.01) as sink:
+                sink.metadata = trace.metadata
+                stream(sink, trace, 4)
+            assert sink.rounds_posted == 4
+
+        assert list_rtrc_dir(local) == list_rtrc_dir(remote)
+        a = concat_shards(read_rtrc_dir(local))
+        b = concat_shards(read_rtrc_dir(remote))
+        assert a.columns.users.names == b.columns.users.names
+        assert np.array_equal(a.columns.times, b.columns.times)
+        assert np.array_equal(a.columns.xyz, b.columns.xyz)
+
+    def test_nonretryable_4xx_raises_immediately(self, tmp_path, flaky_front):
+        server, url = flaky_front("http://127.0.0.1:9", ["400", "400", "400"])
+        sink = HttpRoundSink(url, retry_wait=0.01)
+        sink.append_snapshot(1.0, ["a"], [[0.0, 0.0, 0.0]])
+        with pytest.raises(ServiceRejectedRound, match="malformed round"):
+            sink.commit()
+        # One request only: a 400 does not become valid by retrying.
+        assert server.seen == ["400"]
+
+    def test_exhausted_transient_status_surfaces_server_verdict(
+        self, tmp_path, flaky_front
+    ):
+        server, url = flaky_front("http://127.0.0.1:9", ["503"] * 10)
+        sink = HttpRoundSink(url, retries=2, retry_wait=0.01)
+        sink.append_snapshot(1.0, ["a"], [[0.0, 0.0, 0.0]])
+        with pytest.raises(ServiceRejectedRound, match="momentarily gone"):
+            sink.commit()
+        assert server.seen == ["503"] * 3  # first attempt + 2 retries
+
+    def test_unreachable_endpoint_raises_service_unreachable(self):
+        # Bind-then-close guarantees a port nothing listens on.
+        probe = socket.socket()
+        probe.bind(("127.0.0.1", 0))
+        port = probe.getsockname()[1]
+        probe.close()
+        sink = HttpRoundSink(
+            f"http://127.0.0.1:{port}/v1/crawl", retries=2, retry_wait=0.01
+        )
+        sink.append_snapshot(1.0, ["a"], [[0.0, 0.0, 0.0]])
+        with pytest.raises(ServiceUnreachable) as err:
+            sink.commit()
+        assert err.value.attempts == 3

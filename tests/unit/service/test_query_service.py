@@ -26,7 +26,7 @@ import numpy as np
 import pytest
 
 from repro.core import TraceAnalyzer, losgraph
-from repro.service import QueryService
+from repro.service import QueryService, etag_matches
 from repro.service.encoding import (
     contacts_payload,
     encode,
@@ -239,6 +239,43 @@ class TestEtag:
             assert headers["ETag"] != first
             assert json.loads(body)["count"] == 0
         appender.close()
+
+    def test_if_none_match_handles_rfc7232_forms(self, store):
+        # Caches send everything they hold: comma-separated lists,
+        # weak-comparison prefixes, and the bare wildcard all must
+        # still short-circuit to 304 when the current tag is present.
+        with QueryService({"crawl": store}) as service:
+            host, port = service.start()
+            url = f"http://{host}:{port}/v1/crawl/contacts?r={R:g}"
+            _, headers, _ = fetch(url)
+            etag = headers["ETag"]
+            for header in (
+                f'"stale-1", {etag}, "stale-2"',
+                f"W/{etag}",
+                f'W/"stale", W/{etag}',
+                "*",
+            ):
+                status, _, body = fetch(url, etag=header)
+                assert (status, body) == (304, b""), header
+            # A list without the current tag misses: full 200 replay.
+            status, _, body = fetch(url, etag='"stale-1", W/"stale-2"')
+            assert status == 200
+            assert body
+
+    def test_etag_matches_comparison_table(self):
+        cases = [
+            ('"g0-3"', '"g0-3"', True),
+            ('W/"g0-3"', '"g0-3"', True),
+            ('"g0-2", "g0-3"', '"g0-3"', True),
+            ('W/"g0-2",W/"g0-3"', '"g0-3"', True),
+            ("*", '"anything"', True),
+            ('"g0-2"', '"g0-3"', False),
+            ("", '"g0-3"', False),
+            (",", '"g0-3"', False),
+            ('"g0-3"', 'W/"g0-3"', True),
+        ]
+        for header, current, expected in cases:
+            assert etag_matches(header, current) is expected, (header, current)
 
     def test_status_document_carries_etag(self, store, trace):
         with QueryService({"crawl": store}) as service:

@@ -14,9 +14,11 @@ import pytest
 
 from repro.trace import (
     RtrcDirAppender,
+    StoreChangedError,
     Trace,
     TraceFormatError,
     TraceMetadata,
+    compact_shard_dir,
     concat_shards,
     list_rtrc_dir,
     read_rtrc_dir,
@@ -129,6 +131,43 @@ class TestValidation:
         with pytest.raises(ValueError, match="closed"):
             appender.append_snapshot(0.0, ["a"], [[0.0, 0.0, 0.0]])
         appender.close()  # idempotent
+
+    def test_commit_after_concurrent_compaction_raises(self, tmp_path):
+        # A compaction (or any history rewrite) under a live appender
+        # breaks the append-only contract; the commit must raise the
+        # typed error instead of publishing a manifest that resurrects
+        # the pre-compaction files.
+        root = tmp_path / "raced"
+        appender = RtrcDirAppender(root)
+        appender.append_snapshot(0.0, ["a"], [[0.0, 0.0, 0.0]])
+        appender.commit()
+        appender.append_snapshot(10.0, ["a"], [[1.0, 0.0, 0.0]])
+        appender.commit()
+        compact_shard_dir(root, 1)
+        appender.append_snapshot(20.0, ["a"], [[2.0, 0.0, 0.0]])
+        with pytest.raises(StoreChangedError, match="compacted"):
+            appender.commit()
+        # The failed commit left no partial round file behind: the
+        # directory is exactly the compacted store.
+        manifest = read_shard_manifest(root)
+        on_disk = sorted(p.name for p in root.iterdir() if p.suffix == ".rtrc")
+        assert on_disk == manifest["files"]
+        loaded = concat_shards(read_rtrc_dir(root))
+        assert loaded.columns.snapshot_count == 2
+        # close() flushes through commit, so it surfaces the same
+        # conflict instead of silently dropping the pending round.
+        with pytest.raises(StoreChangedError, match="compacted"):
+            appender.close()
+
+    def test_commit_after_manifest_deletion_raises(self, tmp_path):
+        root = tmp_path / "vanished"
+        appender = RtrcDirAppender(root)
+        appender.append_snapshot(0.0, ["a"], [[0.0, 0.0, 0.0]])
+        appender.commit()
+        (root / "manifest.json").unlink()
+        appender.append_snapshot(10.0, ["a"], [[1.0, 0.0, 0.0]])
+        with pytest.raises(StoreChangedError, match="manifest"):
+            appender.commit()
 
 
 class TestReopen:
