@@ -124,6 +124,23 @@ def bench_append_ingest() -> dict:
     }
 
 
+def bench_streaming_compaction() -> dict:
+    """Bounded-memory streaming compaction vs the materializing oracle."""
+    from bench_streaming_compaction import _trace, measure
+
+    with tempfile.TemporaryDirectory() as tmp:
+        row = measure(_trace(1600, 50), Path(tmp))
+    return {
+        "metrics": {"materialized_over_streaming_peak": row["peak_ratio"]},
+        "timings": {
+            "streaming_s": row["streaming_s"],
+            "materialized_s": row["materialized_s"],
+            "streaming_peak_b": row["streaming_peak_b"],
+            "materialized_peak_b": row["materialized_peak_b"],
+        },
+    }
+
+
 def bench_live_shard_dir() -> dict:
     """Parallel live shard-dir catch-up vs the serial live analyzer."""
     from bench_live_shard_dir import grow_shard_dir, measure
@@ -186,6 +203,7 @@ BENCHES = {
     "extraction_kernels": bench_extraction_kernels,
     "multirange": bench_multirange,
     "append_ingest": bench_append_ingest,
+    "streaming_compaction": bench_streaming_compaction,
     "live_shard_dir": bench_live_shard_dir,
     "network_backend": bench_network_backend,
     "query_service": bench_query_service,

@@ -67,12 +67,18 @@ from repro.lands import paper_presets
 from repro.monitors import Crawler, SensorNetwork, stream_monitors
 from repro.service import DEFAULT_INGEST_BODY_LIMIT, DEFAULT_INGEST_BUDGET
 from repro.trace import (
+    CompactionPolicy,
     RtrcAppender,
     RtrcDirAppender,
+    StoreInUseError,
     TraceFormatError,
     compact_rtrc_store,
     compact_shard_dir,
+    list_rtrc_dir,
     read_trace,
+    retain_shard_dir,
+    shard_dir_slack,
+    tier_shard_dir,
     trace_format,
     validate_trace,
     write_trace,
@@ -202,16 +208,36 @@ def _cmd_crawl(args: argparse.Namespace) -> int:
             file=sys.stderr,
         )
         return 2
+    policy = None
+    if args.compact_every is not None:
+        if not to_dir:
+            print(
+                "--compact-every folds committed round files and needs a "
+                f"shard-directory --out; got the single file {out}",
+                file=sys.stderr,
+            )
+            return 2
+        if args.compact_every < 1:
+            print(
+                f"--compact-every must be >= 1, got {args.compact_every}",
+                file=sys.stderr,
+            )
+            return 2
+        policy = CompactionPolicy(max_round_files=args.compact_every)
     land_name, world = _build_world(args)
     ranges = args.range or [BLUETOOTH_RANGE]
     print(
         f"crawling {land_name!r} for {args.hours:.2f} h "
         f"(tau={args.tau:g}s, seed={args.seed}, "
         f"round={args.round_minutes:g} min, streaming to {out}"
-        f"{' [shard dir, one file per round]' if to_dir else ''})...",
+        f"{' [shard dir, one file per round]' if to_dir else ''}"
+        f"{f' [auto-compacting past {args.compact_every} files]' if policy else ''}"
+        ")...",
         file=sys.stderr,
     )
-    with (RtrcDirAppender(out) if to_dir else RtrcAppender(out)) as appender:
+    with (
+        RtrcDirAppender(out, policy=policy) if to_dir else RtrcAppender(out)
+    ) as appender:
         crawler = Crawler(tau=args.tau, mimic=not args.naive, sink=appender)
         live = LiveAnalyzer(out) if args.follow else None
         try:
@@ -223,7 +249,19 @@ def _cmd_crawl(args: argparse.Namespace) -> int:
                 # round observed is now visible to concurrent readers.
                 appender.commit()
                 if live is not None:
-                    live.refresh()
+                    try:
+                        live.refresh()
+                    except StoreChangedError:
+                        # The appender's own auto-compaction rewrote the
+                        # committed history; the follower degrades
+                        # gracefully by re-opening over the compacted
+                        # directory (same data, new generation).
+                        live.close()
+                        live = _open_live(out)
+                        print(
+                            "follower re-opened after auto-compaction",
+                            file=sys.stderr,
+                        )
                     print(_live_status(live, ranges, now), file=sys.stderr)
                 else:
                     print(
@@ -259,47 +297,78 @@ def _network_options(args: argparse.Namespace):
     return options
 
 
+# Consecutive polls that may hit StoreChangedError (each answered by a
+# follower re-open) before `analyze --follow` gives up.  A one-shot
+# compaction recovers on the first re-open; a store rewritten on every
+# poll can never converge.
+_FOLLOW_REOPEN_LIMIT = 3
+
+
 def _follow_analyze(args: argparse.Namespace, network=None) -> int:
-    """Tail a growing store: report after every observed commit."""
+    """Tail a growing store: report after every observed commit.
+
+    A :class:`~repro.trace.StoreChangedError` mid-follow means a
+    compaction (or retention pass) rewrote the committed history under
+    this follower.  The store is still valid — only the follower's
+    incremental state is stale — so the follower re-opens over the new
+    generation and keeps tailing, the same degradation ``slmob serve``
+    applies.  Re-computation of the rewritten history counts as
+    growth, so the idle countdown restarts.  If the store keeps
+    changing on every consecutive poll, re-opening cannot converge;
+    the follower then fails with guidance instead of spinning.
+    """
     ranges = args.range or [BLUETOOTH_RANGE, WIFI_RANGE]
     idle = 0
+    churn = 0
     backend = args.backend or "serial"
+    live = _open_live(args.trace, backend, network)
     try:
-        with _open_live(args.trace, backend, network) as live:
-            if backend == "network":
+        if backend == "network":
+            print(
+                f"network coordinator at {live.network_url()} "
+                "(attach workers with: slmob worker <url>)",
+                file=sys.stderr,
+            )
+        if live.snapshot_count:
+            print(_live_status(live, ranges, None))
+        while idle < args.idle_rounds:
+            time.sleep(args.poll)
+            try:
+                grown = _refresh_live(live)
+            except StoreChangedError as exc:
+                churn += 1
+                if churn >= _FOLLOW_REOPEN_LIMIT:
+                    print(
+                        f"store changed under the follower: {exc}\n"
+                        "compact only between followers — stop this "
+                        "follower before running 'slmob compact', or serve "
+                        "the store through 'slmob serve' (the service "
+                        "re-opens its follower after a compaction)",
+                        file=sys.stderr,
+                    )
+                    return 2
+                live.close()
+                live = _open_live(args.trace, backend, network)
                 print(
-                    f"network coordinator at {live.network_url()} "
-                    "(attach workers with: slmob worker <url>)",
+                    "store was compacted under the follower; re-opened over "
+                    "the new generation",
                     file=sys.stderr,
                 )
-            if live.snapshot_count:
+                grown = live.snapshot_count
+            else:
+                churn = 0
+            if grown:
+                idle = 0
                 print(_live_status(live, ranges, None))
-            while idle < args.idle_rounds:
-                time.sleep(args.poll)
-                if _refresh_live(live):
-                    idle = 0
-                    print(_live_status(live, ranges, None))
-                else:
-                    idle += 1
-            print(
-                f"no growth after {args.idle_rounds} polls of {args.poll:g}s; "
-                f"final state: {live.snapshot_count} snapshots, "
-                f"{live.part_count} append rounds observed"
-            )
-    except StoreChangedError as exc:
-        # A concurrent compaction (or other history rewrite) broke the
-        # follower's append-only contract mid-follow.  The store is
-        # still valid — only this follower's incremental state is
-        # stale — so fail with guidance, not a traceback.
+            else:
+                idle += 1
         print(
-            f"store changed under the follower: {exc}\n"
-            "compact only between followers — stop this follower before "
-            "running 'slmob compact', or serve the store through "
-            "'slmob serve' (the service re-opens its follower after a "
-            "compaction)",
-            file=sys.stderr,
+            f"no growth after {args.idle_rounds} polls of {args.poll:g}s; "
+            f"final state: {live.snapshot_count} snapshots, "
+            f"{live.part_count} append rounds observed"
         )
-        return 2
+    finally:
+        live.close()
     return 0
 
 
@@ -334,21 +403,20 @@ def _cmd_compact(args: argparse.Namespace) -> int:
         print(f"{target}: no such store or shard directory", file=sys.stderr)
         return 2
     if target.is_dir():
-        before = sum(
-            p.stat().st_size for p in target.iterdir() if p.is_file()
-        )
-        try:
-            paths = compact_shard_dir(target, args.shards, gzip_shards=args.gzip)
-        except TraceFormatError as exc:
-            print(f"cannot compact shard directory: {exc}", file=sys.stderr)
+        return _compact_dir(args, target)
+    for flag, name in (
+        (args.retain, "--retain"),
+        (args.tier_after, "--tier-after"),
+        (args.max_round_files, "--max-round-files"),
+        (args.max_slack, "--max-slack"),
+    ):
+        if flag is not None:
+            print(
+                f"{name} applies to shard directories; {target} is a "
+                "single-file store",
+                file=sys.stderr,
+            )
             return 2
-        after = sum(p.stat().st_size for p in target.iterdir() if p.is_file())
-        print(
-            f"compacted {target} into {len(paths)} shard file(s) "
-            f"({before} -> {after} bytes)",
-            file=sys.stderr,
-        )
-        return 0
     if trace_format(target) != "rtrc" or target.suffix == ".gz":
         print(
             f"compact works on plain .rtrc stores and shard directories; "
@@ -356,11 +424,92 @@ def _cmd_compact(args: argparse.Namespace) -> int:
             file=sys.stderr,
         )
         return 2
-    path, reclaimed = compact_rtrc_store(target)
+    try:
+        path, reclaimed = compact_rtrc_store(target)
+    except StoreInUseError as exc:
+        print(f"cannot compact: {exc}", file=sys.stderr)
+        return 2
     print(
         f"compacted {path}: reclaimed {reclaimed} bytes of append slack",
         file=sys.stderr,
     )
+    return 0
+
+
+def _compact_dir(args: argparse.Namespace, target: Path) -> int:
+    """The shard-directory lifecycle passes behind ``slmob compact``.
+
+    Runs retention, then the (possibly threshold-gated) streaming
+    compaction, then tiering — the same order
+    :meth:`~repro.trace.RtrcDirAppender.maybe_compact` uses.  With no
+    threshold flags the compaction is unconditional (the historical
+    behavior); with ``--max-round-files`` / ``--max-slack`` it runs
+    only when due, so a cron line can invoke this idempotently.  With
+    only ``--retain`` / ``--tier-after``, compaction is skipped
+    entirely.
+    """
+    before = sum(p.stat().st_size for p in target.iterdir() if p.is_file())
+    gated = args.max_round_files is not None or args.max_slack is not None
+    aging_only = (
+        not gated and (args.retain is not None or args.tier_after is not None)
+    )
+    batch_kwargs: dict = {}
+    if args.materialize:
+        batch_kwargs["batch_snapshots"] = None
+    elif args.batch_snapshots is not None:
+        batch_kwargs["batch_snapshots"] = args.batch_snapshots
+    try:
+        if args.retain is not None:
+            dropped = retain_shard_dir(target, args.retain)
+            if dropped:
+                print(
+                    f"retention dropped {len(dropped)} shard file(s) older "
+                    f"than {args.retain:g}s",
+                    file=sys.stderr,
+                )
+        due = not aging_only
+        if gated:
+            files = list_rtrc_dir(target)
+            slack = (
+                shard_dir_slack(target) if args.max_slack is not None else 0.0
+            )
+            policy = CompactionPolicy(
+                max_round_files=args.max_round_files,
+                max_slack_fraction=args.max_slack,
+                target_shards=args.shards,
+            )
+            due = len(files) > args.shards and policy.compaction_due(
+                len(files), slack
+            )
+            if not due:
+                print(
+                    f"compaction not due: {len(files)} file(s), "
+                    f"slack {slack:.2f}",
+                    file=sys.stderr,
+                )
+        if due:
+            paths = compact_shard_dir(
+                target,
+                args.shards,
+                gzip_shards=args.gzip,
+                **batch_kwargs,
+            )
+            print(
+                f"compacted {target} into {len(paths)} shard file(s)",
+                file=sys.stderr,
+            )
+        if args.tier_after is not None:
+            tiered = tier_shard_dir(target, args.tier_after)
+            if tiered:
+                print(
+                    f"tiered {len(tiered)} cold shard file(s) to .gz",
+                    file=sys.stderr,
+                )
+    except (TraceFormatError, ValueError) as exc:
+        print(f"cannot compact shard directory: {exc}", file=sys.stderr)
+        return 2
+    after = sum(p.stat().st_size for p in target.iterdir() if p.is_file())
+    print(f"{target}: {before} -> {after} bytes", file=sys.stderr)
     return 0
 
 
@@ -683,6 +832,11 @@ def build_parser() -> argparse.ArgumentParser:
     crawl.add_argument("--range", type=float, action="append",
                        help="communication range(s) for --follow status "
                             "lines (repeatable; default bluetooth 10 m)")
+    crawl.add_argument("--compact-every", type=int, default=None,
+                       help="auto-compact the shard directory whenever it "
+                            "exceeds this many committed round files "
+                            "(streaming, bounded-memory; shard-dir --out "
+                            "only; followers re-open on the generation bump)")
     crawl.set_defaults(func=_cmd_crawl)
 
     convert = sub.add_parser(
@@ -816,6 +970,29 @@ def build_parser() -> argparse.ArgumentParser:
     compact.add_argument("--gzip", action="store_true",
                          help="write compacted directory shards as .rtrc.gz "
                               "(not memmappable; ignored for single files)")
+    compact.add_argument("--max-round-files", type=int, default=None,
+                         help="only compact a directory holding more than "
+                              "this many files (makes the command an "
+                              "idempotent cron line)")
+    compact.add_argument("--max-slack", type=float, default=None,
+                         help="only compact a directory whose non-payload "
+                              "byte fraction exceeds this (0..1)")
+    compact.add_argument("--batch-snapshots", type=int,
+                         default=None,
+                         help="snapshots per streaming-compaction batch "
+                              "(bounds peak memory; default 4096)")
+    compact.add_argument("--materialize", action="store_true",
+                         help="use the legacy whole-store in-RAM rewrite "
+                              "instead of the streaming compactor")
+    compact.add_argument("--retain", type=float, default=None, metavar="SECONDS",
+                         help="before compacting, drop shard files whose "
+                              "entire time range is older than this many "
+                              "trace-time seconds (relative to the newest "
+                              "snapshot)")
+    compact.add_argument("--tier-after", type=float, default=None, metavar="SECONDS",
+                         help="after compacting, gzip shard files whose time "
+                              "range ended more than this many trace-time "
+                              "seconds before the newest snapshot")
     compact.set_defaults(func=_cmd_compact)
 
     validate = sub.add_parser("validate", help="run trace sanity checks")

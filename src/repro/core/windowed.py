@@ -40,7 +40,15 @@ from repro.core.parallel import (
     PartScheduler,
 )
 from repro.core.sharded import BoundaryMergeAnalyzer
-from repro.trace import Trace, TraceMetadata, read_store_rtrc
+from repro.trace import (
+    Trace,
+    TraceFormatError,
+    TraceMetadata,
+    concat_shards,
+    list_rtrc_dir,
+    read_store_rtrc,
+    read_trace_rtrc,
+)
 
 
 class WindowedAnalyzer(BoundaryMergeAnalyzer):
@@ -49,8 +57,20 @@ class WindowedAnalyzer(BoundaryMergeAnalyzer):
     Parameters
     ----------
     path:
-        An ``.rtrc`` file (plain, non-empty).  It is memory-mapped,
-        so construction costs a header parse, not a load.
+        An ``.rtrc`` file (plain, non-empty) — memory-mapped, so
+        construction costs a header parse, not a load — or a **shard
+        directory** written by :class:`~repro.trace.RtrcDirAppender`
+        / :func:`~repro.trace.to_rtrc_dir`.  A directory's committed
+        round files are analyzed *in place* as the window parts:
+        consecutive files whose first snapshot falls in the same
+        window are grouped into one part, nothing is re-materialized
+        into a tempdir, and single-file parts are handed to the
+        process/network backends as the files they already are.  Part
+        boundaries then follow the committed round boundaries rather
+        than cutting mid-file (a file that spills past its window's
+        end stays with its part) — the boundary merges make the
+        answers exact for any contiguous split, so this changes
+        scheduling granularity, never results.
     window:
         Window width in seconds of trace time.  Windows are aligned
         to the first snapshot: window ``i`` covers
@@ -114,32 +134,106 @@ class WindowedAnalyzer(BoundaryMergeAnalyzer):
         self.window = float(window)
         self.backend = backend
         self._label = str(self.path)
-        store, metadata = read_store_rtrc(self.path, mmap=mmap)
-        if store.snapshot_count == 0:
-            raise ValueError("cannot analyze an empty trace")
-        self._store = store
-        self.metadata: TraceMetadata = metadata
-        times = store.times
-        t0 = float(times[0])
-        span = float(times[-1]) - t0
-        self._window_total = int(math.floor(span / self.window)) + 1
-        # Assign each snapshot its window index and cut edges at the
-        # index changes — O(S) however narrow the window, where
-        # enumerating every window boundary would be O(span / width)
-        # (a month-long trace at window=1e-3 s is billions of mostly
-        # empty windows).  Empty windows never make an edge, which is
-        # exactly what iter_windows / the boundary merges want.
-        indices = np.floor((np.asarray(times) - t0) / self.window).astype(np.int64)
-        run_starts = np.flatnonzero(np.diff(indices)) + 1
-        self._edges = np.concatenate(
-            ([0], run_starts, [store.snapshot_count])
-        ).astype(np.int64)
+        self._mmap = bool(mmap)
+        self._store = None
+        self._part_files: list[list[Path]] = []
+        self._part_meta: list[tuple[float, int]] = []
+        self._dir_names: list[str] = []
+        self._snapshots = 0
+        self._is_dir = self.path.is_dir()
+        if self._is_dir:
+            parts = self._init_dir()
+        else:
+            store, metadata = read_store_rtrc(self.path, mmap=mmap)
+            if store.snapshot_count == 0:
+                raise ValueError("cannot analyze an empty trace")
+            self._store = store
+            self.metadata: TraceMetadata = metadata
+            times = store.times
+            t0 = float(times[0])
+            span = float(times[-1]) - t0
+            self._window_total = int(math.floor(span / self.window)) + 1
+            # Assign each snapshot its window index and cut edges at the
+            # index changes — O(S) however narrow the window, where
+            # enumerating every window boundary would be O(span / width)
+            # (a month-long trace at window=1e-3 s is billions of mostly
+            # empty windows).  Empty windows never make an edge, which is
+            # exactly what iter_windows / the boundary merges want.
+            indices = np.floor((np.asarray(times) - t0) / self.window).astype(
+                np.int64
+            )
+            run_starts = np.flatnonzero(np.diff(indices)) + 1
+            self._edges = np.concatenate(
+                ([0], run_starts, [store.snapshot_count])
+            ).astype(np.int64)
+            parts = len(self._edges) - 1
         self._scheduler = PartScheduler(
             backend,
-            max_workers or min(len(self._edges) - 1, os.cpu_count() or 1),
+            max_workers or min(parts, os.cpu_count() or 1),
             file_prefix="window",
             network=network,
         )
+
+    def _init_dir(self) -> int:
+        """Group the directory's committed round files into window parts.
+
+        Mirrors :class:`~repro.core.live.LiveAnalyzer`'s shard-dir
+        handling: every file is opened once (a header parse), the
+        ordering invariant is checked, and for the process/network
+        backends — which decode worker payloads with one global name
+        table — each file's user table must extend its predecessors'
+        (true for everything this package writes; foreign directories
+        with independent interners must use serial/thread).  Empty
+        round files contribute no snapshots and join no part.
+        """
+        metadata: TraceMetadata | None = None
+        t0: float | None = None
+        last_time = float("-inf")
+        current_window = -1
+        for name in list_rtrc_dir(self.path):
+            trace = read_trace_rtrc(self.path / name, mmap=self._mmap)
+            if metadata is None:
+                metadata = trace.metadata
+            names = trace.columns.users.names
+            if (
+                self.backend in ("process", "network")
+                and names[: len(self._dir_names)] != self._dir_names
+            ):
+                raise ValueError(
+                    f"{self.path}: shard file {name!r} does not extend the "
+                    f"previous files' user table; backend={self.backend!r} "
+                    "needs prefix-consistent interners (use "
+                    "backend='serial' for foreign shard directories)"
+                )
+            if len(names) >= len(self._dir_names):
+                self._dir_names = list(names)
+            if not len(trace):
+                continue
+            first = float(trace.columns.times[0])
+            if first <= last_time:
+                raise TraceFormatError(
+                    f"{self.path}: shard file {name!r} is not strictly "
+                    "after its predecessors; the directory is not a "
+                    "time-ordered shard dir"
+                )
+            last_time = float(trace.columns.times[-1])
+            self._snapshots += len(trace)
+            if t0 is None:
+                t0 = first
+            index = int(math.floor((first - t0) / self.window))
+            if index == current_window and self._part_files:
+                self._part_files[-1].append(self.path / name)
+                start, count = self._part_meta[-1]
+                self._part_meta[-1] = (start, count + len(trace))
+            else:
+                current_window = index
+                self._part_files.append([self.path / name])
+                self._part_meta.append((first, len(trace)))
+        if t0 is None:
+            raise ValueError("cannot analyze an empty trace")
+        self.metadata = metadata
+        self._window_total = int(math.floor((last_time - t0) / self.window)) + 1
+        return len(self._part_files)
 
     # -- lifecycle ---------------------------------------------------------
 
@@ -163,6 +257,9 @@ class WindowedAnalyzer(BoundaryMergeAnalyzer):
     @property
     def snapshot_count(self) -> int:
         """Snapshots in the underlying store."""
+        if self._is_dir:
+            self._check_open()
+            return self._snapshots
         return self._open_store().snapshot_count
 
     @property
@@ -170,13 +267,48 @@ class WindowedAnalyzer(BoundaryMergeAnalyzer):
         """Number of fixed-width windows covering the trace (incl. empty)."""
         return self._window_total
 
+    @property
+    def is_shard_dir(self) -> bool:
+        """Whether the analyzed store is a shard directory."""
+        return self._is_dir
+
+    @property
+    def part_count(self) -> int:
+        """Non-empty window parts the analyses fan over."""
+        return len(self._part_files) if self._is_dir else len(self._edges) - 1
+
     # -- iteration ---------------------------------------------------------
 
     def _window_trace(self, index: int) -> Trace:
-        """Non-empty window ``index`` as a zero-copy trace view."""
+        """Non-empty window ``index`` as a (usually zero-copy) trace view.
+
+        Shard-dir parts re-open their round files on demand — a header
+        parse each, not a load — so a long directory costs one fd per
+        *in-flight* part rather than one per committed round.
+        """
+        if self._is_dir:
+            self._check_open()
+            members = self._part_files[index]
+            if len(members) == 1:
+                return read_trace_rtrc(members[0], mmap=self._mmap)
+            return concat_shards(
+                [read_trace_rtrc(path, mmap=self._mmap) for path in members]
+            )
         store = self._open_store()
         lo, hi = int(self._edges[index]), int(self._edges[index + 1])
         return Trace.from_columns(store.slice_snapshots(lo, hi), self.metadata)
+
+    def _window_file(self, index: int) -> Path | None:
+        """The on-disk file already holding part ``index``, if any.
+
+        A single-file shard-dir part *is* its committed round file, so
+        the process and network backends memmap it where it lies; a
+        multi-file part (several rounds in one window) or a view into
+        one big store is materialized by the scheduler as usual.
+        """
+        if self._is_dir and len(self._part_files[index]) == 1:
+            return self._part_files[index][0]
+        return None
 
     def iter_windows(self) -> Iterator[Trace]:
         """Yield each non-empty window as a zero-copy trace view.
@@ -186,7 +318,7 @@ class WindowedAnalyzer(BoundaryMergeAnalyzer):
         about the non-empty sequence (exactly like the sharded
         analyzer drops empty shards).
         """
-        for index in range(len(self._edges) - 1):
+        for index in range(self.part_count):
             yield self._window_trace(index)
 
     # -- execution ---------------------------------------------------------
@@ -203,28 +335,49 @@ class WindowedAnalyzer(BoundaryMergeAnalyzer):
             kind,
             list(enumerate(params_per_part)),
             part_trace=self._window_trace,
-            names=lambda: self._open_store().users.names,
+            part_path=self._window_file if self._is_dir else None,
+            names=self._names,
             wrap_error=self._window_error,
         )
 
+    def _names(self) -> Sequence[str]:
+        if self._is_dir:
+            # Round k's table is a prefix of round k+1's (validated in
+            # _init_dir for the backends that decode with one table),
+            # so the longest table decodes every part's ids.
+            return self._dir_names
+        return self._open_store().users.names
+
     def _window_error(self, index: int, kind: str, exc: Exception):
-        lo, hi = int(self._edges[index]), int(self._edges[index + 1])
-        store = self._store
         detail = ""
-        if store is not None:
+        if self._is_dir:
+            try:
+                trace = self._window_trace(index)
+                detail = (
+                    f" covering t=[{trace.start_time:g}, {trace.end_time:g}]"
+                    f" ({len(trace)} snapshots)"
+                )
+            except (OSError, TraceFormatError):
+                pass
+        elif self._store is not None:
+            lo, hi = int(self._edges[index]), int(self._edges[index + 1])
             detail = (
-                f" covering t=[{float(store.times[lo]):g}, "
-                f"{float(store.times[hi - 1]):g}] ({hi - lo} snapshots)"
+                f" covering t=[{float(self._store.times[lo]):g}, "
+                f"{float(self._store.times[hi - 1]):g}] ({hi - lo} snapshots)"
             )
         return PartAnalysisError(
-            f"{kind} failed on window {index + 1}/{len(self._edges) - 1}"
+            f"{kind} failed on window {index + 1}/{self.part_count}"
             f"{detail}: {exc}"
         )
 
     # -- partition geometry ------------------------------------------------
 
     def _part_first_times(self) -> list[float]:
+        if self._is_dir:
+            return [start for start, _ in self._part_meta]
         return self._open_store().times[self._edges[:-1]].astype(float).tolist()
 
     def _part_lengths(self) -> list[int]:
+        if self._is_dir:
+            return [count for _, count in self._part_meta]
         return np.diff(self._edges).tolist()

@@ -20,8 +20,10 @@ from repro.trace.storage import (
     RtrcAppender,
     RtrcFormatError,
     StoreChangedError,
+    StoreInUseError,
     TraceFormatError,
     compact_rtrc_store,
+    read_rtrc_header,
     read_store_rtrc,
     read_trace_rtrc,
     write_store_rtrc,
@@ -37,6 +39,7 @@ from repro.trace.io import (
     write_trace_jsonl,
 )
 from repro.trace.sharding import (
+    CompactionPolicy,
     RtrcDirAppender,
     compact_shard_dir,
     concat_shards,
@@ -44,9 +47,12 @@ from repro.trace.sharding import (
     list_rtrc_dir,
     read_rtrc_dir,
     read_shard_manifest,
+    retain_shard_dir,
     shard_dir_generation,
+    shard_dir_slack,
     shard_edges,
     split_time_shards,
+    tier_shard_dir,
     to_rtrc_dir,
 )
 from repro.trace.sessions import (
@@ -76,8 +82,10 @@ __all__ = [
     "RtrcAppender",
     "RtrcFormatError",
     "StoreChangedError",
+    "StoreInUseError",
     "TraceFormatError",
     "compact_rtrc_store",
+    "read_rtrc_header",
     "read_store_rtrc",
     "read_trace_rtrc",
     "write_store_rtrc",
@@ -89,6 +97,7 @@ __all__ = [
     "write_trace",
     "write_trace_csv",
     "write_trace_jsonl",
+    "CompactionPolicy",
     "RtrcDirAppender",
     "compact_shard_dir",
     "concat_shards",
@@ -96,9 +105,12 @@ __all__ = [
     "list_rtrc_dir",
     "read_rtrc_dir",
     "read_shard_manifest",
+    "retain_shard_dir",
     "shard_dir_generation",
+    "shard_dir_slack",
     "shard_edges",
     "split_time_shards",
+    "tier_shard_dir",
     "to_rtrc_dir",
     "SessionSet",
     "UserSession",

@@ -14,8 +14,11 @@ fans work over; the split/concat pair round-trips exactly::
 
 from __future__ import annotations
 
+import gzip
 import json
 import os
+import shutil
+from dataclasses import dataclass
 from pathlib import Path
 from typing import Sequence
 
@@ -23,9 +26,17 @@ import numpy as np
 
 from repro.trace.columnar import ColumnarStore, UserInterner, empty_store
 from repro.trace.storage import (
+    MAGIC,
+    VERSION,
     StoreChangedError,
     TraceFormatError,
+    _align,
+    _is_gzip,
+    _METADATA_FIELDS,
+    _PREAMBLE,
+    _SECTION_DTYPES,
     _tempfile_for,
+    read_rtrc_header,
     read_store_rtrc,
     read_trace_rtrc,
     write_store_rtrc,
@@ -385,6 +396,12 @@ class RtrcDirAppender:
         crash (the same knob :class:`~repro.trace.RtrcAppender`
         offers).  Off by default: the crawl loop favours throughput,
         and a torn commit is recovered on reopen either way.
+    policy:
+        Optional :class:`CompactionPolicy`.  When set, every commit is
+        followed by :meth:`maybe_compact`: retention, streaming
+        compaction and tiering run as their thresholds come due, and
+        the appender re-adopts each swapped manifest so the crawl just
+        keeps going — followers see the generation bump and re-open.
 
     Usage mirrors :class:`~repro.trace.RtrcAppender` — it is a drop-in
     monitor sink::
@@ -407,10 +424,13 @@ class RtrcDirAppender:
         metadata: TraceMetadata | None = None,
         *,
         fsync: bool = False,
+        policy: "CompactionPolicy | None" = None,
     ) -> None:
         self.directory = Path(directory)
         self.directory.mkdir(parents=True, exist_ok=True)
         self._fsync = bool(fsync)
+        #: Lifecycle policy run after every commit (assignable; None = manual).
+        self.policy = policy
         self._users = UserInterner()
         self._metadata = metadata if metadata is not None else TraceMetadata()
         self._files: list[str] = []
@@ -429,6 +449,13 @@ class RtrcDirAppender:
         self._pending_xyz: list[np.ndarray] = []
         self._pending_rows = 0
         self._adopt_existing(metadata)
+        # Round files are named past the highest index on disk, not by
+        # file count: after retention drops a prefix the count shrinks
+        # while the high indices survive, and a count-based name would
+        # silently overwrite a committed round.
+        self._next_index = (
+            max((_shard_index(name) for name in self._files), default=-1) + 1
+        )
         if read_shard_manifest(self.directory) is None:
             # A fresh directory becomes self-describing immediately:
             # an empty manifest distinguishes "no rounds committed
@@ -634,7 +661,7 @@ class RtrcDirAppender:
             else np.empty((0, 3), dtype=np.float64)
         )
         store = ColumnarStore(times, offsets, user_ids, xyz, self._users)
-        name = f"shard-{len(self._files):05d}.rtrc"
+        name = f"shard-{self._next_index:05d}.rtrc"
         path = write_store_rtrc(store, self._metadata, self.directory / name)
         if self._fsync:
             # The round file's blocks (same inode across the rename)
@@ -661,11 +688,18 @@ class RtrcDirAppender:
         self._committed_s += count
         self._committed_n += self._pending_rows
         self._last_time = float(times[-1])
+        self._next_index += 1
         self._pending_times = []
         self._pending_ids = []
         self._pending_xyz = []
         self._pending_rows = 0
         self._write_manifest()
+        if self.policy is not None:
+            # The policy may fold the just-committed round into a
+            # compacted shard: the returned path is the round file as
+            # committed, but it can already be unlinked (its data lives
+            # on in the generation-tagged shard).
+            self.maybe_compact()
         return path
 
     def _check_not_superseded(self) -> None:
@@ -706,14 +740,411 @@ class RtrcDirAppender:
             fsync=self._fsync,
         )
 
+    # -- lifecycle policy ----------------------------------------------------
 
-# -- compaction --------------------------------------------------------------
+    def maybe_compact(self, policy: "CompactionPolicy | None" = None) -> bool:
+        """Run the due lifecycle passes; ``True`` when anything changed.
+
+        Checks ``policy`` (defaulting to the appender's own) and runs,
+        in order: retention, the streaming compaction, tiering —
+        re-adopting the swapped manifest after each pass so this
+        appender's next commit sees its own lifecycle work rather
+        than tripping :class:`~repro.trace.StoreChangedError`.
+        Called automatically after every :meth:`commit` when the
+        appender was constructed with a policy; callable manually
+        between commits otherwise.  Refuses to run with snapshots
+        pending — lifecycle passes rewrite committed state only.
+        """
+        self._require_open()
+        policy = policy if policy is not None else self.policy
+        if policy is None:
+            raise ValueError(
+                f"{self.directory}: no CompactionPolicy configured; pass one "
+                "to maybe_compact() or to the appender"
+            )
+        if self._pending_times:
+            raise ValueError(
+                f"{self.directory}: {len(self._pending_times)} pending "
+                "snapshot(s); commit the round before running the lifecycle"
+            )
+        changed = False
+        if policy.retain_for is not None and self._files:
+            if retain_shard_dir(self.directory, policy.retain_for):
+                self._readopt()
+                changed = True
+        # A directory already at (or under) the target shard count
+        # cannot be improved by compacting — and small stores carry an
+        # irreducible header fraction, so re-checking slack there would
+        # rewrite the same file after every commit, forever.
+        if len(self._files) > policy.target_shards:
+            slack = (
+                shard_dir_slack(self.directory)
+                if policy.max_slack_fraction is not None
+                else 0.0
+            )
+            if policy.compaction_due(len(self._files), slack):
+                compact_shard_dir(
+                    self.directory,
+                    policy.target_shards,
+                    batch_snapshots=policy.batch_snapshots,
+                )
+                self._readopt()
+                changed = True
+        if policy.tier_after is not None and self._files:
+            if tier_shard_dir(self.directory, policy.tier_after):
+                self._readopt()
+                changed = True
+        return changed
+
+    def _readopt(self) -> None:
+        """Adopt the manifest a lifecycle pass just swapped in.
+
+        Rebuilds the cached file list, counts, ranges, generation and
+        naming cursor from disk.  The in-memory interner is left
+        untouched: compaction merges the per-file prefix tables into
+        exactly the cumulative table this appender already holds, and
+        retention only drops files whose users the survivors' tables
+        still cover, so future round files keep the prefix property.
+        """
+        manifest = read_shard_manifest(self.directory)
+        if manifest is None:
+            raise StoreChangedError(
+                f"{self.directory}: manifest.json disappeared under the "
+                "appender; re-open the appender to resume"
+            )
+        self._files = [str(name) for name in manifest["files"]]
+        self._generation = int(manifest.get("generation", 0))
+        self._counts = [int(c) for c in manifest.get("snapshot_counts", [])]
+        self._ranges = [
+            [float(r[0]), float(r[1])] if r else None
+            for r in manifest.get("time_ranges", [])
+        ]
+        self._committed_s = sum(self._counts)
+        self._committed_n = 0
+        self._last_time = float("-inf")
+        for name, rng in zip(self._files, self._ranges):
+            header = read_rtrc_header(self.directory / name)
+            self._committed_n += int(header["sections"]["user_ids"]["shape"][0])
+            if rng:
+                self._last_time = float(rng[1])
+        self._next_index = (
+            max((_shard_index(name) for name in self._files), default=-1) + 1
+        )
+
+
+# -- compaction and the storage lifecycle ------------------------------------
+
+#: Snapshots the streaming compactor copies per batch.  Peak memory is
+#: proportional to one batch's rows, never the store's.
+DEFAULT_COMPACT_BATCH_SNAPSHOTS = 4096
+
+
+def _lifecycle_checkpoint(event: str) -> None:
+    """Fault-injection seam of the lifecycle rewrites — a no-op here.
+
+    The streaming compactor, the tiering pass and the retention pass
+    call this at every point a crash could land: after each copied
+    batch, after each published file, immediately before and after the
+    manifest swap, and after the old-file cleanup.  The fault suite
+    (``tests/unit/trace/test_lifecycle_faults.py``) monkeypatches it
+    to raise at the N-th call for every N and asserts readers only
+    ever see the old or the new generation — never a torn mix.
+    """
+
+
+class _CompactSource:
+    """One input shard file of a streaming compaction.
+
+    Pass 1 records the cheap facts (shapes, name table, snapshot
+    offsets, time endpoints) and the per-file bases that place the
+    file in the global snapshot/row order.  Plain files stay open as
+    lazy memmaps; gzipped cold files are dropped after the scan and
+    re-inflated on demand one at a time, so the working set never
+    holds more than one decompressed cold file.
+    """
+
+    __slots__ = (
+        "path",
+        "snap_base",
+        "row_base",
+        "snapshot_count",
+        "row_count",
+        "names",
+        "offsets",
+        "mapping",
+        "metadata",
+        "first_time",
+        "last_time",
+        "_store",
+        "_keep",
+    )
+
+    def __init__(self, path: Path, snap_base: int, row_base: int) -> None:
+        self.path = Path(path)
+        store, self.metadata = read_store_rtrc(self.path, mmap=True)
+        self.snap_base = int(snap_base)
+        self.row_base = int(row_base)
+        self.snapshot_count = store.snapshot_count
+        self.row_count = store.observation_count
+        self.names = store.users.names
+        # A private copy: tiny (S + 1 ints), and it must not pin the
+        # decompressed buffer of a gzipped file after release().
+        self.offsets = np.array(store.snapshot_offsets, dtype=np.int64)
+        self.mapping: np.ndarray | None = None
+        if self.snapshot_count:
+            self.first_time = float(store.times[0])
+            self.last_time = float(store.times[-1])
+        else:
+            self.first_time = self.last_time = float("nan")
+        self._keep = not _is_gzip(self.path)
+        self._store = store if self._keep else None
+
+    def store(self) -> ColumnarStore:
+        if self._store is None:
+            self._store, _ = read_store_rtrc(self.path, mmap=True)
+        return self._store
+
+    def release(self) -> None:
+        """Drop a gzipped file's in-memory store; memmaps stay."""
+        if not self._keep:
+            self._store = None
+
+
+def _iter_file_spans(sources, lo: int, hi: int):
+    """``(source, local_a, local_b)`` spans covering global ``[lo, hi)``."""
+    for src in sources:
+        a = max(lo, src.snap_base) - src.snap_base
+        b = min(hi, src.snap_base + src.snapshot_count) - src.snap_base
+        if a < b:
+            yield src, int(a), int(b)
+
+
+def _global_rows(sources, pos: int) -> int:
+    """Observation rows preceding global snapshot boundary ``pos``."""
+    for src in sources:
+        if pos <= src.snap_base + src.snapshot_count:
+            return src.row_base + int(src.offsets[pos - src.snap_base])
+    last = sources[-1]
+    return last.row_base + last.row_count
+
+
+def _time_at(sources, pos: int) -> float:
+    """Snapshot time at global index ``pos``."""
+    for src in sources:
+        if src.snap_base <= pos < src.snap_base + src.snapshot_count:
+            value = float(src.store().times[pos - src.snap_base])
+            src.release()
+            return value
+    raise IndexError(f"snapshot {pos} beyond the shard directory")
+
+
+def _section_chunks(section: str, sources, lo: int, hi: int, row0: int, batch: int):
+    """Yield one output section's payload as bounded-size array chunks.
+
+    The concatenation of the yielded chunks' bytes equals the section
+    a materializing ``concat → split → write`` would have produced —
+    offsets rebased to the output shard, ids remapped through the
+    merged user table — while never holding more than ``batch``
+    snapshots' worth of rows.
+    """
+    if section == "snapshot_offsets":
+        yield np.zeros(1, dtype="<i8")
+    for src, a, b in _iter_file_spans(sources, lo, hi):
+        store = src.store()
+        for j in range(a, b, batch):
+            k = min(j + batch, b)
+            if section == "times":
+                yield np.ascontiguousarray(store.times[j:k], dtype="<f8")
+            elif section == "snapshot_offsets":
+                rebase = src.row_base - row0
+                yield np.ascontiguousarray(
+                    src.offsets[j + 1 : k + 1] + rebase, dtype="<i8"
+                )
+            elif section == "user_ids":
+                r0, r1 = int(src.offsets[j]), int(src.offsets[k])
+                ids = np.ascontiguousarray(store.user_ids[r0:r1], dtype="<i8")
+                if src.mapping is not None and len(ids):
+                    ids = src.mapping[ids]
+                yield np.ascontiguousarray(ids, dtype="<i8")
+            else:  # xyz
+                r0, r1 = int(src.offsets[j]), int(src.offsets[k])
+                yield np.ascontiguousarray(store.xyz[r0:r1], dtype="<f8")
+        src.release()
+
+
+def _write_streamed_shard(
+    target: Path,
+    sources,
+    lo: int,
+    hi: int,
+    row0: int,
+    rows: int,
+    target_names: Sequence[str],
+    metadata: TraceMetadata,
+    batch: int,
+    gzip_out: bool,
+) -> Path:
+    """Stream one compacted output shard, byte-identical to a one-shot write.
+
+    All output shapes are known from the pass-1 scan, so the preamble,
+    JSON header and section offsets are computed exactly as
+    ``write_store_rtrc`` would and the section payloads are then
+    copied through in snapshot batches — for plain files the result is
+    bit-for-bit what materializing the slice would have written (the
+    gzip container differs only in its embedded mtime).  Written to a
+    sibling temp file and renamed into place like every other
+    publication in this module.
+    """
+    s_count = int(hi - lo)
+    shapes = {
+        "times": [s_count],
+        "snapshot_offsets": [s_count + 1],
+        "user_ids": [int(rows)],
+        "xyz": [int(rows), 3],
+    }
+    sections: dict[str, dict[str, object]] = {}
+    cursor = 0
+    for name, dtype in _SECTION_DTYPES:
+        offset = _align(cursor)
+        nbytes = int(np.prod(shapes[name], dtype=np.int64)) * np.dtype(dtype).itemsize
+        sections[name] = {
+            "dtype": dtype,
+            "shape": shapes[name],
+            "offset": offset,
+            "nbytes": nbytes,
+        }
+        cursor = offset + nbytes
+    header = {
+        "metadata": {name: getattr(metadata, name) for name in _METADATA_FIELDS},
+        "users": list(target_names),
+        "sections": sections,
+    }
+    header_bytes = json.dumps(header, ensure_ascii=False).encode("utf-8")
+    data_start = _align(_PREAMBLE.size + len(header_bytes))
+    fd, tmp_name = _tempfile_for(target)
+    try:
+        with os.fdopen(fd, "wb") as raw:
+            handle = gzip.open(raw, "wb") if gzip_out else raw
+            try:
+                handle.write(_PREAMBLE.pack(MAGIC, VERSION, 0, len(header_bytes)))
+                handle.write(header_bytes)
+                handle.write(b"\0" * (data_start - _PREAMBLE.size - len(header_bytes)))
+                cursor = 0
+                for name, _ in _SECTION_DTYPES:
+                    offset = int(sections[name]["offset"])  # type: ignore[arg-type]
+                    handle.write(b"\0" * (offset - cursor))
+                    written = 0
+                    for chunk in _section_chunks(name, sources, lo, hi, row0, batch):
+                        payload = chunk.tobytes()
+                        handle.write(payload)
+                        written += len(payload)
+                        _lifecycle_checkpoint("compact:batch")
+                    cursor = offset + written
+            finally:
+                if gzip_out:
+                    handle.close()
+        os.replace(tmp_name, target)
+    except BaseException:
+        try:
+            os.unlink(tmp_name)
+        except OSError:
+            pass
+        raise
+    return target
+
+
+def _compact_streaming(
+    source: Path,
+    old_files: Sequence[str],
+    shards: int,
+    gzip_shards: bool,
+    generation: int,
+    batch: int,
+) -> tuple[list[str], list[int], list[list[float] | None], list[Path]]:
+    """The bounded-memory compaction body: scan, merge tables, stream."""
+    sources: list[_CompactSource] = []
+    snap_base = row_base = 0
+    last_time = float("-inf")
+    for name in old_files:
+        try:
+            src = _CompactSource(source / name, snap_base, row_base)
+        except FileNotFoundError as exc:
+            raise TraceFormatError(
+                f"{source}: manifest names missing shard file {name!r}"
+            ) from exc
+        if src.snapshot_count:
+            if src.first_time <= last_time:
+                raise TraceFormatError(
+                    f"{source}: shard file {name!r} is not strictly after "
+                    "its predecessors; the directory is not a time-ordered "
+                    "shard dir"
+                )
+            last_time = src.last_time
+        src.release()
+        snap_base += src.snapshot_count
+        row_base += src.row_count
+        sources.append(src)
+    total_snapshots = snap_base
+    metadata = sources[0].metadata
+    # Replicate concat_stores' table merge exactly: when every
+    # non-empty file already carries the first file's table the ids
+    # pass through; otherwise each file's names are interned, in file
+    # order, into one merged table and its id column is remapped.
+    non_empty = [s for s in sources if s.snapshot_count]
+    file0_names = sources[0].names
+    if not non_empty or all(s.names == file0_names for s in non_empty):
+        target_names = list(file0_names)
+    else:
+        merged = UserInterner()
+        for src in non_empty:
+            mapping = np.fromiter(
+                (merged.intern(name) for name in src.names),
+                dtype=np.int64,
+                count=len(src.names),
+            )
+            if not np.array_equal(mapping, np.arange(len(mapping))):
+                src.mapping = mapping
+        target_names = merged.names
+    edges = shard_edges(total_snapshots, shards)
+    suffix = ".rtrc.gz" if gzip_shards else ".rtrc"
+    names: list[str] = []
+    counts: list[int] = []
+    ranges: list[list[float] | None] = []
+    paths: list[Path] = []
+    for index, (lo, hi) in enumerate(zip(edges[:-1], edges[1:])):
+        lo, hi = int(lo), int(hi)
+        name = f"shard-{index:05d}.g{generation}{suffix}"
+        row0 = _global_rows(sources, lo)
+        row1 = _global_rows(sources, hi)
+        paths.append(
+            _write_streamed_shard(
+                source / name,
+                sources,
+                lo,
+                hi,
+                row0,
+                row1 - row0,
+                target_names,
+                metadata,
+                batch,
+                gzip_shards,
+            )
+        )
+        _lifecycle_checkpoint("compact:shard-published")
+        names.append(name)
+        counts.append(hi - lo)
+        ranges.append(
+            [_time_at(sources, lo), _time_at(sources, hi - 1)] if hi > lo else None
+        )
+    return names, counts, ranges, paths
 
 
 def compact_shard_dir(
     directory: str | Path,
     shards: int = 1,
     gzip_shards: bool = False,
+    *,
+    batch_snapshots: int | None = DEFAULT_COMPACT_BATCH_SNAPSHOTS,
 ) -> list[Path]:
     """Fold a shard directory into ``shards`` balanced shard files.
 
@@ -725,6 +1156,17 @@ def compact_shard_dir(
     the same user table before and after (pinned by
     ``tests/unit/trace/test_compaction.py``).
 
+    The rewrite **streams**: input shard files are copied
+    shard-to-shard through fixed-size snapshot batches
+    (``batch_snapshots`` at a time), so peak memory is bounded by the
+    batch — not the store — and the directory you most need to compact
+    is exactly the one this can still handle.  The streamed output is
+    byte-for-byte what the old materializing path wrote (for ``.gz``
+    outputs the gzip container differs only in its embedded mtime).
+    Pass ``batch_snapshots=None`` to force the materializing rewrite —
+    it concatenates the whole store in RAM and survives as the test
+    oracle the streaming path is pinned against.
+
     The rewrite is crash-consistent: compacted files are written under
     *generation-tagged* names (``shard-00000.g<N>.rtrc``) that no
     previous manifest references, the manifest is then atomically
@@ -734,12 +1176,12 @@ def compact_shard_dir(
     appender cleans up); a crash after it leaves a fully valid
     compacted directory plus unlinked-later debris.  Concurrent
     *readers* holding memmaps keep their consistent view (unlink only
-    removes the name); do **not** compact while an appender has the
-    directory open — the appender caches the manifest it opened with.
-
-    The concatenated store is materialized in memory for the rewrite,
-    so compaction currently assumes the directory fits in RAM;
-    bounded-memory (group-by-group) compaction is a ROADMAP follow-on.
+    removes the name), and live followers re-open via the typed
+    :class:`~repro.trace.StoreChangedError`.  An external compaction
+    under a live appender is still refused by the *appender* (its next
+    commit raises ``StoreChangedError``); the appender's own
+    between-commit compaction (:class:`CompactionPolicy`) re-adopts
+    the new manifest instead.
 
     Returns the new shard file paths, in time order.
     """
@@ -748,24 +1190,34 @@ def compact_shard_dir(
     old_files = list_rtrc_dir(source)
     if not old_files:
         raise TraceFormatError(f"{source}: no shard files found")
-    trace = concat_shards(read_rtrc_dir(source, mmap=True))
     generation = (int(manifest.get("generation", 0)) if manifest else 0) + 1
-    parts = split_time_shards(trace, shards)
     suffix = ".rtrc.gz" if gzip_shards else ".rtrc"
-    names = [
-        f"shard-{index:05d}.g{generation}{suffix}" for index in range(len(parts))
-    ]
-    paths = [
-        write_trace_rtrc(part, source / name)
-        for part, name in zip(parts, names)
-    ]
-    write_shard_manifest(
-        source,
-        names,
-        [len(p) for p in parts],
-        [[p.start_time, p.end_time] if len(p) else None for p in parts],
-        generation,
-    )
+    if batch_snapshots is None:
+        trace = concat_shards(read_rtrc_dir(source, mmap=True))
+        parts = split_time_shards(trace, shards)
+        names = [
+            f"shard-{index:05d}.g{generation}{suffix}"
+            for index in range(len(parts))
+        ]
+        paths = [
+            write_trace_rtrc(part, source / name)
+            for part, name in zip(parts, names)
+        ]
+        counts = [len(p) for p in parts]
+        ranges: list[list[float] | None] = [
+            [p.start_time, p.end_time] if len(p) else None for p in parts
+        ]
+    else:
+        if batch_snapshots < 1:
+            raise ValueError(
+                f"batch_snapshots must be >= 1, got {batch_snapshots}"
+            )
+        names, counts, ranges, paths = _compact_streaming(
+            source, old_files, shards, gzip_shards, generation, int(batch_snapshots)
+        )
+    _lifecycle_checkpoint("compact:pre-commit")
+    write_shard_manifest(source, names, counts, ranges, generation)
+    _lifecycle_checkpoint("compact:committed")
     survivors = set(names)
     for name in old_files:
         if name not in survivors:
@@ -773,4 +1225,301 @@ def compact_shard_dir(
                 (source / name).unlink()
             except FileNotFoundError:
                 pass
+    _lifecycle_checkpoint("compact:cleaned")
     return paths
+
+
+# -- slack, tiering, retention ------------------------------------------------
+
+
+def shard_dir_slack(directory: str | Path) -> float:
+    """Fraction of the directory's on-disk bytes that are not payload.
+
+    Payload is the four column sections (times, snapshot offsets, ids,
+    coordinates); everything else — per-file preambles, JSON headers
+    with their repeated cumulative user tables, alignment padding — is
+    overhead that compaction reclaims.  A directory of many small
+    round files approaches 1.0; a freshly compacted single shard sits
+    near 0.0.  Gzipped files count their *compressed* size, so tiering
+    also lowers slack.  Reads only the headers (cheap even for ``.gz``
+    files: decompression stops after the header blocks).
+    """
+    source = Path(directory)
+    payload = 0
+    disk = 0
+    for name in list_rtrc_dir(source):
+        path = source / name
+        header = read_rtrc_header(path)
+        for section in header["sections"].values():
+            payload += int(section["nbytes"])
+        disk += path.stat().st_size
+    if disk <= 0:
+        return 0.0
+    return max(0.0, 1.0 - payload / disk)
+
+
+@dataclass(frozen=True)
+class CompactionPolicy:
+    """When and how :class:`RtrcDirAppender` folds its own directory.
+
+    A policy makes the lifecycle self-driving: after every committed
+    round the appender checks the thresholds and runs the due passes —
+    retention first (no point compacting data about to be dropped),
+    then the streaming compaction, then tiering — re-adopting the
+    swapped manifest after each, so its own next commit does not trip
+    :class:`~repro.trace.StoreChangedError`.  External followers
+    (``slmob serve``, ``analyze --follow``) see the usual generation
+    bump and re-open.
+
+    Parameters
+    ----------
+    max_round_files:
+        Compact when the directory holds more than this many committed
+        files.  The workhorse threshold for long crawls: bounds both
+        per-open file handles and manifest size.
+    max_slack_fraction:
+        Compact when :func:`shard_dir_slack` exceeds this fraction —
+        a size-based trigger for workloads whose rounds are so small
+        the header overhead dominates.
+    target_shards:
+        How many balanced shard files a triggered compaction leaves.
+    batch_snapshots:
+        Batch size handed to the streaming compactor; bounds the
+        compaction's peak memory.
+    tier_after:
+        Age threshold (trace-time seconds before the newest committed
+        snapshot) past which cold shard files are gzipped in place.
+        Note a compaction rewrites tiered files back into plain hot
+        shards, so tiering pairs best with ``target_shards > 1`` or
+        file-count thresholds loose enough to leave cold files alone.
+    retain_for:
+        Retention horizon: shard files whose *entire* time range is
+        older than this (again relative to the newest committed
+        snapshot) are dropped, oldest-first, manifest swap first.
+
+    At least one of the four thresholds must be set — a policy that
+    can never fire is a configuration error, not a no-op.
+    """
+
+    max_round_files: int | None = None
+    max_slack_fraction: float | None = None
+    target_shards: int = 1
+    batch_snapshots: int = DEFAULT_COMPACT_BATCH_SNAPSHOTS
+    tier_after: float | None = None
+    retain_for: float | None = None
+
+    def __post_init__(self) -> None:
+        if (
+            self.max_round_files is None
+            and self.max_slack_fraction is None
+            and self.tier_after is None
+            and self.retain_for is None
+        ):
+            raise ValueError(
+                "CompactionPolicy needs at least one threshold: "
+                "max_round_files, max_slack_fraction, tier_after or "
+                "retain_for"
+            )
+        if self.max_round_files is not None and self.max_round_files < 1:
+            raise ValueError(
+                f"max_round_files must be >= 1, got {self.max_round_files}"
+            )
+        if self.max_slack_fraction is not None and not (
+            0.0 <= self.max_slack_fraction < 1.0
+        ):
+            raise ValueError(
+                "max_slack_fraction must be in [0, 1), got "
+                f"{self.max_slack_fraction}"
+            )
+        if self.target_shards < 1:
+            raise ValueError(f"target_shards must be >= 1, got {self.target_shards}")
+        if self.batch_snapshots < 1:
+            raise ValueError(
+                f"batch_snapshots must be >= 1, got {self.batch_snapshots}"
+            )
+        if self.tier_after is not None and self.tier_after < 0:
+            raise ValueError(f"tier_after must be >= 0, got {self.tier_after}")
+        if self.retain_for is not None and self.retain_for < 0:
+            raise ValueError(f"retain_for must be >= 0, got {self.retain_for}")
+
+    def compaction_due(self, file_count: int, slack: float) -> bool:
+        """Whether the compaction thresholds say the directory is due."""
+        if self.max_round_files is not None and file_count > self.max_round_files:
+            return True
+        if self.max_slack_fraction is not None and slack > self.max_slack_fraction:
+            return True
+        return False
+
+
+def _shard_index(name: str) -> int:
+    """The numeric index in a ``shard-NNNNN[.gK][.rtrc[.gz]]`` name (-1 odd)."""
+    stem = name.split(".", 1)[0]
+    try:
+        return int(stem.split("-", 1)[1])
+    except (IndexError, ValueError):
+        return -1
+
+
+def _dir_state(
+    source: Path,
+) -> tuple[list[str], list[int], list[list[float] | None], int]:
+    """``(files, snapshot_counts, time_ranges, generation)`` of a shard dir.
+
+    Served from the manifest when it is present and consistent with
+    the directory listing; rebuilt from the file headers otherwise
+    (foreign directories written without a manifest).
+    """
+    manifest = read_shard_manifest(source)
+    files = list_rtrc_dir(source)
+    if not files:
+        raise TraceFormatError(f"{source}: no shard files found")
+    generation = int(manifest.get("generation", 0)) if manifest else 0
+    counts = manifest.get("snapshot_counts") if manifest else None
+    ranges = manifest.get("time_ranges") if manifest else None
+    if (
+        manifest is not None
+        and [str(name) for name in manifest["files"]] == files
+        and isinstance(counts, list)
+        and isinstance(ranges, list)
+        and len(counts) == len(files)
+        and len(ranges) == len(files)
+    ):
+        return (
+            files,
+            [int(c) for c in counts],
+            [[float(r[0]), float(r[1])] if r else None for r in ranges],
+            generation,
+        )
+    rebuilt_counts: list[int] = []
+    rebuilt_ranges: list[list[float] | None] = []
+    for name in files:
+        store, _ = read_store_rtrc(source / name, mmap=not _is_gzip(source / name))
+        count = store.snapshot_count
+        rebuilt_counts.append(count)
+        rebuilt_ranges.append(
+            [float(store.times[0]), float(store.times[-1])] if count else None
+        )
+    return files, rebuilt_counts, rebuilt_ranges, generation
+
+
+def _gzip_file(src: Path, dst: Path) -> Path:
+    """Gzip ``src`` into ``dst`` through a temp file, 1 MiB at a time."""
+    fd, tmp_name = _tempfile_for(dst)
+    try:
+        with (
+            os.fdopen(fd, "wb") as raw,
+            gzip.open(raw, "wb") as out,
+            open(src, "rb") as reader,
+        ):
+            shutil.copyfileobj(reader, out, 1 << 20)
+        os.replace(tmp_name, dst)
+    except BaseException:
+        try:
+            os.unlink(tmp_name)
+        except OSError:
+            pass
+        raise
+    return dst
+
+
+def tier_shard_dir(directory: str | Path, older_than: float) -> list[Path]:
+    """Gzip cold shard files in place; the manifest swap is the commit.
+
+    A shard file is *cold* when its entire time range ended more than
+    ``older_than`` trace-time seconds before the directory's newest
+    committed snapshot.  Each cold plain file is rewritten as
+    ``<name>.gz`` next to it (streamed, 1 MiB at a time — never
+    decoded), then one manifest swap publishes all the new names with
+    a generation bump (readers re-open via
+    :class:`~repro.trace.StoreChangedError`, caches keyed on
+    :func:`shard_dir_generation` drop), and only then are the plain
+    originals unlinked.  Loading the directory yields bit-identical
+    columns before and after — readers already inflate ``.gz`` shards
+    transparently; they just stop memmapping them.
+
+    The newest non-empty file is never tiered (its range ends exactly
+    at the newest snapshot), so a live appender keeps appending plain
+    hot files.  Empty round files are left alone.  Returns the new
+    ``.gz`` paths (empty list when nothing was cold).
+    """
+    if older_than < 0:
+        raise ValueError(f"older_than must be >= 0, got {older_than}")
+    source = Path(directory)
+    files, counts, ranges, generation = _dir_state(source)
+    newest = max((r[1] for r in ranges if r), default=None)
+    if newest is None:
+        return []
+    cutoff = newest - older_than
+    new_names = list(files)
+    tiered: list[str] = []
+    for index, (name, rng) in enumerate(zip(files, ranges)):
+        if rng is None or rng[1] >= cutoff or _is_gzip(source / name):
+            continue
+        gz_name = name + ".gz"
+        _gzip_file(source / name, source / gz_name)
+        _lifecycle_checkpoint("tier:file-published")
+        new_names[index] = gz_name
+        tiered.append(gz_name)
+    if not tiered:
+        return []
+    _lifecycle_checkpoint("tier:pre-commit")
+    write_shard_manifest(source, new_names, counts, ranges, generation + 1)
+    _lifecycle_checkpoint("tier:committed")
+    for old, new in zip(files, new_names):
+        if old != new:
+            try:
+                (source / old).unlink()
+            except FileNotFoundError:
+                pass
+    _lifecycle_checkpoint("tier:cleaned")
+    return [source / name for name in tiered]
+
+
+def retain_shard_dir(directory: str | Path, older_than: float) -> list[str]:
+    """Drop shard files wholly older than the retention horizon.
+
+    Retention removes the longest *prefix* of the file list in which
+    every file's time range ended more than ``older_than`` trace-time
+    seconds before the directory's newest committed snapshot (empty
+    round files inside that prefix go with it).  Prefix-only pruning
+    keeps the survivors a valid time-ordered shard dir, and because
+    every committed file carries the cumulative user table of its
+    predecessors, the surviving files stay self-describing — interned
+    ids remain comparable across the cut.
+
+    The manifest swap (with a generation bump) is the commit point;
+    files are unlinked only afterwards, so an in-flight query that
+    loaded the old manifest keeps its memmaps (POSIX unlink removes
+    the name, not the inode) and the *next* query sees the pruned
+    directory or a :class:`~repro.trace.StoreChangedError` re-open,
+    never a torn mix.  The newest non-empty file always survives.
+    Returns the dropped file names, oldest first.
+    """
+    if older_than < 0:
+        raise ValueError(f"older_than must be >= 0, got {older_than}")
+    source = Path(directory)
+    files, counts, ranges, generation = _dir_state(source)
+    newest = max((r[1] for r in ranges if r), default=None)
+    if newest is None:
+        return []
+    cutoff = newest - older_than
+    drop = 0
+    for rng in ranges:
+        if rng is not None and rng[1] >= cutoff:
+            break
+        drop += 1
+    if not drop:
+        return []
+    dropped = files[:drop]
+    _lifecycle_checkpoint("retain:pre-commit")
+    write_shard_manifest(
+        source, files[drop:], counts[drop:], ranges[drop:], generation + 1
+    )
+    _lifecycle_checkpoint("retain:committed")
+    for name in dropped:
+        try:
+            (source / name).unlink()
+        except FileNotFoundError:
+            pass
+    _lifecycle_checkpoint("retain:cleaned")
+    return dropped

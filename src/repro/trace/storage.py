@@ -74,6 +74,11 @@ from typing import BinaryIO, Sequence
 
 import numpy as np
 
+try:  # advisory writer locks; absent on non-POSIX platforms
+    import fcntl
+except ImportError:  # pragma: no cover - POSIX-only dev/CI environments
+    fcntl = None  # type: ignore[assignment]
+
 from repro.trace.columnar import ColumnarStore, UserInterner
 from repro.trace.trace import Trace, TraceMetadata
 
@@ -128,6 +133,20 @@ class TraceFormatError(ValueError):
 
 class RtrcFormatError(TraceFormatError):
     """Raised when a file is not a readable rtrc trace."""
+
+
+class StoreInUseError(ValueError):
+    """A destructive store operation raced a live writer.
+
+    Raised when :func:`compact_rtrc_store` finds the target store
+    locked by a live :class:`RtrcAppender` (and vice versa: a second
+    appender opening an already-appended store).  Compacting under a
+    live appender would atomically swap a new inode into the path
+    while the appender keeps writing to the old, now-invisible file —
+    every round after the compaction would silently vanish.  The lock
+    is advisory (``flock``), held for the appender's whole lifetime,
+    and detection degrades to a no-op on platforms without ``fcntl``.
+    """
 
 
 class StoreChangedError(ValueError):
@@ -435,6 +454,29 @@ def read_trace_rtrc(path: str | Path, mmap: bool = True) -> Trace:
     return Trace.from_columns(store, metadata)
 
 
+def read_rtrc_header(path: str | Path) -> dict:
+    """Parse just the preamble and JSON header of an ``.rtrc`` file.
+
+    Shapes, user table and metadata without touching a single data
+    page — the storage-lifecycle bookkeeping (slack accounting, row
+    counts after a retention pass) needs exactly this.  Works on
+    ``.rtrc.gz`` too: gzip decompresses lazily, so only the blocks
+    holding the header are inflated, not the sections.
+    """
+    source = Path(path)
+    opener = gzip.open(source, "rb") if _is_gzip(source) else open(source, "rb")
+    with opener as handle:
+        preamble = handle.read(_PREAMBLE.size)
+        header_length, _ = _parse_preamble(preamble, source)
+        payload = handle.read(header_length)
+        if len(payload) < header_length:
+            raise RtrcFormatError(
+                f"{source}: truncated rtrc file — header claims "
+                f"{header_length} bytes, file ends early"
+            )
+        return _parse_header(payload, source)
+
+
 def compact_rtrc_store(path: str | Path) -> tuple[Path, int]:
     """Rewrite an ``.rtrc`` file tightly, dropping append slack.
 
@@ -451,21 +493,40 @@ def compact_rtrc_store(path: str | Path) -> tuple[Path, int]:
     Returns ``(path, bytes_reclaimed)``; gzipped stores are rejected —
     they carry no slack to trim.
 
-    Do **not** compact a store a live :class:`RtrcAppender` has open:
-    the rename swaps a new inode into the path, so the appender keeps
-    writing to the old, now-invisible file and every round after the
-    compaction silently vanishes.  Compact finished crawls only (the
-    same single-writer rule :func:`~repro.trace.compact_shard_dir`
-    states for shard directories).
+    A store a live :class:`RtrcAppender` has open cannot be compacted:
+    the rename would swap a new inode into the path, so the appender
+    would keep writing to the old, now-invisible file and every round
+    after the compaction would silently vanish.  The appender holds an
+    advisory ``flock`` on its store for exactly this reason, and this
+    function probes it — a locked store raises
+    :class:`StoreInUseError` instead of orphaning the appender's
+    inode.  (On platforms without ``fcntl`` the probe is a no-op and
+    the old compact-finished-crawls-only rule is on the caller.)
     """
     source = Path(path)
     if _is_gzip(source):
         raise ValueError(
             f"{source}: gzipped rtrc stores have no append slack to compact"
         )
-    before = source.stat().st_size
-    store, metadata = read_store_rtrc(source, mmap=True)
-    write_store_rtrc(store, metadata, source)
+    guard = open(source, "rb")
+    try:
+        if fcntl is not None:
+            try:
+                fcntl.flock(guard.fileno(), fcntl.LOCK_EX | fcntl.LOCK_NB)
+            except OSError as exc:
+                raise StoreInUseError(
+                    f"{source}: a live RtrcAppender holds this store open; "
+                    "compacting now would orphan its inode and silently "
+                    "drop every later round — close the appender first"
+                ) from exc
+        before = source.stat().st_size
+        store, metadata = read_store_rtrc(source, mmap=True)
+        write_store_rtrc(store, metadata, source)
+    finally:
+        # Releasing the guard also releases the flock; it was held
+        # across the rename so no appender could open the old inode
+        # mid-compaction.
+        guard.close()
     return source, before - source.stat().st_size
 
 
@@ -626,7 +687,30 @@ class RtrcAppender:
             except OSError:
                 pass
             raise
-        self._fh = open(self.path, "r+b")
+        self._fh = self._locked_open()
+
+    def _locked_open(self) -> BinaryIO:
+        """Open the store read-write and take the advisory writer lock.
+
+        The non-blocking exclusive ``flock`` marks this appender as the
+        store's single writer: a second appender on the same path, or a
+        :func:`compact_rtrc_store` racing the crawl, fails with a typed
+        :class:`StoreInUseError` instead of silently orphaning this
+        appender's inode.  The lock rides the handle — closing the
+        appender (or a rewrite swapping handles) releases it.
+        """
+        fh = open(self.path, "r+b")
+        if fcntl is not None:
+            try:
+                fcntl.flock(fh.fileno(), fcntl.LOCK_EX | fcntl.LOCK_NB)
+            except OSError as exc:
+                fh.close()
+                raise StoreInUseError(
+                    f"{self.path}: another writer holds this store open "
+                    "(a live RtrcAppender, or a compaction in progress); "
+                    "an rtrc store has exactly one writer at a time"
+                ) from exc
+        return fh
 
     def _sync_handle(self, handle: BinaryIO) -> None:
         if self._fsync:
@@ -688,7 +772,7 @@ class RtrcAppender:
             self._s = self._committed_s = s
             self._n = self._committed_n = n
             self._last_time = self._read_last_time()
-            self._fh = open(self.path, "r+b")
+            self._fh = self._locked_open()
             self._truncate_torn_tail(size)
         else:
             # A tightly-packed one-shot file (or a foreign layout):
@@ -1048,7 +1132,7 @@ class RtrcAppender:
             raise
         if old_fh is not None:
             old_fh.close()
-        self._fh = open(self.path, "r+b")
+        self._fh = self._locked_open()
         self._committed_s = self._s
         self._committed_n = self._n
         self._meta_dirty = False

@@ -1,0 +1,204 @@
+"""Property tests: lifecycle rewrites never change what a directory says.
+
+The streaming compactor must be a *pure re-layout*: for any trace, any
+round split, any snapshot batch size (including 1), any output shard
+count, and either output encoding, the files it writes are byte-for-byte
+what the materializing oracle (``batch_snapshots=None``) writes — plain
+files compared raw, gzip members compared decompressed (the gzip header
+embeds an mtime, so container bytes legitimately differ).  Tiering and
+retention are checked as content-preserving / suffix-preserving
+transforms over appender-built directories with growing user tables.
+"""
+
+import gzip
+import tempfile
+from pathlib import Path
+
+import numpy as np
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.trace import (
+    RtrcDirAppender,
+    compact_shard_dir,
+    concat_shards,
+    read_rtrc_dir,
+    read_shard_manifest,
+    retain_shard_dir,
+    tier_shard_dir,
+    to_rtrc_dir,
+)
+from repro.trace.sharding import MANIFEST_NAME
+from tests.property.test_shard_dir_roundtrip import traces
+
+
+def _assert_columns_equal(a, b) -> None:
+    assert np.array_equal(a.columns.times, b.columns.times)
+    assert np.array_equal(a.columns.snapshot_offsets, b.columns.snapshot_offsets)
+    assert np.array_equal(a.columns.user_ids, b.columns.user_ids)
+    assert np.array_equal(a.columns.xyz, b.columns.xyz)
+    assert a.columns.users.names == b.columns.users.names
+
+
+def _payload_bytes(path: Path) -> bytes:
+    data = path.read_bytes()
+    if path.name.endswith(".gz"):
+        return gzip.decompress(data)
+    return data
+
+
+def _assert_dirs_identical(streamed: Path, materialized: Path) -> None:
+    left = read_shard_manifest(streamed)
+    right = read_shard_manifest(materialized)
+    assert left == right
+    for name in left["files"]:
+        assert _payload_bytes(streamed / name) == _payload_bytes(
+            materialized / name
+        )
+    on_disk = sorted(p.name for p in streamed.iterdir() if p.name != MANIFEST_NAME)
+    assert on_disk == sorted(left["files"])
+
+
+def _check_stream_matches_oracle(trace, rounds, shards, batch, gzip_out) -> None:
+    with tempfile.TemporaryDirectory() as a, tempfile.TemporaryDirectory() as b:
+        streamed, materialized = Path(a), Path(b)
+        to_rtrc_dir(trace, rounds, streamed)
+        to_rtrc_dir(trace, rounds, materialized)
+        compact_shard_dir(
+            streamed, shards, gzip_shards=gzip_out, batch_snapshots=batch
+        )
+        compact_shard_dir(
+            materialized, shards, gzip_shards=gzip_out, batch_snapshots=None
+        )
+        _assert_dirs_identical(streamed, materialized)
+        _assert_columns_equal(concat_shards(read_rtrc_dir(streamed)), trace)
+
+
+class TestStreamingEqualsMaterializing:
+    @settings(max_examples=40, deadline=None)
+    @given(
+        trace=traces(),
+        rounds=st.integers(min_value=1, max_value=4),
+        shards=st.integers(min_value=1, max_value=4),
+        batch=st.integers(min_value=1, max_value=6),
+    )
+    def test_plain_output(self, trace, rounds, shards, batch):
+        _check_stream_matches_oracle(trace, rounds, shards, batch, False)
+
+    @settings(max_examples=15, deadline=None)
+    @given(
+        trace=traces(),
+        rounds=st.integers(min_value=1, max_value=3),
+        shards=st.integers(min_value=1, max_value=3),
+        batch=st.integers(min_value=1, max_value=4),
+    )
+    def test_gzip_output(self, trace, rounds, shards, batch):
+        _check_stream_matches_oracle(trace, rounds, shards, batch, True)
+
+    @settings(max_examples=15, deadline=None)
+    @given(trace=traces(), batch=st.integers(min_value=1, max_value=3))
+    def test_oversharded_inputs(self, trace, batch):
+        # More input rounds than snapshots: empty round files in the mix.
+        _check_stream_matches_oracle(trace, len(trace) + 3, 2, batch, False)
+
+
+def _appender_dir(trace, root: Path, round_sizes) -> list[int]:
+    """Write ``trace`` through the appender in rounds of the given sizes.
+
+    Appender-built directories carry *growing* (prefix) user tables —
+    the harder merge case for the compactor — unlike
+    :func:`to_rtrc_dir` output where every file shares one table.
+    Returns the per-round snapshot counts actually used.
+    """
+    used = []
+    columns = trace.columns
+    offsets = columns.snapshot_offsets
+    table = columns.users.names
+    with RtrcDirAppender(root) as appender:
+        cursor = 0
+        for size in round_sizes:
+            take = min(size, len(trace) - cursor)
+            if take <= 0:
+                break
+            for index in range(cursor, cursor + take):
+                j, k = int(offsets[index]), int(offsets[index + 1])
+                present = [table[i] for i in columns.user_ids[j:k]]
+                appender.append_snapshot(
+                    float(columns.times[index]),
+                    present,
+                    np.asarray(columns.xyz[j:k], dtype=np.float64).reshape(-1, 3),
+                )
+            appender.commit()
+            used.append(take)
+            cursor += take
+    return used
+
+
+class TestLifecycleOverAppenderDirs:
+    @settings(max_examples=25, deadline=None)
+    @given(
+        trace=traces(),
+        sizes=st.lists(st.integers(min_value=1, max_value=4), min_size=1, max_size=5),
+        batch=st.integers(min_value=1, max_value=4),
+        shards=st.integers(min_value=1, max_value=3),
+    )
+    def test_compaction_preserves_content(self, trace, sizes, batch, shards):
+        if len(trace) == 0:
+            return
+        with tempfile.TemporaryDirectory() as tmp:
+            root = Path(tmp)
+            _appender_dir(trace, root, sizes)
+            before = concat_shards(read_rtrc_dir(root))
+            compact_shard_dir(root, shards, batch_snapshots=batch)
+            after = concat_shards(read_rtrc_dir(root))
+            _assert_columns_equal(after, before)
+
+    @settings(max_examples=20, deadline=None)
+    @given(
+        trace=traces(),
+        sizes=st.lists(st.integers(min_value=1, max_value=4), min_size=1, max_size=5),
+        horizon=st.integers(min_value=0, max_value=12_000_000).map(
+            lambda k: k / 1000.0
+        ),
+    )
+    def test_tier_preserves_retain_prunes_prefix(self, trace, sizes, horizon):
+        if len(trace) == 0:
+            return
+        with tempfile.TemporaryDirectory() as tmp:
+            root = Path(tmp)
+            _appender_dir(trace, root, sizes)
+            before = concat_shards(read_rtrc_dir(root))
+            generation = int(read_shard_manifest(root).get("generation", 0))
+
+            tiered = tier_shard_dir(root, horizon)
+            after_tier = concat_shards(read_rtrc_dir(root))
+            _assert_columns_equal(after_tier, before)
+            if tiered:
+                generation += 1
+            assert (
+                int(read_shard_manifest(root).get("generation", 0)) == generation
+            )
+
+            dropped = retain_shard_dir(root, horizon)
+            manifest = read_shard_manifest(root)
+            if dropped:
+                generation += 1
+            assert int(manifest.get("generation", 0)) == generation
+            # Retention drops a *prefix* of whole files: the survivors
+            # are exactly the original trace minus its oldest snapshots,
+            # and every retained time is within the horizon of the end
+            # (or in the always-kept newest file).
+            after = concat_shards(read_rtrc_dir(root))
+            kept = len(after.columns.times)
+            assert kept >= 1
+            offsets = before.columns.snapshot_offsets
+            skip = len(before.columns.times) - kept
+            assert np.array_equal(
+                after.columns.times, before.columns.times[skip:]
+            )
+            assert np.array_equal(
+                after.columns.user_ids, before.columns.user_ids[offsets[skip] :]
+            )
+            assert np.array_equal(
+                after.columns.xyz, before.columns.xyz[offsets[skip] :]
+            )

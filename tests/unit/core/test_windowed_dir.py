@@ -1,0 +1,119 @@
+"""Windowed analysis straight over a shard directory, no re-splitting.
+
+:class:`~repro.core.windowed.WindowedAnalyzer` accepts the directory a
+long-running crawl appends to and treats the committed round files
+*as* the window parts: consecutive files starting in the same window
+group into one part, single-file parts go to the process backend as
+the files they already are (nothing re-materialized), and whatever the
+grouping, the boundary merges keep every answer bit-for-bit equal to
+the whole-trace extractors.
+"""
+
+import numpy as np
+import pytest
+
+from repro.core import WindowedAnalyzer, extract_contacts
+from repro.trace import (
+    RtrcDirAppender,
+    Trace,
+    extract_sessions,
+    write_trace_rtrc,
+)
+from repro.trace.columnar import ColumnarBuilder
+from tests.unit.core.test_sharded_equivalence import churn_trace
+from tests.unit.trace.test_compaction import _stream_dir
+
+ROUNDS = 7
+
+
+@pytest.fixture(scope="module")
+def trace():
+    return churn_trace(23)
+
+
+@pytest.fixture(scope="module")
+def shard_dir(trace, tmp_path_factory):
+    root = tmp_path_factory.mktemp("windowed-dir") / "crawl"
+    _stream_dir(root, trace, ROUNDS)
+    return root
+
+
+class TestDirEquivalence:
+    @pytest.mark.parametrize("backend", ("serial", "thread", "process"))
+    @pytest.mark.parametrize("window", (25.0, 95.0, 1e6))
+    def test_matches_whole_trace_extractors(
+        self, shard_dir, trace, backend, window
+    ):
+        with WindowedAnalyzer(shard_dir, window, backend=backend) as analyzer:
+            assert analyzer.is_shard_dir
+            assert analyzer.contacts(15.0) == extract_contacts(trace, 15.0)
+            assert analyzer.sessions() == extract_sessions(trace)
+            assert analyzer.snapshot_count == len(trace)
+
+    def test_windows_cover_every_snapshot_in_order(self, shard_dir, trace):
+        with WindowedAnalyzer(shard_dir, 25.0) as analyzer:
+            stitched = np.concatenate(
+                [w.columns.times for w in analyzer.iter_windows()]
+            )
+        assert np.array_equal(stitched, trace.columns.times)
+
+
+class TestPartGrouping:
+    def test_one_part_per_file_under_narrow_windows(self, shard_dir, trace):
+        # A width narrower than any round keeps every file its own part.
+        with WindowedAnalyzer(shard_dir, 1e-3) as analyzer:
+            assert analyzer.part_count == ROUNDS
+
+    def test_rounds_in_one_window_group_into_one_part(self, shard_dir, trace):
+        # A width spanning the whole trace groups all rounds together.
+        with WindowedAnalyzer(shard_dir, 1e6) as analyzer:
+            assert analyzer.part_count == 1
+            assert analyzer.contacts(15.0) == extract_contacts(trace, 15.0)
+
+    def test_process_backend_reuses_round_files_in_place(self, shard_dir, trace):
+        # Single-file parts are handed to the workers as the committed
+        # round files themselves — the scheduler materializes nothing.
+        with WindowedAnalyzer(
+            shard_dir, 1e-3, backend="process", max_workers=2
+        ) as analyzer:
+            assert analyzer.part_count == ROUNDS
+            assert analyzer.contacts(15.0) == extract_contacts(trace, 15.0)
+            assert analyzer._scheduler.materialized_paths == []
+
+    def test_grouped_parts_materialize_only_merged_files(self, shard_dir, trace):
+        # Multi-file parts must be concatenated for the workers; only
+        # those merged parts hit the tempdir.
+        with WindowedAnalyzer(
+            shard_dir, 1e6, backend="process", max_workers=2
+        ) as analyzer:
+            assert analyzer.part_count == 1
+            assert analyzer.sessions() == extract_sessions(trace)
+            assert len(analyzer._scheduler.materialized_paths) <= 1
+
+
+class TestDirValidation:
+    def test_foreign_interners_rejected_on_process_backend(self, tmp_path):
+        # Independent per-file user tables break the prefix invariant
+        # the process backend's payload decode relies on; serial mode
+        # stays correct (objects carry their own names).
+        root = tmp_path / "foreign"
+        root.mkdir()
+        for index, user in enumerate(["zoe", "ann"]):
+            builder = ColumnarBuilder()
+            builder.append_snapshot(
+                float(index * 10), [user], [[1.0 * index, 0.0, 0.0]]
+            )
+            write_trace_rtrc(
+                Trace.from_columns(builder.build()),
+                root / f"shard-{index:05d}.rtrc",
+            )
+        with WindowedAnalyzer(root, 50.0) as serial:
+            assert len(serial.sessions()) == 2
+        with pytest.raises(ValueError, match="user table"):
+            WindowedAnalyzer(root, 50.0, backend="process")
+
+    def test_empty_directory_rejected(self, tmp_path):
+        root = tmp_path / "empty"
+        RtrcDirAppender(root).close()
+        with pytest.raises(ValueError, match="empty"):
+            WindowedAnalyzer(root, 10.0)

@@ -6,6 +6,9 @@ an appendable single file; in both cases the loaded store — columns
 *and* user table — must be bit-for-bit what it was before.
 """
 
+import gzip
+import tracemalloc
+
 import numpy as np
 import pytest
 
@@ -14,6 +17,7 @@ from repro.trace import (
     RtrcDirAppender,
     Trace,
     TraceFormatError,
+    TraceMetadata,
     compact_rtrc_store,
     compact_shard_dir,
     concat_shards,
@@ -24,6 +28,7 @@ from repro.trace import (
     to_rtrc_dir,
     write_trace_rtrc,
 )
+from repro.trace.columnar import ColumnarBuilder
 from tests.unit.core.test_sharded_equivalence import churn_trace
 
 
@@ -153,6 +158,82 @@ class TestShardDirCompaction:
         assert sorted(list_rtrc_dir(root)) == sorted(
             f"shard-{i:05d}.rtrc" for i in range(4)
         )
+
+
+def _grid_trace(snapshots: int, users: int) -> Trace:
+    names = [f"user-{k:03d}" for k in range(users)]
+    xyz = np.arange(users * 3, dtype=np.float64).reshape(users, 3)
+    builder = ColumnarBuilder()
+    for step in range(snapshots):
+        builder.append_snapshot(float(step), names, xyz + step)
+    return Trace.from_columns(builder.build(), TraceMetadata(tau=1.0))
+
+
+class TestStreamingCompactor:
+    """The streaming path is pinned byte-for-byte to the materializing one."""
+
+    @pytest.mark.parametrize("batch", (1, 3, 4096))
+    def test_file_bytes_match_materializing_oracle(self, tmp_path, trace, batch):
+        streamed = tmp_path / f"stream-{batch}"
+        oracle = tmp_path / f"oracle-{batch}"
+        _stream_dir(streamed, trace, 7)
+        _stream_dir(oracle, trace, 7)
+        compact_shard_dir(streamed, 3, batch_snapshots=batch)
+        compact_shard_dir(oracle, 3, batch_snapshots=None)
+        manifest = read_shard_manifest(streamed)
+        assert manifest == read_shard_manifest(oracle)
+        for name in manifest["files"]:
+            assert (streamed / name).read_bytes() == (oracle / name).read_bytes()
+
+    def test_gzip_payload_matches_materializing_oracle(self, tmp_path, trace):
+        # The gzip container embeds an mtime, so only the decompressed
+        # stream can be (and is) identical.
+        streamed = tmp_path / "stream-gz"
+        oracle = tmp_path / "oracle-gz"
+        _stream_dir(streamed, trace, 5)
+        _stream_dir(oracle, trace, 5)
+        compact_shard_dir(streamed, 2, gzip_shards=True, batch_snapshots=3)
+        compact_shard_dir(oracle, 2, gzip_shards=True, batch_snapshots=None)
+        manifest = read_shard_manifest(streamed)
+        assert manifest == read_shard_manifest(oracle)
+        for name in manifest["files"]:
+            assert gzip.decompress((streamed / name).read_bytes()) == (
+                gzip.decompress((oracle / name).read_bytes())
+            )
+
+    def test_peak_memory_bounded_by_batch_not_directory(self, tmp_path):
+        # ~2.6 MiB of payload in 8 round files; the streaming pass with
+        # a 64-snapshot batch must never hold more than a small multiple
+        # of one batch, while the materializing oracle holds everything.
+        trace = _grid_trace(snapshots=1600, users=50)
+        payload = trace.columns.xyz.nbytes + trace.columns.user_ids.nbytes
+        batch = 64
+        batch_bytes = (payload * batch) // 1600
+
+        streamed = tmp_path / "stream"
+        _stream_dir(streamed, trace, 8)
+        tracemalloc.start()
+        compact_shard_dir(streamed, 2, batch_snapshots=batch)
+        _, peak_streaming = tracemalloc.get_traced_memory()
+        tracemalloc.stop()
+
+        oracle = tmp_path / "oracle"
+        _stream_dir(oracle, trace, 8)
+        tracemalloc.start()
+        compact_shard_dir(oracle, 2, batch_snapshots=None)
+        _, peak_materializing = tracemalloc.get_traced_memory()
+        tracemalloc.stop()
+
+        assert peak_materializing > payload  # the oracle really holds it all
+        # Headroom: per-file offset tables, the user table, and one
+        # in-flight chunk copy — but nowhere near the whole directory.
+        assert peak_streaming < 8 * batch_bytes + 256 * 1024
+        assert peak_streaming * 4 < peak_materializing
+
+        manifest = read_shard_manifest(streamed)
+        assert manifest == read_shard_manifest(oracle)
+        for name in manifest["files"]:
+            assert (streamed / name).read_bytes() == (oracle / name).read_bytes()
 
 
 class TestSingleFileCompaction:

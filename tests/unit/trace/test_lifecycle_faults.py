@@ -1,0 +1,316 @@
+"""Fault injection over the storage lifecycle: crash anywhere, tear nothing.
+
+Every lifecycle rewrite (streaming compaction, tiering, retention)
+funnels its crash-prone moments through
+``repro.trace.sharding._lifecycle_checkpoint`` — after each copied
+batch, each published file, just before and after the manifest swap,
+and after cleanup.  These tests monkeypatch that hook to raise at the
+N-th call *for every N* and assert the invariant the manifest-swap
+design promises: a reader loading the directory after the crash sees
+exactly the old generation or exactly the new one, bit for bit —
+never a mix — and the next appender quietly clears the debris.
+
+The second half exercises the live-follower side: auto-compaction
+firing under an attached :class:`~repro.core.live.LiveAnalyzer` and
+:class:`~repro.service.QueryService`, and retention racing an
+in-flight reader that still holds memmaps into the dropped files.
+"""
+
+import json
+import shutil
+import urllib.request
+
+import numpy as np
+import pytest
+
+import repro.trace.sharding as sharding_mod
+from repro.core.analyzer import TraceAnalyzer
+from repro.core.live import LiveAnalyzer
+from repro.trace import (
+    CompactionPolicy,
+    RtrcDirAppender,
+    StoreChangedError,
+    compact_shard_dir,
+    concat_shards,
+    read_rtrc_dir,
+    read_shard_manifest,
+    retain_shard_dir,
+    tier_shard_dir,
+)
+from repro.service import QueryService
+
+
+class _Injected(Exception):
+    """The simulated crash."""
+
+
+class _FailAt:
+    def __init__(self, n: int) -> None:
+        self.n = n
+        self.calls = 0
+
+    def __call__(self, event: str) -> None:
+        self.calls += 1
+        if self.calls == self.n:
+            raise _Injected(f"call {self.n}: {event}")
+
+
+def _build_template(root, rounds=5, snaps=2, users=3) -> None:
+    t = 0.0
+    with RtrcDirAppender(root) as appender:
+        for r in range(rounds):
+            for _ in range(snaps):
+                t += 10.0
+                names = [f"u{k}" for k in range((r % users) + 1)]
+                appender.append_snapshot(
+                    t, names, np.full((len(names), 3), t)
+                )
+            appender.commit()
+
+
+def _view(root):
+    """The directory's loaded content plus its manifest document."""
+    trace = concat_shards(read_rtrc_dir(root))
+    manifest = read_shard_manifest(root)
+    return trace, manifest
+
+
+def _columns_equal(a, b) -> bool:
+    return (
+        np.array_equal(a.columns.times, b.columns.times)
+        and np.array_equal(a.columns.snapshot_offsets, b.columns.snapshot_offsets)
+        and np.array_equal(a.columns.user_ids, b.columns.user_ids)
+        and np.array_equal(a.columns.xyz, b.columns.xyz)
+        and a.columns.users.names == b.columns.users.names
+    )
+
+
+def _assert_old_or_new(root, old, new) -> str:
+    """The crashed directory must load as exactly ``old`` or ``new``."""
+    trace, manifest = _view(root)
+    old_trace, old_manifest = old
+    new_trace, new_manifest = new
+    if manifest == old_manifest:
+        assert _columns_equal(trace, old_trace)
+        return "old"
+    assert manifest == new_manifest
+    assert _columns_equal(trace, new_trace)
+    return "new"
+
+
+def _crash_everywhere(tmp_path, monkeypatch, operation, cap=200):
+    """Run ``operation`` with a crash injected at every checkpoint index.
+
+    Returns the set of views ("old"/"new") observed after crashes —
+    callers assert both sides were actually exercised, so the sweep
+    cannot silently degenerate into only-before or only-after crashes.
+    """
+    template = tmp_path / "template"
+    _build_template(template)
+    old = _view(template)
+    done = tmp_path / "final"
+    shutil.copytree(template, done)
+    operation(done)
+    new = _view(done)
+
+    seen = set()
+    for n in range(1, cap + 1):
+        root = tmp_path / f"crash-{n}"
+        shutil.copytree(template, root)
+        fault = _FailAt(n)
+        monkeypatch.setattr(sharding_mod, "_lifecycle_checkpoint", fault)
+        try:
+            operation(root)
+            crashed = False
+        except _Injected:
+            crashed = True
+        finally:
+            monkeypatch.undo()
+        if not crashed:
+            assert fault.calls < n, "operation swallowed the injected crash"
+            assert n > 1, "operation must hit at least one checkpoint"
+            return seen
+        seen.add(_assert_old_or_new(root, old, new))
+        # The next appender adopts the surviving manifest and clears
+        # any orphaned files the crash left behind; the view the
+        # reader saw is unchanged by that recovery.
+        before = _view(root)
+        appender = RtrcDirAppender(root)
+        appender.close()
+        after = _view(root)
+        assert after[1] == before[1]
+        assert _columns_equal(after[0], before[0])
+        manifest = read_shard_manifest(root)
+        on_disk = sorted(
+            p.name for p in root.iterdir() if p.name != "manifest.json"
+        )
+        assert on_disk == sorted(manifest["files"])
+        shutil.rmtree(root)
+    raise AssertionError(f"operation still crashing after {cap} checkpoints")
+
+
+class TestCrashConsistency:
+    def test_streaming_compaction(self, tmp_path, monkeypatch):
+        seen = _crash_everywhere(
+            tmp_path,
+            monkeypatch,
+            lambda root: compact_shard_dir(root, 2, batch_snapshots=2),
+        )
+        assert seen == {"old", "new"}
+
+    def test_streaming_compaction_gzip(self, tmp_path, monkeypatch):
+        seen = _crash_everywhere(
+            tmp_path,
+            monkeypatch,
+            lambda root: compact_shard_dir(
+                root, 1, gzip_shards=True, batch_snapshots=2
+            ),
+        )
+        assert seen == {"old", "new"}
+
+    def test_materializing_compaction(self, tmp_path, monkeypatch):
+        # The oracle path shares the checkpointed commit tail.
+        seen = _crash_everywhere(
+            tmp_path,
+            monkeypatch,
+            lambda root: compact_shard_dir(root, 2, batch_snapshots=None),
+        )
+        assert seen == {"old", "new"}
+
+    def test_tiering(self, tmp_path, monkeypatch):
+        seen = _crash_everywhere(
+            tmp_path, monkeypatch, lambda root: tier_shard_dir(root, 20.0)
+        )
+        assert seen == {"old", "new"}
+
+    def test_retention(self, tmp_path, monkeypatch):
+        seen = _crash_everywhere(
+            tmp_path, monkeypatch, lambda root: retain_shard_dir(root, 40.0)
+        )
+        assert seen == {"old", "new"}
+
+    def test_policy_pipeline(self, tmp_path, monkeypatch):
+        # Retention + compaction + tiering in one maybe_compact sweep:
+        # each pass commits independently, so a crash can land between
+        # them — the reader then sees one pass's "new" as the next
+        # pass's "old", which the old-or-new invariant must survive
+        # per *published manifest*, not per pipeline.  We assert the
+        # weaker but crucial property directly: the directory always
+        # loads, and its manifest always lists exactly the files on
+        # disk after appender recovery.
+        template = tmp_path / "template"
+        _build_template(template)
+
+        def operation(root):
+            with RtrcDirAppender(root) as appender:
+                appender.maybe_compact(
+                    CompactionPolicy(
+                        max_round_files=2,
+                        batch_snapshots=2,
+                        tier_after=20.0,
+                        retain_for=40.0,
+                    )
+                )
+
+        for n in range(1, 100):
+            root = tmp_path / f"crash-{n}"
+            shutil.copytree(template, root)
+            fault = _FailAt(n)
+            monkeypatch.setattr(sharding_mod, "_lifecycle_checkpoint", fault)
+            try:
+                operation(root)
+                crashed = False
+            except _Injected:
+                crashed = True
+            finally:
+                monkeypatch.undo()
+            trace, _ = _view(root)  # always loadable
+            assert trace.columns.snapshot_count > 0
+            appender = RtrcDirAppender(root)
+            appender.close()
+            manifest = read_shard_manifest(root)
+            on_disk = sorted(
+                p.name for p in root.iterdir() if p.name != "manifest.json"
+            )
+            assert on_disk == sorted(manifest["files"])
+            shutil.rmtree(root)
+            if not crashed:
+                assert n > 1
+                return
+        raise AssertionError("pipeline still crashing after 100 checkpoints")
+
+
+class TestLiveFollowers:
+    def test_auto_compaction_under_live_analyzer(self, tmp_path):
+        root = tmp_path / "dir"
+        policy = CompactionPolicy(max_round_files=2, batch_snapshots=2)
+        with RtrcDirAppender(root, policy=policy) as appender:
+            appender.append_snapshot(1.0, ["a"], [[0.0, 0.0, 0.0]])
+            appender.commit()
+            follower = LiveAnalyzer(root)
+            try:
+                saw_change = False
+                for t in range(2, 10):
+                    appender.append_snapshot(
+                        float(t), ["a", "b"], np.full((2, 3), float(t))
+                    )
+                    appender.commit()
+                    try:
+                        follower.refresh()
+                    except StoreChangedError:
+                        # Degrade exactly as the CLI/service do.
+                        follower.close()
+                        follower = LiveAnalyzer(root)
+                        saw_change = True
+                assert saw_change
+                assert follower.snapshot_count == 9
+                batch = TraceAnalyzer(concat_shards(read_rtrc_dir(root)))
+                assert follower.contacts(10.0) == batch.contacts(10.0)
+                assert follower.sessions() == batch.sessions()
+            finally:
+                follower.close()
+
+    def test_auto_compaction_under_query_service(self, tmp_path):
+        root = tmp_path / "dir"
+        policy = CompactionPolicy(max_round_files=2, batch_snapshots=2)
+        with RtrcDirAppender(root, policy=policy) as appender:
+            appender.append_snapshot(1.0, ["a"], [[0.0, 0.0, 0.0]])
+            appender.commit()
+            with QueryService({"crawl": root}) as service:
+                host, port = service.start()
+                url = f"http://{host}:{port}/v1/crawl/contacts?r=10"
+
+                def fetch():
+                    with urllib.request.urlopen(url) as response:
+                        return response.headers["ETag"], json.loads(
+                            response.read()
+                        )
+
+                etag_before, _ = fetch()
+                for t in range(2, 8):
+                    appender.append_snapshot(
+                        float(t), ["a", "b"], np.full((2, 3), float(t))
+                    )
+                    appender.commit()
+                etag_after, doc = fetch()
+                assert etag_after != etag_before
+                assert service.stats.reopened_followers >= 1
+                batch = TraceAnalyzer(concat_shards(read_rtrc_dir(root)))
+                assert len(doc["contacts"]) == len(batch.contacts(10.0))
+
+    def test_retention_racing_in_flight_reader(self, tmp_path):
+        root = tmp_path / "dir"
+        _build_template(root)
+        shards = read_rtrc_dir(root, mmap=True)  # in-flight: holds memmaps
+        before = concat_shards(shards)
+        times_before = np.array(before.columns.times)
+        dropped = retain_shard_dir(root, older_than=40.0)
+        assert dropped
+        # POSIX unlink removes names, not inodes: the reader's view is
+        # still fully intact, bit for bit.
+        again = concat_shards(shards)
+        assert np.array_equal(again.columns.times, times_before)
+        # A *new* reader sees exactly the pruned generation.
+        pruned = concat_shards(read_rtrc_dir(root))
+        kept = times_before[times_before >= float(pruned.columns.times[0])]
+        assert np.array_equal(pruned.columns.times, kept)
