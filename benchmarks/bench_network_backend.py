@@ -27,7 +27,13 @@ from __future__ import annotations
 import sys
 import time
 
-from bench_parallel_backends import RADIUS, SHARDS, usable_cores, walk_trace
+from bench_parallel_backends import (
+    RADIUS,
+    SHARDS,
+    metaverse_load,
+    usable_cores,
+    walk_trace,
+)
 
 from repro.core import ShardedAnalyzer, extract_contacts
 from repro.distributed import NetworkOptions
@@ -87,10 +93,11 @@ def test_network_backend_agrees_with_serial():
 def main() -> int:
     cores = usable_cores()
     obs = FULL_SNAPSHOTS * FULL_USERS
-    trace = walk_trace(FULL_SNAPSHOTS, FULL_USERS)
+    trace = metaverse_load(FULL_SNAPSHOTS, FULL_USERS)
     row = measure(trace)
     print(
-        f"network shard backend: contacts workload, {obs} observations, "
+        f"network shard backend: contacts workload, {obs} observations "
+        f"(metaverse hotspot load), "
         f"r={RADIUS:g} m, k={SHARDS} shards, {row['workers']} worker(s), "
         f"{cores} usable core(s)"
     )

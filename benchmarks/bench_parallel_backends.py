@@ -96,6 +96,21 @@ def walk_trace(
     return Trace.from_columns(store)
 
 
+def metaverse_load(snapshots: int, users: int) -> Trace:
+    """The standard load-generator trace: Zipf hotspots, venue hops.
+
+    Wraps :func:`repro.trace.metaverse_trace` with a seed derived from
+    the workload shape, mirroring :func:`walk_trace`.  Hotspot
+    crowding gives the service and distributed benchmarks a
+    contact-dense, realistically skewed workload instead of a uniform
+    diffuse one; scale the arguments up for million-avatar runs.
+    """
+    from repro.trace import metaverse_trace
+
+    rng = np.random.default_rng(snapshots * 31 + users)
+    return metaverse_trace(users, snapshots, rng, size=1024.0, n_hotspots=48)
+
+
 def _timed(fn) -> tuple[float, object]:
     t0 = time.perf_counter()
     result = fn()

@@ -36,7 +36,7 @@ import time
 from pathlib import Path
 
 from bench_live_shard_dir import grow_shard_dir
-from bench_parallel_backends import walk_trace
+from bench_parallel_backends import metaverse_load, walk_trace
 from repro.service import QueryService
 from repro.trace import Trace
 
@@ -197,6 +197,13 @@ def measure(
 # -- pytest harness (correctness smoke at reduced scale) -------------------
 
 
+def test_metaverse_load_drives_service(tmp_path):
+    trace = metaverse_load(24, 80)
+    root = build_store(trace, 3, tmp_path / "store")
+    row = measure(root, clients=2, queries_per_client=6, with_append=False)
+    assert row["cached_qps"] > 0 and row["uncached_qps"] > 0
+
+
 def test_cached_and_uncached_responses_identical(tmp_path):
     trace = walk_trace(24, 60)
     root = build_store(trace, 3, tmp_path / "store")
@@ -219,9 +226,9 @@ def main() -> int:
     print(
         f"query service: {CLIENTS} keep-alive clients x "
         f"{QUERIES_PER_CLIENT} queries over {ENDPOINTS}, store of "
-        f"{obs} observations in {ROUNDS} rounds"
+        f"{obs} observations in {ROUNDS} rounds (metaverse hotspot load)"
     )
-    trace = walk_trace(FULL_SNAPSHOTS, FULL_USERS)
+    trace = metaverse_load(FULL_SNAPSHOTS, FULL_USERS)
     with tempfile.TemporaryDirectory() as tmp:
         root = build_store(trace, ROUNDS, Path(tmp) / "store")
         row = measure(root)

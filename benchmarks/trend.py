@@ -179,6 +179,37 @@ def bench_network_backend() -> dict:
     }
 
 
+def bench_load_generator() -> dict:
+    """Metaverse hotspot generator vs the random-walk generator.
+
+    Both builders are fully vectorized; the hotspot generator adds the
+    Zipf venue assignment, hop re-draws and the OU pull per step.  The
+    gated ratio defends that this structure stays a small constant
+    factor over the null random walk at equal observation counts — if
+    it collapses, the load generator can no longer stand in for
+    million-avatar workloads.
+    """
+    from repro.trace import metaverse_trace, random_walk_trace
+
+    users, steps = 2000, 120  # 240k observations each
+    metaverse_trace(200, 20, np.random.default_rng(0))  # warm imports
+    t0 = time.perf_counter()
+    random_walk_trace(users, steps, np.random.default_rng(7))
+    t_walk = time.perf_counter() - t0
+    t0 = time.perf_counter()
+    metaverse_trace(users, steps, np.random.default_rng(7), size=1024.0)
+    t_meta = time.perf_counter() - t0
+    obs = users * steps
+    return {
+        "metrics": {"metaverse_over_walk": t_walk / t_meta},
+        "timings": {
+            "walk_s": t_walk,
+            "metaverse_s": t_meta,
+            "metaverse_obs_per_s": obs / t_meta,
+        },
+    }
+
+
 def bench_query_service() -> dict:
     """Cached query-service throughput vs uncached response recompute."""
     from bench_parallel_backends import walk_trace
@@ -207,6 +238,7 @@ BENCHES = {
     "live_shard_dir": bench_live_shard_dir,
     "network_backend": bench_network_backend,
     "query_service": bench_query_service,
+    "load_generator": bench_load_generator,
 }
 
 

@@ -4,7 +4,11 @@ Ten subcommands cover the workflow end to end (full reference with
 examples: ``docs/cli.md``)::
 
     slmob simulate --land dance --hours 2 --out dance.rtrc
+    slmob simulate --land dance --monitor sensors --sensor-model pathloss \
+        --out lossy.rtrc
+    slmob simulate --land campus --monitor association --out campus.rtrc
     slmob crawl --land dance --hours 8 --out live.rtrc --follow
+    slmob crawl --land campus --monitor association --out campus-live.rtrc
     slmob crawl --land dance --hours 8 --out live-shards --follow
     slmob crawl --land dance --out http://127.0.0.1:8700/v1/crawl
     slmob convert dance.csv.gz dance.rtrc
@@ -63,8 +67,14 @@ from repro.core import (
     TraceAnalyzer,
 )
 from repro.core.report import log_grid, render_ccdf_table, render_summary_table
-from repro.lands import paper_presets
-from repro.monitors import Crawler, SensorNetwork, stream_monitors
+from repro.lands import scenario_presets
+from repro.monitors import (
+    AssociationMonitor,
+    Crawler,
+    PathLossModel,
+    SensorNetwork,
+    stream_monitors,
+)
 from repro.service import DEFAULT_INGEST_BODY_LIMIT, DEFAULT_INGEST_BUDGET
 from repro.trace import (
     CompactionPolicy,
@@ -86,6 +96,7 @@ from repro.trace import (
 
 _LAND_KEYS = {
     "apfel": "Apfel Land",
+    "campus": "Campus WLAN",
     "dance": "Dance Island",
     "iov": "Isle of View",
 }
@@ -94,25 +105,116 @@ _LAND_KEYS = {
 def _build_world(args: argparse.Namespace):
     """Land preset + warmed-up world shared by ``simulate`` and ``crawl``."""
     land_name = _LAND_KEYS[args.land]
-    preset = paper_presets()[land_name]
+    preset = scenario_presets()[land_name]
     world = preset.build(seed=args.seed, start_time=args.start_hour * 3600.0)
     if args.spinup > 0:
         world.run_until(world.now + args.spinup)
-    return land_name, world
+    return land_name, preset, world
+
+
+def _make_monitor(args: argparse.Namespace, preset, sink=None):
+    """The monitor behind ``--monitor`` (and its sensor-channel flags).
+
+    Returns ``None`` (after printing guidance) when the combination is
+    invalid — association needs a land that carries access points, and
+    the sensor network buffers in script memory so it cannot stream to
+    a crawl sink.
+    """
+    if args.monitor == "crawler":
+        return Crawler(tau=args.tau, mimic=not args.naive, sink=sink)
+    if args.monitor == "association":
+        access_points = getattr(preset, "access_points", None)
+        if access_points is None or len(access_points) == 0:
+            print(
+                f"--monitor association needs a land with WLAN access "
+                f"points; {preset.land.name!r} has none (try --land campus)",
+                file=sys.stderr,
+            )
+            return None
+        return AssociationMonitor(
+            access_points,
+            tau=args.tau,
+            association_range=preset.association_range,
+            sink=sink,
+        )
+    # sensors: detections buffer in 16 KB script caches and flush
+    # through the rate-limited web server, so there is no sink path.
+    channel = None
+    if args.sensor_model == "pathloss":
+        channel = PathLossModel(shadowing_sigma=args.sensor_sigma)
+    return SensorNetwork(tau=args.tau, channel=channel, seed=args.seed)
+
+
+def _metaverse_trace_cli(args: argparse.Namespace):
+    """The synthetic metaverse workload behind ``--land metaverse``.
+
+    Deterministic in (``--seed``, ``--users``, ``--hours``, ``--tau``)
+    alone — there is no world to monitor, so ``--spinup`` /
+    ``--start-hour`` / ``--monitor`` do not apply.
+    """
+    import numpy as np
+
+    from repro.trace import metaverse_trace
+
+    if args.monitor != "crawler":
+        print(
+            "--land metaverse generates its trace directly; --monitor "
+            "does not apply (drop the flag)",
+            file=sys.stderr,
+        )
+        return None
+    steps = max(1, round(args.hours * 3600.0 / args.tau))
+    rng = np.random.default_rng(args.seed)
+    return metaverse_trace(args.users, steps, rng, tau=args.tau)
+
+
+def _replay_rounds(trace, sink, round_seconds: float):
+    """Append a prebuilt trace to a crawl sink, yielding round boundaries.
+
+    The generator mirrors :func:`~repro.monitors.stream_monitors`: it
+    appends snapshots and yields the clock whenever a round's worth of
+    trace time has been appended — the caller commits, exactly as in a
+    live crawl, so a streamed metaverse crawl and a buffered simulate
+    produce identical stores.
+    """
+    sink.metadata = trace.metadata
+    cols = trace.columns
+    names = cols.users.names
+    next_round = float(cols.times[0]) + round_seconds
+    for i, t in enumerate(cols.times):
+        t = float(t)
+        if t > next_round:
+            yield next_round
+            next_round += round_seconds
+        lo = int(cols.snapshot_offsets[i])
+        hi = int(cols.snapshot_offsets[i + 1])
+        sink.append_snapshot(
+            t, [names[j] for j in cols.user_ids[lo:hi]], cols.xyz[lo:hi]
+        )
+    yield float(cols.times[-1])
 
 
 def _cmd_simulate(args: argparse.Namespace) -> int:
-    land_name, world = _build_world(args)
-    if args.monitor == "crawler":
-        monitor = Crawler(tau=args.tau, mimic=not args.naive)
+    if args.land == "metaverse":
+        trace = _metaverse_trace_cli(args)
+        if trace is None:
+            return 2
+        print(
+            f"generating synthetic metaverse: {args.users} avatars for "
+            f"{args.hours:.2f} h (tau={args.tau:g}s, seed={args.seed})...",
+            file=sys.stderr,
+        )
     else:
-        monitor = SensorNetwork(tau=args.tau)
-    print(
-        f"simulating {land_name!r} for {args.hours:.2f} h "
-        f"(tau={args.tau:g}s, seed={args.seed}, monitor={args.monitor})...",
-        file=sys.stderr,
-    )
-    trace = monitor.monitor(world, args.hours * 3600.0)
+        land_name, preset, world = _build_world(args)
+        monitor = _make_monitor(args, preset)
+        if monitor is None:
+            return 2
+        print(
+            f"simulating {land_name!r} for {args.hours:.2f} h "
+            f"(tau={args.tau:g}s, seed={args.seed}, monitor={args.monitor})...",
+            file=sys.stderr,
+        )
+        trace = monitor.monitor(world, args.hours * 3600.0)
     out = Path(args.out)
     write_trace(trace, out)
     print(
@@ -163,19 +265,30 @@ def _crawl_http(args: argparse.Namespace) -> int:
             file=sys.stderr,
         )
         return 2
-    land_name, world = _build_world(args)
+    if args.land == "metaverse":
+        trace = _metaverse_trace_cli(args)
+        if trace is None:
+            return 2
+        land_name = trace.metadata.land_name
+    else:
+        land_name, preset, world = _build_world(args)
     print(
         f"crawling {land_name!r} for {args.hours:.2f} h "
-        f"(tau={args.tau:g}s, seed={args.seed}, "
+        f"(tau={args.tau:g}s, seed={args.seed}, monitor={args.monitor}, "
         f"round={args.round_minutes:g} min, posting rounds to {args.out})...",
         file=sys.stderr,
     )
     try:
         with HttpRoundSink(args.out) as sink:
-            crawler = Crawler(tau=args.tau, mimic=not args.naive, sink=sink)
-            rounds = stream_monitors(
-                world, [crawler], args.hours * 3600.0, args.round_minutes * 60.0
-            )
+            if args.land == "metaverse":
+                rounds = _replay_rounds(trace, sink, args.round_minutes * 60.0)
+            else:
+                monitor = _make_monitor(args, preset, sink)
+                if monitor is None:
+                    return 2
+                rounds = stream_monitors(
+                    world, [monitor], args.hours * 3600.0, args.round_minutes * 60.0
+                )
             for now in rounds:
                 sink.commit()
                 print(
@@ -224,11 +337,17 @@ def _cmd_crawl(args: argparse.Namespace) -> int:
             )
             return 2
         policy = CompactionPolicy(max_round_files=args.compact_every)
-    land_name, world = _build_world(args)
+    if args.land == "metaverse":
+        trace = _metaverse_trace_cli(args)
+        if trace is None:
+            return 2
+        land_name = trace.metadata.land_name
+    else:
+        land_name, preset, world = _build_world(args)
     ranges = args.range or [BLUETOOTH_RANGE]
     print(
         f"crawling {land_name!r} for {args.hours:.2f} h "
-        f"(tau={args.tau:g}s, seed={args.seed}, "
+        f"(tau={args.tau:g}s, seed={args.seed}, monitor={args.monitor}, "
         f"round={args.round_minutes:g} min, streaming to {out}"
         f"{' [shard dir, one file per round]' if to_dir else ''}"
         f"{f' [auto-compacting past {args.compact_every} files]' if policy else ''}"
@@ -238,12 +357,17 @@ def _cmd_crawl(args: argparse.Namespace) -> int:
     with (
         RtrcDirAppender(out, policy=policy) if to_dir else RtrcAppender(out)
     ) as appender:
-        crawler = Crawler(tau=args.tau, mimic=not args.naive, sink=appender)
+        if args.land == "metaverse":
+            rounds = _replay_rounds(trace, appender, args.round_minutes * 60.0)
+        else:
+            monitor = _make_monitor(args, preset, sink=appender)
+            if monitor is None:
+                return 2
+            rounds = stream_monitors(
+                world, [monitor], args.hours * 3600.0, args.round_minutes * 60.0
+            )
         live = LiveAnalyzer(out) if args.follow else None
         try:
-            rounds = stream_monitors(
-                world, [crawler], args.hours * 3600.0, args.round_minutes * 60.0
-            )
             for now in rounds:
                 # The commit is the durability point: everything this
                 # round observed is now visible to concurrent readers.
@@ -796,7 +920,17 @@ def build_parser() -> argparse.ArgumentParser:
     sub = parser.add_subparsers(dest="command", required=True)
 
     def add_world_args(parser: argparse.ArgumentParser) -> None:
-        parser.add_argument("--land", choices=sorted(_LAND_KEYS), default="dance")
+        parser.add_argument("--land",
+                            choices=sorted(_LAND_KEYS) + ["metaverse"],
+                            default="dance",
+                            help="scenario: a simulated land preset, or "
+                                 "'metaverse' for the synthetic Zipf-hotspot "
+                                 "avatar workload (generated directly; "
+                                 "--users scales it)")
+        parser.add_argument("--users", type=int, default=2000,
+                            help="with --land metaverse: avatar count "
+                                 "(default 2000; scale up for million-"
+                                 "avatar load generation)")
         parser.add_argument("--hours", type=float, default=1.0)
         parser.add_argument("--tau", type=float, default=10.0)
         parser.add_argument("--seed", type=int, default=2008)
@@ -807,7 +941,24 @@ def build_parser() -> argparse.ArgumentParser:
 
     simulate = sub.add_parser("simulate", help="simulate a land and write a trace")
     add_world_args(simulate)
-    simulate.add_argument("--monitor", choices=["crawler", "sensors"], default="crawler")
+    simulate.add_argument("--monitor",
+                          choices=["crawler", "sensors", "association"],
+                          default="crawler",
+                          help="observable: 'crawler' records coordinates; "
+                               "'sensors' runs the in-world sensor grid with "
+                               "its platform limits; 'association' records "
+                               "nearest-AP WLAN associations (needs a land "
+                               "with access points, e.g. --land campus)")
+    simulate.add_argument("--sensor-model", choices=["hard", "pathloss"],
+                          default="hard",
+                          help="with --monitor sensors: 'hard' is the "
+                               "deterministic 96 m LSL disc; 'pathloss' "
+                               "detects probabilistically with distance "
+                               "(log-distance decay + shadowing)")
+    simulate.add_argument("--sensor-sigma", type=float, default=6.0,
+                          help="with --sensor-model pathloss: shadow-fading "
+                               "std dev in dB (0 degenerates to the hard "
+                               "radius; default 6)")
     simulate.add_argument("--out", required=True,
                           help="output .csv[.gz], .jsonl[.gz] or .rtrc[.gz]")
     simulate.set_defaults(func=_cmd_simulate)
@@ -818,6 +969,12 @@ def build_parser() -> argparse.ArgumentParser:
              "committing round by round",
     )
     add_world_args(crawl)
+    crawl.add_argument("--monitor", choices=["crawler", "association"],
+                       default="crawler",
+                       help="streaming observable: 'crawler' records "
+                            "coordinates, 'association' nearest-AP WLAN "
+                            "associations (--land campus); the sensor grid "
+                            "buffers in script memory and cannot stream")
     crawl.add_argument("--out", required=True,
                        help="appendable output store: a plain .rtrc file, "
                             "or a suffix-less path for a shard directory "

@@ -14,6 +14,11 @@ Each preset encodes a behavioural archetype from §3 of the paper:
 `generic_land` builds un-calibrated worlds for tests and ablations;
 :mod:`repro.lands.calibration` records the paper's published numbers
 for every land so experiments assert against a single source.
+
+Beyond the paper's geometry, :func:`~repro.lands.campus.campus_wlan`
+builds a kilometre-scale campus observed as discrete AP associations
+(the IMPACT idiom); :func:`~repro.lands.campus.scenario_presets`
+collects every named scenario for the CLI.
 """
 
 from repro.lands.presets import (
@@ -25,6 +30,12 @@ from repro.lands.presets import (
     money_land,
     paper_presets,
 )
+from repro.lands.campus import (
+    CampusPreset,
+    campus_access_points,
+    campus_wlan,
+    scenario_presets,
+)
 from repro.lands.calibration import PAPER_TARGETS, PaperTargets
 
 __all__ = [
@@ -35,6 +46,10 @@ __all__ = [
     "isle_of_view",
     "money_land",
     "paper_presets",
+    "CampusPreset",
+    "campus_access_points",
+    "campus_wlan",
+    "scenario_presets",
     "PAPER_TARGETS",
     "PaperTargets",
 ]

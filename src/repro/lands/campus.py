@@ -1,0 +1,210 @@
+"""Campus-WLAN scenario: discrete access points as zones.
+
+The IMPACT campus traces (Hsu & Helmy, PAPERS.md) observe mobility as
+*AP association events*, not coordinates — hundreds of access points
+scattered over a kilometre-scale campus, each log line saying "device
+X associated with AP Y".  This preset reproduces that geometry: a
+large outdoor land, a dozen buildings driving POI attraction, a
+Gauss–Markov strolling population and a random-direction courier
+population (the two models this scenario dogfoods), and a jittered
+grid of a few hundred APs for the
+:class:`~repro.monitors.association.AssociationMonitor` to observe.
+
+The observable trace takes values on the discrete AP set, so zone
+occupation degenerates to an AP-popularity histogram and session
+extraction recovers association episodes — the "very different
+geometry" ROADMAP item 4 asks the zone/session machinery to survive.
+
+Everything is deterministic from the preset seed (AP placement,
+building layout) plus the world seed (arrivals, motion), matching the
+package-wide seeded-RNG contract.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.lands.presets import LandPreset, _session_law, paper_presets
+from repro.metaverse import Land, Population, SessionProcess
+from repro.mobility import GaussMarkov, PoiMobility, PointOfInterest, RandomDirection
+from repro.monitors.association import ASSOCIATION_RANGE
+from repro.stats import TruncatedParetoExp
+
+#: Campus footprint, meters (a kilometre-scale campus, not an SL region).
+CAMPUS_SIZE = 1024.0
+
+#: Default AP count — "hundreds of discrete APs as zones".
+DEFAULT_AP_COUNT = 300
+
+
+@dataclass
+class CampusPreset(LandPreset):
+    """A land preset that also carries its WLAN infrastructure.
+
+    ``access_points`` is the ``(n, 2)`` AP coordinate array the
+    association monitor observes; ``association_range`` is the WLAN
+    cell radius in meters.
+    """
+
+    access_points: np.ndarray = field(default_factory=lambda: np.empty((0, 2)))
+    association_range: float = ASSOCIATION_RANGE
+
+
+def campus_access_points(
+    n_aps: int = DEFAULT_AP_COUNT,
+    size: float = CAMPUS_SIZE,
+    seed: int = 0,
+    jitter: float = 8.0,
+) -> np.ndarray:
+    """A jittered-grid AP deployment, ``(n_aps, 2)``, meters.
+
+    Real campus deployments follow corridors and floors rather than a
+    survey grid; a deterministic jitter (from ``seed``) breaks the
+    artificial regularity while keeping coverage roughly uniform.
+    """
+    if n_aps < 1:
+        raise ValueError(f"need at least one access point, got {n_aps}")
+    rng = np.random.default_rng(seed)
+    side = math.ceil(math.sqrt(n_aps))
+    pitch = size / side
+    cells = np.arange(n_aps)
+    rows, cols = np.divmod(cells, side)
+    xy = np.empty((n_aps, 2), dtype=np.float64)
+    xy[:, 0] = (cols + 0.5) * pitch
+    xy[:, 1] = (rows + 0.5) * pitch
+    xy += rng.normal(0.0, jitter, size=(n_aps, 2))
+    return np.clip(xy, 0.0, size)
+
+
+def campus_wlan(
+    n_aps: int = DEFAULT_AP_COUNT,
+    size: float = CAMPUS_SIZE,
+    hourly_rate: float = 240.0,
+    seed: int = 0,
+    name: str = "Campus WLAN",
+) -> CampusPreset:
+    """The campus-WLAN scenario preset.
+
+    Three populations share the campus:
+
+    * **students** — POI attraction between twelve buildings with
+      heavy-tailed dwell times (a lecture outlasts a coffee);
+    * **strollers** — :class:`~repro.mobility.gauss_markov.GaussMarkov`
+      walkers (velocity-correlated wandering across the quads);
+    * **couriers** — :class:`~repro.mobility.random_direction.
+      RandomDirection` crossers at bike speed.
+
+    ``hourly_rate`` is the total arrival rate; the split and session
+    laws put mean concurrency around 150 devices, well under the
+    land's 600 cap.  Build a world with ``campus_wlan().build(seed)``
+    and observe it with an
+    :class:`~repro.monitors.association.AssociationMonitor` over
+    :attr:`CampusPreset.access_points`.
+    """
+    if hourly_rate <= 0:
+        raise ValueError(f"hourly rate must be positive, got {hourly_rate}")
+    rng = np.random.default_rng(seed)
+    buildings = []
+    names = [
+        "library", "lecture-hall-a", "lecture-hall-b", "student-union",
+        "cafeteria", "engineering", "sciences", "gym",
+        "dorm-north", "dorm-south", "admin", "bookstore",
+    ]
+    side = 4
+    pitch = size / (side + 1)
+    for k, building in enumerate(names):
+        row, col = divmod(k, side)
+        buildings.append(
+            PointOfInterest(
+                name=building,
+                x=float(np.clip((col + 1) * pitch + rng.normal(0, 40), 40, size - 40)),
+                y=float(np.clip((row + 1) * pitch + rng.normal(0, 40), 40, size - 40)),
+                radius=float(rng.uniform(18, 30)),
+                weight=float(rng.uniform(0.8, 3.0)),
+                spawn_weight=float(rng.uniform(0.5, 2.0)),
+            )
+        )
+    land = Land(
+        name,
+        width=size,
+        height=size,
+        pois=buildings,
+        max_concurrent=600,
+    )
+    # Class blocks and library stints: long heavy-tailed dwells.
+    dwell = TruncatedParetoExp(alpha=1.5, rate=1.0 / 1500.0, low=60.0, high=7200.0)
+    students = Population(
+        "students",
+        SessionProcess(
+            hourly_rate=hourly_rate * 0.7,
+            session_law=_session_law(2700.0, sigma=0.8),
+            user_prefix="student",
+            revisit_probability=0.35,
+        ),
+        PoiMobility(
+            land.width,
+            land.height,
+            buildings,
+            stay_probability=0.70,
+            explore_probability=0.05,
+            dwell=dwell,
+            micro_move_scale=1.0,
+        ),
+    )
+    strollers = Population(
+        "strollers",
+        SessionProcess(
+            hourly_rate=hourly_rate * 0.2,
+            session_law=_session_law(1200.0),
+            user_prefix="stroller",
+        ),
+        GaussMarkov(
+            land.width,
+            land.height,
+            alpha=0.85,
+            mean_speed=1.4,
+            speed_sigma=0.4,
+            step_seconds=10.0,
+            edge_margin=32.0,
+        ),
+    )
+    couriers = Population(
+        "couriers",
+        SessionProcess(
+            hourly_rate=hourly_rate * 0.1,
+            session_law=_session_law(1800.0, sigma=0.6),
+            user_prefix="courier",
+        ),
+        RandomDirection(
+            land.width,
+            land.height,
+            min_speed=2.5,
+            max_speed=6.0,
+            min_pause=0.0,
+            max_pause=30.0,
+        ),
+    )
+    return CampusPreset(
+        land=land,
+        populations=[students, strollers, couriers],
+        # No avatar-attraction mechanic on a campus: nobody walks
+        # toward a stranger because they logged in.
+        attraction_probability=0.0,
+        access_points=campus_access_points(n_aps, size, seed=seed),
+        association_range=ASSOCIATION_RANGE,
+    )
+
+
+def scenario_presets() -> dict[str, LandPreset]:
+    """Every named scenario: the three paper lands plus the campus.
+
+    The CLI's ``--land`` choices map onto these keys; see
+    ``docs/scenarios.md`` for the catalogue.
+    """
+    presets: dict[str, LandPreset] = dict(paper_presets())
+    campus = campus_wlan()
+    presets[campus.name] = campus
+    return presets

@@ -23,9 +23,11 @@ from repro.metaverse import (
 )
 from repro.metaverse.sessions import EVENING_PROFILE, MAX_SESSION_SECONDS
 from repro.mobility import (
+    GaussMarkov,
     LevyWalk,
     PoiMobility,
     PointOfInterest,
+    RandomDirection,
     RandomWaypoint,
     StaticModel,
 )
@@ -285,8 +287,10 @@ def generic_land(
     """An un-calibrated land for tests and ablations.
 
     ``mobility`` selects the avatar model: ``"poi"`` (default),
-    ``"rwp"`` (random waypoint) or ``"levy"``.  POIs are placed on a
-    deterministic jittered grid from ``seed``.
+    ``"rwp"`` (random waypoint), ``"levy"``, ``"gauss-markov"``
+    (velocity-correlated wandering) or ``"random-direction"``
+    (walk-to-the-border baseline).  POIs are placed on a deterministic
+    jittered grid from ``seed``.
     """
     if n_pois < 1:
         raise ValueError(f"need at least one POI, got {n_pois}")
@@ -313,6 +317,10 @@ def generic_land(
         model = RandomWaypoint(land.width, land.height)
     elif mobility == "levy":
         model = LevyWalk(land.width, land.height)
+    elif mobility == "gauss-markov":
+        model = GaussMarkov(land.width, land.height)
+    elif mobility == "random-direction":
+        model = RandomDirection(land.width, land.height)
     else:
         raise ValueError(f"unknown mobility kind {mobility!r}")
     visitors = Population(

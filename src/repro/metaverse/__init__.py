@@ -29,9 +29,11 @@ from repro.metaverse.avatar import Avatar, AvatarState
 from repro.metaverse.sessions import PlannedVisit, SessionProcess
 from repro.metaverse.events import ScheduledEvent
 from repro.metaverse.chat import ChatChannel, ChatMessage
+from repro.metaverse.hotspots import HotspotField
 from repro.metaverse.world import Population, World, WorldStats
 
 __all__ = [
+    "HotspotField",
     "AccessPolicy",
     "Land",
     "DeploymentError",

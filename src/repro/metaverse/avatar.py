@@ -20,6 +20,10 @@ from repro.mobility import Leg, MobilityModel
 #: misbehaving mobility model cannot stall the simulation clock.
 _MIN_EFFECTIVE_PAUSE = 0.25
 
+#: Sentinel marking per-avatar mobility state that has not been seeded
+#: yet (``None`` is a valid state for stateless models).
+_STATE_UNSET = object()
+
 
 class AvatarState(enum.Enum):
     """Lifecycle states of an embodied avatar."""
@@ -49,6 +53,7 @@ class Avatar:
     seconds_moving: float = field(default=0.0, repr=False)
     _leg: Leg | None = field(default=None, repr=False)
     _pause_left: float = field(default=0.0, repr=False)
+    _model_state: object = field(default=_STATE_UNSET, repr=False)
 
     @property
     def online(self) -> bool:
@@ -122,7 +127,12 @@ class Avatar:
                     return
                 remaining -= self._pause_left
                 self._pause_left = 0.0
-                self._begin(self.model.next_leg(self.position, rng))
+                if self._model_state is _STATE_UNSET:
+                    self._model_state = self.model.initial_state(self.position, rng)
+                leg, self._model_state = self.model.next_leg_from(
+                    self.position, self._model_state, rng
+                )
+                self._begin(leg)
             else:  # WALKING
                 leg = self._leg
                 assert leg is not None, "walking avatar must have a leg"

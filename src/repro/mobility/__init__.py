@@ -5,7 +5,14 @@ MobilityModel`): given the avatar's current position, produce the next
 *leg* — a path to walk, a speed, and a pause to take on arrival.  The
 world engine owns the clock; models own the geometry.
 
-Three families are provided:
+Models are deterministic given the seeded generator they are handed:
+all randomness flows through the ``rng`` argument, never through
+module-level or instance state, so a fixed world seed reproduces every
+trajectory bit-for-bit.  Most models are stateless per avatar; models
+with per-avatar memory thread it through the state hooks on
+:class:`~repro.mobility.base.MobilityModel` (see ``base.py``).
+
+Five synthetic families are provided:
 
 * :class:`~repro.mobility.poi.PoiMobility` — attraction to weighted
   points of interest with heavy-tailed dwell times.  This is the
@@ -18,6 +25,11 @@ Three families are provided:
 * :class:`~repro.mobility.levy.LevyWalk` — the Lévy-walk model of
   human mobility (Rhee et al., INFOCOM 2008), cited by the paper as
   the real-world comparison point.
+* :class:`~repro.mobility.gauss_markov.GaussMarkov` — velocity-
+  correlated motion (AR(1) speed and heading with memory ``alpha``);
+  the package's first stateful model.
+* :class:`~repro.mobility.random_direction.RandomDirection` — uniform
+  headings walked border to border; the density-unbiased baseline.
 
 Plus :class:`~repro.mobility.static.StaticModel` for camper/AFK
 avatars that stand still.
@@ -27,6 +39,8 @@ from repro.mobility.base import Leg, MobilityModel
 from repro.mobility.poi import PointOfInterest, PoiMobility
 from repro.mobility.random_waypoint import RandomWaypoint
 from repro.mobility.levy import LevyWalk
+from repro.mobility.gauss_markov import GaussMarkov, GaussMarkovState
+from repro.mobility.random_direction import RandomDirection
 from repro.mobility.static import StaticModel
 
 __all__ = [
@@ -36,5 +50,8 @@ __all__ = [
     "PoiMobility",
     "RandomWaypoint",
     "LevyWalk",
+    "GaussMarkov",
+    "GaussMarkovState",
+    "RandomDirection",
     "StaticModel",
 ]

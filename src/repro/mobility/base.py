@@ -1,14 +1,26 @@
 """The mobility-model contract.
 
-A model is *stateless per avatar*: every decision is a function of the
-avatar's current position and the shared random generator.  This keeps
-one model instance usable by hundreds of avatars and makes decisions
-unit-testable in isolation (feed a position, inspect the leg).
+A model is *stateless per avatar* by default: every decision is a
+function of the avatar's current position and the shared random
+generator.  This keeps one model instance usable by hundreds of
+avatars and makes decisions unit-testable in isolation (feed a
+position, inspect the leg).
+
+Models with per-avatar memory (e.g. the velocity-correlated
+:class:`~repro.mobility.gauss_markov.GaussMarkov`) override the
+*state hooks* instead: :meth:`MobilityModel.initial_state` seeds an
+opaque memory value when the avatar logs in, and
+:meth:`MobilityModel.next_leg_from` threads it through every decision.
+The avatar owns the state object; the model instance itself stays
+shared and immutable, so the determinism contract is unchanged — all
+randomness still flows through the generator argument, never through
+module-level or instance state.
 """
 
 from __future__ import annotations
 
 import abc
+import math
 from dataclasses import dataclass
 
 import numpy as np
@@ -77,6 +89,28 @@ class MobilityModel(abc.ABC):
     def next_leg(self, position: Position, rng: np.random.Generator) -> Leg:
         """The avatar's next movement decision from ``position``."""
 
+    # -- per-avatar state hooks -----------------------------------------
+
+    def initial_state(self, position: Position, rng: np.random.Generator):
+        """Per-avatar mobility memory, seeded once at login.
+
+        Stateless models (the default) return ``None``.  Stateful
+        models return an opaque value the avatar carries and hands
+        back on every :meth:`next_leg_from` call.
+        """
+        return None
+
+    def next_leg_from(
+        self, position: Position, state, rng: np.random.Generator
+    ) -> tuple[Leg, object]:
+        """The next movement decision, threading per-avatar ``state``.
+
+        Returns ``(leg, new_state)``.  The default implementation
+        ignores state and delegates to :meth:`next_leg`, so stateless
+        models only ever implement the two abstract methods.
+        """
+        return self.next_leg(position, rng), state
+
     # -- shared helpers -------------------------------------------------
 
     def clamp(self, x: float, y: float) -> Position:
@@ -102,3 +136,24 @@ class MobilityModel(abc.ABC):
     ) -> Leg:
         """Build the common straight-line leg."""
         return Leg(Path.from_points([origin, target]), speed, pause)
+
+    def reflect(self, x: float, y: float) -> Position:
+        """Mirror a point back inside the land (billiard reflection).
+
+        Preserves step-length distributions better than clamping,
+        which piles probability mass on the walls.
+        """
+        return Position(
+            self._reflect_axis(x, self.width),
+            self._reflect_axis(y, self.height),
+        )
+
+    @staticmethod
+    def _reflect_axis(value: float, bound: float) -> float:
+        period = 2.0 * bound
+        value = math.fmod(value, period)
+        if value < 0.0:
+            value += period
+        if value > bound:
+            value = period - value
+        return value

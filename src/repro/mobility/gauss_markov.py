@@ -1,0 +1,191 @@
+"""Gauss–Markov mobility (Liang & Haas; Camp, Boleng & Davies survey).
+
+Velocity is a first-order autoregressive process: at every decision
+epoch the avatar's speed and heading are pulled toward their means
+with memory ``alpha``,
+
+    s_n = alpha * s_{n-1} + (1 - alpha) * s_mean
+          + sqrt(1 - alpha^2) * sigma_s * w_s
+    d_n = alpha * d_{n-1} + (1 - alpha) * d_mean
+          + sqrt(1 - alpha^2) * sigma_d * w_d
+
+with ``w_s, w_d`` standard normal.  ``alpha = 0`` degenerates to a
+memoryless random walk; ``alpha -> 1`` approaches straight-line
+motion.  The lag-1 autocorrelation of the sampled speed sequence is
+``alpha`` — the property the statistical tests pin.
+
+This is the package's first *stateful* model: the per-avatar velocity
+memory lives in an opaque state value threaded through
+:meth:`~repro.mobility.base.MobilityModel.next_leg_from` (see
+``base.py``), so one model instance still serves hundreds of avatars.
+Determinism is unchanged: given the same seed and call sequence the
+trajectory is bit-for-bit reproducible, because every random draw
+flows through the generator argument.
+
+Near a border the mean heading is overridden to point back toward the
+land centre (the standard edge treatment), and targets that still fall
+outside are reflected back inside.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.geometry import Position
+from repro.mobility.base import Leg, MobilityModel
+
+
+@dataclass(frozen=True)
+class GaussMarkovState:
+    """Per-avatar velocity memory: current speed (m/s) and heading.
+
+    ``mean_direction`` is the avatar's personal asymptotic heading in
+    radians, drawn once at login and steered toward the land centre
+    while the avatar is inside the edge margin.
+    """
+
+    speed: float
+    direction: float
+    mean_direction: float
+
+
+class GaussMarkov(MobilityModel):
+    """Gauss–Markov mobility on a rectangular land.
+
+    Parameters
+    ----------
+    alpha:
+        Memory of the velocity process, in ``[0, 1)``.  Successive
+        speeds (and headings) have lag-1 autocorrelation ``alpha``.
+    mean_speed:
+        Asymptotic mean speed, m/s.
+    speed_sigma:
+        Stationary standard deviation of the speed process, m/s.
+    direction_sigma:
+        Stationary standard deviation of the heading process, radians.
+    step_seconds:
+        Decision-epoch length: the avatar walks each sampled velocity
+        for this many seconds, seconds.
+    edge_margin:
+        Distance from a border, meters, inside which the mean heading
+        is redirected toward the land centre.
+    min_speed:
+        Floor applied to sampled speeds, m/s (keeps legs walkable —
+        the process itself is unbounded below).
+
+    Determinism: all randomness flows through the ``rng`` argument;
+    fixed seed and call order reproduce trajectories bit-for-bit.
+    """
+
+    def __init__(
+        self,
+        width: float,
+        height: float,
+        alpha: float = 0.75,
+        mean_speed: float = 2.6,
+        speed_sigma: float = 0.8,
+        direction_sigma: float = 0.6,
+        step_seconds: float = 8.0,
+        edge_margin: float = 16.0,
+        min_speed: float = 0.2,
+    ) -> None:
+        super().__init__(width, height)
+        if not 0.0 <= alpha < 1.0:
+            raise ValueError(f"alpha must be in [0, 1), got {alpha}")
+        if mean_speed <= 0:
+            raise ValueError(f"mean speed must be positive, got {mean_speed}")
+        if speed_sigma < 0 or direction_sigma < 0:
+            raise ValueError(
+                f"sigmas must be non-negative, got {speed_sigma}/{direction_sigma}"
+            )
+        if step_seconds <= 0:
+            raise ValueError(f"step must be positive, got {step_seconds}")
+        if not 0.0 < min_speed <= mean_speed:
+            raise ValueError(
+                f"min_speed must be in (0, mean_speed], got {min_speed}"
+            )
+        if edge_margin < 0 or 2 * edge_margin >= min(width, height):
+            raise ValueError(
+                f"edge margin {edge_margin} does not fit a {width}x{height} land"
+            )
+        self.alpha = float(alpha)
+        self.mean_speed = float(mean_speed)
+        self.speed_sigma = float(speed_sigma)
+        self.direction_sigma = float(direction_sigma)
+        self.step_seconds = float(step_seconds)
+        self.edge_margin = float(edge_margin)
+        self.min_speed = float(min_speed)
+
+    def initial_position(self, rng: np.random.Generator) -> Position:
+        """Uniform over the land."""
+        return self.uniform_point(rng)
+
+    def initial_state(
+        self, position: Position, rng: np.random.Generator
+    ) -> GaussMarkovState:
+        """Draw the login velocity from the stationary distribution."""
+        speed = max(
+            self.min_speed,
+            float(rng.normal(self.mean_speed, self.speed_sigma)),
+        )
+        direction = float(rng.uniform(0.0, 2.0 * math.pi))
+        return GaussMarkovState(speed, direction, direction)
+
+    def next_leg_from(
+        self, position: Position, state, rng: np.random.Generator
+    ) -> tuple[Leg, GaussMarkovState]:
+        """One AR(1) velocity update, walked for ``step_seconds``."""
+        if not isinstance(state, GaussMarkovState):
+            state = self.initial_state(position, rng)
+        mean_direction = self._steered_mean(position, state.mean_direction)
+        noise_scale = math.sqrt(1.0 - self.alpha * self.alpha)
+        speed = (
+            self.alpha * state.speed
+            + (1.0 - self.alpha) * self.mean_speed
+            + noise_scale * self.speed_sigma * float(rng.standard_normal())
+        )
+        speed = max(self.min_speed, speed)
+        direction = (
+            self.alpha * state.direction
+            + (1.0 - self.alpha) * mean_direction
+            + noise_scale * self.direction_sigma * float(rng.standard_normal())
+        )
+        distance = speed * self.step_seconds
+        target = self.reflect(
+            position.x + distance * math.cos(direction),
+            position.y + distance * math.sin(direction),
+        )
+        leg = self.straight_leg(position, target, speed, pause=0.0)
+        return leg, GaussMarkovState(speed, direction, mean_direction)
+
+    def next_leg(self, position: Position, rng: np.random.Generator) -> Leg:
+        """Stateless entry point: one step from a fresh login state."""
+        leg, _ = self.next_leg_from(
+            position, self.initial_state(position, rng), rng
+        )
+        return leg
+
+    def _steered_mean(self, position: Position, mean_direction: float) -> float:
+        """Mean heading, redirected toward the centre near a border.
+
+        The redirect replaces the avatar's personal mean with the
+        bearing to the land centre, expressed in the angle branch
+        closest to the current mean so the AR update turns the short
+        way round.
+        """
+        if (
+            self.edge_margin < position.x < self.width - self.edge_margin
+            and self.edge_margin < position.y < self.height - self.edge_margin
+        ):
+            return mean_direction
+        to_centre = math.atan2(
+            self.height / 2.0 - position.y, self.width / 2.0 - position.x
+        )
+        # Shift to_centre by whole turns until it is within pi of the
+        # current mean, so blending the two angles never walks the
+        # long way around the circle.
+        turns = round((mean_direction - to_centre) / (2.0 * math.pi))
+        return to_centre + turns * 2.0 * math.pi

@@ -63,25 +63,9 @@ class LevyWalk(MobilityModel):
         """Heavy-tailed flight in a uniform direction, heavy-tailed pause."""
         length = float(self._flights.sample(rng))
         angle = float(rng.uniform(0.0, 2.0 * math.pi))
-        target = self._reflect(
+        target = self.reflect(
             position.x + length * math.cos(angle),
             position.y + length * math.sin(angle),
         )
         pause = float(self._pauses.sample(rng))
         return self.straight_leg(position, target, self.speed, pause)
-
-    def _reflect(self, x: float, y: float) -> Position:
-        """Mirror a point back inside the land (billiard reflection)."""
-        x = self._reflect_axis(x, self.width)
-        y = self._reflect_axis(y, self.height)
-        return Position(x, y)
-
-    @staticmethod
-    def _reflect_axis(value: float, bound: float) -> float:
-        period = 2.0 * bound
-        value = math.fmod(value, period)
-        if value < 0.0:
-            value += period
-        if value > bound:
-            value = period - value
-        return value

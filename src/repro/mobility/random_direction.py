@@ -1,0 +1,101 @@
+"""Random-direction mobility (Royer, Melliar-Smith & Moser).
+
+Pick a uniform heading, walk all the way to the land border along it,
+pause, and repeat.  Unlike random waypoint — whose uniform *waypoints*
+concentrate crossings through the centre — random direction spends
+uniform time per unit border and keeps the stationary node density
+nearly uniform, which is why it is the standard unbiased synthetic
+baseline.
+
+The model is stateless: each decision is a pure function of the
+current position and the shared generator, so the base
+:class:`~repro.mobility.base.MobilityModel` contract applies
+unchanged.  Determinism: all randomness flows through the ``rng``
+argument; a fixed seed reproduces trajectories bit-for-bit.
+"""
+
+from __future__ import annotations
+
+import math
+
+import numpy as np
+
+from repro.geometry import Position
+from repro.mobility.base import DEFAULT_MAX_SPEED, DEFAULT_MIN_SPEED, Leg, MobilityModel
+from repro.stats import Uniform
+
+#: Headings whose border exit is closer than this, meters, are
+#: re-drawn (the avatar is standing on the border looking out).
+_MIN_EXIT_DISTANCE = 1e-6
+
+
+class RandomDirection(MobilityModel):
+    """Classical random-direction mobility on a rectangular land.
+
+    Parameters
+    ----------
+    min_speed, max_speed:
+        Uniform walking-speed range, m/s.
+    min_pause, max_pause:
+        Uniform border-pause range, seconds.
+
+    Headings are uniform on ``[0, 2*pi)``; every leg ends on the land
+    border (travel distance = exit distance along the heading).
+    """
+
+    def __init__(
+        self,
+        width: float,
+        height: float,
+        min_speed: float = DEFAULT_MIN_SPEED,
+        max_speed: float = DEFAULT_MAX_SPEED,
+        min_pause: float = 0.0,
+        max_pause: float = 60.0,
+    ) -> None:
+        super().__init__(width, height)
+        if min_speed <= 0:
+            raise ValueError(
+                f"min_speed must be positive (zero speed stalls the model), got {min_speed}"
+            )
+        self._speed = Uniform(min_speed, max_speed)
+        if max_pause < min_pause:
+            raise ValueError(f"empty pause range [{min_pause}, {max_pause}]")
+        self.min_pause = float(min_pause)
+        self.max_pause = float(max_pause)
+
+    def initial_position(self, rng: np.random.Generator) -> Position:
+        """Uniform over the land."""
+        return self.uniform_point(rng)
+
+    def next_leg(self, position: Position, rng: np.random.Generator) -> Leg:
+        """Uniform heading to the border, uniform speed, uniform pause."""
+        while True:
+            angle = float(rng.uniform(0.0, 2.0 * math.pi))
+            exit_distance = self._exit_distance(position, angle)
+            if exit_distance > _MIN_EXIT_DISTANCE:
+                break
+        target = self.clamp(
+            position.x + exit_distance * math.cos(angle),
+            position.y + exit_distance * math.sin(angle),
+        )
+        speed = float(self._speed.sample(rng))
+        if self.max_pause == self.min_pause:
+            pause = self.min_pause
+        else:
+            pause = float(rng.uniform(self.min_pause, self.max_pause))
+        return self.straight_leg(position, target, speed, pause)
+
+    def _exit_distance(self, position: Position, angle: float) -> float:
+        """Distance from ``position`` to the border along ``angle``."""
+        dx = math.cos(angle)
+        dy = math.sin(angle)
+        t = float("inf")
+        if dx > 0.0:
+            t = min(t, (self.width - position.x) / dx)
+        elif dx < 0.0:
+            t = min(t, -position.x / dx)
+        if dy > 0.0:
+            t = min(t, (self.height - position.y) / dy)
+        elif dy < 0.0:
+            t = min(t, -position.y / dy)
+        return t

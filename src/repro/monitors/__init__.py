@@ -26,7 +26,8 @@ from repro.monitors.base import (
 from repro.monitors.database import TraceDatabase
 from repro.monitors.webserver import WebServer
 from repro.monitors.crawler import Crawler
-from repro.monitors.sensors import SensorNetwork, VirtualSensor
+from repro.monitors.sensors import PathLossModel, SensorNetwork, VirtualSensor
+from repro.monitors.association import AssociationMonitor
 
 __all__ = [
     "GroundTruthMonitor",
@@ -36,6 +37,8 @@ __all__ = [
     "TraceDatabase",
     "WebServer",
     "Crawler",
+    "PathLossModel",
     "SensorNetwork",
     "VirtualSensor",
+    "AssociationMonitor",
 ]

@@ -24,12 +24,31 @@ lands                        raises ``DeploymentError``
 The resulting trace is *partial* — exactly why the authors abandoned
 this architecture — and the A3 ablation quantifies the loss against
 ground truth.
+
+Detection channels
+------------------
+
+By default a sensor detects every avatar inside the hard
+``SENSING_RANGE`` disc, deterministically (the LSL behaviour).  A
+:class:`PathLossModel` channel replaces the disc with a *probabilistic*
+radio link: detection probability decays with distance following a
+log-distance path-loss law with log-normal shadowing (the RMa rural-
+macrocell idiom), so nearby avatars are occasionally missed and
+distant ones occasionally caught.  With ``shadowing_sigma = 0`` the
+channel degenerates exactly to the hard radius, which is how the
+sensor-bias ablations anchor the lossy runs against the classic ones.
+
+Channel randomness is drawn from the network's own seeded generator
+(``SensorNetwork(seed=...)``), never from global state, so sensor
+traces stay bit-reproducible under a fixed seed.
 """
 
 from __future__ import annotations
 
 import math
 from dataclasses import dataclass, field
+
+import numpy as np
 
 from repro.geometry import Position, distance
 from repro.metaverse import World
@@ -53,6 +72,96 @@ CACHE_BYTES = 16 * 1024
 RECORD_BYTES = 40
 
 
+def _standard_normal_cdf(x: float) -> float:
+    """Phi(x) via the error function (no scipy dependency)."""
+    return 0.5 * (1.0 + math.erf(x / math.sqrt(2.0)))
+
+
+@dataclass(frozen=True)
+class PathLossModel:
+    """Log-distance path-loss detection channel with shadowing.
+
+    The link margin at distance ``d`` (meters) is the path-loss gap to
+    the distance where detection is coin-flip likely::
+
+        margin_dB(d) = 10 * exponent * log10(reference_range / d)
+
+    and log-normal shadowing turns the margin into a detection
+    probability ``Phi(margin_dB / shadowing_sigma)`` — the standard
+    cell-edge coverage expression behind the RMa rural-macro model.
+    The probability is 1 at ``d = 0``, exactly 0.5 at
+    ``reference_range``, and non-increasing in distance.
+
+    Parameters
+    ----------
+    reference_range:
+        Distance at which detection probability is 0.5, meters.
+        Defaults to the LSL ``SENSING_RANGE`` so lossy runs stay
+        comparable to the hard-radius ones.
+    exponent:
+        Path-loss exponent ``n`` (2 = free space; RMa non-line-of-
+        sight fits are around 3).
+    shadowing_sigma:
+        Shadow-fading standard deviation, dB.  ``0`` degenerates to
+        the deterministic hard radius (probability 1 inside
+        ``reference_range``, 0 outside) and consumes no randomness.
+    floor:
+        Probabilities below this are treated as 0, bounding the scan
+        radius (:attr:`cutoff_range`).
+    """
+
+    reference_range: float = SENSING_RANGE
+    exponent: float = 3.0
+    shadowing_sigma: float = 6.0
+    floor: float = 1e-3
+
+    def __post_init__(self) -> None:
+        if self.reference_range <= 0:
+            raise ValueError(
+                f"reference range must be positive, got {self.reference_range}"
+            )
+        if self.exponent <= 0:
+            raise ValueError(f"exponent must be positive, got {self.exponent}")
+        if self.shadowing_sigma < 0:
+            raise ValueError(
+                f"shadowing sigma must be non-negative, got {self.shadowing_sigma}"
+            )
+        if not 0.0 < self.floor < 0.5:
+            raise ValueError(f"floor must be in (0, 0.5), got {self.floor}")
+
+    def detection_probability(self, d: float) -> float:
+        """Probability that one scan detects an avatar at distance ``d``."""
+        if d <= 0.0:
+            return 1.0
+        if self.shadowing_sigma == 0.0:
+            return 1.0 if d <= self.reference_range else 0.0
+        margin_db = 10.0 * self.exponent * math.log10(self.reference_range / d)
+        p = _standard_normal_cdf(margin_db / self.shadowing_sigma)
+        return p if p >= self.floor else 0.0
+
+    @property
+    def cutoff_range(self) -> float:
+        """Distance beyond which detection probability is below ``floor``.
+
+        Scans only consider avatars inside this radius; everything
+        further is undetectable by construction.
+        """
+        if self.shadowing_sigma == 0.0:
+            return self.reference_range
+        # Invert Phi(margin / sigma) = floor by bisecting the margin:
+        # Phi is strictly increasing, so the bracket [-40, 0] dB covers
+        # every floor in (0, 0.5).
+        lo, hi = -40.0 * max(1.0, self.shadowing_sigma), 0.0
+        for _ in range(80):
+            mid = (lo + hi) / 2.0
+            if _standard_normal_cdf(mid / self.shadowing_sigma) < self.floor:
+                lo = mid
+            else:
+                hi = mid
+        margin_db = lo
+        return self.reference_range * 10.0 ** (-margin_db / (10.0 * self.exponent))
+
+
 @dataclass
 class VirtualSensor:
     """One deployed scripted sensor."""
@@ -73,23 +182,50 @@ class VirtualSensor:
         """True when another record would exceed the 16 KB budget."""
         return len(self.cache) >= self.cache_capacity
 
-    def scan(self, world: World) -> list[PositionRecord]:
+    def scan(
+        self,
+        world: World,
+        channel: PathLossModel | None = None,
+        rng=None,
+    ) -> list[PositionRecord]:
         """One ``llSensor`` sweep: nearest avatars within range, capped.
+
+        Without a ``channel`` the sweep is the deterministic hard-
+        radius LSL behaviour.  With a :class:`PathLossModel`, each
+        avatar inside the channel's :attr:`~PathLossModel.cutoff_range`
+        is detected independently with
+        :meth:`~PathLossModel.detection_probability`; Bernoulli draws
+        come from ``rng`` (required unless the channel is degenerate),
+        in the deterministic iteration order of the world snapshot.
+        The 16-detection nearest-first cap applies either way.
 
         Only regular avatars are sensed; monitor-controlled observers
         (the crawler) are filtered the way the authors filtered their
         own avatar.
         """
-        in_range = [
-            (distance(self.position, pos), user, pos)
-            for user, pos in world.snapshot_positions().items()
-            if distance(self.position, pos) <= SENSING_RANGE
-        ]
-        in_range.sort(key=lambda item: (item[0], item[1]))
+        detected = []
+        for user, pos in world.snapshot_positions().items():
+            d = distance(self.position, pos)
+            if channel is None:
+                if d > SENSING_RANGE:
+                    continue
+            else:
+                p = channel.detection_probability(d)
+                if p <= 0.0:
+                    continue
+                if p < 1.0:
+                    if rng is None:
+                        raise ValueError(
+                            "a probabilistic path-loss channel needs an rng"
+                        )
+                    if rng.random() >= p:
+                        continue
+            detected.append((d, user, pos))
+        detected.sort(key=lambda item: (item[0], item[1]))
         now = world.now
         return [
             PositionRecord(now, user, pos.x, pos.y, pos.z)
-            for _d, user, pos in in_range[:MAX_DETECTIONS]
+            for _d, user, pos in detected[:MAX_DETECTIONS]
         ]
 
     def store(self, records: list[PositionRecord]) -> None:
@@ -115,6 +251,13 @@ class SensorNetwork(Monitor):
         The flush sink; rate limits apply there.
     replication_interval:
         How often expired sensors are re-rezzed, seconds.
+    channel:
+        Optional :class:`PathLossModel` detection channel.  ``None``
+        (the default) keeps the deterministic hard-radius scan.
+    seed:
+        Seed for the channel's Bernoulli detection draws.  Traces are
+        bit-reproducible given (world seed, sensor seed); unused
+        without a probabilistic channel.
     """
 
     def __init__(
@@ -124,6 +267,8 @@ class SensorNetwork(Monitor):
         webserver: WebServer | None = None,
         replication_interval: float = 600.0,
         name: str = "sensor-network",
+        channel: PathLossModel | None = None,
+        seed: int = 0,
     ) -> None:
         if tau <= 0:
             raise ValueError(f"tau must be positive, got {tau}")
@@ -138,6 +283,9 @@ class SensorNetwork(Monitor):
         self.webserver = webserver or WebServer()
         self.replication_interval = float(replication_interval)
         self.name = name
+        self.channel = channel
+        self.seed = int(seed)
+        self._rng = None
         self.sensors: list[VirtualSensor] = []
         self._db: TraceDatabase | None = None
         self._next_sample = float("inf")
@@ -184,6 +332,9 @@ class SensorNetwork(Monitor):
         self._land_lifetime = (
             land.object_lifetime if land.policy.objects_expire else float("inf")
         )
+        # Fresh generator per attach: re-running the same network over
+        # a re-built world reproduces the same detection draws.
+        self._rng = np.random.default_rng(self.seed)
         self._next_sample = world.now + self.tau
         self._next_replication = world.now + self.replication_interval
 
@@ -210,7 +361,7 @@ class SensorNetwork(Monitor):
             if self._is_expired(sensor, now):
                 self._expired_since.setdefault(sensor.sensor_id, now)
                 continue
-            sensor.store(sensor.scan(world))
+            sensor.store(sensor.scan(world, self.channel, self._rng))
             if sensor.cache_full:
                 self._flush(sensor, now)
         self._next_sample += self.tau

@@ -66,6 +66,7 @@ from repro.trace.validation import TraceIssue, validate_trace
 from repro.trace.synth import (
     constant_positions_trace,
     crossing_users_trace,
+    metaverse_trace,
     orbiting_users_trace,
     random_walk_trace,
 )
@@ -120,6 +121,7 @@ __all__ = [
     "TraceIssue",
     "validate_trace",
     "constant_positions_trace",
+    "metaverse_trace",
     "crossing_users_trace",
     "orbiting_users_trace",
     "random_walk_trace",

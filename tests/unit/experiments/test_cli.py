@@ -425,3 +425,111 @@ class TestServeCli:
         ])
         assert code == 1
         assert "ingest failed" in capsys.readouterr().err
+
+
+class TestScenarioFlags:
+    def test_campus_land_available(self):
+        args = build_parser().parse_args(
+            ["simulate", "--land", "campus", "--out", "x.rtrc"]
+        )
+        assert args.land == "campus"
+
+    def test_association_monitor_flag(self):
+        args = build_parser().parse_args(
+            ["simulate", "--land", "campus", "--monitor", "association",
+             "--out", "x.rtrc"]
+        )
+        assert args.monitor == "association"
+
+    def test_sensor_model_flags(self):
+        args = build_parser().parse_args(
+            ["simulate", "--monitor", "sensors", "--sensor-model", "pathloss",
+             "--sensor-sigma", "4", "--out", "x.rtrc"]
+        )
+        assert args.sensor_model == "pathloss"
+        assert args.sensor_sigma == 4.0
+
+    def test_metaverse_land_and_users(self):
+        args = build_parser().parse_args(
+            ["crawl", "--land", "metaverse", "--users", "500",
+             "--out", "x.rtrc"]
+        )
+        assert args.land == "metaverse"
+        assert args.users == 500
+
+    def test_crawl_monitor_choices_exclude_sensors(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(
+                ["crawl", "--monitor", "sensors", "--out", "x.rtrc"]
+            )
+
+    def test_association_needs_access_points(self, tmp_path, capsys):
+        code = main([
+            "simulate", "--land", "dance", "--monitor", "association",
+            "--hours", "0.01", "--spinup", "0",
+            "--out", str(tmp_path / "x.rtrc"),
+        ])
+        assert code == 2
+        assert "access" in capsys.readouterr().err
+
+
+class TestScenarioRoundTrips:
+    def test_campus_association_simulate_analyze(self, tmp_path, capsys):
+        out = tmp_path / "campus.rtrc"
+        assert main([
+            "simulate", "--land", "campus", "--monitor", "association",
+            "--hours", "0.15", "--spinup", "600", "--seed", "5",
+            "--out", str(out),
+        ]) == 0
+        assert main(["analyze", str(out), "--range", "1", "--every", "6"]) == 0
+        assert "Campus WLAN" in capsys.readouterr().out
+
+    def test_campus_streamed_crawl_equals_buffered_simulate(self, tmp_path):
+        import numpy as np
+
+        from repro.trace import read_trace
+
+        sim = tmp_path / "sim.rtrc"
+        crawled = tmp_path / "crawl.rtrc"
+        world = ["--land", "campus", "--monitor", "association",
+                 "--hours", "0.05", "--spinup", "300", "--seed", "5"]
+        assert main(["simulate", *world, "--out", str(sim)]) == 0
+        assert main([
+            "crawl", *world, "--round-minutes", "1", "--out", str(crawled),
+        ]) == 0
+        a, b = read_trace(sim).columns, read_trace(crawled).columns
+        assert np.array_equal(a.times, b.times)
+        assert np.array_equal(a.xyz, b.xyz)
+        assert np.array_equal(a.snapshot_offsets, b.snapshot_offsets)
+        assert [a.users.names[i] for i in a.user_ids] == [
+            b.users.names[i] for i in b.user_ids
+        ]
+
+    def test_metaverse_streamed_crawl_equals_buffered_simulate(self, tmp_path):
+        import numpy as np
+
+        from repro.trace import read_trace
+
+        sim = tmp_path / "sim.rtrc"
+        crawled = tmp_path / "crawl.rtrc"
+        world = ["--land", "metaverse", "--users", "80", "--hours", "0.05",
+                 "--seed", "9"]
+        assert main(["simulate", *world, "--out", str(sim)]) == 0
+        assert main([
+            "crawl", *world, "--round-minutes", "1", "--out", str(crawled),
+        ]) == 0
+        a, b = read_trace(sim).columns, read_trace(crawled).columns
+        assert np.array_equal(a.times, b.times)
+        assert np.array_equal(a.xyz, b.xyz)
+
+    def test_pathloss_sensor_simulate_reproducible(self, tmp_path):
+        import filecmp
+
+        world = ["--land", "dance", "--monitor", "sensors",
+                 "--sensor-model", "pathloss", "--hours", "0.05",
+                 "--spinup", "300", "--seed", "4"]
+        one = tmp_path / "one.rtrc"
+        two = tmp_path / "two.rtrc"
+        assert main(["simulate", *world, "--out", str(one)]) == 0
+        assert main(["simulate", *world, "--out", str(two)]) == 0
+        assert filecmp.cmp(one, two, shallow=False)

@@ -3,6 +3,8 @@
 import pytest
 
 from repro.lands import (
+    campus_wlan,
+    scenario_presets,
     PAPER_TARGETS,
     apfel_land,
     dance_island,
@@ -85,7 +87,9 @@ class TestGenericLand:
         preset = generic_land(n_pois=6)
         assert len(preset.land.pois) == 6
 
-    @pytest.mark.parametrize("kind", ["poi", "rwp", "levy"])
+    @pytest.mark.parametrize(
+        "kind", ["poi", "rwp", "levy", "gauss-markov", "random-direction"]
+    )
     def test_mobility_kinds(self, kind):
         preset = generic_land(mobility=kind)
         world = preset.build(seed=0)
@@ -104,3 +108,46 @@ class TestGenericLand:
     def test_poi_validation(self):
         with pytest.raises(ValueError, match="at least one"):
             generic_land(n_pois=0)
+
+
+class TestCampusWlan:
+    def test_listed_in_scenario_presets(self):
+        presets = scenario_presets()
+        assert set(paper_presets()) < set(presets)
+        assert "Campus WLAN" in presets
+
+    def test_ap_deployment_shape_and_bounds(self):
+        preset = campus_wlan(n_aps=300)
+        assert preset.access_points.shape == (300, 2)
+        assert preset.access_points.min() >= 0.0
+        assert preset.access_points.max() <= 1024.0
+
+    def test_deterministic_from_seed(self):
+        import numpy as np
+
+        a = campus_wlan(seed=5)
+        b = campus_wlan(seed=5)
+        c = campus_wlan(seed=6)
+        assert np.array_equal(a.access_points, b.access_points)
+        assert not np.array_equal(a.access_points, c.access_points)
+        assert [(p.x, p.y) for p in a.land.pois] == [
+            (p.x, p.y) for p in b.land.pois
+        ]
+
+    def test_three_populations(self):
+        preset = campus_wlan()
+        assert [p.name for p in preset.populations] == [
+            "students", "strollers", "couriers",
+        ]
+        assert preset.attraction_probability == 0.0
+
+    def test_world_builds_and_runs(self):
+        world = campus_wlan(hourly_rate=400.0).build(seed=1)
+        world.run_until(600.0)
+        assert world.stats.logins > 0
+
+    def test_parameter_validation(self):
+        with pytest.raises(ValueError, match="access point"):
+            campus_wlan(n_aps=0)
+        with pytest.raises(ValueError, match="hourly rate"):
+            campus_wlan(hourly_rate=0.0)

@@ -1,14 +1,19 @@
 """Unit tests for the concrete mobility models."""
 
 
+import math
+
 import numpy as np
 import pytest
 
 from repro.geometry import Position, distance
 from repro.mobility import (
+    GaussMarkov,
+    GaussMarkovState,
     LevyWalk,
     PoiMobility,
     PointOfInterest,
+    RandomDirection,
     RandomWaypoint,
     StaticModel,
 )
@@ -252,3 +257,149 @@ class TestDeterminism:
 
         assert run(3) == run(3)
         assert run(3) != run(4)
+
+
+class TestGaussMarkov:
+    def _walk(self, model, rng, n, start=None):
+        pos = start or model.initial_position(rng)
+        state = model.initial_state(pos, rng)
+        legs = []
+        for _i in range(n):
+            leg, state = model.next_leg_from(pos, state, rng)
+            pos = leg.path.waypoints[-1]
+            legs.append(leg)
+        return legs
+
+    def test_legs_stay_in_bounds(self, rng):
+        model = GaussMarkov(200.0, 100.0, edge_margin=10.0)
+        for leg in self._walk(model, rng, 300):
+            end = leg.path.waypoints[-1]
+            assert 0.0 <= end.x <= 200.0
+            assert 0.0 <= end.y <= 100.0
+
+    def test_speed_autocorrelation_tracks_alpha(self, rng):
+        # Lag-1 autocorrelation of the sampled speed sequence is alpha
+        # (the AR(1) property); large land so edge steering never bites
+        # and a high mean keeps the min-speed floor out of play.
+        for alpha in (0.3, 0.8):
+            model = GaussMarkov(
+                100000.0, 100000.0, alpha=alpha, mean_speed=10.0,
+                speed_sigma=1.0, min_speed=0.2,
+            )
+            start = Position(50000.0, 50000.0)
+            state = model.initial_state(start, rng)
+            speeds = []
+            for _i in range(4000):
+                leg, state = model.next_leg_from(start, state, rng)
+                speeds.append(leg.speed)
+            s = np.asarray(speeds)
+            measured = float(np.corrcoef(s[:-1], s[1:])[0, 1])
+            assert abs(measured - alpha) < 0.08, (alpha, measured)
+
+    def test_edge_steering_turns_walkers_around(self, rng):
+        # An avatar in the margin heading outward gets its mean heading
+        # redirected; within a few epochs it is walking back inside.
+        model = GaussMarkov(400.0, 400.0, alpha=0.5, edge_margin=40.0)
+        pos = Position(5.0, 200.0)
+        state = GaussMarkovState(2.0, math.pi, math.pi)  # heading out
+        for _i in range(40):
+            leg, state = model.next_leg_from(pos, state, rng)
+            pos = leg.path.waypoints[-1]
+        assert pos.x > 40.0
+
+    def test_next_leg_delegates_to_fresh_state(self, rng):
+        model = GaussMarkov(256.0, 256.0)
+        leg = model.next_leg(Position(128.0, 128.0), rng)
+        assert leg.speed >= model.min_speed
+        assert leg.pause == 0.0
+
+    def test_same_seed_same_trajectory(self):
+        model = GaussMarkov(256.0, 256.0)
+
+        def run(seed):
+            rng = np.random.default_rng(seed)
+            legs = TestGaussMarkov()._walk(
+                model, rng, 30, start=Position(128.0, 128.0)
+            )
+            return [(leg.speed, leg.path.waypoints[-1]) for leg in legs]
+
+        assert run(5) == run(5)
+        assert run(5) != run(6)
+
+    def test_parameter_validation(self):
+        with pytest.raises(ValueError, match="alpha"):
+            GaussMarkov(256.0, 256.0, alpha=1.0)
+        with pytest.raises(ValueError, match="mean speed"):
+            GaussMarkov(256.0, 256.0, mean_speed=0.0)
+        with pytest.raises(ValueError, match="min_speed"):
+            GaussMarkov(256.0, 256.0, min_speed=0.0)
+        with pytest.raises(ValueError, match="edge margin"):
+            GaussMarkov(100.0, 100.0, edge_margin=60.0)
+
+
+class TestRandomDirection:
+    def test_legs_end_on_border(self, rng):
+        model = RandomDirection(200.0, 100.0)
+        pos = Position(100.0, 50.0)
+        for _i in range(100):
+            leg = model.next_leg(pos, rng)
+            end = leg.path.waypoints[-1]
+            assert 0.0 <= end.x <= 200.0 and 0.0 <= end.y <= 100.0
+            gap = min(end.x, 200.0 - end.x, end.y, 100.0 - end.y)
+            assert gap < 1e-6
+            pos = end
+
+    def test_headings_uniform(self, rng):
+        # From the centre of a square, headings bin uniformly: each of
+        # 8 sectors holds n/8 +- 5 sigma of a binomial(n, 1/8).
+        model = RandomDirection(100.0, 100.0)
+        centre = Position(50.0, 50.0)
+        n = 4000
+        angles = []
+        for _i in range(n):
+            end = model.next_leg(centre, rng).path.waypoints[-1]
+            angles.append(math.atan2(end.y - centre.y, end.x - centre.x))
+        bins = np.histogram(angles, bins=8, range=(-math.pi, math.pi))[0]
+        expect = n / 8.0
+        tolerance = 5.0 * math.sqrt(n * (1 / 8) * (7 / 8))
+        assert all(abs(count - expect) < tolerance for count in bins), bins
+
+    def test_speed_and_pause_ranges(self, rng):
+        model = RandomDirection(
+            100.0, 100.0, min_speed=2.0, max_speed=3.0,
+            min_pause=5.0, max_pause=6.0,
+        )
+        for _i in range(50):
+            leg = model.next_leg(Position(50.0, 50.0), rng)
+            assert 2.0 <= leg.speed < 3.0
+            assert 5.0 <= leg.pause < 6.0
+
+    def test_survives_starting_on_the_border(self, rng):
+        # A corner start rejects ~half the headings; the re-draw loop
+        # must still terminate with a real leg.
+        model = RandomDirection(100.0, 100.0)
+        for _i in range(50):
+            leg = model.next_leg(Position(0.0, 0.0), rng)
+            assert leg.path.length > 1e-6
+
+    def test_same_seed_same_trajectory(self):
+        model = RandomDirection(256.0, 256.0)
+
+        def run(seed):
+            rng = np.random.default_rng(seed)
+            pos = Position(17.0, 203.0)
+            out = []
+            for _i in range(30):
+                leg = model.next_leg(pos, rng)
+                pos = leg.path.waypoints[-1]
+                out.append((leg.speed, leg.pause, pos))
+            return out
+
+        assert run(9) == run(9)
+        assert run(9) != run(10)
+
+    def test_parameter_validation(self):
+        with pytest.raises(ValueError, match="min_speed"):
+            RandomDirection(100.0, 100.0, min_speed=0.0)
+        with pytest.raises(ValueError, match="pause"):
+            RandomDirection(100.0, 100.0, min_pause=10.0, max_pause=5.0)

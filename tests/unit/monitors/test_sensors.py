@@ -7,6 +7,7 @@ from repro.metaverse import AccessPolicy, Land, Population, SessionProcess, Worl
 from repro.mobility import PointOfInterest, RandomWaypoint, StaticModel
 from repro.monitors import GroundTruthMonitor, SensorNetwork, WebServer, run_monitors
 from repro.monitors.sensors import (
+    PathLossModel,
     CACHE_BYTES,
     MAX_DETECTIONS,
     RECORD_BYTES,
@@ -170,3 +171,92 @@ class TestValidation:
             SensorNetwork(spacing=0.0)
         with pytest.raises(ValueError):
             SensorNetwork(replication_interval=0.0)
+
+
+class TestPathLossModel:
+    def test_probability_non_increasing_in_distance(self):
+        channel = PathLossModel()
+        distances = [0.1 * k for k in range(1, 4000)]
+        probs = [channel.detection_probability(d) for d in distances]
+        assert all(a >= b for a, b in zip(probs, probs[1:]))
+
+    def test_half_power_at_reference_range(self):
+        channel = PathLossModel(reference_range=96.0)
+        assert channel.detection_probability(96.0) == pytest.approx(0.5)
+        assert channel.detection_probability(0.0) == 1.0
+
+    def test_zero_sigma_degenerates_to_hard_radius(self):
+        channel = PathLossModel(shadowing_sigma=0.0)
+        assert channel.detection_probability(SENSING_RANGE) == 1.0
+        assert channel.detection_probability(SENSING_RANGE + 1e-9) == 0.0
+        assert channel.cutoff_range == SENSING_RANGE
+
+    def test_cutoff_range_bounds_the_floor(self):
+        channel = PathLossModel(floor=1e-3)
+        just_in = channel.detection_probability(channel.cutoff_range * 0.99)
+        beyond = channel.detection_probability(channel.cutoff_range * 1.01)
+        assert just_in >= channel.floor
+        assert beyond == 0.0
+
+    def test_parameter_validation(self):
+        with pytest.raises(ValueError, match="reference range"):
+            PathLossModel(reference_range=0.0)
+        with pytest.raises(ValueError, match="exponent"):
+            PathLossModel(exponent=-1.0)
+        with pytest.raises(ValueError, match="sigma"):
+            PathLossModel(shadowing_sigma=-1.0)
+        with pytest.raises(ValueError, match="floor"):
+            PathLossModel(floor=0.7)
+
+
+class TestPathLossScans:
+    def test_degenerate_channel_scan_matches_hard_radius(self):
+        world = _world(seed=4)
+        world.run_until(600.0)
+        sensor = VirtualSensor("s", Position(128.0, 128.0), 0.0)
+        hard = sensor.scan(world)
+        degenerate = sensor.scan(world, PathLossModel(shadowing_sigma=0.0))
+        assert degenerate == hard
+
+    def test_probabilistic_channel_requires_rng(self):
+        world = _world(seed=4)
+        world.run_until(600.0)
+        sensor = VirtualSensor("s", Position(128.0, 128.0), 0.0)
+        if not world.snapshot_positions():
+            pytest.skip("empty world realization")
+        with pytest.raises(ValueError, match="rng"):
+            sensor.scan(world, PathLossModel(shadowing_sigma=8.0))
+
+    def test_lossy_scan_is_subset_semantics(self):
+        # A lossy scan only ever reports avatars a clairvoyant
+        # (cutoff-range) scan could see, and detects fewer on average
+        # inside the old hard radius.
+        import numpy as np
+
+        world = _crowded_world(seed=1)
+        world.run_until(900.0)
+        sensor = VirtualSensor("s", Position(128.0, 128.0), 0.0)
+        channel = PathLossModel(shadowing_sigma=8.0)
+        rng = np.random.default_rng(0)
+        hard_users = {r.user for r in sensor.scan(world)}
+        lossy_users = {r.user for r in sensor.scan(world, channel, rng)}
+        # The crowd sits within metres of the sensor, so every lossy
+        # detection is also a hard-radius detection (before the cap).
+        assert lossy_users <= hard_users or len(hard_users) == MAX_DETECTIONS
+
+    def test_network_trace_reproducible_under_seed(self):
+        import numpy as np
+
+        def run():
+            world = _world(seed=9)
+            network = SensorNetwork(
+                tau=10.0,
+                channel=PathLossModel(shadowing_sigma=6.0),
+                seed=5,
+            )
+            return network.monitor(world, 600.0)
+
+        a, b = run(), run()
+        assert np.array_equal(a.columns.times, b.columns.times)
+        assert np.array_equal(a.columns.xyz, b.columns.xyz)
+        assert list(a.columns.users.names) == list(b.columns.users.names)

@@ -1,0 +1,46 @@
+"""Compiled bytecode must never be committed under ``src/``.
+
+Running ``PYTHONPATH=src pytest`` legitimately litters the working
+tree with ``__pycache__`` directories, so the filesystem is the wrong
+thing to police — the failure mode is a ``.pyc`` making it into the
+*git index* (as ``src/repro/__pycache__/cli.cpython-311.pyc`` once
+did).  This is the local twin of the CI lint-job gate: it asks git
+what is tracked and skips cleanly where git is unavailable.
+"""
+
+import subprocess
+from pathlib import Path
+
+import pytest
+
+REPO_ROOT = Path(__file__).resolve().parents[2]
+
+
+def _tracked_files() -> list[str]:
+    result = subprocess.run(
+        ["git", "ls-files", "--", "src"],
+        cwd=REPO_ROOT,
+        capture_output=True,
+        text=True,
+        timeout=30,
+    )
+    if result.returncode != 0:
+        pytest.skip("not a git checkout — nothing to police")
+    return result.stdout.splitlines()
+
+
+def test_no_bytecode_tracked_under_src():
+    offenders = [
+        path
+        for path in _tracked_files()
+        if "__pycache__" in path or path.endswith((".pyc", ".pyo"))
+    ]
+    assert offenders == [], f"compiled bytecode tracked under src/: {offenders}"
+
+
+def test_gitignore_covers_bytecode():
+    # The guard above stops tracked bytecode; this keeps the ignore
+    # rules that prevent it from being staged in the first place.
+    ignore = (REPO_ROOT / ".gitignore").read_text().splitlines()
+    assert "__pycache__/" in ignore
+    assert "*.pyc" in ignore

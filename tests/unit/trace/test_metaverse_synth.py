@@ -1,0 +1,96 @@
+"""Unit tests for the metaverse-scale synthetic-world generator."""
+
+import numpy as np
+import pytest
+
+from repro.metaverse import HotspotField
+from repro.trace import metaverse_trace, random_walk_trace
+
+
+@pytest.fixture
+def rng():
+    return np.random.default_rng(11)
+
+
+class TestHotspotField:
+    def test_generate_shapes(self, rng):
+        field = HotspotField.generate(32, 1024.0, rng)
+        assert field.centers.shape == (32, 2)
+        assert field.weights.shape == (32,)
+        assert field.weights.sum() == pytest.approx(1.0)
+
+    def test_zipf_popularity_decreasing(self, rng):
+        field = HotspotField.generate(16, 1024.0, rng, zipf_exponent=1.2)
+        assert all(a >= b for a, b in zip(field.weights, field.weights[1:]))
+        # Rank-1 venue dominates rank-16 by 16^1.2.
+        assert field.weights[0] / field.weights[-1] == pytest.approx(16 ** 1.2)
+
+    def test_assignment_respects_popularity(self, rng):
+        field = HotspotField.generate(8, 512.0, rng, zipf_exponent=1.5)
+        assignment = field.assign(20000, rng)
+        counts = np.bincount(assignment, minlength=8)
+        assert counts[0] > counts[-1]
+
+    def test_materialize_within_bounds(self, rng):
+        field = HotspotField.generate(8, 512.0, rng, scatter=64.0)
+        coords = field.materialize(field.assign(500, rng), rng)
+        assert coords.shape == (500, 2)
+        assert coords.min() >= 0.0 and coords.max() <= 512.0
+
+
+class TestMetaverseTrace:
+    def test_shape_and_metadata(self, rng):
+        trace = metaverse_trace(50, 12, rng, tau=10.0, size=512.0)
+        assert len(trace) == 12
+        assert len(trace.unique_users()) == 50
+        assert trace.metadata.land_name == "synthetic-metaverse"
+        assert trace.metadata.source == "synthetic"
+        assert trace.metadata.tau == 10.0
+
+    def test_positions_within_world(self, rng):
+        trace = metaverse_trace(80, 20, rng, size=256.0)
+        xyz = trace.columns.xyz
+        assert xyz[:, :2].min() >= 0.0
+        assert xyz[:, :2].max() <= 256.0
+        assert np.all(xyz[:, 2] == 0.0)
+
+    def test_bit_reproducible_under_seed(self):
+        a = metaverse_trace(40, 15, np.random.default_rng(3))
+        b = metaverse_trace(40, 15, np.random.default_rng(3))
+        c = metaverse_trace(40, 15, np.random.default_rng(4))
+        assert np.array_equal(a.columns.xyz, b.columns.xyz)
+        assert not np.array_equal(a.columns.xyz, c.columns.xyz)
+
+    def test_hotspot_concentration_beats_random_walk(self):
+        # The point of the generator: avatars crowd venues, so typical
+        # nearest-neighbour distances are far below the uniform walk's.
+        n, size = 400, 2048.0
+        mv = metaverse_trace(
+            n, 1, np.random.default_rng(0), size=size, n_hotspots=16
+        )
+        rw = random_walk_trace(n, 1, np.random.default_rng(0), size=size)
+
+        def median_nn(trace):
+            pts = trace.columns.xyz[:, :2]
+            deltas = pts[:, None, :] - pts[None, :, :]
+            d2 = (deltas ** 2).sum(axis=2)
+            np.fill_diagonal(d2, np.inf)
+            return float(np.median(np.sqrt(d2.min(axis=1))))
+
+        assert median_nn(mv) < median_nn(rw) / 3.0
+
+    def test_venue_hops_move_avatars(self):
+        # With certain hops every step, positions decorrelate fast.
+        trace = metaverse_trace(
+            30, 3, np.random.default_rng(5),
+            size=4096.0, hop_probability=1.0, step_std=0.0,
+        )
+        xyz = trace.columns.xyz.reshape(3, 30, 3)
+        moved = np.linalg.norm(xyz[1, :, :2] - xyz[0, :, :2], axis=1)
+        assert np.median(moved) > 100.0
+
+    def test_validation(self, rng):
+        with pytest.raises(ValueError, match="at least one"):
+            metaverse_trace(0, 5, rng)
+        with pytest.raises(ValueError, match="at least one"):
+            metaverse_trace(5, 0, rng)
